@@ -1,0 +1,52 @@
+"""A1 — ablation: twin scoping strategies (DESIGN.md).
+
+Sweeps the four scoping strategies (all / neighbor / path / heimdall) over
+the interface-down issues and reports exposure (devices cloned into the
+twin), feasibility (root cause in scope), and the attack surface under a
+task-generated Privilege_msp. Shows *why* the near-shortest-path ellipse is
+the right middle ground: ``path`` alone misses detour root causes, ``all``
+clones everything.
+"""
+
+from conftest import print_table
+
+from repro.experiments.ablations import scoping_ablation
+
+
+def test_scoping_ablation(benchmark, enterprise, enterprise_policies,
+                          enterprise_ifdown):
+    rows = scoping_ablation(
+        network=enterprise, policies=enterprise_policies,
+        issues=enterprise_ifdown,
+    )
+    print_table(
+        "A1: twin scoping ablation (enterprise, same Privilege_msp pipeline)",
+        ("strategy", "mean devices exposed", "feasibility", "attack surface",
+         "twin fidelity"),
+        [
+            (row.strategy,
+             f"{row.mean_exposed:.1f}/{row.total_devices}",
+             f"{row.feasibility_pct:.1f}%",
+             f"{row.attack_surface_pct:.1f}%",
+             f"{row.fidelity_pct:.1f}%")
+            for row in rows
+        ],
+    )
+
+    by_name = {row.strategy: row for row in rows}
+    # heimdall >= path in feasibility (it is a superset scope) ...
+    assert by_name["heimdall"].feasibility_pct >= by_name["path"].feasibility_pct
+    # ... and strictly smaller exposure than all.
+    assert by_name["heimdall"].mean_exposed < by_name["all"].mean_exposed
+    # Fidelity (paper challenge 2): the full clone is perfect by definition;
+    # Heimdall's ellipse keeps what the technician observes faithful.
+    assert by_name["all"].fidelity_pct == 100.0
+    assert by_name["heimdall"].fidelity_pct >= by_name["neighbor"].fidelity_pct
+
+    subset = enterprise_ifdown[:5]
+    benchmark(
+        lambda: scoping_ablation(
+            network=enterprise, policies=enterprise_policies, issues=subset,
+            with_fidelity=False,
+        )
+    )

@@ -1,0 +1,67 @@
+"""Figure 8 — feasibility and attack surface, enterprise network.
+
+Paper: compared to All (full access) and Neighbor (affected nodes +
+neighbours), Heimdall reduces the attack surface by up to 39% on the
+enterprise network while achieving feasibility close to fully-open — "a
+small attack surface with only a minor feasibility decrease".
+
+Workload: bring down each cabled interface whose loss breaks a host pair
+("we create an issue by bringing down each interface"), then per approach
+check root-cause accessibility (feasibility) and compute the weighted
+attack-surface formula.
+"""
+
+from conftest import print_table
+
+from repro.experiments.fig89 import figure89, heimdall_approaches
+from repro.attack.surface import evaluate_approaches
+
+
+def report(title, results, paper_note):
+    rows = [
+        (r.approach, f"{r.feasibility_pct:.1f}%", f"{r.attack_surface_pct:.1f}%")
+        for r in results
+    ]
+    rows.append(("", "", paper_note))
+    print_table(title, ("approach", "feasibility", "attack surface"), rows)
+
+
+def assert_shape(results):
+    by_name = {r.approach: r for r in results}
+    assert by_name["All"].feasibility_pct == 100.0
+    # Heimdall: feasibility close to All, surface well below All.
+    assert by_name["Heimdall"].feasibility_pct >= 90.0
+    assert by_name["Heimdall"].attack_surface_pct < (
+        by_name["All"].attack_surface_pct - 20.0
+    )
+    # Neighbor trades feasibility away.
+    assert by_name["Neighbor"].feasibility_pct < (
+        by_name["Heimdall"].feasibility_pct
+    )
+
+
+def test_figure8_enterprise(benchmark, enterprise, enterprise_policies,
+                            enterprise_ifdown):
+    results = figure89(
+        "enterprise", network=enterprise, policies=enterprise_policies,
+        issues=enterprise_ifdown,
+    )
+    by_name = {r.approach: r for r in results}
+    reduction = (
+        by_name["All"].attack_surface_pct
+        - by_name["Heimdall"].attack_surface_pct
+    )
+    report(
+        f"Figure 8: enterprise ({len(enterprise_ifdown)} interface-down issues)",
+        results,
+        f"Heimdall reduces surface by {reduction:.0f} points (paper: up to 39%)",
+    )
+    assert_shape(results)
+
+    subset = enterprise_ifdown[:5]
+    benchmark(
+        lambda: evaluate_approaches(
+            enterprise, subset, enterprise_policies,
+            heimdall_approaches(enterprise_policies),
+        )
+    )

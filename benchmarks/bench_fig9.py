@@ -1,0 +1,39 @@
+"""Figure 9 — feasibility and attack surface, university network.
+
+Paper: Heimdall reduces the attack surface by up to 40% on the university
+network versus the baselines, with feasibility close to fully-open access.
+Same workload and metric as Figure 8, on the larger redundant campus
+topology (where Neighbor scoping misses even more root causes).
+"""
+
+from bench_fig8 import assert_shape, report
+
+from repro.attack.surface import evaluate_approaches
+from repro.experiments.fig89 import figure89, heimdall_approaches
+
+
+def test_figure9_university(benchmark, university, university_policies,
+                            university_ifdown):
+    results = figure89(
+        "university", network=university, policies=university_policies,
+        issues=university_ifdown,
+    )
+    by_name = {r.approach: r for r in results}
+    reduction = (
+        by_name["All"].attack_surface_pct
+        - by_name["Heimdall"].attack_surface_pct
+    )
+    report(
+        f"Figure 9: university ({len(university_ifdown)} interface-down issues)",
+        results,
+        f"Heimdall reduces surface by {reduction:.0f} points (paper: up to 40%)",
+    )
+    assert_shape(results)
+
+    subset = university_ifdown[:3]
+    benchmark(
+        lambda: evaluate_approaches(
+            university, subset, university_policies,
+            heimdall_approaches(university_policies),
+        )
+    )

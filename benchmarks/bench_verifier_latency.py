@@ -1,0 +1,69 @@
+"""X1 — §4.3 text claim: continuous verification is too slow.
+
+Paper: "verifying the policy is time-consuming (e.g., 25 seconds to check
+175 constraints) and can significantly slow down a technician's work" —
+the argument for *deferred* verification (verify once on the twin's output)
+over *continuous* verification (after every technician action).
+
+Two measurements:
+
+* simulated verification latency vs constraint count (linear; calibrated so
+  175 constraints ≈ 25 s, the paper's figure);
+* the continuous-vs-deferred total verification cost over each standard
+  issue's fix session (continuous pays per *state-changing* action).
+"""
+
+from conftest import print_table
+
+from repro.experiments.latency import (
+    PAPER_X1,
+    continuous_vs_deferred,
+    verification_latency_curve,
+)
+from repro.policy.verification import PolicyVerifier
+from repro.scenarios.enterprise import build_enterprise_network
+
+
+def test_verification_latency_scaling(benchmark, enterprise,
+                                      enterprise_policies):
+    curve = verification_latency_curve()
+    rows = [
+        (count, f"{latency:.1f}s",
+         f"(paper: {PAPER_X1['latency_s']:.0f}s)"
+         if count == PAPER_X1["constraints"] else "")
+        for count, latency in curve
+    ]
+    print_table(
+        "X1a: simulated verification latency vs constraint count",
+        ("constraints", "latency", "note"),
+        rows,
+    )
+    assert dict(curve)[175] == 25.0
+    # Linearity.
+    assert dict(curve)[350] == 2 * dict(curve)[175]
+
+    verifier = PolicyVerifier(enterprise_policies)
+    benchmark(lambda: verifier.verify_network(enterprise))
+
+
+def test_continuous_vs_deferred(benchmark, enterprise_policies):
+    rows = continuous_vs_deferred(policies=enterprise_policies)
+    print_table(
+        "X1b: continuous vs deferred verification cost per fix session",
+        ("issue", "config actions", "continuous", "deferred", "ratio"),
+        [
+            (row.issue_id, row.config_actions,
+             f"{row.continuous_s:.0f}s", f"{row.deferred_s:.0f}s",
+             f"{row.ratio:.0f}x")
+            for row in rows
+        ],
+    )
+    # Continuous always costs at least as much; strictly more when the fix
+    # needs more than one state-changing action.
+    assert all(row.ratio >= 1 for row in rows)
+    assert any(row.ratio > 1 for row in rows)
+
+    # Time one real (not simulated) verification pass — the kernel whose
+    # per-constraint cost the paper's 25 s figure describes.
+    verifier = PolicyVerifier(enterprise_policies)
+    benchmark(lambda: verifier.verify_network(build_enterprise_network()))

@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact (table or figure):
+it prints the reproduced rows/series next to the paper's reported values
+and uses pytest-benchmark to time the underlying computation. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import interface_down_issues, standard_issues
+from repro.scenarios.university import build_university_network
+
+
+@pytest.fixture(scope="session")
+def enterprise():
+    return build_enterprise_network()
+
+
+@pytest.fixture(scope="session")
+def university():
+    return build_university_network()
+
+
+@pytest.fixture(scope="session")
+def enterprise_policies(enterprise):
+    return mine_policies(enterprise)
+
+
+@pytest.fixture(scope="session")
+def university_policies(university):
+    return mine_policies(university)
+
+
+@pytest.fixture(scope="session")
+def enterprise_issues():
+    return standard_issues("enterprise")
+
+
+@pytest.fixture(scope="session")
+def university_issues():
+    return standard_issues("university")
+
+
+@pytest.fixture(scope="session")
+def enterprise_ifdown(enterprise):
+    return interface_down_issues(enterprise)
+
+
+@pytest.fixture(scope="session")
+def university_ifdown(university):
+    return interface_down_issues(university)
+
+
+def print_table(title, headers, rows):
+    """Aligned text table, printed between blank lines for readability."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print(f"\n== {title}")
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

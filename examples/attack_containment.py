@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Replay the paper's motivating incidents against both access models.
+
+Three adversarial behaviours (paper §2.2 and Figure 6):
+
+* an APT10-style credential exfiltration (Figure 2),
+* a malicious ACL change smuggled inside a legitimate fix (Figure 6),
+* a careless outage-causing command (Figure 3).
+
+Each is run first against the **current RMM model** (root agents on every
+device) where it succeeds, then against **Heimdall**, where some layer —
+twin scoping, config sanitisation, the reference monitor, or the policy
+enforcer — contains it.
+
+Run:  python examples/attack_containment.py
+"""
+
+from repro import Heimdall, build_enterprise_network, mine_policies, standard_issues
+from repro.attack.adversary import (
+    MaliciousFixScript,
+    careless_command,
+    exfiltration_attempt,
+    file_exfiltration,
+    malicious_fix,
+    production_secrets,
+)
+from repro.scenarios.files import sensitive_paths
+from repro.msp.rmm import RmmServer
+from repro.policy.verification import PolicyVerifier
+from repro.scenarios.enterprise import SENSITIVE_DEVICES
+
+
+class RmmAccess:
+    def __init__(self, session):
+        self.session = session
+
+    def execute(self, device, command):
+        return self.session.execute(device, command)
+
+
+class TwinAccess:
+    def __init__(self, session):
+        self.session = session
+
+    def execute(self, device, command):
+        return self.session.console(device).execute(command)
+
+
+def banner(title):
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def exfiltration():
+    banner("Incident 1: credential exfiltration (APT10, Figure 2)")
+    targets = SENSITIVE_DEVICES + ("gw",)
+
+    production = build_enterprise_network()
+    server = RmmServer(production)
+    server.add_credential("apt10", "phished-password")
+    rmm = server.authenticate("apt10", "phished-password")
+    report = exfiltration_attempt(
+        RmmAccess(rmm), targets, production_secrets(production)
+    )
+    print(f"RMM baseline: {report.succeeded}/{report.attempted} devices "
+          f"harvested, loot={len(report.loot)} secrets")
+
+    production = build_enterprise_network()
+    policies = mine_policies(production)
+    issue = standard_issues("enterprise")["vlan"]
+    issue.inject(production)
+    heimdall = Heimdall(production, policies=policies)
+    session = heimdall.open_ticket(issue)
+    report = exfiltration_attempt(
+        TwinAccess(session), targets, production_secrets(production)
+    )
+    print(f"Heimdall:     {report.succeeded}/{report.attempted} devices "
+          f"harvested; blocked by {sorted(set(b for _, b in report.blocked_by))}")
+    assert report.contained
+
+    # ... and the file-stealing half (compress important files, Figure 2).
+    production_files = build_enterprise_network()
+    server = RmmServer(production_files)
+    server.add_credential("apt10", "phished-password")
+    rmm = server.authenticate("apt10", "phished-password")
+    report = file_exfiltration(
+        RmmAccess(rmm), sensitive_paths(production_files)
+    )
+    print(f"RMM baseline: {report.succeeded}/{report.attempted} sensitive "
+          f"files stolen (e.g. {report.loot[0] if report.loot else None})")
+    report = file_exfiltration(
+        TwinAccess(session), sensitive_paths(production)
+    )
+    print(f"Heimdall:     {report.succeeded}/{report.attempted} files stolen; "
+          f"blocked by {sorted(set(b for _, b in report.blocked_by))}")
+    assert report.contained
+
+
+def smuggled_acl():
+    banner("Incident 2: malicious ACL change inside a fix (Figure 6)")
+    script = MaliciousFixScript(
+        device="dist1",
+        legitimate_commands=(
+            "configure terminal",
+            "router ospf 1",
+            "network 10.0.5.0 0.0.0.3 area 0",
+            "network 10.0.7.0 0.0.0.3 area 0",
+            "network 10.0.8.0 0.0.0.3 area 0",
+            "exit",
+        ),
+        malicious_commands=(
+            "ip access-list extended DB_PROTECT",
+            "permit tcp 10.5.10.0 0.0.0.255 host 10.7.1.100 eq 5432",
+            "end",
+        ),
+    )
+    issue_factory = lambda: standard_issues("enterprise")["ospf"]
+
+    production = build_enterprise_network()
+    issue = issue_factory()
+    issue.inject(production)
+    server = RmmServer(production)
+    server.add_credential("rogue", "pw")
+    malicious_fix(RmmAccess(server.authenticate("rogue", "pw")), script)
+    opened = any(
+        "10.5.10.0" in e.to_text()
+        for e in production.config("dist1").acl("DB_PROTECT").entries
+    )
+    print(f"RMM baseline: ticket fixed={issue.is_resolved(production)}, "
+          f"database silently opened to staff VLAN={opened}")
+
+    production = build_enterprise_network()
+    policies = mine_policies(build_enterprise_network())
+    issue = issue_factory()
+    issue.inject(production)
+    heimdall = Heimdall(production, policies=policies)
+    session = heimdall.open_ticket(issue, profile="connectivity")
+    results = malicious_fix(TwinAccess(session), script)
+    outcome = session.submit()
+    opened = any(
+        "10.5.10.0" in e.to_text()
+        for e in production.config("dist1").acl("DB_PROTECT").entries
+    )
+    denied = sum(1 for r in results if not r.ok)
+    print(f"Heimdall:     monitor denied {denied} commands, enforcer "
+          f"approved={outcome.approved}, database opened={opened}")
+    assert not opened
+
+
+def careless():
+    banner("Incident 3: careless command, network outage (Figure 3)")
+    commands = ("configure terminal", "interface Gi0/1", "shutdown", "end")
+
+    production = build_enterprise_network()
+    policies = mine_policies(production)
+    server = RmmServer(production)
+    server.add_credential("tired", "pw")
+    careless_command(RmmAccess(server.authenticate("tired", "pw")), "gw", commands)
+    report = PolicyVerifier(policies).verify_network(production)
+    print(f"RMM baseline: {report.violation_count} policies violated "
+          f"(outage is live)")
+
+    production = build_enterprise_network()
+    issue = standard_issues("enterprise")["isp"]
+    issue.inject(production)
+    heimdall = Heimdall(production, policies=policies)
+    session = heimdall.open_ticket(issue)
+    results = careless_command(TwinAccess(session), "gw", commands)
+    outcome = session.submit()
+    report = PolicyVerifier(policies).verify_network(production)
+    live = sum(
+        1 for r in report.violations if "ext1" not in r.policy.comment
+    )
+    denied = sum(1 for r in results if not r.ok)
+    print(f"Heimdall:     monitor denied {denied} commands, enforcer "
+          f"approved={outcome.approved}; production gateway uplink still "
+          f"up={not production.config('gw').interface('Gi0/1').shutdown}")
+
+
+def main():
+    exfiltration()
+    smuggled_acl()
+    careless()
+    print("\nAll three incidents contained by Heimdall.")
+
+
+if __name__ == "__main__":
+    main()

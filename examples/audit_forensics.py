@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Audit forensics: attestation, tamper-evidence, and retroactive review.
+
+Demonstrates the enforcer's trust story (paper §4.3 / challenge 3):
+
+* the customer attests the enforcer enclave before trusting it;
+* every mediated action lands in an HMAC-chained audit trail;
+* after an incident, the customer reviews denied actions and technician
+  behaviour, and any tampering with the log is detected.
+
+Run:  python examples/audit_forensics.py
+"""
+
+import dataclasses
+
+from repro import Heimdall, build_enterprise_network, mine_policies, standard_issues
+from repro.core.enforcer.enclave import expected_measurement, verify_attestation
+
+
+def main():
+    production = build_enterprise_network()
+    policies = mine_policies(production)
+    heimdall = Heimdall(production, policies=policies)
+
+    # ---- attestation: trust the enforcer before using it ------------------
+    report = heimdall.enclave.attest(nonce="customer-nonce-42")
+    genuine = verify_attestation(report, expected_measurement())
+    print(f"enclave attestation: {report}")
+    print(f"customer verdict: {'TRUSTED' if genuine else 'REJECTED'}\n")
+
+    # ---- a session with both legitimate and illegitimate actions -----------
+    issue = standard_issues("enterprise")["ospf"]
+    issue.inject(production)
+    session = heimdall.open_ticket(issue)
+
+    session.run_fix_script(issue.fix_script)  # the honest work
+
+    # ... and some over-reach the monitor will refuse:
+    console = session.console("dist1")
+    console.execute("configure terminal")
+    console.execute("hostname pwned")
+    console.execute("enable secret 5 attacker-key")
+    console.execute("end")
+    outcome = session.submit()
+    print(f"ticket resolved: {outcome.resolved}, "
+          f"denied commands: {outcome.denied_commands}\n")
+
+    # ---- retroactive review -------------------------------------------------
+    trail = heimdall.audit
+    print(f"audit trail: {len(trail)} records, chain intact: {trail.verify()}")
+    print("\ndenied actions (what a forensic review reads first):")
+    for record in trail.denied():
+        print(f"  t={record.timestamp:7.1f}s {record.device:8} "
+              f"{record.command!r} -> {record.action}")
+
+    config_changes = trail.query(action_prefix="config.", allowed=True)
+    print(f"\nallowed configuration actions: {len(config_changes)}")
+    for record in config_changes[:5]:
+        print(f"  t={record.timestamp:7.1f}s {record.device:8} {record.command!r}")
+
+    # ---- tamper-evidence ------------------------------------------------------
+    print("\ntamper experiment: flip one denied record to 'allowed'...")
+    index = trail.records.index(trail.denied()[0])
+    trail.records[index] = dataclasses.replace(
+        trail.records[index], allowed=True
+    )
+    print(f"chain verifies after tampering: {trail.verify()}")
+    assert not trail.verify()
+    print("tampering detected — the forged history does not verify.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Bring your own network: Heimdall over a custom topology.
+
+Shows the downstream-user path end to end: build a network with
+:class:`NetworkBuilder` (or parse your own IOS-style configs), mine its
+policies, write a hand-crafted Privilege_msp in the JSON front-end, and run
+a ticket through a twin with privilege escalation along the way.
+
+Run:  python examples/custom_network.py
+"""
+
+import ipaddress
+
+from repro import (
+    Heimdall,
+    NetworkBuilder,
+    load_privilege_spec,
+    mine_policies,
+)
+from repro.core.twin.twin import TwinNetwork
+from repro.scenarios.issues import FixStep, Issue
+
+
+def build_branch_office():
+    """A small branch office: edge router, core, two LANs and a server."""
+    builder = NetworkBuilder("branch")
+    builder.router("edge").router("core")
+    builder.host("fileserver").host("desk1").host("desk2")
+
+    builder.p2p("edge", "Gi0/0", "core", "Gi0/0", "10.200.0.0/30")
+    builder.attach_host("fileserver", "eth0", "core", "Gi0/1", "10.200.10.0/24")
+    builder.attach_host("desk1", "eth0", "core", "Gi0/2", "10.200.20.0/24")
+    builder.attach_host("desk2", "eth0", "edge", "Gi0/1", "10.200.30.0/24")
+
+    for router in ("edge", "core"):
+        builder.enable_ospf(router)
+        builder.credentials(router, enable_secret=f"branch-{router}",
+                            vty_password="branch-vty")
+
+    # Only desk1's LAN may reach the file server.
+    builder.acl("core", "FILES", [
+        "permit ip 10.200.20.0 0.0.0.255 10.200.10.0 0.0.0.255",
+        "deny ip any any",
+    ])
+    builder.apply_acl("core", "Gi0/1", "FILES", direction="out")
+    return builder.build()
+
+
+def make_issue():
+    """desk1 loses its uplink: core's Gi0/2 got shut during maintenance."""
+
+    def inject(network):
+        network.config("core").interface("Gi0/2").shutdown = True
+
+    return Issue(
+        issue_id="ifdown:core:Gi0/2",
+        title="desk1 LAN interface down",
+        description="desk1 (10.200.20.100) cannot reach the file server.",
+        src_host="desk1",
+        dst_host="fileserver",
+        root_cause_device="core",
+        complexity="simple",
+        fix_script=[
+            FixStep("core", (
+                "show interfaces",
+                "configure terminal",
+                "interface Gi0/2",
+                "no shutdown",
+                "end",
+                "write memory",
+            )),
+        ],
+        _inject=inject,
+    )
+
+
+HAND_WRITTEN_SPEC = """
+{
+  "version": 1,
+  "default": "deny",
+  "rules": [
+    {"effect": "deny",  "action": "config.acl.*", "resource": "core:*",
+     "comment": "the FILES ACL is the crown jewel"},
+    {"effect": "allow", "action": "view.*",  "resource": "*"},
+    {"effect": "allow", "action": "probe.*", "resource": "*"},
+    {"effect": "allow", "action": "config.interface.admin", "resource": "core:*"},
+    {"effect": "allow", "action": "system.save", "resource": "core"}
+  ]
+}
+"""
+
+
+def main():
+    production = build_branch_office()
+    policies = mine_policies(production)
+    print(f"branch office: {production.summary()}")
+    print(f"mined {len(policies)} policies\n")
+
+    issue = make_issue()
+    issue.inject(production)
+    print(f"ticket: {issue.description}")
+
+    # A hand-written Privilege_msp instead of the generated one.
+    spec, _ = load_privilege_spec(HAND_WRITTEN_SPEC)
+    heimdall = Heimdall(production, policies=policies)
+    twin = TwinNetwork(production, issue, spec, audit=heimdall.audit)
+    print(f"twin scope: {sorted(twin.scope)}")
+
+    console = twin.console("core")
+    for command in issue.fix_script[0].commands:
+        result = console.execute(command)
+        status = "ok" if result.ok else f"DENIED ({result.error})"
+        print(f"  core> {command:45} {status}")
+
+    # The hand-written spec blocks ACL edits even inside the twin:
+    console.execute("configure terminal")
+    blocked = console.execute("ip access-list extended FILES")
+    blocked = console.execute("permit ip any any") if blocked.ok else blocked
+    print(f"\nattempt to edit FILES ACL: "
+          f"{'denied' if not blocked.ok else 'allowed?!'}")
+    console.execute("end")
+
+    print(f"\ntwin resolved: {twin.issue_resolved()}")
+
+    # Verify + import through the enforcer.
+    from repro.core.enforcer.verifier import ChangeVerifier
+    from repro.core.enforcer.scheduler import ChangeScheduler
+
+    changes = twin.changes()
+    decision = ChangeVerifier(policies, spec).verify(production, changes)
+    print(f"enforcer: {decision.summary()}")
+    if decision.approved:
+        ChangeScheduler().push(production, changes)
+    print(f"production resolved: {issue.is_resolved(production)}")
+
+
+if __name__ == "__main__":
+    main()

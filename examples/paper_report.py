@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation as one markdown report.
+
+Drives :func:`repro.experiments.report.render_report` — the same experiment
+code the benchmark harness uses — over every artifact (Table 1, Figures
+7-9, the §4.3 latency claim, both ablations) and renders a paper-vs-measured
+markdown report.
+
+Run:  python examples/paper_report.py [output.md]
+
+Without an argument the report prints to stdout. The full run recomputes
+both networks' interface-down sweeps (~1 minute).
+"""
+
+import io
+import sys
+
+from repro.experiments.report import render_report
+
+
+def main():
+    buffer = io.StringIO()
+    render_report(buffer)
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as handle:
+            handle.write(buffer.getvalue())
+        print(f"report written to {sys.argv[1]}")
+    else:
+        print(buffer.getvalue())
+
+
+if __name__ == "__main__":
+    main()

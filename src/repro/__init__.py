@@ -1,0 +1,81 @@
+"""Heimdall: least privilege for managed network services.
+
+A full reproduction of Liu, Li, Canel & Sekar, *Watching the watchmen:
+Least privilege for managed network services* (HotNets'21), including every
+substrate the paper rides on: an IOS-style configuration layer, an
+OSPF/static/VLAN control plane with ACL-aware forwarding analysis, a network
+emulator with interactive consoles, policy mining/verification, and the MSP
+workflow machinery (RMM baseline, ticketing, scripted technicians).
+
+Typical use::
+
+    from repro import (
+        Heimdall, build_enterprise_network, mine_policies, standard_issues,
+    )
+
+    production = build_enterprise_network()
+    policies = mine_policies(production)
+
+    issue = standard_issues("enterprise")["vlan"]
+    issue.inject(production)
+
+    heimdall = Heimdall(production, policies=policies)
+    session = heimdall.open_ticket(issue)
+    session.run_fix_script(issue.fix_script)
+    outcome = session.submit()
+    assert outcome.resolved
+"""
+
+from repro.attack.surface import evaluate_approaches, evaluate_exposure
+from repro.control.builder import build_dataplane
+from repro.core.heimdall import Heimdall, TicketOutcome
+from repro.dataplane.differential import diff_reachability
+from repro.core.privilege.ast import PrivilegeSpec
+from repro.core.privilege.parser import dump_privilege_spec, load_privilege_spec
+from repro.core.twin.twin import TwinNetwork
+from repro.dataplane.reachability import ReachabilityAnalyzer
+from repro.emulation.network import EmulatedNetwork
+from repro.msp.ticketing import TicketSystem
+from repro.msp.workflows import CurrentWorkflow, HeimdallWorkflow
+from repro.net.flow import Flow
+from repro.net.network import Network
+from repro.policy.mining import mine_policies
+from repro.policy.verification import PolicyVerifier
+from repro.msp.shell import TechnicianShell
+from repro.scenarios.builder import NetworkBuilder
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.io import load_network, save_network
+from repro.scenarios.issues import interface_down_issues, standard_issues
+from repro.scenarios.university import build_university_network
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CurrentWorkflow",
+    "EmulatedNetwork",
+    "Flow",
+    "Heimdall",
+    "HeimdallWorkflow",
+    "Network",
+    "NetworkBuilder",
+    "PolicyVerifier",
+    "PrivilegeSpec",
+    "ReachabilityAnalyzer",
+    "TechnicianShell",
+    "TicketOutcome",
+    "TicketSystem",
+    "TwinNetwork",
+    "build_dataplane",
+    "build_enterprise_network",
+    "build_university_network",
+    "diff_reachability",
+    "dump_privilege_spec",
+    "evaluate_approaches",
+    "evaluate_exposure",
+    "interface_down_issues",
+    "load_network",
+    "load_privilege_spec",
+    "mine_policies",
+    "save_network",
+    "standard_issues",
+]

@@ -1,0 +1,18 @@
+"""Attack-surface measurement and adversary scripts (paper §5, Figures 8-9)."""
+
+from repro.attack.commands import allowed_command_count, available_command_count
+from repro.attack.surface import (
+    ApproachResult,
+    ExposureResult,
+    evaluate_approaches,
+    evaluate_exposure,
+)
+
+__all__ = [
+    "ApproachResult",
+    "ExposureResult",
+    "allowed_command_count",
+    "available_command_count",
+    "evaluate_approaches",
+    "evaluate_exposure",
+]

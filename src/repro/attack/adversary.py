@@ -1,0 +1,148 @@
+"""Adversarial and careless technicians (paper §2.2 and Figure 6).
+
+Three scripted behaviours, each runnable against the current-RMM baseline
+(where they succeed — that is the motivation) and against Heimdall (where
+some layer contains them):
+
+* :func:`exfiltration_attempt` — the APT10 pattern: harvest credentials and
+  sensitive configuration from customer devices (Figure 2);
+* :func:`malicious_fix` — Figure 6: apply the legitimate ACL fix but slip in
+  an extra rule opening a path to a sensitive host;
+* :func:`careless_command` — Figure 3: fat-finger a disruptive command on a
+  core device while working an unrelated ticket.
+
+Each returns a structured report so tests and benchmarks can assert exactly
+which defence layer (twin scoping, reference monitor, sanitisation, policy
+enforcer) stopped what.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.twin.sanitize import SANITIZED_FIELDS
+from repro.util.errors import EmulationError
+
+
+@dataclass
+class AttackReport:
+    """What an adversary managed to do."""
+
+    attack: str
+    attempted: int = 0
+    succeeded: int = 0
+    blocked_by: list = field(default_factory=list)
+    loot: list = field(default_factory=list)
+
+    @property
+    def contained(self):
+        return self.succeeded == 0
+
+
+def exfiltration_attempt(access, target_devices, secrets_by_device):
+    """Harvest configs from ``target_devices`` through ``access``.
+
+    ``access.execute(device, command)`` may raise :class:`EmulationError`
+    (device not in twin) or return a denied result (reference monitor).
+    ``secrets_by_device`` maps device -> {field: secret} of the *production*
+    secrets; any appearing in captured output counts as loot.
+    """
+    report = AttackReport(attack="exfiltration")
+    for device in target_devices:
+        report.attempted += 1
+        try:
+            result = access.execute(device, "show running-config")
+        except EmulationError:
+            report.blocked_by.append((device, "twin-scoping"))
+            continue
+        if not result.ok:
+            report.blocked_by.append((device, "reference-monitor"))
+            continue
+        secrets = secrets_by_device.get(device, {})
+        found = [
+            (field_name, secret)
+            for field_name, secret in secrets.items()
+            if secret and secret in result.output
+        ]
+        if found:
+            report.succeeded += 1
+            report.loot.extend((device, *item) for item in found)
+        else:
+            report.blocked_by.append((device, "sanitisation"))
+    return report
+
+
+def file_exfiltration(access, targets, marker="CONFIDENTIAL"):
+    """The file-stealing half of Figure 2: ``cat`` sensitive host files.
+
+    ``targets`` is a list of (host, path) pairs (see
+    :func:`repro.scenarios.files.sensitive_paths`). A read only counts as
+    loot when the content carries the sensitive ``marker`` — the twin's
+    hosts exist but their filesystems are empty emulation shells.
+    """
+    report = AttackReport(attack="file-exfiltration")
+    for host, path in targets:
+        report.attempted += 1
+        try:
+            result = access.execute(host, f"cat {path}")
+        except EmulationError:
+            report.blocked_by.append((host, "twin-scoping"))
+            continue
+        if not result.ok:
+            layer = (
+                "reference-monitor"
+                if "Privilege_msp" in (result.error or "")
+                else "empty-emulation-filesystem"
+            )
+            report.blocked_by.append((host, layer))
+            continue
+        if marker in result.output:
+            report.succeeded += 1
+            report.loot.append((host, path))
+        else:
+            report.blocked_by.append((host, "empty-emulation-filesystem"))
+    return report
+
+
+def production_secrets(network, devices=None):
+    """The credential material an exfiltrator is after."""
+    devices = devices if devices is not None else network.topology.device_names()
+    secrets = {}
+    for device in devices:
+        config = network.config(device)
+        secrets[device] = {
+            field_name: getattr(config, field_name)
+            for field_name in SANITIZED_FIELDS
+        }
+    return secrets
+
+
+@dataclass
+class MaliciousFixScript:
+    """Figure 6: a legitimate fix plus a smuggled extra change."""
+
+    legitimate_commands: tuple
+    malicious_commands: tuple
+    device: str
+
+    def all_commands(self):
+        return self.legitimate_commands + self.malicious_commands
+
+
+def malicious_fix(session_access, script):
+    """Run a legitimate-looking fix that smuggles a malicious change.
+
+    Returns per-command results; the caller (test/bench) then submits the
+    session and asserts the enforcer's verdict.
+    """
+    results = []
+    for command in script.all_commands():
+        results.append(session_access.execute(script.device, command))
+    return results
+
+
+def careless_command(access, device, commands):
+    """Figure 3: run a disruptive command by mistake.
+
+    Returns the results; on the current workflow the damage is immediate, on
+    Heimdall it lands in the twin and the enforcer refuses the import.
+    """
+    return [access.execute(device, command) for command in commands]

@@ -1,0 +1,36 @@
+"""Command inventories: the :math:`A_n` and :math:`C_n` of the paper's metric.
+
+``A_n`` (available commands on node *n*) comes straight from the console's
+declarative command catalog; ``C_n`` (allowed commands) evaluates each
+catalog entry against a Privilege_msp. With no specification (the All and
+Neighbor baselines) every available command is allowed.
+"""
+
+from repro.emulation.console import available_commands
+
+
+def available_command_count(kind):
+    """How many console commands a device of ``kind`` offers."""
+    return len(available_commands(kind))
+
+
+def allowed_command_count(kind, device, privilege_spec=None, interfaces=()):
+    """How many of the device's commands the Privilege_msp permits.
+
+    Interface-scoped commands count as allowed if permitted on *any* of the
+    device's interfaces — one usable command is one unit of attack surface.
+    """
+    specs = available_commands(kind)
+    if privilege_spec is None:
+        return len(specs)
+    allowed = 0
+    for spec in specs:
+        if privilege_spec.allows(spec.action, device):
+            allowed += 1
+            continue
+        if any(
+            privilege_spec.allows(spec.action, f"{device}:{iface}")
+            for iface in interfaces
+        ):
+            allowed += 1
+    return allowed

@@ -1,0 +1,202 @@
+"""The paper's attack-surface metric and the Figure 8/9 evaluation.
+
+.. math::
+
+    AttackSurface(\\%) = \\Big(\\frac{\\sum_n C_n}{\\sum_n A_n}\\cdot 0.5
+                         + \\frac{VP}{P}\\cdot 0.5\\Big)\\cdot 100
+
+``C_n``/``A_n`` are allowed/available console commands per node; ``VP`` is
+the number of network policies a technician *could* violate with some
+allowed command on some exposed node ("we search all possible commands on
+accessible nodes"); ``P`` is the policy count. Feasibility is the paper's
+definition: can the technician access the root-cause node at all.
+
+The violation search walks each policy's representative-flow trace and asks,
+per destructive action class, whether the Privilege_msp permits an action
+that would break the policy:
+
+* shutting / renumbering a transit interface breaks a reachability policy;
+* routing changes (OSPF, statics) on a transit router black-hole it;
+* ACL edits on a transit router can insert a deny (breaking reachability)
+  or — on the blocking device — remove one (breaking isolation);
+* switchport/VLAN edits on a switch stitching a traversed L2 segment break
+  any policy riding that segment.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.attack.commands import allowed_command_count, available_command_count
+from repro.control.builder import build_dataplane
+from repro.dataplane.forwarding import Disposition
+from repro.dataplane.reachability import ReachabilityAnalyzer
+
+
+@dataclass
+class ExposureResult:
+    """The metric for one issue under one approach."""
+
+    exposed_devices: frozenset
+    feasible: bool
+    command_ratio: float
+    violation_ratio: float
+    violable_policies: frozenset = field(default_factory=frozenset)
+
+    @property
+    def attack_surface(self):
+        """The paper's weighted percentage."""
+        return (self.command_ratio * 0.5 + self.violation_ratio * 0.5) * 100.0
+
+
+@dataclass
+class ApproachResult:
+    """Aggregate over an issue sweep for one approach (one Fig 8/9 bar pair)."""
+
+    approach: str
+    feasibility_pct: float
+    attack_surface_pct: float
+    per_issue: list = field(default_factory=list)
+
+
+def evaluate_exposure(network, issue, exposed_devices, policies,
+                      privilege_spec=None, dataplane=None):
+    """Compute feasibility + attack surface for one issue and exposure."""
+    if dataplane is None:
+        dataplane = build_dataplane(network)
+    exposed = frozenset(exposed_devices)
+
+    total_available = 0
+    total_allowed = 0
+    for device in network.topology.devices():
+        total_available += available_command_count(device.kind)
+        if device.name in exposed:
+            total_allowed += allowed_command_count(
+                device.kind,
+                device.name,
+                privilege_spec,
+                interfaces=tuple(network.config(device.name).interfaces),
+            )
+
+    violable = _violable_policies(
+        network, dataplane, policies, exposed, privilege_spec
+    )
+
+    return ExposureResult(
+        exposed_devices=exposed,
+        feasible=issue.root_cause_device in exposed,
+        command_ratio=total_allowed / total_available if total_available else 0.0,
+        violation_ratio=len(violable) / len(policies) if policies else 0.0,
+        violable_policies=frozenset(violable),
+    )
+
+
+def evaluate_approaches(network, issues, policies, approaches):
+    """Sweep ``issues`` (e.g. interface-down set) over named approaches.
+
+    ``approaches`` maps name -> callable(broken_network, issue, dataplane)
+    returning ``(exposed_devices, privilege_spec_or_None)``. Returns a list
+    of :class:`ApproachResult` in the given order.
+    """
+    results = {name: [] for name in approaches}
+    for issue in issues:
+        broken = network.copy()
+        issue.inject(broken)
+        dataplane = build_dataplane(broken)
+        for name, scope_fn in approaches.items():
+            exposed, spec = scope_fn(broken, issue, dataplane)
+            results[name].append(
+                evaluate_exposure(
+                    broken, issue, exposed, policies,
+                    privilege_spec=spec, dataplane=dataplane,
+                )
+            )
+    aggregated = []
+    for name, per_issue in results.items():
+        feasible = sum(1 for r in per_issue if r.feasible)
+        mean_surface = (
+            sum(r.attack_surface for r in per_issue) / len(per_issue)
+            if per_issue else 0.0
+        )
+        aggregated.append(
+            ApproachResult(
+                approach=name,
+                feasibility_pct=100.0 * feasible / len(per_issue) if per_issue else 0.0,
+                attack_surface_pct=mean_surface,
+                per_issue=per_issue,
+            )
+        )
+    return aggregated
+
+
+# -- violation search ---------------------------------------------------------
+
+
+def _allows(spec, action, resource):
+    return spec is None or spec.allows(action, resource)
+
+
+def _violable_policies(network, dataplane, policies, exposed, spec):
+    analyzer = ReachabilityAnalyzer(dataplane)
+    hosts = set(network.hosts())
+    violable = set()
+    for policy in policies:
+        trace = analyzer.trace(policy.flow)
+        if policy.kind == "reachability" and trace.success:
+            if _reachability_violable(
+                network, dataplane, trace, exposed, spec, hosts
+            ):
+                violable.add(policy.policy_id)
+        elif policy.kind == "isolation" and trace.disposition in (
+            Disposition.DENIED_IN, Disposition.DENIED_OUT
+        ):
+            blocker = trace.last_device
+            if blocker in exposed and (
+                _allows(spec, "config.acl.entry", f"{blocker}:acl:any")
+                or _allows(spec, "config.acl.entry", blocker)
+                or _allows(
+                    spec, "config.interface.acl_binding", f"{blocker}:any"
+                )
+            ):
+                violable.add(policy.policy_id)
+    return violable
+
+
+def _reachability_violable(network, dataplane, trace, exposed, spec, hosts):
+    for hop in trace.hops:
+        device = hop.device
+        if device in hosts or device not in exposed:
+            continue
+        for iface in (hop.in_interface, hop.out_interface):
+            if iface is None:
+                continue
+            if _allows(spec, "config.interface.admin", f"{device}:{iface}"):
+                return True
+            if _allows(spec, "config.interface.address", f"{device}:{iface}"):
+                return True
+        if _allows(spec, "config.ospf.network", device):
+            return True
+        if _allows(spec, "config.static_route", device):
+            return True
+        if _allows(spec, "config.acl.entry", f"{device}:acl:any") or _allows(
+            spec, "config.interface.acl_binding", f"{device}:any"
+        ):
+            return True
+    return _l2_violable(network, dataplane, trace, exposed, spec)
+
+
+def _l2_violable(network, dataplane, trace, exposed, spec):
+    """Switchport edits on a stitching switch break the policy's L2 segments."""
+    switches = set()
+    for hop in trace.hops:
+        if hop.out_interface is None:
+            continue
+        segment = dataplane.segments.segment_of(hop.device, hop.out_interface)
+        if segment is not None:
+            switches.update(segment.switches)
+    for switch in switches:
+        if switch not in exposed:
+            continue
+        if _allows(spec, "config.interface.switchport", f"{switch}:any"):
+            return True
+        if _allows(spec, "config.vlan", switch):
+            return True
+    return False

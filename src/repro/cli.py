@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``show``      — network summary and device inventory;
+* ``policies``  — mine and list the network's implied policies;
+* ``issues``    — list the reproducible issues for a scenario network;
+* ``resolve``   — inject an issue and resolve it via a workflow;
+* ``snapshot``  — dump a network to an editable snapshot directory;
+* ``report``    — regenerate the full paper-vs-measured markdown report.
+
+``--network`` accepts a scenario name (``enterprise`` / ``university``) or
+a path to a snapshot directory written by ``snapshot`` /
+:func:`repro.scenarios.io.save_network`.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.msp.workflows import CurrentWorkflow, HeimdallWorkflow
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.io import load_network, save_network
+from repro.scenarios.issues import standard_issues
+from repro.scenarios.university import build_university_network
+from repro.util.errors import ReproError
+
+_SCENARIOS = {
+    "enterprise": build_enterprise_network,
+    "university": build_university_network,
+}
+
+
+def _resolve_network(spec):
+    """A Network from a scenario name or snapshot directory path."""
+    if spec in _SCENARIOS:
+        return _SCENARIOS[spec]()
+    path = Path(spec)
+    if path.is_dir():
+        return load_network(path)
+    raise ReproError(
+        f"unknown network {spec!r}: expected "
+        f"{'/'.join(_SCENARIOS)} or a snapshot directory"
+    )
+
+
+def _add_network_argument(parser):
+    parser.add_argument(
+        "--network", default="enterprise",
+        help="scenario name (enterprise/university) or snapshot directory",
+    )
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def cmd_show(args, out):
+    network = _resolve_network(args.network)
+    summary = network.summary()
+    out.write(f"network: {network.name}\n")
+    for key in ("routers", "switches", "hosts", "links", "config_lines"):
+        out.write(f"  {key}: {summary[key]}\n")
+    out.write("devices:\n")
+    for device in network.topology.devices():
+        neighbors = ", ".join(network.topology.neighbors(device.name))
+        out.write(f"  {device.name:12} {device.kind.value:7} -> {neighbors}\n")
+    return 0
+
+
+def cmd_policies(args, out):
+    network = _resolve_network(args.network)
+    policies = mine_policies(
+        network,
+        include_waypoints=args.waypoints,
+        max_failures=1 if args.robust else 0,
+    )
+    out.write(f"{len(policies)} policies mined from {network.name}\n")
+    for policy in policies:
+        out.write(f"  [{policy.kind:12}] {policy.policy_id}\n")
+    return 0
+
+
+def cmd_issues(args, out):
+    network = _resolve_network(args.network)
+    if network.name not in _SCENARIOS:
+        out.write("standard issues exist only for the scenario networks\n")
+        return 1
+    for issue in standard_issues(network.name).values():
+        out.write(f"{issue.issue_id:6} [{issue.complexity:8}] {issue.title}\n")
+        out.write(f"       {issue.description}\n")
+    return 0
+
+
+def cmd_resolve(args, out):
+    network = _resolve_network(args.network)
+    if network.name not in _SCENARIOS:
+        out.write("resolve requires a scenario network\n")
+        return 1
+    issues = standard_issues(network.name)
+    if args.issue not in issues:
+        out.write(f"unknown issue {args.issue!r}; choose from "
+                  f"{', '.join(issues)}\n")
+        return 1
+    issue = issues[args.issue]
+    policies = mine_policies(network)
+    issue.inject(network)
+    out.write(f"injected: {issue.title}\n")
+
+    if args.workflow == "current":
+        workflow = CurrentWorkflow()
+    else:
+        workflow = HeimdallWorkflow(policies=policies)
+    result = workflow.resolve(network, issue)
+
+    out.write(f"workflow: {result.workflow}\n")
+    out.write(f"resolved: {result.resolved}\n")
+    out.write(f"simulated duration: {result.duration_s:.1f}s\n")
+    for step, seconds in result.breakdown.items():
+        out.write(f"  {step}: {seconds:.1f}s\n")
+    if result.detail is not None:
+        out.write(f"changes imported: {len(result.detail.changes)}\n")
+        impact = result.detail.decision.impact
+        if impact is not None:
+            out.write(f"impact: {impact.summary()}\n")
+    return 0 if result.resolved else 1
+
+
+def cmd_snapshot(args, out):
+    network = _resolve_network(args.network)
+    save_network(network, args.directory)
+    out.write(f"snapshot of {network.name} written to {args.directory}\n")
+    return 0
+
+
+def cmd_report(args, out):
+    from repro.experiments.report import render_report
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            render_report(handle)
+        out.write(f"report written to {args.output}\n")
+    else:
+        render_report(out)
+    return 0
+
+
+# -- entry point ------------------------------------------------------------------
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heimdall reproduction (HotNets'21) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="network summary")
+    _add_network_argument(show)
+    show.set_defaults(func=cmd_show)
+
+    policies = sub.add_parser("policies", help="mine network policies")
+    _add_network_argument(policies)
+    policies.add_argument("--waypoints", action="store_true",
+                          help="also mine waypoint policies")
+    policies.add_argument("--robust", action="store_true",
+                          help="keep only 1-failure-robust policies")
+    policies.set_defaults(func=cmd_policies)
+
+    issues = sub.add_parser("issues", help="list reproducible issues")
+    _add_network_argument(issues)
+    issues.set_defaults(func=cmd_issues)
+
+    resolve = sub.add_parser("resolve", help="inject and resolve an issue")
+    _add_network_argument(resolve)
+    resolve.add_argument("--issue", required=True,
+                         help="issue id (ospf/isp/vlan)")
+    resolve.add_argument("--workflow", choices=("current", "heimdall"),
+                         default="heimdall")
+    resolve.set_defaults(func=cmd_resolve)
+
+    snapshot = sub.add_parser("snapshot", help="write a snapshot directory")
+    _add_network_argument(snapshot)
+    snapshot.add_argument("directory")
+    snapshot.set_defaults(func=cmd_snapshot)
+
+    report = sub.add_parser("report", help="full reproduction report")
+    report.add_argument("-o", "--output", default=None)
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that's not our error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""IOS-style device configuration: structured model, parser, serializer.
+
+This package is the reproduction's stand-in for the vendor-configuration
+front-end of Batfish [37]: configuration text is parsed into a structured
+:class:`~repro.config.model.DeviceConfig`, which the control plane
+(:mod:`repro.control`) consumes and the serializer can emit back as canonical
+text (parse/serialize round-trips are property-tested).
+"""
+
+from repro.config.acl import Acl, AclEntry, PortMatch
+from repro.config.apply import apply_change, apply_changes
+from repro.config.diffing import ConfigChange, diff_configs, diff_networks
+from repro.config.model import (
+    DeviceConfig,
+    InterfaceConfig,
+    OspfConfig,
+    OspfNetwork,
+    StaticRoute,
+    VlanConfig,
+)
+from repro.config.parser import parse_config
+from repro.config.serializer import serialize_config
+
+__all__ = [
+    "Acl",
+    "AclEntry",
+    "ConfigChange",
+    "DeviceConfig",
+    "InterfaceConfig",
+    "OspfConfig",
+    "OspfNetwork",
+    "PortMatch",
+    "StaticRoute",
+    "VlanConfig",
+    "apply_change",
+    "apply_changes",
+    "diff_configs",
+    "diff_networks",
+    "parse_config",
+    "serialize_config",
+]

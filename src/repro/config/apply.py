@@ -1,0 +1,202 @@
+"""Apply :class:`~repro.config.diffing.ConfigChange` objects to configurations.
+
+The policy enforcer's scheduler pushes verified changes to the production
+network one at a time, in a safe order. This module is the inverse of
+:mod:`repro.config.diffing`: applying ``diff_configs(old, new)`` to ``old``
+yields ``new`` (property-tested).
+"""
+
+import copy
+
+from repro.util.errors import ConfigError
+
+
+def apply_change(config, change):
+    """Apply one change to ``config`` in place."""
+    handler = _HANDLERS.get(change.kind)
+    if handler is None:
+        raise ConfigError(f"cannot apply change kind {change.kind!r}")
+    handler(config, change)
+
+
+def apply_changes(configs, changes):
+    """Apply many changes to a dict of hostname -> DeviceConfig, in order."""
+    for change in changes:
+        if change.device not in configs:
+            raise ConfigError(
+                f"change targets unknown device {change.device!r}"
+            )
+        apply_change(configs[change.device], change)
+
+
+# -- handlers -------------------------------------------------------------
+
+
+def _hostname(config, change):
+    config.hostname = change.new
+
+
+def _vlan_added(config, change):
+    from repro.config.model import VlanConfig
+
+    vlan_id = int(change.path)
+    config.vlans[vlan_id] = VlanConfig(vlan_id, name=change.new)
+
+
+def _vlan_removed(config, change):
+    config.vlans.pop(int(change.path), None)
+
+
+def _vlan_renamed(config, change):
+    config.vlans[int(change.path)].name = change.new
+
+
+def _interface_added(config, change):
+    config.interfaces[change.path] = copy.deepcopy(change.new)
+
+
+def _interface_removed(config, change):
+    config.interfaces.pop(change.path, None)
+
+
+def _interface_field(field_name):
+    def handler(config, change):
+        setattr(config.interface(change.path, create=True), field_name, change.new)
+
+    return handler
+
+
+def _ospf_process(config, change):
+    config.ospf = copy.deepcopy(change.new)
+
+
+def _ospf_network(config, change):
+    if config.ospf is None:
+        raise ConfigError("no OSPF process to change")
+    if change.new is None:
+        if change.old in config.ospf.networks:
+            config.ospf.networks.remove(change.old)
+    elif change.new not in config.ospf.networks:
+        config.ospf.networks.append(change.new)
+
+
+def _ospf_networks_reordered(config, change):
+    if config.ospf is None:
+        raise ConfigError("no OSPF process to change")
+    config.ospf.networks = list(change.new)
+
+
+def _ospf_passive(config, change):
+    if config.ospf is None:
+        raise ConfigError("no OSPF process to change")
+    if change.new:
+        config.ospf.passive_interfaces.add(change.path)
+    else:
+        config.ospf.passive_interfaces.discard(change.path)
+
+
+def _ospf_default_information(config, change):
+    config.ospf.default_information_originate = change.new
+
+
+def _ospf_reference_bandwidth(config, change):
+    config.ospf.reference_bandwidth_mbps = change.new
+
+
+def _bgp_process(config, change):
+    config.bgp = copy.deepcopy(change.new)
+
+
+def _bgp_neighbor(config, change):
+    if config.bgp is None:
+        raise ConfigError("no BGP process to change")
+    if change.new is None:
+        if change.old in config.bgp.neighbors:
+            config.bgp.neighbors.remove(change.old)
+    elif change.new not in config.bgp.neighbors:
+        config.bgp.neighbors.append(change.new)
+
+
+def _bgp_network(config, change):
+    if config.bgp is None:
+        raise ConfigError("no BGP process to change")
+    if change.new is None:
+        if change.old in config.bgp.networks:
+            config.bgp.networks.remove(change.old)
+    elif change.new not in config.bgp.networks:
+        config.bgp.networks.append(change.new)
+
+
+def _static_route(config, change):
+    if change.new is None:
+        if change.old in config.static_routes:
+            config.static_routes.remove(change.old)
+    elif change.new not in config.static_routes:
+        config.static_routes.append(change.new)
+
+
+def _acl_added(config, change):
+    config.acls[change.path] = change.new.copy()
+
+
+def _acl_removed(config, change):
+    config.acls.pop(change.path, None)
+
+
+def _acl_entry_added(config, change):
+    config.acl(change.path).entries.append(change.new)
+
+
+def _acl_entry_removed(config, change):
+    entries = config.acl(change.path).entries
+    if change.old in entries:
+        entries.remove(change.old)
+
+
+def _acl_reordered(config, change):
+    config.acl(change.path).entries = list(change.new)
+
+
+def _scalar(field_name):
+    def handler(config, change):
+        setattr(config, field_name, change.new)
+
+    return handler
+
+
+_HANDLERS = {
+    "hostname": _hostname,
+    "vlan.added": _vlan_added,
+    "vlan.removed": _vlan_removed,
+    "vlan.renamed": _vlan_renamed,
+    "interface.added": _interface_added,
+    "interface.removed": _interface_removed,
+    "interface.address": _interface_field("address"),
+    "interface.shutdown": _interface_field("shutdown"),
+    "interface.description": _interface_field("description"),
+    "interface.ospf_cost": _interface_field("ospf_cost"),
+    "interface.access_group_in": _interface_field("access_group_in"),
+    "interface.access_group_out": _interface_field("access_group_out"),
+    "interface.switchport_mode": _interface_field("switchport_mode"),
+    "interface.access_vlan": _interface_field("access_vlan"),
+    "interface.trunk_vlans": _interface_field("trunk_vlans"),
+    "ospf.process": _ospf_process,
+    "ospf.network": _ospf_network,
+    "ospf.networks_reordered": _ospf_networks_reordered,
+    "ospf.passive_interface": _ospf_passive,
+    "ospf.default_information": _ospf_default_information,
+    "ospf.reference_bandwidth": _ospf_reference_bandwidth,
+    "bgp.process": _bgp_process,
+    "bgp.neighbor": _bgp_neighbor,
+    "bgp.network": _bgp_network,
+    "static_route": _static_route,
+    "acl.added": _acl_added,
+    "acl.removed": _acl_removed,
+    "acl.entry_added": _acl_entry_added,
+    "acl.entry_removed": _acl_entry_removed,
+    "acl.reordered": _acl_reordered,
+    "default_gateway": _scalar("default_gateway"),
+    "enable_secret": _scalar("enable_secret"),
+    "snmp_community": _scalar("snmp_community"),
+    "vty_password": _scalar("vty_password"),
+}

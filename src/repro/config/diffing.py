@@ -1,0 +1,352 @@
+"""Structured diffs between device configurations.
+
+The policy enforcer never sees technician keystrokes — it sees the *semantic
+difference* between the production configs and the twin configs. A
+:class:`ConfigChange` is one atomic semantic change (an interface address
+changed, an ACL entry added, a static route removed, ...), tagged with a
+category the change scheduler uses for safe ordering and a dotted ``action``
+name the privilege evaluator authorises.
+"""
+
+from dataclasses import dataclass
+
+# kind -> (scheduling category, privilege action). The action vocabulary is
+# shared with the console's command classification
+# (:mod:`repro.emulation.console`) so one Privilege_msp governs both live
+# commands and imported change sets.
+_KIND_TABLE = {
+    "hostname": ("mgmt", "config.hostname"),
+    "vlan.added": ("vlan", "config.vlan"),
+    "vlan.removed": ("vlan", "config.vlan"),
+    "vlan.renamed": ("vlan", "config.vlan"),
+    "interface.added": ("interface", "config.interface.admin"),
+    "interface.removed": ("interface", "config.interface.admin"),
+    "interface.address": ("interface", "config.interface.address"),
+    "interface.shutdown": ("interface", "config.interface.admin"),
+    "interface.description": ("interface", "config.interface.description"),
+    "interface.ospf_cost": ("routing", "config.ospf.cost"),
+    "interface.access_group_in": ("acl", "config.interface.acl_binding"),
+    "interface.access_group_out": ("acl", "config.interface.acl_binding"),
+    "interface.switchport_mode": ("l2", "config.interface.switchport"),
+    "interface.access_vlan": ("l2", "config.interface.switchport"),
+    "interface.trunk_vlans": ("l2", "config.interface.switchport"),
+    "ospf.process": ("routing", "config.ospf.process"),
+    "ospf.network": ("routing", "config.ospf.network"),
+    "ospf.networks_reordered": ("routing", "config.ospf.network"),
+    "bgp.process": ("routing", "config.bgp.process"),
+    "bgp.neighbor": ("routing", "config.bgp.neighbor"),
+    "bgp.network": ("routing", "config.bgp.network"),
+    "ospf.passive_interface": ("routing", "config.ospf.passive"),
+    "ospf.default_information": ("routing", "config.ospf.default_information"),
+    "ospf.reference_bandwidth": ("routing", "config.ospf.cost"),
+    "static_route": ("routing", "config.static_route"),
+    "acl.added": ("acl", "config.acl.entry"),
+    "acl.removed": ("acl", "config.acl.entry"),
+    "acl.entry_added": ("acl", "config.acl.entry"),
+    "acl.entry_removed": ("acl", "config.acl.entry"),
+    "acl.reordered": ("acl", "config.acl.entry"),
+    "default_gateway": ("routing", "config.default_gateway"),
+    "enable_secret": ("credential", "config.credential"),
+    "snmp_community": ("credential", "config.credential"),
+    "vty_password": ("credential", "config.credential"),
+}
+_CATEGORY_BY_KIND = {kind: pair[0] for kind, pair in _KIND_TABLE.items()}
+
+
+@dataclass(frozen=True)
+class ConfigChange:
+    """One atomic semantic difference on one device.
+
+    ``path`` identifies the object within the device (interface name, ACL
+    name, route prefix, ...); ``old``/``new`` are ``None`` for pure
+    additions/removals.
+    """
+
+    device: str
+    kind: str
+    path: str = ""
+    old: object = None
+    new: object = None
+
+    def __post_init__(self):
+        if self.kind not in _CATEGORY_BY_KIND:
+            raise ValueError(f"unknown change kind {self.kind!r}")
+
+    @property
+    def category(self):
+        """Scheduling category: vlan, l2, interface, routing, acl, mgmt, credential."""
+        return _CATEGORY_BY_KIND[self.kind]
+
+    @property
+    def action(self):
+        """Dotted action name checked against the privilege specification."""
+        return _KIND_TABLE[self.kind][1]
+
+    def summary(self):
+        """Human-readable one-liner for audit records."""
+        location = f"{self.device}" + (f":{self.path}" if self.path else "")
+        if self.old is None and self.new is not None:
+            return f"{location} {self.kind} += {self.new}"
+        if self.new is None and self.old is not None:
+            return f"{location} {self.kind} -= {self.old}"
+        return f"{location} {self.kind}: {self.old} -> {self.new}"
+
+
+def diff_configs(old, new):
+    """All semantic changes turning device config ``old`` into ``new``."""
+    changes = []
+    device = new.hostname
+
+    if old.hostname != new.hostname:
+        changes.append(
+            ConfigChange(device, "hostname", old=old.hostname, new=new.hostname)
+        )
+
+    _diff_vlans(changes, device, old, new)
+    _diff_interfaces(changes, device, old, new)
+    _diff_ospf(changes, device, old.ospf, new.ospf)
+    _diff_bgp(changes, device, old.bgp, new.bgp)
+    _diff_static_routes(changes, device, old, new)
+    _diff_acls(changes, device, old, new)
+    _diff_scalars(changes, device, old, new)
+    return changes
+
+
+def diff_networks(old_configs, new_configs):
+    """Changes across a whole network (dict of hostname -> DeviceConfig)."""
+    changes = []
+    for name in new_configs:
+        if name in old_configs:
+            changes.extend(diff_configs(old_configs[name], new_configs[name]))
+    return changes
+
+
+# -- section differs ----------------------------------------------------------
+
+
+def _diff_vlans(changes, device, old, new):
+    for vlan_id in sorted(set(old.vlans) | set(new.vlans)):
+        before, after = old.vlans.get(vlan_id), new.vlans.get(vlan_id)
+        if before is None:
+            changes.append(
+                ConfigChange(device, "vlan.added", str(vlan_id), new=after.name)
+            )
+        elif after is None:
+            changes.append(
+                ConfigChange(device, "vlan.removed", str(vlan_id), old=before.name)
+            )
+        elif before.name != after.name:
+            changes.append(
+                ConfigChange(
+                    device, "vlan.renamed", str(vlan_id),
+                    old=before.name, new=after.name,
+                )
+            )
+
+
+_INTERFACE_FIELDS = (
+    "address",
+    "shutdown",
+    "description",
+    "ospf_cost",
+    "access_group_in",
+    "access_group_out",
+    "switchport_mode",
+    "access_vlan",
+    "trunk_vlans",
+)
+
+
+def _diff_interfaces(changes, device, old, new):
+    for name in list(old.interfaces) + [
+        n for n in new.interfaces if n not in old.interfaces
+    ]:
+        before = old.interfaces.get(name)
+        after = new.interfaces.get(name)
+        if before is None:
+            changes.append(ConfigChange(device, "interface.added", name, new=after))
+            continue
+        if after is None:
+            changes.append(
+                ConfigChange(device, "interface.removed", name, old=before)
+            )
+            continue
+        for field_name in _INTERFACE_FIELDS:
+            old_value = getattr(before, field_name)
+            new_value = getattr(after, field_name)
+            if old_value != new_value:
+                changes.append(
+                    ConfigChange(
+                        device, f"interface.{field_name}", name,
+                        old=old_value, new=new_value,
+                    )
+                )
+
+
+def _diff_ospf(changes, device, old_ospf, new_ospf):
+    if old_ospf is None and new_ospf is None:
+        return
+    if (
+        old_ospf is None
+        or new_ospf is None
+        or old_ospf.process_id != new_ospf.process_id
+    ):
+        # Process created, removed, or renumbered: replace it wholesale.
+        if old_ospf != new_ospf:
+            changes.append(
+                ConfigChange(device, "ospf.process", old=old_ospf, new=new_ospf)
+            )
+        return
+    # Statement order is semantically significant (the first covering
+    # statement decides an interface's area), so diff like ACL entries:
+    # multiset add/remove plus an authoritative reorder when replay order
+    # would differ.
+    removed, added = _multiset_diff(old_ospf.networks, new_ospf.networks)
+    for net in removed:
+        changes.append(ConfigChange(device, "ospf.network", str(net.prefix), old=net))
+    for net in added:
+        changes.append(ConfigChange(device, "ospf.network", str(net.prefix), new=net))
+    replayed = _without(old_ospf.networks, removed) + added
+    if replayed != new_ospf.networks:
+        changes.append(
+            ConfigChange(
+                device, "ospf.networks_reordered",
+                old=tuple(old_ospf.networks), new=tuple(new_ospf.networks),
+            )
+        )
+    for iface in sorted(old_ospf.passive_interfaces - new_ospf.passive_interfaces):
+        changes.append(
+            ConfigChange(device, "ospf.passive_interface", iface, old=True, new=False)
+        )
+    for iface in sorted(new_ospf.passive_interfaces - old_ospf.passive_interfaces):
+        changes.append(
+            ConfigChange(device, "ospf.passive_interface", iface, old=False, new=True)
+        )
+    if (
+        old_ospf.default_information_originate
+        != new_ospf.default_information_originate
+    ):
+        changes.append(
+            ConfigChange(
+                device, "ospf.default_information",
+                old=old_ospf.default_information_originate,
+                new=new_ospf.default_information_originate,
+            )
+        )
+    if old_ospf.reference_bandwidth_mbps != new_ospf.reference_bandwidth_mbps:
+        changes.append(
+            ConfigChange(
+                device, "ospf.reference_bandwidth",
+                old=old_ospf.reference_bandwidth_mbps,
+                new=new_ospf.reference_bandwidth_mbps,
+            )
+        )
+
+
+def _diff_bgp(changes, device, old_bgp, new_bgp):
+    if old_bgp is None and new_bgp is None:
+        return
+    if old_bgp is None or new_bgp is None or old_bgp.asn != new_bgp.asn:
+        if old_bgp != new_bgp:
+            changes.append(
+                ConfigChange(device, "bgp.process", old=old_bgp, new=new_bgp)
+            )
+        return
+    old_neighbors, new_neighbors = set(old_bgp.neighbors), set(new_bgp.neighbors)
+    for neighbor in sorted(old_neighbors - new_neighbors, key=str):
+        changes.append(
+            ConfigChange(device, "bgp.neighbor", str(neighbor.address),
+                         old=neighbor)
+        )
+    for neighbor in sorted(new_neighbors - old_neighbors, key=str):
+        changes.append(
+            ConfigChange(device, "bgp.neighbor", str(neighbor.address),
+                         new=neighbor)
+        )
+    old_nets, new_nets = set(old_bgp.networks), set(new_bgp.networks)
+    for prefix in sorted(old_nets - new_nets, key=str):
+        changes.append(ConfigChange(device, "bgp.network", str(prefix), old=prefix))
+    for prefix in sorted(new_nets - old_nets, key=str):
+        changes.append(ConfigChange(device, "bgp.network", str(prefix), new=prefix))
+
+
+def _diff_static_routes(changes, device, old, new):
+    old_routes, new_routes = set(old.static_routes), set(new.static_routes)
+    for route in sorted(old_routes - new_routes, key=str):
+        changes.append(
+            ConfigChange(device, "static_route", str(route.prefix), old=route)
+        )
+    for route in sorted(new_routes - old_routes, key=str):
+        changes.append(
+            ConfigChange(device, "static_route", str(route.prefix), new=route)
+        )
+
+
+def _diff_acls(changes, device, old, new):
+    for name in sorted(set(old.acls) | set(new.acls)):
+        before, after = old.acls.get(name), new.acls.get(name)
+        if before is None:
+            changes.append(ConfigChange(device, "acl.added", name, new=after))
+            continue
+        if after is None:
+            changes.append(ConfigChange(device, "acl.removed", name, old=before))
+            continue
+        if before.kind != after.kind:
+            # Changing an ACL's family is a wholesale replacement.
+            changes.append(ConfigChange(device, "acl.removed", name, old=before))
+            changes.append(ConfigChange(device, "acl.added", name, new=after))
+            continue
+        if before.entries == after.entries:
+            continue
+        old_entries, new_entries = list(before.entries), list(after.entries)
+        removed, added = _multiset_diff(old_entries, new_entries)
+        for entry in removed:
+            changes.append(
+                ConfigChange(device, "acl.entry_removed", name, old=entry)
+            )
+        for entry in added:
+            changes.append(ConfigChange(device, "acl.entry_added", name, new=entry))
+        # Replaying remove-then-append yields this order; if the target
+        # differs, ACL order is semantically significant, so emit an
+        # authoritative reorder as the final change.
+        replayed = _without(old_entries, removed) + added
+        if replayed != new_entries:
+            changes.append(
+                ConfigChange(
+                    device, "acl.reordered", name,
+                    old=tuple(old_entries), new=tuple(new_entries),
+                )
+            )
+
+
+def _multiset_diff(old_entries, new_entries):
+    """(removed, added) with correct multiplicity for duplicate entries."""
+    remaining = list(new_entries)
+    removed = []
+    for entry in old_entries:
+        if entry in remaining:
+            remaining.remove(entry)
+        else:
+            removed.append(entry)
+    return removed, remaining
+
+
+def _without(entries, removed):
+    """``entries`` minus one occurrence of each item in ``removed``."""
+    result = list(entries)
+    for entry in removed:
+        result.remove(entry)
+    return result
+
+
+_SCALAR_FIELDS = ("default_gateway", "enable_secret", "snmp_community", "vty_password")
+
+
+def _diff_scalars(changes, device, old, new):
+    for field_name in _SCALAR_FIELDS:
+        old_value = getattr(old, field_name)
+        new_value = getattr(new, field_name)
+        if old_value != new_value:
+            changes.append(
+                ConfigChange(device, field_name, old=old_value, new=new_value)
+            )

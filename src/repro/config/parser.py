@@ -1,0 +1,287 @@
+"""IOS-style configuration text -> :class:`~repro.config.model.DeviceConfig`.
+
+The parser is line-oriented with section context, like IOS itself: a section
+header (``interface ...``, ``router ospf ...``, ``ip access-list ...``,
+``line vty ...``, ``vlan ...``) opens a context for the indented lines that
+follow; ``!`` or the next top-level command closes it. Unknown commands raise
+:class:`~repro.util.errors.ConfigError` with the offending line number rather
+than being silently dropped — a mis-parsed security config is worse than a
+loud failure.
+"""
+
+import ipaddress
+
+from repro.config.acl import Acl, AclEntry
+from repro.config.model import (
+    BgpConfig,
+    BgpNeighbor,
+    DeviceConfig,
+    InterfaceConfig,
+    OspfConfig,
+    OspfNetwork,
+    StaticRoute,
+    VlanConfig,
+)
+from repro.net.addressing import (
+    interface_address,
+    network_from_netmask,
+    network_from_wildcard,
+    parse_ip,
+)
+from repro.util.errors import ConfigError
+
+_SECTION_HEADERS = ("interface", "router", "ip access-list", "line", "vlan")
+
+
+def parse_config(text, hostname=None):
+    """Parse configuration text into a :class:`DeviceConfig`.
+
+    ``hostname`` overrides any ``hostname`` line (useful when loading files
+    whose name, not content, identifies the device).
+    """
+    parser = _Parser(hostname)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        parser.feed(raw, line_no)
+    return parser.finish()
+
+
+class _Parser:
+    """Stateful line parser; one instance per config text."""
+
+    def __init__(self, hostname=None):
+        self.config = DeviceConfig(hostname=hostname or "unnamed")
+        self._hostname_forced = hostname is not None
+        self._section = None  # ("interface", obj) etc.
+
+    # -- driver -------------------------------------------------------------
+
+    def feed(self, raw, line_no):
+        line = raw.rstrip()
+        stripped = line.strip()
+        if not stripped or stripped.startswith("!"):
+            self._section = None
+            return
+        indented = line[0] in (" ", "\t")
+        try:
+            if indented and self._section is not None:
+                self._feed_section(stripped)
+            else:
+                self._section = None
+                self._feed_top(stripped)
+        except ConfigError as exc:
+            if exc.line is None:
+                raise ConfigError(str(exc), line=line_no) from None
+            raise
+
+    def finish(self):
+        return self.config
+
+    # -- top-level commands ---------------------------------------------------
+
+    def _feed_top(self, line):
+        tokens = line.split()
+        head = tokens[0]
+        if head == "hostname":
+            if not self._hostname_forced:
+                self.config.hostname = _require(tokens, 1, "hostname")
+        elif head == "interface":
+            name = _require(tokens, 1, "interface name")
+            self._section = ("interface", self.config.interface(name, create=True))
+        elif line.startswith("router ospf"):
+            pid = int(_require(tokens, 2, "OSPF process id"))
+            if self.config.ospf is None:
+                self.config.ospf = OspfConfig(process_id=pid)
+            self._section = ("ospf", self.config.ospf)
+        elif line.startswith("router bgp"):
+            asn = int(_require(tokens, 2, "BGP AS number"))
+            if self.config.bgp is None:
+                self.config.bgp = BgpConfig(asn=asn)
+            self._section = ("bgp", self.config.bgp)
+        elif line.startswith("ip access-list"):
+            kind = _require(tokens, 2, "ACL kind")
+            if kind not in ("standard", "extended"):
+                raise ConfigError(f"unknown ACL kind {kind!r}")
+            name = _require(tokens, 3, "ACL name")
+            acl = self.config.acls.get(name)
+            if acl is None:
+                acl = self.config.add_acl(Acl(name=name, kind=kind))
+            self._section = ("acl", acl)
+        elif head == "access-list":
+            self._feed_numbered_acl(tokens)
+        elif line.startswith("ip route"):
+            self._feed_static_route(tokens)
+        elif line.startswith("ip default-gateway"):
+            self.config.default_gateway = parse_ip(
+                _require(tokens, 2, "gateway address")
+            )
+        elif head == "vlan":
+            vlan_id = int(_require(tokens, 1, "vlan id"))
+            vlan = self.config.vlans.setdefault(vlan_id, VlanConfig(vlan_id))
+            self._section = ("vlan", vlan)
+        elif line.startswith("enable secret"):
+            # Optional encryption-type digit between "secret" and the secret.
+            secret_tokens = tokens[2:]
+            if len(secret_tokens) == 2 and secret_tokens[0].isdigit():
+                secret_tokens = secret_tokens[1:]
+            self.config.enable_secret = " ".join(secret_tokens) or None
+        elif line.startswith("snmp-server community"):
+            self.config.snmp_community = _require(tokens, 2, "community string")
+        elif line.startswith("line vty"):
+            self._section = ("line", None)
+        else:
+            raise ConfigError(f"unknown command {line!r}")
+
+    def _feed_numbered_acl(self, tokens):
+        number = _require(tokens, 1, "ACL number")
+        try:
+            value = int(number)
+        except ValueError:
+            raise ConfigError(f"bad ACL number {number!r}") from None
+        kind = "standard" if 1 <= value <= 99 else "extended"
+        acl = self.config.acls.get(number)
+        if acl is None:
+            acl = self.config.add_acl(Acl(name=number, kind=kind))
+        entry_text = " ".join(tokens[2:])
+        acl.entries.append(AclEntry.parse(entry_text, kind=kind))
+
+    def _feed_static_route(self, tokens):
+        prefix = network_from_netmask(
+            _require(tokens, 2, "route prefix"), _require(tokens, 3, "route mask")
+        )
+        next_hop = parse_ip(_require(tokens, 4, "next hop"))
+        distance = 1
+        if len(tokens) > 5:
+            distance = int(tokens[5])
+        self.config.static_routes.append(
+            StaticRoute(prefix=prefix, next_hop=next_hop, distance=distance)
+        )
+
+    # -- section bodies --------------------------------------------------------
+
+    def _feed_section(self, line):
+        section_kind, obj = self._section
+        handler = {
+            "interface": self._feed_interface,
+            "ospf": self._feed_ospf,
+            "bgp": self._feed_bgp,
+            "acl": self._feed_acl,
+            "vlan": self._feed_vlan,
+            "line": self._feed_line,
+        }[section_kind]
+        handler(obj, line)
+
+    def _feed_interface(self, iface, line):
+        tokens = line.split()
+        if line.startswith("description"):
+            iface.description = line[len("description"):].strip()
+        elif line.startswith("ip address"):
+            iface.address = interface_address(
+                _require(tokens, 2, "address"), _require(tokens, 3, "netmask")
+            )
+        elif line == "no ip address":
+            iface.address = None
+        elif line == "shutdown":
+            iface.shutdown = True
+        elif line == "no shutdown":
+            iface.shutdown = False
+        elif line.startswith("ip ospf cost"):
+            iface.ospf_cost = int(_require(tokens, 3, "cost"))
+        elif line.startswith("ip access-group"):
+            name = _require(tokens, 2, "ACL name")
+            direction = _require(tokens, 3, "direction")
+            if direction == "in":
+                iface.access_group_in = name
+            elif direction == "out":
+                iface.access_group_out = name
+            else:
+                raise ConfigError(f"unknown access-group direction {direction!r}")
+        elif line.startswith("no ip access-group"):
+            direction = tokens[-1]
+            if direction == "in":
+                iface.access_group_in = None
+            elif direction == "out":
+                iface.access_group_out = None
+            else:
+                raise ConfigError(f"unknown access-group direction {direction!r}")
+        elif line.startswith("switchport mode"):
+            iface.switchport_mode = _require(tokens, 2, "switchport mode")
+            if iface.switchport_mode not in ("access", "trunk"):
+                raise ConfigError(
+                    f"unknown switchport mode {iface.switchport_mode!r}"
+                )
+        elif line.startswith("switchport access vlan"):
+            iface.access_vlan = int(_require(tokens, 3, "vlan id"))
+            if iface.switchport_mode is None:
+                iface.switchport_mode = "access"
+        elif line.startswith("switchport trunk allowed vlan"):
+            ids = _require(tokens, 4, "vlan list")
+            iface.trunk_vlans = tuple(int(v) for v in ids.split(","))
+            if iface.switchport_mode is None:
+                iface.switchport_mode = "trunk"
+        else:
+            raise ConfigError(f"unknown interface command {line!r}")
+
+    def _feed_ospf(self, ospf, line):
+        tokens = line.split()
+        if line.startswith("network"):
+            if len(tokens) != 5 or tokens[3] != "area":
+                raise ConfigError(f"bad OSPF network statement {line!r}")
+            prefix = network_from_wildcard(tokens[1], tokens[2])
+            statement = OspfNetwork(prefix=prefix, area=int(tokens[4]))
+            if statement not in ospf.networks:
+                # IOS config lines are idempotent: repeating a network
+                # statement does not duplicate it.
+                ospf.networks.append(statement)
+        elif line.startswith("passive-interface"):
+            ospf.passive_interfaces.add(_require(tokens, 1, "interface"))
+        elif line == "default-information originate":
+            ospf.default_information_originate = True
+        elif line.startswith("auto-cost reference-bandwidth"):
+            ospf.reference_bandwidth_mbps = int(_require(tokens, 2, "bandwidth"))
+        else:
+            raise ConfigError(f"unknown OSPF command {line!r}")
+
+    def _feed_bgp(self, bgp, line):
+        tokens = line.split()
+        if line.startswith("neighbor"):
+            if len(tokens) != 4 or tokens[2] != "remote-as":
+                raise ConfigError(f"bad BGP neighbor statement {line!r}")
+            statement = BgpNeighbor(
+                address=parse_ip(tokens[1]), remote_as=int(tokens[3])
+            )
+            if statement not in bgp.neighbors:
+                bgp.neighbors.append(statement)
+        elif line.startswith("network"):
+            if len(tokens) != 4 or tokens[2] != "mask":
+                raise ConfigError(f"bad BGP network statement {line!r}")
+            prefix = network_from_netmask(tokens[1], tokens[3])
+            if prefix not in bgp.networks:
+                bgp.networks.append(prefix)
+        else:
+            raise ConfigError(f"unknown BGP command {line!r}")
+
+    def _feed_acl(self, acl, line):
+        acl.entries.append(AclEntry.parse(line, kind=acl.kind))
+
+    def _feed_vlan(self, vlan, line):
+        tokens = line.split()
+        if line.startswith("name"):
+            vlan.name = _require(tokens, 1, "vlan name")
+        else:
+            raise ConfigError(f"unknown vlan command {line!r}")
+
+    def _feed_line(self, _obj, line):
+        tokens = line.split()
+        if line.startswith("password"):
+            self.config.vty_password = _require(tokens, 1, "password")
+        elif line in ("login", "transport input ssh", "transport input telnet"):
+            pass  # accepted, no model state needed
+        else:
+            raise ConfigError(f"unknown line command {line!r}")
+
+
+def _require(tokens, index, what):
+    """Fetch ``tokens[index]`` or raise a descriptive error."""
+    if index >= len(tokens):
+        raise ConfigError(f"missing {what} in {' '.join(tokens)!r}")
+    return tokens[index]

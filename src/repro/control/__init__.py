@@ -1,0 +1,26 @@
+"""Control plane: compiles a :class:`~repro.net.network.Network` into a data plane.
+
+The pipeline mirrors what Batfish does for the paper's networks:
+
+1. :mod:`repro.control.l2` resolves switchports/VLANs into L2 broadcast
+   domains (which L3 endpoints can exchange frames directly);
+2. :mod:`repro.control.ospf` runs OSPF SPF over the adjacency graph;
+3. :mod:`repro.control.builder` merges connected, static, and OSPF routes
+   into per-device FIBs by administrative distance and metric.
+"""
+
+from repro.control.builder import build_dataplane
+from repro.control.l2 import Segment, compute_segments
+from repro.control.ospf import OspfRouteComputation, compute_ospf_routes
+from repro.control.routes import ADMIN_DISTANCE, Route, select_best_routes
+
+__all__ = [
+    "ADMIN_DISTANCE",
+    "OspfRouteComputation",
+    "Route",
+    "Segment",
+    "build_dataplane",
+    "compute_ospf_routes",
+    "compute_segments",
+    "select_best_routes",
+]

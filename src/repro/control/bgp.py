@@ -1,0 +1,208 @@
+"""eBGP route computation: session discovery + path-vector propagation.
+
+A deliberately minimal but honest eBGP for border scenarios:
+
+* **sessions** form between directly connected routers (same L2 segment,
+  same subnet) with *mutual* ``neighbor ... remote-as`` statements whose AS
+  numbers cross-check;
+* each router **originates** its ``network <prefix> mask <mask>`` statements
+  when it actually has a matching local route (connected subnet or static) —
+  the IOS "network must be in the RIB" rule, at prefix granularity;
+* routes **propagate** with AS-path prepending; a router rejects paths
+  containing its own ASN (standard loop prevention, which also gives eBGP
+  split horizon);
+* best path: shortest AS path, then lowest neighbor address — deterministic
+  like everything else here.
+
+iBGP, MEDs, local-pref, communities, and route maps are out of scope: the
+scenario borders are single-router ASes where eBGP semantics are fully
+captured by the above (documented limitation).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.control.routes import Route
+
+
+@dataclass(frozen=True)
+class BgpSession:
+    """One established eBGP session (directional record, both ways emitted)."""
+
+    local_device: str
+    local_interface: str
+    local_address: object  # IPv4Address
+    remote_device: str
+    remote_address: object
+    remote_as: int
+
+
+@dataclass
+class BgpRouteComputation:
+    """Result of a BGP run: sessions and per-router routes."""
+
+    sessions: list = field(default_factory=list)
+    routes_by_device: dict = field(default_factory=dict)
+    as_paths: dict = field(default_factory=dict)  # (device, prefix) -> tuple
+
+    def sessions_of(self, device):
+        return [s for s in self.sessions if s.local_device == device]
+
+
+def compute_bgp_routes(network, segments):
+    """Run eBGP over ``network`` given its L2 ``segments``."""
+    speakers = {
+        name: network.config(name).bgp
+        for name in network.routers()
+        if network.config(name).bgp is not None
+    }
+    result = BgpRouteComputation()
+    if not speakers:
+        return result
+
+    sessions = _discover_sessions(network, segments, speakers)
+    result.sessions = sessions
+
+    # table[device][prefix] = (as_path, learned_from_address, out_iface)
+    table = {name: {} for name in speakers}
+    for name, bgp in speakers.items():
+        for prefix in _originated(network.config(name), bgp):
+            table[name][prefix] = ((), None, None)
+
+    _propagate(speakers, sessions, table)
+
+    for name in speakers:
+        routes = []
+        for prefix, (as_path, learned_from, out_iface) in table[name].items():
+            if learned_from is None:
+                continue  # locally originated: already in the RIB
+            routes.append(
+                Route(
+                    prefix=prefix,
+                    protocol="bgp",
+                    out_interface=out_iface,
+                    next_hop=learned_from,
+                    metric=len(as_path),
+                )
+            )
+            result.as_paths[(name, prefix)] = as_path
+        result.routes_by_device[name] = routes
+    return result
+
+
+def _discover_sessions(network, segments, speakers):
+    sessions = []
+    for name, bgp in speakers.items():
+        config = network.config(name)
+        for statement in bgp.neighbors:
+            peer_device = network.device_owning_ip(statement.address)
+            if peer_device is None or peer_device not in speakers:
+                continue
+            peer_bgp = speakers[peer_device]
+            if peer_bgp.asn != statement.remote_as:
+                continue  # AS number mismatch: session never establishes
+            # The peer must point back at one of our addresses with our ASN.
+            local_iface = _facing_interface(
+                network, segments, name, peer_device, statement.address
+            )
+            if local_iface is None:
+                continue
+            reverse = peer_bgp.neighbor_for(local_iface.address.ip)
+            if reverse is None or reverse.remote_as != bgp.asn:
+                continue
+            sessions.append(
+                BgpSession(
+                    local_device=name,
+                    local_interface=local_iface.name,
+                    local_address=local_iface.address.ip,
+                    remote_device=peer_device,
+                    remote_address=statement.address,
+                    remote_as=peer_bgp.asn,
+                )
+            )
+    return sessions
+
+
+def _facing_interface(network, segments, device, peer_device, peer_address):
+    """Our live interface sharing subnet + segment with the peer address."""
+    config = network.config(device)
+    for iface in config.routed_interfaces():
+        if iface.shutdown or peer_address not in iface.address.network:
+            continue
+        peer_config = network.config(peer_device)
+        peer_iface = next(
+            (
+                p
+                for p in peer_config.routed_interfaces()
+                if p.address.ip == peer_address and not p.shutdown
+            ),
+            None,
+        )
+        if peer_iface is None:
+            continue
+        if segments.same_segment(
+            (device, iface.name), (peer_device, peer_iface.name)
+        ):
+            return iface
+    return None
+
+
+def _originated(config, bgp):
+    """Network statements backed by a matching local route."""
+    local_prefixes = {
+        iface.address.network
+        for iface in config.routed_interfaces()
+        if not iface.shutdown
+    }
+    local_prefixes.update(route.prefix for route in config.static_routes)
+    return [prefix for prefix in bgp.networks if prefix in local_prefixes]
+
+
+def _propagate(speakers, sessions, table):
+    """Path-vector fixpoint over the session graph."""
+    # Index sessions by receiving side for deterministic iteration.
+    inbound = {}
+    for session in sessions:
+        inbound.setdefault(session.local_device, []).append(session)
+
+    changed = True
+    iterations = 0
+    while changed and iterations < len(speakers) + 2:
+        changed = False
+        iterations += 1
+        for receiver in sorted(table):
+            local_asn = speakers[receiver].asn
+            for session in sorted(
+                inbound.get(receiver, []), key=lambda s: str(s.remote_address)
+            ):
+                sender = session.remote_device
+                if sender not in table:
+                    continue
+                sender_asn = speakers[sender].asn
+                out_iface = session.local_interface
+                for prefix, (as_path, _from, _iface) in list(
+                    table[sender].items()
+                ):
+                    candidate_path = (sender_asn,) + as_path
+                    if local_asn in candidate_path:
+                        continue  # loop prevention
+                    candidate = (
+                        candidate_path, session.remote_address, out_iface
+                    )
+                    current = table[receiver].get(prefix)
+                    if current is not None and not _better(
+                        candidate, current
+                    ):
+                        continue
+                    table[receiver][prefix] = candidate
+                    changed = True
+
+
+def _better(candidate, current):
+    """Shorter AS path wins; tie-break on lower learned-from address."""
+    candidate_path, candidate_from, _ = candidate
+    current_path, current_from, _ = current
+    if current_from is None:
+        return False  # never displace a locally originated prefix
+    if len(candidate_path) != len(current_path):
+        return len(candidate_path) < len(current_path)
+    return str(candidate_from) < str(current_from)

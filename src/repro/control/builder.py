@@ -1,0 +1,99 @@
+"""Compile a :class:`~repro.net.network.Network` into a :class:`DataPlane`.
+
+Route sources, merged per IOS administrative distance:
+
+* **connected** (AD 0): every live addressed interface;
+* **static** (AD from the route, default 1): installed only when the next hop
+  is resolvable through a connected subnet — an unresolvable static route is
+  silently not installed, exactly the IOS behaviour the ISP-reconfiguration
+  scenario relies on;
+* **ospf** (AD 110): from :mod:`repro.control.ospf`.
+
+Hosts get their connected subnet plus a default route via their gateway
+(when the gateway is on-subnet). Switches forward at L2 only and get an
+empty FIB.
+"""
+
+import ipaddress
+
+from repro.control.bgp import compute_bgp_routes
+from repro.control.l2 import compute_segments
+from repro.control.ospf import compute_ospf_routes
+from repro.control.routes import Route, select_best_routes
+from repro.dataplane.fib import Fib
+from repro.dataplane.plane import DataPlane
+
+_DEFAULT = ipaddress.IPv4Network("0.0.0.0/0")
+
+
+def build_dataplane(network):
+    """Compute L2 segments, run routing, and install per-device FIBs."""
+    segments = compute_segments(network)
+    ospf = compute_ospf_routes(network, segments)
+    bgp = compute_bgp_routes(network, segments)
+
+    fibs = {}
+    for router in network.routers():
+        candidates = []
+        candidates.extend(_connected_routes(network.config(router)))
+        candidates.extend(_static_routes(network.config(router)))
+        candidates.extend(bgp.routes_by_device.get(router, []))
+        candidates.extend(ospf.routes_by_device.get(router, []))
+        fibs[router] = Fib(select_best_routes(candidates))
+
+    for host in network.hosts():
+        fibs[host] = Fib(_host_routes(network.config(host)))
+
+    for switch in network.switches():
+        fibs[switch] = Fib()
+
+    return DataPlane(network, segments, fibs, ospf, bgp=bgp)
+
+
+def _connected_routes(config):
+    for iface in config.routed_interfaces():
+        if iface.shutdown:
+            continue
+        yield Route(
+            prefix=iface.address.network,
+            protocol="connected",
+            out_interface=iface.name,
+        )
+
+
+def _static_routes(config):
+    for static in config.static_routes:
+        out_iface = _resolving_interface(config, static.next_hop)
+        if out_iface is None:
+            continue  # next hop unreachable: route not installed
+        yield Route(
+            prefix=static.prefix,
+            protocol="static",
+            out_interface=out_iface.name,
+            next_hop=static.next_hop,
+            distance=static.distance,
+        )
+
+
+def _host_routes(config):
+    routes = list(_connected_routes(config))
+    if config.default_gateway is not None:
+        out_iface = _resolving_interface(config, config.default_gateway)
+        if out_iface is not None:
+            routes.append(
+                Route(
+                    prefix=_DEFAULT,
+                    protocol="static",
+                    out_interface=out_iface.name,
+                    next_hop=config.default_gateway,
+                )
+            )
+    return routes
+
+
+def _resolving_interface(config, next_hop):
+    """The live connected interface whose subnet contains ``next_hop``."""
+    for iface in config.routed_interfaces():
+        if not iface.shutdown and next_hop in iface.address.network:
+            return iface
+    return None

@@ -1,0 +1,217 @@
+"""L2 resolution: switchports and VLANs -> broadcast domains.
+
+The control plane needs to know which L3 endpoints (addressed, non-shutdown
+interfaces on routers and hosts) can exchange Ethernet frames directly. Two
+endpoints share a :class:`Segment` when a path of cables and switchports
+carrying the same VLAN joins them:
+
+* a cable between two L3 endpoints is a point-to-point segment;
+* an access port injects untagged frames into its VLAN on that switch;
+* trunk-to-trunk cables splice a VLAN across switches when both ends carry it;
+* access-to-access cables splice the two (possibly differently numbered)
+  VLANs — this is exactly the situation the scenario VLAN issue exploits.
+
+Shutdown interfaces drop out entirely, which is how "bring an interface
+down" failures propagate into the data plane.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.net.topology import DeviceKind
+
+
+@dataclass
+class Segment:
+    """One broadcast domain: the set of (device, interface) L3 endpoints.
+
+    ``switches`` records the switches whose VLAN contexts stitch the domain
+    together — the devices a switchport misconfiguration on would break it.
+    """
+
+    segment_id: int
+    endpoints: frozenset = field(default_factory=frozenset)
+    switches: frozenset = field(default_factory=frozenset)
+
+    def devices(self):
+        """Names of devices with an endpoint in this segment."""
+        return sorted({device for device, _iface in self.endpoints})
+
+    def __contains__(self, endpoint):
+        return endpoint in self.endpoints
+
+
+class _UnionFind:
+    """Minimal union-find over hashable keys."""
+
+    def __init__(self):
+        self._parent = {}
+
+    def find(self, key):
+        parent = self._parent.setdefault(key, key)
+        if parent != key:
+            self._parent[key] = parent = self.find(parent)
+        return parent
+
+    def union(self, a, b):
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def groups(self):
+        clusters = {}
+        for key in self._parent:
+            clusters.setdefault(self.find(key), set()).add(key)
+        return list(clusters.values())
+
+
+def _port_state(network, device, iface_name):
+    """The interface config if the port is usable, else ``None``."""
+    config = network.config(device)
+    iface = config.interfaces.get(iface_name)
+    if iface is None or iface.shutdown:
+        return None
+    return iface
+
+
+def compute_segments(network):
+    """All L2 broadcast domains of ``network``.
+
+    Returns :class:`SegmentTable` mapping L3 endpoints to segments.
+    """
+    uf = _UnionFind()
+    switches = set(network.switches())
+
+    def l3_key(device, iface_name):
+        return ("l3", device, iface_name)
+
+    def vlan_key(switch, vlan_id):
+        return ("vlan", switch, vlan_id)
+
+    # Register every live L3 endpoint so singleton segments exist too.
+    for device in network.topology.devices():
+        if device.kind == DeviceKind.SWITCH:
+            continue
+        for iface_name in device.interfaces:
+            iface = _port_state(network, device.name, iface_name)
+            if iface is not None and iface.is_routed:
+                uf.find(l3_key(device.name, iface_name))
+
+    for link in network.topology.links():
+        side_a, side_b = link.endpoints()
+        cfg_a = _port_state(network, side_a.device, side_a.name)
+        cfg_b = _port_state(network, side_b.device, side_b.name)
+        if cfg_a is None or cfg_b is None:
+            continue  # either end down: no frames cross this cable
+
+        a_is_switch = side_a.device in switches
+        b_is_switch = side_b.device in switches
+
+        if not a_is_switch and not b_is_switch:
+            if cfg_a.is_routed and cfg_b.is_routed:
+                uf.union(
+                    l3_key(side_a.device, side_a.name),
+                    l3_key(side_b.device, side_b.name),
+                )
+        elif a_is_switch != b_is_switch:
+            switch_side, other_side = (
+                (side_a, side_b) if a_is_switch else (side_b, side_a)
+            )
+            switch_cfg = cfg_a if a_is_switch else cfg_b
+            other_cfg = cfg_b if a_is_switch else cfg_a
+            if not other_cfg.is_routed:
+                continue
+            if switch_cfg.switchport_mode == "access":
+                uf.union(
+                    l3_key(other_side.device, other_side.name),
+                    vlan_key(switch_side.device, switch_cfg.access_vlan),
+                )
+            # A routed endpoint on a trunk would need tagging support on the
+            # endpoint; the scenario networks attach endpoints to access
+            # ports only, so a trunk to a non-switch carries no frames here.
+        else:
+            _splice_switch_link(uf, vlan_key, side_a, cfg_a, side_b, cfg_b)
+
+    segments = []
+    table = {}
+    for group in uf.groups():
+        endpoints = frozenset(
+            (device, iface) for kind, device, iface in group if kind == "l3"
+        )
+        if not endpoints:
+            continue
+        switch_names = frozenset(
+            device for kind, device, _vlan in group if kind == "vlan"
+        )
+        segment = Segment(
+            segment_id=len(segments),
+            endpoints=endpoints,
+            switches=switch_names,
+        )
+        segments.append(segment)
+        for endpoint in endpoints:
+            table[endpoint] = segment
+    return SegmentTable(segments, table)
+
+
+def _splice_switch_link(uf, vlan_key, side_a, cfg_a, side_b, cfg_b):
+    """Join per-switch VLAN contexts across a switch-to-switch cable."""
+    mode_a, mode_b = cfg_a.switchport_mode, cfg_b.switchport_mode
+    if mode_a == "access" and mode_b == "access":
+        uf.union(
+            vlan_key(side_a.device, cfg_a.access_vlan),
+            vlan_key(side_b.device, cfg_b.access_vlan),
+        )
+    elif mode_a == "trunk" and mode_b == "trunk":
+        vlans_a = cfg_a.trunk_vlans
+        vlans_b = cfg_b.trunk_vlans
+        if vlans_a is None and vlans_b is None:
+            return  # unconstrained trunks: nothing to enumerate against
+        carried = set(vlans_a or vlans_b) & set(vlans_b or vlans_a)
+        for vlan_id in carried:
+            uf.union(
+                vlan_key(side_a.device, vlan_id),
+                vlan_key(side_b.device, vlan_id),
+            )
+    elif {mode_a, mode_b} == {"access", "trunk"}:
+        # Untagged frames from the access side ride the trunk's native
+        # VLAN 1; splice only in that textbook case.
+        access_side, access_cfg, trunk_side, trunk_cfg = (
+            (side_a, cfg_a, side_b, cfg_b)
+            if mode_a == "access"
+            else (side_b, cfg_b, side_a, cfg_a)
+        )
+        if access_cfg.access_vlan == 1 and trunk_cfg.carries_vlan(1):
+            uf.union(
+                vlan_key(access_side.device, 1),
+                vlan_key(trunk_side.device, 1),
+            )
+
+
+class SegmentTable:
+    """Lookup structure over computed segments."""
+
+    def __init__(self, segments, by_endpoint):
+        self.segments = segments
+        self._by_endpoint = by_endpoint
+
+    def segment_of(self, device, iface_name):
+        """The segment containing this endpoint, or ``None`` if isolated/down."""
+        return self._by_endpoint.get((device, iface_name))
+
+    def adjacent_endpoints(self, device, iface_name):
+        """Other endpoints reachable at L2 from this one."""
+        segment = self.segment_of(device, iface_name)
+        if segment is None:
+            return []
+        return sorted(ep for ep in segment.endpoints if ep != (device, iface_name))
+
+    def same_segment(self, endpoint_a, endpoint_b):
+        """Whether two (device, iface) endpoints share a broadcast domain."""
+        seg_a = self._by_endpoint.get(tuple(endpoint_a))
+        return seg_a is not None and tuple(endpoint_b) in seg_a.endpoints
+
+    def __len__(self):
+        return len(self.segments)
+
+    def __iter__(self):
+        return iter(self.segments)

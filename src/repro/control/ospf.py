@@ -1,0 +1,191 @@
+"""OSPF route computation: adjacency discovery + Dijkstra SPF.
+
+A faithful-enough OSPF for the scenario networks: adjacencies form between
+routers whose OSPF-activated, non-passive interfaces share an L2 segment,
+an IP subnet, and an area; costs come from ``ip ospf cost`` (default 1);
+every activated interface's prefix is advertised (passive interfaces
+advertise but do not peer — the classic LAN-facing configuration); and
+``default-information originate`` injects 0.0.0.0/0. All areas share one SPF
+graph (the scenario networks are single-area; inter-area distance-vector
+summarisation is out of scope and documented as such).
+"""
+
+import heapq
+import ipaddress
+from dataclasses import dataclass, field
+
+from repro.control.routes import Route
+
+DEFAULT_PREFIX = ipaddress.IPv4Network("0.0.0.0/0")
+
+
+@dataclass(frozen=True)
+class OspfNeighbor:
+    """A formed adjacency between two router interfaces."""
+
+    local_device: str
+    local_interface: str
+    remote_device: str
+    remote_interface: str
+    area: int
+
+
+@dataclass
+class OspfRouteComputation:
+    """Result of an OSPF run: adjacencies and per-router routes."""
+
+    neighbors: list = field(default_factory=list)
+    routes_by_device: dict = field(default_factory=dict)
+
+    def neighbors_of(self, device):
+        """Adjacencies where ``device`` is the local side."""
+        return [n for n in self.neighbors if n.local_device == device]
+
+
+def _ospf_interfaces(config):
+    """(iface, area) pairs for every OSPF-activated interface."""
+    if config.ospf is None:
+        return []
+    activated = []
+    for iface in config.interfaces.values():
+        if not config.ospf.activates(iface):
+            continue
+        area = next(
+            net.area
+            for net in config.ospf.networks
+            if net.covers(iface.address)
+        )
+        activated.append((iface, area))
+    return activated
+
+
+def _interface_cost(iface):
+    return iface.ospf_cost if iface.ospf_cost is not None else 1
+
+
+def compute_ospf_routes(network, segments):
+    """Run OSPF over ``network`` given its L2 ``segments``."""
+    routers = network.routers()
+    active = {name: _ospf_interfaces(network.config(name)) for name in routers}
+
+    neighbors, edges = _discover_adjacencies(network, segments, active)
+    advertisements = _collect_advertisements(network, active)
+
+    result = OspfRouteComputation(neighbors=neighbors)
+    for router in routers:
+        if not active[router]:
+            result.routes_by_device[router] = []
+            continue
+        dist, first_hop = _dijkstra(router, routers, edges)
+        result.routes_by_device[router] = _routes_for(
+            network, router, dist, first_hop, advertisements
+        )
+    return result
+
+
+def _discover_adjacencies(network, segments, active):
+    """All adjacencies plus the SPF edge list (u, v, cost, iface_u, iface_v)."""
+    neighbors = []
+    edges = []
+    routers = sorted(active)
+    for i, u in enumerate(routers):
+        for v in routers[i + 1:]:
+            for iface_u, area_u in active[u]:
+                if network.config(u).ospf.is_passive(iface_u.name):
+                    continue
+                for iface_v, area_v in active[v]:
+                    if network.config(v).ospf.is_passive(iface_v.name):
+                        continue
+                    if area_u != area_v:
+                        continue
+                    if iface_u.address.network != iface_v.address.network:
+                        continue
+                    if not segments.same_segment(
+                        (u, iface_u.name), (v, iface_v.name)
+                    ):
+                        continue
+                    neighbors.append(
+                        OspfNeighbor(u, iface_u.name, v, iface_v.name, area_u)
+                    )
+                    neighbors.append(
+                        OspfNeighbor(v, iface_v.name, u, iface_u.name, area_u)
+                    )
+                    edges.append((u, v, _interface_cost(iface_u), iface_u, iface_v))
+                    edges.append((v, u, _interface_cost(iface_v), iface_v, iface_u))
+    return neighbors, edges
+
+
+def _collect_advertisements(network, active):
+    """(prefix, advertiser, cost_at_advertiser) for every activated interface,
+    plus default-route originations."""
+    advertisements = []
+    for router, ifaces in active.items():
+        for iface, _area in ifaces:
+            advertisements.append(
+                (iface.address.network, router, _interface_cost(iface))
+            )
+        ospf = network.config(router).ospf
+        if ospf is not None and ospf.default_information_originate and ifaces:
+            advertisements.append((DEFAULT_PREFIX, router, 1))
+    return advertisements
+
+
+def _dijkstra(source, routers, edges):
+    """Shortest paths from ``source``; returns (dist, first_hop).
+
+    ``first_hop[r]`` is ``(out_interface_cfg, remote_interface_cfg)`` of the
+    first SPF edge toward ``r``.
+    """
+    adjacency = {}
+    for u, v, cost, iface_u, iface_v in edges:
+        adjacency.setdefault(u, []).append((v, cost, iface_u, iface_v))
+
+    dist = {source: 0}
+    first_hop = {}
+    # Heap entries carry the node name for deterministic tie-breaking.
+    heap = [(0, source, None)]
+    visited = set()
+    while heap:
+        d, node, hop = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if hop is not None:
+            first_hop[node] = hop
+        for neighbor, cost, iface_u, iface_v in sorted(
+            adjacency.get(node, []), key=lambda e: (e[1], e[0])
+        ):
+            candidate = d + cost
+            if candidate < dist.get(neighbor, float("inf")):
+                dist[neighbor] = candidate
+                next_hop = hop if hop is not None else (iface_u, iface_v)
+                heapq.heappush(heap, (candidate, neighbor, next_hop))
+    return dist, first_hop
+
+
+def _routes_for(network, router, dist, first_hop, advertisements):
+    """OSPF routes installed on ``router``."""
+    local_prefixes = {
+        iface.address.network
+        for iface in network.config(router).routed_interfaces()
+        if not iface.shutdown
+    }
+    best = {}
+    for prefix, advertiser, advertiser_cost in advertisements:
+        if advertiser == router or prefix in local_prefixes:
+            continue
+        if advertiser not in dist or advertiser not in first_hop:
+            continue
+        metric = dist[advertiser] + advertiser_cost
+        out_iface, remote_iface = first_hop[advertiser]
+        route = Route(
+            prefix=prefix,
+            protocol="ospf",
+            out_interface=out_iface.name,
+            next_hop=remote_iface.address.ip,
+            metric=metric,
+        )
+        current = best.get(prefix)
+        if current is None or route.sort_key() < current.sort_key():
+            best[prefix] = route
+    return list(best.values())

@@ -1,0 +1,58 @@
+"""Route representation and best-route selection.
+
+Follows IOS semantics: routes to the same prefix compete on administrative
+distance first, then metric; the FIB holds one winner per prefix (ties broken
+deterministically on next-hop so runs are reproducible).
+"""
+
+from dataclasses import dataclass
+
+ADMIN_DISTANCE = {
+    "connected": 0,
+    "static": 1,
+    "bgp": 20,  # eBGP
+    "ospf": 110,
+}
+
+
+@dataclass(frozen=True)
+class Route:
+    """One candidate or installed route on a device.
+
+    ``next_hop`` is ``None`` for connected routes (the destination is on-link)
+    and for host default routes pointing at the gateway interface.
+    """
+
+    prefix: object  # IPv4Network
+    protocol: str
+    out_interface: str
+    next_hop: object = None  # IPv4Address | None
+    metric: int = 0
+    distance: int = None
+
+    def __post_init__(self):
+        if self.protocol not in ADMIN_DISTANCE:
+            raise ValueError(f"unknown routing protocol {self.protocol!r}")
+        if self.distance is None:
+            object.__setattr__(self, "distance", ADMIN_DISTANCE[self.protocol])
+
+    def sort_key(self):
+        """Preference order: lower is better."""
+        return (self.distance, self.metric, str(self.next_hop or ""))
+
+    def __str__(self):
+        via = f" via {self.next_hop}" if self.next_hop is not None else ""
+        return (
+            f"{self.protocol[0].upper()} {self.prefix}{via},"
+            f" {self.out_interface} [{self.distance}/{self.metric}]"
+        )
+
+
+def select_best_routes(candidates):
+    """One winning route per prefix, by (distance, metric, next-hop) order."""
+    by_prefix = {}
+    for route in candidates:
+        current = by_prefix.get(route.prefix)
+        if current is None or route.sort_key() < current.sort_key():
+            by_prefix[route.prefix] = route
+    return list(by_prefix.values())

@@ -1,0 +1,18 @@
+"""Heimdall: least privilege for managed network services (paper §3–§4).
+
+The three components of the architecture:
+
+* :mod:`repro.core.privilege` — the Privilege_msp DSL with its JSON
+  front-end, the task-driven generator, and the policy translator;
+* :mod:`repro.core.twin` — the task-scoped twin network: presentation
+  layer, emulation layer, and the reference monitor between them;
+* :mod:`repro.core.enforcer` — the policy enforcer: change verifier,
+  ordered scheduler, tamper-evident audit trail, simulated SGX enclave.
+
+:mod:`repro.core.heimdall` ties them into the three-step workflow of
+Figure 4.
+"""
+
+from repro.core.heimdall import Heimdall, TicketOutcome
+
+__all__ = ["Heimdall", "TicketOutcome"]

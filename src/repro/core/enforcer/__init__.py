@@ -1,0 +1,23 @@
+"""The policy enforcer (paper §4.3): verifier + scheduler + audit, in an enclave."""
+
+from repro.core.enforcer.audit import AuditRecord, AuditTrail
+from repro.core.enforcer.enclave import (
+    AttestationReport,
+    SimulatedEnclave,
+    verify_attestation,
+)
+from repro.core.enforcer.scheduler import CATEGORY_ORDER, ChangeScheduler, PushReport
+from repro.core.enforcer.verifier import ChangeVerifier, EnforcementDecision
+
+__all__ = [
+    "AttestationReport",
+    "AuditRecord",
+    "AuditTrail",
+    "CATEGORY_ORDER",
+    "ChangeScheduler",
+    "ChangeVerifier",
+    "EnforcementDecision",
+    "PushReport",
+    "SimulatedEnclave",
+    "verify_attestation",
+]

@@ -1,0 +1,167 @@
+"""Tamper-evident audit trails (paper challenge 3).
+
+Every mediated action — allowed or denied — becomes an :class:`AuditRecord`
+in an HMAC chain keyed by an enclave-sealed key: record *i*'s MAC covers its
+canonical content plus record *i−1*'s MAC, so any later modification,
+deletion, or reordering breaks verification from that point on. The customer
+verifies the chain with the key re-derived from the attested enclave
+measurement — a tampered enforcer build derives a different key and cannot
+forge history.
+"""
+
+import hmac as hmac_module
+import hashlib
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One mediated action."""
+
+    index: int
+    timestamp: float
+    actor: str
+    device: str
+    command: str
+    action: str
+    resource: str
+    allowed: bool
+    outcome: str
+    prev_mac: str
+    mac: str = ""
+
+    def canonical(self):
+        """The byte string the MAC covers (everything except the MAC)."""
+        parts = (
+            self.index, self.timestamp, self.actor, self.device, self.command,
+            self.action, self.resource, self.allowed, self.outcome,
+            self.prev_mac,
+        )
+        return "|".join(repr(part) for part in parts).encode()
+
+    def to_dict(self):
+        return {
+            "index": self.index,
+            "timestamp": self.timestamp,
+            "actor": self.actor,
+            "device": self.device,
+            "command": self.command,
+            "action": self.action,
+            "resource": self.resource,
+            "allowed": self.allowed,
+            "outcome": self.outcome,
+            "mac": self.mac,
+        }
+
+
+_GENESIS_MAC = "0" * 64
+
+
+@dataclass
+class AuditTrail:
+    """An append-only, HMAC-chained action log."""
+
+    enclave: object
+    clock: object = None  # SimulatedClock | None
+    records: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self._key = self.enclave.seal_key("audit-trail")
+
+    # -- writing ------------------------------------------------------------
+
+    def record(self, actor, device, command, action, resource, allowed,
+               outcome=""):
+        """Append one record; returns it."""
+        prev_mac = self.records[-1].mac if self.records else _GENESIS_MAC
+        entry = AuditRecord(
+            index=len(self.records),
+            timestamp=self.clock.now if self.clock is not None else 0.0,
+            actor=actor,
+            device=device,
+            command=command,
+            action=action,
+            resource=resource,
+            allowed=allowed,
+            outcome=outcome,
+            prev_mac=prev_mac,
+        )
+        entry = replace(entry, mac=self._mac(entry))
+        self.records.append(entry)
+        return entry
+
+    def _mac(self, entry):
+        return hmac_module.new(
+            self._key, entry.canonical(), hashlib.sha256
+        ).hexdigest()
+
+    # -- verification ---------------------------------------------------------
+
+    def verify(self, key=None):
+        """Whether the chain is intact (optionally under an external key)."""
+        key = key if key is not None else self._key
+        prev_mac = _GENESIS_MAC
+        for index, entry in enumerate(self.records):
+            if entry.index != index or entry.prev_mac != prev_mac:
+                return False
+            expected = hmac_module.new(
+                key, entry.canonical(), hashlib.sha256
+            ).hexdigest()
+            if not hmac_module.compare_digest(entry.mac, expected):
+                return False
+            prev_mac = entry.mac
+        return True
+
+    # -- anchoring ----------------------------------------------------------------
+
+    def anchor(self):
+        """A compact commitment ``(length, head_mac)`` to the current history.
+
+        The customer stores anchors externally (a ticket note, a separate
+        log host): :meth:`verify_anchor` then also detects **tail
+        truncation**, which the chain alone cannot (removing the newest
+        records leaves a valid shorter chain).
+        """
+        head = self.records[-1].mac if self.records else _GENESIS_MAC
+        return (len(self.records), head)
+
+    def verify_anchor(self, anchor):
+        """Whether history still extends the anchored prefix intact."""
+        length, head = anchor
+        if length > len(self.records):
+            return False  # shorter than the anchored history: truncated
+        if length == 0:
+            return self.verify()
+        if self.records[length - 1].mac != head:
+            return False  # the anchored prefix was rewritten
+        return self.verify()
+
+    # -- forensics ----------------------------------------------------------------
+
+    def query(self, device=None, actor=None, allowed=None, action_prefix=None):
+        """Filter records for review (the paper's retroactive analysis)."""
+        found = []
+        for entry in self.records:
+            if device is not None and entry.device != device:
+                continue
+            if actor is not None and entry.actor != actor:
+                continue
+            if allowed is not None and entry.allowed != allowed:
+                continue
+            if action_prefix is not None and not entry.action.startswith(
+                action_prefix
+            ):
+                continue
+            found.append(entry)
+        return found
+
+    def denied(self):
+        """All denied actions — the first thing a forensic review reads."""
+        return self.query(allowed=False)
+
+    def export(self):
+        """Plain-dict export for external review tooling."""
+        return [entry.to_dict() for entry in self.records]
+
+    def __len__(self):
+        return len(self.records)

@@ -1,0 +1,298 @@
+"""The Heimdall orchestrator: the three-step workflow of paper Figure 4.
+
+1. A Privilege_msp is generated for the ticket (task-driven, policy-guarded);
+2. the technician resolves the ticket on an isolated twin network;
+3. the policy enforcer verifies the twin's changes and imports the approved
+   ones into the production network in a safe order.
+
+All durations are charged to a :class:`~repro.util.clock.SimulatedClock`
+through a :class:`~repro.util.clock.CostModel`, which is what the Figure 7
+pilot study measures.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.control.builder import build_dataplane
+from repro.core.enforcer.audit import AuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.enforcer.scheduler import ChangeScheduler
+from repro.core.enforcer.verifier import ChangeVerifier
+from repro.core.privilege.generator import (
+    TASK_PROFILES,
+    escalate,
+    generate_privilege_spec,
+    profile_for_issue,
+)
+from repro.core.privilege.translator import policy_guard_rules
+from repro.core.twin.monitor import MonitoredConsole, ReferenceMonitor
+from repro.core.twin.scoping import SCOPING_STRATEGIES
+from repro.core.twin.twin import TwinNetwork
+from repro.policy.mining import mine_policies
+from repro.util.clock import CostModel, SimulatedClock
+from repro.util.errors import PrivilegeError
+from repro.util.ids import IdAllocator
+
+# Profiles a ticket class may escalate into (paper §7: escalations move from
+# more to less restrictive as diagnosis progresses). Anything else is an
+# invalid escalation and is refused + audited.
+ESCALATION_LADDER = {
+    "monitoring": ("interface",),
+    "interface": ("routing",),
+    "routing": ("acl",),
+    "vlan": ("interface",),
+    "connectivity": ("acl",),
+    "acl": (),
+}
+
+
+@dataclass
+class TicketOutcome:
+    """Everything the experiments need to know about one resolved ticket."""
+
+    issue_id: str
+    approved: bool
+    resolved: bool
+    changes: list
+    decision: object
+    denied_commands: int
+    command_count: int
+    duration_s: float
+    breakdown: dict = field(default_factory=dict)
+
+
+class Heimdall:
+    """One Heimdall deployment guarding one production network."""
+
+    def __init__(self, production, policies=None, scoping_strategy="heimdall",
+                 clock=None, cost_model=None):
+        self.production = production
+        self.policies = (
+            list(policies) if policies is not None else mine_policies(production)
+        )
+        self.scoping_strategy = scoping_strategy
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.enclave = SimulatedEnclave()
+        self.audit = AuditTrail(self.enclave, clock=self.clock)
+        self.scheduler = ChangeScheduler()
+        self._ids = IdAllocator()
+
+    # -- workflow step 1+2: privilege and twin -------------------------------
+
+    def open_ticket(self, issue, profile=None, strategy=None,
+                    exempt_devices=()):
+        """Generate the Privilege_msp and boot the twin for ``issue``.
+
+        ``exempt_devices`` releases named devices from the policy-derived
+        guard rules — the admin's lever when a ticket must touch a policy
+        enforcement point (e.g. the broken thing *is* an ACL). Exemptions
+        are a conscious, per-ticket decision, never automatic.
+        """
+        strategy = strategy or self.scoping_strategy
+        profile = profile or profile_for_issue(issue)
+
+        dataplane = build_dataplane(self.production)
+        scope = SCOPING_STRATEGIES[strategy](self.production, issue, dataplane)
+        guards = policy_guard_rules(
+            self.policies, dataplane, exempt_devices=exempt_devices
+        )
+        spec = generate_privilege_spec(scope, profile, extra_rules=guards)
+        self.clock.advance(
+            self.cost_model.privilege_generation_s, step="generate privilege"
+        )
+
+        twin = TwinNetwork(
+            self.production, issue, spec,
+            audit=self.audit, strategy=strategy, dataplane=dataplane,
+        )
+        self.clock.advance(
+            self.cost_model.twin_boot_s(twin.node_count()), step="twin setup"
+        )
+        session_id = self._ids.allocate("SESSION")
+        return TicketSession(self, issue, twin, spec, profile, session_id)
+
+    # -- workflow step 3: verify + import ----------------------------------------
+
+    def enforce(self, session):
+        """Verify the twin's change set and import approved changes."""
+        changes = session.twin.changes()
+        verifier = ChangeVerifier(self.policies, session.privilege_spec)
+        decision = verifier.verify(self.production, changes)
+        self.clock.advance(
+            self.cost_model.verify_s(verifier.constraint_count),
+            step="verify changes",
+        )
+        self.audit.record(
+            actor=session.session_id,
+            device="-",
+            command=f"submit {len(changes)} changes",
+            action="enforcer.verify",
+            resource="production",
+            allowed=decision.approved,
+            outcome=decision.summary(),
+        )
+        if decision.approved and changes:
+            batches = self.scheduler.schedule(changes)
+            self.scheduler.push(self.production, changes, batches=batches)
+            self.clock.advance(
+                len(changes) * (
+                    self.cost_model.schedule_per_change_s
+                    + self.cost_model.commit_per_change_s
+                ),
+                step="schedule + commit",
+            )
+            for change in changes:
+                self.audit.record(
+                    actor=session.session_id,
+                    device=change.device,
+                    command=change.summary(),
+                    action=change.action,
+                    resource=change.device,
+                    allowed=True,
+                    outcome="committed",
+                )
+        return decision
+
+    # -- extension: emergency mode (paper §7) --------------------------------------
+
+    def emergency_console(self, device, privilege_spec):
+        """A monitored console directly on production, bypassing the twin.
+
+        Still mediated: emergency mode relaxes *where* commands run, never
+        *whether* they are authorised or audited.
+        """
+        from repro.emulation.network import EmulatedNetwork
+
+        attached = EmulatedNetwork.attached(self.production)
+        monitor = ReferenceMonitor(
+            privilege_spec, audit=self.audit, actor="emergency"
+        )
+        return MonitoredConsole(monitor, attached.console(device))
+
+
+class TicketSession:
+    """A technician's working session on one twin."""
+
+    def __init__(self, heimdall, issue, twin, privilege_spec, profile,
+                 session_id):
+        self._heimdall = heimdall
+        self.issue = issue
+        self.twin = twin
+        self.privilege_spec = privilege_spec
+        self.profile = profile
+        self.session_id = session_id
+        self.command_count = 0
+        self.escalations = []
+        self._consoles = {}
+
+    # -- technician actions -----------------------------------------------------
+
+    def console(self, device):
+        """A monitored console inside the twin (persistent per session,
+        so configuration mode survives across :meth:`execute` calls)."""
+        if device not in self._consoles:
+            self._consoles[device] = self.twin.console(device)
+        return self._consoles[device]
+
+    def execute(self, device, command):
+        """Run one command on ``device``, charging its simulated cost."""
+        result = self.console(device).execute(command)
+        self.command_count += 1
+        self._charge(command)
+        return result
+
+    def run_fix_script(self, fix_script):
+        """Replay a prepared fix script; returns all command results."""
+        results = []
+        for step in fix_script:
+            console = self.console(step.device)
+            for command in step.commands:
+                results.append(console.execute(command))
+                self.command_count += 1
+                self._charge(command)
+        return results
+
+    def _charge(self, command):
+        cost_model = self._heimdall.cost_model
+        if command.startswith(("write", "copy")):
+            self._heimdall.clock.advance(
+                cost_model.save_config_s, step="save changes"
+            )
+            return
+        if self._is_config_command(command):
+            seconds = cost_model.command_config_s
+        else:
+            seconds = cost_model.command_s
+        self._heimdall.clock.advance(seconds, step="perform operations")
+
+    @staticmethod
+    def _is_config_command(command):
+        head = command.split()[0] if command.split() else ""
+        return head not in ("show", "ping", "traceroute")
+
+    # -- extension: privilege escalation (paper §7) ----------------------------------
+
+    def request_escalation(self, requested_profile, justification=""):
+        """Ask for an additional task profile mid-ticket.
+
+        Valid requests follow the escalation ladder for the session's
+        profile; anything else (unknown profile, skipping rungs) is refused.
+        Both outcomes are audited — distinguishing valid escalations from
+        subversive ones is exactly the open question the paper flags, so the
+        conservative ladder errs toward refusal.
+        """
+        valid = (
+            requested_profile in TASK_PROFILES
+            and requested_profile in ESCALATION_LADDER.get(self.profile, ())
+        )
+        self._heimdall.audit.record(
+            actor=self.session_id,
+            device="-",
+            command=f"escalate {self.profile} -> {requested_profile}: "
+                    f"{justification or 'no justification'}",
+            action="privilege.escalation",
+            resource="privilege_msp",
+            allowed=valid,
+            outcome="granted" if valid else "refused",
+        )
+        if not valid:
+            raise PrivilegeError(
+                f"escalation from {self.profile!r} to {requested_profile!r} "
+                "refused"
+            )
+        escalate(self.privilege_spec, self.twin.scope, requested_profile)
+        self.escalations.append(requested_profile)
+        self.profile = requested_profile
+        return True
+
+    # -- completion ------------------------------------------------------------------
+
+    def submit(self):
+        """Close the session: verify, import, and report the outcome."""
+        start = self._heimdall.clock.now
+        decision = self._heimdall.enforce(self)
+        resolved = self.issue.is_resolved(self._heimdall.production)
+        return TicketOutcome(
+            issue_id=self.issue.issue_id,
+            approved=decision.approved,
+            resolved=resolved,
+            changes=decision.changes,
+            decision=decision,
+            denied_commands=self.twin.monitor.stats.denied,
+            command_count=self.command_count,
+            duration_s=self._heimdall.clock.now,
+            breakdown=dict(self._heimdall.clock.breakdown()),
+        )
+
+    def abandon(self, reason=""):
+        """Close without importing anything (changes are discarded)."""
+        self._heimdall.audit.record(
+            actor=self.session_id,
+            device="-",
+            command=f"abandon: {reason}",
+            action="enforcer.abandon",
+            resource="production",
+            allowed=True,
+            outcome="no changes imported",
+        )
+        return None

@@ -1,0 +1,25 @@
+"""The Privilege_msp specification DSL (paper §4.1)."""
+
+from repro.core.privilege.ast import (
+    ActionPattern,
+    Decision,
+    PrivilegeRule,
+    PrivilegeSpec,
+    ResourcePattern,
+)
+from repro.core.privilege.generator import TASK_PROFILES, generate_privilege_spec
+from repro.core.privilege.parser import dump_privilege_spec, load_privilege_spec
+from repro.core.privilege.translator import policy_guard_rules
+
+__all__ = [
+    "ActionPattern",
+    "Decision",
+    "PrivilegeRule",
+    "PrivilegeSpec",
+    "ResourcePattern",
+    "TASK_PROFILES",
+    "dump_privilege_spec",
+    "generate_privilege_spec",
+    "load_privilege_spec",
+    "policy_guard_rules",
+]

@@ -1,0 +1,190 @@
+"""Core of the Privilege_msp DSL: patterns, rules, and evaluation.
+
+A :class:`PrivilegeSpec` is the paper's ``Privilege_msp``: "a set of
+predicates that each correspond to a specific technician action and evaluate
+to true [allowed] or false [prohibited]". Rules match an **action** (the
+dotted names the console and the config differ emit — ``view.route``,
+``config.acl.entry``, ...) and a **resource** (``device``,
+``device:interface``, ``device:acl:NAME``).
+
+Evaluation is first-match with an explicit default (deny unless stated
+otherwise) — the same order-sensitive semantics as the ACLs network
+operators already reason about daily, which keeps the DSL unsurprising.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import PrivilegeError
+
+_ALWAYS_ALLOWED = ("mode.transition",)
+
+
+def _segments_match(pattern_segments, value_segments):
+    """Segment-wise match; a trailing ``*`` absorbs any remainder."""
+    for index, pattern_segment in enumerate(pattern_segments):
+        if pattern_segment == "*":
+            # A wildcard in the last position matches the whole remainder;
+            # mid-pattern it matches exactly one segment.
+            if index == len(pattern_segments) - 1:
+                return True
+            if index >= len(value_segments):
+                return False
+            continue
+        if index >= len(value_segments) or value_segments[index] != pattern_segment:
+            return False
+    return len(pattern_segments) == len(value_segments)
+
+
+@dataclass(frozen=True)
+class ActionPattern:
+    """Matches dotted action names; ``*`` wildcards segments.
+
+    >>> ActionPattern("config.*").matches("config.acl.entry")
+    True
+    >>> ActionPattern("view.route").matches("view.config")
+    False
+    """
+
+    pattern: str
+
+    def matches(self, action):
+        return _segments_match(self.pattern.split("."), action.split("."))
+
+
+@dataclass(frozen=True)
+class ResourcePattern:
+    """Matches colon-separated resources; ``*`` wildcards segments.
+
+    >>> ResourcePattern("r1:*").matches("r1:Gi0/0")
+    True
+    >>> ResourcePattern("r1").matches("r1:Gi0/0")
+    False
+    >>> ResourcePattern("*").matches("anything:at:all")
+    True
+    """
+
+    pattern: str
+
+    def matches(self, resource):
+        return _segments_match(self.pattern.split(":"), resource.split(":"))
+
+
+@dataclass(frozen=True)
+class PrivilegeRule:
+    """One allow/deny predicate of the Privilege_msp."""
+
+    effect: str  # "allow" | "deny"
+    action: ActionPattern
+    resource: ResourcePattern
+    comment: str = ""
+
+    def __post_init__(self):
+        if self.effect not in ("allow", "deny"):
+            raise PrivilegeError(f"unknown rule effect {self.effect!r}")
+
+    def matches(self, action, resource):
+        return self.action.matches(action) and self.resource.matches(resource)
+
+    @classmethod
+    def make(cls, effect, action, resource, comment=""):
+        """Convenience constructor from plain strings."""
+        return cls(
+            effect=effect,
+            action=ActionPattern(action),
+            resource=ResourcePattern(resource),
+            comment=comment,
+        )
+
+    def to_dict(self):
+        data = {
+            "effect": self.effect,
+            "action": self.action.pattern,
+            "resource": self.resource.pattern,
+        }
+        if self.comment:
+            data["comment"] = self.comment
+        return data
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of evaluating one (action, resource) pair."""
+
+    allowed: bool
+    rule: PrivilegeRule = None  # None when the default applied
+    action: str = ""
+    resource: str = ""
+
+    @property
+    def by_default(self):
+        return self.rule is None
+
+    def __str__(self):
+        verdict = "allow" if self.allowed else "deny"
+        source = "default" if self.by_default else f"rule {self.rule.to_dict()}"
+        return f"{verdict} {self.action} on {self.resource} ({source})"
+
+
+@dataclass
+class PrivilegeSpec:
+    """An ordered Privilege_msp: first matching rule wins, else the default.
+
+    Mode transitions (entering/leaving configuration mode) are always
+    allowed — they change no state and denying them would only obscure which
+    concrete action was refused.
+    """
+
+    rules: list = field(default_factory=list)
+    default: str = "deny"
+
+    def __post_init__(self):
+        if self.default not in ("allow", "deny"):
+            raise PrivilegeError(f"unknown default effect {self.default!r}")
+
+    def evaluate(self, action, resource):
+        """First-match evaluation; returns a :class:`Decision`."""
+        if action in _ALWAYS_ALLOWED:
+            return Decision(True, None, action, resource)
+        for rule in self.rules:
+            if rule.matches(action, resource):
+                return Decision(rule.effect == "allow", rule, action, resource)
+        return Decision(self.default == "allow", None, action, resource)
+
+    def allows(self, action, resource):
+        """Shorthand for ``evaluate(...).allowed``."""
+        return self.evaluate(action, resource).allowed
+
+    def require(self, action, resource):
+        """Raise :class:`PrivilegeError` unless allowed."""
+        decision = self.evaluate(action, resource)
+        if not decision.allowed:
+            raise PrivilegeError(
+                f"Privilege_msp denies {action} on {resource}",
+                action=action,
+                resource=resource,
+            )
+        return decision
+
+    def add_rule(self, effect, action, resource, comment=""):
+        """Append a rule (lowest precedence so far)."""
+        self.rules.append(PrivilegeRule.make(effect, action, resource, comment))
+        return self
+
+    def prepend_rule(self, effect, action, resource, comment=""):
+        """Insert a rule at highest precedence."""
+        self.rules.insert(0, PrivilegeRule.make(effect, action, resource, comment))
+        return self
+
+    def __len__(self):
+        return len(self.rules)
+
+    @classmethod
+    def allow_all(cls):
+        """The unrestricted spec — the current-MSP baseline."""
+        return cls(rules=[PrivilegeRule.make("allow", "*", "*", "full access")],
+                   default="allow")
+
+    @classmethod
+    def deny_all(cls):
+        """The empty privilege: everything refused."""
+        return cls(rules=[], default="deny")

@@ -1,0 +1,120 @@
+"""Task-driven Privilege_msp generation (paper challenge 1).
+
+Hand-writing per-device predicates is "tedious and error-prone", so Heimdall
+derives the specification from the ticket: the twin's scoped device set
+supplies the resources, and a **task profile** supplies the action classes a
+ticket of that kind legitimately needs. The result is deliberately minimal:
+read-only everywhere in scope, write access only for the profile's action
+classes, credentials untouchable, everything else denied by default.
+"""
+
+from repro.core.privilege.ast import PrivilegeSpec
+from repro.util.errors import PrivilegeError
+
+# Action classes a technician may need per task kind. Profiles err small:
+# privilege escalation (paper §7) exists for the cases where a profile turns
+# out to be too tight mid-ticket.
+TASK_PROFILES = {
+    "connectivity": (
+        "config.interface.admin",
+        "config.interface.address",
+        "config.ospf.*",
+        "config.bgp.*",
+        "config.static_route",
+        "config.default_gateway",
+    ),
+    "routing": (
+        "config.ospf.*",
+        "config.bgp.*",
+        "config.static_route",
+        "config.default_gateway",
+    ),
+    "acl": (
+        "config.acl.*",
+        "config.interface.acl_binding",
+    ),
+    "vlan": (
+        "config.vlan",
+        "config.interface.switchport",
+        "config.interface.admin",
+    ),
+    "interface": (
+        "config.interface.admin",
+        "config.interface.address",
+        "config.interface.description",
+    ),
+    "monitoring": (),  # read-only
+}
+
+# Which profile each standard issue class needs.
+PROFILE_BY_ISSUE = {
+    "ospf": "routing",
+    "isp": "routing",
+    "vlan": "vlan",
+    "ifdown": "interface",
+}
+
+
+def profile_for_issue(issue):
+    """The task profile for an issue, from its id prefix."""
+    prefix = issue.issue_id.split(":")[0]
+    return PROFILE_BY_ISSUE.get(prefix, "connectivity")
+
+
+def generate_privilege_spec(scope_devices, profile, extra_rules=()):
+    """Build the Privilege_msp for a ticket.
+
+    ``scope_devices`` is the twin's device set; ``profile`` a key of
+    :data:`TASK_PROFILES`; ``extra_rules`` (e.g. from
+    :func:`~repro.core.privilege.translator.policy_guard_rules`) are
+    prepended so they take precedence over the generated grants.
+    """
+    try:
+        write_actions = TASK_PROFILES[profile]
+    except KeyError:
+        raise PrivilegeError(f"unknown task profile {profile!r}") from None
+
+    spec = PrivilegeSpec(default="deny")
+
+    # Guard rules first: policy-derived denials outrank task grants.
+    spec.rules.extend(extra_rules)
+
+    # Credentials are never a troubleshooting resource.
+    spec.add_rule("deny", "config.credential", "*",
+                  comment="credentials are never in scope")
+    spec.add_rule("deny", "config.hostname", "*",
+                  comment="device identity is never in scope")
+
+    for device in sorted(scope_devices):
+        spec.add_rule("allow", "view.*", f"{device}",
+                      comment=f"read-only on {device}")
+        spec.add_rule("allow", "probe.*", f"{device}")
+        spec.add_rule("allow", "system.save", f"{device}")
+        for action in write_actions:
+            spec.add_rule("allow", action, f"{device}",
+                          comment=f"{profile} task")
+            spec.add_rule("allow", action, f"{device}:*")
+    return spec
+
+
+def escalate(spec, scope_devices, additional_profile):
+    """Widen an existing spec with another profile's write actions (paper §7).
+
+    Returns the number of rules added; the original deny guards keep their
+    precedence, so escalation can never reach credentials or guarded
+    policies.
+    """
+    try:
+        write_actions = TASK_PROFILES[additional_profile]
+    except KeyError:
+        raise PrivilegeError(
+            f"unknown task profile {additional_profile!r}"
+        ) from None
+    added = 0
+    for device in sorted(scope_devices):
+        for action in write_actions:
+            spec.add_rule("allow", action, f"{device}",
+                          comment=f"escalation: {additional_profile}")
+            spec.add_rule("allow", action, f"{device}:*")
+            added += 2
+    return added

@@ -1,0 +1,74 @@
+"""JSON front-end for the Privilege_msp DSL (paper §4.1).
+
+The paper builds its front-end on Batfish's JSON specification style so that
+admins "can specify both privileges and network policies using the same
+interface". A specification document looks like::
+
+    {
+      "version": 1,
+      "default": "deny",
+      "rules": [
+        {"effect": "allow", "action": "view.*", "resource": "r3",
+         "comment": "read-only on the affected router"},
+        {"effect": "allow", "action": "config.acl.entry", "resource": "r3:acl:*"}
+      ],
+      "policies": [ ...optional network policies, same document... ]
+    }
+"""
+
+import json
+
+from repro.core.privilege.ast import PrivilegeRule, PrivilegeSpec
+from repro.policy.model import policy_from_dict
+from repro.util.errors import PrivilegeError
+
+SUPPORTED_VERSION = 1
+
+
+def load_privilege_spec(document):
+    """Parse a JSON text or dict into (PrivilegeSpec, [Policy]).
+
+    Policies are optional; an empty list is returned when absent.
+    """
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise PrivilegeError(f"invalid JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise PrivilegeError("specification must be a JSON object")
+
+    version = document.get("version", SUPPORTED_VERSION)
+    if version != SUPPORTED_VERSION:
+        raise PrivilegeError(f"unsupported specification version {version!r}")
+
+    spec = PrivilegeSpec(default=document.get("default", "deny"))
+    for index, raw in enumerate(document.get("rules", [])):
+        try:
+            spec.rules.append(
+                PrivilegeRule.make(
+                    effect=raw["effect"],
+                    action=raw["action"],
+                    resource=raw["resource"],
+                    comment=raw.get("comment", ""),
+                )
+            )
+        except KeyError as exc:
+            raise PrivilegeError(
+                f"rule {index} is missing field {exc.args[0]!r}"
+            ) from None
+
+    policies = [policy_from_dict(p) for p in document.get("policies", [])]
+    return spec, policies
+
+
+def dump_privilege_spec(spec, policies=(), indent=2):
+    """Serialise a spec (and optional policies) back to JSON text."""
+    document = {
+        "version": SUPPORTED_VERSION,
+        "default": spec.default,
+        "rules": [rule.to_dict() for rule in spec.rules],
+    }
+    if policies:
+        document["policies"] = [policy.to_dict() for policy in policies]
+    return json.dumps(document, indent=indent)

@@ -1,0 +1,75 @@
+"""Translate network policies into Privilege_msp guard rules.
+
+The paper extends Batfish "to take privileges for different network
+resources as inputs as well as provide a framework for translating network
+policies into our DSL". The translation implemented here protects each
+policy's *enforcement points*:
+
+* an **isolation** policy is enforced by the ACL that drops its flow — so
+  editing that ACL (or the interface bindings on its device) is denied;
+* a **reachability** policy depends on every device its flow traverses — so
+  disruptive interface administration on those devices is denied unless the
+  task profile explicitly re-allows it (guard rules are prepended, so a
+  plain profile grant does NOT override them; the admin must consciously
+  exempt a device).
+
+The resulting rules go in front of the generated grants, giving the
+technician freedom everywhere except where it would silently undo an
+explicit security decision.
+"""
+
+from repro.core.privilege.ast import PrivilegeRule
+from repro.dataplane.forwarding import Disposition
+from repro.dataplane.reachability import ReachabilityAnalyzer
+
+
+def policy_guard_rules(policies, dataplane, exempt_devices=()):
+    """Deny rules protecting ``policies``' enforcement points.
+
+    ``exempt_devices`` (typically the ticket's root-cause device once known,
+    or devices the admin explicitly releases) are skipped so the technician
+    can still fix the thing they were hired to fix.
+    """
+    analyzer = ReachabilityAnalyzer(dataplane)
+    exempt = set(exempt_devices)
+    rules = []
+    seen = set()
+
+    def add(effect, action, resource, comment):
+        key = (effect, action, resource)
+        if key not in seen:
+            seen.add(key)
+            rules.append(PrivilegeRule.make(effect, action, resource, comment))
+
+    network = dataplane.network
+    hosts = set(network.hosts())
+    for policy in policies:
+        trace = analyzer.trace(policy.flow)
+        if policy.kind == "isolation":
+            blocker = trace.last_device
+            if trace.disposition not in (
+                Disposition.DENIED_IN, Disposition.DENIED_OUT
+            ) or blocker in exempt:
+                continue
+            add("deny", "config.acl.*", f"{blocker}",
+                f"guards {policy.policy_id}")
+            add("deny", "config.acl.*", f"{blocker}:*",
+                f"guards {policy.policy_id}")
+            add("deny", "config.interface.acl_binding", f"{blocker}:*",
+                f"guards {policy.policy_id}")
+        elif policy.kind == "reachability" and trace.success:
+            # Guard the specific interfaces the live flow rides — not the
+            # whole device, so restoring an unrelated (already down)
+            # interface stays possible.
+            for hop in trace.hops:
+                if hop.device in hosts or hop.device in exempt:
+                    continue
+                for iface in (hop.in_interface, hop.out_interface):
+                    if iface is not None:
+                        add("deny", "config.interface.admin",
+                            f"{hop.device}:{iface}",
+                            f"transit for {policy.policy_id}")
+                        add("deny", "config.interface.address",
+                            f"{hop.device}:{iface}",
+                            f"transit for {policy.policy_id}")
+    return rules

@@ -1,0 +1,26 @@
+"""The twin network (paper §4.2): task-scoped, sanitised, monitored emulation."""
+
+from repro.core.twin.monitor import MonitoredConsole, ReferenceMonitor
+from repro.core.twin.presentation import PresentationLayer
+from repro.core.twin.sanitize import sanitize_configs
+from repro.core.twin.scoping import (
+    SCOPING_STRATEGIES,
+    scope_all,
+    scope_heimdall,
+    scope_neighbor,
+    scope_path,
+)
+from repro.core.twin.twin import TwinNetwork
+
+__all__ = [
+    "MonitoredConsole",
+    "PresentationLayer",
+    "ReferenceMonitor",
+    "SCOPING_STRATEGIES",
+    "TwinNetwork",
+    "sanitize_configs",
+    "scope_all",
+    "scope_heimdall",
+    "scope_neighbor",
+    "scope_path",
+]

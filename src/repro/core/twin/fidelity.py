@@ -1,0 +1,96 @@
+"""Twin fidelity: does the scoped clone behave like production?
+
+Paper challenge 2: "missing a relevant element could yield a different
+failure scenario". This module quantifies that risk for a built twin — for
+every flow between in-scope hosts, compare the twin's trace against the
+production trace. A flow is *faithful* when its disposition matches (and,
+within the twin's visible devices, its path agrees).
+
+The scoping ablation uses this to show why neighbour-only twins mislead:
+they don't just hide the root cause, they change what the technician
+observes.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.dataplane.forwarding import trace_flow
+from repro.net.flow import Flow
+
+
+@dataclass(frozen=True)
+class FidelityMismatch:
+    """One flow whose twin behaviour diverges from production."""
+
+    flow: Flow
+    production_disposition: str
+    twin_disposition: str
+
+    def __str__(self):
+        return (
+            f"{self.flow}: production={self.production_disposition}, "
+            f"twin={self.twin_disposition}"
+        )
+
+
+@dataclass
+class FidelityReport:
+    """Aggregate fidelity of one twin against one production data plane."""
+
+    compared: int = 0
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def faithful(self):
+        return self.compared - len(self.mismatches)
+
+    @property
+    def fidelity_pct(self):
+        if not self.compared:
+            return 100.0
+        return 100.0 * self.faithful / self.compared
+
+    def summary(self):
+        return (
+            f"{self.faithful}/{self.compared} in-scope flows behave exactly "
+            f"as in production ({self.fidelity_pct:.1f}%)"
+        )
+
+
+def measure_fidelity(twin, production_dataplane):
+    """Compare the twin's data plane against production's, flow by flow.
+
+    Probes every ordered pair of hosts that made it into the twin's scope —
+    the flows a technician could actually test from inside the twin.
+    """
+    production = production_dataplane.network
+    twin_dataplane = twin.emnet.dataplane()
+    in_scope_hosts = [
+        host for host in production.hosts() if host in twin.scope
+    ]
+
+    report = FidelityReport()
+    for src in in_scope_hosts:
+        for dst in in_scope_hosts:
+            if src == dst:
+                continue
+            flow = Flow(
+                src_ip=production.host_address(src),
+                dst_ip=production.host_address(dst),
+                protocol="icmp",
+            )
+            report.compared += 1
+            production_trace = trace_flow(
+                production_dataplane, flow, start_device=src
+            )
+            twin_trace = trace_flow(twin_dataplane, flow, start_device=src)
+            if production_trace.disposition != twin_trace.disposition:
+                report.mismatches.append(
+                    FidelityMismatch(
+                        flow=flow,
+                        production_disposition=(
+                            production_trace.disposition.value
+                        ),
+                        twin_disposition=twin_trace.disposition.value,
+                    )
+                )
+    return report

@@ -1,0 +1,93 @@
+"""The reference monitor between presentation and emulation layers.
+
+Every command a technician types in the presentation layer is classified
+(action, resource) by the target console, authorised against the
+Privilege_msp, recorded in the audit trail, and only then executed in the
+emulation layer (paper Figure 5d).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.emulation.console import CommandResult
+
+
+@dataclass
+class MonitorStats:
+    """Counters the experiments report."""
+
+    commands: int = 0
+    allowed: int = 0
+    denied: int = 0
+
+
+class ReferenceMonitor:
+    """Mediates console access for one technician session."""
+
+    def __init__(self, privilege_spec, audit=None, actor="technician"):
+        self.privilege_spec = privilege_spec
+        self.audit = audit
+        self.actor = actor
+        self.stats = MonitorStats()
+        self.decisions = []
+
+    def execute(self, console, command):
+        """Authorise then execute ``command`` on ``console``.
+
+        Denied commands never reach the emulation layer; the technician sees
+        an IOS-style authorization failure instead.
+        """
+        action, resource = console.classify(command)
+        decision = self.privilege_spec.evaluate(action, resource)
+        self.decisions.append(decision)
+        self.stats.commands += 1
+
+        if decision.allowed:
+            self.stats.allowed += 1
+            result = console.execute(command)
+        else:
+            self.stats.denied += 1
+            result = CommandResult(
+                device=console.device,
+                command=command,
+                ok=False,
+                action=action,
+                resource=resource,
+                error="% Authorization failed: denied by Privilege_msp",
+                mode_after=console.mode,
+            )
+
+        if self.audit is not None:
+            self.audit.record(
+                actor=self.actor,
+                device=console.device,
+                command=command,
+                action=action,
+                resource=resource,
+                allowed=decision.allowed,
+                outcome="ok" if result.ok else (result.error or "failed"),
+            )
+        return result
+
+
+class MonitoredConsole:
+    """A console handle that can only speak through the reference monitor."""
+
+    def __init__(self, monitor, console):
+        self._monitor = monitor
+        self._console = console
+
+    @property
+    def device(self):
+        return self._console.device
+
+    @property
+    def mode(self):
+        return self._console.mode
+
+    def execute(self, command):
+        """Run one command, mediated."""
+        return self._monitor.execute(self._console, command)
+
+    def run_script(self, commands):
+        """Run several commands; returns all results (stops on nothing)."""
+        return [self.execute(command) for command in commands]

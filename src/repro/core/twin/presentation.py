@@ -1,0 +1,62 @@
+"""The presentation layer: what the technician can see of the twin.
+
+The technician gets a topology view of the scoped slice and monitored
+consoles — never raw configs, images, or unmediated console handles (those
+are emulation-layer property). This is the GUI/console half of the paper's
+presentation/emulation decoupling.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.twin.monitor import MonitoredConsole
+from repro.util.errors import EmulationError
+
+
+@dataclass(frozen=True)
+class TopologyView:
+    """The visible slice: devices (name, kind) and links between them."""
+
+    devices: tuple  # ((name, kind_value), ...)
+    links: tuple  # ((device_a, iface_a, device_b, iface_b), ...)
+
+    def device_names(self):
+        return [name for name, _kind in self.devices]
+
+
+class PresentationLayer:
+    """Topology view + monitored console access for one twin."""
+
+    def __init__(self, emnet, monitor):
+        self._emnet = emnet
+        self._monitor = monitor
+
+    def topology_view(self):
+        """The visible topology — only what was cloned into the twin."""
+        topology = self._emnet.network.topology
+        devices = tuple(
+            sorted(
+                (device.name, device.kind.value)
+                for device in topology.devices()
+            )
+        )
+        links = tuple(
+            (link.a.device, link.a.name, link.b.device, link.b.name)
+            for link in topology.links()
+        )
+        return TopologyView(devices=devices, links=links)
+
+    def console(self, device):
+        """A monitored console on an in-scope device.
+
+        Out-of-scope devices simply do not exist in the twin — requesting
+        one is an :class:`EmulationError`, exactly as if it were not cabled.
+        """
+        if device not in self._emnet.nodes:
+            raise EmulationError(
+                f"device {device!r} is not part of this twin network"
+            )
+        return MonitoredConsole(self._monitor, self._emnet.console(device))
+
+    def visible_devices(self):
+        """Names of devices the technician can open consoles on."""
+        return sorted(self._emnet.nodes)

@@ -1,0 +1,38 @@
+"""Sanitise cloned configurations before they enter the twin network.
+
+The paper's challenge 2: cloning "can expose sensitive data (e.g., an IPSec
+key)". The twin's emulation layer therefore receives configs with every
+credential-class item stripped — the behaviourally relevant state (routing,
+ACLs, VLANs, addresses) is untouched, and since the enforcer diffs the
+technician's output against the *sanitised baseline*, stripping never shows
+up as a change to import.
+"""
+
+SANITIZED_FIELDS = ("enable_secret", "vty_password", "snmp_community")
+
+
+def sanitize_config(config):
+    """A credential-free deep copy of one device config."""
+    clean = config.copy()
+    for field_name in SANITIZED_FIELDS:
+        setattr(clean, field_name, None)
+    return clean
+
+
+def sanitize_configs(configs):
+    """Sanitise a dict of hostname -> DeviceConfig."""
+    return {name: sanitize_config(config) for name, config in configs.items()}
+
+
+def leaked_secrets(configs, text):
+    """Secrets from ``configs`` appearing verbatim in ``text``.
+
+    Used by tests and the audit examples to prove the twin leaks nothing.
+    """
+    leaks = []
+    for name, config in configs.items():
+        for field_name in SANITIZED_FIELDS:
+            secret = getattr(config, field_name)
+            if secret and secret in text:
+                leaks.append((name, field_name, secret))
+    return leaks

@@ -1,0 +1,116 @@
+"""Task-driven twin scoping: which production elements does a ticket need?
+
+The paper's Figure 5 frames the trade-off: cloning everything (``all``)
+maximises feasibility but exposes the whole network; cloning only the
+affected nodes' neighbourhood (``neighbor``) hides most of the network but
+often omits the root cause. Heimdall's scope aims for both: every device
+that could plausibly carry or influence traffic between the ticket's
+endpoints, and nothing else.
+
+:func:`scope_heimdall` takes the union of
+
+* the **near-shortest-path ellipse** in the physical topology: devices ``v``
+  with ``d(src, v) + d(v, dst) <= d(src, dst) + slack`` (two BFS runs) — the
+  candidate detour corridor once the fault is fixed;
+* the **traced forwarding paths** of the ticket flow in both directions,
+  including the device where the flow currently dies;
+* the L2 switches stitching the endpoints' broadcast domains (a VLAN fault
+  lives on a switch that may be on no L3 path).
+"""
+
+import networkx as nx
+
+from repro.control.l2 import compute_segments
+from repro.dataplane.forwarding import trace_flow
+from repro.util.errors import TopologyError
+
+
+def scope_all(network, issue, dataplane=None):
+    """Expose every device — the paper's ``All`` baseline (Figure 5b)."""
+    return set(network.topology.device_names())
+
+
+def scope_neighbor(network, issue, dataplane=None):
+    """Affected endpoints plus their direct neighbours (Figure 5c)."""
+    scope = set()
+    for endpoint in issue.affected_devices:
+        if not network.topology.has_device(endpoint):
+            raise TopologyError(f"unknown ticket endpoint {endpoint!r}")
+        scope.add(endpoint)
+        scope.update(network.topology.neighbors(endpoint))
+    return scope
+
+
+def scope_path(network, issue, dataplane=None):
+    """Only the devices the ticket flow currently traverses (both ways)."""
+    dataplane = dataplane or _compile(network)
+    scope = set(issue.affected_devices)
+    scope.update(_traced_devices(network, dataplane, issue))
+    return scope
+
+
+def scope_heimdall(network, issue, dataplane=None, slack=2):
+    """The task-driven Heimdall scope (Figure 5d); see module docstring."""
+    dataplane = dataplane or _compile(network)
+    src, dst = issue.affected_devices
+    graph = network.topology.to_networkx()
+
+    scope = {src, dst}
+    scope.update(_ellipse(graph, src, dst, slack))
+    scope.update(_traced_devices(network, dataplane, issue))
+    scope.update(_l2_infrastructure(network, scope))
+    return scope
+
+
+SCOPING_STRATEGIES = {
+    "all": scope_all,
+    "neighbor": scope_neighbor,
+    "path": scope_path,
+    "heimdall": scope_heimdall,
+}
+
+
+def _compile(network):
+    from repro.control.builder import build_dataplane
+
+    return build_dataplane(network)
+
+
+def _traced_devices(network, dataplane, issue):
+    """Devices on the ticket flow's forward and reverse traces."""
+    devices = set()
+    flow = issue.ticket_flow(network)
+    for probe, start in ((flow, issue.src_host), (flow.reversed(), issue.dst_host)):
+        trace = trace_flow(dataplane, probe, start_device=start)
+        devices.update(trace.path())
+    return devices
+
+
+def _ellipse(graph, src, dst, slack):
+    """Devices on any path of length <= d(src, dst) + slack."""
+    if src not in graph or dst not in graph:
+        return set()
+    dist_from_src = nx.single_source_shortest_path_length(graph, src)
+    dist_from_dst = nx.single_source_shortest_path_length(graph, dst)
+    if dst not in dist_from_src:
+        # Physically partitioned (should not happen: cabling is static); fall
+        # back to both components' near sides.
+        return set()
+    shortest = dist_from_src[dst]
+    return {
+        node
+        for node in graph
+        if node in dist_from_src
+        and node in dist_from_dst
+        and dist_from_src[node] + dist_from_dst[node] <= shortest + slack
+    }
+
+
+def _l2_infrastructure(network, scope):
+    """Switches stitching the broadcast domains of in-scope endpoints."""
+    segments = compute_segments(network)
+    switches = set()
+    for segment in segments:
+        if any(device in scope for device, _iface in segment.endpoints):
+            switches.update(segment.switches)
+    return switches

@@ -1,0 +1,74 @@
+"""The twin network: a scoped, sanitised, monitored emulation of production.
+
+Construction performs the full pipeline of paper §4.2:
+
+1. **scope** — select the task-relevant device slice (strategy pluggable;
+   ``heimdall`` by default);
+2. **sanitise** — strip credentials from the cloned configs;
+3. **emulate** — boot an :class:`~repro.emulation.network.EmulatedNetwork`
+   over the slice (emulation layer);
+4. **mediate** — wire a :class:`ReferenceMonitor` between the presentation
+   layer and the consoles.
+
+The twin also keeps the sanitised baseline snapshot: the enforcer later
+diffs the technician's final configs against it to obtain the change set.
+"""
+
+from repro.config.diffing import diff_networks
+from repro.core.twin.monitor import ReferenceMonitor
+from repro.core.twin.presentation import PresentationLayer
+from repro.core.twin.sanitize import sanitize_configs
+from repro.core.twin.scoping import SCOPING_STRATEGIES
+from repro.net.network import Network
+from repro.util.errors import EmulationError
+
+
+class TwinNetwork:
+    """A running twin for one ticket."""
+
+    def __init__(self, production, issue, privilege_spec, audit=None,
+                 strategy="heimdall", dataplane=None):
+        try:
+            scope_fn = SCOPING_STRATEGIES[strategy]
+        except KeyError:
+            raise EmulationError(f"unknown scoping strategy {strategy!r}") from None
+        self.issue = issue
+        self.strategy = strategy
+        self.scope = frozenset(scope_fn(production, issue, dataplane))
+
+        sliced = production.subset(self.scope)
+        sanitised = Network(sliced.topology, sanitize_configs(sliced.configs))
+        self.emnet = _boot(sanitised)
+        self.baseline = self.emnet.current_configs()
+
+        self.monitor = ReferenceMonitor(privilege_spec, audit=audit)
+        self.presentation = PresentationLayer(self.emnet, self.monitor)
+
+    # -- technician-facing -----------------------------------------------------
+
+    def console(self, device):
+        """A monitored console (the only way in)."""
+        return self.presentation.console(device)
+
+    def topology_view(self):
+        return self.presentation.topology_view()
+
+    # -- enforcer-facing -----------------------------------------------------------
+
+    def changes(self):
+        """Semantic changes the technician made, relative to the baseline."""
+        return diff_networks(self.baseline, self.emnet.current_configs())
+
+    def node_count(self):
+        """Twin size (drives the simulated boot cost)."""
+        return self.emnet.node_count()
+
+    def issue_resolved(self):
+        """Whether the ticket flow is delivered inside the twin."""
+        return self.issue.is_resolved(self.emnet.network)
+
+
+def _boot(network):
+    from repro.emulation.network import EmulatedNetwork
+
+    return EmulatedNetwork(network)

@@ -1,0 +1,22 @@
+"""Data plane: FIBs, packet forwarding simulation, and reachability analysis."""
+
+from repro.dataplane.fib import Fib
+from repro.dataplane.forwarding import Disposition, ForwardingTrace, Hop, trace_flow
+from repro.dataplane.plane import DataPlane
+from repro.dataplane.reachability import (
+    ReachabilityAnalyzer,
+    host_flow,
+    service_flow,
+)
+
+__all__ = [
+    "DataPlane",
+    "Disposition",
+    "Fib",
+    "ForwardingTrace",
+    "Hop",
+    "ReachabilityAnalyzer",
+    "host_flow",
+    "service_flow",
+    "trace_flow",
+]

@@ -1,0 +1,131 @@
+"""Differential reachability: what a configuration change actually alters.
+
+Batfish's ``differentialReachability`` for this substrate: compare two
+data-plane snapshots over a set of probe flows and report every flow whose
+fate changed. The policy enforcer attaches this to its decision so the
+customer sees a change set's *blast radius*, not just a policy verdict —
+including collateral effects on flows no policy happens to cover.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.dataplane.forwarding import trace_flow
+from repro.net.flow import Flow
+
+
+@dataclass(frozen=True)
+class FlowDelta:
+    """One flow whose fate differs between the two snapshots."""
+
+    flow: Flow
+    before_disposition: str
+    after_disposition: str
+    before_path: tuple
+    after_path: tuple
+
+    @property
+    def newly_delivered(self):
+        return (
+            self.after_disposition == "delivered"
+            and self.before_disposition != "delivered"
+        )
+
+    @property
+    def newly_broken(self):
+        return (
+            self.before_disposition == "delivered"
+            and self.after_disposition != "delivered"
+        )
+
+    @property
+    def rerouted(self):
+        """Same fate, different path (still a risk signal for audits)."""
+        return (
+            self.before_disposition == self.after_disposition
+            and self.before_path != self.after_path
+        )
+
+    def __str__(self):
+        return (
+            f"{self.flow}: {self.before_disposition} -> "
+            f"{self.after_disposition}"
+        )
+
+
+@dataclass
+class ReachabilityDiff:
+    """All flow deltas between two snapshots."""
+
+    deltas: list = field(default_factory=list)
+    probed: int = 0
+
+    @property
+    def newly_delivered(self):
+        return [d for d in self.deltas if d.newly_delivered]
+
+    @property
+    def newly_broken(self):
+        return [d for d in self.deltas if d.newly_broken]
+
+    @property
+    def rerouted(self):
+        return [d for d in self.deltas if d.rerouted]
+
+    @property
+    def unchanged(self):
+        return self.probed - len(self.deltas)
+
+    def summary(self):
+        return (
+            f"{self.probed} flows probed: {len(self.newly_delivered)} newly "
+            f"delivered, {len(self.newly_broken)} newly broken, "
+            f"{len(self.rerouted)} rerouted, {self.unchanged} unchanged"
+        )
+
+
+def default_probe_flows(network, protocol="icmp"):
+    """All ordered host-pair representative flows (the standard probe set)."""
+    hosts = network.hosts()
+    flows = []
+    for src in hosts:
+        for dst in hosts:
+            if src == dst:
+                continue
+            flows.append(
+                (src, Flow(
+                    src_ip=network.host_address(src),
+                    dst_ip=network.host_address(dst),
+                    protocol=protocol,
+                ))
+            )
+    return flows
+
+
+def diff_reachability(before, after, probe_flows=None):
+    """Compare two data planes over ``probe_flows``.
+
+    ``probe_flows`` is a list of ``(start_device, Flow)`` pairs; by default,
+    all ordered host pairs of the *after* network. Both snapshots must be
+    over the same device names (hosts may differ in config, not identity).
+    """
+    if probe_flows is None:
+        probe_flows = default_probe_flows(after.network)
+    diff = ReachabilityDiff(probed=len(probe_flows))
+    for start, flow in probe_flows:
+        trace_before = trace_flow(before, flow, start_device=start)
+        trace_after = trace_flow(after, flow, start_device=start)
+        if (
+            trace_before.disposition == trace_after.disposition
+            and trace_before.path() == trace_after.path()
+        ):
+            continue
+        diff.deltas.append(
+            FlowDelta(
+                flow=flow,
+                before_disposition=trace_before.disposition.value,
+                after_disposition=trace_after.disposition.value,
+                before_path=tuple(trace_before.path()),
+                after_path=tuple(trace_after.path()),
+            )
+        )
+    return diff

@@ -1,0 +1,40 @@
+"""Forwarding information base with longest-prefix-match lookup."""
+
+
+class Fib:
+    """An installed route table for one device.
+
+    Routes are pre-sorted by descending prefix length so lookup is a linear
+    scan that returns the first containing prefix — simple, obviously correct,
+    and fast enough for networks of tens of devices. (A compressed trie would
+    be the production choice for Internet-scale tables.)
+    """
+
+    def __init__(self, routes=()):
+        self._routes = sorted(
+            routes, key=lambda r: (-r.prefix.prefixlen, str(r.prefix))
+        )
+
+    def lookup(self, dst_ip):
+        """The longest-prefix-match route for ``dst_ip``, or ``None``."""
+        for route in self._routes:
+            if dst_ip in route.prefix:
+                return route
+        return None
+
+    def routes(self):
+        """All installed routes, most-specific first."""
+        return list(self._routes)
+
+    def route_for_prefix(self, prefix):
+        """The installed route for exactly ``prefix``, or ``None``."""
+        for route in self._routes:
+            if route.prefix == prefix:
+                return route
+        return None
+
+    def __len__(self):
+        return len(self._routes)
+
+    def __iter__(self):
+        return iter(self._routes)

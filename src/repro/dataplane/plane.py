@@ -1,0 +1,46 @@
+"""The compiled data plane: per-device FIBs plus L2 segment structure."""
+
+from repro.util.errors import TopologyError
+
+
+class DataPlane:
+    """Everything needed to forward a packet through the network.
+
+    Produced by :func:`repro.control.builder.build_dataplane`; consumed by
+    :mod:`repro.dataplane.forwarding` and the policy verifier. The data plane
+    is a snapshot — recompute it after configs change.
+    """
+
+    def __init__(self, network, segments, fibs, ospf, bgp=None):
+        self.network = network
+        self.segments = segments
+        self._fibs = fibs
+        self.ospf = ospf
+        self.bgp = bgp
+
+    def fib(self, device):
+        """The FIB of ``device`` (empty for switches)."""
+        try:
+            return self._fibs[device]
+        except KeyError:
+            raise TopologyError(f"no FIB for device {device!r}") from None
+
+    def resolve_next_hop(self, device, out_interface, target_ip):
+        """The (device, interface) owning ``target_ip`` on the egress segment.
+
+        ``target_ip`` is the route's next hop, or the destination itself for
+        connected routes. Returns ``None`` when no live endpoint on the
+        segment owns the address (dead next hop / host down at L2).
+        """
+        segment = self.segments.segment_of(device, out_interface)
+        if segment is None:
+            return None
+        for other_device, other_iface in segment.endpoints:
+            if (other_device, other_iface) == (device, out_interface):
+                continue
+            iface_cfg = self.network.config(other_device).interfaces.get(other_iface)
+            if iface_cfg is None or not iface_cfg.is_routed or iface_cfg.shutdown:
+                continue
+            if iface_cfg.address.ip == target_ip:
+                return (other_device, other_iface)
+        return None

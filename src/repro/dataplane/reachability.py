@@ -1,0 +1,67 @@
+"""Reachability queries over a compiled data plane."""
+
+from repro.dataplane.forwarding import trace_flow
+from repro.net.flow import Flow
+
+
+def host_flow(network, src_host, dst_host, protocol="icmp"):
+    """A representative flow between two hosts' primary addresses."""
+    return Flow(
+        src_ip=network.host_address(src_host),
+        dst_ip=network.host_address(dst_host),
+        protocol=protocol,
+    )
+
+
+def service_flow(network, src_host, dst_host, dst_port, protocol="tcp"):
+    """A flow to a service port on ``dst_host`` (ephemeral source port)."""
+    return Flow(
+        src_ip=network.host_address(src_host),
+        dst_ip=network.host_address(dst_host),
+        protocol=protocol,
+        src_port=40000,
+        dst_port=dst_port,
+    )
+
+
+class ReachabilityAnalyzer:
+    """Pairwise reachability over one data-plane snapshot.
+
+    Traces are cached per (flow, start) — the verifier asks about the same
+    flows repeatedly while checking a policy set.
+    """
+
+    def __init__(self, dataplane):
+        self.dataplane = dataplane
+        self._cache = {}
+
+    def trace(self, flow, start_device=None):
+        """Cached :func:`trace_flow`."""
+        key = (flow, start_device)
+        if key not in self._cache:
+            self._cache[key] = trace_flow(self.dataplane, flow, start_device)
+        return self._cache[key]
+
+    def reachable(self, flow, start_device=None):
+        """Whether the flow is delivered."""
+        return self.trace(flow, start_device).success
+
+    def hosts_reachable(self, src_host, dst_host, protocol="icmp"):
+        """Whether ``src_host`` can reach ``dst_host``'s primary address."""
+        network = self.dataplane.network
+        flow = host_flow(network, src_host, dst_host, protocol)
+        return self.reachable(flow, start_device=src_host)
+
+    def reachability_matrix(self, protocol="icmp"):
+        """(src, dst) -> bool over all ordered host pairs."""
+        hosts = self.dataplane.network.hosts()
+        return {
+            (src, dst): self.hosts_reachable(src, dst, protocol)
+            for src in hosts
+            for dst in hosts
+            if src != dst
+        }
+
+    def forwarding_path(self, flow, start_device=None):
+        """Devices visited by ``flow`` (regardless of final disposition)."""
+        return self.trace(flow, start_device).path()

@@ -1,0 +1,24 @@
+"""Network emulation substrate (the CrystalNet/GNS3 stand-in, paper §4.2).
+
+An :class:`EmulatedNetwork` runs a deep-copied
+:class:`~repro.net.network.Network`: every device gets an
+:class:`EmulatedNode` (configuration + software image — the paper's
+*emulation components*) and an IOS-like interactive :class:`Console` (a
+*presentation component*). Configuration commands mutate the structured
+configs; the data plane is recompiled lazily so ``ping``/``traceroute``
+observe every change.
+"""
+
+from repro.emulation.console import CommandResult, Console
+from repro.emulation.image import ImageInfo, default_image
+from repro.emulation.network import EmulatedNetwork
+from repro.emulation.node import EmulatedNode
+
+__all__ = [
+    "CommandResult",
+    "Console",
+    "EmulatedNetwork",
+    "EmulatedNode",
+    "ImageInfo",
+    "default_image",
+]

@@ -1,0 +1,838 @@
+"""IOS-like interactive console over an emulated node.
+
+Every command is classified with a dotted **action** name and a **resource**
+string (``device`` or ``device:object``) — the vocabulary the privilege
+specification matches on. The console itself enforces nothing: the RMM
+baseline executes results directly, while the twin network's reference
+monitor authorises each command before letting the console run it.
+
+The command catalog (:data:`CONSOLE_COMMANDS`) is declarative so that the
+attack-surface metric (paper §5) can count "available commands on node n"
+from the same source of truth the console dispatches on.
+"""
+
+import ipaddress
+from dataclasses import dataclass
+
+from repro.config.acl import Acl, AclEntry
+from repro.config.model import (
+    BgpConfig,
+    BgpNeighbor,
+    OspfConfig,
+    OspfNetwork,
+    StaticRoute,
+    VlanConfig,
+)
+from repro.config.serializer import serialize_config
+from repro.dataplane.forwarding import trace_flow
+from repro.net.addressing import (
+    interface_address,
+    network_from_netmask,
+    network_from_wildcard,
+    parse_ip,
+)
+from repro.net.flow import Flow
+from repro.net.topology import DeviceKind
+from repro.util.errors import ConfigError
+
+ROUTER, SWITCH, HOST = DeviceKind.ROUTER, DeviceKind.SWITCH, DeviceKind.HOST
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One console command: how to match it, who has it, what it means."""
+
+    mode: str  # exec | config | config-if | config-router | config-acl | config-vlan
+    tokens: tuple  # matching prefix, e.g. ("show", "ip", "route")
+    action: str
+    kinds: tuple
+    handler: str
+    summary: str
+
+
+CONSOLE_COMMANDS = (
+    # -- exec mode ---------------------------------------------------------
+    CommandSpec("exec", ("show", "running-config"), "view.config",
+                (ROUTER, SWITCH, HOST), "_show_running_config",
+                "display the full device configuration"),
+    CommandSpec("exec", ("show", "startup-config"), "view.config",
+                (ROUTER, SWITCH), "_show_startup_config",
+                "display the saved configuration"),
+    CommandSpec("exec", ("show", "ip", "route"), "view.route",
+                (ROUTER, HOST), "_show_ip_route", "display the routing table"),
+    CommandSpec("exec", ("show", "ip", "ospf", "neighbor"), "view.ospf",
+                (ROUTER,), "_show_ospf_neighbors", "display OSPF adjacencies"),
+    CommandSpec("exec", ("show", "ip", "bgp", "summary"), "view.bgp",
+                (ROUTER,), "_show_bgp_summary", "display BGP sessions"),
+    CommandSpec("exec", ("show", "vlan"), "view.vlan",
+                (SWITCH,), "_show_vlan", "display VLANs and port membership"),
+    CommandSpec("exec", ("show", "interfaces"), "view.interface",
+                (ROUTER, SWITCH, HOST), "_show_interfaces",
+                "display interface state"),
+    CommandSpec("exec", ("show", "ip", "interface", "brief"), "view.interface",
+                (ROUTER, HOST), "_show_ip_interface_brief",
+                "one-line interface summary"),
+    CommandSpec("exec", ("show", "version"), "view.system",
+                (ROUTER, SWITCH, HOST), "_show_version",
+                "software version and uptime"),
+    CommandSpec("exec", ("show", "access-lists"), "view.acl",
+                (ROUTER,), "_show_access_lists", "display ACLs"),
+    CommandSpec("exec", ("exec",), "exec.shell",
+                (HOST,), "_exec_shell",
+                "run an arbitrary shell command (root agent)"),
+    CommandSpec("exec", ("ls",), "file.list",
+                (HOST,), "_ls", "list files on the host"),
+    CommandSpec("exec", ("cat",), "file.read",
+                (HOST,), "_cat", "read a file on the host"),
+    CommandSpec("exec", ("ping",), "probe.ping",
+                (ROUTER, HOST), "_ping", "send a test probe"),
+    CommandSpec("exec", ("traceroute",), "probe.traceroute",
+                (ROUTER, HOST), "_traceroute", "trace the forwarding path"),
+    CommandSpec("exec", ("configure", "terminal"), "mode.transition",
+                (ROUTER, SWITCH, HOST), "_enter_config",
+                "enter configuration mode"),
+    CommandSpec("exec", ("write", "memory"), "system.save",
+                (ROUTER, SWITCH), "_write_memory", "persist the configuration"),
+    CommandSpec("exec", ("reload",), "system.reboot",
+                (ROUTER, SWITCH, HOST), "_reload", "reboot the device"),
+    CommandSpec("exec", ("exit",), "mode.transition",
+                (ROUTER, SWITCH, HOST), "_noop", "leave the session"),
+    # -- global config mode ---------------------------------------------------
+    CommandSpec("config", ("interface",), "mode.transition",
+                (ROUTER, SWITCH, HOST), "_enter_interface",
+                "select an interface"),
+    CommandSpec("config", ("router", "ospf"), "mode.transition",
+                (ROUTER,), "_enter_router_ospf", "configure OSPF"),
+    CommandSpec("config", ("router", "bgp"), "mode.transition",
+                (ROUTER,), "_enter_router_bgp", "configure BGP"),
+    CommandSpec("config", ("ip", "access-list"), "mode.transition",
+                (ROUTER,), "_enter_acl", "edit a named ACL"),
+    CommandSpec("config", ("vlan",), "config.vlan",
+                (SWITCH,), "_config_vlan", "declare a VLAN"),
+    CommandSpec("config", ("no", "vlan"), "config.vlan",
+                (SWITCH,), "_config_no_vlan", "remove a VLAN"),
+    CommandSpec("config", ("ip", "route"), "config.static_route",
+                (ROUTER,), "_config_ip_route", "add a static route"),
+    CommandSpec("config", ("no", "ip", "route"), "config.static_route",
+                (ROUTER,), "_config_no_ip_route", "remove a static route"),
+    CommandSpec("config", ("ip", "default-gateway"), "config.default_gateway",
+                (HOST, SWITCH), "_config_default_gateway",
+                "set the default gateway"),
+    CommandSpec("config", ("access-list",), "config.acl.entry",
+                (ROUTER,), "_config_numbered_acl", "append a numbered ACL entry"),
+    CommandSpec("config", ("hostname",), "config.hostname",
+                (ROUTER, SWITCH, HOST), "_config_hostname", "rename the device"),
+    CommandSpec("config", ("enable", "secret"), "config.credential",
+                (ROUTER, SWITCH), "_config_enable_secret",
+                "set the privileged-exec secret"),
+    CommandSpec("config", ("end",), "mode.transition",
+                (ROUTER, SWITCH, HOST), "_end_config", "return to exec mode"),
+    CommandSpec("config", ("exit",), "mode.transition",
+                (ROUTER, SWITCH, HOST), "_end_config", "return to exec mode"),
+    # -- interface subconfig ------------------------------------------------------
+    CommandSpec("config-if", ("ip", "address"), "config.interface.address",
+                (ROUTER, HOST), "_if_ip_address", "assign an address"),
+    CommandSpec("config-if", ("no", "ip", "address"), "config.interface.address",
+                (ROUTER, HOST), "_if_no_ip_address", "remove the address"),
+    CommandSpec("config-if", ("shutdown",), "config.interface.admin",
+                (ROUTER, SWITCH, HOST), "_if_shutdown",
+                "administratively disable"),
+    CommandSpec("config-if", ("no", "shutdown"), "config.interface.admin",
+                (ROUTER, SWITCH, HOST), "_if_no_shutdown", "enable"),
+    CommandSpec("config-if", ("description",), "config.interface.description",
+                (ROUTER, SWITCH, HOST), "_if_description", "set a description"),
+    CommandSpec("config-if", ("ip", "ospf", "cost"), "config.ospf.cost",
+                (ROUTER,), "_if_ospf_cost", "set the OSPF cost"),
+    CommandSpec("config-if", ("ip", "access-group"),
+                "config.interface.acl_binding",
+                (ROUTER,), "_if_access_group", "bind an ACL"),
+    CommandSpec("config-if", ("no", "ip", "access-group"),
+                "config.interface.acl_binding",
+                (ROUTER,), "_if_no_access_group", "unbind an ACL"),
+    CommandSpec("config-if", ("switchport", "mode"),
+                "config.interface.switchport",
+                (SWITCH,), "_if_switchport_mode", "set the switchport mode"),
+    CommandSpec("config-if", ("switchport", "access", "vlan"),
+                "config.interface.switchport",
+                (SWITCH,), "_if_access_vlan", "set the access VLAN"),
+    CommandSpec("config-if", ("switchport", "trunk", "allowed", "vlan"),
+                "config.interface.switchport",
+                (SWITCH,), "_if_trunk_vlans", "set trunk VLANs"),
+    CommandSpec("config-if", ("exit",), "mode.transition",
+                (ROUTER, SWITCH, HOST), "_exit_subconfig", "leave the interface"),
+    CommandSpec("config-if", ("end",), "mode.transition",
+                (ROUTER, SWITCH, HOST), "_end_config", "return to exec mode"),
+    # -- router ospf subconfig -------------------------------------------------------
+    CommandSpec("config-router", ("network",), "config.ospf.network",
+                (ROUTER,), "_ospf_network", "activate OSPF on a range"),
+    CommandSpec("config-router", ("no", "network"), "config.ospf.network",
+                (ROUTER,), "_ospf_no_network", "deactivate OSPF on a range"),
+    CommandSpec("config-router", ("passive-interface",), "config.ospf.passive",
+                (ROUTER,), "_ospf_passive", "suppress adjacencies"),
+    CommandSpec("config-router", ("no", "passive-interface"),
+                "config.ospf.passive",
+                (ROUTER,), "_ospf_no_passive", "allow adjacencies"),
+    CommandSpec("config-router", ("default-information", "originate"),
+                "config.ospf.default_information",
+                (ROUTER,), "_ospf_default_information", "originate 0.0.0.0/0"),
+    CommandSpec("config-router", ("no", "default-information", "originate"),
+                "config.ospf.default_information",
+                (ROUTER,), "_ospf_no_default_information",
+                "stop originating 0.0.0.0/0"),
+    CommandSpec("config-router", ("exit",), "mode.transition",
+                (ROUTER,), "_exit_subconfig", "leave OSPF configuration"),
+    CommandSpec("config-router", ("end",), "mode.transition",
+                (ROUTER,), "_end_config", "return to exec mode"),
+    # -- router bgp subconfig --------------------------------------------------------
+    CommandSpec("config-bgp", ("neighbor",), "config.bgp.neighbor",
+                (ROUTER,), "_bgp_neighbor", "declare an eBGP peer"),
+    CommandSpec("config-bgp", ("no", "neighbor"), "config.bgp.neighbor",
+                (ROUTER,), "_bgp_no_neighbor", "remove an eBGP peer"),
+    CommandSpec("config-bgp", ("network",), "config.bgp.network",
+                (ROUTER,), "_bgp_network", "originate a prefix"),
+    CommandSpec("config-bgp", ("no", "network"), "config.bgp.network",
+                (ROUTER,), "_bgp_no_network", "stop originating a prefix"),
+    CommandSpec("config-bgp", ("exit",), "mode.transition",
+                (ROUTER,), "_exit_subconfig", "leave BGP configuration"),
+    CommandSpec("config-bgp", ("end",), "mode.transition",
+                (ROUTER,), "_end_config", "return to exec mode"),
+    # -- named-ACL subconfig -------------------------------------------------------------
+    CommandSpec("config-acl", ("permit",), "config.acl.entry",
+                (ROUTER,), "_acl_entry", "append a permit entry"),
+    CommandSpec("config-acl", ("deny",), "config.acl.entry",
+                (ROUTER,), "_acl_entry", "append a deny entry"),
+    CommandSpec("config-acl", ("no", "permit"), "config.acl.entry",
+                (ROUTER,), "_acl_remove_entry", "remove a permit entry"),
+    CommandSpec("config-acl", ("no", "deny"), "config.acl.entry",
+                (ROUTER,), "_acl_remove_entry", "remove a deny entry"),
+    CommandSpec("config-acl", ("exit",), "mode.transition",
+                (ROUTER,), "_exit_subconfig", "leave the ACL"),
+    CommandSpec("config-acl", ("end",), "mode.transition",
+                (ROUTER,), "_end_config", "return to exec mode"),
+    # -- vlan subconfig --------------------------------------------------------------------
+    CommandSpec("config-vlan", ("name",), "config.vlan",
+                (SWITCH,), "_vlan_name", "name the VLAN"),
+    CommandSpec("config-vlan", ("exit",), "mode.transition",
+                (SWITCH,), "_exit_subconfig", "leave the VLAN"),
+    CommandSpec("config-vlan", ("end",), "mode.transition",
+                (SWITCH,), "_end_config", "return to exec mode"),
+)
+
+
+def available_commands(kind):
+    """All command specs a device of ``kind`` offers (attack-surface input)."""
+    return [spec for spec in CONSOLE_COMMANDS if kind in spec.kinds]
+
+
+@dataclass
+class CommandResult:
+    """Outcome of one console command."""
+
+    device: str
+    command: str
+    output: str = ""
+    ok: bool = True
+    action: str = "invalid"
+    resource: str = ""
+    error: str = None
+    mode_after: str = "exec"
+
+    @property
+    def denied(self):
+        return not self.ok
+
+
+class Console:
+    """An interactive session on one emulated node."""
+
+    def __init__(self, emnet, node):
+        self._emnet = emnet
+        self.node = node
+        self._mode = "exec"
+        self._context = None  # iface name / OspfConfig / Acl / VlanConfig
+        self._current_tokens = ()
+
+    @property
+    def device(self):
+        return self.node.name
+
+    @property
+    def mode(self):
+        return self._mode
+
+    @property
+    def config(self):
+        return self.node.config
+
+    # -- dispatch --------------------------------------------------------------
+
+    def classify(self, command):
+        """(action, resource) a command *would* have, without executing it.
+
+        The reference monitor authorises on this before execution.
+        """
+        spec, _tokens = self._match(command)
+        if spec is None:
+            return ("invalid", self.device)
+        return (spec.action, self._resource_for(spec, command))
+
+    def execute(self, command):
+        """Run one command; never raises for user-level errors."""
+        self.node.require_running()
+        spec, tokens = self._match(command)
+        if spec is None:
+            return CommandResult(
+                device=self.device,
+                command=command,
+                ok=False,
+                error="% Invalid input detected",
+                mode_after=self._mode,
+            )
+        result = CommandResult(
+            device=self.device,
+            command=command,
+            action=spec.action,
+            resource=self._resource_for(spec, command),
+        )
+        args = tokens[len(spec.tokens):]
+        self._current_tokens = tokens
+        try:
+            output = getattr(self, spec.handler)(args)
+            result.output = output or ""
+        except ConfigError as exc:
+            result.ok = False
+            result.error = f"% {exc}"
+        except (ValueError, ipaddress.AddressValueError) as exc:
+            result.ok = False
+            result.error = f"% {exc}"
+        result.mode_after = self._mode
+        return result
+
+    def _match(self, command):
+        tokens = tuple(command.split())
+        if not tokens:
+            return None, tokens
+        best = None
+        for spec in CONSOLE_COMMANDS:
+            if spec.mode != self._mode:
+                continue
+            if self.node.kind not in spec.kinds:
+                continue
+            if tokens[: len(spec.tokens)] == spec.tokens:
+                if best is None or len(spec.tokens) > len(best.tokens):
+                    best = spec
+        return best, tokens
+
+    def _resource_for(self, spec, command):
+        if spec.mode == "config-if":
+            return f"{self.device}:{self._context}"
+        if spec.mode == "config-acl":
+            return f"{self.device}:acl:{self._context.name}"
+        if spec.mode == "config" and spec.tokens[:1] == ("interface",):
+            iface = command.split()[1] if len(command.split()) > 1 else "?"
+            return f"{self.device}:{iface}"
+        return self.device
+
+    # -- exec handlers ---------------------------------------------------------
+
+    def _noop(self, args):
+        return ""
+
+    def _show_running_config(self, args):
+        return serialize_config(self.config)
+
+    def _show_startup_config(self, args):
+        return serialize_config(self.node.startup_config)
+
+    def _show_ip_route(self, args):
+        lines = ["Codes: C - connected, S - static, O - OSPF", ""]
+        fib = self._emnet.dataplane().fib(self.device)
+        for route in sorted(fib, key=lambda r: (str(r.prefix))):
+            lines.append(str(route))
+        return "\n".join(lines)
+
+    def _show_ospf_neighbors(self, args):
+        ospf = self._emnet.dataplane().ospf
+        lines = ["Neighbor ID     Interface       Area"]
+        for neighbor in ospf.neighbors_of(self.device):
+            lines.append(
+                f"{neighbor.remote_device:<15} "
+                f"{neighbor.local_interface:<15} {neighbor.area}"
+            )
+        return "\n".join(lines)
+
+    def _show_vlan(self, args):
+        lines = ["VLAN Name        Ports"]
+        ports_by_vlan = {}
+        for iface in self.config.interfaces.values():
+            if iface.switchport_mode == "access" and iface.access_vlan is not None:
+                ports_by_vlan.setdefault(iface.access_vlan, []).append(iface.name)
+        for vlan_id in sorted(set(self.config.vlans) | set(ports_by_vlan)):
+            vlan = self.config.vlans.get(vlan_id)
+            name = vlan.name if vlan is not None and vlan.name else f"VLAN{vlan_id:04d}"
+            ports = ", ".join(sorted(ports_by_vlan.get(vlan_id, [])))
+            lines.append(f"{vlan_id:<4} {name:<11} {ports}")
+        return "\n".join(lines)
+
+    def _show_interfaces(self, args):
+        lines = []
+        for iface in self.config.interfaces.values():
+            status = "administratively down" if iface.shutdown else "up"
+            address = str(iface.address) if iface.address else "unassigned"
+            lines.append(f"{iface.name} is {status}, address is {address}")
+            if iface.switchport_mode == "access":
+                lines.append(f"  switchport access vlan {iface.access_vlan}")
+            if iface.description:
+                lines.append(f"  description: {iface.description}")
+        return "\n".join(lines)
+
+    def _show_ip_interface_brief(self, args):
+        lines = ["Interface        IP-Address      Status"]
+        for iface in self.config.interfaces.values():
+            address = str(iface.address.ip) if iface.address else "unassigned"
+            status = "administratively down" if iface.shutdown else "up"
+            lines.append(f"{iface.name:<16} {address:<15} {status}")
+        return "\n".join(lines)
+
+    def _show_version(self, args):
+        return (
+            f"{self.node.image}\n"
+            f"{self.device} uptime: boot count {self.node.boot_count}\n"
+            f"image digest {self.node.image.digest[:16]}"
+        )
+
+    def _show_access_lists(self, args):
+        lines = []
+        for acl in self.config.acls.values():
+            lines.append(f"Extended IP access list {acl.name}"
+                         if acl.kind == "extended"
+                         else f"Standard IP access list {acl.name}")
+            for index, entry in enumerate(acl.entries, start=10):
+                lines.append(f"    {index} {entry.to_text(acl.kind)}")
+        return "\n".join(lines)
+
+    def _exec_shell(self, args):
+        # The RMM agents run as root (paper §2.1); the simulation accepts
+        # any command and reports success — what matters to the experiments
+        # is that the *capability* exists and is privilege-classified.
+        if not args:
+            raise ConfigError("command required")
+        return f"(root) executed: {' '.join(args)}"
+
+    def _ls(self, args):
+        return "\n".join(sorted(self.node.files))
+
+    def _cat(self, args):
+        if not args:
+            raise ConfigError("file path required")
+        path = args[0]
+        if path not in self.node.files:
+            raise ConfigError(f"no such file: {path}")
+        return self.node.files[path]
+
+    def _source_ip(self):
+        address = self.config.primary_address
+        if address is None:
+            raise ConfigError(f"{self.device} has no source address")
+        return address.ip
+
+    def _probe(self, args, protocol="icmp"):
+        if not args:
+            raise ConfigError("destination address required")
+        dst = parse_ip(args[0])
+        flow = Flow(src_ip=self._source_ip(), dst_ip=dst, protocol=protocol)
+        return trace_flow(self._emnet.dataplane(), flow, start_device=self.device)
+
+    def _ping(self, args):
+        trace = self._probe(args)
+        if trace.success:
+            return "!!!!!\nSuccess rate is 100 percent (5/5)"
+        return (
+            f".....\nSuccess rate is 0 percent (0/5) "
+            f"[{trace.disposition.value} at {trace.last_device}]"
+        )
+
+    def _traceroute(self, args):
+        trace = self._probe(args)
+        lines = [
+            f"{index}  {hop.device}" for index, hop in enumerate(trace.hops, 1)
+        ]
+        if not trace.success:
+            lines.append(f"*  *  *  ({trace.disposition.value})")
+        return "\n".join(lines)
+
+    def _enter_config(self, args):
+        self._mode = "config"
+        return "Enter configuration commands, one per line."
+
+    def _write_memory(self, args):
+        self.node.save_config()
+        return "Building configuration...\n[OK]"
+
+    def _reload(self, args):
+        # IOS semantics: a reload discards unsaved running-config changes
+        # and boots from the startup config.
+        self._emnet.reload_node(self.device)
+        return "Reload requested. System restarted."
+
+    # -- global config handlers ---------------------------------------------------
+
+    def _enter_interface(self, args):
+        if not args:
+            raise ConfigError("interface name required")
+        name = args[0]
+        self.config.interface(name, create=True)
+        self._mode = "config-if"
+        self._context = name
+        return ""
+
+    def _enter_router_ospf(self, args):
+        process_id = int(args[0]) if args else 1
+        if self.config.ospf is None:
+            self.config.ospf = OspfConfig(process_id=process_id)
+            self._emnet.mark_dirty()
+        self._mode = "config-router"
+        self._context = self.config.ospf
+        return ""
+
+    def _enter_router_bgp(self, args):
+        if not args:
+            raise ConfigError("AS number required")
+        asn = int(args[0])
+        if self.config.bgp is None:
+            self.config.bgp = BgpConfig(asn=asn)
+            self._emnet.mark_dirty()
+        elif self.config.bgp.asn != asn:
+            raise ConfigError(
+                f"BGP is already running as AS {self.config.bgp.asn}"
+            )
+        self._mode = "config-bgp"
+        self._context = self.config.bgp
+        return ""
+
+    def _enter_acl(self, args):
+        if len(args) < 2 or args[0] not in ("standard", "extended"):
+            raise ConfigError("usage: ip access-list standard|extended <name>")
+        kind, name = args[0], args[1]
+        acl = self.config.acls.get(name)
+        if acl is None:
+            acl = self.config.add_acl(Acl(name=name, kind=kind))
+            self._emnet.mark_dirty()
+        self._mode = "config-acl"
+        self._context = acl
+        return ""
+
+    def _config_vlan(self, args):
+        if not args:
+            raise ConfigError("vlan id required")
+        vlan_id = int(args[0])
+        vlan = self.config.vlans.setdefault(vlan_id, VlanConfig(vlan_id))
+        self._mode = "config-vlan"
+        self._context = vlan
+        self._emnet.mark_dirty()
+        return ""
+
+    def _config_no_vlan(self, args):
+        if not args:
+            raise ConfigError("vlan id required")
+        self.config.vlans.pop(int(args[0]), None)
+        self._emnet.mark_dirty()
+        return ""
+
+    def _config_ip_route(self, args):
+        if len(args) < 3:
+            raise ConfigError("usage: ip route <prefix> <mask> <next-hop>")
+        route = StaticRoute(
+            prefix=network_from_netmask(args[0], args[1]),
+            next_hop=parse_ip(args[2]),
+            distance=int(args[3]) if len(args) > 3 else 1,
+        )
+        if route not in self.config.static_routes:
+            self.config.static_routes.append(route)
+            self._emnet.mark_dirty()
+        return ""
+
+    def _config_no_ip_route(self, args):
+        if len(args) < 3:
+            raise ConfigError("usage: no ip route <prefix> <mask> <next-hop>")
+        prefix = network_from_netmask(args[0], args[1])
+        next_hop = parse_ip(args[2])
+        before = len(self.config.static_routes)
+        self.config.static_routes = [
+            route
+            for route in self.config.static_routes
+            if not (route.prefix == prefix and route.next_hop == next_hop)
+        ]
+        if len(self.config.static_routes) != before:
+            self._emnet.mark_dirty()
+        return ""
+
+    def _config_default_gateway(self, args):
+        if not args:
+            raise ConfigError("gateway address required")
+        self.config.default_gateway = parse_ip(args[0])
+        self._emnet.mark_dirty()
+        return ""
+
+    def _config_numbered_acl(self, args):
+        if len(args) < 2:
+            raise ConfigError("usage: access-list <number> <entry>")
+        number = args[0]
+        value = int(number)
+        kind = "standard" if 1 <= value <= 99 else "extended"
+        acl = self.config.acls.get(number)
+        if acl is None:
+            acl = self.config.add_acl(Acl(name=number, kind=kind))
+        acl.entries.append(AclEntry.parse(" ".join(args[1:]), kind=kind))
+        self._emnet.mark_dirty()
+        return ""
+
+    def _config_hostname(self, args):
+        if not args:
+            raise ConfigError("hostname required")
+        self.config.hostname = args[0]
+        self._emnet.mark_dirty()
+        return ""
+
+    def _config_enable_secret(self, args):
+        if not args:
+            raise ConfigError("secret required")
+        secret = args[1] if len(args) == 2 and args[0].isdigit() else " ".join(args)
+        self.config.enable_secret = secret
+        self._emnet.mark_dirty()
+        return ""
+
+    def _end_config(self, args):
+        self._mode = "exec"
+        self._context = None
+        return ""
+
+    def _exit_subconfig(self, args):
+        self._mode = "config"
+        self._context = None
+        return ""
+
+    # -- interface handlers -----------------------------------------------------
+
+    @property
+    def _iface(self):
+        return self.config.interface(self._context)
+
+    def _if_ip_address(self, args):
+        if len(args) < 2:
+            raise ConfigError("usage: ip address <addr> <mask>")
+        self._iface.address = interface_address(args[0], args[1])
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_no_ip_address(self, args):
+        self._iface.address = None
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_shutdown(self, args):
+        self._iface.shutdown = True
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_no_shutdown(self, args):
+        self._iface.shutdown = False
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_description(self, args):
+        self._iface.description = " ".join(args)
+        return ""
+
+    def _if_ospf_cost(self, args):
+        if not args:
+            raise ConfigError("cost required")
+        self._iface.ospf_cost = int(args[0])
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_access_group(self, args):
+        if len(args) < 2 or args[1] not in ("in", "out"):
+            raise ConfigError("usage: ip access-group <name> in|out")
+        if args[1] == "in":
+            self._iface.access_group_in = args[0]
+        else:
+            self._iface.access_group_out = args[0]
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_no_access_group(self, args):
+        direction = args[-1] if args else "in"
+        if direction == "out":
+            self._iface.access_group_out = None
+        else:
+            self._iface.access_group_in = None
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_switchport_mode(self, args):
+        if not args or args[0] not in ("access", "trunk"):
+            raise ConfigError("usage: switchport mode access|trunk")
+        self._iface.switchport_mode = args[0]
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_access_vlan(self, args):
+        if not args:
+            raise ConfigError("vlan id required")
+        self._iface.access_vlan = int(args[0])
+        if self._iface.switchport_mode is None:
+            self._iface.switchport_mode = "access"
+        self._emnet.mark_dirty()
+        return ""
+
+    def _if_trunk_vlans(self, args):
+        if not args:
+            raise ConfigError("vlan list required")
+        self._iface.trunk_vlans = tuple(int(v) for v in args[0].split(","))
+        if self._iface.switchport_mode is None:
+            self._iface.switchport_mode = "trunk"
+        self._emnet.mark_dirty()
+        return ""
+
+    # -- router ospf handlers ---------------------------------------------------------
+
+    def _ospf_network(self, args):
+        if len(args) != 4 or args[2] != "area":
+            raise ConfigError("usage: network <addr> <wildcard> area <n>")
+        statement = OspfNetwork(
+            prefix=network_from_wildcard(args[0], args[1]), area=int(args[3])
+        )
+        if statement not in self._context.networks:
+            self._context.networks.append(statement)
+            self._emnet.mark_dirty()
+        return ""
+
+    def _ospf_no_network(self, args):
+        if len(args) != 4 or args[2] != "area":
+            raise ConfigError("usage: no network <addr> <wildcard> area <n>")
+        statement = OspfNetwork(
+            prefix=network_from_wildcard(args[0], args[1]), area=int(args[3])
+        )
+        if statement in self._context.networks:
+            self._context.networks.remove(statement)
+            self._emnet.mark_dirty()
+        return ""
+
+    def _ospf_passive(self, args):
+        if not args:
+            raise ConfigError("interface name required")
+        self._context.passive_interfaces.add(args[0])
+        self._emnet.mark_dirty()
+        return ""
+
+    def _ospf_no_passive(self, args):
+        if not args:
+            raise ConfigError("interface name required")
+        self._context.passive_interfaces.discard(args[0])
+        self._emnet.mark_dirty()
+        return ""
+
+    def _ospf_default_information(self, args):
+        self._context.default_information_originate = True
+        self._emnet.mark_dirty()
+        return ""
+
+    def _ospf_no_default_information(self, args):
+        self._context.default_information_originate = False
+        self._emnet.mark_dirty()
+        return ""
+
+    # -- router bgp handlers ----------------------------------------------------------
+
+    def _bgp_neighbor(self, args):
+        if len(args) != 3 or args[1] != "remote-as":
+            raise ConfigError("usage: neighbor <ip> remote-as <asn>")
+        statement = BgpNeighbor(
+            address=parse_ip(args[0]), remote_as=int(args[2])
+        )
+        if statement not in self._context.neighbors:
+            self._context.neighbors.append(statement)
+            self._emnet.mark_dirty()
+        return ""
+
+    def _bgp_no_neighbor(self, args):
+        if not args:
+            raise ConfigError("neighbor address required")
+        address = parse_ip(args[0])
+        before = len(self._context.neighbors)
+        self._context.neighbors = [
+            n for n in self._context.neighbors if n.address != address
+        ]
+        if len(self._context.neighbors) != before:
+            self._emnet.mark_dirty()
+        return ""
+
+    def _bgp_network(self, args):
+        if len(args) != 3 or args[1] != "mask":
+            raise ConfigError("usage: network <prefix> mask <netmask>")
+        prefix = network_from_netmask(args[0], args[2])
+        if prefix not in self._context.networks:
+            self._context.networks.append(prefix)
+            self._emnet.mark_dirty()
+        return ""
+
+    def _bgp_no_network(self, args):
+        if len(args) != 3 or args[1] != "mask":
+            raise ConfigError("usage: no network <prefix> mask <netmask>")
+        prefix = network_from_netmask(args[0], args[2])
+        if prefix in self._context.networks:
+            self._context.networks.remove(prefix)
+            self._emnet.mark_dirty()
+        return ""
+
+    def _show_bgp_summary(self, args):
+        bgp_state = self._emnet.dataplane().bgp
+        if self.config.bgp is None:
+            return "% BGP not active"
+        lines = [f"BGP router AS {self.config.bgp.asn}",
+                 "Neighbor        AS      State"]
+        established = {
+            str(s.remote_address): s
+            for s in (bgp_state.sessions_of(self.device) if bgp_state else ())
+        }
+        for neighbor in self.config.bgp.neighbors:
+            state = (
+                "Established"
+                if str(neighbor.address) in established
+                else "Active"
+            )
+            lines.append(
+                f"{str(neighbor.address):<15} {neighbor.remote_as:<7} {state}"
+            )
+        return "\n".join(lines)
+
+    # -- ACL handlers --------------------------------------------------------------------
+
+    def _acl_entry(self, args):
+        # The spec consumed only the leading permit/deny token; the full
+        # entry text is the whole command line.
+        entry = AclEntry.parse(
+            " ".join(self._current_tokens), kind=self._context.kind
+        )
+        self._context.entries.append(entry)
+        self._emnet.mark_dirty()
+        return ""
+
+    def _acl_remove_entry(self, args):
+        # "no permit ..." / "no deny ...": drop the matching entry if present.
+        entry = AclEntry.parse(
+            " ".join(self._current_tokens[1:]), kind=self._context.kind
+        )
+        if entry in self._context.entries:
+            self._context.entries.remove(entry)
+            self._emnet.mark_dirty()
+        return ""
+
+    # -- vlan handlers ----------------------------------------------------------------------
+
+    def _vlan_name(self, args):
+        if not args:
+            raise ConfigError("name required")
+        self._context.name = args[0]
+        return ""

@@ -1,0 +1,43 @@
+"""Device software images.
+
+In a real emulator the image is the vendor OS binary; here it is metadata
+(vendor/platform/version) plus a deterministic content digest. The digest is
+what the twin network's emulation layer keeps *hidden* from the technician —
+images, like raw configs, are emulation components, not presentation
+components (paper Figure 5d).
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.net.topology import DeviceKind
+
+
+@dataclass(frozen=True)
+class ImageInfo:
+    """Identity of the software a node runs."""
+
+    vendor: str
+    platform: str
+    version: str
+
+    @property
+    def digest(self):
+        """Deterministic content digest standing in for the image file hash."""
+        blob = f"{self.vendor}/{self.platform}/{self.version}".encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def __str__(self):
+        return f"{self.vendor} {self.platform} {self.version}"
+
+
+_DEFAULTS = {
+    DeviceKind.ROUTER: ImageInfo("cisco", "ios-xe", "17.3.4a"),
+    DeviceKind.SWITCH: ImageInfo("cisco", "ios", "15.2(7)E"),
+    DeviceKind.HOST: ImageInfo("linux", "debian", "11.3"),
+}
+
+
+def default_image(kind):
+    """The stock image for a device kind."""
+    return _DEFAULTS[kind]

@@ -1,0 +1,112 @@
+"""The emulated network: nodes, consoles, lazy data plane, snapshots."""
+
+from repro.control.builder import build_dataplane
+from repro.emulation.console import Console
+from repro.emulation.node import EmulatedNode
+from repro.util.errors import EmulationError
+
+
+class EmulatedNetwork:
+    """A running emulation of a :class:`~repro.net.network.Network`.
+
+    The wrapped network is deep-copied at boot: emulation never mutates the
+    caller's network. Configuration commands (issued through consoles) mark
+    the data plane dirty; ``ping``/``traceroute``/verification recompile it
+    on next use.
+    """
+
+    def __init__(self, network, files=None, _attached=False):
+        self.network = network if _attached else network.copy()
+        files = files or {}
+        self.nodes = {
+            device.name: EmulatedNode(
+                name=device.name,
+                kind=device.kind,
+                config=self.network.config(device.name),
+                files=dict(files.get(device.name, {})),
+            )
+            for device in self.network.topology.devices()
+        }
+        self._dataplane = None
+        self._snapshots = {}
+
+    @classmethod
+    def attached(cls, network, files=None):
+        """Run consoles *directly over* ``network`` (no copy).
+
+        This is how the production side is driven: the RMM baseline's
+        root-capable agents and Heimdall's emergency mode mutate the real
+        network state. Twins never use this — they always boot a copy.
+        ``files`` attaches per-device filesystems (path -> content).
+        """
+        return cls(network, files=files, _attached=True)
+
+    # -- nodes & consoles ----------------------------------------------------
+
+    def node(self, name):
+        """The emulated node for ``name``."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise EmulationError(f"no emulated node {name!r}") from None
+
+    def console(self, name):
+        """An interactive console attached to node ``name``."""
+        return Console(self, self.node(name))
+
+    def node_count(self):
+        """How many nodes this emulation runs (twin-boot cost driver)."""
+        return len(self.nodes)
+
+    def reload_node(self, name):
+        """Reboot one node: the running config reverts to its startup config."""
+        node = self.node(name)
+        restored = node.startup_config.copy()
+        self.network.configs[name] = restored
+        node.config = restored
+        node.boot_count += 1
+        self.mark_dirty()
+        return node
+
+    # -- data plane -------------------------------------------------------------
+
+    def dataplane(self):
+        """The current compiled data plane (recompiled after config changes)."""
+        if self._dataplane is None:
+            self._dataplane = build_dataplane(self.network)
+        return self._dataplane
+
+    def mark_dirty(self):
+        """Invalidate the cached data plane after a configuration change."""
+        self._dataplane = None
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self, label="default"):
+        """Save all configs under ``label`` (overwrites a previous label)."""
+        self._snapshots[label] = {
+            name: config.copy() for name, config in self.network.configs.items()
+        }
+        return label
+
+    def restore(self, label="default"):
+        """Restore configs saved under ``label``."""
+        try:
+            saved = self._snapshots[label]
+        except KeyError:
+            raise EmulationError(f"no snapshot {label!r}") from None
+        for name, config in saved.items():
+            restored = config.copy()
+            self.network.configs[name] = restored
+            self.nodes[name].config = restored
+        self.mark_dirty()
+
+    def snapshots(self):
+        """Labels of saved snapshots."""
+        return sorted(self._snapshots)
+
+    # -- export ----------------------------------------------------------------------
+
+    def current_configs(self):
+        """A deep copy of the current configs (what the enforcer diffs)."""
+        return {name: config.copy() for name, config in self.network.configs.items()}

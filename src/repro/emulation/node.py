@@ -1,0 +1,61 @@
+"""An emulated device: configuration + image + run state.
+
+Mirrors the paper's decomposition of an emulated node (Figure 5a): the GUI
+and console are presentation components (the console lives in
+:mod:`repro.emulation.console`; the GUI equivalent is the twin network's
+presentation layer), while the configuration and image here are the
+emulation components.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.emulation.image import default_image
+from repro.util.errors import EmulationError
+
+
+@dataclass
+class EmulatedNode:
+    """One running device in an emulated network.
+
+    ``files`` is the node's filesystem (hosts only, in practice): path ->
+    content. Like images and raw configs it is an *emulation component* —
+    production agents (RMM) can read it, twins are booted without it.
+    """
+
+    name: str
+    kind: object  # DeviceKind
+    config: object  # DeviceConfig (shared with the EmulatedNetwork's Network)
+    image: object = None
+    running: bool = True
+    boot_count: int = field(default=1)
+    files: dict = field(default_factory=dict)
+    startup_config: object = None  # what survives a reload (IOS NVRAM)
+
+    def __post_init__(self):
+        if self.image is None:
+            self.image = default_image(self.kind)
+        if self.startup_config is None:
+            self.startup_config = self.config.copy()
+
+    def save_config(self):
+        """``write memory``: persist the running config to startup."""
+        self.startup_config = self.config.copy()
+
+    def unsaved_changes(self):
+        """Whether the running config differs from the saved one."""
+        return self.config != self.startup_config
+
+    def require_running(self):
+        """Raise unless the node is up."""
+        if not self.running:
+            raise EmulationError(f"node {self.name!r} is not running")
+
+    def stop(self):
+        """Power the node off (consoles become unusable)."""
+        self.running = False
+
+    def start(self):
+        """Power the node on."""
+        if not self.running:
+            self.running = True
+            self.boot_count += 1

@@ -1,0 +1,32 @@
+"""Experiment drivers: one function per paper artifact.
+
+Everything the benchmark harness and the report generator need, as plain
+library calls returning structured results — so the same code regenerates
+Table 1, Figures 7-9, the §4.3 latency claim, and the two ablations whether
+you run ``pytest benchmarks/`` or ``examples/paper_report.py``.
+"""
+
+from repro.experiments.fig7 import figure7
+from repro.experiments.fig89 import figure89, heimdall_approaches
+from repro.experiments.latency import (
+    continuous_vs_deferred,
+    verification_latency_curve,
+)
+from repro.experiments.table1 import table1
+from repro.experiments.ablations import (
+    guard_rules_ablation,
+    scheduler_ablation,
+    scoping_ablation,
+)
+
+__all__ = [
+    "continuous_vs_deferred",
+    "figure7",
+    "figure89",
+    "guard_rules_ablation",
+    "heimdall_approaches",
+    "scheduler_ablation",
+    "scoping_ablation",
+    "table1",
+    "verification_latency_curve",
+]

@@ -1,0 +1,204 @@
+"""A1/A2 — ablations over Heimdall's design choices (DESIGN.md)."""
+
+import ipaddress
+from dataclasses import dataclass
+
+from repro.attack.surface import evaluate_approaches
+from repro.config.diffing import diff_networks
+from repro.config.model import OspfNetwork
+from repro.core.enforcer.scheduler import ChangeScheduler
+from repro.core.privilege.generator import (
+    generate_privilege_spec,
+    profile_for_issue,
+)
+from repro.core.privilege.translator import policy_guard_rules
+from repro.core.twin.scoping import SCOPING_STRATEGIES
+from repro.policy.mining import mine_policies
+from repro.policy.verification import PolicyVerifier
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import interface_down_issues
+
+
+@dataclass(frozen=True)
+class ScopingAblationRow:
+    """One scoping strategy's aggregate over the issue sweep."""
+
+    strategy: str
+    mean_exposed: float
+    total_devices: int
+    feasibility_pct: float
+    attack_surface_pct: float
+    fidelity_pct: float = 100.0
+
+
+def _mean_fidelity(network, issues, strategy):
+    """Mean twin fidelity (paper challenge 2) for one scoping strategy."""
+    from repro.core.privilege.ast import PrivilegeSpec
+    from repro.core.twin.fidelity import measure_fidelity
+    from repro.core.twin.twin import TwinNetwork
+    from repro.control.builder import build_dataplane
+
+    total = 0.0
+    for issue in issues:
+        broken = network.copy()
+        issue.inject(broken)
+        dataplane = build_dataplane(broken)
+        twin = TwinNetwork(
+            broken, issue, PrivilegeSpec.allow_all(),
+            strategy=strategy, dataplane=dataplane,
+        )
+        total += measure_fidelity(twin, dataplane).fidelity_pct
+    return total / len(issues) if issues else 100.0
+
+
+def scoping_ablation(network=None, policies=None, issues=None,
+                     with_fidelity=True):
+    """All four scoping strategies under the identical privilege pipeline."""
+    if network is None:
+        network = build_enterprise_network()
+    if policies is None:
+        policies = mine_policies(network)
+    if issues is None:
+        issues = interface_down_issues(network)
+
+    def approach(strategy):
+        def fn(broken, issue, dataplane):
+            scope = SCOPING_STRATEGIES[strategy](broken, issue, dataplane)
+            guards = policy_guard_rules(policies, dataplane)
+            spec = generate_privilege_spec(
+                scope, profile_for_issue(issue), extra_rules=guards
+            )
+            return scope, spec
+
+        return fn
+
+    results = evaluate_approaches(
+        network, issues, policies,
+        {name: approach(name) for name in SCOPING_STRATEGIES},
+    )
+    total = len(network.topology.devices())
+    return [
+        ScopingAblationRow(
+            strategy=result.approach,
+            mean_exposed=sum(
+                len(r.exposed_devices) for r in result.per_issue
+            ) / len(result.per_issue),
+            total_devices=total,
+            feasibility_pct=result.feasibility_pct,
+            attack_surface_pct=result.attack_surface_pct,
+            fidelity_pct=(
+                _mean_fidelity(network, issues, result.approach)
+                if with_fidelity
+                else 100.0
+            ),
+        )
+        for result in results
+    ]
+
+
+@dataclass(frozen=True)
+class GuardAblationRow:
+    """Heimdall's metric with/without the policy-derived guard rules."""
+
+    variant: str
+    feasibility_pct: float
+    attack_surface_pct: float
+
+
+def guard_rules_ablation(network=None, policies=None, issues=None):
+    """A3: what the policy→privilege translator buys.
+
+    Same scoping and task profiles; the only difference is whether
+    :func:`policy_guard_rules` prepends its denials. The gap is the part of
+    the attack-surface reduction attributable to the translator.
+    """
+    if network is None:
+        network = build_enterprise_network()
+    if policies is None:
+        policies = mine_policies(network)
+    if issues is None:
+        issues = interface_down_issues(network)
+
+    def approach(with_guards):
+        def fn(broken, issue, dataplane):
+            scope = SCOPING_STRATEGIES["heimdall"](broken, issue, dataplane)
+            guards = (
+                policy_guard_rules(policies, dataplane) if with_guards else ()
+            )
+            spec = generate_privilege_spec(
+                scope, profile_for_issue(issue), extra_rules=guards
+            )
+            return scope, spec
+
+        return fn
+
+    results = evaluate_approaches(
+        network, issues, policies,
+        {
+            "profile only": approach(False),
+            "profile + guards": approach(True),
+        },
+    )
+    return [
+        GuardAblationRow(
+            variant=result.approach,
+            feasibility_pct=result.feasibility_pct,
+            attack_surface_pct=result.attack_surface_pct,
+        )
+        for result in results
+    ]
+
+
+@dataclass(frozen=True)
+class SchedulerAblationRow:
+    """One push strategy's outcome on the renumbering change set."""
+
+    strategy: str
+    batches: int
+    checked_states: int
+    transient_violations: int
+
+
+def _renumbering_changes():
+    """Renumber the single-homed dist1-dept1 link on the enterprise network."""
+    production = build_enterprise_network()
+    for device in ("dist1", "dept1"):
+        production.config(device).ospf.networks.append(
+            OspfNetwork(ipaddress.IPv4Network("10.99.0.0/16"))
+        )
+    modified = production.copy()
+    modified.config("dist1").interface("Gi0/2").address = (
+        ipaddress.IPv4Interface("10.99.8.1/30")
+    )
+    modified.config("dept1").interface("Gi0/0").address = (
+        ipaddress.IPv4Interface("10.99.8.2/30")
+    )
+    return production, diff_networks(production.configs, modified.configs)
+
+
+def scheduler_ablation(policies=None):
+    """Ordered vs naive push on the link-renumbering change set."""
+    if policies is None:
+        policies = mine_policies(build_enterprise_network())
+    verifier = PolicyVerifier(policies)
+    scheduler = ChangeScheduler()
+
+    production, changes = _renumbering_changes()
+    ordered = scheduler.push(production, changes, policy_verifier=verifier)
+
+    production, changes = _renumbering_changes()
+    naive = scheduler.push(
+        production, changes,
+        policy_verifier=verifier,
+        batches=scheduler.naive_order(changes),
+    )
+    return [
+        SchedulerAblationRow(
+            "ordered (Heimdall)", len(ordered.batches),
+            ordered.checked_states, ordered.transient_violations,
+        ),
+        SchedulerAblationRow(
+            "naive per-device", len(naive.batches),
+            naive.checked_states, naive.transient_violations,
+        ),
+    ]

@@ -1,0 +1,90 @@
+"""Figure 7 — pilot study: time to resolve three real issues."""
+
+from dataclasses import dataclass, field
+
+from repro.msp.workflows import CurrentWorkflow, HeimdallWorkflow
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.scenarios.university import build_university_network
+
+# The per-issue overheads the paper reports for the enterprise network.
+PAPER_FIG7 = {"average_overhead_s": 28.0, "isp": 15.0, "vlan": 42.0}
+
+_BUILDERS = {
+    "enterprise": build_enterprise_network,
+    "university": build_university_network,
+}
+
+# Figure 7's stacked steps, shared then Heimdall-only.
+FIG7_STEPS = (
+    "connect", "perform operations", "save changes",
+    "generate privilege", "twin setup", "verify changes", "schedule + commit",
+)
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """Both workflows' timing for one issue."""
+
+    issue_id: str
+    complexity: str
+    current_s: float
+    heimdall_s: float
+    current_breakdown: dict
+    heimdall_breakdown: dict
+    resolved: bool
+
+    @property
+    def overhead_s(self):
+        return self.heimdall_s - self.current_s
+
+
+@dataclass
+class Figure7Result:
+    """The whole figure for one network."""
+
+    network: str
+    rows: list = field(default_factory=list)
+
+    @property
+    def average_overhead_s(self):
+        return sum(r.overhead_s for r in self.rows) / len(self.rows)
+
+
+def figure7(network_name="enterprise", issue_ids=("vlan", "ospf", "isp"),
+            cost_model=None, policies=None):
+    """Run both workflows over each issue; returns a :class:`Figure7Result`."""
+    builder = _BUILDERS[network_name]
+    if policies is None:
+        policies = mine_policies(builder())
+    issues = standard_issues(network_name)
+
+    result = Figure7Result(network=network_name)
+    for issue_id in issue_ids:
+        issue = issues[issue_id]
+
+        production = builder()
+        issue.inject(production)
+        current = CurrentWorkflow(cost_model=cost_model).resolve(
+            production, issue
+        )
+
+        production = builder()
+        issue.inject(production)
+        heimdall = HeimdallWorkflow(
+            policies=policies, cost_model=cost_model
+        ).resolve(production, issue)
+
+        result.rows.append(
+            Figure7Row(
+                issue_id=issue_id,
+                complexity=issue.complexity,
+                current_s=current.duration_s,
+                heimdall_s=heimdall.duration_s,
+                current_breakdown=dict(current.breakdown),
+                heimdall_breakdown=dict(heimdall.breakdown),
+                resolved=current.resolved and heimdall.resolved,
+            )
+        )
+    return result

@@ -1,0 +1,63 @@
+"""Figures 8 and 9 — feasibility / attack-surface sweep."""
+
+from repro.attack.surface import evaluate_approaches
+from repro.core.privilege.generator import (
+    generate_privilege_spec,
+    profile_for_issue,
+)
+from repro.core.privilege.translator import policy_guard_rules
+from repro.core.twin.scoping import scope_all, scope_heimdall, scope_neighbor
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import interface_down_issues
+from repro.scenarios.university import build_university_network
+
+# The paper's headline: surface reduction vs the baselines, per network.
+PAPER_FIG89 = {"enterprise_reduction_pct": 39.0, "university_reduction_pct": 40.0}
+
+_BUILDERS = {
+    "enterprise": build_enterprise_network,
+    "university": build_university_network,
+}
+
+
+def heimdall_approaches(policies):
+    """The three named approaches of Figures 8/9, as scope functions.
+
+    Each maps (broken_network, issue, dataplane) ->
+    (exposed_devices, privilege_spec | None).
+    """
+
+    def all_fn(broken, issue, dataplane):
+        return scope_all(broken, issue, dataplane), None
+
+    def neighbor_fn(broken, issue, dataplane):
+        return scope_neighbor(broken, issue, dataplane), None
+
+    def heimdall_fn(broken, issue, dataplane):
+        scope = scope_heimdall(broken, issue, dataplane)
+        guards = policy_guard_rules(policies, dataplane)
+        spec = generate_privilege_spec(
+            scope, profile_for_issue(issue), extra_rules=guards
+        )
+        return scope, spec
+
+    return {"All": all_fn, "Neighbor": neighbor_fn, "Heimdall": heimdall_fn}
+
+
+def figure89(network_name, network=None, policies=None, issues=None):
+    """The interface-down sweep for one network.
+
+    Returns the list of :class:`~repro.attack.surface.ApproachResult` in
+    All / Neighbor / Heimdall order. Pass ``network``/``policies``/``issues``
+    to reuse precomputed fixtures (the sweep itself is the expensive part).
+    """
+    if network is None:
+        network = _BUILDERS[network_name]()
+    if policies is None:
+        policies = mine_policies(network)
+    if issues is None:
+        issues = interface_down_issues(network)
+    return evaluate_approaches(
+        network, issues, policies, heimdall_approaches(policies)
+    )

@@ -1,0 +1,73 @@
+"""X1 — verification latency: the §4.3 argument for deferred verification."""
+
+from dataclasses import dataclass
+
+from repro.core.heimdall import Heimdall
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.util.clock import CostModel
+
+# The paper's data point: 25 seconds for 175 constraints.
+PAPER_X1 = {"constraints": 175, "latency_s": 25.0}
+
+
+def verification_latency_curve(counts=(25, 50, 100, 175, 350),
+                               cost_model=None):
+    """(constraint_count, simulated_latency_s) pairs."""
+    cost_model = cost_model or CostModel()
+    return [(count, cost_model.verify_s(count)) for count in counts]
+
+
+@dataclass(frozen=True)
+class DeferredComparisonRow:
+    """Continuous vs deferred verification cost for one fix session."""
+
+    issue_id: str
+    config_actions: int
+    continuous_s: float
+    deferred_s: float
+
+    @property
+    def ratio(self):
+        return self.continuous_s / self.deferred_s
+
+
+def continuous_vs_deferred(network_name="enterprise", policies=None,
+                           cost_model=None):
+    """Per-issue comparison rows over the standard issues.
+
+    Continuous verification pays one full pass per state-changing action;
+    deferred pays exactly one pass per session.
+    """
+    cost_model = cost_model or CostModel()
+    if policies is None:
+        policies = mine_policies(build_enterprise_network())
+    per_pass = cost_model.verify_s(len(policies))
+
+    rows = []
+    for issue_id, issue in standard_issues(network_name).items():
+        production = build_enterprise_network()
+        issue.inject(production)
+        heimdall = Heimdall(production, policies=policies,
+                            cost_model=cost_model)
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        config_actions = sum(
+            1
+            for step in issue.fix_script
+            for command in step.commands
+            if command.split()[0] not in (
+                "show", "ping", "traceroute", "write", "end", "exit",
+            )
+        )
+        session.abandon("latency measurement")
+        rows.append(
+            DeferredComparisonRow(
+                issue_id=issue_id,
+                config_actions=config_actions,
+                continuous_s=config_actions * per_pass,
+                deferred_s=per_pass,
+            )
+        )
+    return rows

@@ -1,0 +1,67 @@
+"""Table 1 — evaluation network characteristics."""
+
+from dataclasses import dataclass
+
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.university import build_university_network
+
+# The paper's reported values, for side-by-side display.
+PAPER_TABLE1 = {
+    "enterprise": {"routers": 9, "hosts": 9, "links": 22,
+                   "policies": 21, "config_lines": 1394},
+    "university": {"routers": 13, "hosts": 17, "links": 92,
+                   "policies": 175, "config_lines": 2146},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One network's row, measured and paper-side."""
+
+    network: str
+    routers: int
+    hosts: int
+    links: int
+    policies: int
+    config_lines: int
+    paper: dict
+
+    def cells(self):
+        """(label, measured, paper) triples in column order."""
+        return [
+            ("#routers", self.routers, self.paper["routers"]),
+            ("#hosts", self.hosts, self.paper["hosts"]),
+            ("#links", self.links, self.paper["links"]),
+            ("#policies", self.policies, self.paper["policies"]),
+            ("config lines", self.config_lines, self.paper["config_lines"]),
+        ]
+
+
+def table1(networks=None):
+    """Measured Table 1 rows for both (or the given) evaluation networks.
+
+    ``networks`` maps name -> Network; defaults to freshly built scenario
+    networks.
+    """
+    if networks is None:
+        networks = {
+            "enterprise": build_enterprise_network(),
+            "university": build_university_network(),
+        }
+    rows = []
+    for name, network in networks.items():
+        summary = network.summary()
+        policies = mine_policies(network)
+        rows.append(
+            Table1Row(
+                network=name,
+                routers=summary["routers"],
+                hosts=summary["hosts"],
+                links=summary["links"],
+                policies=len(policies),
+                config_lines=summary["config_lines"],
+                paper=PAPER_TABLE1.get(name, {}),
+            )
+        )
+    return rows

@@ -1,0 +1,22 @@
+"""The MSP side: ticketing, the RMM baseline, and the two workflows of Fig. 7."""
+
+from repro.msp.rmm import RmmAgent, RmmServer, RmmSession
+from repro.msp.technician import ScriptedTechnician
+from repro.msp.ticketing import Ticket, TicketSystem
+from repro.msp.workflows import (
+    CurrentWorkflow,
+    HeimdallWorkflow,
+    WorkflowResult,
+)
+
+__all__ = [
+    "CurrentWorkflow",
+    "HeimdallWorkflow",
+    "RmmAgent",
+    "RmmServer",
+    "RmmSession",
+    "ScriptedTechnician",
+    "Ticket",
+    "TicketSystem",
+    "WorkflowResult",
+]

@@ -1,0 +1,89 @@
+"""The RMM baseline: today's MSP access model (paper §2.1, Figure 1).
+
+A central :class:`RmmServer` authenticates technicians and hands out
+sessions; per-device :class:`RmmAgent` objects have **root** on their
+devices, so an authenticated session gets an unmediated console on every
+agent-bearing device — exactly the all-or-nothing access the paper
+criticises. This is the "Current" workflow of Figure 7 and the "All"
+exposure of Figures 8 and 9.
+"""
+
+from dataclasses import dataclass
+
+from repro.emulation.network import EmulatedNetwork
+from repro.util.errors import ReproError
+from repro.util.ids import IdAllocator
+
+
+@dataclass
+class RmmAgent:
+    """A root-privileged agent installed on one device."""
+
+    device: str
+    root: bool = True
+
+
+@dataclass
+class Credential:
+    """A technician login at the MSP."""
+
+    username: str
+    password: str
+
+
+class RmmSession:
+    """An authenticated technician session: full control of every agent."""
+
+    def __init__(self, server, session_id, username):
+        self._server = server
+        self.session_id = session_id
+        self.username = username
+        self.commands_run = 0
+        self._consoles = {}
+
+    def devices(self):
+        """Every agent-bearing device — all of them, that's the point."""
+        return sorted(self._server.agents)
+
+    def console(self, device):
+        """An unmediated root console on ``device`` (persistent per session)."""
+        if device not in self._server.agents:
+            raise ReproError(f"no RMM agent on {device!r}")
+        if device not in self._consoles:
+            self._consoles[device] = self._server.attached.console(device)
+        return self._consoles[device]
+
+    def execute(self, device, command):
+        """Run a command through the agent."""
+        self.commands_run += 1
+        return self.console(device).execute(command)
+
+
+class RmmServer:
+    """The MSP's central server, attached to the customer's production network."""
+
+    def __init__(self, production, credentials=(), files=None):
+        self.production = production
+        if files is None:
+            from repro.scenarios.files import default_host_files
+
+            files = default_host_files(production)
+        self.attached = EmulatedNetwork.attached(production, files=files)
+        self.agents = {
+            name: RmmAgent(device=name)
+            for name in production.topology.device_names()
+        }
+        self._credentials = {c.username: c for c in credentials}
+        self._ids = IdAllocator()
+        self.failed_logins = []
+
+    def add_credential(self, username, password):
+        self._credentials[username] = Credential(username, password)
+
+    def authenticate(self, username, password):
+        """Password login; phished credentials work — that's the threat model."""
+        credential = self._credentials.get(username)
+        if credential is None or credential.password != password:
+            self.failed_logins.append(username)
+            raise ReproError(f"authentication failed for {username!r}")
+        return RmmSession(self, self._ids.allocate("RMM"), username)

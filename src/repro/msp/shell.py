@@ -1,0 +1,104 @@
+"""Interactive technician shell: a human front-end over any access model.
+
+The paper's presentation layer gives technicians "interfaces for them to
+perform actions"; this is that interface for a terminal. The shell speaks
+the same ``execute(device, command)`` protocol as
+:class:`~repro.msp.technician.ScriptedTechnician`, so the identical shell
+works over an RMM session (current model) or a Heimdall ticket session
+(twin model) — the access object decides what the commands may do.
+
+::
+
+    shell = TechnicianShell(access, devices=session.twin.scope)
+    shell.cmdloop()            # interactive
+    shell.onecmd("connect r1")  # or scripted, e.g. in tests
+"""
+
+import cmd
+
+from repro.util.errors import EmulationError, ReproError
+
+
+class TechnicianShell(cmd.Cmd):
+    """A device-hopping console REPL.
+
+    ``connect <device>`` selects a device; every other line is sent to that
+    device's console verbatim. Denied or invalid commands print the error
+    the console returned — the shell itself never enforces anything.
+    """
+
+    intro = (
+        "Technician shell. Commands: connect <device>, devices, history, "
+        "quit.\nAnything else goes to the connected device's console."
+    )
+
+    def __init__(self, access, devices, stdin=None, stdout=None):
+        super().__init__(stdin=stdin, stdout=stdout)
+        if stdin is not None:
+            self.use_rawinput = False
+        self._access = access
+        self._devices = sorted(devices)
+        self._current = None
+        self.history = []  # (device, command, ok)
+        self._update_prompt()
+
+    def _update_prompt(self):
+        self.prompt = f"{self._current or '(not connected)'}> "
+
+    # -- shell commands -------------------------------------------------------
+
+    def do_connect(self, arg):
+        """connect <device> — open the device's console."""
+        device = arg.strip()
+        if device not in self._devices:
+            self.stdout.write(
+                f"unknown device {device!r}; try 'devices'\n"
+            )
+            return
+        self._current = device
+        self._update_prompt()
+        self.stdout.write(f"connected to {device}\n")
+
+    def do_devices(self, arg):
+        """devices — list devices this session can reach."""
+        for device in self._devices:
+            marker = "*" if device == self._current else " "
+            self.stdout.write(f" {marker} {device}\n")
+
+    def do_history(self, arg):
+        """history — commands issued so far."""
+        for device, command, ok in self.history:
+            status = "ok" if ok else "DENIED/FAILED"
+            self.stdout.write(f"  {device}: {command} [{status}]\n")
+
+    def do_quit(self, arg):
+        """quit — leave the shell."""
+        return True
+
+    do_exit_shell = do_quit
+
+    def do_EOF(self, arg):
+        """End of input leaves the shell."""
+        self.stdout.write("\n")
+        return True
+
+    def emptyline(self):
+        return False
+
+    # -- console forwarding ------------------------------------------------------
+
+    def default(self, line):
+        if self._current is None:
+            self.stdout.write("not connected; use: connect <device>\n")
+            return
+        try:
+            result = self._access.execute(self._current, line)
+        except (EmulationError, ReproError) as exc:
+            self.stdout.write(f"error: {exc}\n")
+            self.history.append((self._current, line, False))
+            return
+        self.history.append((self._current, line, result.ok))
+        if result.output:
+            self.stdout.write(result.output + "\n")
+        if not result.ok:
+            self.stdout.write((result.error or "failed") + "\n")

@@ -1,0 +1,39 @@
+"""Scripted technicians: the pilot study's human, made deterministic.
+
+The paper levels the playing field by giving its (author-)technician "a
+prepared list of commands to fix each issue"; a
+:class:`ScriptedTechnician` replays exactly such a list through whatever
+access interface a workflow hands it — an RMM session (current approach) or
+a Heimdall ticket session (twin). Adversarial variants live in
+:mod:`repro.attack.adversary`.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ScriptedTechnician:
+    """Replays prepared fix scripts; records what happened."""
+
+    name: str = "tech-1"
+    results: list = field(default_factory=list)
+
+    def work_on(self, access, fix_script):
+        """Run every step of ``fix_script`` through ``access``.
+
+        ``access`` needs one method: ``execute(device, command)`` returning a
+        :class:`~repro.emulation.console.CommandResult`. Both workflow
+        adapters provide it.
+        """
+        for step in fix_script:
+            for command in step.commands:
+                self.results.append(access.execute(step.device, command))
+        return self.results
+
+    @property
+    def denied_count(self):
+        return sum(1 for result in self.results if result.denied)
+
+    @property
+    def command_count(self):
+        return len(self.results)

@@ -1,0 +1,96 @@
+"""Ticketing: how work reaches a technician (paper §2.1, workflow step 1)."""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.errors import ReproError
+from repro.util.ids import IdAllocator
+
+
+class TicketState(enum.Enum):
+    OPEN = "open"
+    IN_PROGRESS = "in_progress"
+    RESOLVED = "resolved"
+    CLOSED = "closed"
+
+
+@dataclass
+class Ticket:
+    """One unit of outsourced work."""
+
+    ticket_id: str
+    issue: object  # scenarios.Issue
+    state: TicketState = TicketState.OPEN
+    assignee: str = None
+    notes: list = field(default_factory=list)
+
+    @property
+    def description(self):
+        return self.issue.description
+
+    def add_note(self, author, text):
+        self.notes.append((author, text))
+
+
+class TicketSystem:
+    """Opens, assigns, and closes tickets with a legal state machine."""
+
+    _TRANSITIONS = {
+        TicketState.OPEN: (TicketState.IN_PROGRESS, TicketState.CLOSED),
+        TicketState.IN_PROGRESS: (TicketState.RESOLVED, TicketState.OPEN),
+        TicketState.RESOLVED: (TicketState.CLOSED, TicketState.IN_PROGRESS),
+        TicketState.CLOSED: (),
+    }
+
+    def __init__(self):
+        self._ids = IdAllocator()
+        self._tickets = {}
+
+    def open(self, issue):
+        """File a ticket for an issue (by the admin or a monitoring system)."""
+        ticket = Ticket(ticket_id=self._ids.allocate("TICKET"), issue=issue)
+        self._tickets[ticket.ticket_id] = ticket
+        return ticket
+
+    def assign(self, ticket_id, technician):
+        ticket = self.get(ticket_id)
+        self._transition(ticket, TicketState.IN_PROGRESS)
+        ticket.assignee = technician
+        return ticket
+
+    def resolve(self, ticket_id, note=""):
+        ticket = self.get(ticket_id)
+        self._transition(ticket, TicketState.RESOLVED)
+        if note:
+            ticket.add_note(ticket.assignee or "unknown", note)
+        return ticket
+
+    def close(self, ticket_id):
+        ticket = self.get(ticket_id)
+        self._transition(ticket, TicketState.CLOSED)
+        return ticket
+
+    def reopen(self, ticket_id):
+        ticket = self.get(ticket_id)
+        self._transition(ticket, TicketState.IN_PROGRESS)
+        return ticket
+
+    def get(self, ticket_id):
+        try:
+            return self._tickets[ticket_id]
+        except KeyError:
+            raise ReproError(f"unknown ticket {ticket_id!r}") from None
+
+    def tickets(self, state=None):
+        found = list(self._tickets.values())
+        if state is not None:
+            found = [t for t in found if t.state == state]
+        return found
+
+    def _transition(self, ticket, new_state):
+        if new_state not in self._TRANSITIONS[ticket.state]:
+            raise ReproError(
+                f"ticket {ticket.ticket_id}: illegal transition "
+                f"{ticket.state.value} -> {new_state.value}"
+            )
+        ticket.state = new_state

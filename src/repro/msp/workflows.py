@@ -1,0 +1,147 @@
+"""The two Figure 7 workflows, instrumented on the simulated clock.
+
+* **Current** — technician connects to the RMM server and operates directly
+  on production: connect → perform operations → save changes.
+* **Heimdall** — the same prepared commands run inside a twin, plus the
+  three Heimdall steps: generate Privilege_msp, set up the twin network,
+  and verify + schedule the changes.
+
+Both workflows replay the *same prepared fix script* (the paper's "level
+playing field"), so the difference in total time is exactly Heimdall's
+overhead.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.heimdall import Heimdall
+from repro.msp.rmm import RmmServer
+from repro.msp.technician import ScriptedTechnician
+from repro.util.clock import CostModel, SimulatedClock
+
+
+@dataclass
+class WorkflowResult:
+    """One workflow run on one issue."""
+
+    issue_id: str
+    workflow: str
+    resolved: bool
+    duration_s: float
+    breakdown: dict = field(default_factory=dict)
+    command_count: int = 0
+    denied_commands: int = 0
+    detail: object = None  # TicketOutcome for Heimdall runs
+
+    def step_seconds(self, step):
+        return self.breakdown.get(step, 0.0)
+
+
+class _TimedAccess:
+    """Charges per-command costs while delegating to an execute backend."""
+
+    def __init__(self, clock, cost_model, run):
+        self._clock = clock
+        self._cost_model = cost_model
+        self._run = run
+
+    def execute(self, device, command):
+        result = self._run(device, command)
+        head = command.split()[0] if command.split() else ""
+        if head in ("write", "copy"):
+            self._clock.advance(self._cost_model.save_config_s,
+                                step="save changes")
+        elif head in ("show", "ping", "traceroute"):
+            self._clock.advance(self._cost_model.command_s,
+                                step="perform operations")
+        else:
+            self._clock.advance(self._cost_model.command_config_s,
+                                step="perform operations")
+        return result
+
+
+class CurrentWorkflow:
+    """Today's MSP model: direct root access through the RMM tool."""
+
+    name = "current"
+
+    def __init__(self, cost_model=None):
+        self.cost_model = cost_model or CostModel()
+
+    def resolve(self, production, issue, technician=None):
+        """Run the prepared fix directly against production."""
+        clock = SimulatedClock()
+        technician = technician or ScriptedTechnician()
+
+        server = RmmServer(production)
+        server.add_credential(technician.name, "hunter2")
+        session = server.authenticate(technician.name, "hunter2")
+        clock.advance(self.cost_model.login_s, step="connect")
+
+        access = _TimedAccess(clock, self.cost_model, session.execute)
+        technician.work_on(access, issue.fix_script)
+
+        return WorkflowResult(
+            issue_id=issue.issue_id,
+            workflow=self.name,
+            resolved=issue.is_resolved(production),
+            duration_s=clock.now,
+            breakdown=clock.breakdown(),
+            command_count=technician.command_count,
+            denied_commands=technician.denied_count,
+        )
+
+
+class HeimdallWorkflow:
+    """The paper's workflow: twin network + policy enforcer."""
+
+    name = "heimdall"
+
+    def __init__(self, policies=None, cost_model=None, scoping="heimdall"):
+        self.policies = policies
+        self.cost_model = cost_model or CostModel()
+        self.scoping = scoping
+
+    def resolve(self, production, issue, technician=None):
+        """Run the prepared fix inside a twin, then verify and import."""
+        clock = SimulatedClock()
+        technician = technician or ScriptedTechnician()
+
+        heimdall = Heimdall(
+            production,
+            policies=self.policies,
+            scoping_strategy=self.scoping,
+            clock=clock,
+            cost_model=self.cost_model,
+        )
+        clock.advance(self.cost_model.login_s, step="connect")
+        session = heimdall.open_ticket(issue)
+
+        technician.work_on(
+            _SessionAccess(session), issue.fix_script
+        )
+        outcome = session.submit()
+
+        return WorkflowResult(
+            issue_id=issue.issue_id,
+            workflow=self.name,
+            resolved=outcome.resolved,
+            duration_s=clock.now,
+            breakdown=clock.breakdown(),
+            command_count=technician.command_count,
+            denied_commands=technician.denied_count,
+            detail=outcome,
+        )
+
+
+class _SessionAccess:
+    """Adapter: technician access through a Heimdall ticket session.
+
+    The session already charges per-command costs on Heimdall's clock, so no
+    extra timing here.
+    """
+
+    def __init__(self, session):
+        self._session = session
+
+    def execute(self, device, command):
+        return self._session.execute(device, command)

@@ -1,0 +1,10 @@
+"""Physical network model: devices, interfaces, links, and the topology graph.
+
+This layer is purely physical — IP addressing, VLANs, and routing live in the
+configuration (:mod:`repro.config`) and control-plane (:mod:`repro.control`)
+layers, mirroring how real networks separate cabling from configuration.
+"""
+
+from repro.net.topology import Device, DeviceKind, Interface, Link, Topology
+
+__all__ = ["Device", "DeviceKind", "Interface", "Link", "Topology"]

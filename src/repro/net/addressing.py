@@ -1,0 +1,67 @@
+"""IPv4 helpers shared by the config parser and control plane.
+
+Cisco IOS expresses groups of addresses in three ways — dotted netmasks
+(``255.255.255.0``), wildcard masks (``0.0.0.255``), and the ``host``/``any``
+keywords. These helpers normalise all of them to :class:`ipaddress` objects.
+Only contiguous masks are supported; discontiguous wildcard masks are rare in
+practice and rejected loudly rather than mis-parsed.
+"""
+
+import ipaddress
+
+from repro.util.errors import ConfigError
+
+
+def parse_ip(text):
+    """Parse a dotted-quad IPv4 address."""
+    try:
+        return ipaddress.IPv4Address(text)
+    except (ipaddress.AddressValueError, ValueError) as exc:
+        raise ConfigError(f"bad IPv4 address {text!r}: {exc}") from None
+
+
+def netmask_to_prefixlen(mask_text):
+    """Convert ``255.255.255.0`` -> 24, rejecting discontiguous masks."""
+    mask = int(parse_ip(mask_text))
+    # A valid netmask is a run of ones followed by zeros: adding the inverted
+    # mask + 1 must produce a power of two (or zero for /32).
+    inverted = mask ^ 0xFFFFFFFF
+    if inverted & (inverted + 1):
+        raise ConfigError(f"discontiguous netmask {mask_text!r}")
+    return 32 - inverted.bit_length()
+
+
+def wildcard_to_prefixlen(wildcard_text):
+    """Convert a wildcard mask ``0.0.0.255`` -> 24."""
+    wildcard = int(parse_ip(wildcard_text))
+    if wildcard & (wildcard + 1):
+        raise ConfigError(f"discontiguous wildcard mask {wildcard_text!r}")
+    return 32 - wildcard.bit_length()
+
+
+def network_from_netmask(ip_text, mask_text):
+    """``10.0.1.5 255.255.255.0`` -> ``IPv4Network(10.0.1.0/24)``."""
+    prefixlen = netmask_to_prefixlen(mask_text)
+    return ipaddress.IPv4Network((parse_ip(ip_text), prefixlen), strict=False)
+
+
+def network_from_wildcard(ip_text, wildcard_text):
+    """``10.0.1.0 0.0.0.255`` -> ``IPv4Network(10.0.1.0/24)``."""
+    prefixlen = wildcard_to_prefixlen(wildcard_text)
+    return ipaddress.IPv4Network((parse_ip(ip_text), prefixlen), strict=False)
+
+
+def interface_address(ip_text, mask_text):
+    """``10.0.1.5 255.255.255.0`` -> ``IPv4Interface(10.0.1.5/24)``."""
+    prefixlen = netmask_to_prefixlen(mask_text)
+    return ipaddress.IPv4Interface(f"{ip_text}/{prefixlen}")
+
+
+def prefixlen_to_netmask(prefixlen):
+    """24 -> ``255.255.255.0``."""
+    return str(ipaddress.IPv4Network(f"0.0.0.0/{prefixlen}").netmask)
+
+
+def prefixlen_to_wildcard(prefixlen):
+    """24 -> ``0.0.0.255``."""
+    return str(ipaddress.IPv4Network(f"0.0.0.0/{prefixlen}").hostmask)

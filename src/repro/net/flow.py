@@ -1,0 +1,63 @@
+"""Packet-header abstraction used by ACL matching and forwarding analysis.
+
+A :class:`Flow` is a single representative packet header (5-tuple). The
+reachability analysis in :mod:`repro.dataplane` simulates concrete flows
+rather than symbolic header spaces; for the policy classes the paper uses
+(pairwise reachability/isolation, per-port service reachability) concrete
+representative flows are sufficient and much simpler to audit.
+"""
+
+import ipaddress
+from dataclasses import dataclass
+
+
+PROTOCOLS = ("ip", "icmp", "tcp", "udp")
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A concrete packet header.
+
+    ``protocol`` is one of ``ip`` (any), ``icmp``, ``tcp``, ``udp``. Ports are
+    ``None`` for port-less protocols.
+    """
+
+    src_ip: ipaddress.IPv4Address
+    dst_ip: ipaddress.IPv4Address
+    protocol: str = "ip"
+    src_port: int = None
+    dst_port: int = None
+
+    def __post_init__(self):
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        for port in (self.src_port, self.dst_port):
+            if port is not None and not 0 <= port <= 65535:
+                raise ValueError(f"port {port!r} out of range")
+
+    @classmethod
+    def make(cls, src_ip, dst_ip, protocol="ip", src_port=None, dst_port=None):
+        """Build a flow from string or address arguments."""
+        return cls(
+            src_ip=ipaddress.IPv4Address(src_ip),
+            dst_ip=ipaddress.IPv4Address(dst_ip),
+            protocol=protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+        )
+
+    def reversed(self):
+        """The return-direction flow (src/dst swapped)."""
+        return Flow(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            protocol=self.protocol,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+        )
+
+    def __str__(self):
+        ports = ""
+        if self.src_port is not None or self.dst_port is not None:
+            ports = f" {self.src_port or '*'}->{self.dst_port or '*'}"
+        return f"{self.protocol} {self.src_ip} -> {self.dst_ip}{ports}"

@@ -1,0 +1,209 @@
+"""Physical topology: devices, interfaces, and point-to-point links.
+
+The model intentionally mirrors what a cabling diagram captures. A
+:class:`Topology` is a multigraph of :class:`Device` nodes joined by
+:class:`Link` edges between named :class:`Interface` endpoints. Everything
+logical (addresses, VLANs, routing processes) is configuration and lives in
+:mod:`repro.config`.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.errors import TopologyError
+
+
+class DeviceKind(enum.Enum):
+    """Role of a device in the network."""
+
+    ROUTER = "router"
+    SWITCH = "switch"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A named port on a device, e.g. ``("r1", "GigabitEthernet0/0")``."""
+
+    device: str
+    name: str
+
+    def __str__(self):
+        return f"{self.device}:{self.name}"
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected cable between two interfaces on distinct devices."""
+
+    a: Interface
+    b: Interface
+
+    def __post_init__(self):
+        if self.a.device == self.b.device:
+            raise TopologyError(f"self-link on device {self.a.device!r}")
+
+    def endpoints(self):
+        """Both interface endpoints as a tuple."""
+        return (self.a, self.b)
+
+    def other(self, interface):
+        """The endpoint opposite ``interface``."""
+        if interface == self.a:
+            return self.b
+        if interface == self.b:
+            return self.a
+        raise TopologyError(f"{interface} is not an endpoint of {self}")
+
+    def __str__(self):
+        return f"{self.a} <-> {self.b}"
+
+
+@dataclass
+class Device:
+    """A network device: router, switch, or host."""
+
+    name: str
+    kind: DeviceKind
+    interfaces: dict = field(default_factory=dict)
+
+    def interface(self, name):
+        """Look up an interface by name, raising if it does not exist."""
+        try:
+            return self.interfaces[name]
+        except KeyError:
+            raise TopologyError(
+                f"device {self.name!r} has no interface {name!r}"
+            ) from None
+
+    def add_interface(self, name):
+        """Declare an interface; idempotent for repeated declarations."""
+        if name not in self.interfaces:
+            self.interfaces[name] = Interface(self.name, name)
+        return self.interfaces[name]
+
+
+class Topology:
+    """A named collection of devices and the links between them.
+
+    >>> topo = Topology("demo")
+    >>> _ = topo.add_device("r1", DeviceKind.ROUTER)
+    >>> _ = topo.add_device("h1", DeviceKind.HOST)
+    >>> _ = topo.add_link("r1", "Gi0/0", "h1", "eth0")
+    >>> topo.neighbors("r1")
+    ['h1']
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self._devices = {}
+        self._links = []
+        self._links_by_interface = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_device(self, name, kind):
+        """Add a device; duplicate names are an error."""
+        if name in self._devices:
+            raise TopologyError(f"duplicate device {name!r}")
+        device = Device(name, kind)
+        self._devices[name] = device
+        return device
+
+    def add_link(self, device_a, iface_a, device_b, iface_b):
+        """Cable ``device_a:iface_a`` to ``device_b:iface_b``.
+
+        Interfaces are declared implicitly. An interface can carry at most one
+        cable, as on physical hardware.
+        """
+        a = self.device(device_a).add_interface(iface_a)
+        b = self.device(device_b).add_interface(iface_b)
+        for endpoint in (a, b):
+            if endpoint in self._links_by_interface:
+                raise TopologyError(f"interface {endpoint} is already cabled")
+        link = Link(a, b)
+        self._links.append(link)
+        self._links_by_interface[a] = link
+        self._links_by_interface[b] = link
+        return link
+
+    # -- queries -----------------------------------------------------------
+
+    def device(self, name):
+        """Look up a device by name."""
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise TopologyError(f"unknown device {name!r}") from None
+
+    def has_device(self, name):
+        """Whether a device with this name exists."""
+        return name in self._devices
+
+    def devices(self, kind=None):
+        """All devices, optionally filtered by :class:`DeviceKind`."""
+        if kind is None:
+            return list(self._devices.values())
+        return [d for d in self._devices.values() if d.kind == kind]
+
+    def device_names(self, kind=None):
+        """Names of all devices, optionally filtered by kind."""
+        return [d.name for d in self.devices(kind)]
+
+    def links(self):
+        """All links, in insertion order."""
+        return list(self._links)
+
+    def link_at(self, device, iface):
+        """The link cabled to ``device:iface``, or ``None`` if uncabled."""
+        interface = self.device(device).interface(iface)
+        return self._links_by_interface.get(interface)
+
+    def peer(self, device, iface):
+        """The interface at the far end of the cable, or ``None``."""
+        link = self.link_at(device, iface)
+        if link is None:
+            return None
+        return link.other(self.device(device).interface(iface))
+
+    def neighbors(self, device):
+        """Sorted names of devices directly cabled to ``device``."""
+        names = set()
+        for iface in self.device(device).interfaces.values():
+            link = self._links_by_interface.get(iface)
+            if link is not None:
+                names.add(link.other(iface).device)
+        return sorted(names)
+
+    def links_of(self, device):
+        """All links with one endpoint on ``device``."""
+        found = []
+        for iface in self.device(device).interfaces.values():
+            link = self._links_by_interface.get(iface)
+            if link is not None:
+                found.append(link)
+        return found
+
+    def to_networkx(self):
+        """Export as an undirected :mod:`networkx` graph for graph algorithms.
+
+        Node attribute ``kind`` carries the :class:`DeviceKind`; edge
+        attribute ``link`` carries the :class:`Link`.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        for dev in self._devices.values():
+            graph.add_node(dev.name, kind=dev.kind)
+        for link in self._links:
+            graph.add_edge(link.a.device, link.b.device, link=link)
+        return graph
+
+    def summary(self):
+        """Counts used by Table 1: routers, switches, hosts, links."""
+        return {
+            "routers": len(self.devices(DeviceKind.ROUTER)),
+            "switches": len(self.devices(DeviceKind.SWITCH)),
+            "hosts": len(self.devices(DeviceKind.HOST)),
+            "links": len(self._links),
+        }

@@ -1,0 +1,30 @@
+"""Network policies: model, verification, and mining from the data plane.
+
+The reproduction's stand-in for the paper's Batfish-based policy checks and
+config2spec [32] policy mining: policies are reachability / isolation /
+waypoint predicates over concrete representative flows, verified by tracing
+them through a compiled data plane.
+"""
+
+from repro.policy.mining import mine_policies
+from repro.policy.model import (
+    IsolationPolicy,
+    Policy,
+    PolicyResult,
+    ReachabilityPolicy,
+    WaypointPolicy,
+    policy_from_dict,
+)
+from repro.policy.verification import PolicyVerifier, VerificationReport
+
+__all__ = [
+    "IsolationPolicy",
+    "Policy",
+    "PolicyResult",
+    "PolicyVerifier",
+    "ReachabilityPolicy",
+    "VerificationReport",
+    "WaypointPolicy",
+    "mine_policies",
+    "policy_from_dict",
+]

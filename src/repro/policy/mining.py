@@ -1,0 +1,257 @@
+"""Mine network policies from the current data plane (config2spec stand-in).
+
+config2spec [32] extracts the specification a configuration *implies*; the
+paper uses it to produce the policy sets of Table 1. Our miner does the
+moral equivalent on the simulated data plane, at LAN granularity:
+
+* **reachability** — for every ordered pair of host LANs, if the
+  representative flow is delivered, the configuration implies a
+  reachability policy;
+* **isolation** — if the flow is dropped *by an ACL* (an explicit security
+  decision, unlike a routing gap), the configuration implies an isolation
+  policy;
+* **service reachability** — for every applied ACL entry that permits a
+  specific TCP/UDP destination port to a concrete host, if a matching flow
+  is delivered, the configuration implies a service policy.
+
+Mining granularity differs from config2spec's (documented in
+EXPERIMENTS.md), so policy *counts* are comparable in magnitude, not equal.
+"""
+
+import ipaddress
+
+from repro.control.builder import build_dataplane
+from repro.dataplane.forwarding import Disposition
+from repro.dataplane.reachability import ReachabilityAnalyzer
+from repro.net.flow import Flow
+from repro.policy.model import IsolationPolicy, ReachabilityPolicy
+
+_ACL_DISPOSITIONS = (Disposition.DENIED_IN, Disposition.DENIED_OUT)
+
+
+def mine_policies(network, dataplane=None, include_services=True,
+                  include_waypoints=False, max_failures=0,
+                  failure_scope="backbone"):
+    """The policy set implied by ``network``'s current configuration.
+
+    With ``max_failures=1`` only policies that also hold under every single
+    link failure survive — config2spec's *k-failure robustness* mining.
+    ``failure_scope`` selects the failure universe: ``"backbone"`` fails
+    only links between network devices (routers/switches), the scenarios
+    config2spec's evaluation sweeps; ``"all"`` also fails host access links
+    (under which no single-homed host keeps any reachability policy —
+    correct, but rarely the question being asked).
+    """
+    if dataplane is None:
+        dataplane = build_dataplane(network)
+    analyzer = ReachabilityAnalyzer(dataplane)
+    policies = []
+    policies.extend(_mine_lan_policies(network, analyzer))
+    if include_services:
+        policies.extend(_mine_service_policies(network, analyzer))
+    if include_waypoints:
+        policies.extend(_mine_waypoint_policies(network, analyzer, policies))
+    if max_failures >= 1:
+        policies = _robust_subset(network, policies, failure_scope)
+    return policies
+
+
+_INTERNAL_SPACE = (
+    ipaddress.IPv4Network("10.0.0.0/8"),
+    ipaddress.IPv4Network("192.168.0.0/16"),
+    ipaddress.IPv4Network("172.16.0.0/12"),
+)
+
+
+def _is_internal(address):
+    return any(address in space for space in _INTERNAL_SPACE)
+
+
+def _mine_waypoint_policies(network, analyzer, mined_policies):
+    """Waypoint policies: externally-sourced traffic rides a filtering device.
+
+    For every delivered reachability/service policy whose source is outside
+    the internal address space, the first transit device carrying an applied
+    ACL is the de-facto security waypoint the configuration implies — emit
+    the corresponding :class:`WaypointPolicy`.
+    """
+    from repro.policy.model import WaypointPolicy
+
+    policies = []
+    seen = set()
+    for policy in mined_policies:
+        if policy.kind != "reachability" or _is_internal(policy.flow.src_ip):
+            continue
+        trace = analyzer.trace(policy.flow)
+        if not trace.success:
+            continue
+        endpoints = {trace.path()[0], trace.path()[-1]}
+        waypoint = next(
+            (
+                hop.device
+                for hop in trace.hops
+                if hop.device not in endpoints
+                and _has_applied_acl(network.config(hop.device))
+            ),
+            None,
+        )
+        if waypoint is None:
+            continue
+        key = (policy.flow, waypoint)
+        if key in seen:
+            continue
+        seen.add(key)
+        policies.append(
+            WaypointPolicy(
+                policy_id=f"waypoint:{policy.policy_id}@{waypoint}",
+                flow=policy.flow,
+                waypoint=waypoint,
+                comment=f"external traffic is filtered at {waypoint}",
+            )
+        )
+    return policies
+
+
+def _has_applied_acl(config):
+    return any(
+        name in config.acls
+        for iface in config.interfaces.values()
+        for name in (iface.access_group_in, iface.access_group_out)
+        if name is not None
+    )
+
+
+def _failure_links(network, failure_scope):
+    hosts = set(network.hosts())
+    for link in network.topology.links():
+        if failure_scope == "backbone" and (
+            link.a.device in hosts or link.b.device in hosts
+        ):
+            continue
+        yield link
+
+
+def _robust_subset(network, policies, failure_scope):
+    """Policies that hold in the base network AND under every 1-link failure."""
+    from repro.policy.verification import PolicyVerifier
+
+    surviving = list(policies)
+    for link in _failure_links(network, failure_scope):
+        if not surviving:
+            break
+        broken = network.copy()
+        for endpoint in link.endpoints():
+            broken.config(endpoint.device).interface(
+                endpoint.name
+            ).shutdown = True
+        report = PolicyVerifier(surviving).verify_network(broken)
+        violated = {result.policy.policy_id for result in report.violations}
+        surviving = [p for p in surviving if p.policy_id not in violated]
+    return surviving
+
+
+def _lan_representatives(network):
+    """One representative host per LAN (subnet), deterministic order."""
+    representatives = {}
+    for host in network.hosts():
+        address = network.config(host).primary_address
+        if address is None:
+            continue
+        representatives.setdefault(address.network, (host, address.ip))
+    return representatives
+
+
+def _mine_lan_policies(network, analyzer):
+    policies = []
+    representatives = _lan_representatives(network)
+    lans = sorted(representatives, key=str)
+    for src_lan in lans:
+        src_host, src_ip = representatives[src_lan]
+        for dst_lan in lans:
+            if src_lan == dst_lan:
+                continue
+            dst_host, dst_ip = representatives[dst_lan]
+            flow = Flow(src_ip=src_ip, dst_ip=dst_ip, protocol="icmp")
+            trace = analyzer.trace(flow)
+            pair = f"{src_lan}->{dst_lan}"
+            if trace.success:
+                policies.append(
+                    ReachabilityPolicy(
+                        policy_id=f"reach:{pair}",
+                        flow=flow,
+                        comment=f"{src_host} LAN reaches {dst_host} LAN",
+                    )
+                )
+            elif trace.disposition in _ACL_DISPOSITIONS:
+                policies.append(
+                    IsolationPolicy(
+                        policy_id=f"isolate:{pair}",
+                        flow=flow,
+                        comment=(
+                            f"{src_host} LAN blocked from {dst_host} LAN "
+                            f"at {trace.last_device}"
+                        ),
+                    )
+                )
+    return policies
+
+
+def _mine_service_policies(network, analyzer):
+    """Service policies from applied ACL permits with concrete ports."""
+    policies = []
+    seen = set()
+    representatives = _lan_representatives(network)
+    for device in network.routers():
+        config = network.config(device)
+        applied = set()
+        for iface in config.interfaces.values():
+            for name in (iface.access_group_in, iface.access_group_out):
+                if name is not None and name in config.acls:
+                    applied.add(name)
+        for name in sorted(applied):
+            for entry in config.acls[name].entries:
+                policy = _service_policy_for(
+                    entry, representatives, analyzer, seen
+                )
+                if policy is not None:
+                    policies.append(policy)
+    return policies
+
+
+def _service_policy_for(entry, representatives, analyzer, seen):
+    if entry.action != "permit" or entry.protocol not in ("tcp", "udp"):
+        return None
+    if entry.dst_port is None or entry.dst_port.op != "eq":
+        return None
+    if entry.dst.prefixlen != 32:
+        return None
+    dst_ip = entry.dst.network_address
+    port = entry.dst_port.low
+    # Prefer external sources: a permit reachable from outside the internal
+    # address space is the security-notable service the config implies.
+    candidates = sorted(
+        representatives,
+        key=lambda lan: (_is_internal(lan.network_address), str(lan)),
+    )
+    for src_lan in candidates:
+        src_host, src_ip = representatives[src_lan]
+        if src_ip not in entry.src or src_ip == dst_ip:
+            continue
+        key = (src_lan, dst_ip, entry.protocol, port)
+        if key in seen:
+            continue
+        flow = Flow(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            protocol=entry.protocol,
+            src_port=40000,
+            dst_port=port,
+        )
+        if analyzer.trace(flow).success:
+            seen.add(key)
+            return ReachabilityPolicy(
+                policy_id=f"service:{src_lan}->{dst_ip}:{entry.protocol}/{port}",
+                flow=flow,
+                comment=f"{src_host} LAN reaches service {dst_ip}:{port}",
+            )
+    return None

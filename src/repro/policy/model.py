@@ -1,0 +1,144 @@
+"""Policy classes: reachability, isolation, waypoint.
+
+Each policy owns a concrete representative :class:`~repro.net.flow.Flow` and
+is checked by tracing that flow through a data plane. Policies serialise
+to/from plain dicts — the JSON front-end the paper describes ("the admin can
+specify both privileges and network policies using the same interface").
+"""
+
+from dataclasses import dataclass
+
+from repro.net.flow import Flow
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Outcome of checking one policy."""
+
+    policy: object
+    holds: bool
+    detail: str = ""
+
+    def __str__(self):
+        state = "HOLDS" if self.holds else "VIOLATED"
+        return f"[{state}] {self.policy.policy_id}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Base policy: a named predicate over one representative flow."""
+
+    policy_id: str
+    flow: Flow
+    comment: str = ""
+
+    kind = "abstract"
+
+    def check(self, analyzer):
+        """Evaluate against a :class:`ReachabilityAnalyzer`; returns PolicyResult."""
+        raise NotImplementedError
+
+    def to_dict(self):
+        """Plain-dict form for the JSON front-end."""
+        return {
+            "kind": self.kind,
+            "id": self.policy_id,
+            "src_ip": str(self.flow.src_ip),
+            "dst_ip": str(self.flow.dst_ip),
+            "protocol": self.flow.protocol,
+            "src_port": self.flow.src_port,
+            "dst_port": self.flow.dst_port,
+            "comment": self.comment,
+        }
+
+
+@dataclass(frozen=True)
+class ReachabilityPolicy(Policy):
+    """The flow must be delivered."""
+
+    kind = "reachability"
+
+    def check(self, analyzer):
+        trace = analyzer.trace(self.flow)
+        if trace.success:
+            return PolicyResult(self, True, "delivered")
+        return PolicyResult(
+            self, False,
+            f"{trace.disposition.value} at {trace.last_device}",
+        )
+
+
+@dataclass(frozen=True)
+class IsolationPolicy(Policy):
+    """The flow must NOT be delivered."""
+
+    kind = "isolation"
+
+    def check(self, analyzer):
+        trace = analyzer.trace(self.flow)
+        if not trace.success:
+            return PolicyResult(self, True, trace.disposition.value)
+        return PolicyResult(
+            self, False, f"delivered via {' -> '.join(trace.path())}"
+        )
+
+
+@dataclass(frozen=True)
+class WaypointPolicy(Policy):
+    """If delivered, the flow must traverse ``waypoint``."""
+
+    waypoint: str = None
+
+    kind = "waypoint"
+
+    def __post_init__(self):
+        if self.waypoint is None:
+            raise ReproError("waypoint policy requires a waypoint device")
+
+    def check(self, analyzer):
+        trace = analyzer.trace(self.flow)
+        if not trace.success:
+            return PolicyResult(self, True, "not delivered (vacuously holds)")
+        if self.waypoint in trace.path():
+            return PolicyResult(self, True, f"traverses {self.waypoint}")
+        return PolicyResult(
+            self, False,
+            f"bypasses {self.waypoint}: {' -> '.join(trace.path())}",
+        )
+
+    def to_dict(self):
+        data = super().to_dict()
+        data["waypoint"] = self.waypoint
+        return data
+
+
+_KINDS = {
+    "reachability": ReachabilityPolicy,
+    "isolation": IsolationPolicy,
+    "waypoint": WaypointPolicy,
+}
+
+
+def policy_from_dict(data):
+    """Inverse of :meth:`Policy.to_dict`."""
+    try:
+        cls = _KINDS[data["kind"]]
+    except KeyError:
+        raise ReproError(f"unknown policy kind {data.get('kind')!r}") from None
+    flow = Flow.make(
+        data["src_ip"],
+        data["dst_ip"],
+        data.get("protocol", "ip"),
+        src_port=data.get("src_port"),
+        dst_port=data.get("dst_port"),
+    )
+    extra = {}
+    if cls is WaypointPolicy:
+        extra["waypoint"] = data["waypoint"]
+    return cls(
+        policy_id=data["id"],
+        flow=flow,
+        comment=data.get("comment", ""),
+        **extra,
+    )

@@ -1,0 +1,68 @@
+"""Policy verification over a data plane (the Batfish-check stand-in)."""
+
+from dataclasses import dataclass, field
+
+from repro.control.builder import build_dataplane
+from repro.dataplane.reachability import ReachabilityAnalyzer
+
+
+@dataclass
+class VerificationReport:
+    """Results of verifying one policy set against one data plane."""
+
+    results: list = field(default_factory=list)
+
+    @property
+    def violations(self):
+        """Results for policies that do not hold."""
+        return [r for r in self.results if not r.holds]
+
+    @property
+    def holds(self):
+        """Whether every policy holds."""
+        return not self.violations
+
+    @property
+    def checked_count(self):
+        return len(self.results)
+
+    @property
+    def violation_count(self):
+        return len(self.violations)
+
+    def violated_policies(self):
+        """The policy objects that were violated."""
+        return [r.policy for r in self.violations]
+
+    def summary(self):
+        return (
+            f"{self.checked_count - self.violation_count}/{self.checked_count}"
+            f" policies hold"
+        )
+
+
+class PolicyVerifier:
+    """Checks a policy set against network states.
+
+    One verifier instance is reusable across network states; each
+    :meth:`verify` call compiles (or receives) a data plane and traces every
+    policy's representative flow.
+    """
+
+    def __init__(self, policies):
+        self.policies = list(policies)
+
+    def verify_dataplane(self, dataplane):
+        """Check all policies against an already-compiled data plane."""
+        analyzer = ReachabilityAnalyzer(dataplane)
+        report = VerificationReport()
+        for policy in self.policies:
+            report.results.append(policy.check(analyzer))
+        return report
+
+    def verify_network(self, network):
+        """Compile ``network`` and check all policies."""
+        return self.verify_dataplane(build_dataplane(network))
+
+    def __len__(self):
+        return len(self.policies)

@@ -1,0 +1,26 @@
+"""Evaluation networks and reproducible issues (paper §5).
+
+* :mod:`repro.scenarios.builder` — fluent construction of topology+configs;
+* :mod:`repro.scenarios.enterprise` — the 9-router/9-host enterprise network;
+* :mod:`repro.scenarios.university` — the 13-router/17-host university network;
+* :mod:`repro.scenarios.issues` — the OSPF / ISP / VLAN issues and the
+  interface-down issue generator used by Figures 8 and 9.
+"""
+
+from repro.scenarios.builder import NetworkBuilder
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import (
+    Issue,
+    interface_down_issues,
+    standard_issues,
+)
+from repro.scenarios.university import build_university_network
+
+__all__ = [
+    "Issue",
+    "NetworkBuilder",
+    "build_enterprise_network",
+    "build_university_network",
+    "interface_down_issues",
+    "standard_issues",
+]

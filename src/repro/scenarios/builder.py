@@ -1,0 +1,219 @@
+"""Fluent construction of networks (topology + per-device configs).
+
+The scenario networks (and many tests) are built with this instead of raw
+config text: the builder assigns addresses, wires default gateways, and emits
+OSPF network statements covering whatever interfaces a router ended up with —
+the repetitive parts of writing IOS configs by hand.
+"""
+
+import ipaddress
+
+from repro.config.acl import Acl, AclEntry
+from repro.config.model import (
+    DeviceConfig,
+    OspfConfig,
+    OspfNetwork,
+    StaticRoute,
+    VlanConfig,
+)
+from repro.net.network import Network
+from repro.net.topology import DeviceKind, Topology
+from repro.util.errors import TopologyError
+
+
+class NetworkBuilder:
+    """Accumulates devices, cabling, and configuration, then builds a Network."""
+
+    def __init__(self, name):
+        self.topology = Topology(name)
+        self.configs = {}
+
+    # -- devices -------------------------------------------------------------
+
+    def router(self, name):
+        self._add_device(name, DeviceKind.ROUTER)
+        return self
+
+    def switch(self, name):
+        self._add_device(name, DeviceKind.SWITCH)
+        return self
+
+    def host(self, name):
+        self._add_device(name, DeviceKind.HOST)
+        return self
+
+    def _add_device(self, name, kind):
+        self.topology.add_device(name, kind)
+        self.configs[name] = DeviceConfig(hostname=name)
+
+    def config(self, name):
+        """The (mutable) config of an already-declared device."""
+        try:
+            return self.configs[name]
+        except KeyError:
+            raise TopologyError(f"device {name!r} not declared") from None
+
+    # -- L3 cabling ------------------------------------------------------------
+
+    def p2p(self, dev_a, iface_a, dev_b, iface_b, subnet):
+        """Point-to-point routed link; side A gets the first host IP, B the second."""
+        net = ipaddress.IPv4Network(subnet)
+        hosts = list(net.hosts())
+        if len(hosts) < 2:
+            raise TopologyError(f"subnet {subnet} too small for a p2p link")
+        self.topology.add_link(dev_a, iface_a, dev_b, iface_b)
+        self._address(dev_a, iface_a, hosts[0], net.prefixlen)
+        self._address(dev_b, iface_b, hosts[1], net.prefixlen)
+        return self
+
+    def attach_host(self, host, host_iface, router, router_iface, subnet,
+                    host_octet_offset=99):
+        """Cable a host directly to a router; router gets .1, host gets .1+offset.
+
+        Sets the host's default gateway to the router address.
+        """
+        net = ipaddress.IPv4Network(subnet)
+        hosts = list(net.hosts())
+        router_ip = hosts[0]
+        host_ip = hosts[min(host_octet_offset, len(hosts) - 1)]
+        self.topology.add_link(router, router_iface, host, host_iface)
+        self._address(router, router_iface, router_ip, net.prefixlen)
+        self._address(host, host_iface, host_ip, net.prefixlen)
+        self.configs[host].default_gateway = router_ip
+        return self
+
+    def _address(self, device, iface_name, ip, prefixlen):
+        iface = self.config(device).interface(iface_name, create=True)
+        iface.address = ipaddress.IPv4Interface((ip, prefixlen))
+        iface.shutdown = False
+
+    def address(self, device, iface_name, cidr):
+        """Assign an explicit address (``"10.0.0.1/24"``) to an interface."""
+        parsed = ipaddress.IPv4Interface(cidr)
+        self._address(device, iface_name, parsed.ip, parsed.network.prefixlen)
+        return self
+
+    # -- L2 cabling -------------------------------------------------------------
+
+    def vlan(self, switch, vlan_id, name=None):
+        """Declare a VLAN on a switch."""
+        self.config(switch).vlans[vlan_id] = VlanConfig(vlan_id, name=name)
+        return self
+
+    def access_link(self, device, iface, switch, switch_iface, vlan_id):
+        """Cable ``device`` into an access port on ``switch`` in ``vlan_id``.
+
+        The device side keeps whatever addressing it has (use :meth:`address`
+        or :meth:`lan_host`).
+        """
+        self.topology.add_link(device, iface, switch, switch_iface)
+        port = self.config(switch).interface(switch_iface, create=True)
+        port.switchport_mode = "access"
+        port.access_vlan = vlan_id
+        port.shutdown = False
+        self.config(device).interface(iface, create=True)
+        return self
+
+    def trunk_link(self, switch_a, iface_a, switch_b, iface_b, vlans):
+        """Trunk two switches together carrying ``vlans``."""
+        self.topology.add_link(switch_a, iface_a, switch_b, iface_b)
+        for switch, iface_name in ((switch_a, iface_a), (switch_b, iface_b)):
+            port = self.config(switch).interface(iface_name, create=True)
+            port.switchport_mode = "trunk"
+            port.trunk_vlans = tuple(sorted(vlans))
+            port.shutdown = False
+        return self
+
+    def lan_host(self, host, iface, cidr, gateway):
+        """Address a host on a switched LAN and point it at its gateway."""
+        self.address(host, iface, cidr)
+        self.config(host).default_gateway = ipaddress.IPv4Address(gateway)
+        return self
+
+    # -- routing -----------------------------------------------------------------
+
+    def enable_ospf(self, router, area=0, process_id=1, passive=(),
+                    default_originate=False):
+        """Run OSPF on every routed interface the router currently has."""
+        config = self.config(router)
+        if config.ospf is None:
+            config.ospf = OspfConfig(process_id=process_id)
+        for iface in config.routed_interfaces():
+            statement = OspfNetwork(prefix=iface.address.network, area=area)
+            if statement not in config.ospf.networks:
+                config.ospf.networks.append(statement)
+        config.ospf.passive_interfaces.update(passive)
+        if default_originate:
+            config.ospf.default_information_originate = True
+        return self
+
+    def enable_bgp(self, router, asn, neighbors=(), networks=()):
+        """Run eBGP on a router.
+
+        ``neighbors`` is an iterable of (peer_ip, remote_as); ``networks``
+        the prefixes to originate.
+        """
+        from repro.config.model import BgpConfig, BgpNeighbor
+
+        config = self.config(router)
+        if config.bgp is None:
+            config.bgp = BgpConfig(asn=asn)
+        for peer_ip, remote_as in neighbors:
+            statement = BgpNeighbor(
+                address=ipaddress.IPv4Address(peer_ip), remote_as=remote_as
+            )
+            if statement not in config.bgp.neighbors:
+                config.bgp.neighbors.append(statement)
+        for prefix in networks:
+            parsed = ipaddress.IPv4Network(prefix)
+            if parsed not in config.bgp.networks:
+                config.bgp.networks.append(parsed)
+        return self
+
+    def static_route(self, router, prefix, next_hop, distance=1):
+        """Install a static route."""
+        self.config(router).static_routes.append(
+            StaticRoute(
+                prefix=ipaddress.IPv4Network(prefix),
+                next_hop=ipaddress.IPv4Address(next_hop),
+                distance=distance,
+            )
+        )
+        return self
+
+    # -- security ----------------------------------------------------------------
+
+    def acl(self, device, name, entry_texts, kind="extended"):
+        """Define an ACL from IOS entry texts."""
+        entries = [AclEntry.parse(text, kind=kind) for text in entry_texts]
+        self.config(device).add_acl(Acl(name=name, kind=kind, entries=entries))
+        return self
+
+    def apply_acl(self, device, iface_name, acl_name, direction="in"):
+        """Bind an ACL to an interface direction."""
+        iface = self.config(device).interface(iface_name)
+        if direction == "in":
+            iface.access_group_in = acl_name
+        elif direction == "out":
+            iface.access_group_out = acl_name
+        else:
+            raise TopologyError(f"unknown ACL direction {direction!r}")
+        return self
+
+    def credentials(self, device, enable_secret=None, vty_password=None,
+                    snmp_community=None):
+        """Set management credentials (the sensitive data twins must hide)."""
+        config = self.config(device)
+        if enable_secret is not None:
+            config.enable_secret = enable_secret
+        if vty_password is not None:
+            config.vty_password = vty_password
+        if snmp_community is not None:
+            config.snmp_community = snmp_community
+        return self
+
+    # -- output -------------------------------------------------------------------
+
+    def build(self):
+        """Materialise the :class:`~repro.net.network.Network`."""
+        return Network(self.topology, self.configs)

@@ -1,0 +1,181 @@
+"""The enterprise evaluation network (paper Table 1: 9 routers, 9 hosts, 22 links).
+
+A realistic small-enterprise design::
+
+                 ext1
+                  |
+     +--------- [isp]  203.0.113.0/29 (provider-renumbered in the ISP issue)
+     |            |
+     |          [gw] --- static default to the ISP, originated into OSPF
+     |            |
+     |          [fw] --- web1 (DMZ, ACL-protected)
+     |          /   \\
+    (OSPF) [core1]-[core2] --- mon1 (monitoring)
+     |        |       |
+     |     [dist1]-[dist2]
+     |        |  \\    |
+     |        |  db1  |
+     |     [dept1] [dept2] --- pc3, printer1
+     |      |   |
+     |     sw1==sw2   (VLAN 10 staff / VLAN 20 app)
+     |     pc1  pc2(v10), app1(v20)
+
+Security intent (drives the mined policies):
+
+* only web traffic may reach the DMZ from outside;
+* the database LAN accepts connections only from the app VLAN (port 5432);
+* the staff VLAN may browse everywhere internal except the database LAN;
+* external hosts reach only the DMZ.
+"""
+
+from repro.scenarios.builder import NetworkBuilder
+
+# Devices whose consoles contain customer-sensitive material in the story
+# (credentials are set on every router; these also carry ACL secrets).
+SENSITIVE_DEVICES = ("fw", "dist1")
+
+
+def build_enterprise_network():
+    """Construct the enterprise network with full configurations."""
+    builder = NetworkBuilder("enterprise")
+
+    for name in ("isp", "gw", "fw", "core1", "core2",
+                 "dist1", "dist2", "dept1", "dept2"):
+        builder.router(name)
+    for name in ("sw1", "sw2"):
+        builder.switch(name)
+    for name in ("ext1", "web1", "db1", "mon1", "pc1", "pc2",
+                 "app1", "pc3", "printer1"):
+        builder.host(name)
+
+    # -- provider edge -------------------------------------------------------
+    builder.p2p("isp", "Gi0/0", "gw", "Gi0/0", "203.0.113.0/29")
+    builder.attach_host("ext1", "eth0", "isp", "Gi0/1", "198.51.100.0/24")
+
+    # -- firewall / DMZ ------------------------------------------------------
+    builder.p2p("gw", "Gi0/1", "fw", "Gi0/0", "10.0.1.0/30")
+    builder.attach_host("web1", "eth0", "fw", "Gi0/3", "10.9.1.0/24")
+
+    # -- core ----------------------------------------------------------------
+    builder.p2p("fw", "Gi0/1", "core1", "Gi0/0", "10.0.2.0/30")
+    builder.p2p("fw", "Gi0/2", "core2", "Gi0/0", "10.0.3.0/30")
+    builder.p2p("core1", "Gi0/1", "core2", "Gi0/1", "10.0.4.0/30")
+    builder.attach_host("mon1", "eth0", "core2", "Gi0/3", "10.8.1.0/24")
+
+    # -- distribution ---------------------------------------------------------
+    builder.p2p("core1", "Gi0/2", "dist1", "Gi0/0", "10.0.5.0/30")
+    builder.p2p("core2", "Gi0/2", "dist2", "Gi0/0", "10.0.6.0/30")
+    builder.p2p("dist1", "Gi0/1", "dist2", "Gi0/1", "10.0.7.0/30")
+    builder.attach_host("db1", "eth0", "dist1", "Gi0/3", "10.7.1.0/24")
+
+    # -- departments -----------------------------------------------------------
+    builder.p2p("dist1", "Gi0/2", "dept1", "Gi0/0", "10.0.8.0/30")
+    builder.p2p("dist2", "Gi0/2", "dept2", "Gi0/0", "10.0.9.0/30")
+    builder.attach_host("pc3", "eth0", "dept2", "Gi0/1", "10.6.1.0/24")
+    builder.attach_host("printer1", "eth0", "dept2", "Gi0/2", "10.6.2.0/24")
+
+    # -- dept1 switched LANs (VLAN 10 staff, VLAN 20 app) ----------------------
+    for switch in ("sw1", "sw2"):
+        builder.vlan(switch, 10, "staff").vlan(switch, 20, "app")
+    builder.access_link("dept1", "Gi0/1", "sw1", "Fa0/1", 10)
+    builder.address("dept1", "Gi0/1", "10.5.10.1/24")
+    builder.access_link("dept1", "Gi0/2", "sw1", "Fa0/2", 20)
+    builder.address("dept1", "Gi0/2", "10.5.20.1/24")
+    builder.trunk_link("sw1", "Fa0/24", "sw2", "Fa0/24", vlans=(10, 20))
+    builder.access_link("pc1", "eth0", "sw1", "Fa0/3", 10)
+    builder.lan_host("pc1", "eth0", "10.5.10.100/24", "10.5.10.1")
+    builder.access_link("pc2", "eth0", "sw2", "Fa0/2", 10)
+    builder.lan_host("pc2", "eth0", "10.5.10.101/24", "10.5.10.1")
+    builder.access_link("app1", "eth0", "sw2", "Fa0/3", 20)
+    builder.lan_host("app1", "eth0", "10.5.20.100/24", "10.5.20.1")
+
+    _configure_routing(builder)
+    _configure_security(builder)
+    _describe_interfaces(builder)
+    return builder.build()
+
+
+def _configure_routing(builder):
+    internal = ("gw", "fw", "core1", "core2", "dist1", "dist2", "dept1", "dept2")
+    passive_map = {
+        "fw": ("Gi0/3",),
+        "core2": ("Gi0/3",),
+        "dist1": ("Gi0/3",),
+        "dept1": ("Gi0/1", "Gi0/2"),
+        "dept2": ("Gi0/1", "Gi0/2"),
+    }
+    for router in internal:
+        builder.enable_ospf(
+            router,
+            passive=passive_map.get(router, ()),
+            default_originate=(router == "gw"),
+        )
+    # The gateway's OSPF must not peer with the provider.
+    builder.config("gw").ospf.passive_interfaces.add("Gi0/0")
+
+    # Static routing at the provider boundary.
+    builder.static_route("gw", "0.0.0.0/0", "203.0.113.1")
+    builder.static_route("isp", "10.0.0.0/8", "203.0.113.2")
+    builder.static_route("isp", "0.0.0.0/0", "198.51.100.254")
+
+    for router in internal + ("isp",):
+        builder.credentials(
+            router,
+            enable_secret=f"ent-secret-{router}",
+            vty_password=f"vty-{router}",
+            snmp_community="ent-community",
+        )
+
+
+def _configure_security(builder):
+    # DMZ: the outside world reaches web1 on web ports only.
+    builder.acl(
+        "fw",
+        "DMZ_IN",
+        [
+            "permit tcp any host 10.9.1.100 eq www",
+            "permit tcp any host 10.9.1.100 eq https",
+            "permit icmp 10.0.0.0 0.255.255.255 any",
+            "permit tcp 10.0.0.0 0.255.255.255 any",
+            "deny ip any any",
+        ],
+    )
+    builder.apply_acl("fw", "Gi0/3", "DMZ_IN", direction="out")
+
+    # External traffic entering the enterprise may only target the DMZ.
+    builder.acl(
+        "fw",
+        "OUTSIDE_IN",
+        [
+            "permit ip 10.0.0.0 0.255.255.255 any",
+            "permit tcp any host 10.9.1.100 eq www",
+            "permit tcp any host 10.9.1.100 eq https",
+            "deny ip any any",
+        ],
+    )
+    builder.apply_acl("fw", "Gi0/0", "OUTSIDE_IN", direction="in")
+
+    # Database LAN: only the app VLAN, and only postgres + icmp from it.
+    builder.acl(
+        "dist1",
+        "DB_PROTECT",
+        [
+            "permit tcp 10.5.20.0 0.0.0.255 host 10.7.1.100 eq 5432",
+            "permit icmp 10.5.20.0 0.0.0.255 10.7.1.0 0.0.0.255",
+            "permit icmp 10.8.1.0 0.0.0.255 10.7.1.0 0.0.0.255",
+            "deny ip any any",
+        ],
+    )
+    builder.apply_acl("dist1", "Gi0/3", "DB_PROTECT", direction="out")
+
+
+def _describe_interfaces(builder):
+    """Give every cabled interface a description, as real configs do."""
+    topology = builder.topology
+    for link in topology.links():
+        for end, other in ((link.a, link.b), (link.b, link.a)):
+            config = builder.config(end.device)
+            if end.name in config.interfaces:
+                iface = config.interfaces[end.name]
+                if iface.description is None:
+                    iface.description = f"to {other.device} {other.name}"

@@ -1,0 +1,78 @@
+"""Host filesystems for the scenario networks.
+
+The APT10 incident (paper Figure 2) exfiltrated *files* — credentials,
+intellectual property — from customer endpoints through the RMM agents.
+These are the files: every host gets OS boilerplate, and the sensitive
+hosts carry the crown jewels an adversary is after. Production-side
+emulations (RMM agents, emergency consoles) attach them; twin networks
+never clone them (files are emulation components).
+"""
+
+from repro.net.topology import DeviceKind
+
+# Content markers that must never appear in twin output (asserted in tests).
+SENSITIVE_MARKER = "CONFIDENTIAL"
+
+_SENSITIVE_FILES = {
+    # enterprise network
+    "db1": {
+        "/data/customers.db": (
+            f"{SENSITIVE_MARKER}: 48,112 customer records, PII + card tokens"
+        ),
+        "/data/backup.key": f"{SENSITIVE_MARKER}: AES key 9f3a...e1",
+    },
+    "web1": {
+        "/etc/ssl/private/web1.key": (
+            f"{SENSITIVE_MARKER}: RSA PRIVATE KEY MIIEow..."
+        ),
+    },
+    "app1": {
+        "/opt/app/config.ini": (
+            f"{SENSITIVE_MARKER}: db_password=prod-5432-secret"
+        ),
+    },
+    # university network
+    "db-reg": {
+        "/data/registrar.db": (
+            f"{SENSITIVE_MARKER}: student records, grades, SSNs"
+        ),
+    },
+    "hpc1": {
+        "/research/results.tar": (
+            f"{SENSITIVE_MARKER}: unpublished experiment data"
+        ),
+    },
+    "www": {
+        "/etc/ssl/private/www.key": (
+            f"{SENSITIVE_MARKER}: RSA PRIVATE KEY MIIBvg..."
+        ),
+    },
+}
+
+
+def default_host_files(network):
+    """Per-host filesystems for an emulated production network."""
+    files = {}
+    for host in network.hosts():
+        address = network.config(host).primary_address
+        files[host] = {
+            "/etc/hostname": host,
+            "/etc/resolv.conf": "nameserver 10.20.32.10",
+            "/var/log/syslog": f"{host} booted; link up on eth0",
+        }
+        if address is not None:
+            files[host]["/etc/network/interfaces"] = (
+                f"iface eth0 inet static\n  address {address}"
+            )
+        files[host].update(_SENSITIVE_FILES.get(host, {}))
+    return files
+
+
+def sensitive_paths(network):
+    """(host, path) pairs an exfiltration adversary targets."""
+    return [
+        (host, path)
+        for host, paths in _SENSITIVE_FILES.items()
+        if network.topology.has_device(host)
+        for path in paths
+    ]

@@ -1,0 +1,91 @@
+"""Save/load networks as on-disk snapshot directories (Batfish-style).
+
+A snapshot directory holds the network exactly the way operators (and
+Batfish) exchange it::
+
+    <snapshot>/
+      topology.json          devices, kinds, and cabling
+      configs/
+        <hostname>.cfg       IOS-style configuration per device
+
+``save_network`` writes one; ``load_network`` parses it back. The scenario
+networks round-trip exactly (tested), so users can dump them, edit configs
+with a text editor, and reload.
+"""
+
+import json
+from pathlib import Path
+
+from repro.config.parser import parse_config
+from repro.config.serializer import serialize_config
+from repro.net.network import Network
+from repro.net.topology import DeviceKind, Topology
+from repro.util.errors import ReproError
+
+_TOPOLOGY_FILE = "topology.json"
+_CONFIG_DIR = "configs"
+
+
+def save_network(network, directory):
+    """Write ``network`` to ``directory`` (created if needed)."""
+    root = Path(directory)
+    config_dir = root / _CONFIG_DIR
+    config_dir.mkdir(parents=True, exist_ok=True)
+
+    document = {
+        "name": network.name,
+        "devices": [
+            {"name": device.name, "kind": device.kind.value}
+            for device in network.topology.devices()
+        ],
+        "links": [
+            {
+                "a": {"device": link.a.device, "interface": link.a.name},
+                "b": {"device": link.b.device, "interface": link.b.name},
+            }
+            for link in network.topology.links()
+        ],
+    }
+    (root / _TOPOLOGY_FILE).write_text(json.dumps(document, indent=2) + "\n")
+
+    for name, config in network.configs.items():
+        (config_dir / f"{name}.cfg").write_text(serialize_config(config))
+    return root
+
+
+def load_network(directory):
+    """Parse a snapshot directory back into a :class:`Network`."""
+    root = Path(directory)
+    topology_path = root / _TOPOLOGY_FILE
+    if not topology_path.exists():
+        raise ReproError(f"no {_TOPOLOGY_FILE} in {root}")
+    try:
+        document = json.loads(topology_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"bad topology file: {exc}") from None
+
+    topology = Topology(document.get("name", root.name))
+    for entry in document.get("devices", []):
+        try:
+            kind = DeviceKind(entry["kind"])
+        except ValueError:
+            raise ReproError(
+                f"unknown device kind {entry.get('kind')!r}"
+            ) from None
+        topology.add_device(entry["name"], kind)
+    for link in document.get("links", []):
+        topology.add_link(
+            link["a"]["device"], link["a"]["interface"],
+            link["b"]["device"], link["b"]["interface"],
+        )
+
+    configs = {}
+    config_dir = root / _CONFIG_DIR
+    for device in topology.devices():
+        path = config_dir / f"{device.name}.cfg"
+        if not path.exists():
+            raise ReproError(f"missing config file {path}")
+        configs[device.name] = parse_config(
+            path.read_text(), hostname=device.name
+        )
+    return Network(topology, configs)

@@ -1,0 +1,417 @@
+"""Reproducible network issues (paper §5).
+
+Three real-world issue classes from the paper's StackExchange references,
+instantiated on both evaluation networks:
+
+* **ospf** [9]  — "I can't ping the other router using OSPF": missing/wrong
+  ``network`` statements stop adjacencies or prefix advertisement;
+* **isp**  [3]  — "Changing configuration on Cisco router": the provider
+  renumbered its side, the static default route must follow;
+* **vlan** [1]  — "Access port config": a host's access port lands in the
+  wrong VLAN.
+
+Plus the Figure 8/9 workload: :func:`interface_down_issues` brings every
+cabled interface down in turn and tickets the first host pair whose
+connectivity breaks.
+
+An :class:`Issue` carries an ``inject`` mutation (create the fault on a
+production network), the ticket metadata (affected endpoints, description),
+a *prepared* console fix script (the paper levels the playing field by
+having the technician replay prepared commands), and an ``is_resolved``
+check that re-verifies the ticket flow on a freshly compiled data plane.
+"""
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from repro.control.builder import build_dataplane
+from repro.dataplane.forwarding import trace_flow
+from repro.dataplane.reachability import host_flow
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class FixStep:
+    """Console commands to run on one device, in order."""
+
+    device: str
+    commands: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "commands", tuple(self.commands))
+
+
+@dataclass
+class Issue:
+    """One reproducible fault with its ticket and prepared fix."""
+
+    issue_id: str
+    title: str
+    description: str
+    src_host: str
+    dst_host: str
+    root_cause_device: str
+    complexity: str  # "simple" | "moderate" | "complex"
+    fix_script: list = field(default_factory=list)
+    _inject: callable = None
+
+    def inject(self, network):
+        """Create the fault by mutating ``network``'s configs in place."""
+        if self._inject is None:
+            raise ReproError(f"issue {self.issue_id} has no injection")
+        self._inject(network)
+
+    def ticket_flow(self, network):
+        """The representative flow the ticket complains about."""
+        return host_flow(network, self.src_host, self.dst_host)
+
+    def is_resolved(self, network):
+        """Whether the ticket flow is delivered on a fresh data plane."""
+        dataplane = build_dataplane(network)
+        trace = trace_flow(
+            dataplane, self.ticket_flow(network), start_device=self.src_host
+        )
+        return trace.success
+
+    def is_broken(self, network):
+        """Whether the fault currently manifests (inverse of resolved)."""
+        return not self.is_resolved(network)
+
+    @property
+    def affected_devices(self):
+        """The ticket's endpoints — what the twin scoping starts from."""
+        return (self.src_host, self.dst_host)
+
+
+# ---------------------------------------------------------------------------
+# The three standard issues, per network
+# ---------------------------------------------------------------------------
+
+
+def standard_issues(network_name):
+    """The ospf/isp/vlan issue set for ``"enterprise"`` or ``"university"``."""
+    try:
+        return {
+            "enterprise": _enterprise_issues,
+            "university": _university_issues,
+        }[network_name]()
+    except KeyError:
+        raise ReproError(f"no standard issues for network {network_name!r}") from None
+
+
+def _remove_ospf_networks(config, prefixes):
+    targets = {ipaddress.IPv4Network(p) for p in prefixes}
+    config.ospf.networks = [
+        statement
+        for statement in config.ospf.networks
+        if statement.prefix not in targets
+    ]
+
+
+def _enterprise_issues():
+    def inject_ospf(network):
+        # dist1 loses the network statements for all three uplinks: it stops
+        # peering, so the database LAN (and dept1 behind it) fall off the map.
+        _remove_ospf_networks(
+            network.config("dist1"),
+            ("10.0.5.0/30", "10.0.7.0/30", "10.0.8.0/30"),
+        )
+
+    ospf = Issue(
+        issue_id="ospf",
+        title="OSPF adjacency lost on dist1",
+        description=(
+            "app1 (10.5.20.100) cannot reach the database server db1 "
+            "(10.7.1.100). dist1 shows no OSPF neighbors on its uplinks."
+        ),
+        src_host="app1",
+        dst_host="db1",
+        root_cause_device="dist1",
+        complexity="moderate",
+        fix_script=[
+            FixStep("dist1", (
+                "show ip ospf neighbor",
+                "show running-config",
+                "configure terminal",
+                "router ospf 1",
+                "network 10.0.5.0 0.0.0.3 area 0",
+                "network 10.0.7.0 0.0.0.3 area 0",
+                "network 10.0.8.0 0.0.0.3 area 0",
+                "end",
+                "ping 10.7.1.100",
+                "write memory",
+            )),
+        ],
+        _inject=inject_ospf,
+    )
+
+    def inject_isp(network):
+        # The provider renumbered its side of the hand-off from .1 to .6;
+        # gw's static default still points at the dead .1.
+        network.config("isp").interface("Gi0/0").address = (
+            ipaddress.IPv4Interface("203.0.113.6/29")
+        )
+        for route in network.config("isp").static_routes:
+            pass  # provider's own routes still resolve via the /29
+
+    isp = Issue(
+        issue_id="isp",
+        title="ISP hand-off renumbered",
+        description=(
+            "pc1 (10.5.10.100) cannot reach external host ext1 "
+            "(198.51.100.100). The provider renumbered its hand-off "
+            "address to 203.0.113.6."
+        ),
+        src_host="pc1",
+        dst_host="ext1",
+        root_cause_device="gw",
+        complexity="simple",
+        fix_script=[
+            FixStep("gw", (
+                "show ip route",
+                "configure terminal",
+                "ip route 0.0.0.0 0.0.0.0 203.0.113.6",
+                "no ip route 0.0.0.0 0.0.0.0 203.0.113.1",
+                "end",
+                "write memory",
+            )),
+        ],
+        _inject=inject_isp,
+    )
+
+    def inject_vlan(network):
+        # pc2's access port on sw2 lands in the app VLAN.
+        network.config("sw2").interface("Fa0/2").access_vlan = 20
+
+    vlan = Issue(
+        issue_id="vlan",
+        title="Access port in the wrong VLAN",
+        description=(
+            "pc2 (10.5.10.101) lost connectivity to pc1 (10.5.10.100) and "
+            "its gateway after maintenance on sw2."
+        ),
+        src_host="pc2",
+        dst_host="pc1",
+        root_cause_device="sw2",
+        complexity="complex",
+        fix_script=[
+            FixStep("pc2", (
+                "ping 10.5.10.1",
+            )),
+            FixStep("dept1", (
+                "show ip route",
+                "show interfaces",
+                "ping 10.5.10.101",
+            )),
+            FixStep("sw1", (
+                "show vlan",
+                "show interfaces",
+            )),
+            FixStep("sw2", (
+                "show vlan",
+                "show interfaces",
+                "configure terminal",
+                "interface Fa0/2",
+                "switchport access vlan 10",
+                "end",
+                "show vlan",
+                "write memory",
+            )),
+        ],
+        _inject=inject_vlan,
+    )
+
+    return {issue.issue_id: issue for issue in (ospf, isp, vlan)}
+
+
+def _university_issues():
+    def inject_ospf(network):
+        # dist1 stops advertising the registrar LAN: its network statement
+        # for 10.30.1.0/24 disappears.
+        _remove_ospf_networks(network.config("dist1"), ("10.30.1.0/24",))
+
+    ospf = Issue(
+        issue_id="ospf",
+        title="Registrar LAN not advertised",
+        description=(
+            "lib-pc1 (10.70.10.100) cannot reach the registrar database "
+            "db-reg (10.30.1.100); the prefix is missing from OSPF."
+        ),
+        src_host="lib-pc1",
+        dst_host="db-reg",
+        root_cause_device="dist1",
+        complexity="moderate",
+        fix_script=[
+            FixStep("dist1", (
+                "show ip ospf neighbor",
+                "show running-config",
+                "configure terminal",
+                "router ospf 1",
+                "network 10.30.1.0 0.0.0.255 area 0",
+                "end",
+                "ping 10.30.1.100",
+                "write memory",
+            )),
+        ],
+        _inject=inject_ospf,
+    )
+
+    def inject_isp(network):
+        # During the provider migration the default-route origination on
+        # border1 was lost: the campus no longer learns 0.0.0.0/0.
+        network.config("border1").ospf.default_information_originate = False
+
+    isp = Issue(
+        issue_id="isp",
+        title="Default route origination lost after ISP migration",
+        description=(
+            "cs-pc1 (10.50.10.100) cannot reach the external host ext1 "
+            "(198.18.0.100); border1 stopped originating the default route."
+        ),
+        src_host="cs-pc1",
+        dst_host="ext1",
+        root_cause_device="border1",
+        complexity="simple",
+        fix_script=[
+            FixStep("border1", (
+                "show ip route",
+                "configure terminal",
+                "router ospf 1",
+                "default-information originate",
+                "end",
+                "write memory",
+            )),
+        ],
+        _inject=inject_isp,
+    )
+
+    def inject_vlan(network):
+        network.config("sw-cs2").interface("Fa0/3").access_vlan = 20
+
+    vlan = Issue(
+        issue_id="vlan",
+        title="CS access port in the labs VLAN",
+        description=(
+            "cs-pc3 (10.50.10.102) lost connectivity to cs-pc1 "
+            "(10.50.10.100) after switch maintenance."
+        ),
+        src_host="cs-pc3",
+        dst_host="cs-pc1",
+        root_cause_device="sw-cs2",
+        complexity="complex",
+        fix_script=[
+            FixStep("cs-pc3", (
+                "ping 10.50.10.1",
+            )),
+            FixStep("cs-gw", (
+                "show ip route",
+                "show interfaces",
+                "ping 10.50.10.102",
+            )),
+            FixStep("sw-cs1", (
+                "show vlan",
+                "show interfaces",
+            )),
+            FixStep("sw-cs2", (
+                "show vlan",
+                "show interfaces",
+                "configure terminal",
+                "interface Fa0/3",
+                "switchport access vlan 10",
+                "end",
+                "show vlan",
+                "write memory",
+            )),
+        ],
+        _inject=inject_vlan,
+    )
+
+    return {issue.issue_id: issue for issue in (ospf, isp, vlan)}
+
+
+# ---------------------------------------------------------------------------
+# Interface-down sweep (Figures 8 and 9)
+# ---------------------------------------------------------------------------
+
+
+def interface_down_issues(network, devices=None):
+    """One issue per cabled router/switch interface whose loss breaks a host pair.
+
+    Mirrors the paper's Figure 8/9 workload: "we create an issue by bringing
+    down each interface". Interfaces whose loss breaks nothing (redundant
+    parallel links) yield no ticket and are skipped — there is nothing to
+    debug. The prepared fix is a single ``no shutdown``.
+    """
+    baseline = _reachable_pairs(network)
+    issues = []
+    candidates = devices if devices is not None else (
+        network.routers() + network.switches()
+    )
+    for device in candidates:
+        config = network.config(device)
+        for iface_name in sorted(config.interfaces):
+            iface = config.interfaces[iface_name]
+            if iface.shutdown:
+                continue
+            if network.topology.link_at(device, iface_name) is None:
+                continue
+            broken = network.copy()
+            broken.config(device).interface(iface_name).shutdown = True
+            broken_pair = _first_broken_pair(broken, baseline)
+            if broken_pair is None:
+                continue
+            issues.append(
+                _interface_down_issue(device, iface_name, broken_pair)
+            )
+    return issues
+
+
+def _interface_down_issue(device, iface_name, broken_pair):
+    src, dst = broken_pair
+
+    def inject(network, _device=device, _iface=iface_name):
+        network.config(_device).interface(_iface).shutdown = True
+
+    return Issue(
+        issue_id=f"ifdown:{device}:{iface_name}",
+        title=f"Interface {iface_name} down on {device}",
+        description=f"{src} cannot reach {dst}.",
+        src_host=src,
+        dst_host=dst,
+        root_cause_device=device,
+        complexity="simple",
+        fix_script=[
+            FixStep(device, (
+                "show interfaces",
+                "configure terminal",
+                f"interface {iface_name}",
+                "no shutdown",
+                "end",
+                "write memory",
+            )),
+        ],
+        _inject=inject,
+    )
+
+
+def _reachable_pairs(network):
+    """Ordered host pairs currently reachable (icmp representative flow)."""
+    from repro.dataplane.reachability import ReachabilityAnalyzer
+
+    analyzer = ReachabilityAnalyzer(build_dataplane(network))
+    return {
+        pair
+        for pair, reachable in analyzer.reachability_matrix().items()
+        if reachable
+    }
+
+
+def _first_broken_pair(broken_network, baseline_pairs):
+    """The first baseline-reachable pair no longer delivered, or ``None``."""
+    from repro.dataplane.reachability import ReachabilityAnalyzer
+
+    analyzer = ReachabilityAnalyzer(build_dataplane(broken_network))
+    for src, dst in sorted(baseline_pairs):
+        if not analyzer.hosts_reachable(src, dst):
+            return (src, dst)
+    return None

@@ -1,0 +1,348 @@
+"""The university evaluation network (paper Table 1: 13 routers, 17 hosts, 92 links).
+
+A campus design with the density the paper's link count implies: dual border
+routers, a four-router core with parallel (LAG-style) links, five
+distribution routers dual-homed into the core, two department gateways, and
+six access switches. Redundant parallel links are what push the link count
+into the nineties, exactly as in real campus builds.
+
+Routers (13): border1 border2 core1-4 dist1-5 cs-gw ee-gw
+Switches (6): sw-cs1 sw-cs2 sw-ee1 sw-ee2 sw-lib sw-dorm  (+ server farm ports
+on core2/core4)
+Hosts (17): ext1 www mail dns db-reg hpc1 hpc2 cs-pc1-3 lab1 lab2
+ee-pc1 ee-pc2 lib-pc1 dorm-pc1 dorm-pc2
+
+Security intent: outside traffic only reaches the public servers; the
+registrar database accepts connections only from admin and library subnets;
+dorms are isolated from department and registrar LANs; HPC nodes accept
+sessions only from CS subnets.
+"""
+
+from repro.scenarios.builder import NetworkBuilder
+
+SENSITIVE_DEVICES = ("dist1", "border1")
+
+ROUTERS = (
+    "border1", "border2", "core1", "core2", "core3", "core4",
+    "dist1", "dist2", "dist3", "dist4", "dist5", "cs-gw", "ee-gw",
+)
+SWITCHES = ("sw-cs1", "sw-cs2", "sw-ee1", "sw-ee2", "sw-lib", "sw-dorm")
+HOSTS = (
+    "ext1", "www", "mail", "dns", "db-reg", "hpc1", "hpc2",
+    "cs-pc1", "cs-pc2", "cs-pc3", "lab1", "lab2",
+    "ee-pc1", "ee-pc2", "lib-pc1", "dorm-pc1", "dorm-pc2",
+)
+
+
+def build_university_network():
+    """Construct the university network with full configurations."""
+    builder = NetworkBuilder("university")
+    for name in ROUTERS:
+        builder.router(name)
+    for name in SWITCHES:
+        builder.switch(name)
+    for name in HOSTS:
+        builder.host(name)
+
+    _cable_backbone(builder)
+    _cable_access(builder)
+    _configure_routing(builder)
+    _configure_security(builder)
+    _describe_interfaces(builder)
+    return builder.build()
+
+
+def _cable_backbone(builder):
+    """Borders, core mesh, and distribution — with parallel link pairs."""
+    ports = _PortAllocator()
+
+    def p2p(dev_a, dev_b, subnet):
+        builder.p2p(dev_a, ports.next(dev_a), dev_b, ports.next(dev_b), subnet)
+
+    # Triple parallel links between the borders (LAG members).
+    p2p("border1", "border2", "10.100.0.0/30")
+    p2p("border1", "border2", "10.100.0.4/30")
+    p2p("border1", "border2", "10.100.0.8/30")
+
+    # Each border connects to every core router (8 links), twice (16).
+    subnet = _SubnetAllocator("10.101")
+    for border in ("border1", "border2"):
+        for core in ("core1", "core2", "core3", "core4"):
+            p2p(border, core, subnet.next())
+            p2p(border, core, subnet.next())
+
+    # Full core mesh, parallel pairs (12 links).
+    subnet = _SubnetAllocator("10.102")
+    cores = ("core1", "core2", "core3", "core4")
+    for i, left in enumerate(cores):
+        for right in cores[i + 1:]:
+            p2p(left, right, subnet.next())
+            p2p(left, right, subnet.next())
+
+    # Each dist dual-homed to two cores, parallel pairs (20 links).
+    homing = {
+        "dist1": ("core1", "core2"),
+        "dist2": ("core2", "core3"),
+        "dist3": ("core3", "core4"),
+        "dist4": ("core4", "core1"),
+        "dist5": ("core1", "core3"),
+    }
+    subnet = _SubnetAllocator("10.103")
+    for dist, uplinks in homing.items():
+        for core in uplinks:
+            p2p(dist, core, subnet.next())
+            p2p(dist, core, subnet.next())
+
+    # Distribution ring, parallel pairs (10 links).
+    subnet = _SubnetAllocator("10.104")
+    ring = ("dist1", "dist2", "dist3", "dist4", "dist5")
+    for i, left in enumerate(ring):
+        p2p(left, ring[(i + 1) % len(ring)], subnet.next())
+        p2p(left, ring[(i + 1) % len(ring)], subnet.next())
+
+    # Department gateways dual-homed; the CS uplink to dist1 is doubled
+    # (5 links).
+    subnet = _SubnetAllocator("10.105")
+    p2p("cs-gw", "dist1", subnet.next())
+    p2p("cs-gw", "dist1", subnet.next())
+    p2p("cs-gw", "dist2", subnet.next())
+    p2p("ee-gw", "dist2", subnet.next())
+    p2p("ee-gw", "dist3", subnet.next())
+
+    builder._ports = ports  # reused by access cabling
+
+
+def _cable_access(builder):
+    """Switches, LANs, hosts, and the external feed."""
+    ports = builder._ports
+
+    # External feed (1 host link).
+    builder.attach_host("ext1", "eth0", "border1", ports.next("border1"),
+                        "198.18.0.0/24")
+
+    # Server farm: public servers directly attached to core routers.
+    builder.attach_host("www", "eth0", "core2", ports.next("core2"),
+                        "10.20.30.0/24", host_octet_offset=9)
+    builder.attach_host("mail", "eth0", "core2", ports.next("core2"),
+                        "10.20.31.0/24", host_octet_offset=9)
+    builder.attach_host("dns", "eth0", "core4", ports.next("core4"),
+                        "10.20.32.0/24", host_octet_offset=9)
+
+    # Registrar database on dist1 (sensitive).
+    builder.attach_host("db-reg", "eth0", "dist1", ports.next("dist1"),
+                        "10.30.1.0/24")
+
+    # HPC cluster on dist5.
+    builder.attach_host("hpc1", "eth0", "dist5", ports.next("dist5"),
+                        "10.40.1.0/24")
+    builder.attach_host("hpc2", "eth0", "dist5", ports.next("dist5"),
+                        "10.40.2.0/24")
+
+    # CS department: two switches, VLAN 10 (staff) and VLAN 20 (labs).
+    for switch in ("sw-cs1", "sw-cs2"):
+        builder.vlan(switch, 10, "cs-staff").vlan(switch, 20, "cs-labs")
+    builder.access_link("cs-gw", ports.next("cs-gw"), "sw-cs1", "Fa0/1", 10)
+    builder.address("cs-gw", ports.last("cs-gw"), "10.50.10.1/24")
+    builder.access_link("cs-gw", ports.next("cs-gw"), "sw-cs1", "Fa0/2", 20)
+    builder.address("cs-gw", ports.last("cs-gw"), "10.50.20.1/24")
+    builder.trunk_link("sw-cs1", "Fa0/24", "sw-cs2", "Fa0/24", vlans=(10, 20))
+    builder.access_link("cs-pc1", "eth0", "sw-cs1", "Fa0/3", 10)
+    builder.lan_host("cs-pc1", "eth0", "10.50.10.100/24", "10.50.10.1")
+    builder.access_link("cs-pc2", "eth0", "sw-cs1", "Fa0/4", 10)
+    builder.lan_host("cs-pc2", "eth0", "10.50.10.101/24", "10.50.10.1")
+    builder.access_link("cs-pc3", "eth0", "sw-cs2", "Fa0/3", 10)
+    builder.lan_host("cs-pc3", "eth0", "10.50.10.102/24", "10.50.10.1")
+    builder.access_link("lab1", "eth0", "sw-cs2", "Fa0/4", 20)
+    builder.lan_host("lab1", "eth0", "10.50.20.100/24", "10.50.20.1")
+    builder.access_link("lab2", "eth0", "sw-cs2", "Fa0/5", 20)
+    builder.lan_host("lab2", "eth0", "10.50.20.101/24", "10.50.20.1")
+
+    # EE department: two switches, VLAN 10 only.
+    for switch in ("sw-ee1", "sw-ee2"):
+        builder.vlan(switch, 10, "ee-staff").vlan(switch, 20, "ee-spare")
+    builder.access_link("ee-gw", ports.next("ee-gw"), "sw-ee1", "Fa0/1", 10)
+    builder.address("ee-gw", ports.last("ee-gw"), "10.60.10.1/24")
+    builder.access_link("ee-gw", ports.next("ee-gw"), "sw-ee1", "Fa0/2", 20)
+    builder.address("ee-gw", ports.last("ee-gw"), "10.60.20.1/24")
+    builder.trunk_link("sw-ee1", "Fa0/24", "sw-ee2", "Fa0/24", vlans=(10, 20))
+    builder.access_link("ee-pc1", "eth0", "sw-ee1", "Fa0/3", 10)
+    builder.lan_host("ee-pc1", "eth0", "10.60.10.100/24", "10.60.10.1")
+    builder.access_link("ee-pc2", "eth0", "sw-ee2", "Fa0/3", 10)
+    builder.lan_host("ee-pc2", "eth0", "10.60.10.101/24", "10.60.10.1")
+
+    # Library: one switch on dist4, dual gateway ports (VLANs 10 and 20).
+    builder.vlan("sw-lib", 10, "library").vlan("sw-lib", 20, "lib-kiosk")
+    builder.access_link("dist4", ports.next("dist4"), "sw-lib", "Fa0/1", 10)
+    builder.address("dist4", ports.last("dist4"), "10.70.10.1/24")
+    builder.access_link("dist4", ports.next("dist4"), "sw-lib", "Fa0/2", 20)
+    builder.address("dist4", ports.last("dist4"), "10.70.20.1/24")
+    builder.access_link("lib-pc1", "eth0", "sw-lib", "Fa0/3", 10)
+    builder.lan_host("lib-pc1", "eth0", "10.70.10.100/24", "10.70.10.1")
+
+    # Dorms: one switch on dist5.
+    builder.vlan("sw-dorm", 10, "dorm")
+    builder.access_link("dist5", ports.next("dist5"), "sw-dorm", "Fa0/1", 10)
+    builder.address("dist5", ports.last("dist5"), "10.80.10.1/24")
+    builder.access_link("dorm-pc1", "eth0", "sw-dorm", "Fa0/2", 10)
+    builder.lan_host("dorm-pc1", "eth0", "10.80.10.100/24", "10.80.10.1")
+    builder.access_link("dorm-pc2", "eth0", "sw-dorm", "Fa0/3", 10)
+    builder.lan_host("dorm-pc2", "eth0", "10.80.10.101/24", "10.80.10.1")
+
+
+def _configure_routing(builder):
+    for router in ROUTERS:
+        config = builder.config(router)
+        passive = [
+            iface.name
+            for iface in config.routed_interfaces()
+            # LAN-facing subnets are /24s; backbone links are /30s.
+            if iface.address.network.prefixlen != 30
+        ]
+        builder.enable_ospf(
+            router, passive=passive, default_originate=(router == "border1")
+        )
+        if router == "border1":
+            # The external feed never enters the IGP: the campus reaches the
+            # outside world only through the originated default route.
+            config.ospf.networks = [
+                statement
+                for statement in config.ospf.networks
+                if str(statement.prefix) != "198.18.0.0/24"
+            ]
+        builder.credentials(
+            router,
+            enable_secret=f"uni-secret-{router}",
+            vty_password=f"vty-{router}",
+            snmp_community="uni-community",
+        )
+    # border1 reaches "the internet" through the external feed's far side.
+    builder.static_route("border1", "0.0.0.0/0", "198.18.0.100")
+
+
+def _configure_security(builder):
+    # Outside world reaches only the public servers.
+    builder.acl(
+        "border1",
+        "OUTSIDE_IN",
+        [
+            "permit tcp host 198.18.0.100 host 10.20.30.10 eq www",
+            "permit tcp host 198.18.0.100 host 10.20.30.10 eq https",
+            "permit tcp host 198.18.0.100 host 10.20.31.10 eq smtp",
+            "permit udp host 198.18.0.100 host 10.20.32.10 eq domain",
+            "deny ip host 198.18.0.100 any",
+            "permit ip any any",
+        ],
+    )
+    builder.apply_acl("border1", _iface_toward(builder, "border1", "ext1"),
+                      "OUTSIDE_IN", direction="in")
+
+    # Registrar DB: only library and CS staff subnets, plus ICMP from them.
+    builder.acl(
+        "dist1",
+        "REG_PROTECT",
+        [
+            "permit tcp 10.70.10.0 0.0.0.255 host 10.30.1.100 eq 5432",
+            "permit tcp 10.50.10.0 0.0.0.255 host 10.30.1.100 eq 5432",
+            "permit icmp 10.70.10.0 0.0.0.255 10.30.1.0 0.0.0.255",
+            "permit icmp 10.50.10.0 0.0.0.255 10.30.1.0 0.0.0.255",
+            "deny ip any any",
+        ],
+    )
+    builder.apply_acl("dist1", _iface_toward(builder, "dist1", "db-reg"),
+                      "REG_PROTECT", direction="out")
+
+    # Dorms may not reach department, registrar, or HPC address space.
+    builder.acl(
+        "dist5",
+        "DORM_OUT",
+        [
+            "deny ip 10.80.10.0 0.0.0.255 10.30.0.0 0.0.255.255",
+            "deny ip 10.80.10.0 0.0.0.255 10.40.0.0 0.0.255.255",
+            "deny ip 10.80.10.0 0.0.0.255 10.50.0.0 0.0.255.255",
+            "deny ip 10.80.10.0 0.0.0.255 10.60.0.0 0.0.255.255",
+            "permit ip any any",
+        ],
+    )
+    builder.apply_acl("dist5", _dorm_gateway_iface(builder), "DORM_OUT",
+                      direction="in")
+
+    # HPC accepts sessions only from CS subnets (and monitoring ICMP).
+    builder.acl(
+        "dist5",
+        "HPC_PROTECT",
+        [
+            "permit tcp 10.50.0.0 0.0.255.255 10.40.0.0 0.0.255.255 eq ssh",
+            "permit icmp 10.50.0.0 0.0.255.255 10.40.0.0 0.0.255.255",
+            "deny ip any any",
+        ],
+    )
+    for host in ("hpc1", "hpc2"):
+        builder.apply_acl("dist5", _iface_toward(builder, "dist5", host),
+                          "HPC_PROTECT", direction="out")
+
+
+def _iface_toward(builder, device, neighbor):
+    """The interface name on ``device`` cabled toward ``neighbor``."""
+    for link in builder.topology.links_of(device):
+        other = link.other(
+            next(
+                end for end in link.endpoints() if end.device == device
+            )
+        )
+        if other.device == neighbor:
+            return next(
+                end for end in link.endpoints() if end.device == device
+            ).name
+    raise ValueError(f"{device} has no link toward {neighbor}")
+
+
+def _dorm_gateway_iface(builder):
+    """dist5's access port into the dorm switch."""
+    for link in builder.topology.links_of("dist5"):
+        ends = {end.device: end for end in link.endpoints()}
+        if "sw-dorm" in ends:
+            return ends["dist5"].name
+    raise ValueError("dist5 is not cabled to sw-dorm")
+
+
+def _describe_interfaces(builder):
+    topology = builder.topology
+    for link in topology.links():
+        for end, other in ((link.a, link.b), (link.b, link.a)):
+            config = builder.config(end.device)
+            if end.name in config.interfaces:
+                iface = config.interfaces[end.name]
+                if iface.description is None:
+                    iface.description = f"to {other.device} {other.name}"
+
+
+class _PortAllocator:
+    """Sequential Gi0/N interface names per device."""
+
+    def __init__(self):
+        self._next = {}
+        self._last = {}
+
+    def next(self, device):
+        index = self._next.get(device, 0)
+        self._next[device] = index + 1
+        name = f"Gi0/{index}"
+        self._last[device] = name
+        return name
+
+    def last(self, device):
+        return self._last[device]
+
+
+class _SubnetAllocator:
+    """Sequential /30 subnets under a /16-style prefix like ``10.101``."""
+
+    def __init__(self, base):
+        self._base = base
+        self._index = 0
+
+    def next(self):
+        third = self._index // 64
+        fourth = (self._index % 64) * 4
+        self._index += 1
+        return f"{self._base}.{third}.{fourth}/30"

@@ -1,0 +1,29 @@
+"""Shared utilities: simulated clock, error hierarchy, identifier helpers."""
+
+from repro.util.clock import CostModel, SimulatedClock, StepTimer
+from repro.util.errors import (
+    ConfigError,
+    EmulationError,
+    EnforcementError,
+    PrivilegeError,
+    ReproError,
+    SchedulingError,
+    TopologyError,
+    VerificationError,
+)
+from repro.util.ids import IdAllocator
+
+__all__ = [
+    "ConfigError",
+    "CostModel",
+    "EmulationError",
+    "EnforcementError",
+    "IdAllocator",
+    "PrivilegeError",
+    "ReproError",
+    "SchedulingError",
+    "SimulatedClock",
+    "StepTimer",
+    "TopologyError",
+    "VerificationError",
+]

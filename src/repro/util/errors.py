@@ -1,0 +1,53 @@
+"""Error hierarchy for the Heimdall reproduction.
+
+Every package raises subclasses of :class:`ReproError` so that callers can
+catch library failures without masking programming errors (``TypeError`` and
+friends propagate untouched).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology construction or lookup (unknown node, duplicate link)."""
+
+
+class ConfigError(ReproError):
+    """Configuration text or model is malformed."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class EmulationError(ReproError):
+    """Emulated node or console failure (unknown command, node not running)."""
+
+
+class PrivilegeError(ReproError):
+    """An action was denied by the privilege specification."""
+
+    def __init__(self, message, action=None, resource=None):
+        super().__init__(message)
+        self.action = action
+        self.resource = resource
+
+
+class VerificationError(ReproError):
+    """Policy verification failed (a proposed change violates network policy)."""
+
+    def __init__(self, message, violations=()):
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
+class SchedulingError(ReproError):
+    """Change scheduling failed (cyclic dependencies, unsafe ordering)."""
+
+
+class EnforcementError(ReproError):
+    """The policy enforcer rejected a change set or detected tampering."""

@@ -1,0 +1,23 @@
+"""Deterministic identifier allocation.
+
+Experiments must be reproducible run-to-run, so identifiers (ticket numbers,
+audit record ids, session ids) come from per-prefix counters rather than
+UUIDs.
+"""
+
+
+class IdAllocator:
+    """Allocates ids like ``TICKET-0001`` deterministically per prefix."""
+
+    def __init__(self):
+        self._counters = {}
+
+    def allocate(self, prefix):
+        """Return the next id for ``prefix`` (1-based, zero-padded)."""
+        count = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = count
+        return f"{prefix}-{count:04d}"
+
+    def peek(self, prefix):
+        """Return the id the next :meth:`allocate` call would produce."""
+        return f"{prefix}-{self._counters.get(prefix, 0) + 1:04d}"

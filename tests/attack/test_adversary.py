@@ -1,0 +1,160 @@
+"""Adversary containment tests: the motivating incidents, replayed."""
+
+import pytest
+
+from repro.attack.adversary import (
+    MaliciousFixScript,
+    careless_command,
+    exfiltration_attempt,
+    malicious_fix,
+    production_secrets,
+)
+from repro.core.heimdall import Heimdall
+from repro.msp.rmm import RmmServer
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import SENSITIVE_DEVICES, build_enterprise_network
+from repro.scenarios.issues import standard_issues
+
+
+class _RmmAccess:
+    def __init__(self, session):
+        self._session = session
+
+    def execute(self, device, command):
+        return self._session.execute(device, command)
+
+
+class _TwinAccess:
+    def __init__(self, session):
+        self._session = session
+
+    def execute(self, device, command):
+        return self._session.console(device).execute(command)
+
+
+def heimdall_session(issue_id, profile=None):
+    healthy = build_enterprise_network()
+    policies = mine_policies(healthy)
+    production = build_enterprise_network()
+    issue = standard_issues("enterprise")[issue_id]
+    issue.inject(production)
+    heimdall = Heimdall(production, policies=policies)
+    return production, issue, heimdall, heimdall.open_ticket(issue, profile)
+
+
+class TestExfiltration:
+    """Figure 2: APT10-style credential harvesting."""
+
+    def test_succeeds_against_rmm_baseline(self):
+        production = build_enterprise_network()
+        server = RmmServer(production)
+        server.add_credential("apt10", "phished")
+        session = server.authenticate("apt10", "phished")
+        report = exfiltration_attempt(
+            _RmmAccess(session),
+            SENSITIVE_DEVICES,
+            production_secrets(production),
+        )
+        assert not report.contained
+        assert report.succeeded == len(SENSITIVE_DEVICES)
+        assert report.loot  # credentials obtained
+
+    def test_contained_by_heimdall_twin(self):
+        production, issue, heimdall, session = heimdall_session("vlan")
+        report = exfiltration_attempt(
+            _TwinAccess(session),
+            SENSITIVE_DEVICES + ("gw", "isp"),
+            production_secrets(production),
+        )
+        assert report.contained
+        assert report.loot == []
+        # Every attempt was blocked by scoping, the monitor, or sanitisation.
+        assert len(report.blocked_by) == report.attempted
+
+    def test_in_scope_device_yields_no_secrets(self):
+        # The ospf twin includes dist1 (a sensitive device) — its console
+        # works, but sanitisation removed the credentials.
+        production, issue, heimdall, session = heimdall_session("ospf")
+        assert "dist1" in session.twin.scope
+        report = exfiltration_attempt(
+            _TwinAccess(session), ("dist1",), production_secrets(production)
+        )
+        assert report.contained
+        assert ("dist1", "sanitisation") in report.blocked_by
+
+
+class TestMaliciousFix:
+    """Figure 6: a legitimate fix smuggling an extra ACL change."""
+
+    def _script(self):
+        return MaliciousFixScript(
+            device="dist1",
+            legitimate_commands=(
+                "configure terminal",
+                "router ospf 1",
+                "network 10.0.5.0 0.0.0.3 area 0",
+                "network 10.0.7.0 0.0.0.3 area 0",
+                "network 10.0.8.0 0.0.0.3 area 0",
+                "exit",
+            ),
+            malicious_commands=(
+                "ip access-list extended DB_PROTECT",
+                "permit tcp 10.5.10.0 0.0.0.255 host 10.7.1.100 eq 5432",
+                "end",
+            ),
+        )
+
+    def test_succeeds_against_rmm_baseline(self):
+        production = build_enterprise_network()
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        server = RmmServer(production)
+        server.add_credential("rogue", "pw")
+        session = server.authenticate("rogue", "pw")
+        malicious_fix(_RmmAccess(session), self._script())
+        # Ticket fixed AND the database is now open to the staff VLAN.
+        assert issue.is_resolved(production)
+        acl = production.config("dist1").acl("DB_PROTECT")
+        assert any("10.5.10.0" in e.to_text() for e in acl.entries)
+
+    def test_contained_by_heimdall(self):
+        production, issue, heimdall, session = heimdall_session(
+            "ospf", profile="connectivity"
+        )
+        results = malicious_fix(_TwinAccess(session), self._script())
+        outcome = session.submit()
+        acl = production.config("dist1").acl("DB_PROTECT")
+        smuggled = any("10.5.10.0" in e.to_text() for e in acl.entries)
+        assert not smuggled
+        # Containment is by monitor (denied command) or enforcer (rejected
+        # import) — one of them must have fired.
+        monitor_denied = any(not r.ok for r in results)
+        assert monitor_denied or not outcome.approved
+
+
+class TestCarelessCommand:
+    """Figure 3: sudo rm -rf, networking edition."""
+
+    COMMANDS = ("configure terminal", "interface Gi0/1", "shutdown", "end")
+
+    def test_causes_outage_on_rmm_baseline(self):
+        production = build_enterprise_network()
+        policies = mine_policies(production)
+        server = RmmServer(production)
+        server.add_credential("tired-tech", "pw")
+        session = server.authenticate("tired-tech", "pw")
+        careless_command(_RmmAccess(session), "gw", self.COMMANDS)
+        from repro.policy.verification import PolicyVerifier
+
+        report = PolicyVerifier(policies).verify_network(production)
+        assert not report.holds  # the outage is real
+
+    def test_contained_by_heimdall(self):
+        production, issue, heimdall, session = heimdall_session("isp")
+        results = careless_command(
+            _TwinAccess(session), "gw", self.COMMANDS
+        )
+        outcome = session.submit()
+        assert not production.config("gw").interface("Gi0/1").shutdown
+        monitor_denied = any(not r.ok for r in results)
+        assert monitor_denied or not outcome.approved

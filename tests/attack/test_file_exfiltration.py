@@ -1,0 +1,118 @@
+"""File-exfiltration containment (the APT10 Figure-2 file-stealing half)."""
+
+import pytest
+
+from repro.attack.adversary import file_exfiltration
+from repro.core.heimdall import Heimdall
+from repro.msp.rmm import RmmServer
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.files import (
+    SENSITIVE_MARKER,
+    default_host_files,
+    sensitive_paths,
+)
+from repro.scenarios.issues import standard_issues
+
+
+class _RmmAccess:
+    def __init__(self, session):
+        self._session = session
+
+    def execute(self, device, command):
+        return self._session.execute(device, command)
+
+
+class _TwinAccess:
+    def __init__(self, session):
+        self._session = session
+
+    def execute(self, device, command):
+        return self._session.console(device).execute(command)
+
+
+class TestHostFilesystems:
+    def test_every_host_has_boilerplate(self):
+        network = build_enterprise_network()
+        files = default_host_files(network)
+        for host in network.hosts():
+            assert "/etc/hostname" in files[host]
+            assert files[host]["/etc/hostname"] == host
+
+    def test_sensitive_files_on_crown_jewel_hosts(self):
+        network = build_enterprise_network()
+        targets = sensitive_paths(network)
+        assert ("db1", "/data/customers.db") in targets
+        assert all(network.topology.has_device(h) for h, _p in targets)
+
+    def test_console_file_commands(self):
+        network = build_enterprise_network()
+        server = RmmServer(network)
+        server.add_credential("t", "p")
+        session = server.authenticate("t", "p")
+        listing = session.execute("db1", "ls")
+        assert listing.ok
+        assert "/data/customers.db" in listing.output
+        content = session.execute("db1", "cat /data/customers.db")
+        assert SENSITIVE_MARKER in content.output
+        assert content.action == "file.read"
+
+    def test_cat_missing_file_fails(self):
+        network = build_enterprise_network()
+        server = RmmServer(network)
+        server.add_credential("t", "p")
+        session = server.authenticate("t", "p")
+        result = session.execute("db1", "cat /no/such/file")
+        assert not result.ok
+
+    def test_routers_have_no_file_commands(self):
+        network = build_enterprise_network()
+        server = RmmServer(network)
+        server.add_credential("t", "p")
+        session = server.authenticate("t", "p")
+        assert not session.execute("gw", "ls").ok
+
+
+class TestFileExfiltration:
+    def test_succeeds_against_rmm(self):
+        network = build_enterprise_network()
+        server = RmmServer(network)
+        server.add_credential("apt10", "phished")
+        session = server.authenticate("apt10", "phished")
+        report = file_exfiltration(
+            _RmmAccess(session), sensitive_paths(network)
+        )
+        assert not report.contained
+        assert report.succeeded == report.attempted
+        assert ("db1", "/data/customers.db") in report.loot
+
+    def test_contained_by_heimdall(self):
+        healthy = build_enterprise_network()
+        policies = mine_policies(healthy)
+        production = build_enterprise_network()
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue)
+        report = file_exfiltration(
+            _TwinAccess(session), sensitive_paths(production)
+        )
+        assert report.contained
+        assert report.loot == []
+        layers = {layer for _host, layer in report.blocked_by}
+        # Out-of-scope hosts: twin scoping. In-scope hosts: the monitor
+        # (no profile grants file.read) — and even if it did, twin hosts
+        # have empty filesystems.
+        assert layers <= {
+            "twin-scoping", "reference-monitor", "empty-emulation-filesystem",
+        }
+
+    def test_twin_hosts_have_empty_filesystems(self):
+        healthy = build_enterprise_network()
+        production = build_enterprise_network()
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        heimdall = Heimdall(production, policies=mine_policies(healthy))
+        session = heimdall.open_ticket(issue)
+        for host in session.twin.scope & set(production.hosts()):
+            assert session.twin.emnet.node(host).files == {}

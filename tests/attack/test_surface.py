@@ -1,0 +1,171 @@
+"""Attack-surface metric tests (the Figure 8/9 machinery)."""
+
+import pytest
+
+from repro.attack.commands import allowed_command_count, available_command_count
+from repro.attack.surface import evaluate_approaches, evaluate_exposure
+from repro.control.builder import build_dataplane
+from repro.core.privilege.ast import PrivilegeSpec
+from repro.core.privilege.generator import (
+    generate_privilege_spec,
+    profile_for_issue,
+)
+from repro.core.privilege.translator import policy_guard_rules
+from repro.core.twin.scoping import scope_all, scope_heimdall, scope_neighbor
+from repro.net.topology import DeviceKind
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import interface_down_issues
+
+from tests.fixtures import square_network
+
+
+class TestCommandCounts:
+    def test_available_by_kind(self):
+        assert available_command_count(DeviceKind.ROUTER) > (
+            available_command_count(DeviceKind.HOST)
+        )
+
+    def test_allowed_equals_available_without_spec(self):
+        assert allowed_command_count(DeviceKind.ROUTER, "r1") == (
+            available_command_count(DeviceKind.ROUTER)
+        )
+
+    def test_deny_all_allows_only_mode_transitions(self):
+        count = allowed_command_count(
+            DeviceKind.ROUTER, "r1", PrivilegeSpec.deny_all(),
+            interfaces=("Gi0/0",),
+        )
+        # configure terminal / exit / end style commands remain.
+        assert 0 < count < available_command_count(DeviceKind.ROUTER)
+
+    def test_interface_scoped_rules_counted(self):
+        spec = PrivilegeSpec()
+        spec.add_rule("allow", "config.interface.admin", "r1:Gi0/0")
+        with_iface = allowed_command_count(
+            DeviceKind.ROUTER, "r1", spec, interfaces=("Gi0/0",)
+        )
+        without = allowed_command_count(DeviceKind.ROUTER, "r1", spec)
+        assert with_iface > without
+
+
+@pytest.fixture(scope="module")
+def square_setup():
+    network = square_network()
+    policies = mine_policies(network)
+    issues = interface_down_issues(network)
+    return network, policies, issues
+
+
+class TestExposureMetric:
+    def test_surface_bounded_0_100(self, square_setup):
+        network, policies, issues = square_setup
+        for issue in issues:
+            broken = network.copy()
+            issue.inject(broken)
+            result = evaluate_exposure(
+                broken, issue, scope_all(broken, issue), policies
+            )
+            assert 0.0 <= result.attack_surface <= 100.0
+
+    def test_all_exposure_maximises_command_ratio(self, square_setup):
+        network, policies, issues = square_setup
+        issue = issues[0]
+        broken = network.copy()
+        issue.inject(broken)
+        result = evaluate_exposure(
+            broken, issue, scope_all(broken, issue), policies
+        )
+        assert result.command_ratio == pytest.approx(1.0)
+
+    def test_empty_exposure_is_zero_surface_and_infeasible(self, square_setup):
+        network, policies, issues = square_setup
+        issue = issues[0]
+        broken = network.copy()
+        issue.inject(broken)
+        result = evaluate_exposure(broken, issue, set(), policies)
+        assert result.attack_surface == 0.0
+        assert not result.feasible
+
+    def test_monotone_in_exposure(self, square_setup):
+        network, policies, issues = square_setup
+        issue = issues[0]
+        broken = network.copy()
+        issue.inject(broken)
+        small = evaluate_exposure(
+            broken, issue, {issue.root_cause_device}, policies
+        )
+        large = evaluate_exposure(
+            broken, issue, scope_all(broken, issue), policies
+        )
+        assert small.attack_surface <= large.attack_surface
+
+    def test_privilege_spec_reduces_surface(self, square_setup):
+        network, policies, issues = square_setup
+        issue = issues[0]
+        broken = network.copy()
+        issue.inject(broken)
+        scope = scope_heimdall(broken, issue)
+        open_spec = evaluate_exposure(broken, issue, scope, policies)
+        tight = generate_privilege_spec(scope, profile_for_issue(issue))
+        restricted = evaluate_exposure(
+            broken, issue, scope, policies, privilege_spec=tight
+        )
+        assert restricted.attack_surface < open_spec.attack_surface
+
+    def test_isolation_policy_violable_only_at_blocker(self, square_setup):
+        network, policies, issues = square_setup
+        issue = issues[0]
+        broken = network.copy()
+        issue.inject(broken)
+        dataplane = build_dataplane(broken)
+        with_blocker = evaluate_exposure(
+            broken, issue, {"r3"}, policies, dataplane=dataplane
+        )
+        without_blocker = evaluate_exposure(
+            broken, issue, {"r1"}, policies, dataplane=dataplane
+        )
+        isolation_ids = {p.policy_id for p in policies if p.kind == "isolation"}
+        assert isolation_ids & with_blocker.violable_policies
+        assert not isolation_ids & without_blocker.violable_policies
+
+
+class TestApproachSweep:
+    def test_enterprise_shape(self):
+        """The headline Figure 8 shape, asserted as invariants."""
+        network = build_enterprise_network()
+        policies = mine_policies(network)
+        issues = interface_down_issues(network)[:8]  # subset: keep tests fast
+
+        def all_fn(broken, issue, dp):
+            return scope_all(broken, issue, dp), None
+
+        def nbr_fn(broken, issue, dp):
+            return scope_neighbor(broken, issue, dp), None
+
+        def hd_fn(broken, issue, dp):
+            scope = scope_heimdall(broken, issue, dp)
+            guards = policy_guard_rules(policies, dp)
+            spec = generate_privilege_spec(
+                scope, profile_for_issue(issue), extra_rules=guards
+            )
+            return scope, spec
+
+        results = {
+            r.approach: r
+            for r in evaluate_approaches(
+                network, issues, policies,
+                {"All": all_fn, "Neighbor": nbr_fn, "Heimdall": hd_fn},
+            )
+        }
+        assert results["All"].feasibility_pct == 100.0
+        assert results["Heimdall"].feasibility_pct >= (
+            results["Neighbor"].feasibility_pct
+        )
+        assert results["Heimdall"].attack_surface_pct < (
+            results["All"].attack_surface_pct
+        )
+        # "best of both worlds": Heimdall at or below Neighbor's surface.
+        assert results["Heimdall"].attack_surface_pct <= (
+            results["Neighbor"].attack_surface_pct + 5.0
+        )

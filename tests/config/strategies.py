@@ -1,0 +1,191 @@
+"""Hypothesis strategies generating structurally valid device configurations.
+
+Used by the parse/serialize round-trip property tests and by the diffing
+property tests. The strategies deliberately generate only *well-formed*
+configurations (the serializer's output domain); malformed input handling is
+covered by example-based parser tests.
+"""
+
+import ipaddress
+
+from hypothesis import strategies as st
+
+from repro.config.acl import Acl, AclEntry, PortMatch
+from repro.config.model import (
+    BgpConfig,
+    BgpNeighbor,
+    DeviceConfig,
+    InterfaceConfig,
+    OspfConfig,
+    OspfNetwork,
+    StaticRoute,
+    VlanConfig,
+)
+
+names = st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True)
+words = st.from_regex(r"[a-z]+( [a-z]+){0,3}", fullmatch=True)
+vlan_ids = st.integers(min_value=1, max_value=4094)
+ports = st.integers(min_value=0, max_value=65535)
+
+ipv4_addresses = st.integers(min_value=0, max_value=2**32 - 1).map(
+    ipaddress.IPv4Address
+)
+
+
+@st.composite
+def ipv4_networks(draw, min_prefixlen=0, max_prefixlen=32):
+    address = draw(ipv4_addresses)
+    prefixlen = draw(
+        st.integers(min_value=min_prefixlen, max_value=max_prefixlen)
+    )
+    return ipaddress.IPv4Network((address, prefixlen), strict=False)
+
+
+@st.composite
+def ipv4_interfaces(draw):
+    address = draw(ipv4_addresses)
+    prefixlen = draw(st.integers(min_value=8, max_value=30))
+    return ipaddress.IPv4Interface((address, prefixlen))
+
+
+@st.composite
+def port_matches(draw):
+    op = draw(st.sampled_from(["eq", "gt", "lt", "range"]))
+    if op == "range":
+        low = draw(ports)
+        high = draw(st.integers(min_value=low, max_value=65535))
+        return PortMatch("range", low, high)
+    return PortMatch(op, draw(ports))
+
+
+@st.composite
+def acl_entries(draw, kind="extended"):
+    action = draw(st.sampled_from(["permit", "deny"]))
+    if kind == "standard":
+        return AclEntry(action=action, protocol="ip", src=draw(ipv4_networks()))
+    protocol = draw(st.sampled_from(["ip", "icmp", "tcp", "udp"]))
+    with_ports = protocol in ("tcp", "udp")
+    return AclEntry(
+        action=action,
+        protocol=protocol,
+        src=draw(ipv4_networks()),
+        src_port=draw(st.none() | port_matches()) if with_ports else None,
+        dst=draw(ipv4_networks()),
+        dst_port=draw(st.none() | port_matches()) if with_ports else None,
+    )
+
+
+@st.composite
+def acls(draw):
+    kind = draw(st.sampled_from(["standard", "extended"]))
+    numbered = draw(st.booleans())
+    if numbered:
+        low, high = (1, 99) if kind == "standard" else (100, 199)
+        name = str(draw(st.integers(min_value=low, max_value=high)))
+    else:
+        name = draw(names)
+    entries = draw(st.lists(acl_entries(kind=kind), min_size=1, max_size=5))
+    return Acl(name=name, kind=kind, entries=entries)
+
+
+@st.composite
+def interface_configs(draw, name=None):
+    switchport = draw(st.sampled_from([None, "access", "trunk"]))
+    access_vlan = draw(vlan_ids) if switchport == "access" else None
+    trunk_vlans = (
+        tuple(sorted(draw(st.sets(vlan_ids, min_size=1, max_size=4))))
+        if switchport == "trunk"
+        else None
+    )
+    return InterfaceConfig(
+        name=name or draw(names),
+        description=draw(st.none() | words),
+        address=draw(st.none() | ipv4_interfaces()),
+        shutdown=draw(st.booleans()),
+        ospf_cost=draw(st.none() | st.integers(min_value=1, max_value=65535)),
+        access_group_in=draw(st.none() | names),
+        access_group_out=draw(st.none() | names),
+        switchport_mode=switchport,
+        access_vlan=access_vlan,
+        trunk_vlans=trunk_vlans,
+    )
+
+
+@st.composite
+def ospf_configs(draw):
+    networks = draw(
+        st.lists(
+            st.builds(
+                OspfNetwork,
+                prefix=ipv4_networks(max_prefixlen=30),
+                area=st.integers(min_value=0, max_value=10),
+            ),
+            max_size=4,
+            unique=True,  # IOS network statements are idempotent
+        )
+    )
+    return OspfConfig(
+        process_id=draw(st.integers(min_value=1, max_value=100)),
+        networks=networks,
+        passive_interfaces=draw(st.sets(names, max_size=3)),
+        default_information_originate=draw(st.booleans()),
+        reference_bandwidth_mbps=draw(st.sampled_from([100, 1000, 10000])),
+    )
+
+
+@st.composite
+def bgp_configs(draw):
+    neighbors = draw(
+        st.lists(
+            st.builds(
+                BgpNeighbor,
+                address=ipv4_addresses,
+                remote_as=st.integers(min_value=1, max_value=65535),
+            ),
+            max_size=3,
+            unique_by=lambda n: n.address,
+        )
+    )
+    networks = draw(
+        st.lists(ipv4_networks(max_prefixlen=30), max_size=3, unique=True)
+    )
+    return BgpConfig(
+        asn=draw(st.integers(min_value=1, max_value=65535)),
+        neighbors=neighbors,
+        networks=networks,
+    )
+
+
+@st.composite
+def static_routes(draw):
+    return StaticRoute(
+        prefix=draw(ipv4_networks(max_prefixlen=30)),
+        next_hop=draw(ipv4_addresses),
+        distance=draw(st.integers(min_value=1, max_value=255)),
+    )
+
+
+@st.composite
+def device_configs(draw):
+    iface_names = draw(st.lists(names, min_size=1, max_size=4, unique=True))
+    interfaces = {
+        name: draw(interface_configs(name=name)) for name in iface_names
+    }
+    acl_list = draw(st.lists(acls(), max_size=3, unique_by=lambda a: a.name))
+    vlans = {
+        vid: VlanConfig(vid, name=draw(st.none() | names))
+        for vid in draw(st.sets(vlan_ids, max_size=3))
+    }
+    return DeviceConfig(
+        hostname=draw(names),
+        interfaces=interfaces,
+        ospf=draw(st.none() | ospf_configs()),
+        bgp=draw(st.none() | bgp_configs()),
+        static_routes=draw(st.lists(static_routes(), max_size=4, unique=True)),
+        acls={acl.name: acl for acl in acl_list},
+        vlans=vlans,
+        default_gateway=draw(st.none() | ipv4_addresses),
+        enable_secret=draw(st.none() | names),
+        snmp_community=draw(st.none() | names),
+        vty_password=draw(st.none() | names),
+    )

@@ -1,0 +1,148 @@
+import ipaddress
+
+import pytest
+
+from repro.config.acl import Acl, AclEntry, PortMatch
+from repro.net.flow import Flow
+from repro.util.errors import ConfigError
+
+
+def flow(src, dst, proto="ip", sport=None, dport=None):
+    return Flow.make(src, dst, proto, src_port=sport, dst_port=dport)
+
+
+class TestPortMatch:
+    def test_eq(self):
+        assert PortMatch("eq", 80).matches(80)
+        assert not PortMatch("eq", 80).matches(81)
+
+    def test_gt_lt(self):
+        assert PortMatch("gt", 1023).matches(1024)
+        assert not PortMatch("gt", 1023).matches(1023)
+        assert PortMatch("lt", 1024).matches(1023)
+
+    def test_range_inclusive(self):
+        match = PortMatch("range", 8000, 8100)
+        assert match.matches(8000)
+        assert match.matches(8100)
+        assert not match.matches(7999)
+
+    def test_none_port_never_matches(self):
+        assert not PortMatch("eq", 80).matches(None)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigError):
+            PortMatch("neq", 80)
+
+    def test_range_requires_high(self):
+        with pytest.raises(ConfigError):
+            PortMatch("range", 80)
+
+
+class TestAclEntryParsing:
+    def test_parse_permit_any_any(self):
+        entry = AclEntry.parse("permit ip any any")
+        assert entry.action == "permit"
+        assert entry.src == ipaddress.IPv4Network("0.0.0.0/0")
+
+    def test_parse_host_and_wildcard(self):
+        entry = AclEntry.parse("deny tcp 10.1.0.0 0.0.255.255 host 10.2.0.5 eq 80")
+        assert entry.src == ipaddress.IPv4Network("10.1.0.0/16")
+        assert entry.dst == ipaddress.IPv4Network("10.2.0.5/32")
+        assert entry.dst_port == PortMatch("eq", 80)
+
+    def test_parse_well_known_port_name(self):
+        entry = AclEntry.parse("permit tcp any any eq www")
+        assert entry.dst_port == PortMatch("eq", 80)
+
+    def test_parse_source_port(self):
+        entry = AclEntry.parse("permit udp any eq 53 any")
+        assert entry.src_port == PortMatch("eq", 53)
+        assert entry.dst_port is None
+
+    def test_parse_range(self):
+        entry = AclEntry.parse("permit tcp any any range 8000 8100")
+        assert entry.dst_port == PortMatch("range", 8000, 8100)
+
+    def test_parse_standard(self):
+        entry = AclEntry.parse("permit 10.0.1.0 0.0.0.255", kind="standard")
+        assert entry.protocol == "ip"
+        assert entry.src == ipaddress.IPv4Network("10.0.1.0/24")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ConfigError):
+            AclEntry.parse("permit ip any any extra")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ConfigError):
+            AclEntry.parse("permit tcp any")
+
+    def test_icmp_with_ports_rejected(self):
+        with pytest.raises(ConfigError):
+            AclEntry(action="permit", protocol="icmp", dst_port=PortMatch("eq", 1))
+
+    def test_text_roundtrip(self):
+        texts = [
+            "permit ip any any",
+            "deny tcp 10.1.0.0 0.0.255.255 host 10.2.0.5 eq www",
+            "permit udp any eq domain 10.0.0.0 0.255.255.255",
+            "deny tcp any any range 8000 8100",
+        ]
+        for text in texts:
+            entry = AclEntry.parse(text)
+            assert AclEntry.parse(entry.to_text()) == entry
+
+
+class TestAclEntryMatching:
+    def test_ip_entry_matches_any_protocol(self):
+        entry = AclEntry.parse("permit ip any any")
+        assert entry.matches(flow("1.1.1.1", "2.2.2.2", "tcp", dport=80))
+        assert entry.matches(flow("1.1.1.1", "2.2.2.2", "icmp"))
+
+    def test_tcp_entry_does_not_match_generic_ip_flow(self):
+        entry = AclEntry.parse("permit tcp any any")
+        assert not entry.matches(flow("1.1.1.1", "2.2.2.2", "ip"))
+
+    def test_port_entry_requires_port(self):
+        entry = AclEntry.parse("permit tcp any any eq 80")
+        assert not entry.matches(flow("1.1.1.1", "2.2.2.2", "tcp"))
+        assert entry.matches(flow("1.1.1.1", "2.2.2.2", "tcp", dport=80))
+
+    def test_address_containment(self):
+        entry = AclEntry.parse("deny ip 10.1.0.0 0.0.255.255 any")
+        assert entry.matches(flow("10.1.2.3", "8.8.8.8"))
+        assert not entry.matches(flow("10.2.2.3", "8.8.8.8"))
+
+
+class TestAclEvaluation:
+    def test_first_match_wins(self):
+        acl = Acl(
+            name="T",
+            entries=[
+                AclEntry.parse("deny tcp any host 10.0.0.5 eq 80"),
+                AclEntry.parse("permit ip any any"),
+            ],
+        )
+        assert not acl.permits(flow("1.1.1.1", "10.0.0.5", "tcp", dport=80))
+        assert acl.permits(flow("1.1.1.1", "10.0.0.5", "tcp", dport=443))
+
+    def test_implicit_deny(self):
+        acl = Acl(name="T", entries=[AclEntry.parse("permit tcp any any eq 22")])
+        assert not acl.permits(flow("1.1.1.1", "2.2.2.2", "udp", dport=53))
+
+    def test_empty_acl_denies_everything(self):
+        assert not Acl(name="T").permits(flow("1.1.1.1", "2.2.2.2"))
+
+    def test_matching_entry_none_for_implicit_deny(self):
+        acl = Acl(name="T", entries=[AclEntry.parse("permit tcp any any eq 22")])
+        assert acl.matching_entry(flow("1.1.1.1", "2.2.2.2", "udp")) is None
+
+    def test_copy_is_independent(self):
+        acl = Acl(name="T", entries=[AclEntry.parse("permit ip any any")])
+        clone = acl.copy()
+        clone.entries.append(AclEntry.parse("deny ip any any"))
+        assert len(acl.entries) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            Acl(name="T", kind="exotic")

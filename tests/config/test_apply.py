@@ -1,0 +1,88 @@
+"""Property: applying diff(old, new) to old yields new."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config.apply import apply_change, apply_changes
+from repro.config.diffing import ConfigChange, diff_configs
+from repro.config.parser import parse_config
+from repro.util.errors import ConfigError
+
+from tests.config.strategies import device_configs
+
+BASE = """\
+hostname r1
+!
+interface Gi0/0
+ ip address 10.0.12.1 255.255.255.0
+ no shutdown
+!
+ip access-list extended FW
+ deny tcp any host 10.2.0.5 eq www
+ permit ip any any
+!
+ip route 0.0.0.0 0.0.0.0 10.0.12.2
+!
+"""
+
+
+class TestApplyExamples:
+    def test_apply_shutdown(self):
+        old = parse_config(BASE)
+        new = old.copy()
+        new.interface("Gi0/0").shutdown = True
+        (change,) = diff_configs(old, new)
+        apply_change(old, change)
+        assert old.interface("Gi0/0").shutdown
+
+    def test_apply_acl_entry_changes(self):
+        old = parse_config(BASE)
+        new = old.copy()
+        new.acl("FW").entries.pop(0)
+        changes = diff_configs(old, new)
+        apply_changes({"r1": old}, changes)
+        assert old.acl("FW") == new.acl("FW")
+
+    def test_apply_to_unknown_device_rejected(self):
+        change = ConfigChange("ghost", "interface.shutdown", "Gi0/0", new=True)
+        with pytest.raises(ConfigError):
+            apply_changes({"r1": parse_config(BASE)}, [change])
+
+    def test_ospf_change_without_process_rejected(self):
+        old = parse_config(BASE)
+        change = ConfigChange("r1", "ospf.network", "10.0.0.0/24", new=None)
+        with pytest.raises(ConfigError):
+            apply_change(old, change)
+
+
+class TestApplyProperty:
+    @given(device_configs(), device_configs())
+    @settings(max_examples=120, deadline=None)
+    def test_apply_diff_reaches_target(self, old, new):
+        new = new.copy()
+        new.hostname = old.hostname  # device identity does not change
+        changes = diff_configs(old, new)
+        target = old.copy()
+        for change in changes:
+            apply_change(target, change)
+        # Interface dict ordering may differ after adds; compare as dicts.
+        assert target.interfaces == new.interfaces
+        assert target.ospf == new.ospf
+        assert target.bgp == new.bgp
+        assert sorted(target.static_routes, key=str) == sorted(
+            new.static_routes, key=str
+        )
+        assert target.acls == new.acls
+        assert target.vlans == new.vlans
+        assert target.default_gateway == new.default_gateway
+        assert target.enable_secret == new.enable_secret
+        assert target.snmp_community == new.snmp_community
+        assert target.vty_password == new.vty_password
+
+    @given(device_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_apply_empty_diff_is_identity(self, config):
+        clone = config.copy()
+        for change in diff_configs(config, config.copy()):
+            apply_change(clone, change)
+        assert clone == config

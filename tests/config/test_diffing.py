@@ -1,0 +1,160 @@
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config.acl import Acl, AclEntry
+from repro.config.diffing import ConfigChange, diff_configs, diff_networks
+from repro.config.model import DeviceConfig, OspfConfig, OspfNetwork, StaticRoute
+from repro.config.parser import parse_config
+from repro.config.serializer import serialize_config
+
+from tests.config.strategies import device_configs
+
+BASE = """\
+hostname r1
+!
+interface Gi0/0
+ ip address 10.0.12.1 255.255.255.0
+ no shutdown
+!
+ip access-list extended FW
+ deny tcp any host 10.2.0.5 eq www
+ permit ip any any
+!
+ip route 0.0.0.0 0.0.0.0 10.0.12.2
+!
+"""
+
+
+@pytest.fixture
+def base():
+    return parse_config(BASE)
+
+
+class TestDiffConfigs:
+    def test_identical_configs_have_no_diff(self, base):
+        assert diff_configs(base, base.copy()) == []
+
+    def test_interface_shutdown_change(self, base):
+        changed = base.copy()
+        changed.interface("Gi0/0").shutdown = True
+        (change,) = diff_configs(base, changed)
+        assert change.kind == "interface.shutdown"
+        assert change.path == "Gi0/0"
+        assert change.old is False and change.new is True
+        assert change.category == "interface"
+        assert change.action == "config.interface.admin"
+
+    def test_interface_address_change(self, base):
+        changed = base.copy()
+        changed.interface("Gi0/0").address = ipaddress.IPv4Interface("10.0.99.1/24")
+        (change,) = diff_configs(base, changed)
+        assert change.kind == "interface.address"
+
+    def test_interface_added_and_removed(self, base):
+        changed = base.copy()
+        changed.interface("Gi0/1", create=True)
+        del changed.interfaces["Gi0/0"]
+        kinds = {c.kind for c in diff_configs(base, changed)}
+        assert kinds == {"interface.added", "interface.removed"}
+
+    def test_acl_entry_flip_is_remove_add_reorder(self, base):
+        changed = base.copy()
+        changed.acl("FW").entries[0] = AclEntry.parse(
+            "permit tcp any host 10.2.0.5 eq www"
+        )
+        kinds = sorted(c.kind for c in diff_configs(base, changed))
+        # The replaced entry must return to position 0, not the tail, so a
+        # final authoritative reorder accompanies the remove/add pair.
+        assert kinds == ["acl.entry_added", "acl.entry_removed", "acl.reordered"]
+
+    def test_acl_reorder_detected(self, base):
+        changed = base.copy()
+        changed.acl("FW").entries.reverse()
+        (change,) = diff_configs(base, changed)
+        assert change.kind == "acl.reordered"
+        assert change.category == "acl"
+
+    def test_acl_added_removed(self, base):
+        changed = base.copy()
+        changed.add_acl(Acl(name="NEW", entries=[AclEntry.parse("permit ip any any")]))
+        del changed.acls["FW"]
+        kinds = {c.kind for c in diff_configs(base, changed)}
+        assert kinds == {"acl.added", "acl.removed"}
+
+    def test_static_route_change(self, base):
+        changed = base.copy()
+        changed.static_routes[0] = StaticRoute(
+            prefix=ipaddress.IPv4Network("0.0.0.0/0"),
+            next_hop=ipaddress.IPv4Address("10.0.13.2"),
+        )
+        kinds = [c.kind for c in diff_configs(base, changed)]
+        assert kinds == ["static_route", "static_route"]
+        assert {c.category for c in diff_configs(base, changed)} == {"routing"}
+
+    def test_ospf_process_added(self, base):
+        changed = base.copy()
+        changed.ospf = OspfConfig(
+            networks=[OspfNetwork(ipaddress.IPv4Network("10.0.12.0/24"))]
+        )
+        (change,) = diff_configs(base, changed)
+        assert change.kind == "ospf.process"
+
+    def test_ospf_network_statement_change(self, base):
+        before = base.copy()
+        before.ospf = OspfConfig(
+            networks=[OspfNetwork(ipaddress.IPv4Network("10.0.12.0/24"))]
+        )
+        after = before.copy()
+        after.ospf.networks = [OspfNetwork(ipaddress.IPv4Network("10.0.13.0/24"))]
+        kinds = [c.kind for c in diff_configs(before, after)]
+        assert kinds == ["ospf.network", "ospf.network"]
+
+    def test_credential_change_categorised(self, base):
+        changed = base.copy()
+        changed.enable_secret = "new"
+        (change,) = diff_configs(base, changed)
+        assert change.category == "credential"
+
+    def test_summary_readable(self, base):
+        changed = base.copy()
+        changed.interface("Gi0/0").shutdown = True
+        (change,) = diff_configs(base, changed)
+        assert "r1:Gi0/0" in change.summary()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigChange("r1", "bogus.kind")
+
+
+class TestDiffNetworks:
+    def test_spans_devices(self, base):
+        other = parse_config(BASE, hostname="r2")
+        new = {"r1": base.copy(), "r2": other.copy()}
+        new["r1"].interface("Gi0/0").shutdown = True
+        new["r2"].interface("Gi0/0").ospf_cost = 50
+        changes = diff_networks({"r1": base, "r2": other}, new)
+        assert {c.device for c in changes} == {"r1", "r2"}
+
+    def test_ignores_devices_missing_from_old(self, base):
+        changes = diff_networks({}, {"r1": base})
+        assert changes == []
+
+
+class TestDiffProperties:
+    @given(device_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_self_diff_is_empty(self, config):
+        assert diff_configs(config, config.copy()) == []
+
+    @given(device_configs(), device_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_diff_roundtrip_through_text(self, a, b):
+        # Diffing is invariant under serialize/parse of both sides.
+        a2 = parse_config(serialize_config(a))
+        b2 = parse_config(serialize_config(b))
+        b = b.copy()
+        b.hostname = a.hostname  # diff keys on the new config's hostname
+        b2.hostname = a2.hostname
+        assert len(diff_configs(a, b)) == len(diff_configs(a2, b2))

@@ -1,0 +1,213 @@
+import ipaddress
+
+import pytest
+
+from repro.config.parser import parse_config
+from repro.util.errors import ConfigError
+
+ROUTER_CONFIG = """\
+hostname r1
+!
+vlan 10
+ name users
+!
+interface GigabitEthernet0/0
+ description to r2
+ ip address 10.0.12.1 255.255.255.0
+ ip ospf cost 10
+ ip access-group BLOCK_WEB in
+ no shutdown
+!
+interface GigabitEthernet0/1
+ ip address 10.0.13.1 255.255.255.0
+ shutdown
+!
+router ospf 1
+ network 10.0.12.0 0.0.0.255 area 0
+ network 10.0.13.0 0.0.0.255 area 0
+ passive-interface GigabitEthernet0/1
+ default-information originate
+!
+ip route 0.0.0.0 0.0.0.0 10.0.12.2
+ip route 192.168.0.0 255.255.0.0 10.0.13.2 200
+!
+ip access-list extended BLOCK_WEB
+ deny tcp 10.1.0.0 0.0.255.255 host 10.2.0.5 eq www
+ permit ip any any
+!
+access-list 10 permit 10.0.1.0 0.0.0.255
+access-list 101 permit tcp any any eq 443
+!
+enable secret 5 $1$abcd$xyz
+snmp-server community public RO
+!
+line vty 0 4
+ password cisco
+ login
+!
+"""
+
+SWITCH_CONFIG = """\
+hostname sw1
+!
+vlan 10
+ name users
+vlan 20
+ name servers
+!
+interface FastEthernet0/1
+ switchport mode access
+ switchport access vlan 10
+ no shutdown
+!
+interface FastEthernet0/24
+ switchport mode trunk
+ switchport trunk allowed vlan 10,20
+ no shutdown
+!
+"""
+
+HOST_CONFIG = """\
+hostname h1
+!
+interface eth0
+ ip address 10.0.1.100 255.255.255.0
+ no shutdown
+!
+ip default-gateway 10.0.1.1
+!
+"""
+
+
+@pytest.fixture
+def router():
+    return parse_config(ROUTER_CONFIG)
+
+
+class TestRouterParsing:
+    def test_hostname(self, router):
+        assert router.hostname == "r1"
+
+    def test_hostname_override(self):
+        assert parse_config(ROUTER_CONFIG, hostname="alt").hostname == "alt"
+
+    def test_interface_address(self, router):
+        iface = router.interface("GigabitEthernet0/0")
+        assert iface.address == ipaddress.IPv4Interface("10.0.12.1/24")
+        assert iface.description == "to r2"
+        assert iface.ospf_cost == 10
+        assert iface.access_group_in == "BLOCK_WEB"
+        assert not iface.shutdown
+
+    def test_shutdown_interface(self, router):
+        assert router.interface("GigabitEthernet0/1").shutdown
+
+    def test_ospf(self, router):
+        assert router.ospf.process_id == 1
+        assert len(router.ospf.networks) == 2
+        assert router.ospf.networks[0].prefix == ipaddress.IPv4Network("10.0.12.0/24")
+        assert router.ospf.networks[0].area == 0
+        assert "GigabitEthernet0/1" in router.ospf.passive_interfaces
+        assert router.ospf.default_information_originate
+
+    def test_static_routes(self, router):
+        default, specific = router.static_routes
+        assert default.prefix == ipaddress.IPv4Network("0.0.0.0/0")
+        assert default.next_hop == ipaddress.IPv4Address("10.0.12.2")
+        assert default.distance == 1
+        assert specific.distance == 200
+
+    def test_named_acl(self, router):
+        acl = router.acl("BLOCK_WEB")
+        assert acl.kind == "extended"
+        assert len(acl.entries) == 2
+        assert acl.entries[0].action == "deny"
+
+    def test_numbered_acls(self, router):
+        assert router.acl("10").kind == "standard"
+        assert router.acl("101").kind == "extended"
+
+    def test_credentials(self, router):
+        assert router.enable_secret == "$1$abcd$xyz"
+        assert router.snmp_community == "public"
+        assert router.vty_password == "cisco"
+
+    def test_vlan(self, router):
+        assert router.vlans[10].name == "users"
+
+
+class TestSwitchParsing:
+    def test_access_port(self):
+        sw = parse_config(SWITCH_CONFIG)
+        iface = sw.interface("FastEthernet0/1")
+        assert iface.switchport_mode == "access"
+        assert iface.access_vlan == 10
+        assert iface.carries_vlan(10)
+        assert not iface.carries_vlan(20)
+
+    def test_trunk_port(self):
+        sw = parse_config(SWITCH_CONFIG)
+        iface = sw.interface("FastEthernet0/24")
+        assert iface.switchport_mode == "trunk"
+        assert iface.trunk_vlans == (10, 20)
+        assert iface.carries_vlan(10)
+        assert not iface.carries_vlan(30)
+
+
+class TestHostParsing:
+    def test_gateway(self):
+        host = parse_config(HOST_CONFIG)
+        assert host.default_gateway == ipaddress.IPv4Address("10.0.1.1")
+        assert host.primary_address == ipaddress.IPv4Interface("10.0.1.100/24")
+
+
+class TestErrors:
+    def test_unknown_top_level_command(self):
+        with pytest.raises(ConfigError, match="line 1"):
+            parse_config("frobnicate everything\n")
+
+    def test_unknown_interface_command(self):
+        text = "interface Gi0/0\n bogus setting\n"
+        with pytest.raises(ConfigError, match="line 2"):
+            parse_config(text)
+
+    def test_bad_ospf_network(self):
+        text = "router ospf 1\n network 10.0.0.0 area 0\n"
+        with pytest.raises(ConfigError):
+            parse_config(text)
+
+    def test_indented_line_without_section(self):
+        # After "!", the section closes; an indented line is then an error
+        # because there is no open context to interpret it in.
+        text = "interface Gi0/0\n!\n ip address 10.0.0.1 255.255.255.0\n"
+        with pytest.raises(ConfigError):
+            parse_config(text)
+
+    def test_bad_acl_direction(self):
+        text = "interface Gi0/0\n ip access-group FOO sideways\n"
+        with pytest.raises(ConfigError):
+            parse_config(text)
+
+    def test_comments_and_blanks_ignored(self):
+        cfg = parse_config("! a comment\n\nhostname r9\n")
+        assert cfg.hostname == "r9"
+
+
+class TestModelHelpers:
+    def test_owns_address(self, router):
+        assert router.owns_address("10.0.12.1")
+        assert not router.owns_address("10.0.12.2")
+
+    def test_interface_for_address(self, router):
+        iface = router.interface_for_address("10.0.12.77")
+        assert iface.name == "GigabitEthernet0/0"
+        assert router.interface_for_address("172.16.0.1") is None
+
+    def test_copy_is_deep(self, router):
+        clone = router.copy()
+        clone.interface("GigabitEthernet0/0").shutdown = True
+        assert not router.interface("GigabitEthernet0/0").shutdown
+
+    def test_unknown_interface_raises(self, router):
+        with pytest.raises(ConfigError):
+            router.interface("Loopback99")

@@ -1,0 +1,32 @@
+"""Property: serialize -> parse is the identity on well-formed configs."""
+
+from hypothesis import given, settings
+
+from repro.config.parser import parse_config
+from repro.config.serializer import config_line_count, serialize_config
+
+from tests.config.strategies import device_configs
+
+
+@given(device_configs())
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_roundtrip(config):
+    text = serialize_config(config)
+    assert parse_config(text) == config
+
+
+@given(device_configs())
+@settings(max_examples=50, deadline=None)
+def test_serialization_is_deterministic(config):
+    assert serialize_config(config) == serialize_config(config)
+
+
+@given(device_configs())
+@settings(max_examples=50, deadline=None)
+def test_line_count_counts_only_config_lines(config):
+    text = serialize_config(config)
+    expected = sum(
+        1 for line in text.splitlines() if line.strip() and line.strip() != "!"
+    )
+    assert config_line_count(config) == expected
+    assert config_line_count(config) >= 2  # hostname + at least one interface line

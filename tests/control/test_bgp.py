@@ -1,0 +1,218 @@
+"""eBGP tests: session establishment, propagation, and FIB integration.
+
+Fixture: a three-AS chain with a stub LAN at each end and dual paths in the
+middle::
+
+    h-cust -- ce (AS 65001) ==== pe1 (AS 65010) ==== pe2 (AS 65010 via OSPF)
+                                   \\                   |
+                                    ===== px (AS 65020) ===== farside (AS 65030) -- h-far
+
+Actually kept simpler below: ce(65001) -- pe(65010) -- far(65020), each
+originating its LAN.
+"""
+
+import ipaddress
+
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.control.bgp import compute_bgp_routes
+from repro.control.l2 import compute_segments
+from repro.dataplane.forwarding import Disposition, trace_flow
+from repro.net.flow import Flow
+from repro.scenarios.builder import NetworkBuilder
+
+
+def bgp_chain():
+    """ce (AS 65001) -- pe (AS 65010) -- far (AS 65020), one LAN each."""
+    builder = NetworkBuilder("bgp-chain")
+    builder.router("ce").router("pe").router("far")
+    builder.host("h-cust").host("h-mid").host("h-far")
+
+    builder.p2p("ce", "Gi0/0", "pe", "Gi0/0", "192.0.2.0/30")
+    builder.p2p("pe", "Gi0/1", "far", "Gi0/0", "192.0.2.4/30")
+    builder.attach_host("h-cust", "eth0", "ce", "Gi0/1", "10.10.0.0/24")
+    builder.attach_host("h-mid", "eth0", "pe", "Gi0/2", "10.20.0.0/24")
+    builder.attach_host("h-far", "eth0", "far", "Gi0/1", "10.30.0.0/24")
+
+    builder.enable_bgp("ce", 65001,
+                       neighbors=[("192.0.2.2", 65010)],
+                       networks=["10.10.0.0/24"])
+    builder.enable_bgp("pe", 65010,
+                       neighbors=[("192.0.2.1", 65001), ("192.0.2.6", 65020)],
+                       networks=["10.20.0.0/24"])
+    builder.enable_bgp("far", 65020,
+                       neighbors=[("192.0.2.5", 65010)],
+                       networks=["10.30.0.0/24"])
+    return builder.build()
+
+
+@pytest.fixture
+def chain():
+    return bgp_chain()
+
+
+def net(prefix):
+    return ipaddress.IPv4Network(prefix)
+
+
+class TestSessions:
+    def test_sessions_establish_both_ways(self, chain):
+        result = compute_bgp_routes(chain, compute_segments(chain))
+        pairs = {(s.local_device, s.remote_device) for s in result.sessions}
+        assert ("ce", "pe") in pairs and ("pe", "ce") in pairs
+        assert ("pe", "far") in pairs and ("far", "pe") in pairs
+        assert ("ce", "far") not in pairs  # not adjacent
+
+    def test_as_mismatch_blocks_session(self, chain):
+        chain.config("ce").bgp.neighbors[0] = type(
+            chain.config("ce").bgp.neighbors[0]
+        )(address=ipaddress.IPv4Address("192.0.2.2"), remote_as=64999)
+        result = compute_bgp_routes(chain, compute_segments(chain))
+        pairs = {(s.local_device, s.remote_device) for s in result.sessions}
+        assert ("ce", "pe") not in pairs
+
+    def test_interface_down_kills_session(self, chain):
+        chain.config("pe").interface("Gi0/0").shutdown = True
+        result = compute_bgp_routes(chain, compute_segments(chain))
+        pairs = {(s.local_device, s.remote_device) for s in result.sessions}
+        assert ("ce", "pe") not in pairs
+        assert ("pe", "far") in pairs
+
+    def test_one_sided_config_is_no_session(self, chain):
+        chain.config("pe").bgp.neighbors = [
+            n for n in chain.config("pe").bgp.neighbors
+            if str(n.address) != "192.0.2.1"
+        ]
+        result = compute_bgp_routes(chain, compute_segments(chain))
+        pairs = {(s.local_device, s.remote_device) for s in result.sessions}
+        assert ("ce", "pe") not in pairs and ("pe", "ce") not in pairs
+
+
+class TestPropagation:
+    def test_transitive_learning_with_as_paths(self, chain):
+        result = compute_bgp_routes(chain, compute_segments(chain))
+        ce_routes = {r.prefix: r for r in result.routes_by_device["ce"]}
+        assert net("10.20.0.0/24") in ce_routes
+        assert net("10.30.0.0/24") in ce_routes
+        assert result.as_paths[("ce", net("10.20.0.0/24"))] == (65010,)
+        assert result.as_paths[("ce", net("10.30.0.0/24"))] == (65010, 65020)
+
+    def test_metric_is_as_path_length(self, chain):
+        result = compute_bgp_routes(chain, compute_segments(chain))
+        ce_routes = {r.prefix: r for r in result.routes_by_device["ce"]}
+        assert ce_routes[net("10.20.0.0/24")].metric == 1
+        assert ce_routes[net("10.30.0.0/24")].metric == 2
+
+    def test_unbacked_network_statement_not_originated(self, chain):
+        chain.config("far").bgp.networks.append(net("172.31.0.0/16"))
+        result = compute_bgp_routes(chain, compute_segments(chain))
+        ce_prefixes = {r.prefix for r in result.routes_by_device["ce"]}
+        assert net("172.31.0.0/16") not in ce_prefixes
+
+    def test_static_backed_statement_originated(self, chain):
+        from repro.config.model import StaticRoute
+
+        chain.config("far").static_routes.append(
+            StaticRoute(prefix=net("172.31.0.0/16"),
+                        next_hop=ipaddress.IPv4Address("10.30.0.1"))
+        )
+        chain.config("far").bgp.networks.append(net("172.31.0.0/16"))
+        result = compute_bgp_routes(chain, compute_segments(chain))
+        ce_prefixes = {r.prefix for r in result.routes_by_device["ce"]}
+        assert net("172.31.0.0/16") in ce_prefixes
+
+    def test_no_speakers_is_empty(self):
+        builder = NetworkBuilder("plain")
+        builder.router("r1")
+        network = builder.build()
+        result = compute_bgp_routes(network, compute_segments(network))
+        assert result.sessions == []
+        assert result.routes_by_device == {}
+
+
+class TestEndToEnd:
+    def test_host_reachability_across_three_ases(self, chain):
+        dataplane = build_dataplane(chain)
+        trace = trace_flow(
+            dataplane,
+            Flow.make("10.10.0.100", "10.30.0.100", "icmp"),
+            start_device="h-cust",
+        )
+        assert trace.disposition is Disposition.DELIVERED
+        assert trace.path() == ["h-cust", "ce", "pe", "far", "h-far"]
+
+    def test_ebgp_preferred_over_ospf(self, chain):
+        # Same prefix learned via both protocols: eBGP's AD 20 wins.
+        from repro.config.model import OspfConfig, OspfNetwork
+
+        for router in ("ce", "pe"):
+            config = chain.config(router)
+            config.ospf = OspfConfig(process_id=1)
+            for iface in config.routed_interfaces():
+                config.ospf.networks.append(
+                    OspfNetwork(prefix=iface.address.network)
+                )
+        dataplane = build_dataplane(chain)
+        route = dataplane.fib("ce").lookup(
+            ipaddress.IPv4Address("10.20.0.100")
+        )
+        assert route.protocol == "bgp"
+        assert route.distance == 20
+
+    def test_session_loss_withdraws_routes(self, chain):
+        chain.config("far").interface("Gi0/0").shutdown = True
+        dataplane = build_dataplane(chain)
+        assert dataplane.fib("ce").lookup(
+            ipaddress.IPv4Address("10.30.0.100")
+        ) is None
+
+
+class TestConsoleIntegration:
+    def test_configure_bgp_via_console(self, chain):
+        from repro.emulation.network import EmulatedNetwork
+
+        emnet = EmulatedNetwork(chain)
+        console = emnet.console("ce")
+        for command in (
+            "configure terminal",
+            "router bgp 65001",
+            "network 10.10.0.0 mask 255.255.255.0",
+            "neighbor 192.0.2.2 remote-as 65010",
+            "end",
+        ):
+            result = console.execute(command)
+            assert result.ok, (command, result.error)
+        summary = console.execute("show ip bgp summary")
+        assert "Established" in summary.output
+
+    def test_wrong_asn_reenter_rejected(self, chain):
+        from repro.emulation.network import EmulatedNetwork
+
+        emnet = EmulatedNetwork(chain)
+        console = emnet.console("ce")
+        console.execute("configure terminal")
+        result = console.execute("router bgp 99")
+        assert not result.ok
+
+    def test_session_teardown_visible_in_summary(self, chain):
+        from repro.emulation.network import EmulatedNetwork
+
+        emnet = EmulatedNetwork(chain)
+        console = emnet.console("ce")
+        for command in ("configure terminal", "interface Gi0/0",
+                        "shutdown", "end"):
+            console.execute(command)
+        summary = console.execute("show ip bgp summary")
+        assert "Active" in summary.output
+        assert "Established" not in summary.output
+
+    def test_bgp_config_survives_serialization(self, chain):
+        from repro.config.parser import parse_config
+        from repro.config.serializer import serialize_config
+
+        config = chain.config("pe")
+        text = serialize_config(config)
+        assert "router bgp 65010" in text
+        assert "neighbor 192.0.2.1 remote-as 65001" in text
+        assert parse_config(text) == config

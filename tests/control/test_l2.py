@@ -1,0 +1,95 @@
+from repro.control.l2 import compute_segments
+
+from tests.fixtures import square_network, switched_lan
+
+
+class TestPointToPointSegments:
+    def test_each_link_is_a_segment(self):
+        network = square_network()
+        segments = compute_segments(network)
+        # 4 router-router links + 4 router-host links = 8 segments.
+        assert len(segments) == 8
+
+    def test_link_endpoints_share_segment(self):
+        segments = compute_segments(square_network())
+        assert segments.same_segment(("r1", "Gi0/0"), ("r2", "Gi0/0"))
+        assert not segments.same_segment(("r1", "Gi0/0"), ("r3", "Gi0/0"))
+
+    def test_host_attaches_to_router(self):
+        segments = compute_segments(square_network())
+        assert segments.same_segment(("h1", "eth0"), ("r1", "Gi0/2"))
+
+    def test_shutdown_interface_leaves_segment(self):
+        network = square_network()
+        network.config("r1").interface("Gi0/0").shutdown = True
+        segments = compute_segments(network)
+        assert segments.segment_of("r1", "Gi0/0") is None
+        # The far end is now alone in its segment.
+        assert segments.adjacent_endpoints("r2", "Gi0/0") == []
+
+    def test_adjacent_endpoints(self):
+        segments = compute_segments(square_network())
+        assert segments.adjacent_endpoints("r1", "Gi0/0") == [("r2", "Gi0/0")]
+
+
+class TestSwitchedSegments:
+    def test_vlan10_spans_trunk(self):
+        segments = compute_segments(switched_lan())
+        assert segments.same_segment(("hA", "eth0"), ("hB", "eth0"))
+        assert segments.same_segment(("hA", "eth0"), ("r1", "Gi0/0"))
+
+    def test_vlan20_is_isolated_from_vlan10(self):
+        segments = compute_segments(switched_lan())
+        assert not segments.same_segment(("hC", "eth0"), ("hA", "eth0"))
+        assert not segments.same_segment(("hC", "eth0"), ("r1", "Gi0/0"))
+
+    def test_wrong_access_vlan_isolates_host(self):
+        network = switched_lan()
+        # The classic misconfiguration: hB's access port lands in VLAN 20.
+        network.config("sw2").interface("Fa0/2").access_vlan = 20
+        segments = compute_segments(network)
+        assert not segments.same_segment(("hB", "eth0"), ("hA", "eth0"))
+        # ... and now shares a domain with hC instead.
+        assert segments.same_segment(("hB", "eth0"), ("hC", "eth0"))
+
+    def test_trunk_pruning_breaks_vlan(self):
+        network = switched_lan()
+        network.config("sw1").interface("Fa0/24").trunk_vlans = (20,)
+        segments = compute_segments(network)
+        assert not segments.same_segment(("hA", "eth0"), ("hB", "eth0"))
+
+    def test_shutdown_trunk_splits_lan(self):
+        network = switched_lan()
+        network.config("sw2").interface("Fa0/24").shutdown = True
+        segments = compute_segments(network)
+        assert not segments.same_segment(("hA", "eth0"), ("hB", "eth0"))
+        assert segments.same_segment(("hA", "eth0"), ("r1", "Gi0/0"))
+
+    def test_access_to_access_cross_connect(self):
+        # Two switches cabled via access ports in different VLANs splice
+        # those VLANs (untagged frames cross).
+        network = switched_lan()
+        sw1_port = network.config("sw1").interface("Fa0/24")
+        sw2_port = network.config("sw2").interface("Fa0/24")
+        sw1_port.switchport_mode = "access"
+        sw1_port.access_vlan = 10
+        sw1_port.trunk_vlans = None
+        sw2_port.switchport_mode = "access"
+        sw2_port.access_vlan = 20
+        sw2_port.trunk_vlans = None
+        segments = compute_segments(network)
+        assert segments.same_segment(("hA", "eth0"), ("hC", "eth0"))
+        assert not segments.same_segment(("hA", "eth0"), ("hB", "eth0"))
+
+
+class TestSegmentQueries:
+    def test_segment_devices_sorted(self):
+        segments = compute_segments(switched_lan())
+        segment = segments.segment_of("hA", "eth0")
+        assert segment.devices() == ["hA", "hB", "r1"]
+
+    def test_contains(self):
+        segments = compute_segments(switched_lan())
+        segment = segments.segment_of("hA", "eth0")
+        assert ("hB", "eth0") in segment
+        assert ("hC", "eth0") not in segment

@@ -1,0 +1,172 @@
+import ipaddress
+
+from repro.config.model import StaticRoute
+from repro.control.builder import build_dataplane
+from repro.control.l2 import compute_segments
+from repro.control.ospf import compute_ospf_routes
+
+from tests.fixtures import square_network
+
+
+def net(prefix):
+    return ipaddress.IPv4Network(prefix)
+
+
+class TestAdjacency:
+    def test_ring_forms_eight_adjacency_records(self):
+        network = square_network()
+        segments = compute_segments(network)
+        result = compute_ospf_routes(network, segments)
+        # 4 links x 2 directions.
+        assert len(result.neighbors) == 8
+
+    def test_neighbors_of(self):
+        network = square_network()
+        result = compute_ospf_routes(network, compute_segments(network))
+        peers = {n.remote_device for n in result.neighbors_of("r1")}
+        assert peers == {"r2", "r4"}
+
+    def test_passive_interface_forms_no_adjacency(self):
+        network = square_network()
+        # Host-facing interfaces are passive; make a core one passive too.
+        network.config("r1").ospf.passive_interfaces.add("Gi0/0")
+        network.config("r2").ospf.passive_interfaces.add("Gi0/0")
+        result = compute_ospf_routes(network, compute_segments(network))
+        pairs = {(n.local_device, n.remote_device) for n in result.neighbors}
+        assert ("r1", "r2") not in pairs
+
+    def test_shutdown_interface_breaks_adjacency(self):
+        network = square_network()
+        network.config("r1").interface("Gi0/0").shutdown = True
+        result = compute_ospf_routes(network, compute_segments(network))
+        pairs = {(n.local_device, n.remote_device) for n in result.neighbors}
+        assert ("r1", "r2") not in pairs
+        assert ("r1", "r4") in pairs
+
+    def test_subnet_mismatch_breaks_adjacency(self):
+        network = square_network()
+        network.config("r1").interface("Gi0/0").address = (
+            ipaddress.IPv4Interface("10.0.99.1/24")
+        )
+        result = compute_ospf_routes(network, compute_segments(network))
+        pairs = {(n.local_device, n.remote_device) for n in result.neighbors}
+        assert ("r1", "r2") not in pairs
+
+    def test_network_statement_gap_breaks_adjacency(self):
+        network = square_network()
+        ospf = network.config("r1").ospf
+        ospf.networks = [
+            statement
+            for statement in ospf.networks
+            if statement.prefix != net("10.0.12.0/24")
+        ]
+        result = compute_ospf_routes(network, compute_segments(network))
+        pairs = {(n.local_device, n.remote_device) for n in result.neighbors}
+        assert ("r1", "r2") not in pairs
+
+    def test_area_mismatch_breaks_adjacency(self):
+        network = square_network()
+        ospf = network.config("r1").ospf
+        ospf.networks = [
+            type(s)(prefix=s.prefix, area=5)
+            if s.prefix == net("10.0.12.0/24")
+            else s
+            for s in ospf.networks
+        ]
+        result = compute_ospf_routes(network, compute_segments(network))
+        pairs = {(n.local_device, n.remote_device) for n in result.neighbors}
+        assert ("r1", "r2") not in pairs
+
+
+class TestRoutes:
+    def test_learns_remote_lans(self):
+        network = square_network()
+        result = compute_ospf_routes(network, compute_segments(network))
+        prefixes = {r.prefix for r in result.routes_by_device["r1"]}
+        assert net("10.2.2.0/24") in prefixes
+        assert net("10.3.3.0/24") in prefixes
+        assert net("10.0.23.0/24") in prefixes
+
+    def test_own_prefixes_not_learned(self):
+        network = square_network()
+        result = compute_ospf_routes(network, compute_segments(network))
+        prefixes = {r.prefix for r in result.routes_by_device["r1"]}
+        assert net("10.1.1.0/24") not in prefixes
+        assert net("10.0.12.0/24") not in prefixes
+
+    def test_shortest_path_chosen(self):
+        network = square_network()
+        result = compute_ospf_routes(network, compute_segments(network))
+        # r1 -> h3 LAN: r1-r2-r3 and r1-r4-r3 both cost 2 hops + stub;
+        # deterministic tie-break must pick one consistently.
+        route = next(
+            r
+            for r in result.routes_by_device["r1"]
+            if r.prefix == net("10.3.3.0/24")
+        )
+        assert route.out_interface in ("Gi0/0", "Gi0/1")
+        assert route.metric == 3  # two transit hops + stub interface cost
+
+    def test_cost_steers_path(self):
+        network = square_network()
+        # Make r1->r2 expensive: traffic to h2's LAN should go via r4, r3.
+        network.config("r1").interface("Gi0/0").ospf_cost = 100
+        result = compute_ospf_routes(network, compute_segments(network))
+        route = next(
+            r
+            for r in result.routes_by_device["r1"]
+            if r.prefix == net("10.2.2.0/24")
+        )
+        assert route.out_interface == "Gi0/1"  # toward r4
+        assert route.metric == 4
+
+    def test_default_information_originate(self):
+        network = square_network()
+        network.config("r2").ospf.default_information_originate = True
+        result = compute_ospf_routes(network, compute_segments(network))
+        prefixes = {r.prefix for r in result.routes_by_device["r4"]}
+        assert net("0.0.0.0/0") in prefixes
+
+    def test_router_without_ospf_gets_no_routes(self):
+        network = square_network()
+        network.config("r4").ospf = None
+        result = compute_ospf_routes(network, compute_segments(network))
+        assert result.routes_by_device["r4"] == []
+
+
+class TestBuilderIntegration:
+    def test_dataplane_fib_prefers_connected(self):
+        network = square_network()
+        dataplane = build_dataplane(network)
+        route = dataplane.fib("r1").lookup(ipaddress.IPv4Address("10.0.12.2"))
+        assert route.protocol == "connected"
+
+    def test_dataplane_fib_has_ospf_routes(self):
+        network = square_network()
+        dataplane = build_dataplane(network)
+        route = dataplane.fib("r1").lookup(ipaddress.IPv4Address("10.3.3.100"))
+        assert route.protocol == "ospf"
+
+    def test_host_default_route(self):
+        network = square_network()
+        dataplane = build_dataplane(network)
+        route = dataplane.fib("h1").lookup(ipaddress.IPv4Address("8.8.8.8"))
+        assert route is not None
+        assert route.next_hop == ipaddress.IPv4Address("10.1.1.1")
+
+    def test_switch_fib_empty(self):
+        from tests.fixtures import switched_lan
+
+        dataplane = build_dataplane(switched_lan())
+        assert len(dataplane.fib("sw1")) == 0
+
+    def test_static_route_with_dead_next_hop_not_installed(self):
+        network = square_network()
+        network.config("r1").static_routes.append(
+            StaticRoute(
+                prefix=net("172.16.0.0/16"),
+                next_hop=ipaddress.IPv4Address("192.0.2.1"),
+            )
+        )
+        dataplane = build_dataplane(network)
+        assert dataplane.fib("r1").lookup(ipaddress.IPv4Address("172.16.0.1")) is None

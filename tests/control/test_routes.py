@@ -1,0 +1,76 @@
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.routes import ADMIN_DISTANCE, Route, select_best_routes
+
+
+def route(prefix, protocol="static", metric=0, next_hop="10.0.0.1", distance=None):
+    return Route(
+        prefix=ipaddress.IPv4Network(prefix),
+        protocol=protocol,
+        out_interface="Gi0/0",
+        next_hop=ipaddress.IPv4Address(next_hop),
+        metric=metric,
+        distance=distance,
+    )
+
+
+class TestRoute:
+    def test_default_distance_from_protocol(self):
+        assert route("10.0.0.0/24", "ospf").distance == 110
+        assert route("10.0.0.0/24", "static").distance == 1
+
+    def test_explicit_distance_wins(self):
+        assert route("10.0.0.0/24", "static", distance=200).distance == 200
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            route("10.0.0.0/24", "rip")
+
+    def test_str_is_informative(self):
+        text = str(route("10.0.0.0/24", "ospf", metric=20))
+        assert "10.0.0.0/24" in text and "110" in text
+
+
+class TestSelection:
+    def test_lower_distance_wins(self):
+        static = route("10.0.0.0/24", "static")
+        ospf = route("10.0.0.0/24", "ospf")
+        assert select_best_routes([ospf, static]) == [static]
+
+    def test_lower_metric_breaks_distance_tie(self):
+        slow = route("10.0.0.0/24", "ospf", metric=30)
+        fast = route("10.0.0.0/24", "ospf", metric=10, next_hop="10.0.0.9")
+        assert select_best_routes([slow, fast]) == [fast]
+
+    def test_distinct_prefixes_all_kept(self):
+        routes = [route("10.0.0.0/24"), route("10.0.1.0/24")]
+        assert len(select_best_routes(routes)) == 2
+
+    def test_deterministic_next_hop_tiebreak(self):
+        a = route("10.0.0.0/24", "ospf", metric=10, next_hop="10.0.0.2")
+        b = route("10.0.0.0/24", "ospf", metric=10, next_hop="10.0.0.1")
+        assert select_best_routes([a, b]) == [b]
+        assert select_best_routes([b, a]) == [b]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(ADMIN_DISTANCE)),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_selection_returns_minimum(self, specs):
+        candidates = [
+            route("10.0.0.0/24", protocol, metric=metric)
+            for protocol, metric in specs
+        ]
+        (winner,) = select_best_routes(candidates)
+        assert winner.sort_key() == min(c.sort_key() for c in candidates)

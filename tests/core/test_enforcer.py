@@ -1,0 +1,324 @@
+"""Enforcer tests: enclave, audit trail, change verifier, scheduler."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.diffing import diff_networks
+from repro.core.enforcer.audit import AuditTrail
+from repro.core.enforcer.enclave import (
+    SimulatedEnclave,
+    expected_measurement,
+    verify_attestation,
+)
+from repro.core.enforcer.scheduler import CATEGORY_ORDER, ChangeScheduler
+from repro.core.enforcer.verifier import ChangeVerifier
+from repro.core.privilege.ast import PrivilegeSpec
+from repro.net.flow import Flow
+from repro.policy.mining import mine_policies
+from repro.policy.model import IsolationPolicy, ReachabilityPolicy
+from repro.util.clock import SimulatedClock
+
+from tests.fixtures import square_network
+
+
+class TestEnclave:
+    def test_measurement_reflects_source(self):
+        assert SimulatedEnclave().measurement == expected_measurement()
+
+    def test_sealed_keys_bound_to_measurement(self):
+        genuine = SimulatedEnclave()
+        tampered = SimulatedEnclave(measurement="deadbeef")
+        assert genuine.seal_key("audit") != tampered.seal_key("audit")
+        assert genuine.seal_key("audit") == SimulatedEnclave().seal_key("audit")
+
+    def test_attestation_accepts_genuine(self):
+        enclave = SimulatedEnclave()
+        report = enclave.attest(nonce="n-123")
+        assert verify_attestation(report, expected_measurement())
+
+    def test_attestation_rejects_tampered_build(self):
+        tampered = SimulatedEnclave(measurement="deadbeef")
+        report = tampered.attest(nonce="n-123")
+        assert not verify_attestation(report, expected_measurement())
+
+    def test_attestation_rejects_forged_quote(self):
+        enclave = SimulatedEnclave()
+        report = enclave.attest(nonce="n-123")
+        forged = dataclasses.replace(report, nonce="n-456")
+        assert not verify_attestation(forged, expected_measurement())
+
+
+@pytest.fixture
+def trail():
+    clock = SimulatedClock()
+    trail = AuditTrail(SimulatedEnclave(), clock=clock)
+    clock.advance(1.0)
+    trail.record("tech-1", "r1", "show ip route", "view.route", "r1", True, "ok")
+    clock.advance(1.0)
+    trail.record("tech-1", "r1", "shutdown", "config.interface.admin",
+                 "r1:Gi0/0", False, "denied")
+    trail.record("tech-1", "r2", "ping 10.0.0.1", "probe.ping", "r2", True, "ok")
+    return trail
+
+
+class TestAuditTrail:
+    def test_chain_verifies(self, trail):
+        assert trail.verify()
+
+    def test_tampered_content_detected(self, trail):
+        entry = trail.records[1]
+        trail.records[1] = dataclasses.replace(entry, allowed=True)
+        assert not trail.verify()
+
+    def test_deleted_record_detected(self, trail):
+        del trail.records[1]
+        assert not trail.verify()
+
+    def test_reordered_records_detected(self, trail):
+        trail.records[1], trail.records[2] = trail.records[2], trail.records[1]
+        assert not trail.verify()
+
+    def test_truncation_from_tail_is_undetectable_by_design(self, trail):
+        # Chain MACs protect prefix integrity; tail truncation requires an
+        # external anchor (e.g. publishing the latest MAC) — document the
+        # boundary honestly.
+        del trail.records[-1]
+        assert trail.verify()
+
+    def test_wrong_key_rejected(self, trail):
+        other = SimulatedEnclave(measurement="deadbeef")
+        assert not trail.verify(key=other.seal_key("audit-trail"))
+
+    def test_timestamps_from_clock(self, trail):
+        assert trail.records[0].timestamp == 1.0
+        assert trail.records[1].timestamp == 2.0
+
+    def test_query_by_decision(self, trail):
+        assert len(trail.denied()) == 1
+        assert trail.denied()[0].command == "shutdown"
+
+    def test_query_by_device_and_prefix(self, trail):
+        assert len(trail.query(device="r1")) == 2
+        assert len(trail.query(action_prefix="probe.")) == 1
+        assert len(trail.query(actor="nobody")) == 0
+
+    def test_export(self, trail):
+        exported = trail.export()
+        assert len(exported) == 3
+        assert exported[0]["command"] == "show ip route"
+
+
+def _policies():
+    return [
+        ReachabilityPolicy(
+            "reach:h1->h2", Flow.make("10.1.1.100", "10.2.2.100", "icmp")
+        ),
+        IsolationPolicy(
+            "isolate:h2->h3", Flow.make("10.2.2.100", "10.3.3.100", "icmp")
+        ),
+    ]
+
+
+def _changes(mutate):
+    """Diff produced by applying ``mutate`` to a copy of the square network."""
+    production = square_network()
+    modified = production.copy()
+    mutate(modified)
+    return production, diff_networks(production.configs, modified.configs)
+
+
+class TestChangeVerifier:
+    def test_benign_change_approved(self):
+        production, changes = _changes(
+            lambda net: setattr(
+                net.config("r1").interface("Gi0/0"), "description", "updated"
+            )
+        )
+        decision = ChangeVerifier(_policies()).verify(production, changes)
+        assert decision.approved
+
+    def test_policy_violating_change_rejected(self):
+        def remove_protection(net):
+            net.config("r3").interface("Gi0/2").access_group_out = None
+
+        production, changes = _changes(remove_protection)
+        decision = ChangeVerifier(_policies()).verify(production, changes)
+        assert not decision.approved
+        violated = {
+            r.policy.policy_id for r in decision.new_policy_violations
+        }
+        assert violated == {"isolate:h2->h3"}
+
+    def test_privilege_violating_change_rejected(self):
+        production, changes = _changes(
+            lambda net: setattr(net.config("r1"), "enable_secret", "evil")
+        )
+        spec = PrivilegeSpec.allow_all()
+        spec.prepend_rule("deny", "config.credential", "*")
+        decision = ChangeVerifier(_policies(), spec).verify(production, changes)
+        assert not decision.approved
+        assert len(decision.privilege_violations) == 1
+
+    def test_preexisting_violations_do_not_block_fix(self):
+        # Break reachability in production, then verify a change set that
+        # does NOT fix it but is otherwise harmless.
+        production = square_network()
+        production.config("r1").interface("Gi0/2").shutdown = True
+        modified = production.copy()
+        modified.config("r2").interface("Gi0/2").description = "touched"
+        changes = diff_networks(production.configs, modified.configs)
+        decision = ChangeVerifier(_policies()).verify(production, changes)
+        assert decision.approved
+        assert len(decision.preexisting_violations) == 1
+
+    def test_simulation_does_not_mutate_production(self):
+        production, changes = _changes(
+            lambda net: setattr(
+                net.config("r1").interface("Gi0/0"), "shutdown", True
+            )
+        )
+        ChangeVerifier(_policies()).verify(production, changes)
+        assert not production.config("r1").interface("Gi0/0").shutdown
+
+    def test_summary_strings(self):
+        production, changes = _changes(
+            lambda net: setattr(
+                net.config("r1").interface("Gi0/0"), "description", "x"
+            )
+        )
+        decision = ChangeVerifier(_policies()).verify(production, changes)
+        assert "approved" in decision.summary()
+
+
+class TestScheduler:
+    def test_schedule_is_permutation(self):
+        import ipaddress
+
+        from repro.config.model import StaticRoute
+
+        def mutate(net):
+            net.config("r1").interface("Gi0/0").shutdown = True
+            net.config("r2").static_routes.append(
+                StaticRoute(
+                    prefix=ipaddress.IPv4Network("172.16.0.0/16"),
+                    next_hop=ipaddress.IPv4Address("10.0.12.2"),
+                )
+            )
+            net.config("r3").acls["PROTECT_H3"].entries.reverse()
+
+        production, changes = _changes(mutate)
+        batches = ChangeScheduler().schedule(changes)
+        flattened = [change for batch in batches for change in batch]
+        assert sorted(flattened, key=str) == sorted(changes, key=str)
+
+    def test_category_order_respected(self):
+        def mutate(net):
+            net.config("r3").acls["PROTECT_H3"].entries.reverse()  # acl
+            net.config("r1").interface("Gi0/0").shutdown = True  # interface
+
+        production, changes = _changes(mutate)
+        batches = ChangeScheduler().schedule(changes)
+        categories = [batch[0].category for batch in batches]
+        assert categories == sorted(
+            categories, key=CATEGORY_ORDER.index
+        )
+        assert categories.index("interface") < categories.index("acl")
+
+    def test_push_applies_all_changes(self):
+        production, changes = _changes(
+            lambda net: setattr(
+                net.config("r1").interface("Gi0/0"), "description", "pushed"
+            )
+        )
+        report = ChangeScheduler().push(production, changes)
+        assert report.change_count == 1
+        assert (
+            production.config("r1").interface("Gi0/0").description == "pushed"
+        )
+
+    def test_push_counts_transient_violations_for_naive_order(self):
+        # Renumber the r1-r2 link. The safe order updates both ends in one
+        # interface batch (subnet always consistent); the naive per-device
+        # order leaves the two ends in different subnets in between, which
+        # breaks OSPF adjacency and h1->h2 reachability. The ring detour is
+        # disabled and the OSPF network statements cover both subnets, so
+        # only the link renumbering itself is in play.
+        import ipaddress
+
+        from repro.config.diffing import diff_networks
+        from repro.config.model import OspfNetwork
+        from repro.policy.verification import PolicyVerifier
+
+        production = square_network()
+        # No detour: the r3-r4 link is down throughout.
+        production.config("r3").interface("Gi0/1").shutdown = True
+        # A covering statement so renumbering needs no OSPF change.
+        for device in ("r1", "r2"):
+            production.config(device).ospf.networks.append(
+                OspfNetwork(ipaddress.IPv4Network("10.0.0.0/16"))
+            )
+
+        modified = production.copy()
+        modified.config("r1").interface("Gi0/0").address = (
+            ipaddress.IPv4Interface("10.0.99.1/24")
+        )
+        modified.config("r2").interface("Gi0/0").address = (
+            ipaddress.IPv4Interface("10.0.99.2/24")
+        )
+        changes = diff_networks(production.configs, modified.configs)
+        verifier = PolicyVerifier(_policies())
+
+        scheduler = ChangeScheduler()
+        safe_report = scheduler.push(
+            production.copy(), changes, policy_verifier=verifier
+        )
+        naive_report = scheduler.push(
+            production.copy(), changes,
+            policy_verifier=verifier,
+            batches=scheduler.naive_order(changes),
+        )
+        assert safe_report.transient_violations == 0
+        assert naive_report.transient_violations > 0
+
+
+class TestAuditAnchoring:
+    def _trail(self, n=4):
+        trail = AuditTrail(SimulatedEnclave())
+        for i in range(n):
+            trail.record(f"t{i}", "r1", f"cmd {i}", "view.route", "r1", True)
+        return trail
+
+    def test_anchor_verifies_on_untouched_trail(self):
+        trail = self._trail()
+        anchor = trail.anchor()
+        assert trail.verify_anchor(anchor)
+
+    def test_anchor_allows_later_growth(self):
+        trail = self._trail()
+        anchor = trail.anchor()
+        trail.record("t9", "r2", "more", "view.route", "r2", True)
+        assert trail.verify_anchor(anchor)
+
+    def test_tail_truncation_detected_with_anchor(self):
+        # The chain alone cannot see tail truncation; the anchor can.
+        trail = self._trail()
+        anchor = trail.anchor()
+        del trail.records[-1]
+        assert trail.verify()  # chain-only check is blind here
+        assert not trail.verify_anchor(anchor)
+
+    def test_prefix_rewrite_detected(self):
+        trail = self._trail()
+        anchor = trail.anchor()
+        trail.records[1] = dataclasses.replace(
+            trail.records[1], command="forged"
+        )
+        assert not trail.verify_anchor(anchor)
+
+    def test_empty_anchor(self):
+        trail = AuditTrail(SimulatedEnclave())
+        anchor = trail.anchor()
+        assert trail.verify_anchor(anchor)
+        trail.record("t", "r1", "cmd", "view.route", "r1", True)
+        assert trail.verify_anchor(anchor)

@@ -1,0 +1,152 @@
+"""Property-based tests for the enforcer: audit chains, scheduling, DSL JSON."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.diffing import _KIND_TABLE, ConfigChange
+from repro.core.enforcer.audit import AuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.enforcer.scheduler import CATEGORY_ORDER, ChangeScheduler
+from repro.core.privilege.ast import PrivilegeSpec
+from repro.core.privilege.parser import dump_privilege_spec, load_privilege_spec
+
+words = st.from_regex(r"[a-z0-9]{1,12}", fullmatch=True)
+
+record_fields = st.fixed_dictionaries({
+    "actor": words,
+    "device": words,
+    "command": st.text(min_size=0, max_size=60),
+    "action": st.from_regex(r"[a-z]+\.[a-z_]+", fullmatch=True),
+    "resource": words,
+    "allowed": st.booleans(),
+    "outcome": st.text(min_size=0, max_size=30),
+})
+
+
+class TestAuditChainProperties:
+    @given(st.lists(record_fields, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_any_honest_history_verifies(self, entries):
+        trail = AuditTrail(SimulatedEnclave())
+        for entry in entries:
+            trail.record(**entry)
+        assert trail.verify()
+
+    @given(
+        st.lists(record_fields, min_size=2, max_size=12),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_field_tamper_detected(self, entries, data):
+        trail = AuditTrail(SimulatedEnclave())
+        for entry in entries:
+            trail.record(**entry)
+        index = data.draw(st.integers(min_value=0, max_value=len(entries) - 1))
+        victim = trail.records[index]
+        field = data.draw(st.sampled_from(
+            ["actor", "device", "command", "action", "resource", "outcome"]
+        ))
+        original = getattr(victim, field)
+        forged = original + "x"
+        trail.records[index] = dataclasses.replace(victim, **{field: forged})
+        assert not trail.verify()
+
+    @given(st.lists(record_fields, min_size=3, max_size=12), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_mid_deletion_detected(self, entries, data):
+        trail = AuditTrail(SimulatedEnclave())
+        for entry in entries:
+            trail.record(**entry)
+        # Deleting anything but the last record breaks the chain.
+        index = data.draw(st.integers(min_value=0, max_value=len(entries) - 2))
+        del trail.records[index]
+        assert not trail.verify()
+
+
+def _change(device, kind):
+    return ConfigChange(device=device, kind=kind, path="p")
+
+
+change_kinds = st.sampled_from(sorted(_KIND_TABLE))
+changes_lists = st.lists(
+    st.builds(_change, device=words, kind=change_kinds),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestSchedulerProperties:
+    @given(changes_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_is_a_permutation(self, changes):
+        batches = ChangeScheduler().schedule(changes)
+        flattened = [c for batch in batches for c in batch]
+        assert sorted(flattened, key=repr) == sorted(changes, key=repr)
+
+    @given(changes_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_batches_are_category_monotone(self, changes):
+        rank = {category: i for i, category in enumerate(CATEGORY_ORDER)}
+        batches = ChangeScheduler().schedule(changes)
+        ranks = [rank[batch[0].category] for batch in batches if batch]
+        assert ranks == sorted(ranks)
+        for batch in batches:
+            assert len({c.category for c in batch}) == 1
+
+    @given(changes_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_deterministic_under_input_order(self, changes):
+        scheduler = ChangeScheduler()
+        forward = scheduler.schedule(changes)
+        backward = scheduler.schedule(list(reversed(changes)))
+        assert forward == backward
+
+    @given(changes_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_naive_order_is_also_a_permutation(self, changes):
+        batches = ChangeScheduler().naive_order(changes)
+        flattened = [c for batch in batches for c in batch]
+        assert sorted(flattened, key=repr) == sorted(changes, key=repr)
+
+
+effects = st.sampled_from(["allow", "deny"])
+action_patterns = st.sampled_from([
+    "*", "view.*", "config.*", "config.acl.entry", "probe.ping",
+    "config.interface.admin", "system.save",
+])
+resource_patterns = st.sampled_from([
+    "*", "r1", "r1:*", "r1:Gi0/0", "r2:acl:*", "sw1",
+])
+
+
+@st.composite
+def privilege_specs(draw):
+    spec = PrivilegeSpec(default=draw(effects))
+    for _ in range(draw(st.integers(min_value=0, max_value=10))):
+        spec.add_rule(
+            draw(effects), draw(action_patterns), draw(resource_patterns),
+            comment=draw(st.text(max_size=10)),
+        )
+    return spec
+
+
+class TestDslJsonProperties:
+    @given(privilege_specs())
+    @settings(max_examples=100, deadline=None)
+    def test_dump_load_roundtrip(self, spec):
+        loaded, _ = load_privilege_spec(dump_privilege_spec(spec))
+        assert loaded.default == spec.default
+        assert loaded.rules == spec.rules
+
+    @given(privilege_specs(), action_patterns, resource_patterns)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_preserves_decisions(self, spec, action, resource):
+        # Evaluate on concrete (non-wildcard) instances of the patterns.
+        concrete_action = action.replace("*", "something")
+        concrete_resource = resource.replace("*", "thing")
+        loaded, _ = load_privilege_spec(dump_privilege_spec(spec))
+        assert spec.allows(concrete_action, concrete_resource) == loaded.allows(
+            concrete_action, concrete_resource
+        )

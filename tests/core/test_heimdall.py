@@ -1,0 +1,186 @@
+"""End-to-end Heimdall tests: the full Figure 4 workflow, plus extensions."""
+
+import pytest
+
+from repro.core.heimdall import Heimdall
+from repro.core.privilege.ast import PrivilegeSpec
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.util.errors import PrivilegeError
+
+
+def make(issue_id):
+    """A broken production network, its issue, and a Heimdall over it."""
+    healthy = build_enterprise_network()
+    policies = mine_policies(healthy)
+    production = build_enterprise_network()
+    issue = standard_issues("enterprise")[issue_id]
+    issue.inject(production)
+    heimdall = Heimdall(production, policies=policies)
+    return production, issue, heimdall
+
+
+class TestTicketResolution:
+    @pytest.mark.parametrize("issue_id", ["ospf", "isp", "vlan"])
+    def test_prepared_fix_resolves_ticket(self, issue_id):
+        production, issue, heimdall = make(issue_id)
+        assert issue.is_broken(production)
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        assert session.twin.issue_resolved()
+        outcome = session.submit()
+        assert outcome.approved
+        assert outcome.resolved
+        assert not issue.is_broken(production)
+
+    def test_no_denied_commands_for_legitimate_fix(self):
+        production, issue, heimdall = make("ospf")
+        session = heimdall.open_ticket(issue)
+        results = session.run_fix_script(issue.fix_script)
+        assert all(result.ok for result in results)
+        assert session.twin.monitor.stats.denied == 0
+
+    def test_clock_breakdown_has_heimdall_steps(self):
+        production, issue, heimdall = make("isp")
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+        for step in ("generate privilege", "twin setup",
+                     "perform operations", "verify changes"):
+            assert step in outcome.breakdown, step
+
+    def test_audit_covers_every_command(self):
+        production, issue, heimdall = make("vlan")
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        session.submit()
+        command_records = heimdall.audit.query(actor=session.session_id)
+        # every technician command + verify + per-change commit records
+        assert len(heimdall.audit) >= session.command_count
+        assert heimdall.audit.verify()
+        assert command_records  # session-level records exist
+
+    def test_submit_without_changes_approves_nothing(self):
+        production, issue, heimdall = make("ospf")
+        session = heimdall.open_ticket(issue)
+        outcome = session.submit()
+        assert outcome.approved
+        assert outcome.changes == []
+        assert not outcome.resolved  # nothing was fixed
+
+    def test_abandon_imports_nothing(self):
+        production, issue, heimdall = make("vlan")
+        before = production.config("sw2").interface("Fa0/2").access_vlan
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        session.abandon("test")
+        assert production.config("sw2").interface("Fa0/2").access_vlan == before
+
+
+class TestMaliciousChangesCaught:
+    def test_smuggled_acl_change_rejected(self):
+        """Figure 6: fix the ticket but also open pc LAN -> db1."""
+        production, issue, heimdall = make("ospf")
+        session = heimdall.open_ticket(issue, profile="connectivity")
+        session.run_fix_script(issue.fix_script)
+        # dist1 is in scope; try to open the database to the staff VLAN.
+        console = session.console("dist1")
+        for command in (
+            "configure terminal",
+            "ip access-list extended DB_PROTECT",
+            "permit ip 10.5.10.0 0.0.0.255 host 10.7.1.100",
+            "end",
+        ):
+            console.execute(command)
+        # Depending on guards, the monitor may already deny; if anything got
+        # through to the twin, the enforcer must catch it.
+        outcome = session.submit()
+        assert not outcome.approved or not any(
+            change.kind.startswith("acl") for change in outcome.changes
+        )
+        # The production database protection is intact either way.
+        acl = production.config("dist1").acl("DB_PROTECT")
+        assert all(
+            "10.5.10.0" not in entry.to_text() or entry.action == "deny"
+            for entry in acl.entries
+        )
+
+    def test_careless_shutdown_rejected(self):
+        """Figure 3: fat-finger a core interface while fixing the ticket."""
+        production, issue, heimdall = make("ospf")
+        session = heimdall.open_ticket(issue, profile="connectivity")
+        session.run_fix_script(issue.fix_script)
+        console = session.console("dist2")
+        for command in ("configure terminal", "interface Gi0/0",
+                        "shutdown", "end"):
+            console.execute(command)
+        outcome = session.submit()
+        # Either the monitor denied the shutdown (guarded transit interface)
+        # or the enforcer rejected the change set.
+        monitor_denied = session.twin.monitor.stats.denied > 0
+        assert monitor_denied or not outcome.approved
+        assert not production.config("dist2").interface("Gi0/0").shutdown
+
+
+class TestEscalation:
+    def test_valid_escalation_grants_actions(self):
+        production, issue, heimdall = make("ospf")  # routing profile
+        session = heimdall.open_ticket(issue)
+        assert not session.privilege_spec.allows(
+            "config.acl.entry", issue.root_cause_device
+        )
+        session.request_escalation("acl", "suspect a filtering problem")
+        # Guards still protect enforcement points, but unguarded devices in
+        # scope gained ACL rights.
+        unguarded = sorted(session.twin.scope)[0]
+        assert session.escalations == ["acl"]
+
+    def test_invalid_escalation_refused_and_audited(self):
+        production, issue, heimdall = make("vlan")  # vlan profile
+        session = heimdall.open_ticket(issue)
+        with pytest.raises(PrivilegeError):
+            session.request_escalation("acl", "give me more")
+        refused = heimdall.audit.query(
+            action_prefix="privilege.escalation", allowed=False
+        )
+        assert len(refused) == 1
+
+    def test_unknown_profile_refused(self):
+        production, issue, heimdall = make("ospf")
+        session = heimdall.open_ticket(issue)
+        with pytest.raises(PrivilegeError):
+            session.request_escalation("root-everything")
+
+
+class TestEmergencyMode:
+    def test_emergency_console_hits_production_with_mediation(self):
+        production, issue, heimdall = make("isp")
+        spec = PrivilegeSpec(default="deny")
+        spec.add_rule("allow", "view.*", "gw")
+        spec.add_rule("allow", "config.static_route", "gw")
+        spec.add_rule("allow", "mode.transition", "gw")
+        console = heimdall.emergency_console("gw", spec)
+        for command in (
+            "configure terminal",
+            "ip route 0.0.0.0 0.0.0.0 203.0.113.6",
+            "no ip route 0.0.0.0 0.0.0.0 203.0.113.1",
+            "end",
+        ):
+            result = console.execute(command)
+            assert result.ok, result.error
+        assert not issue.is_broken(production)
+
+    def test_emergency_console_still_enforces_privileges(self):
+        production, issue, heimdall = make("isp")
+        spec = PrivilegeSpec(default="deny")
+        spec.add_rule("allow", "view.*", "gw")
+        console = heimdall.emergency_console("gw", spec)
+        console.execute("configure terminal")
+        result = console.execute("ip route 10.99.0.0 255.255.0.0 203.0.113.1")
+        assert not result.ok
+        assert production.config("gw").static_routes == [
+            route for route in production.config("gw").static_routes
+        ]
+        emergency_records = heimdall.audit.query(actor="emergency")
+        assert emergency_records

@@ -1,0 +1,155 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.privilege.ast import (
+    ActionPattern,
+    PrivilegeRule,
+    PrivilegeSpec,
+    ResourcePattern,
+)
+from repro.util.errors import PrivilegeError
+
+
+class TestActionPattern:
+    def test_exact(self):
+        assert ActionPattern("view.route").matches("view.route")
+        assert not ActionPattern("view.route").matches("view.config")
+
+    def test_trailing_wildcard_absorbs_suffix(self):
+        assert ActionPattern("config.*").matches("config.acl.entry")
+        assert ActionPattern("config.*").matches("config.vlan")
+        assert not ActionPattern("config.*").matches("view.config")
+
+    def test_star_matches_everything(self):
+        assert ActionPattern("*").matches("anything.at.all")
+
+    def test_mid_wildcard_matches_one_segment(self):
+        assert ActionPattern("config.*.entry").matches("config.acl.entry")
+        assert not ActionPattern("config.*.entry").matches("config.acl")
+
+    def test_prefix_is_not_a_match(self):
+        assert not ActionPattern("config").matches("config.acl")
+
+
+class TestResourcePattern:
+    def test_device_only(self):
+        assert ResourcePattern("r1").matches("r1")
+        assert not ResourcePattern("r1").matches("r1:Gi0/0")
+
+    def test_device_wildcard(self):
+        assert ResourcePattern("r1:*").matches("r1:Gi0/0")
+        assert ResourcePattern("r1:*").matches("r1:acl:FW")
+        assert not ResourcePattern("r1:*").matches("r2:Gi0/0")
+
+    def test_acl_scoped(self):
+        assert ResourcePattern("r1:acl:*").matches("r1:acl:FW")
+        assert not ResourcePattern("r1:acl:*").matches("r1:Gi0/0")
+
+
+class TestPrivilegeSpec:
+    def test_default_deny(self):
+        spec = PrivilegeSpec()
+        decision = spec.evaluate("view.route", "r1")
+        assert not decision.allowed
+        assert decision.by_default
+
+    def test_first_match_wins(self):
+        spec = PrivilegeSpec()
+        spec.add_rule("deny", "config.*", "r1")
+        spec.add_rule("allow", "config.*", "*")
+        assert not spec.allows("config.acl.entry", "r1")
+        assert spec.allows("config.acl.entry", "r2")
+
+    def test_prepend_takes_precedence(self):
+        spec = PrivilegeSpec()
+        spec.add_rule("allow", "*", "*")
+        spec.prepend_rule("deny", "config.credential", "*")
+        assert not spec.allows("config.credential", "r1")
+        assert spec.allows("view.config", "r1")
+
+    def test_mode_transitions_always_allowed(self):
+        assert PrivilegeSpec.deny_all().allows("mode.transition", "r1")
+
+    def test_require_raises_with_context(self):
+        spec = PrivilegeSpec.deny_all()
+        with pytest.raises(PrivilegeError) as excinfo:
+            spec.require("config.acl.entry", "r1:acl:FW")
+        assert excinfo.value.action == "config.acl.entry"
+        assert excinfo.value.resource == "r1:acl:FW"
+
+    def test_allow_all(self):
+        spec = PrivilegeSpec.allow_all()
+        assert spec.allows("config.credential", "anything")
+
+    def test_bad_effect_rejected(self):
+        with pytest.raises(PrivilegeError):
+            PrivilegeRule.make("maybe", "*", "*")
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(PrivilegeError):
+            PrivilegeSpec(default="maybe")
+
+    def test_decision_str(self):
+        spec = PrivilegeSpec()
+        spec.add_rule("allow", "view.*", "r1")
+        assert "allow view.route on r1" in str(spec.evaluate("view.route", "r1"))
+
+
+action_names = st.from_regex(r"[a-z]+(\.[a-z]+){1,2}", fullmatch=True)
+resources = st.from_regex(r"[a-z0-9]+(:[A-Za-z0-9/]+){0,2}", fullmatch=True)
+
+
+class TestSpecProperties:
+    @given(action_names, resources)
+    @settings(max_examples=100, deadline=None)
+    def test_deny_all_denies_everything(self, action, resource):
+        if action.startswith("mode."):
+            return
+        assert not PrivilegeSpec.deny_all().allows(action, resource)
+
+    @given(action_names, resources)
+    @settings(max_examples=100, deadline=None)
+    def test_allow_all_allows_everything(self, action, resource):
+        assert PrivilegeSpec.allow_all().allows(action, resource)
+
+    @given(action_names, resources)
+    @settings(max_examples=100, deadline=None)
+    def test_appending_rules_never_flips_earlier_matches(self, action, resource):
+        # Monotonicity of first-match: a decision made by an existing rule
+        # is unaffected by appended rules.
+        spec = PrivilegeSpec()
+        spec.add_rule("allow", "view.*", "*")
+        before = spec.evaluate(action, resource)
+        spec.add_rule("deny", "*", "*")
+        after = spec.evaluate(action, resource)
+        if before.rule is not None:
+            assert before.allowed == after.allowed
+
+    @given(action_names, resources)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_rule_always_matches_itself(self, action, resource):
+        spec = PrivilegeSpec()
+        spec.add_rule("allow", action, resource)
+        assert spec.allows(action, resource)
+
+
+class TestPatternEdgeCases:
+    def test_empty_action_never_matches_nonempty_pattern(self):
+        assert not ActionPattern("view.route").matches("")
+
+    def test_multi_segment_wildcards(self):
+        pattern = ResourcePattern("*:acl:*")
+        assert pattern.matches("r1:acl:FW")
+        assert not pattern.matches("r1:Gi0/0")
+
+    def test_resource_with_slash_in_interface_name(self):
+        # Interface names contain '/', which must not act as a separator.
+        assert ResourcePattern("r1:Gi0/0").matches("r1:Gi0/0")
+        assert ResourcePattern("r1:*").matches("r1:Gi0/0")
+
+    def test_pattern_longer_than_value(self):
+        assert not ActionPattern("a.b.c").matches("a.b")
+
+    def test_value_longer_than_pattern(self):
+        assert not ActionPattern("a.b").matches("a.b.c")

@@ -1,0 +1,181 @@
+"""JSON front-end, task-driven generator, and policy translator tests."""
+
+import json
+
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.core.privilege.generator import (
+    TASK_PROFILES,
+    escalate,
+    generate_privilege_spec,
+    profile_for_issue,
+)
+from repro.core.privilege.parser import dump_privilege_spec, load_privilege_spec
+from repro.core.privilege.translator import policy_guard_rules
+from repro.net.flow import Flow
+from repro.policy.model import IsolationPolicy, ReachabilityPolicy
+from repro.scenarios.issues import standard_issues
+from repro.util.errors import PrivilegeError
+
+from tests.fixtures import square_network
+
+DOCUMENT = """
+{
+  "version": 1,
+  "default": "deny",
+  "rules": [
+    {"effect": "allow", "action": "view.*", "resource": "r3",
+     "comment": "read-only on the affected router"},
+    {"effect": "allow", "action": "config.acl.entry", "resource": "r3:acl:*"}
+  ],
+  "policies": [
+    {"kind": "isolation", "id": "isolate:h2->h3",
+     "src_ip": "10.2.2.100", "dst_ip": "10.3.3.100", "protocol": "icmp"}
+  ]
+}
+"""
+
+
+class TestJsonFrontend:
+    def test_load(self):
+        spec, policies = load_privilege_spec(DOCUMENT)
+        assert len(spec) == 2
+        assert spec.allows("view.route", "r3")
+        assert spec.allows("config.acl.entry", "r3:acl:FW")
+        assert not spec.allows("config.acl.entry", "r1:acl:FW")
+        assert len(policies) == 1
+        assert policies[0].kind == "isolation"
+
+    def test_dump_load_roundtrip(self):
+        spec, policies = load_privilege_spec(DOCUMENT)
+        text = dump_privilege_spec(spec, policies)
+        spec2, policies2 = load_privilege_spec(text)
+        assert spec2.rules == spec.rules
+        assert spec2.default == spec.default
+        assert policies2 == policies
+
+    def test_dict_input(self):
+        spec, _ = load_privilege_spec(json.loads(DOCUMENT))
+        assert len(spec) == 2
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(PrivilegeError):
+            load_privilege_spec("{not json")
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(PrivilegeError, match="rule 0"):
+            load_privilege_spec({"rules": [{"effect": "allow"}]})
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(PrivilegeError):
+            load_privilege_spec({"version": 99})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(PrivilegeError):
+            load_privilege_spec("[]")
+
+
+class TestGenerator:
+    def test_scope_grants_read_everywhere_in_scope(self):
+        spec = generate_privilege_spec({"r1", "r2"}, "routing")
+        assert spec.allows("view.config", "r1")
+        assert spec.allows("view.route", "r2")
+        assert not spec.allows("view.config", "r3")
+
+    def test_profile_limits_write_actions(self):
+        spec = generate_privilege_spec({"r1"}, "routing")
+        assert spec.allows("config.ospf.network", "r1")
+        assert spec.allows("config.static_route", "r1")
+        assert not spec.allows("config.acl.entry", "r1")
+        assert not spec.allows("config.interface.switchport", "r1")
+
+    def test_vlan_profile(self):
+        spec = generate_privilege_spec({"sw1"}, "vlan")
+        assert spec.allows("config.interface.switchport", "sw1:Fa0/2")
+        assert spec.allows("config.vlan", "sw1")
+        assert not spec.allows("config.ospf.network", "sw1")
+
+    def test_credentials_always_denied(self):
+        for profile in TASK_PROFILES:
+            spec = generate_privilege_spec({"r1"}, profile)
+            assert not spec.allows("config.credential", "r1")
+
+    def test_monitoring_profile_is_read_only(self):
+        spec = generate_privilege_spec({"r1"}, "monitoring")
+        assert spec.allows("view.config", "r1")
+        assert not spec.allows("config.static_route", "r1")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(PrivilegeError):
+            generate_privilege_spec({"r1"}, "wizardry")
+
+    def test_profile_for_issue(self):
+        issues = standard_issues("enterprise")
+        assert profile_for_issue(issues["ospf"]) == "routing"
+        assert profile_for_issue(issues["vlan"]) == "vlan"
+
+    def test_escalation_adds_actions_keeps_guards(self):
+        spec = generate_privilege_spec({"r1"}, "routing")
+        assert not spec.allows("config.acl.entry", "r1")
+        added = escalate(spec, {"r1"}, "acl")
+        assert added > 0
+        assert spec.allows("config.acl.entry", "r1")
+        assert not spec.allows("config.credential", "r1")
+
+    def test_escalate_unknown_profile_rejected(self):
+        spec = generate_privilege_spec({"r1"}, "routing")
+        with pytest.raises(PrivilegeError):
+            escalate(spec, {"r1"}, "root")
+
+
+class TestTranslator:
+    def _policies(self):
+        return [
+            ReachabilityPolicy(
+                "reach:h1->h2", Flow.make("10.1.1.100", "10.2.2.100", "icmp")
+            ),
+            IsolationPolicy(
+                "isolate:h2->h3", Flow.make("10.2.2.100", "10.3.3.100", "icmp")
+            ),
+        ]
+
+    def test_isolation_guard_denies_acl_on_blocker(self):
+        network = square_network()
+        rules = policy_guard_rules(self._policies(), build_dataplane(network))
+        spec = generate_privilege_spec({"r3"}, "acl", extra_rules=rules)
+        # The acl profile would normally allow ACL edits on r3, but r3
+        # enforces the isolation policy, so the guard wins.
+        assert not spec.allows("config.acl.entry", "r3:acl:PROTECT_H3")
+
+    def test_reachability_guard_denies_transit_interfaces(self):
+        network = square_network()
+        rules = policy_guard_rules(self._policies(), build_dataplane(network))
+        spec = generate_privilege_spec({"r1", "r2"}, "interface",
+                                       extra_rules=rules)
+        # h1->h2 rides r1:Gi0/0 <-> r2:Gi0/0; shutting those is denied.
+        assert not spec.allows("config.interface.admin", "r1:Gi0/0")
+        # A non-transit interface on the same device stays fixable.
+        assert spec.allows("config.interface.admin", "r1:Gi0/1")
+
+    def test_exempt_device_is_not_guarded(self):
+        network = square_network()
+        rules = policy_guard_rules(
+            self._policies(), build_dataplane(network), exempt_devices=("r3",)
+        )
+        spec = generate_privilege_spec({"r3"}, "acl", extra_rules=rules)
+        assert spec.allows("config.acl.entry", "r3:acl:PROTECT_H3")
+
+    def test_guards_deduplicated(self):
+        network = square_network()
+        # Two policies over the same path should not duplicate rules.
+        policies = self._policies() + [
+            ReachabilityPolicy(
+                "reach:h1->h2/tcp",
+                Flow.make("10.1.1.100", "10.2.2.100", "tcp",
+                          src_port=40000, dst_port=443),
+            )
+        ]
+        rules = policy_guard_rules(policies, build_dataplane(network))
+        keys = [(r.effect, r.action.pattern, r.resource.pattern) for r in rules]
+        assert len(keys) == len(set(keys))

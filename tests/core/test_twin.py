@@ -1,0 +1,190 @@
+"""Twin network tests: scoping, sanitisation, monitor, presentation."""
+
+import pytest
+
+from repro.core.privilege.ast import PrivilegeSpec
+from repro.core.privilege.generator import generate_privilege_spec
+from repro.core.twin.sanitize import leaked_secrets, sanitize_configs
+from repro.core.twin.scoping import (
+    scope_all,
+    scope_heimdall,
+    scope_neighbor,
+    scope_path,
+)
+from repro.core.twin.twin import TwinNetwork
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.util.errors import EmulationError
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture
+def enterprise_vlan():
+    production = build_enterprise_network()
+    issue = standard_issues("enterprise")["vlan"]
+    issue.inject(production)
+    return production, issue
+
+
+@pytest.fixture
+def enterprise_ospf():
+    production = build_enterprise_network()
+    issue = standard_issues("enterprise")["ospf"]
+    issue.inject(production)
+    return production, issue
+
+
+class TestScoping:
+    def test_all_exposes_everything(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        assert scope_all(production, issue) == set(
+            production.topology.device_names()
+        )
+
+    def test_neighbor_is_endpoints_plus_neighbors(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        scope = scope_neighbor(production, issue)
+        assert scope == {"pc2", "sw2", "pc1", "sw1"}
+
+    def test_neighbor_misses_remote_root_cause(self):
+        # The ISP issue's root cause (gw) is multiple hops from both ticket
+        # endpoints — the Figure 5c failure mode.
+        production = build_enterprise_network()
+        issue = standard_issues("enterprise")["isp"]
+        issue.inject(production)
+        scope = scope_neighbor(production, issue)
+        assert issue.root_cause_device not in scope
+
+    def test_heimdall_contains_root_cause_for_standard_issues(self):
+        for issue_id in ("ospf", "isp", "vlan"):
+            production = build_enterprise_network()
+            issue = standard_issues("enterprise")[issue_id]
+            issue.inject(production)
+            scope = scope_heimdall(production, issue)
+            assert issue.root_cause_device in scope, issue_id
+
+    def test_heimdall_smaller_than_all(self, enterprise_ospf):
+        production, issue = enterprise_ospf
+        heimdall = scope_heimdall(production, issue)
+        everything = scope_all(production, issue)
+        assert heimdall < everything
+
+    def test_path_scope_subset_of_heimdall(self, enterprise_ospf):
+        production, issue = enterprise_ospf
+        assert scope_path(production, issue) <= scope_heimdall(production, issue)
+
+    def test_heimdall_includes_l2_switches_for_vlan_issue(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        scope = scope_heimdall(production, issue)
+        assert {"sw1", "sw2"} <= scope
+
+
+class TestSanitisation:
+    def test_secrets_stripped(self):
+        network = square_network()
+        clean = sanitize_configs(network.configs)
+        for config in clean.values():
+            assert config.enable_secret is None
+            assert config.vty_password is None
+            assert config.snmp_community is None
+
+    def test_behavioural_state_untouched(self):
+        network = square_network()
+        clean = sanitize_configs(network.configs)
+        assert clean["r3"].acls.keys() == network.config("r3").acls.keys()
+        assert clean["r1"].ospf == network.config("r1").ospf
+
+    def test_originals_not_mutated(self):
+        network = square_network()
+        sanitize_configs(network.configs)
+        assert network.config("r1").enable_secret == "secret-r1"
+
+    def test_leak_detector(self):
+        network = square_network()
+        assert leaked_secrets(network.configs, "nothing here") == []
+        leaks = leaked_secrets(network.configs, "contains secret-r2 text")
+        assert leaks == [("r2", "enable_secret", "secret-r2")]
+
+
+class TestTwinNetwork:
+    def _twin(self, production, issue, spec=None, strategy="heimdall"):
+        if spec is None:
+            spec = PrivilegeSpec.allow_all()
+        return TwinNetwork(production, issue, spec, strategy=strategy)
+
+    def test_twin_never_leaks_secrets_via_console(self, enterprise_ospf):
+        production, issue = enterprise_ospf
+        twin = self._twin(production, issue)
+        console = twin.console("dist1")
+        output = console.execute("show running-config").output
+        assert leaked_secrets(production.configs, output) == []
+
+    def test_out_of_scope_device_unreachable(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        twin = self._twin(production, issue)
+        assert "isp" not in twin.scope
+        with pytest.raises(EmulationError):
+            twin.console("isp")
+
+    def test_twin_edits_do_not_touch_production(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        twin = self._twin(production, issue)
+        console = twin.console("sw2")
+        for command in ("configure terminal", "interface Fa0/2",
+                        "switchport access vlan 10", "end"):
+            console.execute(command)
+        assert production.config("sw2").interface("Fa0/2").access_vlan == 20
+
+    def test_issue_reproduces_inside_twin(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        twin = self._twin(production, issue)
+        assert not twin.issue_resolved()
+
+    def test_changes_tracked_relative_to_baseline(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        twin = self._twin(production, issue)
+        assert twin.changes() == []
+        console = twin.console("sw2")
+        for command in ("configure terminal", "interface Fa0/2",
+                        "switchport access vlan 10", "end"):
+            console.execute(command)
+        (change,) = twin.changes()
+        assert change.kind == "interface.access_vlan"
+        assert change.device == "sw2"
+
+    def test_monitor_denies_out_of_profile_actions(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        spec = generate_privilege_spec({"sw1", "sw2", "pc1", "pc2"}, "vlan")
+        twin = self._twin(production, issue, spec=spec)
+        console = twin.console("sw2")
+        console.execute("configure terminal")
+        result = console.execute("hostname evil")
+        assert not result.ok
+        assert "Privilege_msp" in result.error
+        assert twin.monitor.stats.denied == 1
+
+    def test_presentation_topology_limited_to_scope(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        twin = self._twin(production, issue)
+        view = twin.topology_view()
+        assert set(view.device_names()) == set(twin.scope)
+        for dev_a, _ifa, dev_b, _ifb in view.links:
+            assert dev_a in twin.scope and dev_b in twin.scope
+
+    def test_unknown_strategy_rejected(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        with pytest.raises(EmulationError):
+            self._twin(production, issue, strategy="psychic")
+
+    def test_denied_command_never_mutates_twin(self, enterprise_vlan):
+        production, issue = enterprise_vlan
+        twin = self._twin(production, issue, spec=PrivilegeSpec.deny_all())
+        console = twin.console("sw2")
+        console.execute("configure terminal")  # mode transition: allowed
+        result = console.execute("interface Fa0/2")
+        # Entering an interface context is a mode transition; the write
+        # itself must be refused.
+        result = console.execute("switchport access vlan 10")
+        assert not result.ok
+        assert twin.changes() == []

@@ -1,0 +1,94 @@
+"""Differential reachability tests (the enforcer's impact analysis)."""
+
+import pytest
+
+from repro.config.diffing import diff_networks
+from repro.control.builder import build_dataplane
+from repro.core.enforcer.verifier import ChangeVerifier
+from repro.dataplane.differential import diff_reachability
+from repro.net.flow import Flow
+from repro.policy.mining import mine_policies
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture
+def base_dataplane():
+    return build_dataplane(square_network())
+
+
+class TestDiffReachability:
+    def test_identical_snapshots_have_no_deltas(self, base_dataplane):
+        other = build_dataplane(square_network())
+        diff = diff_reachability(base_dataplane, other)
+        assert diff.deltas == []
+        assert diff.probed == 12
+        assert diff.unchanged == 12
+
+    def test_interface_down_breaks_flows(self, base_dataplane):
+        broken = square_network()
+        broken.config("r2").interface("Gi0/2").shutdown = True
+        diff = diff_reachability(base_dataplane, build_dataplane(broken))
+        assert diff.newly_broken
+        assert not diff.newly_delivered
+        # Every delivered flow to/from h2 breaks (h2->h3 was already
+        # ACL-denied, so it changes failure mode rather than breaking anew).
+        assert len(diff.newly_broken) == 5
+        assert len(diff.deltas) == 6
+
+    def test_acl_removal_newly_delivers(self, base_dataplane):
+        opened = square_network()
+        opened.config("r3").interface("Gi0/2").access_group_out = None
+        diff = diff_reachability(base_dataplane, build_dataplane(opened))
+        assert len(diff.newly_delivered) == 1
+        (delta,) = diff.newly_delivered
+        assert str(delta.flow.src_ip) == "10.2.2.100"
+        assert str(delta.flow.dst_ip) == "10.3.3.100"
+
+    def test_cost_change_reroutes_without_fate_change(self, base_dataplane):
+        steered = square_network()
+        steered.config("r1").interface("Gi0/0").ospf_cost = 100
+        diff = diff_reachability(base_dataplane, build_dataplane(steered))
+        assert diff.rerouted
+        assert not diff.newly_broken
+        assert all(d.after_disposition == "delivered" for d in diff.rerouted)
+
+    def test_custom_probe_flows(self, base_dataplane):
+        flow = Flow.make("10.1.1.100", "10.2.2.100", "icmp")
+        diff = diff_reachability(
+            base_dataplane, build_dataplane(square_network()),
+            probe_flows=[("h1", flow)],
+        )
+        assert diff.probed == 1
+
+    def test_summary(self, base_dataplane):
+        broken = square_network()
+        broken.config("r2").interface("Gi0/2").shutdown = True
+        diff = diff_reachability(base_dataplane, build_dataplane(broken))
+        assert "newly broken" in diff.summary()
+
+
+class TestVerifierImpactIntegration:
+    def test_decision_carries_impact(self):
+        production = square_network()
+        modified = production.copy()
+        modified.config("r3").interface("Gi0/2").access_group_out = None
+        changes = diff_networks(production.configs, modified.configs)
+        decision = ChangeVerifier(mine_policies(production)).verify(
+            production, changes
+        )
+        assert decision.impact is not None
+        assert decision.impact.newly_delivered
+        # The impact analysis agrees with the policy verdict.
+        assert not decision.approved
+
+    def test_benign_change_has_empty_impact(self):
+        production = square_network()
+        modified = production.copy()
+        modified.config("r1").interface("Gi0/0").description = "relabelled"
+        changes = diff_networks(production.configs, modified.configs)
+        decision = ChangeVerifier(mine_policies(production)).verify(
+            production, changes
+        )
+        assert decision.approved
+        assert decision.impact.deltas == []

@@ -1,0 +1,139 @@
+import ipaddress
+
+from repro.config.acl import Acl, AclEntry
+from repro.config.model import StaticRoute
+from repro.control.builder import build_dataplane
+from repro.dataplane.forwarding import Disposition, trace_flow
+from repro.net.flow import Flow
+
+from tests.fixtures import square_network, switched_lan
+
+
+def flow(src, dst, proto="icmp", dport=None):
+    return Flow.make(src, dst, proto, dst_port=dport)
+
+
+class TestDelivery:
+    def test_host_to_host_across_ring(self):
+        dataplane = build_dataplane(square_network())
+        trace = trace_flow(dataplane, flow("10.1.1.100", "10.2.2.100"))
+        assert trace.disposition is Disposition.DELIVERED
+        assert trace.path() == ["h1", "r1", "r2", "h2"]
+
+    def test_start_device_inferred_from_source_ip(self):
+        dataplane = build_dataplane(square_network())
+        trace = trace_flow(dataplane, flow("10.2.2.100", "10.1.1.100"))
+        assert trace.path()[0] == "h2"
+
+    def test_unknown_source_is_source_down(self):
+        dataplane = build_dataplane(square_network())
+        trace = trace_flow(dataplane, flow("198.51.100.1", "10.1.1.100"))
+        assert trace.disposition is Disposition.SOURCE_DOWN
+
+    def test_same_lan_delivery_is_direct(self):
+        dataplane = build_dataplane(switched_lan())
+        trace = trace_flow(dataplane, flow("192.168.10.11", "192.168.10.12"))
+        assert trace.disposition is Disposition.DELIVERED
+        assert trace.path() == ["hA", "hB"]
+
+    def test_delivery_to_router_address(self):
+        dataplane = build_dataplane(square_network())
+        trace = trace_flow(dataplane, flow("10.1.1.100", "10.0.23.1"))
+        assert trace.disposition is Disposition.DELIVERED
+        assert trace.last_device == "r2"
+
+
+class TestAclEnforcement:
+    def test_egress_acl_denies_sensitive_lan(self):
+        dataplane = build_dataplane(square_network())
+        trace = trace_flow(dataplane, flow("10.2.2.100", "10.3.3.100"))
+        assert trace.disposition is Disposition.DENIED_OUT
+        assert trace.last_device == "r3"
+        assert "PROTECT_H3" in trace.hops[-1].note
+
+    def test_other_sources_still_permitted(self):
+        dataplane = build_dataplane(square_network())
+        trace = trace_flow(dataplane, flow("10.1.1.100", "10.3.3.100"))
+        assert trace.disposition is Disposition.DELIVERED
+
+    def test_ingress_acl(self):
+        network = square_network()
+        network.config("r1").add_acl(
+            Acl(
+                name="NO_ICMP",
+                entries=[
+                    AclEntry.parse("deny icmp any any"),
+                    AclEntry.parse("permit ip any any"),
+                ],
+            )
+        )
+        network.config("r1").interface("Gi0/2").access_group_in = "NO_ICMP"
+        dataplane = build_dataplane(network)
+        trace = trace_flow(dataplane, flow("10.1.1.100", "10.2.2.100"))
+        assert trace.disposition is Disposition.DENIED_IN
+        assert trace.last_device == "r1"
+
+    def test_reference_to_missing_acl_permits(self):
+        network = square_network()
+        network.config("r1").interface("Gi0/2").access_group_in = "GHOST"
+        dataplane = build_dataplane(network)
+        trace = trace_flow(dataplane, flow("10.1.1.100", "10.2.2.100"))
+        assert trace.disposition is Disposition.DELIVERED
+
+
+class TestFailures:
+    def test_shutdown_lan_interface_is_arp_failure(self):
+        network = square_network()
+        network.config("h2").interface("eth0").shutdown = True
+        dataplane = build_dataplane(network)
+        trace = trace_flow(
+            dataplane, flow("10.1.1.100", "10.2.2.100"), start_device="h1"
+        )
+        assert trace.disposition is Disposition.ARP_FAILURE
+        assert trace.last_device == "r2"
+
+    def test_no_route(self):
+        dataplane = build_dataplane(square_network())
+        trace = trace_flow(
+            dataplane, flow("10.1.1.100", "203.0.113.7"), start_device="h1"
+        )
+        # Hosts have a default to r1, but r1 has no route for this prefix.
+        assert trace.disposition is Disposition.NO_ROUTE
+        assert trace.last_device == "r1"
+
+    def test_forwarding_loop_detected(self):
+        network = square_network()
+        for name in ("r1", "r2", "r3", "r4"):
+            network.config(name).ospf = None
+        # r1 and r2 point default routes at each other.
+        network.config("r1").static_routes.append(
+            StaticRoute(
+                prefix=ipaddress.IPv4Network("0.0.0.0/0"),
+                next_hop=ipaddress.IPv4Address("10.0.12.2"),
+            )
+        )
+        network.config("r2").static_routes.append(
+            StaticRoute(
+                prefix=ipaddress.IPv4Network("0.0.0.0/0"),
+                next_hop=ipaddress.IPv4Address("10.0.12.1"),
+            )
+        )
+        dataplane = build_dataplane(network)
+        trace = trace_flow(
+            dataplane, flow("10.1.1.100", "10.3.3.100"), start_device="h1"
+        )
+        assert trace.disposition is Disposition.LOOP
+
+    def test_vlan_misconfig_breaks_lan_delivery(self):
+        network = switched_lan()
+        network.config("sw2").interface("Fa0/2").access_vlan = 20
+        dataplane = build_dataplane(network)
+        trace = trace_flow(
+            dataplane, flow("192.168.10.11", "192.168.10.12"), start_device="hA"
+        )
+        assert trace.disposition is Disposition.ARP_FAILURE
+
+    def test_trace_str(self):
+        dataplane = build_dataplane(square_network())
+        trace = trace_flow(dataplane, flow("10.1.1.100", "10.2.2.100"))
+        assert "h1 -> r1 -> r2 -> h2" in str(trace)

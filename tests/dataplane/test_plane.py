@@ -1,0 +1,90 @@
+import ipaddress
+
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.util.errors import TopologyError
+
+from tests.fixtures import square_network, switched_lan
+
+
+@pytest.fixture
+def dataplane():
+    return build_dataplane(square_network())
+
+
+class TestFibAccess:
+    def test_fib_per_device(self, dataplane):
+        assert len(dataplane.fib("r1")) > 0
+        assert len(dataplane.fib("h1")) == 2  # connected + default
+
+    def test_unknown_device(self, dataplane):
+        with pytest.raises(TopologyError):
+            dataplane.fib("ghost")
+
+
+class TestResolveNextHop:
+    def test_resolves_peer_router(self, dataplane):
+        endpoint = dataplane.resolve_next_hop(
+            "r1", "Gi0/0", ipaddress.IPv4Address("10.0.12.2")
+        )
+        assert endpoint == ("r2", "Gi0/0")
+
+    def test_resolves_attached_host(self, dataplane):
+        endpoint = dataplane.resolve_next_hop(
+            "r1", "Gi0/2", ipaddress.IPv4Address("10.1.1.100")
+        )
+        assert endpoint == ("h1", "eth0")
+
+    def test_unowned_target_is_none(self, dataplane):
+        assert dataplane.resolve_next_hop(
+            "r1", "Gi0/0", ipaddress.IPv4Address("10.0.12.99")
+        ) is None
+
+    def test_down_interface_segment_is_none(self):
+        network = square_network()
+        network.config("r1").interface("Gi0/0").shutdown = True
+        dataplane = build_dataplane(network)
+        assert dataplane.resolve_next_hop(
+            "r1", "Gi0/0", ipaddress.IPv4Address("10.0.12.2")
+        ) is None
+
+    def test_down_target_is_none(self):
+        network = square_network()
+        network.config("r2").interface("Gi0/0").shutdown = True
+        dataplane = build_dataplane(network)
+        assert dataplane.resolve_next_hop(
+            "r1", "Gi0/0", ipaddress.IPv4Address("10.0.12.2")
+        ) is None
+
+    def test_resolution_across_switched_segment(self):
+        dataplane = build_dataplane(switched_lan())
+        endpoint = dataplane.resolve_next_hop(
+            "r1", "Gi0/0", ipaddress.IPv4Address("192.168.10.12")
+        )
+        assert endpoint == ("hB", "eth0")
+
+
+class TestReachabilityAnalyzer:
+    def test_trace_cache_returns_same_object(self, dataplane):
+        from repro.dataplane.reachability import ReachabilityAnalyzer, host_flow
+
+        analyzer = ReachabilityAnalyzer(dataplane)
+        flow = host_flow(dataplane.network, "h1", "h2")
+        assert analyzer.trace(flow) is analyzer.trace(flow)
+
+    def test_matrix_excludes_self_pairs(self, dataplane):
+        from repro.dataplane.reachability import ReachabilityAnalyzer
+
+        matrix = ReachabilityAnalyzer(dataplane).reachability_matrix()
+        assert all(src != dst for src, dst in matrix)
+        assert len(matrix) == 12  # 4 hosts, ordered pairs
+
+    def test_forwarding_path(self, dataplane):
+        from repro.dataplane.reachability import ReachabilityAnalyzer, host_flow
+
+        analyzer = ReachabilityAnalyzer(dataplane)
+        path = analyzer.forwarding_path(
+            host_flow(dataplane.network, "h1", "h2"), start_device="h1"
+        )
+        assert path == ["h1", "r1", "r2", "h2"]

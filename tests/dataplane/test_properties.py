@@ -1,0 +1,191 @@
+"""Property-based tests over the data plane's core invariants."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.builder import build_dataplane
+from repro.control.routes import Route
+from repro.dataplane.fib import Fib
+from repro.dataplane.forwarding import Disposition, trace_flow
+from repro.net.flow import Flow
+
+from tests.fixtures import square_network, switched_lan
+
+ipv4 = st.integers(min_value=0, max_value=2**32 - 1).map(ipaddress.IPv4Address)
+
+
+@st.composite
+def fib_routes(draw):
+    """A set of routes with unique prefixes."""
+    prefixes = draw(
+        st.sets(
+            st.tuples(ipv4, st.integers(min_value=0, max_value=32)).map(
+                lambda t: ipaddress.IPv4Network(t, strict=False)
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    return [
+        Route(prefix=p, protocol="static", out_interface="Gi0/0",
+              next_hop=draw(ipv4))
+        for p in prefixes
+    ]
+
+
+class TestFibProperties:
+    @given(fib_routes(), ipv4)
+    @settings(max_examples=200, deadline=None)
+    def test_lpm_matches_reference_implementation(self, routes, dst):
+        fib = Fib(routes)
+        # Reference: filter containing prefixes, take max prefixlen.
+        containing = [r for r in routes if dst in r.prefix]
+        expected = (
+            max(containing, key=lambda r: r.prefix.prefixlen)
+            if containing
+            else None
+        )
+        actual = fib.lookup(dst)
+        if expected is None:
+            assert actual is None
+        else:
+            assert actual is not None
+            assert actual.prefix.prefixlen == expected.prefix.prefixlen
+            assert dst in actual.prefix
+
+    @given(fib_routes())
+    @settings(max_examples=50, deadline=None)
+    def test_routes_sorted_most_specific_first(self, routes):
+        fib = Fib(routes)
+        lengths = [r.prefix.prefixlen for r in fib.routes()]
+        assert lengths == sorted(lengths, reverse=True)
+
+    @given(fib_routes())
+    @settings(max_examples=50, deadline=None)
+    def test_route_for_prefix_finds_each_installed_route(self, routes):
+        fib = Fib(routes)
+        for route in routes:
+            assert fib.route_for_prefix(route.prefix) == route
+
+
+def _all_host_flows(network, protocol="icmp"):
+    hosts = network.hosts()
+    flows = []
+    for src in hosts:
+        for dst in hosts:
+            if src != dst:
+                flows.append(
+                    (src, Flow(
+                        src_ip=network.host_address(src),
+                        dst_ip=network.host_address(dst),
+                        protocol=protocol,
+                    ))
+                )
+    return flows
+
+
+@pytest.fixture(scope="module", params=["square", "switched"])
+def any_network(request):
+    return square_network() if request.param == "square" else switched_lan()
+
+
+class TestForwardingInvariants:
+    def test_every_trace_terminates_with_disposition(self, any_network):
+        dataplane = build_dataplane(any_network)
+        for start, flow in _all_host_flows(any_network):
+            trace = trace_flow(dataplane, flow, start_device=start)
+            assert trace.disposition is not None
+            assert len(trace.hops) <= 64
+
+    def test_delivered_means_destination_owns_ip(self, any_network):
+        dataplane = build_dataplane(any_network)
+        for start, flow in _all_host_flows(any_network):
+            trace = trace_flow(dataplane, flow, start_device=start)
+            if trace.disposition is Disposition.DELIVERED:
+                final = trace.last_device
+                assert any_network.config(final).owns_address(flow.dst_ip)
+
+    def test_path_starts_at_source(self, any_network):
+        dataplane = build_dataplane(any_network)
+        for start, flow in _all_host_flows(any_network):
+            trace = trace_flow(dataplane, flow, start_device=start)
+            assert trace.path()[0] == start
+
+    def test_no_device_repeats_on_path(self, any_network):
+        dataplane = build_dataplane(any_network)
+        for start, flow in _all_host_flows(any_network):
+            trace = trace_flow(dataplane, flow, start_device=start)
+            if trace.disposition is not Disposition.LOOP:
+                path = trace.path()
+                assert len(path) == len(set(path))
+
+    def test_acl_free_network_has_symmetric_reachability(self):
+        # Strip the single ACL from the square network: with symmetric
+        # routing and no filters, reachability must be symmetric.
+        network = square_network()
+        network.config("r3").interface("Gi0/2").access_group_out = None
+        dataplane = build_dataplane(network)
+        hosts = network.hosts()
+        for src in hosts:
+            for dst in hosts:
+                if src == dst:
+                    continue
+                forward = trace_flow(
+                    dataplane,
+                    Flow(src_ip=network.host_address(src),
+                         dst_ip=network.host_address(dst), protocol="icmp"),
+                    start_device=src,
+                ).success
+                backward = trace_flow(
+                    dataplane,
+                    Flow(src_ip=network.host_address(dst),
+                         dst_ip=network.host_address(src), protocol="icmp"),
+                    start_device=dst,
+                ).success
+                assert forward == backward
+
+    def test_single_interface_shutdown_never_crashes_forwarding(self):
+        network = square_network()
+        for device in network.routers():
+            for iface_name in list(network.config(device).interfaces):
+                broken = network.copy()
+                broken.config(device).interface(iface_name).shutdown = True
+                dataplane = build_dataplane(broken)
+                for start, flow in _all_host_flows(broken):
+                    trace = trace_flow(dataplane, flow, start_device=start)
+                    assert trace.disposition is not None
+
+
+class TestSegmentInvariants:
+    def test_segments_partition_live_endpoints(self, any_network):
+        from repro.control.l2 import compute_segments
+
+        segments = compute_segments(any_network)
+        seen = set()
+        for segment in segments:
+            assert not (segment.endpoints & seen)
+            seen |= segment.endpoints
+        # Every live routed endpoint appears in exactly one segment.
+        for device in any_network.topology.devices():
+            config = any_network.config(device.name)
+            for iface in config.interfaces.values():
+                if iface.is_routed and not iface.shutdown and (
+                    device.name not in any_network.switches()
+                ):
+                    assert (device.name, iface.name) in seen
+
+    def test_same_segment_is_symmetric(self, any_network):
+        from repro.control.l2 import compute_segments
+
+        segments = compute_segments(any_network)
+        endpoints = [
+            (device, iface)
+            for segment in segments
+            for device, iface in segment.endpoints
+        ]
+        for a in endpoints:
+            for b in endpoints:
+                assert segments.same_segment(a, b) == segments.same_segment(b, a)

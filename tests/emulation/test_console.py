@@ -1,0 +1,300 @@
+import pytest
+
+from repro.emulation.console import available_commands
+from repro.emulation.network import EmulatedNetwork
+from repro.net.topology import DeviceKind
+from repro.util.errors import EmulationError
+
+from tests.fixtures import square_network, switched_lan
+
+
+@pytest.fixture
+def emnet():
+    return EmulatedNetwork(square_network())
+
+
+@pytest.fixture
+def r1(emnet):
+    return emnet.console("r1")
+
+
+def run(console, *commands):
+    results = [console.execute(cmd) for cmd in commands]
+    for result in results:
+        assert result.ok, f"{result.command}: {result.error}"
+    return results[-1]
+
+
+class TestShowCommands:
+    def test_show_running_config(self, r1):
+        result = run(r1, "show running-config")
+        assert "hostname r1" in result.output
+        assert result.action == "view.config"
+        assert result.resource == "r1"
+
+    def test_show_ip_route(self, r1):
+        result = run(r1, "show ip route")
+        assert "10.2.2.0/24" in result.output
+        assert result.action == "view.route"
+
+    def test_show_ospf_neighbors(self, r1):
+        result = run(r1, "show ip ospf neighbor")
+        assert "r2" in result.output and "r4" in result.output
+
+    def test_show_interfaces(self, r1):
+        result = run(r1, "show interfaces")
+        assert "Gi0/0 is up" in result.output
+
+    def test_show_access_lists(self, emnet):
+        result = run(emnet.console("r3"), "show access-lists")
+        assert "PROTECT_H3" in result.output
+
+    def test_show_vlan_on_switch(self):
+        emnet = EmulatedNetwork(switched_lan())
+        result = run(emnet.console("sw1"), "show vlan")
+        assert "users" in result.output
+
+    def test_show_vlan_rejected_on_router(self, r1):
+        result = r1.execute("show vlan")
+        assert not result.ok
+
+
+class TestProbes:
+    def test_ping_success(self, emnet):
+        result = run(emnet.console("h1"), "ping 10.2.2.100")
+        assert "100 percent" in result.output
+        assert result.action == "probe.ping"
+
+    def test_ping_failure_reports_disposition(self, emnet):
+        result = run(emnet.console("h2"), "ping 10.3.3.100")
+        assert "0 percent" in result.output
+        assert "denied-out" in result.output
+
+    def test_traceroute_lists_hops(self, emnet):
+        result = run(emnet.console("h1"), "traceroute 10.3.3.100")
+        assert "r1" in result.output and "r3" in result.output
+
+    def test_ping_requires_argument(self, r1):
+        assert not r1.execute("ping").ok
+
+
+class TestConfigMode:
+    def test_mode_transitions(self, r1):
+        assert r1.mode == "exec"
+        run(r1, "configure terminal")
+        assert r1.mode == "config"
+        run(r1, "interface Gi0/0")
+        assert r1.mode == "config-if"
+        run(r1, "exit")
+        assert r1.mode == "config"
+        run(r1, "end")
+        assert r1.mode == "exec"
+
+    def test_config_commands_invalid_in_exec(self, r1):
+        assert not r1.execute("interface Gi0/0").ok
+
+    def test_shutdown_interface_changes_dataplane(self, emnet, r1):
+        run(r1, "configure terminal", "interface Gi0/2", "shutdown", "end")
+        result = run(emnet.console("h2"), "ping 10.1.1.100")
+        assert "0 percent" in result.output
+
+    def test_ip_address_change(self, emnet, r1):
+        run(
+            r1,
+            "configure terminal",
+            "interface Gi0/0",
+            "ip address 10.0.99.1 255.255.255.0",
+            "end",
+        )
+        assert str(emnet.network.config("r1").interface("Gi0/0").address) == (
+            "10.0.99.1/24"
+        )
+
+    def test_static_route_add_remove(self, emnet, r1):
+        run(r1, "configure terminal", "ip route 172.16.0.0 255.255.0.0 10.0.12.2")
+        assert len(emnet.network.config("r1").static_routes) == 1
+        run(r1, "no ip route 172.16.0.0 255.255.0.0 10.0.12.2", "end")
+        assert emnet.network.config("r1").static_routes == []
+
+    def test_ospf_network_statements(self, emnet, r1):
+        run(
+            r1,
+            "configure terminal",
+            "router ospf 1",
+            "no network 10.0.12.0 0.0.0.3 area 0",
+            "end",
+        )
+        # Statement was /24 in the fixture so "no" of a /30 removes nothing.
+        assert len(emnet.network.config("r1").ospf.networks) == 3
+        run(
+            r1,
+            "configure terminal",
+            "router ospf 1",
+            "no network 10.0.12.0 0.0.0.255 area 0",
+            "end",
+        )
+        assert len(emnet.network.config("r1").ospf.networks) == 2
+
+    def test_acl_editing(self, emnet, r1):
+        run(
+            r1,
+            "configure terminal",
+            "ip access-list extended TEST",
+            "permit tcp any any eq 80",
+            "deny ip any any",
+            "end",
+        )
+        acl = emnet.network.config("r1").acl("TEST")
+        assert len(acl.entries) == 2
+        run(
+            r1,
+            "configure terminal",
+            "ip access-list extended TEST",
+            "no deny ip any any",
+            "end",
+        )
+        assert len(acl.entries) == 1
+
+    def test_numbered_acl(self, emnet, r1):
+        run(r1, "configure terminal", "access-list 101 permit ip any any", "end")
+        assert emnet.network.config("r1").acl("101").kind == "extended"
+
+    def test_switchport_on_switch(self):
+        emnet = EmulatedNetwork(switched_lan())
+        console = emnet.console("sw2")
+        run(
+            console,
+            "configure terminal",
+            "interface Fa0/2",
+            "switchport access vlan 20",
+            "end",
+        )
+        assert emnet.network.config("sw2").interface("Fa0/2").access_vlan == 20
+
+    def test_vlan_declaration(self):
+        emnet = EmulatedNetwork(switched_lan())
+        console = emnet.console("sw1")
+        run(console, "configure terminal", "vlan 30", "name guests", "end")
+        assert emnet.network.config("sw1").vlans[30].name == "guests"
+
+    def test_bad_argument_reports_error(self, r1):
+        run(r1, "configure terminal", "interface Gi0/0")
+        result = r1.execute("ip address 999.1.1.1 255.255.255.0")
+        assert not result.ok
+        assert result.error.startswith("%")
+
+    def test_description(self, emnet, r1):
+        run(r1, "configure terminal", "interface Gi0/0", "description core link")
+        iface = emnet.network.config("r1").interface("Gi0/0")
+        assert iface.description == "core link"
+
+
+class TestClassification:
+    def test_classify_without_executing(self, emnet, r1):
+        action, resource = r1.classify("show running-config")
+        assert (action, resource) == ("view.config", "r1")
+        # Nothing changed: classification is a dry run.
+        assert emnet.network.config("r1").hostname == "r1"
+
+    def test_classify_config_command(self, r1):
+        run(r1, "configure terminal", "interface Gi0/0")
+        action, resource = r1.classify("shutdown")
+        assert action == "config.interface.admin"
+        assert resource == "r1:Gi0/0"
+
+    def test_classify_invalid(self, r1):
+        assert r1.classify("frobnicate")[0] == "invalid"
+
+    def test_write_memory_is_system_save(self, r1):
+        assert r1.classify("write memory")[0] == "system.save"
+
+    def test_reload_bumps_boot_count(self, emnet, r1):
+        before = emnet.node("r1").boot_count
+        run(r1, "reload")
+        assert emnet.node("r1").boot_count == before + 1
+
+
+class TestNodeState:
+    def test_console_on_stopped_node_fails(self, emnet):
+        emnet.node("r1").stop()
+        with pytest.raises(EmulationError):
+            emnet.console("r1").execute("show running-config")
+
+    def test_restart(self, emnet):
+        node = emnet.node("r1")
+        node.stop()
+        node.start()
+        assert node.boot_count == 2
+        assert emnet.console("r1").execute("show running-config").ok
+
+
+class TestAvailableCommands:
+    def test_host_has_fewer_commands_than_router(self):
+        host_cmds = available_commands(DeviceKind.HOST)
+        router_cmds = available_commands(DeviceKind.ROUTER)
+        assert len(host_cmds) < len(router_cmds)
+
+    def test_switch_has_vlan_commands(self):
+        names = {spec.tokens for spec in available_commands(DeviceKind.SWITCH)}
+        assert ("show", "vlan") in names
+        assert ("router", "ospf") not in names
+
+    def test_every_spec_has_kinds_and_action(self):
+        from repro.emulation.console import CONSOLE_COMMANDS
+
+        for spec in CONSOLE_COMMANDS:
+            assert spec.kinds
+            assert "." in spec.action
+
+
+class TestInformationalShows:
+    def test_show_ip_interface_brief(self, r1):
+        result = run(r1, "show ip interface brief")
+        assert "Gi0/0" in result.output
+        assert "10.0.12.1" in result.output
+        assert result.action == "view.interface"
+
+    def test_show_version_reveals_image(self, r1):
+        result = run(r1, "show version")
+        assert "cisco" in result.output
+        assert result.action == "view.system"
+
+    def test_show_version_reflects_boot_count(self, emnet, r1):
+        run(r1, "reload")
+        result = run(emnet.console("r1"), "show version")
+        assert "boot count 2" in result.output
+
+
+class TestHostConsoles:
+    def test_host_interface_admin(self, emnet):
+        # Paper §2.1: technicians debug "by bringing a network interface
+        # up/down" — on the affected host itself.
+        console = emnet.console("h1")
+        run(console, "configure terminal", "interface eth0", "shutdown", "end")
+        assert emnet.network.config("h1").interface("eth0").shutdown
+        run(console, "configure terminal", "interface eth0",
+            "no shutdown", "end")
+        assert not emnet.network.config("h1").interface("eth0").shutdown
+
+    def test_host_default_gateway(self, emnet):
+        console = emnet.console("h1")
+        run(console, "configure terminal",
+            "ip default-gateway 10.1.1.254", "end")
+        assert str(emnet.network.config("h1").default_gateway) == "10.1.1.254"
+
+    def test_host_cannot_run_router_protocols(self, emnet):
+        console = emnet.console("h1")
+        run(console, "configure terminal")
+        assert not console.execute("router ospf 1").ok
+        assert not console.execute("ip route 0.0.0.0 0.0.0.0 10.1.1.1").ok
+
+    def test_host_exec_shell(self, emnet):
+        result = run(emnet.console("h1"), "exec tar czf /tmp/out.tgz /data")
+        assert result.action == "exec.shell"
+        assert "executed" in result.output
+
+    def test_exec_requires_command(self, emnet):
+        assert not emnet.console("h1").execute("exec").ok
+
+    def test_router_has_no_exec_shell(self, r1):
+        assert not r1.execute("exec rm -rf /").ok

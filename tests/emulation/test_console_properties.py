@@ -1,0 +1,109 @@
+"""Robustness properties of the console: no crashes, honest classification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulation.console import CONSOLE_COMMANDS
+from repro.emulation.network import EmulatedNetwork
+
+from tests.fixtures import square_network
+
+# Arbitrary junk plus near-miss fragments of real commands.
+junk_commands = st.one_of(
+    st.text(
+        alphabet="abcdefghijklmnop 0123456789./-", min_size=0, max_size=40
+    ),
+    st.sampled_from([
+        "show", "show ip", "ip address", "interface", "no", "router",
+        "configure", "write", "ping", "access-list", "network 10.0.0.0",
+        "switchport", "shutdown extra tokens here",
+    ]),
+)
+
+
+class TestConsoleRobustness:
+    @given(st.lists(junk_commands, min_size=1, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_input_never_raises(self, commands):
+        emnet = EmulatedNetwork(square_network())
+        console = emnet.console("r1")
+        for command in commands:
+            result = console.execute(command)
+            assert isinstance(result.ok, bool)
+            assert result.action
+
+    @given(st.lists(junk_commands, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_classify_never_mutates(self, commands):
+        emnet = EmulatedNetwork(square_network())
+        emnet.snapshot("before")
+        baseline = emnet.current_configs()
+        console = emnet.console("r1")
+        for command in commands:
+            console.classify(command)
+        assert emnet.current_configs() == baseline
+
+    @given(st.lists(junk_commands, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_classification_matches_execution(self, commands):
+        # classify() must predict exactly the action/resource execute() uses.
+        emnet_a = EmulatedNetwork(square_network())
+        emnet_b = EmulatedNetwork(square_network())
+        console_a = emnet_a.console("r2")
+        console_b = emnet_b.console("r2")
+        for command in commands:
+            predicted = console_a.classify(command)
+            result = console_a.execute(command)
+            # Keep console_b in lockstep so both see identical mode state.
+            console_b.execute(command)
+            if result.action != "invalid":
+                assert predicted == (result.action, result.resource)
+
+    def test_failed_commands_leave_config_untouched(self):
+        emnet = EmulatedNetwork(square_network())
+        emnet.snapshot("before")
+        baseline = emnet.current_configs()
+        console = emnet.console("r1")
+        console.execute("configure terminal")
+        console.execute("interface Gi0/0")
+        for bad in (
+            "ip address banana 255.255.255.0",
+            "ip address 10.0.0.1",
+            "ip ospf cost",
+            "ip access-group ONLY_NAME",
+        ):
+            result = console.execute(bad)
+            assert not result.ok
+        console.execute("end")
+        assert emnet.current_configs() == baseline
+
+
+class TestCatalogConsistency:
+    def test_modes_are_known(self):
+        modes = {
+            "exec", "config", "config-if", "config-router", "config-bgp",
+            "config-acl", "config-vlan",
+        }
+        assert {spec.mode for spec in CONSOLE_COMMANDS} <= modes
+
+    def test_no_duplicate_dispatch_entries(self):
+        seen = set()
+        for spec in CONSOLE_COMMANDS:
+            key = (spec.mode, spec.tokens)
+            assert key not in seen, key
+            seen.add(key)
+
+    def test_every_config_mode_has_end(self):
+        for mode in ("config", "config-if", "config-router", "config-bgp",
+                     "config-acl", "config-vlan"):
+            ends = [
+                spec for spec in CONSOLE_COMMANDS
+                if spec.mode == mode and spec.tokens == ("end",)
+            ]
+            assert ends, f"mode {mode} has no 'end'"
+
+    def test_handlers_exist(self):
+        from repro.emulation.console import Console
+
+        for spec in CONSOLE_COMMANDS:
+            assert hasattr(Console, spec.handler), spec.handler

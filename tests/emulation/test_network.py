@@ -1,0 +1,149 @@
+import pytest
+
+from repro.emulation.image import ImageInfo, default_image
+from repro.emulation.network import EmulatedNetwork
+from repro.net.topology import DeviceKind
+from repro.util.errors import EmulationError
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture
+def emnet():
+    return EmulatedNetwork(square_network())
+
+
+class TestIsolation:
+    def test_boot_copies_configs(self, emnet):
+        original = square_network()
+        emnet2 = EmulatedNetwork(original)
+        emnet2.console("r1").execute("configure terminal")
+        emnet2.console("r1").execute("hostname changed")
+        # the console above was a fresh console in exec mode; do it properly
+        console = emnet2.console("r1")
+        for cmd in ("configure terminal", "hostname changed", "end"):
+            console.execute(cmd)
+        assert original.config("r1").hostname == "r1"
+
+    def test_nodes_share_config_with_network(self, emnet):
+        emnet.node("r1").config.interface("Gi0/0").shutdown = True
+        assert emnet.network.config("r1").interface("Gi0/0").shutdown
+
+
+class TestDataplaneCaching:
+    def test_dataplane_cached_until_dirty(self, emnet):
+        first = emnet.dataplane()
+        assert emnet.dataplane() is first
+        emnet.mark_dirty()
+        assert emnet.dataplane() is not first
+
+    def test_config_command_invalidates(self, emnet):
+        first = emnet.dataplane()
+        console = emnet.console("r1")
+        for cmd in ("configure terminal", "interface Gi0/0", "shutdown", "end"):
+            console.execute(cmd)
+        assert emnet.dataplane() is not first
+
+    def test_show_command_does_not_invalidate(self, emnet):
+        first = emnet.dataplane()
+        emnet.console("r1").execute("show running-config")
+        assert emnet.dataplane() is first
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self, emnet):
+        emnet.snapshot("before")
+        console = emnet.console("r1")
+        for cmd in ("configure terminal", "interface Gi0/2", "shutdown", "end"):
+            console.execute(cmd)
+        assert emnet.network.config("r1").interface("Gi0/2").shutdown
+        emnet.restore("before")
+        assert not emnet.network.config("r1").interface("Gi0/2").shutdown
+
+    def test_restore_rebinds_node_configs(self, emnet):
+        emnet.snapshot("before")
+        emnet.restore("before")
+        node_config = emnet.node("r1").config
+        assert node_config is emnet.network.config("r1")
+
+    def test_unknown_snapshot(self, emnet):
+        with pytest.raises(EmulationError):
+            emnet.restore("nope")
+
+    def test_snapshot_labels(self, emnet):
+        emnet.snapshot("a")
+        emnet.snapshot("b")
+        assert emnet.snapshots() == ["a", "b"]
+
+
+class TestImages:
+    def test_default_images_by_kind(self, emnet):
+        assert emnet.node("r1").image == default_image(DeviceKind.ROUTER)
+        assert emnet.node("h1").image == default_image(DeviceKind.HOST)
+
+    def test_digest_deterministic(self):
+        a = ImageInfo("cisco", "ios-xe", "17.3.4a")
+        b = ImageInfo("cisco", "ios-xe", "17.3.4a")
+        assert a.digest == b.digest
+        assert a.digest != ImageInfo("cisco", "ios-xe", "17.9.1").digest
+
+
+class TestExports:
+    def test_current_configs_are_copies(self, emnet):
+        configs = emnet.current_configs()
+        configs["r1"].hostname = "tampered"
+        assert emnet.network.config("r1").hostname == "r1"
+
+    def test_node_count(self, emnet):
+        assert emnet.node_count() == 8
+
+    def test_unknown_node(self, emnet):
+        with pytest.raises(EmulationError):
+            emnet.node("nope")
+
+
+class TestStartupConfigSemantics:
+    def test_reload_discards_unsaved_changes(self, emnet):
+        console = emnet.console("r1")
+        for cmd in ("configure terminal", "interface Gi0/2", "shutdown", "end"):
+            console.execute(cmd)
+        assert emnet.network.config("r1").interface("Gi0/2").shutdown
+        assert emnet.node("r1").unsaved_changes()
+        console.execute("reload")
+        assert not emnet.network.config("r1").interface("Gi0/2").shutdown
+
+    def test_write_memory_persists_across_reload(self, emnet):
+        console = emnet.console("r1")
+        for cmd in ("configure terminal", "interface Gi0/2", "shutdown", "end",
+                    "write memory"):
+            console.execute(cmd)
+        assert not emnet.node("r1").unsaved_changes()
+        console.execute("reload")
+        assert emnet.network.config("r1").interface("Gi0/2").shutdown
+
+    def test_show_startup_config_shows_saved_state(self, emnet):
+        console = emnet.console("r1")
+        for cmd in ("configure terminal", "hostname renamed", "end"):
+            console.execute(cmd)
+        startup = console.execute("show startup-config").output
+        running = console.execute("show running-config").output
+        assert "hostname r1" in startup
+        assert "hostname renamed" in running
+
+    def test_reload_invalidates_dataplane(self, emnet):
+        console = emnet.console("r1")
+        for cmd in ("configure terminal", "interface Gi0/2", "shutdown", "end"):
+            console.execute(cmd)
+        before = emnet.dataplane()
+        console.execute("reload")
+        assert emnet.dataplane() is not before
+
+    def test_reload_rebinds_node_config(self, emnet):
+        console = emnet.console("r1")
+        console.execute("reload")
+        assert emnet.node("r1").config is emnet.network.config("r1")
+
+    def test_reload_bumps_boot_count(self, emnet):
+        before = emnet.node("r1").boot_count
+        emnet.console("r1").execute("reload")
+        assert emnet.node("r1").boot_count == before + 1

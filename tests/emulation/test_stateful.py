@@ -1,0 +1,109 @@
+"""Stateful property test: emulation snapshots behave like version control.
+
+A hypothesis state machine issues random (valid and invalid) console
+commands, takes snapshots, and restores them — checking after every step
+that restore really returns to the snapshotted state and that the cached
+data plane always reflects the current configs.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.config.serializer import serialize_config
+from repro.emulation.network import EmulatedNetwork
+
+from tests.fixtures import square_network
+
+COMMAND_POOL = [
+    "show ip route",
+    "show running-config",
+    "configure terminal",
+    "interface Gi0/0",
+    "interface Gi0/2",
+    "shutdown",
+    "no shutdown",
+    "ip ospf cost 42",
+    "description fuzzed",
+    "ip address 10.42.0.1 255.255.255.0",
+    "exit",
+    "end",
+    "garbage command",
+    "router ospf 1",
+    "passive-interface Gi0/2",
+    "no passive-interface Gi0/2",
+]
+
+
+def _fingerprint(emnet):
+    return {
+        name: serialize_config(config)
+        for name, config in emnet.network.configs.items()
+    }
+
+
+class SnapshotMachine(RuleBasedStateMachine):
+    @initialize()
+    def boot(self):
+        self.emnet = EmulatedNetwork(square_network())
+        self.consoles = {}
+        self.saved = {}  # label -> fingerprint
+
+    def _console(self, device):
+        if device not in self.consoles:
+            self.consoles[device] = self.emnet.console(device)
+        return self.consoles[device]
+
+    @rule(device=st.sampled_from(["r1", "r2"]),
+          command=st.sampled_from(COMMAND_POOL))
+    def run_command(self, device, command):
+        result = self._console(device).execute(command)
+        assert isinstance(result.ok, bool)
+
+    @rule(label=st.sampled_from(["a", "b", "c"]))
+    def snapshot(self, label):
+        self.emnet.snapshot(label)
+        self.saved[label] = _fingerprint(self.emnet)
+
+    @rule(label=st.sampled_from(["a", "b", "c"]))
+    def restore(self, label):
+        if label not in self.saved:
+            return
+        self.emnet.restore(label)
+        # Consoles hold references to replaced configs; drop them like the
+        # real system drops sessions on restore.
+        self.consoles.clear()
+        assert _fingerprint(self.emnet) == self.saved[label]
+
+    @invariant()
+    def dataplane_matches_configs(self):
+        if not hasattr(self, "emnet"):
+            return
+        # A freshly compiled data plane over the same configs must agree
+        # with whatever the cache serves.
+        from repro.control.builder import build_dataplane
+
+        cached = self.emnet.dataplane()
+        fresh = build_dataplane(self.emnet.network)
+        for device in ("r1", "r2", "r3", "r4"):
+            cached_routes = sorted(str(r) for r in cached.fib(device))
+            fresh_routes = sorted(str(r) for r in fresh.fib(device))
+            assert cached_routes == fresh_routes
+
+    @invariant()
+    def node_configs_alias_network_configs(self):
+        if not hasattr(self, "emnet"):
+            return
+        for name, node in self.emnet.nodes.items():
+            assert node.config is self.emnet.network.config(name)
+
+
+TestSnapshotMachine = SnapshotMachine.TestCase
+TestSnapshotMachine.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

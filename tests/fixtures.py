@@ -1,0 +1,86 @@
+"""Shared small networks used across the test suite.
+
+``square_network`` mirrors the paper's running example (Figures 5 and 6):
+host2 talks to host4 across a ring of four routers, router3 carries an ACL,
+and host3 is the sensitive host that must stay isolated.
+
+Layout (subnets on the links)::
+
+    h1 --- r1 ========== r2 --- h2
+            |  10.0.12    |
+    10.0.14 |             | 10.0.23
+            |  10.0.34    |
+    h4 --- r4 ========== r3 --- h3 (sensitive)
+
+LANs: h1 10.1.1.0/24, h2 10.2.2.0/24, h3 10.3.3.0/24, h4 10.4.4.0/24.
+An ACL on r3 denies h2's LAN from reaching h3's LAN but permits the rest.
+"""
+
+from repro.scenarios.builder import NetworkBuilder
+
+
+def square_network():
+    builder = NetworkBuilder("square")
+    for name in ("r1", "r2", "r3", "r4"):
+        builder.router(name)
+    for name in ("h1", "h2", "h3", "h4"):
+        builder.host(name)
+
+    builder.p2p("r1", "Gi0/0", "r2", "Gi0/0", "10.0.12.0/24")
+    builder.p2p("r2", "Gi0/1", "r3", "Gi0/0", "10.0.23.0/24")
+    builder.p2p("r3", "Gi0/1", "r4", "Gi0/0", "10.0.34.0/24")
+    builder.p2p("r4", "Gi0/1", "r1", "Gi0/1", "10.0.14.0/24")
+
+    builder.attach_host("h1", "eth0", "r1", "Gi0/2", "10.1.1.0/24")
+    builder.attach_host("h2", "eth0", "r2", "Gi0/2", "10.2.2.0/24")
+    builder.attach_host("h3", "eth0", "r3", "Gi0/2", "10.3.3.0/24")
+    builder.attach_host("h4", "eth0", "r4", "Gi0/2", "10.4.4.0/24")
+
+    for name in ("r1", "r2", "r3", "r4"):
+        builder.enable_ospf(name, passive=("Gi0/2",))
+        builder.credentials(
+            name, enable_secret=f"secret-{name}", vty_password="vty-pass",
+            snmp_community="private",
+        )
+
+    # Protect the sensitive host LAN (10.3.3.0/24) from h2's LAN.
+    builder.acl(
+        "r3",
+        "PROTECT_H3",
+        [
+            "deny ip 10.2.2.0 0.0.0.255 10.3.3.0 0.0.0.255",
+            "permit ip any any",
+        ],
+    )
+    builder.apply_acl("r3", "Gi0/2", "PROTECT_H3", direction="out")
+    return builder.build()
+
+
+def switched_lan():
+    """Two switches trunked together; hosts in VLANs 10 and 20; r1 as gateway.
+
+    ::
+
+        hA(v10) -- sw1 ===trunk(10,20)=== sw2 -- hB(v10)
+        r1(gw) ----/                        \\---- hC(v20)
+
+    VLAN 10 is 192.168.10.0/24 (gateway r1); VLAN 20 has no gateway, so hC
+    is L2-isolated from VLAN 10.
+    """
+    builder = NetworkBuilder("switched-lan")
+    builder.router("r1").switch("sw1").switch("sw2")
+    for name in ("hA", "hB", "hC"):
+        builder.host(name)
+    for switch in ("sw1", "sw2"):
+        builder.vlan(switch, 10, "users").vlan(switch, 20, "iot")
+
+    builder.access_link("r1", "Gi0/0", "sw1", "Fa0/1", 10)
+    builder.address("r1", "Gi0/0", "192.168.10.1/24")
+    builder.access_link("hA", "eth0", "sw1", "Fa0/2", 10)
+    builder.lan_host("hA", "eth0", "192.168.10.11/24", "192.168.10.1")
+    builder.access_link("hB", "eth0", "sw2", "Fa0/2", 10)
+    builder.lan_host("hB", "eth0", "192.168.10.12/24", "192.168.10.1")
+    builder.access_link("hC", "eth0", "sw2", "Fa0/3", 20)
+    builder.lan_host("hC", "eth0", "192.168.10.13/24", "192.168.10.1")
+    builder.trunk_link("sw1", "Fa0/24", "sw2", "Fa0/24", vlans=(10, 20))
+    return builder.build()

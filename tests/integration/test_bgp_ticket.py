@@ -1,0 +1,104 @@
+"""A BGP border incident through the full Heimdall pipeline.
+
+Exercises the newest substrate (eBGP) end to end: mine policies on a
+multi-AS chain, break the peering, open a ticket, fix it inside a twin with
+BGP console commands, and import through the enforcer.
+"""
+
+import pytest
+
+from repro.core.heimdall import Heimdall
+from repro.policy.mining import mine_policies
+from repro.scenarios.issues import FixStep, Issue
+
+from tests.control.test_bgp import bgp_chain
+
+
+def bgp_issue():
+    """The provider's neighbor statement for the customer went missing."""
+
+    def inject(network):
+        bgp = network.config("pe").bgp
+        bgp.neighbors = [
+            n for n in bgp.neighbors if str(n.address) != "192.0.2.1"
+        ]
+
+    return Issue(
+        issue_id="bgp-peering",
+        title="eBGP session to the customer edge is down",
+        description=(
+            "h-cust (10.10.0.100) lost connectivity beyond its LAN; "
+            "pe shows the 192.0.2.1 session in Active."
+        ),
+        src_host="h-cust",
+        dst_host="h-far",
+        root_cause_device="pe",
+        complexity="moderate",
+        fix_script=[
+            FixStep("pe", (
+                "show ip bgp summary",
+                "configure terminal",
+                "router bgp 65010",
+                "neighbor 192.0.2.1 remote-as 65001",
+                "end",
+                "ping 10.10.0.100",
+                "write memory",
+            )),
+        ],
+        _inject=inject,
+    )
+
+
+@pytest.fixture
+def setting():
+    healthy = bgp_chain()
+    policies = mine_policies(healthy)
+    production = bgp_chain()
+    issue = bgp_issue()
+    issue.inject(production)
+    return production, issue, policies
+
+
+class TestBgpTicket:
+    def test_issue_manifests(self, setting):
+        production, issue, _ = setting
+        assert issue.is_broken(production)
+
+    def test_heimdall_resolves_it(self, setting):
+        production, issue, policies = setting
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue, profile="routing")
+        assert issue.root_cause_device in session.twin.scope
+
+        results = session.run_fix_script(issue.fix_script)
+        assert all(r.ok for r in results), [
+            (r.command, r.error) for r in results if not r.ok
+        ]
+        assert session.twin.issue_resolved()
+
+        outcome = session.submit()
+        assert outcome.approved
+        assert outcome.resolved
+        # The imported change is exactly the neighbor statement.
+        kinds = {change.kind for change in outcome.changes}
+        assert kinds == {"bgp.neighbor"}
+
+    def test_routing_profile_covers_bgp_but_not_acl(self, setting):
+        production, issue, policies = setting
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue, profile="routing")
+        console = session.console("pe")
+        console.execute("configure terminal")
+        result = console.execute("ip access-list extended EVIL")
+        result = console.execute("permit ip any any")
+        assert not result.ok  # acl edits are outside the routing profile
+
+    def test_policies_hold_after_import(self, setting):
+        from repro.policy.verification import PolicyVerifier
+
+        production, issue, policies = setting
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue, profile="routing")
+        session.run_fix_script(issue.fix_script)
+        session.submit()
+        assert PolicyVerifier(policies).verify_network(production).holds

@@ -1,0 +1,88 @@
+"""Two technicians, two twins, one production network.
+
+The enforcer verifies every change set against the production state *at
+submit time*, so concurrent sessions are safe by construction: a change set
+that conflicts with an earlier import is re-judged against the
+already-updated network.
+"""
+
+import pytest
+
+from repro.core.heimdall import Heimdall
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+
+
+@pytest.fixture
+def deployment():
+    healthy = build_enterprise_network()
+    policies = mine_policies(healthy)
+    production = build_enterprise_network()
+    return production, Heimdall(production, policies=policies)
+
+
+class TestConcurrentSessions:
+    def test_disjoint_tickets_both_land(self, deployment):
+        production, heimdall = deployment
+        issues = standard_issues("enterprise")
+        issues["isp"].inject(production)
+        issues["vlan"].inject(production)
+
+        # Both sessions open against the same (doubly broken) production.
+        session_a = heimdall.open_ticket(issues["isp"])
+        session_b = heimdall.open_ticket(issues["vlan"])
+
+        session_a.run_fix_script(issues["isp"].fix_script)
+        session_b.run_fix_script(issues["vlan"].fix_script)
+
+        outcome_a = session_a.submit()
+        outcome_b = session_b.submit()
+        assert outcome_a.approved and outcome_a.resolved
+        assert outcome_b.approved and outcome_b.resolved
+        assert heimdall.audit.verify()
+
+    def test_stale_duplicate_fix_is_a_no_op(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["vlan"]
+        issue.inject(production)
+
+        session_a = heimdall.open_ticket(issue)
+        session_b = heimdall.open_ticket(issue)
+        session_a.run_fix_script(issue.fix_script)
+        session_b.run_fix_script(issue.fix_script)
+
+        outcome_a = session_a.submit()
+        assert outcome_a.resolved
+        # The second submit proposes the change production already has: the
+        # diff against its own baseline is identical, applying it is
+        # idempotent, and no policy breaks.
+        outcome_b = session_b.submit()
+        assert outcome_b.approved
+        assert issue.is_resolved(production)
+
+    def test_conflicting_stale_change_rejected(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+
+        # Session A fixes the issue properly.
+        session_a = heimdall.open_ticket(issue)
+        session_a.run_fix_script(issue.fix_script)
+        assert session_a.submit().resolved
+
+        # Session B was opened against the broken state and proposes a
+        # harmful "fix": bouncing the database LAN port (Gi0/3, which has no
+        # redundancy). By the time it submits, production is healthy — the
+        # verifier judges the change against reality and rejects the
+        # regression. (The admin exemption is what lets the command reach
+        # the twin at all; the enforcer is the final line.)
+        session_b = heimdall.open_ticket(issue, profile="interface",
+                                         exempt_devices=("dist1",))
+        console = session_b.console("dist1")
+        for command in ("configure terminal", "interface Gi0/3",
+                        "shutdown", "end"):
+            console.execute(command)
+        outcome_b = session_b.submit()
+        assert not outcome_b.approved
+        assert not production.config("dist1").interface("Gi0/3").shutdown

@@ -1,0 +1,100 @@
+"""Full-stack integration: ticket in, verified fix out, on both networks."""
+
+import pytest
+
+from repro.core.heimdall import Heimdall
+from repro.msp.ticketing import TicketState, TicketSystem
+from repro.msp.workflows import CurrentWorkflow, HeimdallWorkflow
+from repro.policy.mining import mine_policies
+from repro.policy.verification import PolicyVerifier
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.scenarios.university import build_university_network
+
+BUILDERS = {
+    "enterprise": build_enterprise_network,
+    "university": build_university_network,
+}
+
+
+@pytest.mark.parametrize("network_name", ["enterprise", "university"])
+@pytest.mark.parametrize("issue_id", ["ospf", "isp", "vlan"])
+class TestBothWorkflowsBothNetworks:
+    def test_heimdall_resolves_and_preserves_policies(
+        self, network_name, issue_id
+    ):
+        builder = BUILDERS[network_name]
+        policies = mine_policies(builder())
+        production = builder()
+        issue = standard_issues(network_name)[issue_id]
+        issue.inject(production)
+
+        result = HeimdallWorkflow(policies=policies).resolve(production, issue)
+        assert result.resolved
+        assert result.detail.approved
+        # After the import, every mined policy holds again.
+        report = PolicyVerifier(policies).verify_network(production)
+        assert report.holds, [str(v) for v in report.violations]
+
+    def test_current_workflow_resolves(self, network_name, issue_id):
+        builder = BUILDERS[network_name]
+        production = builder()
+        issue = standard_issues(network_name)[issue_id]
+        issue.inject(production)
+        result = CurrentWorkflow().resolve(production, issue)
+        assert result.resolved
+
+
+class TestTicketLifecycleIntegration:
+    def test_full_ticket_path(self):
+        """Admin opens a ticket, technician fixes it on a twin, ticket closes."""
+        healthy = build_enterprise_network()
+        policies = mine_policies(healthy)
+        production = build_enterprise_network()
+        issue = standard_issues("enterprise")["vlan"]
+        issue.inject(production)
+
+        tickets = TicketSystem()
+        ticket = tickets.open(issue)
+        tickets.assign(ticket.ticket_id, "tech-1")
+
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+        assert outcome.resolved
+
+        tickets.resolve(ticket.ticket_id, note="moved Fa0/2 back to VLAN 10")
+        tickets.close(ticket.ticket_id)
+        assert ticket.state is TicketState.CLOSED
+
+        # The customer can audit everything that happened.
+        assert heimdall.audit.verify()
+        allowed = heimdall.audit.query(allowed=True)
+        assert any("switchport" in r.command for r in allowed)
+
+
+class TestSequentialTickets:
+    def test_two_tickets_one_deployment(self):
+        """The same Heimdall instance handles consecutive tickets."""
+        healthy = build_enterprise_network()
+        policies = mine_policies(healthy)
+        production = build_enterprise_network()
+        issues = standard_issues("enterprise")
+        heimdall = Heimdall(production, policies=policies)
+
+        issues["isp"].inject(production)
+        session1 = heimdall.open_ticket(issues["isp"])
+        session1.run_fix_script(issues["isp"].fix_script)
+        assert session1.submit().resolved
+
+        issues["vlan"].inject(production)
+        session2 = heimdall.open_ticket(issues["vlan"])
+        session2.run_fix_script(issues["vlan"].fix_script)
+        assert session2.submit().resolved
+
+        # One continuous, verifiable audit history across sessions.
+        assert heimdall.audit.verify()
+        assert session1.session_id != session2.session_id
+        actors = {record.actor for record in heimdall.audit.records}
+        assert {session1.session_id, session2.session_id} <= actors

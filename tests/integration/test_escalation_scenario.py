@@ -1,0 +1,128 @@
+"""A ticket that needs mid-flight privilege escalation (paper §7).
+
+Scenario: a connectivity ticket is filed as a routing problem, but the root
+cause turns out to be a broken ACL entry. The technician's initial
+``routing`` profile cannot touch ACLs; they escalate (routing -> acl is a
+valid ladder step), and — because the broken ACL lives on a guarded
+enforcement point — the fix additionally requires the admin to exempt that
+device when (re)opening the ticket. Every stage is audited.
+"""
+
+import ipaddress
+
+import pytest
+
+from repro.config.acl import AclEntry
+from repro.core.heimdall import Heimdall
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import FixStep, Issue
+from repro.util.errors import PrivilegeError
+
+
+def make_acl_issue():
+    """Someone inserted a deny above the app-VLAN permits in DB_PROTECT."""
+    bad_entry = "deny ip 10.5.20.0 0.0.0.255 10.7.1.0 0.0.0.255"
+
+    def inject(network):
+        acl = network.config("dist1").acl("DB_PROTECT")
+        acl.entries.insert(0, AclEntry.parse(bad_entry))
+
+    return Issue(
+        issue_id="acl-regression",
+        title="App VLAN lost access to the database",
+        description=(
+            "app1 (10.5.20.100) can no longer reach db1 (10.7.1.100); "
+            "started after last night's change window."
+        ),
+        src_host="app1",
+        dst_host="db1",
+        root_cause_device="dist1",
+        complexity="moderate",
+        fix_script=[
+            FixStep("dist1", (
+                "show access-lists",
+                "configure terminal",
+                "ip access-list extended DB_PROTECT",
+                f"no {bad_entry}",
+                "end",
+                "write memory",
+            )),
+        ],
+        _inject=inject,
+    )
+
+
+@pytest.fixture
+def setup():
+    healthy = build_enterprise_network()
+    policies = mine_policies(healthy)
+    production = build_enterprise_network()
+    issue = make_acl_issue()
+    issue.inject(production)
+    return production, policies, issue
+
+
+class TestEscalationScenario:
+    def test_routing_profile_cannot_fix_acl_issue(self, setup):
+        production, policies, issue = setup
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue, profile="routing")
+        results = session.run_fix_script(issue.fix_script)
+        denied = [r for r in results if not r.ok]
+        assert denied, "ACL edits must be refused under the routing profile"
+        assert not session.twin.issue_resolved()
+        session.abandon("wrong profile")
+
+    def test_escalation_alone_blocked_by_policy_guards(self, setup):
+        # dist1 enforces live isolation policies, so guard rules outrank
+        # even a validly escalated acl profile.
+        production, policies, issue = setup
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue, profile="routing")
+        session.request_escalation("acl", "routing is clean; suspect the ACL")
+        results = session.run_fix_script(issue.fix_script)
+        assert any(not r.ok for r in results)
+        assert not session.twin.issue_resolved()
+        session.abandon("guarded device")
+
+    def test_escalation_plus_admin_exemption_fixes_it(self, setup):
+        production, policies, issue = setup
+        heimdall = Heimdall(production, policies=policies)
+        # The admin re-opens the ticket releasing dist1 from the guards —
+        # the conscious decision the paper's §7 discussion calls for.
+        session = heimdall.open_ticket(
+            issue, profile="routing", exempt_devices=("dist1",)
+        )
+        session.request_escalation("acl", "confirmed ACL regression")
+        results = session.run_fix_script(issue.fix_script)
+        assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+        assert session.twin.issue_resolved()
+
+        outcome = session.submit()
+        assert outcome.approved
+        assert outcome.resolved
+
+        # Production ACL restored: the bad deny is gone, protections intact.
+        acl = production.config("dist1").acl("DB_PROTECT")
+        assert all(
+            "10.5.20.0" not in entry.to_text() or entry.action == "permit"
+            for entry in acl.entries
+        )
+
+    def test_every_stage_audited(self, setup):
+        production, policies, issue = setup
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(
+            issue, profile="routing", exempt_devices=("dist1",)
+        )
+        with pytest.raises(PrivilegeError):
+            session.request_escalation("connectivity", "skip the ladder")
+        session.request_escalation("acl", "valid step")
+        session.run_fix_script(issue.fix_script)
+        session.submit()
+
+        escalations = heimdall.audit.query(action_prefix="privilege.escalation")
+        assert len(escalations) == 2
+        assert [record.allowed for record in escalations] == [False, True]
+        assert heimdall.audit.verify()

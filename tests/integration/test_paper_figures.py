@@ -1,0 +1,194 @@
+"""The paper's running example (Figures 5 and 6), reproduced literally.
+
+The square fixture is the paper's Figure 5 network: host2 cannot
+communicate with host4, router3 is misconfigured, host3 is sensitive. These
+tests walk the exact arguments the figures make:
+
+* Figure 5b — cloning everything is feasible but exposes every node;
+* Figure 5c — cloning only the endpoints' neighbourhood hides the
+  misconfigured router3, making the ticket unsolvable;
+* Figure 5d — the decoupled twin (Heimdall scoping + reference monitor)
+  is feasible with a partial view;
+* Figure 6  — the benign fix (remove the bad Deny for host4) and the
+  malicious twin of it (also removing host3's protection) look alike at
+  the command level; the policy enforcer tells them apart.
+"""
+
+import pytest
+
+from repro.config.acl import Acl, AclEntry
+from repro.core.heimdall import Heimdall
+from repro.core.twin.scoping import scope_all, scope_heimdall, scope_neighbor
+from repro.policy.mining import mine_policies
+from repro.scenarios.issues import FixStep, Issue
+
+from tests.fixtures import square_network
+
+# The misconfiguration: an over-broad deny on router3's transit ACL.
+BAD_ENTRY = "deny ip 10.2.2.0 0.0.0.255 10.4.4.0 0.0.0.255"
+
+
+def figure5_network():
+    """The square network with host2->host4 traffic steered through router3.
+
+    router3 carries a (initially permissive) transit ACL toward router4 —
+    the object the figure's misconfiguration lands in — and keeps host3's
+    protection ACL exactly as in the fixture.
+    """
+    network = square_network()
+    # Steer h2 -> h4 over r3 (costs make r2-r3-r4 the best path).
+    network.config("r2").interface("Gi0/0").ospf_cost = 10
+    network.config("r3").add_acl(
+        Acl(name="TRANSIT", entries=[AclEntry.parse("permit ip any any")])
+    )
+    network.config("r3").interface("Gi0/1").access_group_out = "TRANSIT"
+    return network
+
+
+def figure5_issue():
+    """host2 cannot communicate with host4; root cause is router3."""
+
+    def inject(network):
+        acl = network.config("r3").acl("TRANSIT")
+        acl.entries.insert(0, AclEntry.parse(BAD_ENTRY))
+
+    return Issue(
+        issue_id="fig5",
+        title="host2 cannot communicate with host4",
+        description="host2 (10.2.2.100) cannot reach host4 (10.4.4.100).",
+        src_host="h2",
+        dst_host="h4",
+        root_cause_device="r3",
+        complexity="moderate",
+        fix_script=[
+            FixStep("r3", (
+                "show access-lists",
+                "configure terminal",
+                "ip access-list extended TRANSIT",
+                f"no {BAD_ENTRY}",
+                "end",
+                "write memory",
+            )),
+        ],
+        _inject=inject,
+    )
+
+
+@pytest.fixture
+def setting():
+    healthy = figure5_network()
+    policies = mine_policies(healthy)
+    production = figure5_network()
+    issue = figure5_issue()
+    issue.inject(production)
+    assert issue.is_broken(production)
+    return production, issue, policies
+
+
+class TestFigure5:
+    def test_fault_manifests_at_router3(self, setting):
+        production, issue, _ = setting
+        from repro.control.builder import build_dataplane
+        from repro.dataplane.forwarding import trace_flow
+
+        trace = trace_flow(
+            build_dataplane(production), issue.ticket_flow(production),
+            start_device="h2",
+        )
+        assert trace.last_device == "r3"
+        assert "TRANSIT" in trace.hops[-1].note
+
+    def test_5b_all_feasible_but_total_exposure(self, setting):
+        production, issue, _ = setting
+        scope = scope_all(production, issue)
+        assert issue.root_cause_device in scope  # feasible ...
+        assert scope == set(production.topology.device_names())  # full cost
+
+    def test_5c_neighbor_hides_the_root_cause(self, setting):
+        production, issue, _ = setting
+        scope = scope_neighbor(production, issue)
+        # host2's neighbour is r2; host4's is r4 — router3 is invisible,
+        # so the ticket cannot be solved (the figure's point).
+        assert issue.root_cause_device not in scope
+
+    def test_5d_heimdall_feasible_with_partial_view(self, setting):
+        production, issue, _ = setting
+        # On this 8-node example the tight ellipse (slack=1) shows the
+        # partial-view property; the root cause stays in scope.
+        scope = scope_heimdall(production, issue, slack=1)
+        assert issue.root_cause_device in scope
+        assert scope < set(production.topology.device_names())
+        # The uninvolved stub hosts are exactly what gets hidden.
+        assert "h1" not in scope and "h3" not in scope
+
+    def test_5d_fix_works_through_the_twin(self, setting):
+        production, issue, policies = setting
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(
+            issue, profile="acl", exempt_devices=("r3",)
+        )
+        session.run_fix_script(issue.fix_script)
+        assert session.twin.issue_resolved()
+        outcome = session.submit()
+        assert outcome.approved and outcome.resolved
+
+
+class TestFigure6:
+    """Benign and malicious actions appear similar — the verifier decides."""
+
+    MALICIOUS = (
+        "configure terminal",
+        "ip access-list extended PROTECT_H3",
+        # ... the technician ALSO opens host2 -> sensitive host3:
+        "no deny ip 10.2.2.0 0.0.0.255 10.3.3.0 0.0.0.255",
+        "end",
+    )
+
+    def _session(self, production, issue, policies):
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(
+            issue, profile="acl", exempt_devices=("r3",)
+        )
+        return session, heimdall
+
+    def test_benign_fix_approved(self, setting):
+        production, issue, policies = setting
+        session, _ = self._session(production, issue, policies)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+        assert outcome.approved
+        assert outcome.resolved
+
+    def test_malicious_variant_rejected(self, setting):
+        production, issue, policies = setting
+        session, heimdall = self._session(production, issue, policies)
+        session.run_fix_script(issue.fix_script)  # the cover story
+        console = session.console("r3")
+        for command in self.MALICIOUS:
+            result = console.execute(command)
+            assert result.ok  # same command class as the fix: monitor allows
+        outcome = session.submit()
+        # The commands looked legitimate; the enforcer caught the effect.
+        assert not outcome.approved
+        violated = {
+            r.policy.policy_id
+            for r in outcome.decision.new_policy_violations
+        }
+        assert any("10.3.3" in policy_id for policy_id in violated)
+        # Production still isolates the sensitive host.
+        acl = heimdall.production.config("r3").acl("PROTECT_H3")
+        assert any(entry.action == "deny" for entry in acl.entries)
+
+    def test_malicious_variant_visible_in_impact_analysis(self, setting):
+        production, issue, policies = setting
+        session, _ = self._session(production, issue, policies)
+        session.run_fix_script(issue.fix_script)
+        console = session.console("r3")
+        for command in self.MALICIOUS:
+            console.execute(command)
+        outcome = session.submit()
+        newly = {
+            (str(d.flow.src_ip), str(d.flow.dst_ip))
+            for d in outcome.decision.impact.newly_delivered
+        }
+        assert ("10.2.2.100", "10.3.3.100") in newly

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.msp.rmm import RmmServer
+from repro.util.errors import ReproError
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture
+def server():
+    server = RmmServer(square_network())
+    server.add_credential("tech-1", "hunter2")
+    return server
+
+
+class TestAuthentication:
+    def test_valid_login(self, server):
+        session = server.authenticate("tech-1", "hunter2")
+        assert session.username == "tech-1"
+
+    def test_wrong_password_rejected_and_recorded(self, server):
+        with pytest.raises(ReproError):
+            server.authenticate("tech-1", "wrong")
+        assert server.failed_logins == ["tech-1"]
+
+    def test_unknown_user_rejected(self, server):
+        with pytest.raises(ReproError):
+            server.authenticate("ghost", "x")
+
+    def test_phished_credentials_grant_full_access(self, server):
+        # The paper's threat model in one test: credentials are sufficient.
+        session = server.authenticate("tech-1", "hunter2")
+        assert set(session.devices()) == {
+            "r1", "r2", "r3", "r4", "h1", "h2", "h3", "h4"
+        }
+
+
+class TestRootAccess:
+    def test_agents_on_every_device(self, server):
+        assert len(server.agents) == 8
+        assert all(agent.root for agent in server.agents.values())
+
+    def test_commands_mutate_production_directly(self, server):
+        session = server.authenticate("tech-1", "hunter2")
+        for command in ("configure terminal", "interface Gi0/0",
+                        "shutdown", "end"):
+            result = session.execute("r1", command)
+            assert result.ok
+        assert server.production.config("r1").interface("Gi0/0").shutdown
+
+    def test_secrets_fully_readable(self, server):
+        session = server.authenticate("tech-1", "hunter2")
+        output = session.execute("r1", "show running-config").output
+        assert "secret-r1" in output  # nothing is sanitised: root is root
+
+    def test_console_state_persists_within_session(self, server):
+        session = server.authenticate("tech-1", "hunter2")
+        session.execute("r1", "configure terminal")
+        result = session.execute("r1", "interface Gi0/0")
+        assert result.ok
+
+    def test_unknown_device_rejected(self, server):
+        session = server.authenticate("tech-1", "hunter2")
+        with pytest.raises(ReproError):
+            session.console("mainframe")
+
+    def test_command_counter(self, server):
+        session = server.authenticate("tech-1", "hunter2")
+        session.execute("r1", "show ip route")
+        session.execute("r2", "show ip route")
+        assert session.commands_run == 2

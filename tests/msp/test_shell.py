@@ -1,0 +1,130 @@
+"""Technician shell tests: driven non-interactively via cmdloop over StringIO."""
+
+import io
+
+import pytest
+
+from repro.core.heimdall import Heimdall
+from repro.msp.rmm import RmmServer
+from repro.msp.shell import TechnicianShell
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+
+from tests.fixtures import square_network
+
+
+class _RmmAccess:
+    def __init__(self, session):
+        self._session = session
+
+    def execute(self, device, command):
+        return self._session.execute(device, command)
+
+
+class _TwinAccess:
+    def __init__(self, session):
+        self._session = session
+
+    def execute(self, device, command):
+        return self._session.console(device).execute(command)
+
+
+def run_shell(access, devices, script):
+    stdin = io.StringIO("\n".join(script) + "\n")
+    stdout = io.StringIO()
+    shell = TechnicianShell(access, devices, stdin=stdin, stdout=stdout)
+    shell.cmdloop()
+    return shell, stdout.getvalue()
+
+
+@pytest.fixture
+def rmm_access():
+    server = RmmServer(square_network())
+    server.add_credential("t", "p")
+    session = server.authenticate("t", "p")
+    return _RmmAccess(session), session.devices()
+
+
+class TestShellBasics:
+    def test_connect_and_run(self, rmm_access):
+        access, devices = rmm_access
+        shell, output = run_shell(access, devices, [
+            "connect r1", "show ip route", "quit",
+        ])
+        assert "connected to r1" in output
+        assert "10.2.2.0/24" in output
+        assert shell.history == [("r1", "show ip route", True)]
+
+    def test_unknown_device(self, rmm_access):
+        access, devices = rmm_access
+        _, output = run_shell(access, devices, ["connect mainframe", "quit"])
+        assert "unknown device" in output
+
+    def test_command_without_connection(self, rmm_access):
+        access, devices = rmm_access
+        _, output = run_shell(access, devices, ["show ip route", "quit"])
+        assert "not connected" in output
+
+    def test_devices_listing_marks_current(self, rmm_access):
+        access, devices = rmm_access
+        _, output = run_shell(access, devices, [
+            "connect r2", "devices", "quit",
+        ])
+        assert " * r2" in output
+
+    def test_config_session_spans_lines(self, rmm_access):
+        access, devices = rmm_access
+        shell, output = run_shell(access, devices, [
+            "connect r1",
+            "configure terminal",
+            "interface Gi0/2",
+            "shutdown",
+            "end",
+            "quit",
+        ])
+        assert all(ok for _dev, _cmd, ok in shell.history)
+
+    def test_history_and_eof(self, rmm_access):
+        access, devices = rmm_access
+        _, output = run_shell(access, devices, [
+            "connect r1", "show ip route", "history",
+        ])  # no quit: EOF ends the loop
+        assert "r1: show ip route [ok]" in output
+
+
+class TestShellOverTwin:
+    def test_denied_command_shown_not_executed(self):
+        healthy = build_enterprise_network()
+        policies = mine_policies(healthy)
+        production = build_enterprise_network()
+        issue = standard_issues("enterprise")["vlan"]
+        issue.inject(production)
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue)
+
+        shell, output = run_shell(
+            _TwinAccess(session), session.twin.scope, [
+                "connect sw2",
+                "configure terminal",
+                "hostname evil",
+                "end",
+                "quit",
+            ],
+        )
+        assert "Privilege_msp" in output
+        assert ("sw2", "hostname evil", False) in shell.history
+        assert production.config("sw2").hostname == "sw2"
+
+    def test_out_of_scope_device_not_listed(self):
+        healthy = build_enterprise_network()
+        production = build_enterprise_network()
+        issue = standard_issues("enterprise")["vlan"]
+        issue.inject(production)
+        heimdall = Heimdall(production, policies=mine_policies(healthy))
+        session = heimdall.open_ticket(issue)
+        _, output = run_shell(
+            _TwinAccess(session), session.twin.scope, ["devices", "quit"]
+        )
+        assert "isp" not in output
+        assert "sw2" in output

@@ -1,0 +1,80 @@
+from repro.emulation.network import EmulatedNetwork
+from repro.msp.technician import ScriptedTechnician
+from repro.scenarios.issues import FixStep
+
+from tests.fixtures import square_network
+
+
+class _DirectAccess:
+    """Raw console access for exercising the technician in isolation."""
+
+    def __init__(self, network):
+        self._emnet = EmulatedNetwork.attached(network)
+        self._consoles = {}
+
+    def execute(self, device, command):
+        if device not in self._consoles:
+            self._consoles[device] = self._emnet.console(device)
+        return self._consoles[device].execute(command)
+
+
+class TestScriptedTechnician:
+    def test_replays_script_in_order(self):
+        network = square_network()
+        tech = ScriptedTechnician("t1")
+        script = [
+            FixStep("r1", ("show ip route", "configure terminal",
+                           "interface Gi0/2", "shutdown", "end")),
+            FixStep("r2", ("show ip route",)),
+        ]
+        tech.work_on(_DirectAccess(network), script)
+        assert tech.command_count == 6
+        assert tech.denied_count == 0
+        assert network.config("r1").interface("Gi0/2").shutdown
+
+    def test_denied_count_tracks_failures(self):
+        network = square_network()
+        tech = ScriptedTechnician()
+        script = [FixStep("r1", ("show vlan", "show ip route"))]
+        tech.work_on(_DirectAccess(network), script)
+        assert tech.command_count == 2
+        assert tech.denied_count == 1  # routers have no "show vlan"
+
+    def test_results_accumulate_across_scripts(self):
+        network = square_network()
+        tech = ScriptedTechnician()
+        access = _DirectAccess(network)
+        tech.work_on(access, [FixStep("r1", ("show ip route",))])
+        tech.work_on(access, [FixStep("r2", ("show ip route",))])
+        assert tech.command_count == 2
+
+
+class TestMonitoredConsoleScript:
+    def test_run_script_returns_all_results(self):
+        from repro.core.privilege.ast import PrivilegeSpec
+        from repro.core.twin.monitor import MonitoredConsole, ReferenceMonitor
+
+        emnet = EmulatedNetwork(square_network())
+        monitor = ReferenceMonitor(PrivilegeSpec.allow_all())
+        console = MonitoredConsole(monitor, emnet.console("r1"))
+        results = console.run_script(
+            ["show ip route", "configure terminal", "interface Gi0/0", "end"]
+        )
+        assert len(results) == 4
+        assert all(r.ok for r in results)
+        assert monitor.stats.commands == 4
+        assert monitor.stats.allowed == 4
+
+    def test_monitor_decisions_recorded(self):
+        from repro.core.privilege.ast import PrivilegeSpec
+        from repro.core.twin.monitor import MonitoredConsole, ReferenceMonitor
+
+        spec = PrivilegeSpec()  # deny by default
+        spec.add_rule("allow", "view.*", "*")
+        emnet = EmulatedNetwork(square_network())
+        monitor = ReferenceMonitor(spec)
+        console = MonitoredConsole(monitor, emnet.console("r1"))
+        console.run_script(["show ip route", "ping 10.0.12.2"])
+        assert monitor.stats.allowed == 1
+        assert monitor.stats.denied == 1
+        assert [d.allowed for d in monitor.decisions] == [True, False]

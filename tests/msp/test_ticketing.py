@@ -1,0 +1,63 @@
+import pytest
+
+from repro.msp.ticketing import TicketState, TicketSystem
+from repro.scenarios.issues import standard_issues
+from repro.util.errors import ReproError
+
+
+@pytest.fixture
+def system():
+    return TicketSystem()
+
+
+@pytest.fixture
+def issue():
+    return standard_issues("enterprise")["ospf"]
+
+
+class TestLifecycle:
+    def test_open_assign_resolve_close(self, system, issue):
+        ticket = system.open(issue)
+        assert ticket.state is TicketState.OPEN
+        system.assign(ticket.ticket_id, "tech-1")
+        assert ticket.assignee == "tech-1"
+        system.resolve(ticket.ticket_id, note="fixed OSPF networks")
+        system.close(ticket.ticket_id)
+        assert ticket.state is TicketState.CLOSED
+        assert ticket.notes == [("tech-1", "fixed OSPF networks")]
+
+    def test_ids_sequential(self, system, issue):
+        assert system.open(issue).ticket_id == "TICKET-0001"
+        assert system.open(issue).ticket_id == "TICKET-0002"
+
+    def test_illegal_transition_rejected(self, system, issue):
+        ticket = system.open(issue)
+        with pytest.raises(ReproError):
+            system.resolve(ticket.ticket_id)  # not yet assigned
+
+    def test_closed_is_terminal(self, system, issue):
+        ticket = system.open(issue)
+        system.close(ticket.ticket_id)
+        with pytest.raises(ReproError):
+            system.reopen(ticket.ticket_id)
+
+    def test_reopen_from_resolved(self, system, issue):
+        ticket = system.open(issue)
+        system.assign(ticket.ticket_id, "t")
+        system.resolve(ticket.ticket_id)
+        system.reopen(ticket.ticket_id)
+        assert ticket.state is TicketState.IN_PROGRESS
+
+    def test_unknown_ticket(self, system):
+        with pytest.raises(ReproError):
+            system.get("TICKET-9999")
+
+    def test_filter_by_state(self, system, issue):
+        a = system.open(issue)
+        system.open(issue)
+        system.assign(a.ticket_id, "t")
+        assert len(system.tickets(TicketState.OPEN)) == 1
+        assert len(system.tickets()) == 2
+
+    def test_description_comes_from_issue(self, system, issue):
+        assert system.open(issue).description == issue.description

@@ -1,0 +1,60 @@
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import addressing
+from repro.util.errors import ConfigError
+
+
+class TestNetmask:
+    def test_common_masks(self):
+        assert addressing.netmask_to_prefixlen("255.255.255.0") == 24
+        assert addressing.netmask_to_prefixlen("255.255.255.255") == 32
+        assert addressing.netmask_to_prefixlen("0.0.0.0") == 0
+        assert addressing.netmask_to_prefixlen("255.255.252.0") == 22
+
+    def test_discontiguous_rejected(self):
+        with pytest.raises(ConfigError):
+            addressing.netmask_to_prefixlen("255.0.255.0")
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(ConfigError):
+            addressing.netmask_to_prefixlen("not-an-ip")
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_roundtrip_with_prefixlen_to_netmask(self, prefixlen):
+        mask = addressing.prefixlen_to_netmask(prefixlen)
+        assert addressing.netmask_to_prefixlen(mask) == prefixlen
+
+
+class TestWildcard:
+    def test_common_wildcards(self):
+        assert addressing.wildcard_to_prefixlen("0.0.0.255") == 24
+        assert addressing.wildcard_to_prefixlen("0.0.0.0") == 32
+        assert addressing.wildcard_to_prefixlen("255.255.255.255") == 0
+
+    def test_discontiguous_rejected(self):
+        with pytest.raises(ConfigError):
+            addressing.wildcard_to_prefixlen("0.255.0.255")
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_roundtrip_with_prefixlen_to_wildcard(self, prefixlen):
+        wildcard = addressing.prefixlen_to_wildcard(prefixlen)
+        assert addressing.wildcard_to_prefixlen(wildcard) == prefixlen
+
+
+class TestNetworkBuilders:
+    def test_network_from_netmask_normalises_host_bits(self):
+        net = addressing.network_from_netmask("10.0.1.5", "255.255.255.0")
+        assert net == ipaddress.IPv4Network("10.0.1.0/24")
+
+    def test_network_from_wildcard(self):
+        net = addressing.network_from_wildcard("10.1.0.0", "0.0.255.255")
+        assert net == ipaddress.IPv4Network("10.1.0.0/16")
+
+    def test_interface_address_keeps_host_part(self):
+        addr = addressing.interface_address("10.0.1.5", "255.255.255.0")
+        assert addr == ipaddress.IPv4Interface("10.0.1.5/24")
+        assert addr.network == ipaddress.IPv4Network("10.0.1.0/24")

@@ -1,0 +1,41 @@
+import ipaddress
+
+import pytest
+
+from repro.net.flow import Flow
+
+
+class TestFlow:
+    def test_make_from_strings(self):
+        flow = Flow.make("10.0.0.1", "10.0.0.2", "tcp", dst_port=80)
+        assert flow.src_ip == ipaddress.IPv4Address("10.0.0.1")
+        assert flow.dst_port == 80
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            Flow.make("10.0.0.1", "10.0.0.2", "gre")
+
+    def test_port_range_validated(self):
+        with pytest.raises(ValueError):
+            Flow.make("10.0.0.1", "10.0.0.2", "tcp", dst_port=70000)
+
+    def test_reversed_swaps_endpoints_and_ports(self):
+        flow = Flow.make("10.0.0.1", "10.0.0.2", "tcp", src_port=1234, dst_port=80)
+        back = flow.reversed()
+        assert back.src_ip == flow.dst_ip
+        assert back.dst_ip == flow.src_ip
+        assert back.src_port == 80
+        assert back.dst_port == 1234
+
+    def test_reversed_is_involution(self):
+        flow = Flow.make("10.0.0.1", "10.0.0.2", "udp", dst_port=53)
+        assert flow.reversed().reversed() == flow
+
+    def test_flows_are_hashable(self):
+        a = Flow.make("10.0.0.1", "10.0.0.2")
+        b = Flow.make("10.0.0.1", "10.0.0.2")
+        assert len({a, b}) == 1
+
+    def test_str_includes_ports_when_present(self):
+        flow = Flow.make("10.0.0.1", "10.0.0.2", "tcp", dst_port=80)
+        assert "80" in str(flow)

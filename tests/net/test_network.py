@@ -1,0 +1,107 @@
+import ipaddress
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.topology import DeviceKind, Topology
+from repro.util.errors import TopologyError
+
+from tests.fixtures import square_network
+
+
+class TestConstruction:
+    def test_missing_config_rejected(self):
+        topo = Topology("t")
+        topo.add_device("r1", DeviceKind.ROUTER)
+        with pytest.raises(TopologyError, match="without configs"):
+            Network(topo, {})
+
+    def test_unknown_config_rejected(self):
+        topo = Topology("t")
+        topo.add_device("r1", DeviceKind.ROUTER)
+        from repro.config.model import DeviceConfig
+
+        with pytest.raises(TopologyError, match="unknown devices"):
+            Network(topo, {
+                "r1": DeviceConfig("r1"), "ghost": DeviceConfig("ghost"),
+            })
+
+    def test_name_comes_from_topology(self):
+        assert square_network().name == "square"
+
+
+class TestQueries:
+    def test_kind(self):
+        network = square_network()
+        assert network.kind("r1") is DeviceKind.ROUTER
+        assert network.kind("h1") is DeviceKind.HOST
+
+    def test_role_lists(self):
+        network = square_network()
+        assert network.routers() == ["r1", "r2", "r3", "r4"]
+        assert network.hosts() == ["h1", "h2", "h3", "h4"]
+        assert network.switches() == []
+
+    def test_device_owning_ip(self):
+        network = square_network()
+        assert network.device_owning_ip("10.1.1.100") == "h1"
+        assert network.device_owning_ip("10.0.12.1") == "r1"
+        assert network.device_owning_ip("203.0.113.99") is None
+
+    def test_host_address(self):
+        network = square_network()
+        assert network.host_address("h2") == ipaddress.IPv4Address("10.2.2.100")
+
+    def test_host_address_requires_address(self):
+        network = square_network()
+        network.config("h1").interfaces.clear()
+        with pytest.raises(TopologyError):
+            network.host_address("h1")
+
+    def test_unknown_device_config(self):
+        with pytest.raises(TopologyError):
+            square_network().config("nope")
+
+
+class TestSubset:
+    def test_keeps_only_internal_links(self):
+        network = square_network()
+        sliced = network.subset({"r1", "r2", "h1"})
+        assert set(sliced.topology.device_names()) == {"r1", "r2", "h1"}
+        # r1-r2 and r1-h1 survive; links to r3/r4 are cut.
+        assert len(sliced.topology.links()) == 2
+
+    def test_configs_are_deep_copies(self):
+        network = square_network()
+        sliced = network.subset({"r1"})
+        sliced.config("r1").interface("Gi0/0").shutdown = True
+        assert not network.config("r1").interface("Gi0/0").shutdown
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(TopologyError):
+            square_network().subset({"r1", "ghost"})
+
+    def test_interfaces_preserved_even_if_uncabled(self):
+        network = square_network()
+        sliced = network.subset({"r1"})
+        # All of r1's interfaces still exist (configs reference them).
+        assert set(sliced.topology.device("r1").interfaces) == set(
+            network.topology.device("r1").interfaces
+        )
+
+
+class TestCopy:
+    def test_copy_isolates_configs(self):
+        network = square_network()
+        clone = network.copy()
+        clone.config("r1").interface("Gi0/0").shutdown = True
+        assert not network.config("r1").interface("Gi0/0").shutdown
+
+    def test_copy_shares_topology(self):
+        network = square_network()
+        assert network.copy().topology is network.topology
+
+    def test_summary_includes_config_lines(self):
+        summary = square_network().summary()
+        assert summary["config_lines"] > 0
+        assert summary["links"] == 8

@@ -1,0 +1,100 @@
+import pytest
+
+from repro.net.topology import DeviceKind, Interface, Link, Topology
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def triangle():
+    """r1 -- r2 -- r3 -- r1, with a host off r1."""
+    topo = Topology("triangle")
+    topo.add_device("r1", DeviceKind.ROUTER)
+    topo.add_device("r2", DeviceKind.ROUTER)
+    topo.add_device("r3", DeviceKind.ROUTER)
+    topo.add_device("h1", DeviceKind.HOST)
+    topo.add_link("r1", "Gi0/0", "r2", "Gi0/0")
+    topo.add_link("r2", "Gi0/1", "r3", "Gi0/0")
+    topo.add_link("r3", "Gi0/1", "r1", "Gi0/1")
+    topo.add_link("r1", "Gi0/2", "h1", "eth0")
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_device_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_device("r1", DeviceKind.ROUTER)
+
+    def test_self_link_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_link("r1", "Gi0/9", "r1", "Gi0/8")
+
+    def test_double_cabling_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_link("r1", "Gi0/0", "r3", "Gi0/9")
+
+    def test_link_to_unknown_device_rejected(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.add_link("r1", "Gi0/9", "nope", "Gi0/0")
+
+    def test_interfaces_created_implicitly(self, triangle):
+        assert "Gi0/2" in triangle.device("r1").interfaces
+
+
+class TestQueries:
+    def test_neighbors_sorted(self, triangle):
+        assert triangle.neighbors("r1") == ["h1", "r2", "r3"]
+
+    def test_peer(self, triangle):
+        assert triangle.peer("r1", "Gi0/0") == Interface("r2", "Gi0/0")
+
+    def test_peer_of_uncabled_interface_is_none(self, triangle):
+        triangle.device("r1").add_interface("Gi0/9")
+        assert triangle.peer("r1", "Gi0/9") is None
+
+    def test_unknown_device_raises(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.device("nope")
+
+    def test_unknown_interface_raises(self, triangle):
+        with pytest.raises(TopologyError):
+            triangle.device("r1").interface("nope")
+
+    def test_links_of(self, triangle):
+        assert len(triangle.links_of("r1")) == 3
+        assert len(triangle.links_of("h1")) == 1
+
+    def test_devices_filtered_by_kind(self, triangle):
+        assert triangle.device_names(DeviceKind.HOST) == ["h1"]
+        assert len(triangle.devices(DeviceKind.ROUTER)) == 3
+
+    def test_summary_counts(self, triangle):
+        assert triangle.summary() == {
+            "routers": 3,
+            "switches": 0,
+            "hosts": 1,
+            "links": 4,
+        }
+
+    def test_link_other_endpoint(self, triangle):
+        link = triangle.link_at("r1", "Gi0/0")
+        a, b = link.endpoints()
+        assert link.other(a) == b
+        assert link.other(b) == a
+
+    def test_link_other_rejects_foreign_interface(self, triangle):
+        link = triangle.link_at("r1", "Gi0/0")
+        with pytest.raises(TopologyError):
+            link.other(Interface("r3", "Gi0/0"))
+
+
+class TestNetworkxExport:
+    def test_graph_shape(self, triangle):
+        graph = triangle.to_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 4
+        assert graph.nodes["h1"]["kind"] == DeviceKind.HOST
+
+    def test_edge_carries_link(self, triangle):
+        graph = triangle.to_networkx()
+        link = graph.edges["r1", "r2"]["link"]
+        assert isinstance(link, Link)

@@ -1,0 +1,153 @@
+from repro.policy.mining import mine_policies
+from repro.policy.verification import PolicyVerifier
+from repro.scenarios.enterprise import build_enterprise_network
+
+from tests.fixtures import square_network
+
+
+class TestMiningOnSquare:
+    def test_mines_reachability_and_isolation(self):
+        policies = mine_policies(square_network())
+        kinds = {p.kind for p in policies}
+        assert kinds == {"reachability", "isolation"}
+
+    def test_isolation_mined_for_acl_block(self):
+        policies = mine_policies(square_network())
+        isolations = [p for p in policies if p.kind == "isolation"]
+        # Exactly the h2-LAN -> h3-LAN block on r3.
+        assert len(isolations) == 1
+        assert "10.2.2.0/24->10.3.3.0/24" in isolations[0].policy_id
+
+    def test_mined_policies_hold_by_construction(self):
+        network = square_network()
+        policies = mine_policies(network)
+        report = PolicyVerifier(policies).verify_network(network)
+        assert report.holds
+
+    def test_deterministic(self):
+        a = [p.policy_id for p in mine_policies(square_network())]
+        b = [p.policy_id for p in mine_policies(square_network())]
+        assert a == b
+
+    def test_lan_granularity_dedupes_same_subnet_hosts(self):
+        # All four square hosts are in distinct LANs -> 4*3 pairs.
+        policies = mine_policies(square_network(), include_services=False)
+        assert len(policies) == 12
+
+
+class TestMiningOnEnterprise:
+    def test_mined_set_holds(self):
+        network = build_enterprise_network()
+        policies = mine_policies(network)
+        assert PolicyVerifier(policies).verify_network(network).holds
+
+    def test_service_policies_present(self):
+        policies = mine_policies(build_enterprise_network())
+        services = [p for p in policies if p.policy_id.startswith("service:")]
+        assert services, "expected service policies from ACL permits"
+        # The DB permit (app VLAN -> db1:5432) must be among them.
+        assert any("5432" in p.policy_id for p in services)
+
+    def test_include_services_flag(self):
+        with_services = mine_policies(build_enterprise_network())
+        without = mine_policies(
+            build_enterprise_network(), include_services=False
+        )
+        assert len(with_services) > len(without)
+
+    def test_broken_network_mines_fewer_reachability_policies(self):
+        healthy = build_enterprise_network()
+        broken = build_enterprise_network()
+        broken.config("dist1").interface("Gi0/0").shutdown = True
+        healthy_count = len(mine_policies(healthy))
+        broken_count = len(mine_policies(broken))
+        assert broken_count <= healthy_count
+
+
+class TestRobustMining:
+    def test_square_ring_survives_backbone_failures(self):
+        # Every backbone (router-router) link has a ring detour, so the
+        # k=1 robust set equals the base set.
+        network = square_network()
+        base = mine_policies(network, include_services=False)
+        robust = mine_policies(
+            network, include_services=False, max_failures=1
+        )
+        assert {p.policy_id for p in robust} == {p.policy_id for p in base}
+
+    def test_single_homed_corridors_drop_under_failures(self):
+        # The enterprise network has single-homed corridors (e.g. dept1
+        # hangs off dist1 alone): their reachability policies are not
+        # 1-failure robust.
+        network = build_enterprise_network()
+        base = mine_policies(network)
+        robust = mine_policies(network, max_failures=1)
+        assert len(robust) < len(base)
+
+    def test_isolation_policies_survive_failures(self):
+        # Link failures only reduce reachability; they cannot open a path
+        # through an ACL, so isolation policies survive the sweep.
+        network = build_enterprise_network()
+        base_isolation = {
+            p.policy_id
+            for p in mine_policies(network)
+            if p.kind == "isolation"
+        }
+        robust_isolation = {
+            p.policy_id
+            for p in mine_policies(network, max_failures=1)
+            if p.kind == "isolation"
+        }
+        assert robust_isolation == base_isolation
+
+    def test_all_scope_fails_access_links_too(self):
+        # With failure_scope="all", single-homed hosts keep no
+        # reachability policies (their own access link is a failure case).
+        network = square_network()
+        robust = mine_policies(
+            network, include_services=False,
+            max_failures=1, failure_scope="all",
+        )
+        assert all(p.kind == "isolation" for p in robust)
+
+    def test_robust_subset_of_base(self):
+        network = build_enterprise_network()
+        base_ids = {p.policy_id for p in mine_policies(network)}
+        robust_ids = {
+            p.policy_id for p in mine_policies(network, max_failures=1)
+        }
+        assert robust_ids <= base_ids
+
+
+class TestWaypointMining:
+    def test_enterprise_waypoints_at_firewall(self):
+        policies = mine_policies(
+            build_enterprise_network(), include_waypoints=True
+        )
+        waypoints = [p for p in policies if p.kind == "waypoint"]
+        assert waypoints
+        assert all(p.waypoint == "fw" for p in waypoints)
+        assert all(not str(p.flow.src_ip).startswith("10.") for p in waypoints)
+
+    def test_waypoints_hold_on_healthy_network(self):
+        network = build_enterprise_network()
+        policies = mine_policies(network, include_waypoints=True)
+        assert PolicyVerifier(policies).verify_network(network).holds
+
+    def test_unbinding_firewall_acls_moves_the_waypoint(self):
+        # With fw's ACL bindings removed, fw stops being a filtering device:
+        # external traffic spills deeper and the next applied-ACL device
+        # (dist1, which carries DB_PROTECT) becomes the implied waypoint.
+        network = build_enterprise_network()
+        fw = network.config("fw")
+        for iface in fw.interfaces.values():
+            iface.access_group_in = None
+            iface.access_group_out = None
+        policies = mine_policies(network, include_waypoints=True)
+        waypoints = [p for p in policies if p.kind == "waypoint"]
+        assert waypoints
+        assert all(p.waypoint != "fw" for p in waypoints)
+
+    def test_off_by_default(self):
+        policies = mine_policies(build_enterprise_network())
+        assert not [p for p in policies if p.kind == "waypoint"]

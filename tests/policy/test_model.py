@@ -1,0 +1,96 @@
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.dataplane.reachability import ReachabilityAnalyzer
+from repro.net.flow import Flow
+from repro.policy.model import (
+    IsolationPolicy,
+    ReachabilityPolicy,
+    WaypointPolicy,
+    policy_from_dict,
+)
+from repro.util.errors import ReproError
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture
+def analyzer():
+    return ReachabilityAnalyzer(build_dataplane(square_network()))
+
+
+def flow(src, dst, proto="icmp"):
+    return Flow.make(src, dst, proto)
+
+
+class TestReachabilityPolicy:
+    def test_holds_when_delivered(self, analyzer):
+        policy = ReachabilityPolicy("p1", flow("10.1.1.100", "10.2.2.100"))
+        assert policy.check(analyzer).holds
+
+    def test_violated_when_dropped(self, analyzer):
+        policy = ReachabilityPolicy("p2", flow("10.2.2.100", "10.3.3.100"))
+        result = policy.check(analyzer)
+        assert not result.holds
+        assert "denied-out" in result.detail
+
+
+class TestIsolationPolicy:
+    def test_holds_when_blocked(self, analyzer):
+        policy = IsolationPolicy("p3", flow("10.2.2.100", "10.3.3.100"))
+        assert policy.check(analyzer).holds
+
+    def test_violated_when_delivered(self, analyzer):
+        policy = IsolationPolicy("p4", flow("10.1.1.100", "10.2.2.100"))
+        result = policy.check(analyzer)
+        assert not result.holds
+        assert "delivered" in result.detail
+
+
+class TestWaypointPolicy:
+    def test_holds_when_traversed(self, analyzer):
+        policy = WaypointPolicy(
+            "p5", flow("10.1.1.100", "10.2.2.100"), waypoint="r2"
+        )
+        assert policy.check(analyzer).holds
+
+    def test_violated_when_bypassed(self, analyzer):
+        policy = WaypointPolicy(
+            "p6", flow("10.1.1.100", "10.2.2.100"), waypoint="r3"
+        )
+        assert not policy.check(analyzer).holds
+
+    def test_vacuously_holds_when_not_delivered(self, analyzer):
+        policy = WaypointPolicy(
+            "p7", flow("10.2.2.100", "10.3.3.100"), waypoint="r3"
+        )
+        assert policy.check(analyzer).holds
+
+    def test_requires_waypoint(self):
+        with pytest.raises(ReproError):
+            WaypointPolicy("p8", flow("10.1.1.100", "10.2.2.100"))
+
+
+class TestSerialization:
+    def test_roundtrip_reachability(self):
+        policy = ReachabilityPolicy(
+            "p9", Flow.make("10.0.0.1", "10.0.0.2", "tcp", dst_port=80),
+            comment="web",
+        )
+        assert policy_from_dict(policy.to_dict()) == policy
+
+    def test_roundtrip_waypoint(self):
+        policy = WaypointPolicy(
+            "p10", flow("10.0.0.1", "10.0.0.2"), waypoint="fw"
+        )
+        restored = policy_from_dict(policy.to_dict())
+        assert restored == policy
+        assert restored.waypoint == "fw"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            policy_from_dict({"kind": "quantum", "id": "x"})
+
+    def test_result_str(self, analyzer):
+        policy = ReachabilityPolicy("p11", flow("10.1.1.100", "10.2.2.100"))
+        assert "HOLDS" in str(policy.check(analyzer))

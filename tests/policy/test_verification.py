@@ -1,0 +1,70 @@
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.net.flow import Flow
+from repro.policy.model import IsolationPolicy, ReachabilityPolicy
+from repro.policy.verification import PolicyVerifier
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture
+def network():
+    return square_network()
+
+
+@pytest.fixture
+def policies():
+    return [
+        ReachabilityPolicy("reach:h1->h2", Flow.make("10.1.1.100", "10.2.2.100", "icmp")),
+        ReachabilityPolicy("reach:h1->h3", Flow.make("10.1.1.100", "10.3.3.100", "icmp")),
+        IsolationPolicy("isolate:h2->h3", Flow.make("10.2.2.100", "10.3.3.100", "icmp")),
+    ]
+
+
+class TestPolicyVerifier:
+    def test_all_hold_on_healthy_network(self, network, policies):
+        report = PolicyVerifier(policies).verify_network(network)
+        assert report.holds
+        assert report.checked_count == 3
+        assert report.violation_count == 0
+
+    def test_interface_down_violates_reachability(self, network, policies):
+        network.config("r3").interface("Gi0/2").shutdown = True
+        report = PolicyVerifier(policies).verify_network(network)
+        assert not report.holds
+        violated = {r.policy.policy_id for r in report.violations}
+        assert "reach:h1->h3" in violated
+        # Isolation even "holds harder" with the interface down.
+        assert "isolate:h2->h3" not in violated
+
+    def test_acl_removal_violates_isolation(self, network, policies):
+        del network.config("r3").acls["PROTECT_H3"]
+        network.config("r3").interface("Gi0/2").access_group_out = None
+        report = PolicyVerifier(policies).verify_network(network)
+        violated = {r.policy.policy_id for r in report.violations}
+        assert violated == {"isolate:h2->h3"}
+
+    def test_verify_dataplane_equivalent(self, network, policies):
+        verifier = PolicyVerifier(policies)
+        via_network = verifier.verify_network(network)
+        via_dataplane = verifier.verify_dataplane(build_dataplane(network))
+        assert [r.holds for r in via_network.results] == [
+            r.holds for r in via_dataplane.results
+        ]
+
+    def test_summary(self, network, policies):
+        report = PolicyVerifier(policies).verify_network(network)
+        assert report.summary() == "3/3 policies hold"
+
+    def test_len(self, policies):
+        assert len(PolicyVerifier(policies)) == 3
+
+
+class TestReportAccessors:
+    def test_violated_policies(self, network, policies):
+        network.config("r3").interface("Gi0/2").shutdown = True
+        report = PolicyVerifier(policies).verify_network(network)
+        assert all(
+            p.policy_id.startswith("reach") for p in report.violated_policies()
+        )

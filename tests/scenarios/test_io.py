@@ -1,0 +1,118 @@
+"""Snapshot-directory save/load round-trips."""
+
+import json
+
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.dataplane.reachability import ReachabilityAnalyzer
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.io import load_network, save_network
+from repro.util.errors import ReproError
+
+from tests.fixtures import square_network, switched_lan
+
+
+@pytest.mark.parametrize("builder", [
+    square_network, switched_lan, build_enterprise_network,
+])
+class TestRoundTrip:
+    def test_configs_identical(self, builder, tmp_path):
+        network = builder()
+        save_network(network, tmp_path / "snap")
+        loaded = load_network(tmp_path / "snap")
+        assert loaded.configs == network.configs
+
+    def test_topology_identical(self, builder, tmp_path):
+        network = builder()
+        save_network(network, tmp_path / "snap")
+        loaded = load_network(tmp_path / "snap")
+        assert set(loaded.topology.device_names()) == set(
+            network.topology.device_names()
+        )
+        original_links = {
+            frozenset((str(l.a), str(l.b))) for l in network.topology.links()
+        }
+        loaded_links = {
+            frozenset((str(l.a), str(l.b))) for l in loaded.topology.links()
+        }
+        assert loaded_links == original_links
+
+    def test_behaviour_identical(self, builder, tmp_path):
+        network = builder()
+        save_network(network, tmp_path / "snap")
+        loaded = load_network(tmp_path / "snap")
+        original = ReachabilityAnalyzer(
+            build_dataplane(network)
+        ).reachability_matrix()
+        reloaded = ReachabilityAnalyzer(
+            build_dataplane(loaded)
+        ).reachability_matrix()
+        assert original == reloaded
+
+
+class TestSnapshotLayout:
+    def test_files_on_disk(self, tmp_path):
+        save_network(square_network(), tmp_path / "snap")
+        assert (tmp_path / "snap" / "topology.json").exists()
+        assert (tmp_path / "snap" / "configs" / "r1.cfg").exists()
+        text = (tmp_path / "snap" / "configs" / "r1.cfg").read_text()
+        assert "hostname r1" in text
+
+    def test_editing_a_config_changes_the_network(self, tmp_path):
+        save_network(square_network(), tmp_path / "snap")
+        cfg_path = tmp_path / "snap" / "configs" / "r1.cfg"
+        cfg_path.write_text(
+            cfg_path.read_text().replace(" no shutdown", " shutdown", 1)
+        )
+        loaded = load_network(tmp_path / "snap")
+        assert any(
+            iface.shutdown
+            for iface in loaded.config("r1").interfaces.values()
+        )
+
+
+class TestErrors:
+    def test_missing_topology(self, tmp_path):
+        with pytest.raises(ReproError, match="topology.json"):
+            load_network(tmp_path)
+
+    def test_bad_json(self, tmp_path):
+        (tmp_path / "topology.json").write_text("{nope")
+        with pytest.raises(ReproError, match="bad topology"):
+            load_network(tmp_path)
+
+    def test_unknown_kind(self, tmp_path):
+        (tmp_path / "topology.json").write_text(json.dumps({
+            "name": "x",
+            "devices": [{"name": "d1", "kind": "quantum-router"}],
+            "links": [],
+        }))
+        with pytest.raises(ReproError, match="unknown device kind"):
+            load_network(tmp_path)
+
+    def test_missing_config_file(self, tmp_path):
+        (tmp_path / "topology.json").write_text(json.dumps({
+            "name": "x",
+            "devices": [{"name": "d1", "kind": "router"}],
+            "links": [],
+        }))
+        (tmp_path / "configs").mkdir()
+        with pytest.raises(ReproError, match="missing config"):
+            load_network(tmp_path)
+
+
+class TestShippedSnapshots:
+    """The repo ships both evaluation networks as editable snapshots."""
+
+    @pytest.mark.parametrize("name,builder", [
+        ("enterprise", build_enterprise_network),
+    ])
+    def test_shipped_snapshot_matches_builder(self, name, builder):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2] / "configs" / name
+        if not root.exists():
+            pytest.skip("snapshot directory not present")
+        loaded = load_network(root)
+        assert loaded.configs == builder().configs

@@ -1,0 +1,129 @@
+"""Issue library tests: injection, manifestation, and fixability."""
+
+import pytest
+
+from repro.emulation.network import EmulatedNetwork
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import interface_down_issues, standard_issues
+from repro.scenarios.university import build_university_network
+from repro.util.errors import ReproError
+
+
+@pytest.mark.parametrize("network_name,builder", [
+    ("enterprise", build_enterprise_network),
+    ("university", build_university_network),
+])
+class TestStandardIssues:
+    def test_three_issue_classes(self, network_name, builder):
+        issues = standard_issues(network_name)
+        assert set(issues) == {"ospf", "isp", "vlan"}
+
+    def test_healthy_network_resolved(self, network_name, builder):
+        network = builder()
+        for issue in standard_issues(network_name).values():
+            assert issue.is_resolved(network), issue.issue_id
+
+    def test_injection_breaks_ticket_flow(self, network_name, builder):
+        for issue in standard_issues(network_name).values():
+            network = builder()
+            issue.inject(network)
+            assert issue.is_broken(network), issue.issue_id
+
+    def test_prepared_fix_script_repairs(self, network_name, builder):
+        """Replaying the fix script on a direct console resolves each issue."""
+        for issue in standard_issues(network_name).values():
+            network = builder()
+            issue.inject(network)
+            emnet = EmulatedNetwork.attached(network)
+            for step in issue.fix_script:
+                console = emnet.console(step.device)
+                for command in step.commands:
+                    result = console.execute(command)
+                    assert result.ok, (issue.issue_id, command, result.error)
+            assert issue.is_resolved(network), issue.issue_id
+
+    def test_root_cause_device_exists(self, network_name, builder):
+        network = builder()
+        for issue in standard_issues(network_name).values():
+            assert network.topology.has_device(issue.root_cause_device)
+
+    def test_complexities_span_the_range(self, network_name, builder):
+        issues = standard_issues(network_name)
+        assert issues["isp"].complexity == "simple"
+        assert issues["vlan"].complexity == "complex"
+
+    def test_fix_command_counts_track_complexity(self, network_name, builder):
+        issues = standard_issues(network_name)
+
+        def count(issue):
+            return sum(len(step.commands) for step in issue.fix_script)
+
+        assert count(issues["isp"]) < count(issues["vlan"])
+
+
+class TestIssueObject:
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ReproError):
+            standard_issues("datacenter")
+
+    def test_issue_without_injection_rejects_inject(self):
+        from repro.scenarios.issues import Issue
+
+        bare = Issue(
+            issue_id="x", title="t", description="d",
+            src_host="h1", dst_host="h2",
+            root_cause_device="r1", complexity="simple",
+        )
+        with pytest.raises(ReproError):
+            bare.inject(build_enterprise_network())
+
+    def test_affected_devices(self):
+        issue = standard_issues("enterprise")["ospf"]
+        assert issue.affected_devices == ("app1", "db1")
+
+
+class TestInterfaceDownSweep:
+    @pytest.fixture(scope="class")
+    def issues(self):
+        return interface_down_issues(build_enterprise_network())
+
+    def test_every_issue_manifests(self, issues):
+        for issue in issues:
+            network = build_enterprise_network()
+            issue.inject(network)
+            assert issue.is_broken(network), issue.issue_id
+
+    def test_fix_script_is_no_shutdown(self, issues):
+        for issue in issues:
+            commands = issue.fix_script[0].commands
+            assert "no shutdown" in commands
+
+    def test_fix_resolves(self, issues):
+        issue = issues[0]
+        network = build_enterprise_network()
+        issue.inject(network)
+        emnet = EmulatedNetwork.attached(network)
+        console = emnet.console(issue.fix_script[0].device)
+        for command in issue.fix_script[0].commands:
+            assert console.execute(command).ok
+        assert issue.is_resolved(network)
+
+    def test_redundant_interfaces_skipped(self):
+        # The university core is redundant: parallel links produce no ticket.
+        network = build_university_network()
+        issues = interface_down_issues(network, devices=["core1"])
+        tickets = {issue.issue_id for issue in issues}
+        # core1 has many interfaces; far fewer break a host pair.
+        core1_ifaces = len(network.config("core1").interfaces)
+        assert len(tickets) < core1_ifaces
+
+    def test_device_filter(self):
+        network = build_enterprise_network()
+        issues = interface_down_issues(network, devices=["gw"])
+        assert issues
+        assert all(i.root_cause_device == "gw" for i in issues)
+
+    def test_deterministic(self):
+        a = [i.issue_id for i in interface_down_issues(build_enterprise_network())]
+        b = [i.issue_id for i in interface_down_issues(build_enterprise_network())]
+        assert a == b

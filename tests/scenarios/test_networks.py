@@ -1,0 +1,133 @@
+"""Scenario network tests: Table 1 shape and internal consistency."""
+
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.dataplane.reachability import ReachabilityAnalyzer, service_flow
+from repro.policy.mining import mine_policies
+from repro.policy.verification import PolicyVerifier
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.university import build_university_network
+
+
+@pytest.fixture(scope="module")
+def enterprise():
+    return build_enterprise_network()
+
+
+@pytest.fixture(scope="module")
+def university():
+    return build_university_network()
+
+
+class TestTable1Shape:
+    def test_enterprise_counts(self, enterprise):
+        summary = enterprise.summary()
+        assert summary["routers"] == 9  # paper: 9
+        assert summary["hosts"] == 9  # paper: 9
+        assert summary["links"] == 22  # paper: 22
+
+    def test_university_counts(self, university):
+        summary = university.summary()
+        assert summary["routers"] == 13  # paper: 13
+        assert summary["hosts"] == 17  # paper: 17
+        assert summary["links"] == 92  # paper: 92
+
+    def test_university_configs_larger_than_enterprise(
+        self, enterprise, university
+    ):
+        # Paper: 1394 vs 2146 lines.
+        assert (
+            university.total_config_lines() > enterprise.total_config_lines()
+        )
+
+    def test_university_more_policies_than_enterprise(
+        self, enterprise, university
+    ):
+        # Paper: 21 vs 175 policies.
+        assert len(mine_policies(university)) > len(mine_policies(enterprise))
+
+
+class TestEnterpriseBehaviour:
+    @pytest.fixture(scope="class")
+    def analyzer(self, enterprise):
+        return ReachabilityAnalyzer(build_dataplane(enterprise))
+
+    def test_staff_reaches_internal_servers(self, analyzer):
+        assert analyzer.hosts_reachable("pc1", "web1")
+        assert analyzer.hosts_reachable("pc1", "printer1")
+
+    def test_external_blocked_from_interior(self, analyzer):
+        assert not analyzer.hosts_reachable("ext1", "pc1")
+        assert not analyzer.hosts_reachable("ext1", "db1")
+
+    def test_external_reaches_dmz_web_only(self, analyzer, enterprise):
+        web = service_flow(enterprise, "ext1", "web1", 80)
+        assert analyzer.reachable(web, start_device="ext1")
+        ssh = service_flow(enterprise, "ext1", "web1", 22)
+        assert not analyzer.reachable(ssh, start_device="ext1")
+
+    def test_database_protected(self, analyzer, enterprise):
+        assert not analyzer.hosts_reachable("pc1", "db1")
+        app_db = service_flow(enterprise, "app1", "db1", 5432)
+        assert analyzer.reachable(app_db, start_device="app1")
+
+    def test_internal_reaches_outside(self, analyzer):
+        assert analyzer.hosts_reachable("pc1", "ext1")
+
+    def test_vlan_separation_via_gateway(self, analyzer):
+        # pc1 (VLAN 10) and app1 (VLAN 20) talk through dept1, not at L2.
+        trace = analyzer.trace(
+            __import__("repro.net.flow", fromlist=["Flow"]).Flow.make(
+                "10.5.10.100", "10.5.20.100", "icmp"
+            ),
+            start_device="pc1",
+        )
+        assert trace.success
+        assert "dept1" in trace.path()
+
+
+class TestUniversityBehaviour:
+    @pytest.fixture(scope="class")
+    def analyzer(self, university):
+        return ReachabilityAnalyzer(build_dataplane(university))
+
+    def test_cs_reaches_servers_and_outside(self, analyzer):
+        assert analyzer.hosts_reachable("cs-pc1", "www")
+        assert analyzer.hosts_reachable("cs-pc1", "ext1")
+
+    def test_outside_reaches_public_services_only(self, analyzer, university):
+        web = service_flow(university, "ext1", "www", 80)
+        assert analyzer.reachable(web, start_device="ext1")
+        assert not analyzer.hosts_reachable("ext1", "cs-pc1")
+        assert not analyzer.hosts_reachable("ext1", "db-reg")
+
+    def test_registrar_database_protected(self, analyzer, university):
+        assert not analyzer.hosts_reachable("dorm-pc1", "db-reg")
+        assert not analyzer.hosts_reachable("ee-pc1", "db-reg")
+        lib_db = service_flow(university, "lib-pc1", "db-reg", 5432)
+        assert analyzer.reachable(lib_db, start_device="lib-pc1")
+
+    def test_dorms_isolated_from_departments(self, analyzer):
+        assert not analyzer.hosts_reachable("dorm-pc1", "cs-pc1")
+        assert not analyzer.hosts_reachable("dorm-pc1", "hpc1")
+        # ... but may browse the public servers.
+        assert analyzer.hosts_reachable("dorm-pc1", "www")
+
+    def test_hpc_ssh_only_from_cs(self, analyzer, university):
+        cs_ssh = service_flow(university, "cs-pc1", "hpc1", 22)
+        assert analyzer.reachable(cs_ssh, start_device="cs-pc1")
+        ee_ssh = service_flow(university, "ee-pc1", "hpc1", 22)
+        assert not analyzer.reachable(ee_ssh, start_device="ee-pc1")
+
+    def test_redundancy_survives_single_core_loss(self, university):
+        broken = university.copy()
+        for iface in broken.config("core1").interfaces.values():
+            iface.shutdown = True
+        analyzer = ReachabilityAnalyzer(build_dataplane(broken))
+        assert analyzer.hosts_reachable("cs-pc1", "www")
+        assert analyzer.hosts_reachable("lib-pc1", "ext1")
+
+    def test_mined_policies_hold(self, university):
+        policies = mine_policies(university)
+        assert PolicyVerifier(policies).verify_network(university).holds

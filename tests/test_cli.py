@@ -1,0 +1,94 @@
+"""CLI tests (python -m repro ...)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestShow:
+    def test_enterprise_summary(self):
+        code, text = run("show", "--network", "enterprise")
+        assert code == 0
+        assert "routers: 9" in text
+        assert "links: 22" in text
+        assert "gw" in text
+
+    def test_unknown_network(self):
+        code, text = run("show", "--network", "atlantis")
+        assert code == 2
+        assert "error:" in text
+
+    def test_snapshot_directory_input(self, tmp_path):
+        code, _ = run("snapshot", "--network", "enterprise", str(tmp_path / "s"))
+        assert code == 0
+        code, text = run("show", "--network", str(tmp_path / "s"))
+        assert code == 0
+        assert "routers: 9" in text
+
+
+class TestPolicies:
+    def test_lists_policies(self):
+        code, text = run("policies", "--network", "enterprise")
+        assert code == 0
+        assert "policies mined" in text
+        assert "[reachability" in text
+        assert "[isolation" in text
+
+    def test_waypoints_flag(self):
+        code, text = run("policies", "--network", "enterprise", "--waypoints")
+        assert code == 0
+        assert "[waypoint" in text
+
+    def test_robust_flag_reduces_count(self):
+        _, base = run("policies", "--network", "enterprise")
+        _, robust = run("policies", "--network", "enterprise", "--robust")
+        base_count = int(base.split()[0])
+        robust_count = int(robust.split()[0])
+        assert robust_count < base_count
+
+
+class TestIssues:
+    def test_lists_three(self):
+        code, text = run("issues", "--network", "enterprise")
+        assert code == 0
+        for issue_id in ("ospf", "isp", "vlan"):
+            assert issue_id in text
+
+
+class TestResolve:
+    @pytest.mark.parametrize("workflow", ["current", "heimdall"])
+    def test_resolves_isp_issue(self, workflow):
+        code, text = run(
+            "resolve", "--network", "enterprise",
+            "--issue", "isp", "--workflow", workflow,
+        )
+        assert code == 0
+        assert "resolved: True" in text
+
+    def test_heimdall_reports_steps(self):
+        code, text = run("resolve", "--network", "enterprise", "--issue", "isp")
+        assert "twin setup" in text
+        assert "changes imported" in text
+
+    def test_unknown_issue(self):
+        code, text = run("resolve", "--network", "enterprise",
+                         "--issue", "gremlins")
+        assert code == 1
+        assert "unknown issue" in text
+
+
+class TestSnapshot:
+    def test_writes_directory(self, tmp_path):
+        target = tmp_path / "snap"
+        code, text = run("snapshot", "--network", "enterprise", str(target))
+        assert code == 0
+        assert (target / "topology.json").exists()
+        assert (target / "configs" / "gw.cfg").exists()

@@ -1,0 +1,77 @@
+import pytest
+
+from repro.util.clock import CostModel, SimulatedClock, StepTimer
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_breakdown_attributes_costs_per_step(self):
+        clock = SimulatedClock()
+        clock.advance(2.0, step="connect")
+        clock.advance(3.0, step="operate")
+        clock.advance(1.0, step="connect")
+        assert clock.breakdown() == {"connect": 3.0, "operate": 3.0}
+
+    def test_breakdown_preserves_first_charge_order(self):
+        clock = SimulatedClock()
+        clock.advance(1.0, step="b")
+        clock.advance(1.0, step="a")
+        clock.advance(1.0, step="b")
+        assert list(clock.breakdown()) == ["b", "a"]
+
+    def test_unattributed_advance_not_in_breakdown(self):
+        clock = SimulatedClock()
+        clock.advance(5.0)
+        assert clock.breakdown() == {}
+        assert clock.now == 5.0
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(5.0, step="x")
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.breakdown() == {}
+
+
+class TestStepTimer:
+    def test_charges_on_exit(self):
+        clock = SimulatedClock()
+        with StepTimer(clock, "connect", 2.0):
+            assert clock.now == 0.0
+        assert clock.now == 2.0
+        assert clock.breakdown() == {"connect": 2.0}
+
+    def test_charges_even_on_exception(self):
+        clock = SimulatedClock()
+        with pytest.raises(RuntimeError):
+            with StepTimer(clock, "operate", 1.0):
+                raise RuntimeError("boom")
+        assert clock.now == 1.0
+
+
+class TestCostModel:
+    def test_twin_boot_scales_with_node_count(self):
+        model = CostModel(twin_boot_base_s=4.0, twin_boot_per_node_s=1.0)
+        assert model.twin_boot_s(0) == 4.0
+        assert model.twin_boot_s(10) == 14.0
+
+    def test_verify_cost_matches_paper_calibration(self):
+        # Paper: ~25 seconds to check 175 constraints.
+        model = CostModel()
+        assert model.verify_s(175) == pytest.approx(25.0)
+
+    def test_verify_cost_linear(self):
+        model = CostModel()
+        assert model.verify_s(350) == pytest.approx(2 * model.verify_s(175))

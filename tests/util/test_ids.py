@@ -1,0 +1,25 @@
+from repro.util.ids import IdAllocator
+
+
+class TestIdAllocator:
+    def test_sequential_per_prefix(self):
+        ids = IdAllocator()
+        assert ids.allocate("TICKET") == "TICKET-0001"
+        assert ids.allocate("TICKET") == "TICKET-0002"
+
+    def test_prefixes_are_independent(self):
+        ids = IdAllocator()
+        ids.allocate("TICKET")
+        assert ids.allocate("AUDIT") == "AUDIT-0001"
+
+    def test_peek_does_not_advance(self):
+        ids = IdAllocator()
+        assert ids.peek("X") == "X-0001"
+        assert ids.peek("X") == "X-0001"
+        assert ids.allocate("X") == "X-0001"
+        assert ids.peek("X") == "X-0002"
+
+    def test_two_allocators_are_independent(self):
+        a, b = IdAllocator(), IdAllocator()
+        a.allocate("T")
+        assert b.allocate("T") == "T-0001"
