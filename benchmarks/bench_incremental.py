@@ -1,0 +1,98 @@
+"""Perf suite: cold vs cached vs incremental compile-and-verify.
+
+Times the three tiers of the compile pipeline introduced with the snapshot
+cache (cold full compile, fingerprint cache hit, incremental rebuild
+against a baseline) and the enforcer's full ``verify`` in its cold and
+incremental configurations on both scenario networks. Run with::
+
+    pytest benchmarks/bench_incremental.py --benchmark-only -s
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.control.builder import build_dataplane
+from repro.control.cache import (
+    clear_dataplane_cache,
+    dataplane_cache,
+    snapshot_fingerprint,
+)
+from repro.core.enforcer.verifier import ChangeVerifier
+from repro.experiments.bench_dataplane import run_benchmarks, ticket_workload
+from repro.scenarios.issues import standard_issues
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_dataplane_cache()
+    yield
+    clear_dataplane_cache()
+
+
+def test_compile_cold(benchmark, university):
+    benchmark(lambda: build_dataplane(university, use_cache=False))
+
+
+def test_compile_cached(benchmark, university):
+    build_dataplane(university)
+    benchmark(lambda: build_dataplane(university))
+
+
+def test_compile_incremental(benchmark, university):
+    baseline = build_dataplane(university)
+    issue = standard_issues("university")["ospf"]
+    broken = university.copy()
+    issue.inject(broken)
+    broken_fp = snapshot_fingerprint(broken)[0]
+
+    def run():
+        dataplane_cache().discard(broken_fp)
+        build_dataplane(
+            broken, baseline=baseline,
+            changed_devices={issue.root_cause_device},
+        )
+
+    benchmark(run)
+
+
+def test_verify_cold(benchmark, university, university_policies):
+    issue = standard_issues("university")["ospf"]
+    production, changes = ticket_workload(university, issue)
+    verifier = ChangeVerifier(university_policies, incremental=False)
+    benchmark(lambda: verifier.verify(production, changes))
+
+
+def test_verify_incremental(benchmark, university, university_policies):
+    issue = standard_issues("university")["ospf"]
+    production, changes = ticket_workload(university, issue)
+    verifier = ChangeVerifier(university_policies)
+    candidate_fp = snapshot_fingerprint(
+        verifier.simulate(production, changes)
+    )[0]
+    verifier.verify(production, changes)  # steady state: production warm
+
+    def run():
+        dataplane_cache().discard(candidate_fp)
+        verifier.verify(production, changes)
+
+    benchmark(run)
+
+
+def test_full_report():
+    """One-shot report table (the same numbers ``run_bench.py`` persists)."""
+    report = run_benchmarks(repeats=3)
+    rows = []
+    for name, network_rows in report["networks"].items():
+        for issue_id, verify in network_rows["verify"].items():
+            rows.append(
+                (name, issue_id, f"{verify['cold_ms']:.1f}ms",
+                 f"{verify['incremental_ms']:.1f}ms",
+                 f"{verify['speedup']:.1f}x")
+            )
+    print_table(
+        "Verifier.verify: cold vs incremental",
+        ("network", "issue", "cold", "incremental", "speedup"),
+        rows,
+    )
+    gate = report["acceptance"]
+    assert gate["university_single_device_verify_speedup"] >= gate["target"]

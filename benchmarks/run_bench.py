@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Run the data-plane perf suite and write ``BENCH_dataplane.json``.
+
+Equivalent to ``python -m repro.cli bench``; kept as a standalone script so
+the perf baseline can be regenerated without remembering CLI flags::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_dataplane.json]
+"""
+
+import argparse
+import sys
+
+from repro.experiments.bench_dataplane import (
+    DEFAULT_REPEATS,
+    NETWORKS,
+    run_benchmarks,
+    write_report,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--network", action="append", choices=sorted(NETWORKS),
+        help="benchmark only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("-o", "--output", default="BENCH_dataplane.json")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(networks=args.network, repeats=args.repeats)
+    write_report(report, args.output)
+
+    for name, rows in report["networks"].items():
+        compile_ms = rows["compile"]
+        print(
+            f"{name}: compile cold {compile_ms['cold_ms']}ms / cached "
+            f"{compile_ms['cached_ms']}ms / incremental "
+            f"{compile_ms['incremental_ms']}ms"
+        )
+        for issue_id, verify in rows["verify"].items():
+            print(
+                f"  verify[{issue_id}]: cold {verify['cold_ms']}ms -> "
+                f"incremental {verify['incremental_ms']}ms "
+                f"({verify['speedup']}x)"
+            )
+    if "acceptance" in report:
+        gate = report["acceptance"]
+        print(
+            f"acceptance: university verify speedup "
+            f"{gate['university_single_device_verify_speedup']}x "
+            f"(target {gate['target']}x)"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,8 @@ Commands:
 * ``issues``    — list the reproducible issues for a scenario network;
 * ``resolve``   — inject an issue and resolve it via a workflow;
 * ``snapshot``  — dump a network to an editable snapshot directory;
-* ``report``    — regenerate the full paper-vs-measured markdown report.
+* ``report``    — regenerate the full paper-vs-measured markdown report;
+* ``bench``     — run the data-plane perf suite, write ``BENCH_dataplane.json``.
 
 ``--network`` accepts a scenario name (``enterprise`` / ``university``) or
 a path to a snapshot directory written by ``snapshot`` /
@@ -133,6 +134,29 @@ def cmd_snapshot(args, out):
     return 0
 
 
+def cmd_bench(args, out):
+    from repro.experiments.bench_dataplane import run_benchmarks, write_report
+
+    report = run_benchmarks(networks=args.networks, repeats=args.repeats)
+    write_report(report, args.output)
+    for name, rows in report["networks"].items():
+        for issue_id, verify in rows["verify"].items():
+            out.write(
+                f"{name}/{issue_id}: cold {verify['cold_ms']}ms -> "
+                f"incremental {verify['incremental_ms']}ms "
+                f"({verify['speedup']}x)\n"
+            )
+    if "acceptance" in report:
+        gate = report["acceptance"]
+        out.write(
+            f"university verify speedup: "
+            f"{gate['university_single_device_verify_speedup']}x "
+            f"(target {gate['target']}x)\n"
+        )
+    out.write(f"benchmark report written to {args.output}\n")
+    return 0
+
+
 def cmd_report(args, out):
     from repro.experiments.report import render_report
 
@@ -187,6 +211,18 @@ def build_parser():
     report = sub.add_parser("report", help="full reproduction report")
     report.add_argument("-o", "--output", default=None)
     report.set_defaults(func=cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="data-plane perf suite (writes BENCH_dataplane.json)"
+    )
+    bench.add_argument(
+        "--network", action="append", dest="networks",
+        choices=("enterprise", "university"),
+        help="benchmark only this scenario (repeatable; default: all)",
+    )
+    bench.add_argument("--repeats", type=int, default=7)
+    bench.add_argument("-o", "--output", default="BENCH_dataplane.json")
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -113,8 +113,16 @@ def _bgp_neighbor(config, change):
     if change.new is None:
         if change.old in config.bgp.neighbors:
             config.bgp.neighbors.remove(change.old)
-    elif change.new not in config.bgp.neighbors:
+    else:
+        # Unconditional append: the differ emits multiset-accurate changes,
+        # so duplicates in the target must keep their multiplicity.
         config.bgp.neighbors.append(change.new)
+
+
+def _bgp_neighbors_reordered(config, change):
+    if config.bgp is None:
+        raise ConfigError("no BGP process to change")
+    config.bgp.neighbors = list(change.new)
 
 
 def _bgp_network(config, change):
@@ -123,16 +131,26 @@ def _bgp_network(config, change):
     if change.new is None:
         if change.old in config.bgp.networks:
             config.bgp.networks.remove(change.old)
-    elif change.new not in config.bgp.networks:
+    else:
         config.bgp.networks.append(change.new)
+
+
+def _bgp_networks_reordered(config, change):
+    if config.bgp is None:
+        raise ConfigError("no BGP process to change")
+    config.bgp.networks = list(change.new)
 
 
 def _static_route(config, change):
     if change.new is None:
         if change.old in config.static_routes:
             config.static_routes.remove(change.old)
-    elif change.new not in config.static_routes:
+    else:
         config.static_routes.append(change.new)
+
+
+def _static_routes_reordered(config, change):
+    config.static_routes = list(change.new)
 
 
 def _acl_added(config, change):
@@ -188,8 +206,11 @@ _HANDLERS = {
     "ospf.reference_bandwidth": _ospf_reference_bandwidth,
     "bgp.process": _bgp_process,
     "bgp.neighbor": _bgp_neighbor,
+    "bgp.neighbors_reordered": _bgp_neighbors_reordered,
     "bgp.network": _bgp_network,
+    "bgp.networks_reordered": _bgp_networks_reordered,
     "static_route": _static_route,
+    "static_routes_reordered": _static_routes_reordered,
     "acl.added": _acl_added,
     "acl.removed": _acl_removed,
     "acl.entry_added": _acl_entry_added,

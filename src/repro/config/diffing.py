@@ -35,11 +35,14 @@ _KIND_TABLE = {
     "ospf.networks_reordered": ("routing", "config.ospf.network"),
     "bgp.process": ("routing", "config.bgp.process"),
     "bgp.neighbor": ("routing", "config.bgp.neighbor"),
+    "bgp.neighbors_reordered": ("routing", "config.bgp.neighbor"),
     "bgp.network": ("routing", "config.bgp.network"),
+    "bgp.networks_reordered": ("routing", "config.bgp.network"),
     "ospf.passive_interface": ("routing", "config.ospf.passive"),
     "ospf.default_information": ("routing", "config.ospf.default_information"),
     "ospf.reference_bandwidth": ("routing", "config.ospf.cost"),
     "static_route": ("routing", "config.static_route"),
+    "static_routes_reordered": ("routing", "config.static_route"),
     "acl.added": ("acl", "config.acl.entry"),
     "acl.removed": ("acl", "config.acl.entry"),
     "acl.entry_added": ("acl", "config.acl.entry"),
@@ -252,33 +255,60 @@ def _diff_bgp(changes, device, old_bgp, new_bgp):
                 ConfigChange(device, "bgp.process", old=old_bgp, new=new_bgp)
             )
         return
-    old_neighbors, new_neighbors = set(old_bgp.neighbors), set(new_bgp.neighbors)
-    for neighbor in sorted(old_neighbors - new_neighbors, key=str):
+    # Neighbor/network order matters for faithful replay (and duplicates must
+    # keep their multiplicity), so diff like ACL entries: multiset add/remove
+    # plus an authoritative reorder when replay order would differ.
+    removed, added = _multiset_diff(old_bgp.neighbors, new_bgp.neighbors)
+    for neighbor in removed:
         changes.append(
             ConfigChange(device, "bgp.neighbor", str(neighbor.address),
                          old=neighbor)
         )
-    for neighbor in sorted(new_neighbors - old_neighbors, key=str):
+    for neighbor in added:
         changes.append(
             ConfigChange(device, "bgp.neighbor", str(neighbor.address),
                          new=neighbor)
         )
-    old_nets, new_nets = set(old_bgp.networks), set(new_bgp.networks)
-    for prefix in sorted(old_nets - new_nets, key=str):
+    replayed = _without(old_bgp.neighbors, removed) + added
+    if replayed != new_bgp.neighbors:
+        changes.append(
+            ConfigChange(
+                device, "bgp.neighbors_reordered",
+                old=tuple(old_bgp.neighbors), new=tuple(new_bgp.neighbors),
+            )
+        )
+    removed, added = _multiset_diff(old_bgp.networks, new_bgp.networks)
+    for prefix in removed:
         changes.append(ConfigChange(device, "bgp.network", str(prefix), old=prefix))
-    for prefix in sorted(new_nets - old_nets, key=str):
+    for prefix in added:
         changes.append(ConfigChange(device, "bgp.network", str(prefix), new=prefix))
+    replayed = _without(old_bgp.networks, removed) + added
+    if replayed != new_bgp.networks:
+        changes.append(
+            ConfigChange(
+                device, "bgp.networks_reordered",
+                old=tuple(old_bgp.networks), new=tuple(new_bgp.networks),
+            )
+        )
 
 
 def _diff_static_routes(changes, device, old, new):
-    old_routes, new_routes = set(old.static_routes), set(new.static_routes)
-    for route in sorted(old_routes - new_routes, key=str):
+    removed, added = _multiset_diff(old.static_routes, new.static_routes)
+    for route in removed:
         changes.append(
             ConfigChange(device, "static_route", str(route.prefix), old=route)
         )
-    for route in sorted(new_routes - old_routes, key=str):
+    for route in added:
         changes.append(
             ConfigChange(device, "static_route", str(route.prefix), new=route)
+        )
+    replayed = _without(old.static_routes, removed) + added
+    if replayed != new.static_routes:
+        changes.append(
+            ConfigChange(
+                device, "static_routes_reordered",
+                old=tuple(old.static_routes), new=tuple(new.static_routes),
+            )
         )
 
 

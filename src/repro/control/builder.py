@@ -12,11 +12,24 @@ Route sources, merged per IOS administrative distance:
 Hosts get their connected subnet plus a default route via their gateway
 (when the gateway is on-subnet). Switches forward at L2 only and get an
 empty FIB.
+
+Compilation is cached and incremental (see :mod:`repro.control.cache` and
+the "Performance architecture" section of DESIGN.md): every build is keyed
+by a content fingerprint of the snapshot, identical snapshots share one set
+of compiled artifacts, and a build given a ``baseline`` reuses the
+baseline's L2 segments, routing results, and per-device FIBs wherever the
+changed configs cannot have affected them.
 """
 
 import ipaddress
 
 from repro.control.bgp import compute_bgp_routes
+from repro.control.cache import (
+    CompiledDataplane,
+    dataplane_cache,
+    derived_fingerprint,
+    snapshot_fingerprint,
+)
 from repro.control.l2 import compute_segments
 from repro.control.ospf import compute_ospf_routes
 from repro.control.routes import Route, select_best_routes
@@ -26,28 +39,272 @@ from repro.dataplane.plane import DataPlane
 _DEFAULT = ipaddress.IPv4Network("0.0.0.0/0")
 
 
-def build_dataplane(network):
-    """Compute L2 segments, run routing, and install per-device FIBs."""
+def build_dataplane(network, baseline=None, changed_devices=None,
+                    use_cache=True, same_except=None):
+    """Compute L2 segments, run routing, and install per-device FIBs.
+
+    Keyword arguments:
+
+    ``baseline``
+        An already-compiled :class:`DataPlane` of a *semantically close*
+        snapshot over the same topology (e.g. production while compiling a
+        candidate). Artifacts whose inputs did not change between the
+        baseline and ``network`` are reused instead of recomputed: L2
+        segments when no changed device touched shutdown/addressing/
+        switchport state, the OSPF and BGP runs when no changed stanza is
+        routing-relevant, and each unchanged device's FIB object when its
+        route set provably cannot differ. The result is byte-identical to a
+        from-scratch build (property-tested in
+        ``tests/control/test_incremental.py``).
+
+    ``changed_devices``
+        Optional hint naming devices the caller knows it edited. The real
+        changed set is always *derived* from per-device config fingerprints
+        (so a wrong hint can cause extra recomputation, never a wrong data
+        plane); the hint is unioned in for devices whose edits the caller
+        wants treated as dirty regardless.
+
+    ``use_cache``
+        When true (default), the process-wide compile cache is consulted
+        first and populated after a miss. Two networks with equal content
+        hashes share one set of compiled artifacts; the returned plane is
+        always rebound to the *calling* network object.
+
+    ``same_except``
+        The caller's **assertion** that ``network`` is content-identical to
+        ``baseline``'s network outside this device set (same topology
+        included), letting fingerprinting re-hash only those devices
+        instead of re-serializing the whole snapshot. Unlike
+        ``changed_devices`` this is trusted, not verified — a false
+        assertion poisons the compile cache — so pass it only for networks
+        you derived from the baseline yourself (the enforcer's candidate
+        copies). Requires ``baseline``; implies those devices are dirty.
+    """
+    artifacts_in = getattr(baseline, "artifacts", None) if baseline else None
+    if same_except is not None and artifacts_in is not None:
+        fingerprint, topology_fp, device_fps = derived_fingerprint(
+            artifacts_in, network, same_except
+        )
+        if changed_devices is None:
+            changed_devices = same_except
+    else:
+        fingerprint, topology_fp, device_fps = snapshot_fingerprint(network)
+    cache = dataplane_cache() if use_cache else None
+    if cache is not None:
+        artifacts = cache.get(fingerprint)
+        if artifacts is not None:
+            return _plane(network, artifacts)
+    if baseline is not None:
+        artifacts = _incremental_compile(
+            network, fingerprint, topology_fp, device_fps, baseline,
+            changed_devices,
+        )
+    else:
+        artifacts = _full_compile(network, fingerprint, topology_fp, device_fps)
+    if cache is not None:
+        cache.put(fingerprint, artifacts)
+    return _plane(network, artifacts)
+
+
+def _plane(network, artifacts):
+    """Bind shared compile artifacts to the calling network."""
+    return DataPlane(
+        network, artifacts.segments, artifacts.fibs, artifacts.ospf,
+        bgp=artifacts.bgp, artifacts=artifacts,
+    )
+
+
+def _full_compile(network, fingerprint, topology_fp, device_fps):
     segments = compute_segments(network)
     ospf = compute_ospf_routes(network, segments)
     bgp = compute_bgp_routes(network, segments)
 
     fibs = {}
     for router in network.routers():
-        candidates = []
-        candidates.extend(_connected_routes(network.config(router)))
-        candidates.extend(_static_routes(network.config(router)))
-        candidates.extend(bgp.routes_by_device.get(router, []))
-        candidates.extend(ospf.routes_by_device.get(router, []))
-        fibs[router] = Fib(select_best_routes(candidates))
-
+        fibs[router] = _router_fib(network, router, ospf, bgp)
     for host in network.hosts():
         fibs[host] = Fib(_host_routes(network.config(host)))
-
     for switch in network.switches():
         fibs[switch] = Fib()
+    return CompiledDataplane(
+        fingerprint, topology_fp, device_fps, segments, fibs, ospf, bgp
+    )
 
-    return DataPlane(network, segments, fibs, ospf, bgp=bgp)
+
+def _router_fib(network, router, ospf, bgp):
+    candidates = []
+    candidates.extend(_connected_routes(network.config(router)))
+    candidates.extend(_static_routes(network.config(router)))
+    candidates.extend(bgp.routes_by_device.get(router, []))
+    candidates.extend(ospf.routes_by_device.get(router, []))
+    return Fib(select_best_routes(candidates))
+
+
+# -- incremental rebuild -------------------------------------------------------
+
+
+def _incremental_compile(network, fingerprint, topology_fp, device_fps,
+                         baseline, changed_hint):
+    """Recompile only what the changed configs can have affected.
+
+    Invalidation rules (each conservative — any doubt recomputes):
+
+    * **L2 segments** depend on interface up/down state, routed-ness, and
+      switchport configuration; a change to any of those on any changed
+      device recomputes the segment table, otherwise the baseline's is
+      shared as-is.
+    * **OSPF** depends on the segment table plus each router's OSPF process
+      and its interfaces' address/cost/shutdown state. Both OSPF and BGP
+      consume the segment table *only* through ``same_segment`` queries on
+      router endpoint pairs, so a recomputed segment table that left the
+      router-endpoint partition intact (e.g. a host moved between VLANs)
+      does not invalidate either protocol run.
+    * **BGP** additionally depends on static routes (the "network must be in
+      the RIB" origination rule) and on address ownership anywhere in the
+      network (session discovery resolves neighbor addresses globally), so
+      any address/shutdown edit recomputes it — but only when BGP speakers
+      exist at all.
+    * **FIBs** are rebuilt for changed devices, and for unchanged routers
+      only when a recomputed protocol run actually produced different routes
+      for them; every other device shares the baseline's Fib object (which
+      downstream differential analysis exploits via identity checks).
+    """
+    artifacts = getattr(baseline, "artifacts", None)
+    if (
+        artifacts is None
+        or artifacts.topology_fingerprint != topology_fp
+        or set(artifacts.device_fingerprints) != set(device_fps)
+    ):
+        return _full_compile(network, fingerprint, topology_fp, device_fps)
+
+    base_fps = artifacts.device_fingerprints
+    changed = {name for name, fp in device_fps.items() if base_fps[name] != fp}
+    if changed_hint is not None:
+        changed |= set(changed_hint) & set(device_fps)
+    if not changed:
+        return artifacts  # identical snapshot: share everything
+
+    base_network = baseline.network
+    old_new = {d: (base_network.config(d), network.config(d)) for d in changed}
+
+    l2_dirty = any(_l2_relevant_diff(old, new) for old, new in old_new.values())
+    segments = compute_segments(network) if l2_dirty else artifacts.segments
+
+    routers = network.routers()
+    router_set = set(routers)
+    # The protocols see segments only via same_segment on router endpoints,
+    # so a rewired host-only broadcast domain leaves both runs valid.
+    routing_l2_dirty = l2_dirty and (
+        _router_partition(segments, router_set)
+        != _router_partition(artifacts.segments, router_set)
+    )
+    ospf_dirty = routing_l2_dirty or any(
+        device in router_set and _ospf_relevant_diff(old, new)
+        for device, (old, new) in old_new.items()
+    )
+    ospf = compute_ospf_routes(network, segments) if ospf_dirty else artifacts.ospf
+
+    has_bgp = any(
+        network.config(r).bgp is not None or base_network.config(r).bgp is not None
+        for r in routers
+    )
+    bgp_dirty = has_bgp and (
+        routing_l2_dirty
+        or any(_bgp_relevant_diff(old, new) for old, new in old_new.values())
+    )
+    bgp = compute_bgp_routes(network, segments) if bgp_dirty else artifacts.bgp
+
+    protocols_dirty = ospf_dirty or bgp_dirty
+    fibs = {}
+    for router in routers:
+        if router not in changed and (
+            not protocols_dirty
+            or (
+                ospf.routes_by_device.get(router, [])
+                == artifacts.ospf.routes_by_device.get(router, [])
+                and bgp.routes_by_device.get(router, [])
+                == artifacts.bgp.routes_by_device.get(router, [])
+            )
+        ):
+            fibs[router] = artifacts.fibs[router]
+        else:
+            fibs[router] = _router_fib(network, router, ospf, bgp)
+    for host in network.hosts():
+        if host in changed:
+            fibs[host] = Fib(_host_routes(network.config(host)))
+        else:
+            fibs[host] = artifacts.fibs[host]
+    for switch in network.switches():
+        fibs[switch] = artifacts.fibs[switch]  # always empty at L3
+
+    return CompiledDataplane(
+        fingerprint, topology_fp, device_fps, segments, fibs, ospf, bgp
+    )
+
+
+def _router_partition(segments, router_set):
+    """Each router endpoint mapped to the router endpoints in its segment.
+
+    Two segment tables with equal partitions answer every
+    ``same_segment(router_endpoint, router_endpoint)`` query identically,
+    which is the only way OSPF adjacency discovery and BGP session
+    discovery consume the table.
+    """
+    partition = {}
+    for segment in segments:
+        members = frozenset(
+            endpoint for endpoint in segment.endpoints
+            if endpoint[0] in router_set
+        )
+        for endpoint in members:
+            partition[endpoint] = members
+    return partition
+
+
+def _l2_relevant_diff(old, new):
+    """Whether two configs differ in anything the segment computation reads."""
+
+    def view(config):
+        return {
+            name: (
+                iface.shutdown, iface.is_routed, iface.switchport_mode,
+                iface.access_vlan, iface.trunk_vlans,
+            )
+            for name, iface in config.interfaces.items()
+        }
+
+    return view(old) != view(new)
+
+
+def _ospf_relevant_diff(old, new):
+    """Whether two configs differ in anything the OSPF run reads."""
+    if old.ospf != new.ospf:
+        return True
+
+    def view(config):
+        return {
+            name: (iface.address, iface.shutdown, iface.ospf_cost)
+            for name, iface in config.interfaces.items()
+        }
+
+    return view(old) != view(new)
+
+
+def _bgp_relevant_diff(old, new):
+    """Whether two configs differ in anything the BGP run reads."""
+    if old.bgp != new.bgp or old.static_routes != new.static_routes:
+        return True
+
+    def view(config):
+        return {
+            name: (iface.address, iface.shutdown)
+            for name, iface in config.interfaces.items()
+        }
+
+    return view(old) != view(new)
+
+
+# -- route sources -------------------------------------------------------------
 
 
 def _connected_routes(config):

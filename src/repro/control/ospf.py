@@ -37,9 +37,18 @@ class OspfRouteComputation:
     neighbors: list = field(default_factory=list)
     routes_by_device: dict = field(default_factory=dict)
 
+    def __post_init__(self):
+        # Indexed once at construction — the computation result is a
+        # snapshot, and emulated "show ip ospf neighbor" hits this per call.
+        self._by_local_device = {}
+        for neighbor in self.neighbors:
+            self._by_local_device.setdefault(neighbor.local_device, []).append(
+                neighbor
+            )
+
     def neighbors_of(self, device):
         """Adjacencies where ``device`` is the local side."""
-        return [n for n in self.neighbors if n.local_device == device]
+        return list(self._by_local_device.get(device, ()))
 
 
 def _ospf_interfaces(config):
@@ -88,17 +97,26 @@ def _discover_adjacencies(network, segments, active):
     neighbors = []
     edges = []
     routers = sorted(active)
+    # Pre-filter passive interfaces and pre-resolve each candidate's subnet
+    # once: ``IPv4Interface.network`` constructs a fresh object per access,
+    # which the quadratic pairing below would otherwise pay repeatedly.
+    prepared = {}
+    for router in routers:
+        ospf = network.config(router).ospf
+        entries = []
+        for iface, area in active[router]:
+            if ospf.is_passive(iface.name):
+                continue
+            net = iface.address.network
+            entries.append(
+                (iface, area, (int(net.network_address), net.prefixlen))
+            )
+        prepared[router] = entries
     for i, u in enumerate(routers):
         for v in routers[i + 1:]:
-            for iface_u, area_u in active[u]:
-                if network.config(u).ospf.is_passive(iface_u.name):
-                    continue
-                for iface_v, area_v in active[v]:
-                    if network.config(v).ospf.is_passive(iface_v.name):
-                        continue
-                    if area_u != area_v:
-                        continue
-                    if iface_u.address.network != iface_v.address.network:
+            for iface_u, area_u, net_u in prepared[u]:
+                for iface_v, area_v, net_v in prepared[v]:
+                    if area_u != area_v or net_u != net_v:
                         continue
                     if not segments.same_segment(
                         (u, iface_u.name), (v, iface_v.name)
@@ -116,17 +134,23 @@ def _discover_adjacencies(network, segments, active):
 
 
 def _collect_advertisements(network, active):
-    """(prefix, advertiser, cost_at_advertiser) for every activated interface,
-    plus default-route originations."""
+    """(prefix, prefix_key, advertiser, cost_at_advertiser) for every
+    activated interface, plus default-route originations.
+
+    ``prefix_key`` is the cheap-to-hash ``(network_int, prefixlen)`` form
+    that :func:`_routes_for` uses for its per-prefix bookkeeping.
+    """
     advertisements = []
     for router, ifaces in active.items():
         for iface, _area in ifaces:
-            advertisements.append(
-                (iface.address.network, router, _interface_cost(iface))
-            )
+            net = iface.address.network
+            advertisements.append((
+                net, (int(net.network_address), net.prefixlen), router,
+                _interface_cost(iface),
+            ))
         ospf = network.config(router).ospf
         if ospf is not None and ospf.default_information_originate and ifaces:
-            advertisements.append((DEFAULT_PREFIX, router, 1))
+            advertisements.append((DEFAULT_PREFIX, (0, 0), router, 1))
     return advertisements
 
 
@@ -165,27 +189,33 @@ def _dijkstra(source, routers, edges):
 
 def _routes_for(network, router, dist, first_hop, advertisements):
     """OSPF routes installed on ``router``."""
-    local_prefixes = {
-        iface.address.network
-        for iface in network.config(router).routed_interfaces()
-        if not iface.shutdown
-    }
+    local_prefixes = set()
+    for iface in network.config(router).routed_interfaces():
+        if not iface.shutdown:
+            net = iface.address.network
+            local_prefixes.add((int(net.network_address), net.prefixlen))
+    # Rank candidates on (metric, str(next_hop)) — equivalent to
+    # Route.sort_key() since every OSPF route shares one admin distance —
+    # and only materialize the winners as Route objects.
     best = {}
-    for prefix, advertiser, advertiser_cost in advertisements:
-        if advertiser == router or prefix in local_prefixes:
+    for prefix, key, advertiser, advertiser_cost in advertisements:
+        if advertiser == router or key in local_prefixes:
             continue
         if advertiser not in dist or advertiser not in first_hop:
             continue
         metric = dist[advertiser] + advertiser_cost
         out_iface, remote_iface = first_hop[advertiser]
-        route = Route(
+        rank = (metric, str(remote_iface.address.ip))
+        current = best.get(key)
+        if current is None or rank < current[0]:
+            best[key] = (rank, prefix, metric, out_iface, remote_iface)
+    return [
+        Route(
             prefix=prefix,
             protocol="ospf",
             out_interface=out_iface.name,
             next_hop=remote_iface.address.ip,
             metric=metric,
         )
-        current = best.get(prefix)
-        if current is None or route.sort_key() < current.sort_key():
-            best[prefix] = route
-    return list(best.values())
+        for (_rank, prefix, metric, out_iface, remote_iface) in best.values()
+    ]

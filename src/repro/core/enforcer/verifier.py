@@ -7,13 +7,23 @@ and re-verifies the network policies. A change set is approved only when it
 introduces no privilege violation and no *new* policy violation (policies
 already broken in production — e.g. the ticket's own fault — don't block
 the fix that repairs them).
+
+Verification rides the incremental compile pipeline by default: the
+production plane comes from the process-wide compile cache (so repeated
+tickets against the same production snapshot compile it once and share its
+traces), the candidate plane is built incrementally against production
+reusing every artifact the change set cannot have touched, and cached
+production traces that provably avoid the changed devices are pre-seeded
+into the candidate so neither the policy sweep nor the impact analysis
+re-traces them. Pass ``incremental=False`` to force from-scratch compiles
+(the benchmarks use this as the cold baseline).
 """
 
 from dataclasses import dataclass, field
 
 from repro.config.apply import apply_changes
 from repro.control.builder import build_dataplane
-from repro.dataplane.differential import diff_reachability
+from repro.dataplane.differential import diff_reachability, seed_unaffected_traces
 from repro.policy.verification import PolicyVerifier
 
 
@@ -48,9 +58,11 @@ class EnforcementDecision:
 class ChangeVerifier:
     """Verifies change sets against a Privilege_msp and network policies."""
 
-    def __init__(self, policies, privilege_spec=None):
-        self.policy_verifier = PolicyVerifier(policies)
+    def __init__(self, policies, privilege_spec=None, incremental=True,
+                 max_workers=None):
+        self.policy_verifier = PolicyVerifier(policies, max_workers=max_workers)
         self.privilege_spec = privilege_spec
+        self.incremental = incremental
 
     @property
     def constraint_count(self):
@@ -87,7 +99,9 @@ class ChangeVerifier:
         decision = EnforcementDecision(changes=list(changes))
         decision.privilege_violations = self.check_privileges(changes)
 
-        production_dataplane = build_dataplane(production)
+        production_dataplane = build_dataplane(
+            production, use_cache=self.incremental
+        )
         baseline_report = self.policy_verifier.verify_dataplane(
             production_dataplane
         )
@@ -95,8 +109,22 @@ class ChangeVerifier:
             result.policy.policy_id for result in baseline_report.violations
         }
 
-        candidate = self.simulate(production, changes)
-        candidate_dataplane = build_dataplane(candidate)
+        if self.incremental:
+            # The change set is authoritative here (we build the candidate
+            # from it ourselves), so the copy can share unchanged config
+            # objects and fingerprinting can skip re-hashing them.
+            changed = {change.device for change in changes}
+            candidate = production.copy_except(changed)
+            apply_changes(candidate.configs, changes)
+            candidate_dataplane = build_dataplane(
+                candidate,
+                baseline=production_dataplane,
+                same_except=changed,
+            )
+            seed_unaffected_traces(production_dataplane, candidate_dataplane)
+        else:
+            candidate = self.simulate(production, changes)
+            candidate_dataplane = build_dataplane(candidate, use_cache=False)
         decision.candidate_report = self.policy_verifier.verify_dataplane(
             candidate_dataplane
         )

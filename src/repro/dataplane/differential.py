@@ -5,11 +5,20 @@ data-plane snapshots over a set of probe flows and report every flow whose
 fate changed. The policy enforcer attaches this to its decision so the
 customer sees a change set's *blast radius*, not just a policy verdict —
 including collateral effects on flows no policy happens to cover.
+
+When both snapshots came through the compile cache with shared artifacts
+(the enforcer's incremental path), the diff exploits locality: forwarding
+is a per-hop function of the visited devices' configs/FIBs and the
+traversed segments' endpoints, so a before-trace whose path avoids every
+config change and whose destination resolves to the same route at every
+hop is provably identical on the after plane and is reused instead of
+re-traced. See :func:`trace_unaffected` for the exact rule and
+:func:`changed_configs` for when the optimization is sound.
 """
 
 from dataclasses import dataclass, field
 
-from repro.dataplane.forwarding import trace_flow
+from repro.dataplane.reachability import ReachabilityAnalyzer
 from repro.net.flow import Flow
 
 
@@ -86,6 +95,7 @@ class ReachabilityDiff:
 def default_probe_flows(network, protocol="icmp"):
     """All ordered host-pair representative flows (the standard probe set)."""
     hosts = network.hosts()
+    addresses = {host: network.host_address(host) for host in hosts}
     flows = []
     for src in hosts:
         for dst in hosts:
@@ -93,12 +103,213 @@ def default_probe_flows(network, protocol="icmp"):
                 continue
             flows.append(
                 (src, Flow(
-                    src_ip=network.host_address(src),
-                    dst_ip=network.host_address(dst),
+                    src_ip=addresses[src],
+                    dst_ip=addresses[dst],
                     protocol=protocol,
                 ))
             )
     return flows
+
+
+def _forwarding_view(config):
+    """The slice of one config the forwarding walk actually reads.
+
+    :func:`~repro.dataplane.forwarding.trace_flow` consults a device's
+    config only through its ACLs (ingress/egress ``permits``), its interface
+    addresses (``owns_address`` delivery checks, next-hop resolution), and
+    interface liveness/routed-ness. Routing stanzas (OSPF/BGP processes,
+    static routes) influence forwarding exclusively through the compiled
+    FIBs, which :class:`TraceCarryover` compares separately per flow.
+    """
+    return (
+        {
+            name: (
+                iface.address, iface.shutdown, iface.is_routed,
+                iface.access_group_in, iface.access_group_out,
+            )
+            for name, iface in config.interfaces.items()
+        },
+        config.acls,
+    )
+
+
+def changed_configs(before, after):
+    """Devices whose *forwarding-relevant* config differs between two planes.
+
+    Returns ``None`` (meaning "assume everything changed") unless the
+    comparison is provably sound: both planes must carry per-device config
+    fingerprints (i.e. came through the compile builder) and cover the same
+    device names. Segment-structure changes are handled per traversed
+    segment by :class:`TraceCarryover`, not here.
+
+    A device whose config fingerprint changed but whose
+    :func:`_forwarding_view` did not (e.g. an edited OSPF ``network``
+    statement) is *not* reported: its forwarding behaviour can only change
+    through its FIB, and :func:`trace_unaffected` compares per-flow FIB
+    lookups on every non-shared FIB along the path anyway.
+    """
+    before_fps = before.device_fingerprints
+    after_fps = after.device_fingerprints
+    if (
+        before_fps is None
+        or after_fps is None
+        or set(before_fps) != set(after_fps)
+    ):
+        return None
+    changed = set()
+    for name, fp in after_fps.items():
+        if before_fps[name] == fp:
+            continue
+        if _forwarding_view(before.network.config(name)) != _forwarding_view(
+            after.network.config(name)
+        ):
+            changed.add(name)
+    return changed
+
+
+class TraceCarryover:
+    """Memoized per-flow trace carry-over decisions between two planes.
+
+    Forwarding is local: each hop's behaviour is a function of the visited
+    device's config, its FIB lookup for the flow's destination, and the
+    configs of the endpoints on the traversed egress segment. So a
+    before-trace carries over to the after plane verbatim when, along its
+    recorded path:
+
+    * no visited device's config changed (ACLs, addresses, shutdown — all
+      covered by the config fingerprint);
+    * every visited device's FIB either *is* the identity-shared baseline
+      object or resolves the flow's destination to an equal route — a
+      network-wide routing change only perturbs flows whose destination
+      lookup actually changed;
+    * every traversed segment has the same endpoint set on both planes
+      (identity-shared tables satisfy this trivially; recomputed tables are
+      compared structurally per segment, so an L2 change invalidates only
+      the broadcast domains it actually rewired), and none of those
+      endpoints' configs changed — next-hop resolution reads every
+      endpoint's config, so a changed device merely sitting on a traversed
+      segment can alter the outcome (e.g. by acquiring a duplicate next-hop
+      address).
+
+    Per-(device, destination) lookup comparisons and per-segment endpoint
+    checks are memoized: thousands of traces share a handful of distinct
+    destinations and traversed segments.
+    """
+
+    def __init__(self, before, after, config_changed):
+        self.before = before
+        self.after = after
+        self.config_changed = config_changed
+        self._lookup_same = {}  # (device, int(dst_ip)) -> bool
+        self._segment_ok = {}  # (device, out_interface) -> bool
+
+    def _same_lookup(self, device, dst_ip, dst_int):
+        key = (device, dst_int)
+        same = self._lookup_same.get(key)
+        if same is None:
+            before_fib = self.before.fib(device)
+            after_fib = self.after.fib(device)
+            same = before_fib is after_fib or (
+                before_fib.lookup(dst_ip) == after_fib.lookup(dst_ip)
+            )
+            self._lookup_same[key] = same
+        return same
+
+    def _segment_clean(self, device, out_interface):
+        key = (device, out_interface)
+        clean = self._segment_ok.get(key)
+        if clean is None:
+            segment = self.before.segments.segment_of(device, out_interface)
+            if segment is None:
+                clean = False
+            else:
+                if self.before.segments is self.after.segments:
+                    same_domain = True
+                else:
+                    after_segment = self.after.segments.segment_of(
+                        device, out_interface
+                    )
+                    same_domain = (
+                        after_segment is not None
+                        and after_segment.endpoints == segment.endpoints
+                    )
+                clean = same_domain and not any(
+                    endpoint_device in self.config_changed
+                    for endpoint_device, _ in segment.endpoints
+                )
+            self._segment_ok[key] = clean
+        return clean
+
+    def unaffected(self, trace):
+        """Whether ``trace`` is provably identical on the after plane."""
+        dst_ip = trace.flow.dst_ip
+        dst_int = int(dst_ip)
+        for hop in trace.hops:
+            if hop.device in self.config_changed:
+                return False
+            if not self._same_lookup(hop.device, dst_ip, dst_int):
+                return False
+            if hop.out_interface is not None and not self._segment_clean(
+                hop.device, hop.out_interface
+            ):
+                return False
+        return True
+
+
+def trace_unaffected(trace, before, after, config_changed):
+    """One-shot :meth:`TraceCarryover.unaffected` (tests, ad-hoc queries)."""
+    return TraceCarryover(before, after, config_changed).unaffected(trace)
+
+
+def seed_unaffected_traces(before, after):
+    """Copy provably-unchanged cached traces from ``before`` into ``after``.
+
+    For every trace in ``before``'s cache that :func:`trace_unaffected`
+    proves identical, install the same trace object in ``after``'s cache so
+    the candidate-side verifier and diff never re-trace it. Traces keyed
+    with ``start=None`` additionally require that the source-IP owner
+    lookup resolves to the same device on both networks (that scan is
+    global, not per-path).
+
+    Returns the number of traces seeded; 0 when the planes are not
+    comparable (see :func:`changed_configs`).
+    """
+    config_changed = changed_configs(before, after)
+    if config_changed is None:
+        return 0
+    carryover = TraceCarryover(before, after, config_changed)
+    # Owner stability for start=None keys: devices outside config_changed
+    # have identical addresses, so the global owner scan can only diverge at
+    # a changed device — provided both networks enumerate devices in the
+    # same order (first owner wins on duplicate addresses).
+    same_order = list(before.network.configs) == list(after.network.configs)
+    owner_stable = {}
+
+    def _owner_stable(src_ip):
+        stable = owner_stable.get(src_ip)
+        if stable is None:
+            stable = same_order and all(
+                before.network.config(name).owns_address(src_ip)
+                == after.network.config(name).owns_address(src_ip)
+                for name in config_changed
+            )
+            owner_stable[src_ip] = stable
+        return stable
+
+    seeded = 0
+    with before.trace_lock:
+        entries = list(before.trace_cache.items())
+    with after.trace_lock:
+        for (flow, start), trace in entries:
+            if (flow, start) in after.trace_cache:
+                continue
+            if not carryover.unaffected(trace):
+                continue
+            if start is None and not _owner_stable(flow.src_ip):
+                continue
+            after.trace_cache[(flow, start)] = trace
+            seeded += 1
+    return seeded
 
 
 def diff_reachability(before, after, probe_flows=None):
@@ -107,13 +318,32 @@ def diff_reachability(before, after, probe_flows=None):
     ``probe_flows`` is a list of ``(start_device, Flow)`` pairs; by default,
     all ordered host pairs of the *after* network. Both snapshots must be
     over the same device names (hosts may differ in config, not identity).
+
+    Traces go through each plane's :class:`ReachabilityAnalyzer` cache, so
+    flows the policy verifier already traced are not re-traced here. When
+    the planes share compile artifacts, after-traces are skipped entirely
+    for flows whose before-path provably avoids every changed device.
     """
     if probe_flows is None:
         probe_flows = default_probe_flows(after.network)
+    analyzer_before = ReachabilityAnalyzer(before)
+    analyzer_after = ReachabilityAnalyzer(after)
+    config_changed = changed_configs(before, after)
+    carryover = (
+        TraceCarryover(before, after, config_changed)
+        if config_changed is not None
+        else None
+    )
     diff = ReachabilityDiff(probed=len(probe_flows))
     for start, flow in probe_flows:
-        trace_before = trace_flow(before, flow, start_device=start)
-        trace_after = trace_flow(after, flow, start_device=start)
+        trace_before = analyzer_before.trace(flow, start_device=start)
+        if (
+            carryover is not None
+            and start is not None
+            and carryover.unaffected(trace_before)
+        ):
+            continue  # provably identical on the after plane
+        trace_after = analyzer_after.trace(flow, start_device=start)
         if (
             trace_before.disposition == trace_after.disposition
             and trace_before.path() == trace_after.path()

@@ -4,21 +4,44 @@
 class Fib:
     """An installed route table for one device.
 
-    Routes are pre-sorted by descending prefix length so lookup is a linear
-    scan that returns the first containing prefix — simple, obviously correct,
-    and fast enough for networks of tens of devices. (A compressed trie would
-    be the production choice for Internet-scale tables.)
+    Lookup uses a prefix-length-bucketed exact-match table: one dict per
+    distinct prefix length, keyed by the masked integer network address, and
+    scanned longest-prefix first. That makes a lookup O(#distinct prefix
+    lengths) dict probes instead of a linear scan over every route — the
+    same structure hardware LPM and software routers use before graduating
+    to a compressed trie.
+
+    Tie-break semantics are identical to the historical linear scan: routes
+    are pre-sorted by ``(-prefixlen, str(prefix))`` and the *first* route in
+    that order wins for each prefix, so duplicate prefixes resolve exactly
+    as before.
     """
 
     def __init__(self, routes=()):
         self._routes = sorted(
             routes, key=lambda r: (-r.prefix.prefixlen, str(r.prefix))
         )
+        # One exact-match bucket per distinct prefix length, longest first.
+        # setdefault over the sorted list keeps first-route-wins tie-breaks.
+        by_len = {}
+        by_prefix = {}
+        for route in self._routes:
+            prefix = route.prefix
+            bucket = by_len.setdefault(prefix.prefixlen, {})
+            bucket.setdefault(int(prefix.network_address), route)
+            by_prefix.setdefault(prefix, route)
+        self._buckets = [
+            (_mask(plen), table)
+            for plen, table in sorted(by_len.items(), reverse=True)
+        ]
+        self._by_prefix = by_prefix
 
     def lookup(self, dst_ip):
         """The longest-prefix-match route for ``dst_ip``, or ``None``."""
-        for route in self._routes:
-            if dst_ip in route.prefix:
+        addr = int(dst_ip)
+        for mask, table in self._buckets:
+            route = table.get(addr & mask)
+            if route is not None:
                 return route
         return None
 
@@ -28,13 +51,15 @@ class Fib:
 
     def route_for_prefix(self, prefix):
         """The installed route for exactly ``prefix``, or ``None``."""
-        for route in self._routes:
-            if route.prefix == prefix:
-                return route
-        return None
+        return self._by_prefix.get(prefix)
 
     def __len__(self):
         return len(self._routes)
 
     def __iter__(self):
         return iter(self._routes)
+
+
+def _mask(prefixlen):
+    """The IPv4 netmask for ``prefixlen`` as an int."""
+    return (0xFFFFFFFF << (32 - prefixlen)) & 0xFFFFFFFF

@@ -1,5 +1,7 @@
 """The compiled data plane: per-device FIBs plus L2 segment structure."""
 
+import threading
+
 from repro.util.errors import TopologyError
 
 
@@ -9,14 +11,42 @@ class DataPlane:
     Produced by :func:`repro.control.builder.build_dataplane`; consumed by
     :mod:`repro.dataplane.forwarding` and the policy verifier. The data plane
     is a snapshot — recompute it after configs change.
+
+    When built through the compile cache, ``artifacts`` carries the shared
+    :class:`~repro.control.cache.CompiledDataplane` this plane was rebound
+    from: its fingerprints let differential analysis identify exactly which
+    devices changed between two planes, and its trace cache is shared by
+    every plane with the same content fingerprint so traces computed once
+    are reused across verifier runs.
     """
 
-    def __init__(self, network, segments, fibs, ospf, bgp=None):
+    def __init__(self, network, segments, fibs, ospf, bgp=None, artifacts=None):
         self.network = network
         self.segments = segments
         self._fibs = fibs
         self.ospf = ospf
         self.bgp = bgp
+        self.artifacts = artifacts
+        if artifacts is not None:
+            self.trace_cache = artifacts.trace_cache
+            self.trace_lock = artifacts.trace_lock
+            self.owner_cache = artifacts.owner_cache
+        else:
+            self.trace_cache = {}
+            self.trace_lock = threading.Lock()
+            self.owner_cache = {}
+
+    @property
+    def fingerprint(self):
+        """Snapshot content hash, or ``None`` for hand-assembled planes."""
+        return self.artifacts.fingerprint if self.artifacts is not None else None
+
+    @property
+    def device_fingerprints(self):
+        """Per-device config hashes, or ``None`` for hand-assembled planes."""
+        if self.artifacts is None:
+            return None
+        return self.artifacts.device_fingerprints
 
     def fib(self, device):
         """The FIB of ``device`` (empty for switches)."""

@@ -1,7 +1,11 @@
 """Reachability queries over a compiled data plane."""
 
+import threading
+
 from repro.dataplane.forwarding import trace_flow
 from repro.net.flow import Flow
+
+_UNRESOLVED = object()  # owner_cache sentinel: "not looked up yet" vs None
 
 
 def host_flow(network, src_host, dst_host, protocol="icmp"):
@@ -28,19 +32,53 @@ class ReachabilityAnalyzer:
     """Pairwise reachability over one data-plane snapshot.
 
     Traces are cached per (flow, start) — the verifier asks about the same
-    flows repeatedly while checking a policy set.
+    flows repeatedly while checking a policy set. When the data plane came
+    through the compile cache, the cache dict is *shared* with the plane
+    (and so with every other analyzer over an equal-fingerprint plane), so
+    traces survive across verifier runs and across the enforcer's
+    verify/diff pipeline.
+
+    Thread-safe: concurrent ``trace`` calls may redundantly compute the same
+    trace (forwarding is deterministic, so both results are equal) but the
+    cache itself is only mutated under a lock, and the first-installed trace
+    is the one every caller observes thereafter.
     """
 
     def __init__(self, dataplane):
         self.dataplane = dataplane
-        self._cache = {}
+        self._cache = getattr(dataplane, "trace_cache", None)
+        if self._cache is None:
+            self._cache = {}
+        self._lock = getattr(dataplane, "trace_lock", None)
+        if self._lock is None:
+            self._lock = threading.Lock()
+        self._owners = getattr(dataplane, "owner_cache", None)
+        if self._owners is None:
+            self._owners = {}
+
+    def _owner(self, src_ip):
+        """Memoized ``device_owning_ip`` (the scan is global and pricey)."""
+        owner = self._owners.get(src_ip, _UNRESOLVED)
+        if owner is _UNRESOLVED:
+            owner = self.dataplane.network.device_owning_ip(src_ip)
+            self._owners[src_ip] = owner
+        return owner
 
     def trace(self, flow, start_device=None):
         """Cached :func:`trace_flow`."""
         key = (flow, start_device)
-        if key not in self._cache:
-            self._cache[key] = trace_flow(self.dataplane, flow, start_device)
-        return self._cache[key]
+        trace = self._cache.get(key)
+        if trace is None:
+            resolved = start_device
+            if resolved is None:
+                # Resolve the implicit start here so repeated source IPs
+                # don't rescan the network; trace_flow falls back to its
+                # own no-owner handling when the lookup comes up empty.
+                resolved = self._owner(flow.src_ip)
+            trace = trace_flow(self.dataplane, flow, resolved)
+            with self._lock:
+                trace = self._cache.setdefault(key, trace)
+        return trace
 
     def reachable(self, flow, start_device=None):
         """Whether the flow is delivered."""
@@ -54,13 +92,18 @@ class ReachabilityAnalyzer:
 
     def reachability_matrix(self, protocol="icmp"):
         """(src, dst) -> bool over all ordered host pairs."""
-        hosts = self.dataplane.network.hosts()
-        return {
-            (src, dst): self.hosts_reachable(src, dst, protocol)
-            for src in hosts
-            for dst in hosts
-            if src != dst
-        }
+        network = self.dataplane.network
+        hosts = network.hosts()
+        addresses = {host: network.host_address(host) for host in hosts}
+        matrix = {}
+        for src in hosts:
+            src_ip = addresses[src]
+            for dst in hosts:
+                if src == dst:
+                    continue
+                flow = Flow(src_ip=src_ip, dst_ip=addresses[dst], protocol=protocol)
+                matrix[(src, dst)] = self.reachable(flow, start_device=src)
+        return matrix
 
     def forwarding_path(self, flow, start_device=None):
         """Devices visited by ``flow`` (regardless of final disposition)."""

@@ -1,0 +1,177 @@
+"""Wall-clock benchmarks of the data-plane compile/verify fast paths.
+
+Unlike the paper-figure experiments (which report *simulated* seconds from
+the calibrated cost model), this module measures real wall-clock time of
+the substrate itself: cold compiles vs cache hits vs incremental rebuilds,
+and the enforcer's full :meth:`ChangeVerifier.verify` in the cold
+(from-scratch, seed-equivalent) and incremental (cached production +
+baseline-reuse candidate) configurations for every standard issue.
+
+The runner writes ``BENCH_dataplane.json`` so successive PRs can track the
+trajectory; ``python -m repro.cli bench`` is the one-command entry point.
+"""
+
+import json
+import statistics
+import time
+
+from repro.config.diffing import diff_networks
+from repro.control.builder import build_dataplane
+from repro.control.cache import (
+    clear_dataplane_cache,
+    dataplane_cache,
+    snapshot_fingerprint,
+)
+from repro.core.enforcer.verifier import ChangeVerifier
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.scenarios.university import build_university_network
+from repro.util.errors import ReproError
+
+NETWORKS = {
+    "enterprise": build_enterprise_network,
+    "university": build_university_network,
+}
+
+DEFAULT_REPEATS = 7  # odd: the median is a real sample; enough to shed noise
+
+
+def ticket_workload(network, issue):
+    """``(production, changes)`` for one ticket: the paper's verify workload.
+
+    Production is the network with the issue injected; the change set is the
+    semantic diff that repairs it (the shape the twin emits), confined to
+    the issue's root-cause device.
+    """
+    production = network.copy()
+    issue.inject(production)
+    changes = diff_networks(production.configs, network.configs)
+    return production, changes
+
+
+def median_ms(fn, repeats=DEFAULT_REPEATS):
+    """Median wall-clock milliseconds of ``fn()`` over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(samples)
+
+
+def bench_compile(network, issue, repeats=DEFAULT_REPEATS):
+    """Compile timings: cold, cache-hit, and single-device incremental."""
+    clear_dataplane_cache()
+    cold = median_ms(
+        lambda: build_dataplane(network, use_cache=False), repeats
+    )
+
+    clear_dataplane_cache()
+    baseline = build_dataplane(network)
+    cached = median_ms(lambda: build_dataplane(network), repeats)
+
+    broken = network.copy()
+    issue.inject(broken)
+    broken_fp = snapshot_fingerprint(broken)[0]
+
+    def incremental():
+        # Discard the candidate's cache entry so every repeat measures the
+        # incremental compile itself, not a cache hit.
+        dataplane_cache().discard(broken_fp)
+        build_dataplane(
+            broken, baseline=baseline,
+            changed_devices={issue.root_cause_device},
+        )
+
+    incremental_ms = median_ms(incremental, repeats)
+    return {
+        "cold_ms": round(cold, 3),
+        "cached_ms": round(cached, 3),
+        "incremental_ms": round(incremental_ms, 3),
+    }
+
+
+def bench_verify(network, policies, issue, repeats=DEFAULT_REPEATS):
+    """Cold vs incremental ``ChangeVerifier.verify`` for one issue's fix."""
+    production, changes = ticket_workload(network, issue)
+
+    cold_verifier = ChangeVerifier(policies, incremental=False)
+    cold = median_ms(
+        lambda: cold_verifier.verify(production, changes), repeats
+    )
+
+    clear_dataplane_cache()
+    verifier = ChangeVerifier(policies)
+    candidate = verifier.simulate(production, changes)
+    candidate_fp = snapshot_fingerprint(candidate)[0]
+    verifier.verify(production, changes)  # warm production entry + traces
+
+    def incremental():
+        # Steady state: production cached and trace-warm (the enforcer has
+        # been verifying tickets against it); each new ticket's candidate
+        # snapshot is novel, so drop its entry between repeats.
+        dataplane_cache().discard(candidate_fp)
+        verifier.verify(production, changes)
+
+    incremental_ms = median_ms(incremental, repeats)
+    speedup = cold / incremental_ms if incremental_ms > 0 else float("inf")
+    return {
+        "changes": len(changes),
+        "cold_ms": round(cold, 3),
+        "incremental_ms": round(incremental_ms, 3),
+        "speedup": round(speedup, 2),
+    }
+
+
+def bench_network(name, repeats=DEFAULT_REPEATS):
+    """All compile + verify benchmarks for one scenario network."""
+    network = NETWORKS[name]()
+    policies = mine_policies(network)
+    issues = standard_issues(name)
+
+    result = {
+        "devices": len(network.configs),
+        "hosts": len(network.hosts()),
+        "policies": len(policies),
+        "repeats": repeats,
+        "compile": bench_compile(network, issues["ospf"], repeats),
+        "verify": {},
+    }
+    for issue_id, issue in issues.items():
+        result["verify"][issue_id] = bench_verify(
+            network, policies, issue, repeats
+        )
+    clear_dataplane_cache()
+    return result
+
+
+def run_benchmarks(networks=None, repeats=DEFAULT_REPEATS):
+    """The full suite; returns the JSON-ready report dict."""
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    networks = list(networks) if networks else list(NETWORKS)
+    report = {
+        "benchmark": "dataplane compile + verify fast paths",
+        "command": "python -m repro.cli bench",
+        "repeats": repeats,
+        "networks": {},
+    }
+    for name in networks:
+        report["networks"][name] = bench_network(name, repeats)
+    university = report["networks"].get("university")
+    if university:
+        report["acceptance"] = {
+            "university_single_device_verify_speedup": min(
+                row["speedup"] for row in university["verify"].values()
+            ),
+            "target": 3.0,
+        }
+    return report
+
+
+def write_report(report, path):
+    """Write the report as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

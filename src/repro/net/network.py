@@ -97,6 +97,24 @@ class Network:
             self.topology, {n: c.copy() for n, c in self.configs.items()}
         )
 
+    def copy_except(self, devices):
+        """A copy that deep-copies only ``devices``' configs and *shares* the
+        rest by reference.
+
+        Copy-on-write for callers about to edit exactly ``devices`` (the
+        enforcer's candidate snapshots): mutating any other device's config
+        on the copy would corrupt the original, so treat the shared configs
+        as read-only.
+        """
+        devices = set(devices)
+        return Network(
+            self.topology,
+            {
+                n: (c.copy() if n in devices else c)
+                for n, c in self.configs.items()
+            },
+        )
+
     def total_config_lines(self):
         """Table 1's "lines of configs" across all devices."""
         return sum(config_line_count(c) for c in self.configs.values())

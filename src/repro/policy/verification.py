@@ -1,5 +1,7 @@
 """Policy verification over a data plane (the Batfish-check stand-in)."""
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.control.builder import build_dataplane
@@ -47,17 +49,48 @@ class PolicyVerifier:
     One verifier instance is reusable across network states; each
     :meth:`verify` call compiles (or receives) a data plane and traces every
     policy's representative flow.
+
+    ``max_workers`` controls policy-level parallelism: policies are
+    independent of each other, and the analyzer's trace cache is
+    thread-safe, so a pool of worker threads can check them concurrently.
+    The default (``None``) stays serial — tracing is pure Python, so under
+    the GIL threads only pay off when checks overlap on cached traces or a
+    future backend releases the GIL; pass ``max_workers=N`` (or ``0`` for
+    ``os.cpu_count()``) to opt in. Report order always matches policy
+    order, parallel or not.
     """
 
-    def __init__(self, policies):
+    def __init__(self, policies, max_workers=None):
         self.policies = list(policies)
+        self.max_workers = max_workers
 
-    def verify_dataplane(self, dataplane):
-        """Check all policies against an already-compiled data plane."""
-        analyzer = ReachabilityAnalyzer(dataplane)
+    def _worker_count(self):
+        if self.max_workers is None:
+            return 1
+        if self.max_workers == 0:
+            return os.cpu_count() or 1
+        return max(1, self.max_workers)
+
+    def verify_dataplane(self, dataplane, analyzer=None):
+        """Check all policies against an already-compiled data plane.
+
+        Pass an ``analyzer`` to share one trace cache with other consumers
+        of the same plane (the enforcer shares it with its differential
+        impact analysis); by default one is created over the plane, which
+        itself shares the plane's cache-attached trace store when present.
+        """
+        if analyzer is None:
+            analyzer = ReachabilityAnalyzer(dataplane)
         report = VerificationReport()
-        for policy in self.policies:
-            report.results.append(policy.check(analyzer))
+        workers = self._worker_count()
+        if workers > 1 and len(self.policies) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                report.results = list(
+                    pool.map(lambda policy: policy.check(analyzer), self.policies)
+                )
+        else:
+            for policy in self.policies:
+                report.results.append(policy.check(analyzer))
         return report
 
     def verify_network(self, network):

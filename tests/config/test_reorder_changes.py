@@ -1,0 +1,117 @@
+"""Round-trip regressions for ordered routing lists.
+
+BGP neighbor/network statements and static routes are position-sensitive in
+the config model; the differ must emit authoritative ``*_reordered``
+changes (mirroring ``ospf.networks_reordered`` / ``acl.reordered``) so that
+applying ``diff(old, new)`` to ``old`` reproduces ``new`` exactly — order,
+duplicates and all.
+"""
+
+import ipaddress
+
+from repro.config.apply import apply_changes
+from repro.config.diffing import diff_configs
+from repro.config.model import BgpConfig, BgpNeighbor, StaticRoute
+from repro.config.parser import parse_config
+
+BASE = """\
+hostname r1
+!
+interface Gi0/0
+ ip address 10.0.12.1 255.255.255.0
+ no shutdown
+!
+"""
+
+
+def _neighbor(address, asn):
+    return BgpNeighbor(address=ipaddress.ip_address(address), remote_as=asn)
+
+
+def _static(prefix, next_hop, distance=1):
+    return StaticRoute(
+        prefix=ipaddress.ip_network(prefix),
+        next_hop=ipaddress.ip_address(next_hop),
+        distance=distance,
+    )
+
+
+def _roundtrip(old, new):
+    changes = diff_configs(old, new)
+    apply_changes({"r1": old}, changes)
+    return changes
+
+
+class TestBgpOrderRoundTrip:
+    def _config(self, neighbors=(), networks=()):
+        config = parse_config(BASE)
+        config.bgp = BgpConfig(
+            asn=65001, neighbors=list(neighbors), networks=list(networks)
+        )
+        return config
+
+    def test_neighbor_reorder(self):
+        n1 = _neighbor("10.0.12.2", 65002)
+        n2 = _neighbor("10.0.13.2", 65003)
+        old = self._config(neighbors=[n1, n2])
+        new = self._config(neighbors=[n2, n1])
+        changes = _roundtrip(old, new)
+        assert old.bgp.neighbors == new.bgp.neighbors
+        assert any(c.kind == "bgp.neighbors_reordered" for c in changes)
+
+    def test_neighbor_add_preserves_position(self):
+        n1 = _neighbor("10.0.12.2", 65002)
+        n2 = _neighbor("10.0.13.2", 65003)
+        old = self._config(neighbors=[n2])
+        new = self._config(neighbors=[n1, n2])
+        _roundtrip(old, new)
+        assert old.bgp.neighbors == new.bgp.neighbors
+
+    def test_network_reorder_with_removal(self):
+        nets = [
+            ipaddress.ip_network("10.1.0.0/16"),
+            ipaddress.ip_network("10.2.0.0/16"),
+            ipaddress.ip_network("10.3.0.0/16"),
+        ]
+        old = self._config(networks=nets)
+        new = self._config(networks=[nets[2], nets[0]])
+        _roundtrip(old, new)
+        assert old.bgp.networks == new.bgp.networks
+
+    def test_identical_bgp_yields_no_changes(self):
+        n1 = _neighbor("10.0.12.2", 65002)
+        old = self._config(neighbors=[n1])
+        new = self._config(neighbors=[n1])
+        assert diff_configs(old, new) == []
+
+
+class TestStaticRouteOrderRoundTrip:
+    def _config(self, routes):
+        config = parse_config(BASE)
+        config.static_routes = list(routes)
+        return config
+
+    def test_reorder(self):
+        r1 = _static("10.1.0.0/16", "10.0.12.2")
+        r2 = _static("10.2.0.0/16", "10.0.12.2")
+        old = self._config([r1, r2])
+        new = self._config([r2, r1])
+        changes = _roundtrip(old, new)
+        assert old.static_routes == new.static_routes
+        assert any(c.kind == "static_routes_reordered" for c in changes)
+
+    def test_duplicate_multiplicity_preserved(self):
+        route = _static("10.1.0.0/16", "10.0.12.2")
+        old = self._config([route])
+        new = self._config([route, route])
+        _roundtrip(old, new)
+        assert old.static_routes == new.static_routes
+        assert len(old.static_routes) == 2
+
+    def test_remove_one_of_duplicates(self):
+        route = _static("10.1.0.0/16", "10.0.12.2")
+        other = _static("10.2.0.0/16", "10.0.12.2")
+        old = self._config([route, route, other])
+        new = self._config([route, other])
+        _roundtrip(old, new)
+        assert old.static_routes == new.static_routes

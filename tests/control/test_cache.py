@@ -1,0 +1,161 @@
+"""Snapshot fingerprinting and the process-wide compile cache."""
+
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.control.cache import (
+    CompiledDataplane,
+    DataplaneCache,
+    clear_dataplane_cache,
+    dataplane_cache,
+    snapshot_fingerprint,
+)
+from tests.fixtures import square_network
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_dataplane_cache()
+    yield
+    clear_dataplane_cache()
+
+
+class TestSnapshotFingerprint:
+    def test_deterministic_across_equal_networks(self):
+        fp_a, topo_a, devices_a = snapshot_fingerprint(square_network())
+        fp_b, topo_b, devices_b = snapshot_fingerprint(square_network())
+        assert fp_a == fp_b
+        assert topo_a == topo_b
+        assert devices_a == devices_b
+
+    def test_copy_preserves_fingerprint(self):
+        network = square_network()
+        assert snapshot_fingerprint(network.copy())[0] == \
+            snapshot_fingerprint(network)[0]
+
+    def test_config_edit_changes_only_that_device(self):
+        network = square_network()
+        fp_before, _, devices_before = snapshot_fingerprint(network)
+        network.config("r1").interface("Gi0/2").shutdown = True
+        fp_after, _, devices_after = snapshot_fingerprint(network)
+        assert fp_after != fp_before
+        assert devices_after["r1"] != devices_before["r1"]
+        unchanged = set(devices_before) - {"r1"}
+        assert all(
+            devices_after[name] == devices_before[name] for name in unchanged
+        )
+
+    def test_covers_every_device(self):
+        network = square_network()
+        _, _, device_fps = snapshot_fingerprint(network)
+        assert set(device_fps) == set(network.configs)
+
+
+class TestDataplaneCache:
+    def _entry(self, tag):
+        return CompiledDataplane(
+            fingerprint=tag, topology_fingerprint="t",
+            device_fingerprints={}, segments=None, fibs={}, ospf=None,
+            bgp=None,
+        )
+
+    def test_get_put_roundtrip(self):
+        cache = DataplaneCache(maxsize=4)
+        entry = self._entry("a")
+        cache.put("a", entry)
+        assert cache.get("a") is entry
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = DataplaneCache(maxsize=2)
+        cache.put("a", self._entry("a"))
+        cache.put("b", self._entry("b"))
+        cache.get("a")  # refresh "a"; "b" becomes LRU
+        cache.put("c", self._entry("c"))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_stats_track_hits_and_misses(self):
+        cache = DataplaneCache(maxsize=2)
+        cache.put("a", self._entry("a"))
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_discard_and_clear(self):
+        cache = DataplaneCache(maxsize=4)
+        cache.put("a", self._entry("a"))
+        cache.put("b", self._entry("b"))
+        cache.discard("a")
+        assert "a" not in cache
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestBuildDataplaneCache:
+    def test_cache_hit_shares_artifacts(self):
+        network = square_network()
+        first = build_dataplane(network)
+        second = build_dataplane(network)
+        assert second.fingerprint == first.fingerprint
+        assert second.segments is first.segments
+        for device in network.configs:
+            assert second.fib(device) is first.fib(device)
+        assert second.trace_cache is first.trace_cache
+
+    def test_cache_hit_rebinds_to_caller_network(self):
+        # An equal-content but distinct Network must get a plane bound to
+        # *its* object, not the one that populated the cache.
+        network_a = square_network()
+        network_b = square_network()
+        build_dataplane(network_a)
+        plane_b = build_dataplane(network_b)
+        assert plane_b.network is network_b
+
+    def test_use_cache_false_bypasses_cache(self):
+        network = square_network()
+        build_dataplane(network, use_cache=False)
+        assert len(dataplane_cache()) == 0
+
+    def test_mutation_changes_fingerprint(self):
+        network = square_network()
+        before = build_dataplane(network)
+        network.config("r3").acls.pop("PROTECT_H3")
+        network.config("r3").interface("Gi0/2").access_group_out = None
+        after = build_dataplane(network)
+        assert after.fingerprint != before.fingerprint
+        assert len(dataplane_cache()) == 2
+
+    def test_plane_without_cache_still_traces(self):
+        network = square_network()
+        plane = build_dataplane(network, use_cache=False)
+        assert plane.fingerprint is not None
+        assert plane.fib("r1").lookup(network.host_address("h3")) is not None
+
+
+class TestDerivedFingerprint:
+    def test_copy_except_shares_and_isolates(self):
+        network = square_network()
+        copied = network.copy_except({"r1"})
+        assert copied.config("r1") is not network.config("r1")
+        assert copied.config("r2") is network.config("r2")
+        copied.config("r1").interface("Gi0/2").shutdown = True
+        assert not network.config("r1").interface("Gi0/2").shutdown
+
+    def test_same_except_matches_full_fingerprint(self):
+        # The enforcer's shortcut (re-hash only the devices it edited) must
+        # land on exactly the fingerprint a full scan computes, or cache
+        # keys would diverge between the two paths.
+        network = square_network()
+        baseline = build_dataplane(network, use_cache=False)
+        candidate = network.copy_except({"r1"})
+        candidate.config("r1").interface("Gi0/2").shutdown = True
+        plane = build_dataplane(
+            candidate, baseline=baseline, same_except={"r1"}, use_cache=False
+        )
+        assert plane.fingerprint == snapshot_fingerprint(candidate)[0]
+        assert plane.device_fingerprints == snapshot_fingerprint(candidate)[2]

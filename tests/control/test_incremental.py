@@ -1,0 +1,158 @@
+"""Incremental rebuild equivalence: byte-identical to a from-scratch compile.
+
+For every scenario network and every standard issue, the incremental
+compile (baseline + changed-device hint) must produce exactly the FIBs,
+segment structure, and traces of a cold full compile of the same snapshot.
+"""
+
+import pytest
+
+from repro.control.builder import build_dataplane
+from repro.control.cache import clear_dataplane_cache
+from repro.dataplane.differential import default_probe_flows
+from repro.dataplane.reachability import ReachabilityAnalyzer
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.scenarios.university import build_university_network
+
+SCENARIOS = {
+    "enterprise": build_enterprise_network,
+    "university": build_university_network,
+}
+
+CASES = [
+    (scenario, issue_id)
+    for scenario in sorted(SCENARIOS)
+    for issue_id in standard_issues(scenario)
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_dataplane_cache()
+    yield
+    clear_dataplane_cache()
+
+
+def _broken_pair(scenario, issue_id):
+    """(pristine baseline plane, broken network, issue) for one case."""
+    network = SCENARIOS[scenario]()
+    issue = standard_issues(scenario)[issue_id]
+    baseline = build_dataplane(network, use_cache=False)
+    broken = network.copy()
+    issue.inject(broken)
+    return baseline, broken, issue
+
+
+def _segment_structure(segments):
+    return {segment.endpoints for segment in segments}
+
+
+@pytest.mark.parametrize("scenario,issue_id", CASES)
+def test_incremental_matches_from_scratch(scenario, issue_id):
+    baseline, broken, issue = _broken_pair(scenario, issue_id)
+    incremental = build_dataplane(
+        broken, baseline=baseline,
+        changed_devices={issue.root_cause_device}, use_cache=False,
+    )
+    scratch = build_dataplane(broken, use_cache=False)
+
+    assert incremental.fingerprint == scratch.fingerprint
+    assert incremental.device_fingerprints == scratch.device_fingerprints
+
+    for device in broken.configs:
+        assert list(incremental.fib(device)) == list(scratch.fib(device)), (
+            f"{scenario}/{issue_id}: FIB mismatch on {device}"
+        )
+    assert _segment_structure(incremental.segments) == _segment_structure(
+        scratch.segments
+    )
+
+    probes = default_probe_flows(broken)
+    analyzer_inc = ReachabilityAnalyzer(incremental)
+    analyzer_scratch = ReachabilityAnalyzer(scratch)
+    for start, flow in probes:
+        trace_inc = analyzer_inc.trace(flow, start_device=start)
+        trace_scratch = analyzer_scratch.trace(flow, start_device=start)
+        assert trace_inc.disposition == trace_scratch.disposition, (
+            f"{scenario}/{issue_id}: {flow} disposition diverged"
+        )
+        assert trace_inc.path() == trace_scratch.path(), (
+            f"{scenario}/{issue_id}: {flow} path diverged"
+        )
+
+
+@pytest.mark.parametrize("scenario,issue_id", CASES)
+def test_incremental_without_hint_matches(scenario, issue_id):
+    """The changed-device hint is an optimization, never a correctness input."""
+    baseline, broken, _ = _broken_pair(scenario, issue_id)
+    incremental = build_dataplane(broken, baseline=baseline, use_cache=False)
+    scratch = build_dataplane(broken, use_cache=False)
+    for device in broken.configs:
+        assert list(incremental.fib(device)) == list(scratch.fib(device))
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_unchanged_snapshot_reuses_everything(scenario):
+    network = SCENARIOS[scenario]()
+    baseline = build_dataplane(network, use_cache=False)
+    rebuilt = build_dataplane(
+        network.copy(), baseline=baseline, use_cache=False
+    )
+    assert rebuilt.segments is baseline.segments
+    for device in network.configs:
+        assert rebuilt.fib(device) is baseline.fib(device)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_routing_only_change_shares_l2_artifacts(scenario):
+    """An OSPF-stanza edit must not recompute the segment table."""
+    baseline, broken, issue = _broken_pair(scenario, "ospf")
+    incremental = build_dataplane(
+        broken, baseline=baseline,
+        changed_devices={issue.root_cause_device}, use_cache=False,
+    )
+    assert incremental.segments is baseline.segments
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_l2_change_recomputes_but_matches(scenario):
+    """A VLAN issue rewires broadcast domains; the rebuilt table must match
+    a from-scratch compile structurally."""
+    baseline, broken, issue = _broken_pair(scenario, "vlan")
+    incremental = build_dataplane(
+        broken, baseline=baseline,
+        changed_devices={issue.root_cause_device}, use_cache=False,
+    )
+    scratch = build_dataplane(broken, use_cache=False)
+    assert incremental.segments is not baseline.segments
+    assert _segment_structure(incremental.segments) == _segment_structure(
+        scratch.segments
+    )
+
+
+def test_host_fibs_shared_for_remote_change():
+    """Hosts far from the change keep their baseline Fib objects."""
+    baseline, broken, issue = _broken_pair("enterprise", "ospf")
+    incremental = build_dataplane(
+        broken, baseline=baseline,
+        changed_devices={issue.root_cause_device}, use_cache=False,
+    )
+    shared = [
+        host for host in broken.hosts()
+        if incremental.fib(host) is baseline.fib(host)
+    ]
+    assert shared, "no host FIB was reused for a single-router OSPF change"
+
+
+def test_baseline_artifacts_not_mutated():
+    baseline, broken, issue = _broken_pair("university", "ospf")
+    before_routes = {
+        device: list(baseline.fib(device)) for device in baseline.network.configs
+    }
+    build_dataplane(
+        broken, baseline=baseline,
+        changed_devices={issue.root_cause_device}, use_cache=False,
+    )
+    for device, routes in before_routes.items():
+        assert list(baseline.fib(device)) == routes

@@ -1,0 +1,113 @@
+"""Incremental ChangeVerifier decisions match the from-scratch path.
+
+The incremental pipeline (cached production plane, baseline-reuse candidate
+compile, carried-over traces) is a pure optimization: for every scenario
+network and standard issue, the enforcement decision on the repairing
+change set must be indistinguishable from ``incremental=False``.
+"""
+
+import pytest
+
+from repro.config.diffing import diff_networks
+from repro.control.cache import clear_dataplane_cache
+from repro.core.enforcer.verifier import ChangeVerifier
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.scenarios.university import build_university_network
+
+SCENARIOS = {
+    "enterprise": build_enterprise_network,
+    "university": build_university_network,
+}
+
+CASES = [
+    (scenario, issue_id)
+    for scenario in sorted(SCENARIOS)
+    for issue_id in standard_issues(scenario)
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_dataplane_cache()
+    yield
+    clear_dataplane_cache()
+
+
+def _violation_ids(results):
+    return sorted(result.policy.policy_id for result in results)
+
+
+def _impact_digest(impact):
+    return sorted(
+        (str(delta.flow), delta.before_disposition, delta.after_disposition,
+         delta.before_path, delta.after_path)
+        for delta in impact.deltas
+    )
+
+
+@pytest.mark.parametrize("scenario,issue_id", CASES)
+def test_fix_decision_equivalent(scenario, issue_id):
+    """Verifying the *fix* against the broken production network."""
+    network = SCENARIOS[scenario]()
+    issue = standard_issues(scenario)[issue_id]
+    policies = mine_policies(network)
+
+    production = network.copy()
+    issue.inject(production)
+    changes = diff_networks(production.configs, network.configs)
+    assert changes, f"{scenario}/{issue_id}: issue produced no diff"
+
+    cold = ChangeVerifier(policies, incremental=False).verify(
+        production, changes
+    )
+    incremental = ChangeVerifier(policies).verify(production, changes)
+
+    assert incremental.approved == cold.approved
+    assert _violation_ids(incremental.new_policy_violations) == \
+        _violation_ids(cold.new_policy_violations)
+    assert _violation_ids(incremental.preexisting_violations) == \
+        _violation_ids(cold.preexisting_violations)
+    assert incremental.impact.probed == cold.impact.probed
+    assert _impact_digest(incremental.impact) == _impact_digest(cold.impact)
+
+
+@pytest.mark.parametrize("scenario,issue_id", CASES)
+def test_break_decision_equivalent(scenario, issue_id):
+    """Verifying the *breaking* change set against healthy production."""
+    network = SCENARIOS[scenario]()
+    issue = standard_issues(scenario)[issue_id]
+    policies = mine_policies(network)
+
+    broken = network.copy()
+    issue.inject(broken)
+    changes = diff_networks(network.configs, broken.configs)
+    assert changes
+
+    cold = ChangeVerifier(policies, incremental=False).verify(network, changes)
+    incremental = ChangeVerifier(policies).verify(network, changes)
+
+    assert incremental.approved == cold.approved
+    assert _violation_ids(incremental.new_policy_violations) == \
+        _violation_ids(cold.new_policy_violations)
+    assert _impact_digest(incremental.impact) == _impact_digest(cold.impact)
+
+
+def test_repeat_verification_is_stable():
+    """Steady state: the second identical verify (cache-warm everywhere)
+    returns the same decision as the first."""
+    network = build_university_network()
+    issue = standard_issues("university")["ospf"]
+    policies = mine_policies(network)
+    production = network.copy()
+    issue.inject(production)
+    changes = diff_networks(production.configs, network.configs)
+
+    verifier = ChangeVerifier(policies)
+    first = verifier.verify(production, changes)
+    second = verifier.verify(production, changes)
+    assert second.approved == first.approved
+    assert _violation_ids(second.new_policy_violations) == \
+        _violation_ids(first.new_policy_violations)
+    assert _impact_digest(second.impact) == _impact_digest(first.impact)

@@ -1,0 +1,113 @@
+"""The bucketed LPM fast path against a reference linear scan."""
+
+import ipaddress
+
+from repro.control.builder import build_dataplane
+from repro.control.routes import Route
+from repro.dataplane.fib import Fib
+from tests.fixtures import square_network
+
+
+def _linear_lookup(fib, dst_ip):
+    """Reference semantics: first match over the (-prefixlen, str(prefix))
+    sorted route list — exactly what the pre-bucketed Fib implemented."""
+    for route in fib.routes():
+        if dst_ip in route.prefix:
+            return route
+    return None
+
+
+def _route(prefix, protocol="static", out_interface="Gi0/0", next_hop=None,
+           metric=0):
+    return Route(
+        prefix=ipaddress.ip_network(prefix), protocol=protocol,
+        out_interface=out_interface,
+        next_hop=ipaddress.ip_address(next_hop) if next_hop else None,
+        metric=metric,
+    )
+
+
+class TestBucketedLookup:
+    def test_longest_prefix_wins(self):
+        fib = Fib([
+            _route("0.0.0.0/0", next_hop="10.0.0.1"),
+            _route("10.0.0.0/8", next_hop="10.0.0.2"),
+            _route("10.1.0.0/16", next_hop="10.0.0.3"),
+            _route("10.1.2.0/24", next_hop="10.0.0.4"),
+        ])
+        dst = ipaddress.ip_address("10.1.2.9")
+        assert fib.lookup(dst).prefix == ipaddress.ip_network("10.1.2.0/24")
+        dst = ipaddress.ip_address("10.1.9.9")
+        assert fib.lookup(dst).prefix == ipaddress.ip_network("10.1.0.0/16")
+        dst = ipaddress.ip_address("10.9.9.9")
+        assert fib.lookup(dst).prefix == ipaddress.ip_network("10.0.0.0/8")
+        dst = ipaddress.ip_address("192.168.1.1")
+        assert fib.lookup(dst).prefix == ipaddress.ip_network("0.0.0.0/0")
+
+    def test_no_match_returns_none(self):
+        fib = Fib([_route("10.0.0.0/24")])
+        assert fib.lookup(ipaddress.ip_address("192.168.0.1")) is None
+
+    def test_empty_fib(self):
+        fib = Fib([])
+        assert fib.lookup(ipaddress.ip_address("10.0.0.1")) is None
+        assert len(fib) == 0
+        assert list(fib) == []
+
+    def test_tie_break_matches_sorted_order(self):
+        # Duplicate prefixes: the route list keeps both, but lookup must
+        # return the one that sorts first, as the linear scan did.
+        first = _route("10.0.0.0/24", next_hop="10.0.0.1")
+        second = _route("10.0.0.0/24", next_hop="10.0.0.2", metric=5)
+        fib = Fib([second, first])
+        dst = ipaddress.ip_address("10.0.0.7")
+        assert fib.lookup(dst) == _linear_lookup(fib, dst)
+
+    def test_matches_linear_scan_on_synthetic_table(self):
+        routes = [_route("0.0.0.0/0", next_hop="10.255.255.254")]
+        for octet2 in range(4):
+            routes.append(_route(f"10.{octet2}.0.0/16", next_hop="10.0.0.1"))
+            for octet3 in range(4):
+                routes.append(
+                    _route(f"10.{octet2}.{octet3}.0/24", next_hop="10.0.0.2")
+                )
+        fib = Fib(routes)
+        probes = [
+            "10.0.0.1", "10.1.2.3", "10.3.3.200", "10.9.0.1",
+            "172.16.0.1", "10.2.255.255", "10.255.0.1",
+        ]
+        for probe in probes:
+            dst = ipaddress.ip_address(probe)
+            assert fib.lookup(dst) == _linear_lookup(fib, dst), probe
+
+    def test_matches_linear_scan_on_compiled_network(self):
+        network = square_network()
+        plane = build_dataplane(network, use_cache=False)
+        hosts = network.hosts()
+        for device in network.configs:
+            fib = plane.fib(device)
+            for host in hosts:
+                dst = network.host_address(host)
+                assert fib.lookup(dst) == _linear_lookup(fib, dst), (
+                    f"{device} -> {host}"
+                )
+
+
+class TestRouteForPrefix:
+    def test_exact_prefix_lookup(self):
+        target = _route("10.1.0.0/16", next_hop="10.0.0.3")
+        fib = Fib([_route("10.0.0.0/8"), target, _route("10.1.2.0/24")])
+        found = fib.route_for_prefix(ipaddress.ip_network("10.1.0.0/16"))
+        assert found == target
+
+    def test_missing_prefix_is_none(self):
+        fib = Fib([_route("10.0.0.0/8")])
+        assert fib.route_for_prefix(ipaddress.ip_network("10.1.0.0/16")) is None
+
+    def test_routes_iteration_order_is_stable(self):
+        routes = [
+            _route("10.1.2.0/24"), _route("0.0.0.0/0"), _route("10.0.0.0/8"),
+        ]
+        fib = Fib(routes)
+        prefixlens = [route.prefix.prefixlen for route in fib.routes()]
+        assert prefixlens == sorted(prefixlens, reverse=True)
