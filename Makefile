@@ -1,0 +1,24 @@
+# Convenience entry points; everything also runs as plain pytest/python.
+# PYTHONPATH=src keeps the repo usable without an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test docs-check bench obs-report report
+
+test:
+	$(PYTHON) -m pytest tests/
+
+# Validate that every metric documented in docs/OBSERVABILITY.md is
+# registered by code, and vice versa (kinds and units included).
+docs-check:
+	$(PYTHON) -m pytest -m docs_check tests/obs/test_docs_catalog.py
+
+bench:
+	$(PYTHON) -m repro.cli bench
+
+obs-report:
+	$(PYTHON) -m repro.cli obs report --network university --issue ospf
+
+report:
+	$(PYTHON) -m repro.cli report -o report.md

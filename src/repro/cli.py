@@ -8,7 +8,9 @@ Commands:
 * ``resolve``   — inject an issue and resolve it via a workflow;
 * ``snapshot``  — dump a network to an editable snapshot directory;
 * ``report``    — regenerate the full paper-vs-measured markdown report;
-* ``bench``     — run the data-plane perf suite, write ``BENCH_dataplane.json``.
+* ``bench``     — run the data-plane perf suite, write ``BENCH_dataplane.json``;
+* ``obs report`` — resolve one issue with observability enabled and render
+  the span trees, metrics, and audit/trace correlation (optionally as JSON).
 
 ``--network`` accepts a scenario name (``enterprise`` / ``university``) or
 a path to a snapshot directory written by ``snapshot`` /
@@ -157,6 +159,85 @@ def cmd_bench(args, out):
     return 0
 
 
+def cmd_obs_report(args, out):
+    """Run one ticket end-to-end with observability on; report what it saw."""
+    import json as json_module
+
+    from repro import obs
+    from repro.core.heimdall import Heimdall
+
+    network = _resolve_network(args.network)
+    if network.name not in _SCENARIOS:
+        out.write("obs report requires a scenario network\n")
+        return 1
+    issues = standard_issues(network.name)
+    if args.issue not in issues:
+        out.write(f"unknown issue {args.issue!r}; choose from "
+                  f"{', '.join(issues)}\n")
+        return 1
+    issue = issues[args.issue]
+    policies = mine_policies(network)
+    issue.inject(network)
+
+    obs.reset()
+    obs.enable()
+    try:
+        heimdall = Heimdall(network, policies=policies)
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+    finally:
+        obs.disable()
+
+    tracer = obs.tracer()
+    correlated = sum(
+        1 for record in heimdall.audit.records
+        if record.trace_id and tracer.find_trace(record.trace_id) is not None
+    )
+    audit_summary = {
+        "records": len(heimdall.audit),
+        "correlated": correlated,
+        "chain_intact": heimdall.audit.verify(),
+    }
+
+    if args.json:
+        payload = obs.report_dict()
+        payload["scenario"] = {
+            "network": network.name,
+            "issue": issue.issue_id,
+            "resolved": outcome.resolved,
+            "approved": outcome.approved,
+        }
+        payload["audit"] = audit_summary
+        json_module.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(
+            f"scenario: {network.name}/{issue.issue_id} "
+            f"resolved={outcome.resolved} approved={outcome.approved}\n"
+        )
+        obs.render_report(out)
+        out.write(
+            f"audit: {audit_summary['records']} records, "
+            f"{correlated} with resolvable trace ids, chain "
+            f"{'intact' if audit_summary['chain_intact'] else 'BROKEN'}\n"
+        )
+    if args.output:
+        payload = obs.report_dict()
+        payload["scenario"] = {
+            "network": network.name,
+            "issue": issue.issue_id,
+            "resolved": outcome.resolved,
+            "approved": outcome.approved,
+        }
+        payload["audit"] = audit_summary
+        with open(args.output, "w") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write(f"observability report written to {args.output}\n")
+    return 0
+
+
 def cmd_report(args, out):
     from repro.experiments.report import render_report
 
@@ -223,6 +304,24 @@ def build_parser():
     bench.add_argument("--repeats", type=int, default=7)
     bench.add_argument("-o", "--output", default="BENCH_dataplane.json")
     bench.set_defaults(func=cmd_bench)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability tooling (tracing + metrics)"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="resolve one issue with observability on and report spans "
+             "+ metrics + audit correlation",
+    )
+    _add_network_argument(obs_report)
+    obs_report.add_argument("--issue", default="ospf",
+                            help="issue id to resolve (default: ospf)")
+    obs_report.add_argument("--json", action="store_true",
+                            help="emit the JSON report to stdout")
+    obs_report.add_argument("-o", "--output", default=None,
+                            help="also write the JSON report to this path")
+    obs_report.set_defaults(func=cmd_obs_report)
 
     return parser
 

@@ -35,8 +35,29 @@ from repro.control.ospf import compute_ospf_routes
 from repro.control.routes import Route, select_best_routes
 from repro.dataplane.fib import Fib
 from repro.dataplane.plane import DataPlane
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.state import STATE as _OBS
+from repro.util.clock import monotonic_s
 
 _DEFAULT = ipaddress.IPv4Network("0.0.0.0/0")
+
+_BUILD_COLD = obs_metrics.counter(
+    "dataplane.build.cold", unit="builds",
+    help="from-scratch compiles (no reusable baseline artifacts)",
+)
+_BUILD_INCREMENTAL = obs_metrics.counter(
+    "dataplane.build.incremental", unit="builds",
+    help="compiles that reused baseline artifacts for unchanged devices",
+)
+_BUILD_SHARED = obs_metrics.counter(
+    "dataplane.build.shared", unit="builds",
+    help="identical-snapshot builds that shared the baseline wholesale",
+)
+_BUILD_MS = obs_metrics.histogram(
+    "dataplane.build.ms", unit="ms",
+    help="wall-clock milliseconds per compile (cache hits excluded)",
+)
 
 
 def build_dataplane(network, baseline=None, changed_devices=None,
@@ -94,13 +115,19 @@ def build_dataplane(network, baseline=None, changed_devices=None,
         artifacts = cache.get(fingerprint)
         if artifacts is not None:
             return _plane(network, artifacts)
-    if baseline is not None:
-        artifacts = _incremental_compile(
-            network, fingerprint, topology_fp, device_fps, baseline,
-            changed_devices,
-        )
-    else:
-        artifacts = _full_compile(network, fingerprint, topology_fp, device_fps)
+    started = monotonic_s() if _OBS.enabled else 0.0
+    with obs_trace.span("dataplane.build", incremental=baseline is not None):
+        if baseline is not None:
+            artifacts = _incremental_compile(
+                network, fingerprint, topology_fp, device_fps, baseline,
+                changed_devices,
+            )
+        else:
+            artifacts = _full_compile(
+                network, fingerprint, topology_fp, device_fps
+            )
+    if _OBS.enabled:
+        _BUILD_MS.observe((monotonic_s() - started) * 1000.0)
     if cache is not None:
         cache.put(fingerprint, artifacts)
     return _plane(network, artifacts)
@@ -115,6 +142,7 @@ def _plane(network, artifacts):
 
 
 def _full_compile(network, fingerprint, topology_fp, device_fps):
+    _BUILD_COLD.inc()
     segments = compute_segments(network)
     ospf = compute_ospf_routes(network, segments)
     bgp = compute_bgp_routes(network, segments)
@@ -182,7 +210,9 @@ def _incremental_compile(network, fingerprint, topology_fp, device_fps,
     if changed_hint is not None:
         changed |= set(changed_hint) & set(device_fps)
     if not changed:
+        _BUILD_SHARED.inc()
         return artifacts  # identical snapshot: share everything
+    _BUILD_INCREMENTAL.inc()
 
     base_network = baseline.network
     old_new = {d: (base_network.config(d), network.config(d)) for d in changed}

@@ -31,6 +31,20 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.config.serializer import serialize_config
+from repro.obs import metrics as obs_metrics
+
+_CACHE_HITS = obs_metrics.counter(
+    "dataplane.cache.hits", unit="events",
+    help="compile-cache lookups served from an existing entry",
+)
+_CACHE_MISSES = obs_metrics.counter(
+    "dataplane.cache.misses", unit="events",
+    help="compile-cache lookups that required a compile",
+)
+_CACHE_EVICTIONS = obs_metrics.counter(
+    "dataplane.cache.evictions", unit="events",
+    help="LRU entries dropped to stay under maxsize",
+)
 
 
 def config_fingerprint(config):
@@ -135,9 +149,11 @@ class DataplaneCache:
             entry = self._entries.get(fingerprint)
             if entry is None:
                 self.misses += 1
+                _CACHE_MISSES.inc()
                 return None
             self._entries.move_to_end(fingerprint)
             self.hits += 1
+            _CACHE_HITS.inc()
             return entry
 
     def put(self, fingerprint, artifacts):
@@ -147,6 +163,7 @@ class DataplaneCache:
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                _CACHE_EVICTIONS.inc()
 
     def discard(self, fingerprint):
         """Drop one entry if present (used by benchmarks to force re-compiles)."""

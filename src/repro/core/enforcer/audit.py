@@ -7,16 +7,32 @@ deletion, or reordering breaks verification from that point on. The customer
 verifies the chain with the key re-derived from the attested enclave
 measurement — a tampered enforcer build derives a different key and cannot
 forge history.
+
+Records are **trace-correlated**: when the observability layer
+(:mod:`repro.obs`) is enabled, each record carries the ``trace_id`` and
+``span_id`` active at write time, so an auditor can walk from a signed
+record to the full span tree of the session that produced it. Both ids are
+covered by the MAC — rewriting the correlation is as tamper-evident as
+rewriting the command itself. Timestamps come from the shared
+:class:`~repro.util.clock.SimulatedClock`, never the wall clock, so audit
+history is deterministic run-to-run.
 """
 
 import hmac as hmac_module
 import hashlib
 from dataclasses import dataclass, field, replace
 
+from repro.obs.trace import current_ids
+
 
 @dataclass(frozen=True)
 class AuditRecord:
-    """One mediated action."""
+    """One mediated action.
+
+    ``trace_id``/``span_id`` are empty strings when the record was written
+    outside any active span (observability disabled, or bookkeeping done
+    outside the instrumented pipeline).
+    """
 
     index: int
     timestamp: float
@@ -28,6 +44,8 @@ class AuditRecord:
     allowed: bool
     outcome: str
     prev_mac: str
+    trace_id: str = ""
+    span_id: str = ""
     mac: str = ""
 
     def canonical(self):
@@ -35,7 +53,7 @@ class AuditRecord:
         parts = (
             self.index, self.timestamp, self.actor, self.device, self.command,
             self.action, self.resource, self.allowed, self.outcome,
-            self.prev_mac,
+            self.prev_mac, self.trace_id, self.span_id,
         )
         return "|".join(repr(part) for part in parts).encode()
 
@@ -50,6 +68,8 @@ class AuditRecord:
             "resource": self.resource,
             "allowed": self.allowed,
             "outcome": self.outcome,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
             "mac": self.mac,
         }
 
@@ -72,7 +92,22 @@ class AuditTrail:
 
     def record(self, actor, device, command, action, resource, allowed,
                outcome=""):
-        """Append one record; returns it."""
+        """Append one record; returns it.
+
+        Args:
+            actor: who acted (a session id, ``"technician"``, ...).
+            device: the device touched, or ``"-"`` for non-device actions.
+            command: the raw command or a synthetic action summary.
+            action: the classified action (``config.interface``, ...).
+            resource: the classified resource the action targeted.
+            allowed: the mediation verdict.
+            outcome: free-form result text (``"ok"``, an error, a summary).
+
+        Returns:
+            The appended, MAC-sealed :class:`AuditRecord`. The active
+            observability trace/span ids (if any) are captured implicitly.
+        """
+        trace_id, span_id = current_ids()
         prev_mac = self.records[-1].mac if self.records else _GENESIS_MAC
         entry = AuditRecord(
             index=len(self.records),
@@ -85,6 +120,8 @@ class AuditTrail:
             allowed=allowed,
             outcome=outcome,
             prev_mac=prev_mac,
+            trace_id=trace_id,
+            span_id=span_id,
         )
         entry = replace(entry, mac=self._mac(entry))
         self.records.append(entry)

@@ -15,6 +15,17 @@ and report transient violations — the measurement behind ablation A2.
 from dataclasses import dataclass, field
 
 from repro.config.apply import apply_changes
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+_CHANGES_COMMITTED = obs_metrics.counter(
+    "enforcer.changes.committed", unit="changes",
+    help="verified changes applied to production",
+)
+_PUSH_BATCHES = obs_metrics.counter(
+    "enforcer.push.batches", unit="batches",
+    help="ordered batches applied during production imports",
+)
 
 CATEGORY_ORDER = ("vlan", "l2", "interface", "routing", "acl", "mgmt", "credential")
 
@@ -74,27 +85,49 @@ class ChangeScheduler:
         checked and violations of *invariant* policies (those holding both
         before and after the full push — i.e. policies no batch is supposed
         to disturb) are counted as transient.
+
+        Args:
+            production: the network to mutate, batch by batch.
+            changes: the verified change set.
+            policy_verifier: optional
+                :class:`~repro.policy.verification.PolicyVerifier` for
+                between-batch invariant checking.
+            invariant_policy_ids: explicit invariant set; computed from the
+                verifier when omitted.
+            batches: a precomputed :meth:`schedule` result to reuse.
+
+        Returns:
+            A :class:`PushReport` with the applied batches and any
+            transient violations observed between them.
         """
         report = PushReport(
             batches=batches if batches is not None else self.schedule(changes)
         )
-        invariants = None
-        if policy_verifier is not None:
-            invariants = (
-                set(invariant_policy_ids)
-                if invariant_policy_ids is not None
-                else self._stable_policies(policy_verifier, production, changes)
-            )
-        for batch in report.batches:
-            apply_changes(production.configs, batch)
+        with obs_trace.span(
+            "enforcer.push", batches=len(report.batches),
+            changes=report.change_count,
+        ):
+            invariants = None
             if policy_verifier is not None:
-                interim = policy_verifier.verify_network(production)
-                report.checked_states += 1
-                report.transient_violations += sum(
-                    1
-                    for result in interim.violations
-                    if result.policy.policy_id in invariants
+                invariants = (
+                    set(invariant_policy_ids)
+                    if invariant_policy_ids is not None
+                    else self._stable_policies(
+                        policy_verifier, production, changes
+                    )
                 )
+            for batch in report.batches:
+                apply_changes(production.configs, batch)
+                _PUSH_BATCHES.inc()
+                _CHANGES_COMMITTED.inc(len(batch))
+                if policy_verifier is not None:
+                    interim = policy_verifier.verify_network(production)
+                    report.checked_states += 1
+                    report.transient_violations += sum(
+                        1
+                        for result in interim.violations
+                        if result.policy.policy_id in invariants
+                    )
         return report
 
     def _stable_policies(self, policy_verifier, production, changes):

@@ -24,7 +24,26 @@ from dataclasses import dataclass, field
 from repro.config.apply import apply_changes
 from repro.control.builder import build_dataplane
 from repro.dataplane.differential import diff_reachability, seed_unaffected_traces
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.policy.verification import PolicyVerifier
+
+_VERIFICATIONS = obs_metrics.counter(
+    "enforcer.verifications", unit="verifications",
+    help="full change-set verification passes",
+)
+_APPROVED = obs_metrics.counter(
+    "enforcer.approved", unit="verifications",
+    help="verification passes that approved the change set",
+)
+_REJECTED = obs_metrics.counter(
+    "enforcer.rejected", unit="verifications",
+    help="verification passes that rejected the change set",
+)
+_TRACES_SEEDED = obs_metrics.counter(
+    "enforcer.traces.seeded", unit="traces",
+    help="cached production traces proven valid and reused on the candidate",
+)
 
 
 @dataclass
@@ -95,45 +114,78 @@ class ChangeVerifier:
         analysis** (differential reachability between production and the
         simulated candidate) so reviewers see collateral effects on flows
         no policy covers.
+
+        Args:
+            production: the live :class:`~repro.net.network.Network` the
+                changes would be imported into (never mutated here).
+            changes: the semantic change set the twin emitted
+                (:class:`~repro.config.diffing.ConfigChange` list).
+
+        Returns:
+            An :class:`EnforcementDecision`; ``decision.approved`` is the
+            import verdict.
         """
-        decision = EnforcementDecision(changes=list(changes))
-        decision.privilege_violations = self.check_privileges(changes)
+        changes = list(changes)
+        with obs_trace.span(
+            "enforcer.verify", changes=len(changes),
+            incremental=self.incremental,
+        ) as vspan:
+            decision = EnforcementDecision(changes=changes)
+            with obs_trace.span("enforcer.privileges"):
+                decision.privilege_violations = self.check_privileges(changes)
 
-        production_dataplane = build_dataplane(
-            production, use_cache=self.incremental
-        )
-        baseline_report = self.policy_verifier.verify_dataplane(
-            production_dataplane
-        )
-        already_broken = {
-            result.policy.policy_id for result in baseline_report.violations
-        }
+            with obs_trace.span("enforcer.compile.production"):
+                production_dataplane = build_dataplane(
+                    production, use_cache=self.incremental
+                )
+            with obs_trace.span("enforcer.policy.baseline"):
+                baseline_report = self.policy_verifier.verify_dataplane(
+                    production_dataplane
+                )
+            already_broken = {
+                result.policy.policy_id
+                for result in baseline_report.violations
+            }
 
-        if self.incremental:
-            # The change set is authoritative here (we build the candidate
-            # from it ourselves), so the copy can share unchanged config
-            # objects and fingerprinting can skip re-hashing them.
-            changed = {change.device for change in changes}
-            candidate = production.copy_except(changed)
-            apply_changes(candidate.configs, changes)
-            candidate_dataplane = build_dataplane(
-                candidate,
-                baseline=production_dataplane,
-                same_except=changed,
-            )
-            seed_unaffected_traces(production_dataplane, candidate_dataplane)
-        else:
-            candidate = self.simulate(production, changes)
-            candidate_dataplane = build_dataplane(candidate, use_cache=False)
-        decision.candidate_report = self.policy_verifier.verify_dataplane(
-            candidate_dataplane
-        )
-        decision.impact = diff_reachability(
-            production_dataplane, candidate_dataplane
-        )
-        for result in decision.candidate_report.violations:
-            if result.policy.policy_id in already_broken:
-                decision.preexisting_violations.append(result)
-            else:
-                decision.new_policy_violations.append(result)
+            with obs_trace.span("enforcer.compile.candidate") as cspan:
+                if self.incremental:
+                    # The change set is authoritative here (we build the
+                    # candidate from it ourselves), so the copy can share
+                    # unchanged config objects and fingerprinting can skip
+                    # re-hashing them.
+                    changed = {change.device for change in changes}
+                    candidate = production.copy_except(changed)
+                    apply_changes(candidate.configs, changes)
+                    candidate_dataplane = build_dataplane(
+                        candidate,
+                        baseline=production_dataplane,
+                        same_except=changed,
+                    )
+                    seeded = seed_unaffected_traces(
+                        production_dataplane, candidate_dataplane
+                    )
+                    _TRACES_SEEDED.inc(seeded)
+                    cspan.set(seeded_traces=seeded)
+                else:
+                    candidate = self.simulate(production, changes)
+                    candidate_dataplane = build_dataplane(
+                        candidate, use_cache=False
+                    )
+            with obs_trace.span("enforcer.policy.candidate"):
+                decision.candidate_report = self.policy_verifier.verify_dataplane(
+                    candidate_dataplane
+                )
+            with obs_trace.span("enforcer.impact"):
+                decision.impact = diff_reachability(
+                    production_dataplane, candidate_dataplane
+                )
+            for result in decision.candidate_report.violations:
+                if result.policy.policy_id in already_broken:
+                    decision.preexisting_violations.append(result)
+                else:
+                    decision.new_policy_violations.append(result)
+
+            _VERIFICATIONS.inc()
+            (_APPROVED if decision.approved else _REJECTED).inc()
+            vspan.set(approved=decision.approved)
         return decision

@@ -8,6 +8,12 @@
 All durations are charged to a :class:`~repro.util.clock.SimulatedClock`
 through a :class:`~repro.util.clock.CostModel`, which is what the Figure 7
 pilot study measures.
+
+When the observability layer (:mod:`repro.obs`) is enabled, every session
+carries a root span (``heimdall.session``) that the whole lifecycle hangs
+off — ticket open, privilege generation, twin boot, each mediated command,
+and the enforcer's verify/import — and every audit record written along the
+way carries that trace's id (see docs/OBSERVABILITY.md).
 """
 
 from dataclasses import dataclass, field
@@ -27,6 +33,7 @@ from repro.core.privilege.translator import policy_guard_rules
 from repro.core.twin.monitor import MonitoredConsole, ReferenceMonitor
 from repro.core.twin.scoping import SCOPING_STRATEGIES
 from repro.core.twin.twin import TwinNetwork
+from repro.obs import trace as obs_trace
 from repro.policy.mining import mine_policies
 from repro.util.clock import CostModel, SimulatedClock
 from repro.util.errors import PrivilegeError
@@ -87,70 +94,113 @@ class Heimdall:
         guard rules — the admin's lever when a ticket must touch a policy
         enforcement point (e.g. the broken thing *is* an ACL). Exemptions
         are a conscious, per-ticket decision, never automatic.
+
+        Args:
+            issue: the :class:`~repro.scenarios.issues.Issue` being worked.
+            profile: task profile override (inferred from the issue class
+                when omitted).
+            strategy: twin scoping strategy override.
+            exempt_devices: devices released from policy guard rules.
+
+        Returns:
+            A :class:`TicketSession` holding the booted twin, the generated
+            Privilege_msp, and (when observability is on) the session's
+            root span.
         """
         strategy = strategy or self.scoping_strategy
         profile = profile or profile_for_issue(issue)
 
-        dataplane = build_dataplane(self.production)
-        scope = SCOPING_STRATEGIES[strategy](self.production, issue, dataplane)
-        guards = policy_guard_rules(
-            self.policies, dataplane, exempt_devices=exempt_devices
+        session_span = obs_trace.start_span(
+            "heimdall.session", issue=issue.issue_id
         )
-        spec = generate_privilege_spec(scope, profile, extra_rules=guards)
-        self.clock.advance(
-            self.cost_model.privilege_generation_s, step="generate privilege"
-        )
+        with obs_trace.span("ticket.open", parent=session_span):
+            with obs_trace.span("twin.scope", strategy=strategy):
+                dataplane = build_dataplane(self.production)
+                scope = SCOPING_STRATEGIES[strategy](
+                    self.production, issue, dataplane
+                )
+            with obs_trace.span("privilege.generate", profile=profile):
+                guards = policy_guard_rules(
+                    self.policies, dataplane, exempt_devices=exempt_devices
+                )
+                spec = generate_privilege_spec(
+                    scope, profile, extra_rules=guards
+                )
+            self.clock.advance(
+                self.cost_model.privilege_generation_s,
+                step="generate privilege",
+            )
 
-        twin = TwinNetwork(
-            self.production, issue, spec,
-            audit=self.audit, strategy=strategy, dataplane=dataplane,
-        )
-        self.clock.advance(
-            self.cost_model.twin_boot_s(twin.node_count()), step="twin setup"
-        )
+            with obs_trace.span("twin.boot") as boot_span:
+                twin = TwinNetwork(
+                    self.production, issue, spec,
+                    audit=self.audit, strategy=strategy, dataplane=dataplane,
+                )
+                boot_span.set(nodes=twin.node_count())
+            self.clock.advance(
+                self.cost_model.twin_boot_s(twin.node_count()),
+                step="twin setup",
+            )
         session_id = self._ids.allocate("SESSION")
-        return TicketSession(self, issue, twin, spec, profile, session_id)
+        session_span.set(session_id=session_id)
+        return TicketSession(
+            self, issue, twin, spec, profile, session_id, span=session_span
+        )
 
     # -- workflow step 3: verify + import ----------------------------------------
 
     def enforce(self, session):
-        """Verify the twin's change set and import approved changes."""
-        changes = session.twin.changes()
-        verifier = ChangeVerifier(self.policies, session.privilege_spec)
-        decision = verifier.verify(self.production, changes)
-        self.clock.advance(
-            self.cost_model.verify_s(verifier.constraint_count),
-            step="verify changes",
-        )
-        self.audit.record(
-            actor=session.session_id,
-            device="-",
-            command=f"submit {len(changes)} changes",
-            action="enforcer.verify",
-            resource="production",
-            allowed=decision.approved,
-            outcome=decision.summary(),
-        )
-        if decision.approved and changes:
-            batches = self.scheduler.schedule(changes)
-            self.scheduler.push(self.production, changes, batches=batches)
+        """Verify the twin's change set and import approved changes.
+
+        Args:
+            session: the :class:`TicketSession` being closed out.
+
+        Returns:
+            The verifier's
+            :class:`~repro.core.enforcer.verifier.EnforcementDecision`.
+        """
+        with obs_trace.span("enforcer.enforce", parent=session.span):
+            changes = session.twin.changes()
+            verifier = ChangeVerifier(self.policies, session.privilege_spec)
+            decision = verifier.verify(self.production, changes)
             self.clock.advance(
-                len(changes) * (
-                    self.cost_model.schedule_per_change_s
-                    + self.cost_model.commit_per_change_s
-                ),
-                step="schedule + commit",
+                self.cost_model.verify_s(verifier.constraint_count),
+                step="verify changes",
             )
-            for change in changes:
-                self.audit.record(
-                    actor=session.session_id,
-                    device=change.device,
-                    command=change.summary(),
-                    action=change.action,
-                    resource=change.device,
-                    allowed=True,
-                    outcome="committed",
-                )
+            self.audit.record(
+                actor=session.session_id,
+                device="-",
+                command=f"submit {len(changes)} changes",
+                action="enforcer.verify",
+                resource="production",
+                allowed=decision.approved,
+                outcome=decision.summary(),
+            )
+            if decision.approved and changes:
+                with obs_trace.span(
+                    "production.import", changes=len(changes)
+                ):
+                    batches = self.scheduler.schedule(changes)
+                    self.scheduler.push(
+                        self.production, changes, batches=batches
+                    )
+                    self.clock.advance(
+                        len(changes) * (
+                            self.cost_model.schedule_per_change_s
+                            + self.cost_model.commit_per_change_s
+                        ),
+                        step="schedule + commit",
+                    )
+                    for change in changes:
+                        self.audit.record(
+                            actor=session.session_id,
+                            device=change.device,
+                            command=change.summary(),
+                            action=change.action,
+                            resource=change.device,
+                            allowed=True,
+                            outcome="committed",
+                        )
         return decision
 
     # -- extension: emergency mode (paper §7) --------------------------------------
@@ -171,16 +221,23 @@ class Heimdall:
 
 
 class TicketSession:
-    """A technician's working session on one twin."""
+    """A technician's working session on one twin.
+
+    ``span`` is the session's observability root
+    (:data:`~repro.obs.trace.NULL_SPAN` while the layer is disabled); it
+    stays open across calls and is finished by :meth:`submit` or
+    :meth:`abandon`.
+    """
 
     def __init__(self, heimdall, issue, twin, privilege_spec, profile,
-                 session_id):
+                 session_id, span=obs_trace.NULL_SPAN):
         self._heimdall = heimdall
         self.issue = issue
         self.twin = twin
         self.privilege_spec = privilege_spec
         self.profile = profile
         self.session_id = session_id
+        self.span = span
         self.command_count = 0
         self.escalations = []
         self._consoles = {}
@@ -195,8 +252,19 @@ class TicketSession:
         return self._consoles[device]
 
     def execute(self, device, command):
-        """Run one command on ``device``, charging its simulated cost."""
-        result = self.console(device).execute(command)
+        """Run one command on ``device``, charging its simulated cost.
+
+        Args:
+            device: twin device name to run on.
+            command: the raw command line.
+
+        Returns:
+            The mediated :class:`~repro.emulation.console.CommandResult`.
+        """
+        with obs_trace.span(
+            "twin.command", parent=self.span, device=device, command=command
+        ):
+            result = self.console(device).execute(command)
         self.command_count += 1
         self._charge(command)
         return result
@@ -205,11 +273,8 @@ class TicketSession:
         """Replay a prepared fix script; returns all command results."""
         results = []
         for step in fix_script:
-            console = self.console(step.device)
             for command in step.commands:
-                results.append(console.execute(command))
-                self.command_count += 1
-                self._charge(command)
+                results.append(self.execute(step.device, command))
         return results
 
     def _charge(self, command):
@@ -245,16 +310,12 @@ class TicketSession:
             requested_profile in TASK_PROFILES
             and requested_profile in ESCALATION_LADDER.get(self.profile, ())
         )
-        self._heimdall.audit.record(
-            actor=self.session_id,
-            device="-",
-            command=f"escalate {self.profile} -> {requested_profile}: "
-                    f"{justification or 'no justification'}",
-            action="privilege.escalation",
-            resource="privilege_msp",
-            allowed=valid,
-            outcome="granted" if valid else "refused",
+        escalation_span = obs_trace.span(
+            "privilege.escalation", parent=self.span,
+            requested=requested_profile, granted=valid,
         )
+        with escalation_span:
+            self._record_escalation(requested_profile, justification, valid)
         if not valid:
             raise PrivilegeError(
                 f"escalation from {self.profile!r} to {requested_profile!r} "
@@ -265,13 +326,32 @@ class TicketSession:
         self.profile = requested_profile
         return True
 
+    def _record_escalation(self, requested_profile, justification, valid):
+        self._heimdall.audit.record(
+            actor=self.session_id,
+            device="-",
+            command=f"escalate {self.profile} -> {requested_profile}: "
+                    f"{justification or 'no justification'}",
+            action="privilege.escalation",
+            resource="privilege_msp",
+            allowed=valid,
+            outcome="granted" if valid else "refused",
+        )
+
     # -- completion ------------------------------------------------------------------
 
     def submit(self):
-        """Close the session: verify, import, and report the outcome."""
+        """Close the session: verify, import, and report the outcome.
+
+        Returns:
+            A :class:`TicketOutcome` summarising the enforcer's decision,
+            resolution status, and the simulated time breakdown.
+        """
         start = self._heimdall.clock.now
         decision = self._heimdall.enforce(self)
         resolved = self.issue.is_resolved(self._heimdall.production)
+        self.span.set(approved=decision.approved, resolved=resolved)
+        self.span.finish()
         return TicketOutcome(
             issue_id=self.issue.issue_id,
             approved=decision.approved,
@@ -286,13 +366,16 @@ class TicketSession:
 
     def abandon(self, reason=""):
         """Close without importing anything (changes are discarded)."""
-        self._heimdall.audit.record(
-            actor=self.session_id,
-            device="-",
-            command=f"abandon: {reason}",
-            action="enforcer.abandon",
-            resource="production",
-            allowed=True,
-            outcome="no changes imported",
-        )
+        with obs_trace.span("session.abandon", parent=self.span):
+            self._heimdall.audit.record(
+                actor=self.session_id,
+                device="-",
+                command=f"abandon: {reason}",
+                action="enforcer.abandon",
+                resource="production",
+                allowed=True,
+                outcome="no changes imported",
+            )
+        self.span.set(abandoned=True)
+        self.span.finish()
         return None

@@ -9,6 +9,21 @@ emulation layer (paper Figure 5d).
 from dataclasses import dataclass, field
 
 from repro.emulation.console import CommandResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+_COMMANDS = obs_metrics.counter(
+    "monitor.commands", unit="commands",
+    help="commands mediated by the reference monitor",
+)
+_ALLOWED = obs_metrics.counter(
+    "monitor.allowed", unit="commands",
+    help="mediated commands the Privilege_msp authorised",
+)
+_DENIED = obs_metrics.counter(
+    "monitor.denied", unit="commands",
+    help="mediated commands refused before reaching the emulation layer",
+)
 
 
 @dataclass
@@ -35,37 +50,54 @@ class ReferenceMonitor:
 
         Denied commands never reach the emulation layer; the technician sees
         an IOS-style authorization failure instead.
+
+        Args:
+            console: the emulation-layer console to (maybe) run on.
+            command: the raw command line the technician typed.
+
+        Returns:
+            The :class:`~repro.emulation.console.CommandResult` — either the
+            emulation layer's, or a synthetic authorization failure.
         """
-        action, resource = console.classify(command)
-        decision = self.privilege_spec.evaluate(action, resource)
-        self.decisions.append(decision)
-        self.stats.commands += 1
+        with obs_trace.span(
+            "monitor.execute", device=console.device, command=command
+        ) as span:
+            action, resource = console.classify(command)
+            decision = self.privilege_spec.evaluate(action, resource)
+            self.decisions.append(decision)
+            self.stats.commands += 1
+            _COMMANDS.inc()
+            span.set(action=action, allowed=decision.allowed)
 
-        if decision.allowed:
-            self.stats.allowed += 1
-            result = console.execute(command)
-        else:
-            self.stats.denied += 1
-            result = CommandResult(
-                device=console.device,
-                command=command,
-                ok=False,
-                action=action,
-                resource=resource,
-                error="% Authorization failed: denied by Privilege_msp",
-                mode_after=console.mode,
-            )
+            if decision.allowed:
+                self.stats.allowed += 1
+                _ALLOWED.inc()
+                result = console.execute(command)
+            else:
+                self.stats.denied += 1
+                _DENIED.inc()
+                result = CommandResult(
+                    device=console.device,
+                    command=command,
+                    ok=False,
+                    action=action,
+                    resource=resource,
+                    error="% Authorization failed: denied by Privilege_msp",
+                    mode_after=console.mode,
+                )
 
-        if self.audit is not None:
-            self.audit.record(
-                actor=self.actor,
-                device=console.device,
-                command=command,
-                action=action,
-                resource=resource,
-                allowed=decision.allowed,
-                outcome="ok" if result.ok else (result.error or "failed"),
-            )
+            # Recorded inside the span so the audit entry carries this
+            # mediation's trace/span ids (docs/OBSERVABILITY.md).
+            if self.audit is not None:
+                self.audit.record(
+                    actor=self.actor,
+                    device=console.device,
+                    command=command,
+                    action=action,
+                    resource=resource,
+                    allowed=decision.allowed,
+                    outcome="ok" if result.ok else (result.error or "failed"),
+                )
         return result
 
 

@@ -24,7 +24,23 @@ from repro.util.errors import EmulationError
 
 
 class TwinNetwork:
-    """A running twin for one ticket."""
+    """A running twin for one ticket (the paper's central isolation idea:
+    technicians never touch production, only this scoped emulation).
+
+    Args:
+        production: the production :class:`~repro.net.network.Network`
+            being cloned (never mutated by the twin).
+        issue: the :class:`~repro.scenarios.issues.Issue` the ticket is for
+            (drives scoping).
+        privilege_spec: the generated Privilege_msp the reference monitor
+            enforces.
+        audit: optional :class:`~repro.core.enforcer.audit.AuditTrail`
+            every mediated command is recorded in.
+        strategy: scoping strategy name from
+            :data:`~repro.core.twin.scoping.SCOPING_STRATEGIES`.
+        dataplane: an already-compiled production data plane to reuse for
+            scoping (compiled on demand otherwise).
+    """
 
     def __init__(self, production, issue, privilege_spec, audit=None,
                  strategy="heimdall", dataplane=None):
@@ -47,7 +63,15 @@ class TwinNetwork:
     # -- technician-facing -----------------------------------------------------
 
     def console(self, device):
-        """A monitored console (the only way in)."""
+        """A monitored console (the only way in).
+
+        Args:
+            device: a device name inside the twin's scope.
+
+        Returns:
+            A :class:`~repro.core.twin.monitor.MonitoredConsole` whose every
+            command passes through the reference monitor.
+        """
         return self.presentation.console(device)
 
     def topology_view(self):
@@ -56,7 +80,12 @@ class TwinNetwork:
     # -- enforcer-facing -----------------------------------------------------------
 
     def changes(self):
-        """Semantic changes the technician made, relative to the baseline."""
+        """Semantic changes the technician made, relative to the baseline.
+
+        Returns:
+            A list of :class:`~repro.config.diffing.ConfigChange` — the
+            change set the enforcer verifies (paper Figure 4 step 3).
+        """
         return diff_networks(self.baseline, self.emnet.current_configs())
 
     def node_count(self):

@@ -315,9 +315,16 @@ def seed_unaffected_traces(before, after):
 def diff_reachability(before, after, probe_flows=None):
     """Compare two data planes over ``probe_flows``.
 
-    ``probe_flows`` is a list of ``(start_device, Flow)`` pairs; by default,
-    all ordered host pairs of the *after* network. Both snapshots must be
-    over the same device names (hosts may differ in config, not identity).
+    Args:
+        before: the production data-plane snapshot.
+        after: the candidate snapshot (same device names; hosts may differ
+            in config, not identity).
+        probe_flows: list of ``(start_device, Flow)`` pairs; by default,
+            all ordered host pairs of the *after* network.
+
+    Returns:
+        A :class:`ReachabilityDiff` listing every flow whose disposition or
+        path differs — the change set's blast radius.
 
     Traces go through each plane's :class:`ReachabilityAnalyzer` cache, so
     flows the policy verifier already traced are not re-traced here. When

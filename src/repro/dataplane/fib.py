@@ -1,5 +1,20 @@
 """Forwarding information base with longest-prefix-match lookup."""
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.state import STATE as _OBS
+
+# lookup() is the hottest function in the repo (every hop of every trace),
+# so the counters are guarded at the call site on one attribute read
+# instead of paying a method call per lookup while disabled.
+_LOOKUPS = obs_metrics.counter(
+    "fib.lookups", unit="lookups",
+    help="LPM lookups served (every forwarding hop performs one)",
+)
+_LOOKUP_MISSES = obs_metrics.counter(
+    "fib.lookup.misses", unit="lookups",
+    help="LPM lookups with no matching route (traffic dropped as no-route)",
+)
+
 
 class Fib:
     """An installed route table for one device.
@@ -38,11 +53,15 @@ class Fib:
 
     def lookup(self, dst_ip):
         """The longest-prefix-match route for ``dst_ip``, or ``None``."""
+        if _OBS.enabled:
+            _LOOKUPS.inc()
         addr = int(dst_ip)
         for mask, table in self._buckets:
             route = table.get(addr & mask)
             if route is not None:
                 return route
+        if _OBS.enabled:
+            _LOOKUP_MISSES.inc()
         return None
 
     def routes(self):

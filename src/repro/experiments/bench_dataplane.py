@@ -13,7 +13,6 @@ trajectory; ``python -m repro.cli bench`` is the one-command entry point.
 
 import json
 import statistics
-import time
 
 from repro.config.diffing import diff_networks
 from repro.control.builder import build_dataplane
@@ -27,6 +26,7 @@ from repro.policy.mining import mine_policies
 from repro.scenarios.enterprise import build_enterprise_network
 from repro.scenarios.issues import standard_issues
 from repro.scenarios.university import build_university_network
+from repro.util.clock import monotonic_s
 from repro.util.errors import ReproError
 
 NETWORKS = {
@@ -54,9 +54,9 @@ def median_ms(fn, repeats=DEFAULT_REPEATS):
     """Median wall-clock milliseconds of ``fn()`` over ``repeats`` runs."""
     samples = []
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = monotonic_s()
         fn()
-        samples.append((time.perf_counter() - start) * 1000.0)
+        samples.append((monotonic_s() - start) * 1000.0)
     return statistics.median(samples)
 
 

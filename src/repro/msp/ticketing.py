@@ -1,4 +1,11 @@
-"""Ticketing: how work reaches a technician (paper §2.1, workflow step 1)."""
+"""Ticketing: how work reaches a technician (paper §2.1, workflow step 1).
+
+Timestamps (ticket open time, per-transition history) come from the shared
+:class:`~repro.util.clock.SimulatedClock` when one is supplied — the same
+clock source the audit trail and the Figure 7 experiments use — never from
+the wall clock, so ticket histories are deterministic and directly
+comparable with audit timestamps.
+"""
 
 import enum
 from dataclasses import dataclass, field
@@ -16,13 +23,20 @@ class TicketState(enum.Enum):
 
 @dataclass
 class Ticket:
-    """One unit of outsourced work."""
+    """One unit of outsourced work.
+
+    ``opened_at`` and ``history`` carry simulated-clock seconds (0.0 when
+    the owning :class:`TicketSystem` has no clock); ``history`` records one
+    ``(state_value, timestamp)`` pair per transition.
+    """
 
     ticket_id: str
     issue: object  # scenarios.Issue
     state: TicketState = TicketState.OPEN
     assignee: str = None
     notes: list = field(default_factory=list)
+    opened_at: float = 0.0
+    history: list = field(default_factory=list)
 
     @property
     def description(self):
@@ -42,13 +56,21 @@ class TicketSystem:
         TicketState.CLOSED: (),
     }
 
-    def __init__(self):
+    def __init__(self, clock=None):
         self._ids = IdAllocator()
         self._tickets = {}
+        self._clock = clock  # SimulatedClock | None — the shared source
+
+    def _now(self):
+        return self._clock.now if self._clock is not None else 0.0
 
     def open(self, issue):
         """File a ticket for an issue (by the admin or a monitoring system)."""
-        ticket = Ticket(ticket_id=self._ids.allocate("TICKET"), issue=issue)
+        ticket = Ticket(
+            ticket_id=self._ids.allocate("TICKET"), issue=issue,
+            opened_at=self._now(),
+        )
+        ticket.history.append((ticket.state.value, ticket.opened_at))
         self._tickets[ticket.ticket_id] = ticket
         return ticket
 
@@ -94,3 +116,4 @@ class TicketSystem:
                 f"{ticket.state.value} -> {new_state.value}"
             )
         ticket.state = new_state
+        ticket.history.append((new_state.value, self._now()))

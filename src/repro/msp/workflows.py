@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.core.heimdall import Heimdall
 from repro.msp.rmm import RmmServer
 from repro.msp.technician import ScriptedTechnician
+from repro.obs import trace as obs_trace
 from repro.util.clock import CostModel, SimulatedClock
 
 
@@ -72,13 +73,14 @@ class CurrentWorkflow:
         clock = SimulatedClock()
         technician = technician or ScriptedTechnician()
 
-        server = RmmServer(production)
-        server.add_credential(technician.name, "hunter2")
-        session = server.authenticate(technician.name, "hunter2")
-        clock.advance(self.cost_model.login_s, step="connect")
+        with obs_trace.span("workflow.current", issue=issue.issue_id):
+            server = RmmServer(production)
+            server.add_credential(technician.name, "hunter2")
+            session = server.authenticate(technician.name, "hunter2")
+            clock.advance(self.cost_model.login_s, step="connect")
 
-        access = _TimedAccess(clock, self.cost_model, session.execute)
-        technician.work_on(access, issue.fix_script)
+            access = _TimedAccess(clock, self.cost_model, session.execute)
+            technician.work_on(access, issue.fix_script)
 
         return WorkflowResult(
             issue_id=issue.issue_id,
@@ -106,20 +108,21 @@ class HeimdallWorkflow:
         clock = SimulatedClock()
         technician = technician or ScriptedTechnician()
 
-        heimdall = Heimdall(
-            production,
-            policies=self.policies,
-            scoping_strategy=self.scoping,
-            clock=clock,
-            cost_model=self.cost_model,
-        )
-        clock.advance(self.cost_model.login_s, step="connect")
-        session = heimdall.open_ticket(issue)
+        with obs_trace.span("workflow.heimdall", issue=issue.issue_id):
+            heimdall = Heimdall(
+                production,
+                policies=self.policies,
+                scoping_strategy=self.scoping,
+                clock=clock,
+                cost_model=self.cost_model,
+            )
+            clock.advance(self.cost_model.login_s, step="connect")
+            session = heimdall.open_ticket(issue)
 
-        technician.work_on(
-            _SessionAccess(session), issue.fix_script
-        )
-        outcome = session.submit()
+            technician.work_on(
+                _SessionAccess(session), issue.fix_script
+            )
+            outcome = session.submit()
 
         return WorkflowResult(
             issue_id=issue.issue_id,

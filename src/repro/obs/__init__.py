@@ -1,0 +1,99 @@
+"""``repro.obs`` — zero-dependency tracing + metrics for the whole pipeline.
+
+The paper's audit trail tells the customer *what* the enforcer decided;
+this layer records *how*: a span tree over the session lifecycle (ticket
+open → privilege translation → twin scoping → every reference-monitor
+command → enforcer verify/schedule → production import) and a metrics
+registry over the performance machinery PR 1 added (compile cache,
+incremental rebuilds, LPM lookups, parallel verification). Audit records
+carry the ``trace_id``/``span_id`` active when they were written, so a
+signed audit record resolves to the full execution that produced it.
+
+Everything is off by default and near-free when disabled; see
+docs/OBSERVABILITY.md for the span naming conventions and the full metrics
+catalog (enforced against the code by ``tests/obs/test_docs_catalog.py``).
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ... run a ticket ...
+    obs.render_report(sys.stdout)
+    for record in heimdall.audit.records:
+        tree = obs.tracer().find_trace(record.trace_id)
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    registry,
+)
+from repro.obs.report import render_report, report_dict
+from repro.obs.state import STATE
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_ids,
+    current_span,
+    span,
+    start_span,
+    traced,
+    tracer,
+)
+
+__all__ = [
+    "DEFAULT_MS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "STATE",
+    "Span",
+    "Tracer",
+    "counter",
+    "current_ids",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "registry",
+    "render_report",
+    "report_dict",
+    "reset",
+    "span",
+    "start_span",
+    "traced",
+    "tracer",
+]
+
+
+def enable():
+    """Turn the observability layer on (spans recorded, metrics mutate)."""
+    STATE.enabled = True
+
+
+def disable():
+    """Turn the layer off; every instrument becomes a no-op again."""
+    STATE.enabled = False
+
+
+def enabled():
+    """Whether the layer is currently on."""
+    return STATE.enabled
+
+
+def reset():
+    """Drop all traces and zero all metrics (registrations are kept)."""
+    tracer().reset()
+    registry().reset()

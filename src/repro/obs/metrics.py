@@ -1,0 +1,263 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+Instruments are **registered at import time** by the modules they observe
+(the cache registers its hit/miss counters when :mod:`repro.control.cache`
+loads, and so on), always under their final names — that is what lets
+``tests/obs/test_docs_catalog.py`` verify the catalog in
+docs/OBSERVABILITY.md against the registry without running a workload.
+*Mutation* is a no-op while the layer is disabled
+(:data:`repro.obs.state.STATE`), so instrumented hot paths cost one branch.
+
+All instruments are thread-safe: PR 1's parallel policy verification
+increments counters from worker threads, so every mutation takes the
+instrument's lock. Values are plain Python numbers; ``snapshot()`` returns
+JSON-ready dicts for ``python -m repro.cli obs report`` and the benchmarks.
+"""
+
+import bisect
+import threading
+
+from repro.obs.state import STATE
+from repro.util.errors import ReproError
+
+# Default histogram edges in milliseconds: sub-millisecond cache hits up to
+# multi-second cold compiles on the university network.
+DEFAULT_MS_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                      500.0, 1000.0, 5000.0)
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "unit", "help", "_value", "_lock")
+
+    def __init__(self, name, unit="", help=""):
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n=1):
+        """Add ``n`` (no-op while observability is disabled)."""
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self):
+        return self._value
+
+    def reset(self):
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self):
+        return {"kind": self.kind, "unit": self.unit, "value": self._value}
+
+
+class Gauge:
+    """A point-in-time value (e.g. worker threads in use)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "unit", "help", "_value", "_lock")
+
+    def __init__(self, name, unit="", help=""):
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value):
+        """Record the current value (no-op while disabled)."""
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self):
+        return self._value
+
+    def reset(self):
+        with self._lock:
+            self._value = 0
+
+    def snapshot(self):
+        return {"kind": self.kind, "unit": self.unit, "value": self._value}
+
+
+class Histogram:
+    """A distribution over fixed upper-bound buckets (Prometheus ``le``).
+
+    An observation lands in the first bucket whose edge is >= the value
+    (edges are inclusive upper bounds); values above the last edge land in
+    the overflow bucket reported as ``"le": "inf"``.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "unit", "help", "_edges", "_counts", "_count",
+                 "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name, unit="", help="", buckets=DEFAULT_MS_BUCKETS):
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self._edges = tuple(sorted(buckets))
+        if not self._edges:
+            raise ReproError(f"histogram {name!r} needs at least one bucket")
+        self._counts = [0] * (len(self._edges) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        """Record one observation (no-op while disabled)."""
+        if not STATE.enabled:
+            return
+        with self._lock:
+            index = bisect.bisect_left(self._edges, value)
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self):
+        return self._count
+
+    @property
+    def edges(self):
+        return self._edges
+
+    def bucket_counts(self):
+        """Per-bucket counts, overflow last (aligned with ``edges`` + inf)."""
+        with self._lock:
+            return list(self._counts)
+
+    def reset(self):
+        with self._lock:
+            self._counts = [0] * (len(self._edges) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+    def snapshot(self):
+        with self._lock:
+            buckets = [
+                {"le": edge, "count": count}
+                for edge, count in zip(self._edges, self._counts)
+            ]
+            buckets.append({"le": "inf", "count": self._counts[-1]})
+            mean = self._sum / self._count if self._count else None
+            return {
+                "kind": self.kind,
+                "unit": self.unit,
+                "count": self._count,
+                "sum": round(self._sum, 6),
+                "min": self._min,
+                "max": self._max,
+                "mean": None if mean is None else round(mean, 6),
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """A thread-safe, name-keyed registry of instruments.
+
+    Registration is idempotent per name: re-registering returns the
+    existing instrument (modules register at import time, and imports can
+    repeat). Registering the same name as a different *kind* is a bug and
+    raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = {}
+
+    def counter(self, name, unit="", help=""):
+        """Get-or-create the counter ``name``."""
+        return self._register(Counter, name, unit=unit, help=help)
+
+    def gauge(self, name, unit="", help=""):
+        """Get-or-create the gauge ``name``."""
+        return self._register(Gauge, name, unit=unit, help=help)
+
+    def histogram(self, name, unit="", help="", buckets=DEFAULT_MS_BUCKETS):
+        """Get-or-create the histogram ``name``."""
+        return self._register(
+            Histogram, name, unit=unit, help=help, buckets=buckets
+        )
+
+    def _register(self, cls, name, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ReproError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def get(self, name):
+        """The instrument registered as ``name``, or ``None``."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self):
+        """All registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._instruments)
+
+    def instruments(self):
+        """All registered instruments, sorted by name."""
+        with self._lock:
+            return [self._instruments[name] for name in sorted(self._instruments)]
+
+    def snapshot(self):
+        """JSON-ready ``{name: {kind, unit, ...}}`` for every instrument."""
+        return {inst.name: inst.snapshot() for inst in self.instruments()}
+
+    def reset(self):
+        """Zero every instrument's value; registrations are kept."""
+        for inst in self.instruments():
+            inst.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry():
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def counter(name, unit="", help=""):
+    """Module-level shorthand for :meth:`MetricsRegistry.counter`."""
+    return _REGISTRY.counter(name, unit=unit, help=help)
+
+
+def gauge(name, unit="", help=""):
+    """Module-level shorthand for :meth:`MetricsRegistry.gauge`."""
+    return _REGISTRY.gauge(name, unit=unit, help=help)
+
+
+def histogram(name, unit="", help="", buckets=DEFAULT_MS_BUCKETS):
+    """Module-level shorthand for :meth:`MetricsRegistry.histogram`."""
+    return _REGISTRY.histogram(name, unit=unit, help=help, buckets=buckets)

@@ -1,0 +1,84 @@
+"""Render the collected observability state for humans and machines.
+
+``python -m repro.cli obs report`` drives this: :func:`render_report` writes
+the indented span trees and a metrics table to a stream, and
+:func:`report_dict` returns the same content JSON-ready so benchmarks can
+track instrument values across PRs. See docs/OBSERVABILITY.md for how to
+read the output.
+"""
+
+from repro.obs.metrics import registry
+from repro.obs.trace import tracer
+
+
+def report_dict(tracer_=None, registry_=None):
+    """JSON-ready dump of every trace tree and every metric.
+
+    Args:
+        tracer_: the :class:`~repro.obs.trace.Tracer` to dump (the global
+            tracer by default).
+        registry_: the :class:`~repro.obs.metrics.MetricsRegistry` to dump
+            (the global registry by default).
+
+    Returns:
+        ``{"traces": [span tree dicts], "metrics": {name: snapshot}}``.
+    """
+    t = tracer_ if tracer_ is not None else tracer()
+    r = registry_ if registry_ is not None else registry()
+    return {
+        "traces": [root.to_dict() for root in t.traces()],
+        "metrics": r.snapshot(),
+    }
+
+
+def render_report(out, tracer_=None, registry_=None):
+    """Write a human-readable timing/metrics summary to ``out``.
+
+    Span trees come first (one indented block per trace, durations in
+    milliseconds, attributes inline), then a table of every registered
+    metric with a non-zero value, then the zero-valued instrument names on
+    one line so the full catalog stays visible.
+    """
+    t = tracer_ if tracer_ is not None else tracer()
+    r = registry_ if registry_ is not None else registry()
+
+    roots = t.traces()
+    out.write(f"traces: {len(roots)}\n")
+    for root in roots:
+        out.write(f"trace {root.trace_id}:\n")
+        _render_span(out, root, depth=1)
+
+    out.write("metrics:\n")
+    quiet = []
+    for inst in r.instruments():
+        snap = inst.snapshot()
+        if snap.get("value") or snap.get("count"):
+            out.write(f"  {inst.name} ({snap['kind']}): {_value(snap)}\n")
+        else:
+            quiet.append(inst.name)
+    if quiet:
+        out.write(f"  (zero: {', '.join(quiet)})\n")
+
+
+def _render_span(out, span, depth):
+    duration = span.duration_s
+    timing = "open" if duration is None else f"{duration * 1000.0:.1f}ms"
+    attrs = ""
+    if span.attrs:
+        pairs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+        attrs = f"  [{pairs}]"
+    out.write(f"{'  ' * depth}{span.name} ({span.span_id}) {timing}{attrs}\n")
+    for child in span.children:
+        _render_span(out, child, depth + 1)
+
+
+def _value(snap):
+    if snap["kind"] == "histogram":
+        mean = snap["mean"]
+        unit = snap["unit"] or "units"
+        return (
+            f"n={snap['count']} mean={mean:.3f}{unit} "
+            f"min={snap['min']:.3f} max={snap['max']:.3f}"
+        )
+    unit = f" {snap['unit']}" if snap["unit"] else ""
+    return f"{snap['value']}{unit}"

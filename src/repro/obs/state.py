@@ -1,0 +1,25 @@
+"""The process-wide on/off switch for the observability layer.
+
+Observability is **off by default**: enabling it is an explicit decision
+(``repro.obs.enable()``, or ``python -m repro.cli obs report`` which does it
+for one run). Hot paths guard their instrumentation on a single attribute
+read so the disabled cost is one branch::
+
+    if STATE.enabled:
+        _LOOKUPS.inc()
+
+The flag lives in its own tiny module so both :mod:`repro.obs.trace` and
+:mod:`repro.obs.metrics` (and any call site) can import it without cycles.
+"""
+
+
+class ObsState:
+    """Holds the enable flag read on every instrumented hot path."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self):
+        self.enabled = False
+
+
+STATE = ObsState()

@@ -1,0 +1,341 @@
+"""Process-local tracing: span trees over the ticket lifecycle.
+
+A **span** is one timed operation (a verification pass, one mediated console
+command). Spans nest into a tree rooted at whatever started the work (one
+Heimdall session, one workflow run), and every span carries the ``trace_id``
+of its root — the same id the audit trail stamps on records written while
+the span is active. That is the correlation the paper's tamper-evident audit
+story needs (PAPER.md §3.3): an auditor walks from a signed audit record to
+the full execution that produced it (see docs/OBSERVABILITY.md).
+
+Design constraints, in priority order:
+
+* **off by default** — while disabled, every entry point returns the shared
+  :data:`NULL_SPAN`; no allocation, no clock read, no lock;
+* **deterministic ids** — trace/span ids come from counters, never UUIDs
+  (CONTRIBUTING.md: determinism is a feature). Only span *timings* touch the
+  host clock, through :func:`repro.util.clock.monotonic_s`;
+* **thread-safe** — PR 1's parallel policy verification finishes child spans
+  on worker threads, so child attachment and id allocation take the tracer
+  lock.
+
+Parent resolution: within one thread, :func:`span` nests under the innermost
+active span automatically (a thread-local stack). Work handed to another
+thread passes its parent explicitly — capture :func:`current_span` before
+dispatch, then ``span(..., parent=that)`` in the worker.
+"""
+
+import functools
+import threading
+
+from repro.obs.state import STATE
+from repro.util.clock import monotonic_s
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    Usable as a context manager (enter activates it on the current thread,
+    exit finishes it) or with an explicit lifecycle via :meth:`finish` for
+    spans that outlive one call frame (the per-session root).
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "attrs",
+        "started_s", "ended_s", "children", "_tracer",
+    )
+
+    def __init__(self, name, trace_id, span_id, parent_id, attrs, tracer):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.started_s = monotonic_s()
+        self.ended_s = None
+        self.children = []
+        self._tracer = tracer
+
+    @property
+    def duration_s(self):
+        """Elapsed seconds, or ``None`` while the span is still open."""
+        if self.ended_s is None:
+            return None
+        return self.ended_s - self.started_s
+
+    def set(self, **attrs):
+        """Attach (or overwrite) attributes on the span."""
+        self.attrs.update(attrs)
+
+    def finish(self):
+        """Stop the clock (idempotent: the first call wins)."""
+        if self.ended_s is None:
+            self.ended_s = monotonic_s()
+
+    # -- tree queries --------------------------------------------------------
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name):
+        """The first span named ``name`` in this subtree, or ``None``."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def span_ids(self):
+        """Every span id in this subtree (audit correlation checks)."""
+        return {span.span_id for span in self.walk()}
+
+    def to_dict(self):
+        """JSON-ready representation of this subtree."""
+        duration = self.duration_s
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+            "duration_ms": (
+                None if duration is None else round(duration * 1000.0, 3)
+            ),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self):
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer._pop(self)
+        self.finish()
+        return False
+
+    def __repr__(self):
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id})"
+        )
+
+
+class _NullSpan:
+    """The shared no-op span returned while tracing is disabled.
+
+    Mirrors the :class:`Span` surface so instrumented code never branches on
+    the enabled flag itself; every method does nothing and every query is
+    empty.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = ""
+    children = ()
+    started_s = 0.0
+    ended_s = 0.0
+    duration_s = None
+
+    @property
+    def attrs(self):
+        return {}
+
+    def set(self, **attrs):
+        pass
+
+    def finish(self):
+        pass
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name):
+        return None
+
+    def span_ids(self):
+        return set()
+
+    def to_dict(self):
+        return {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def __repr__(self):
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Builds span trees and keeps every finished-or-open root for reports."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots = {}  # trace_id -> root Span, insertion-ordered
+        self._trace_seq = 0
+        self._span_seq = 0
+
+    # -- span creation -------------------------------------------------------
+
+    def span(self, name, parent=None, **attrs):
+        """A context-manager span.
+
+        Args:
+            name: dotted span name (``subsystem.operation``; see the naming
+                conventions in docs/OBSERVABILITY.md).
+            parent: explicit parent :class:`Span`. Defaults to the innermost
+                span active on the calling thread; with neither, the span
+                roots a new trace.
+            **attrs: initial span attributes.
+
+        Returns:
+            A new :class:`Span`, or :data:`NULL_SPAN` while disabled.
+        """
+        if not STATE.enabled:
+            return NULL_SPAN
+        return self._make(name, parent, attrs)
+
+    def start_span(self, name, parent=None, **attrs):
+        """Like :meth:`span` but for an explicit lifecycle.
+
+        The span is *not* activated on the calling thread; the caller keeps
+        the handle, passes it as ``parent=`` to later spans, and calls
+        :meth:`Span.finish` when the operation ends (the per-session root in
+        :class:`repro.core.heimdall.Heimdall` works this way).
+        """
+        if not STATE.enabled:
+            return NULL_SPAN
+        return self._make(name, parent, attrs)
+
+    def traced(self, name, **attrs):
+        """Decorator: run the wrapped function inside ``span(name)``."""
+
+        def decorate(fn):
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(name, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def _make(self, name, parent, attrs):
+        if parent is None or parent is NULL_SPAN:
+            parent = self.current()
+        with self._lock:
+            self._span_seq += 1
+            span_id = f"S-{self._span_seq:06d}"
+            if parent is None:
+                self._trace_seq += 1
+                trace_id = f"T-{self._trace_seq:04d}"
+            else:
+                trace_id = parent.trace_id
+            span = Span(
+                name, trace_id, span_id,
+                parent.span_id if parent is not None else "",
+                dict(attrs), self,
+            )
+            if parent is None:
+                self._roots[trace_id] = span
+            else:
+                parent.children.append(span)
+        return span
+
+    # -- thread-local activation ---------------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span):
+        self._stack().append(span)
+
+    def _pop(self, span):
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def current(self):
+        """The innermost span active on the calling thread, or ``None``."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def current_ids(self):
+        """``(trace_id, span_id)`` of the active span, or ``("", "")``.
+
+        This is what :meth:`repro.core.enforcer.audit.AuditTrail.record`
+        stamps on audit records; empty strings mean "recorded outside any
+        span" (including the disabled case).
+        """
+        span = self.current()
+        if span is None:
+            return ("", "")
+        return (span.trace_id, span.span_id)
+
+    # -- queries -------------------------------------------------------------
+
+    def traces(self):
+        """Every root span (open or finished), oldest first."""
+        with self._lock:
+            return list(self._roots.values())
+
+    def find_trace(self, trace_id):
+        """The root span of ``trace_id``, or ``None``."""
+        with self._lock:
+            return self._roots.get(trace_id)
+
+    def reset(self):
+        """Forget all traces and restart id allocation (tests, CLI runs)."""
+        with self._lock:
+            self._roots = {}
+            self._trace_seq = 0
+            self._span_seq = 0
+            self._local = threading.local()
+
+
+_TRACER = Tracer()
+
+
+def tracer():
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def span(name, parent=None, **attrs):
+    """Module-level shorthand for :meth:`Tracer.span` on the global tracer."""
+    return _TRACER.span(name, parent=parent, **attrs)
+
+
+def start_span(name, parent=None, **attrs):
+    """Module-level shorthand for :meth:`Tracer.start_span`."""
+    return _TRACER.start_span(name, parent=parent, **attrs)
+
+
+def traced(name, **attrs):
+    """Module-level shorthand for :meth:`Tracer.traced`."""
+    return _TRACER.traced(name, **attrs)
+
+
+def current_span():
+    """Module-level shorthand for :meth:`Tracer.current`."""
+    return _TRACER.current()
+
+
+def current_ids():
+    """Module-level shorthand for :meth:`Tracer.current_ids`."""
+    return _TRACER.current_ids()

@@ -6,6 +6,27 @@ from dataclasses import dataclass, field
 
 from repro.control.builder import build_dataplane
 from repro.dataplane.reachability import ReachabilityAnalyzer
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.state import STATE as _OBS
+from repro.util.clock import monotonic_s
+
+_POLICY_CHECKS = obs_metrics.counter(
+    "policy.checks", unit="checks",
+    help="individual policy evaluations (serial and parallel)",
+)
+_PARALLEL_CHECKS = obs_metrics.counter(
+    "policy.checks.parallel", unit="checks",
+    help="policy evaluations dispatched to a worker pool",
+)
+_VERIFY_MS = obs_metrics.histogram(
+    "policy.verify.ms", unit="ms",
+    help="wall-clock milliseconds per full verification pass",
+)
+_WORKERS = obs_metrics.gauge(
+    "policy.verify.workers", unit="threads",
+    help="worker threads used by the most recent verification pass",
+)
 
 
 @dataclass
@@ -83,14 +104,36 @@ class PolicyVerifier:
             analyzer = ReachabilityAnalyzer(dataplane)
         report = VerificationReport()
         workers = self._worker_count()
-        if workers > 1 and len(self.policies) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                report.results = list(
-                    pool.map(lambda policy: policy.check(analyzer), self.policies)
-                )
-        else:
-            for policy in self.policies:
-                report.results.append(policy.check(analyzer))
+        started = monotonic_s() if _OBS.enabled else 0.0
+        with obs_trace.span(
+            "verify.policies", policies=len(self.policies), workers=workers
+        ) as vspan:
+            if workers > 1 and len(self.policies) > 1:
+                _WORKERS.set(workers)
+                _PARALLEL_CHECKS.inc(len(self.policies))
+
+                # Worker threads have no span stack of their own, so the
+                # pass's span is handed to them as the explicit parent.
+                def check(policy):
+                    with obs_trace.span(
+                        "verify.policy", parent=vspan,
+                        policy=policy.policy_id,
+                    ):
+                        return policy.check(analyzer)
+
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    report.results = list(pool.map(check, self.policies))
+            else:
+                _WORKERS.set(1)
+                for policy in self.policies:
+                    with obs_trace.span(
+                        "verify.policy", policy=policy.policy_id
+                    ):
+                        report.results.append(policy.check(analyzer))
+            _POLICY_CHECKS.inc(len(self.policies))
+            vspan.set(violations=report.violation_count)
+        if _OBS.enabled:
+            _VERIFY_MS.observe((monotonic_s() - started) * 1000.0)
         return report
 
     def verify_network(self, network):

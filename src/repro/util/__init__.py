@@ -1,6 +1,12 @@
 """Shared utilities: simulated clock, error hierarchy, identifier helpers."""
 
-from repro.util.clock import CostModel, SimulatedClock, StepTimer
+from repro.util.clock import (
+    CostModel,
+    SimulatedClock,
+    StepTimer,
+    monotonic_s,
+    wall_s,
+)
 from repro.util.errors import (
     ConfigError,
     EmulationError,
@@ -26,4 +32,6 @@ __all__ = [
     "StepTimer",
     "TopologyError",
     "VerificationError",
+    "monotonic_s",
+    "wall_s",
 ]

@@ -10,6 +10,7 @@ verification ~25 s for 175 constraints), while remaining an explicit model —
 not a measurement of the authors' testbed.
 """
 
+import time
 from dataclasses import dataclass, field
 
 
@@ -80,6 +81,36 @@ class SimulatedClock:
         self._now = 0.0
         self._breakdown = {}
         self._step_order = []
+
+
+# -- real time ---------------------------------------------------------------
+#
+# The single sanctioned gateway to the host's clocks. Library code never
+# calls ``time.*`` directly (``tests/util/test_no_wallclock.py`` greps for
+# it): simulated experiments stay deterministic on :class:`SimulatedClock`,
+# and everything that legitimately measures real time — the wall-clock
+# benchmarks and the observability spans — shares this one source, so
+# traces, audit entries, and benchmark numbers are always comparable.
+
+
+def monotonic_s():
+    """Seconds on the host's monotonic high-resolution timer.
+
+    For measuring *durations* only (benchmark samples, span timings).
+    Values are meaningless across processes and unrelated to wall-clock
+    time; never mix them with :func:`wall_s` or :class:`SimulatedClock`
+    readings.
+    """
+    return time.perf_counter()
+
+
+def wall_s():
+    """Seconds since the Unix epoch, for human-facing timestamps only.
+
+    Experiments never use this — they run on :class:`SimulatedClock` so
+    results are identical run-to-run.
+    """
+    return time.time()
 
 
 @dataclass

@@ -1,0 +1,177 @@
+"""Observability across the full pipeline: one traced ticket, correlated.
+
+The acceptance contract from the observability PR: resolving a standard
+scenario issue with `repro.obs` enabled produces (a) a span tree covering
+both the twin-monitor phase and the enforcer phase, (b) audit-trail entries
+stamped with trace/span ids that resolve back into that tree, and (c)
+populated pipeline metrics — while with observability disabled nothing is
+recorded at all.
+"""
+
+import pytest
+
+from repro import obs
+from repro.control.cache import clear_dataplane_cache
+from repro.core.heimdall import Heimdall
+from repro.policy.mining import mine_policies
+from repro.scenarios.issues import standard_issues
+from repro.scenarios.university import build_university_network
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One university ticket resolved end-to-end with observability on."""
+    obs.reset()
+    clear_dataplane_cache()  # other tests warm the process-global cache
+    obs.enable()
+    try:
+        production = build_university_network()
+        policies = mine_policies(production)
+        issue = standard_issues("university")["ospf"]
+        issue.inject(production)
+
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+    finally:
+        obs.disable()
+    yield heimdall, outcome
+    obs.reset()
+
+
+class TestSpanTree:
+    def test_one_session_trace_covering_both_phases(self, traced_run):
+        heimdall, outcome = traced_run
+        assert outcome.resolved and outcome.approved
+
+        roots = obs.tracer().traces()
+        sessions = [r for r in roots if r.name == "heimdall.session"]
+        assert len(sessions) == 1
+        (root,) = sessions
+
+        # Twin-monitor phase and enforcer phase live in the same tree.
+        for name in ("ticket.open", "twin.scope", "privilege.generate",
+                     "twin.boot", "monitor.execute", "enforcer.enforce",
+                     "enforcer.verify", "verify.policies",
+                     "production.import"):
+            assert root.find(name) is not None, f"missing span {name}"
+
+    def test_session_root_is_finished_with_attrs(self, traced_run):
+        heimdall, _ = traced_run
+        (root,) = [
+            r for r in obs.tracer().traces() if r.name == "heimdall.session"
+        ]
+        assert root.duration_s is not None
+        assert root.attrs["approved"] is True
+        assert root.attrs["resolved"] is True
+
+    def test_monitor_spans_nest_under_commands(self, traced_run):
+        (root,) = [
+            r for r in obs.tracer().traces() if r.name == "heimdall.session"
+        ]
+        executes = [s for s in root.walk() if s.name == "monitor.execute"]
+        assert executes
+        by_id = {s.span_id: s for s in root.walk()}
+        for span in executes:
+            assert by_id[span.parent_id].name == "twin.command"
+            assert span.attrs["allowed"] in (True, False)
+            assert span.attrs["action"]  # the classified action name
+
+
+class TestAuditCorrelation:
+    def test_records_resolve_to_the_session_trace(self, traced_run):
+        heimdall, _ = traced_run
+        records = heimdall.audit.records
+        assert records
+        stamped = [r for r in records if r.trace_id]
+        assert stamped, "no audit record captured a trace id"
+
+        for record in stamped:
+            trace = obs.tracer().find_trace(record.trace_id)
+            assert trace is not None, record.trace_id
+            assert record.span_id in trace.span_ids()
+
+    def test_correlation_spans_monitor_and_enforcer(self, traced_run):
+        heimdall, _ = traced_run
+        (root,) = [
+            r for r in obs.tracer().traces() if r.name == "heimdall.session"
+        ]
+        by_id = {s.span_id: s.name for s in root.walk()}
+        correlated = {
+            by_id[r.span_id]
+            for r in heimdall.audit.records
+            if r.span_id in by_id
+        }
+        assert "monitor.execute" in correlated
+        assert correlated & {"enforcer.enforce", "production.import"}
+
+    def test_chain_still_tamper_evident(self, traced_run):
+        heimdall, _ = traced_run
+        assert heimdall.audit.verify()
+
+    def test_trace_fields_covered_by_mac(self, traced_run):
+        import dataclasses
+
+        heimdall, _ = traced_run
+        index = next(
+            i for i, r in enumerate(heimdall.audit.records) if r.trace_id
+        )
+        original = heimdall.audit.records[index]
+        heimdall.audit.records[index] = dataclasses.replace(
+            original, trace_id="T-9999"
+        )
+        try:
+            assert not heimdall.audit.verify()
+        finally:
+            heimdall.audit.records[index] = original
+        assert heimdall.audit.verify()
+
+
+class TestMetrics:
+    def test_pipeline_metrics_populated(self, traced_run):
+        snap = obs.registry().snapshot()
+        assert snap["monitor.commands"]["value"] > 0
+        assert snap["monitor.allowed"]["value"] > 0
+        assert snap["policy.checks"]["value"] > 0
+        assert snap["enforcer.verifications"]["value"] >= 1
+        assert snap["enforcer.approved"]["value"] >= 1
+        assert snap["enforcer.changes.committed"]["value"] >= 1
+        assert snap["fib.lookups"]["value"] > 0
+        assert snap["dataplane.cache.misses"]["value"] > 0
+        assert snap["policy.verify.ms"]["count"] >= 1
+        assert snap["dataplane.build.ms"]["count"] >= 1
+
+    def test_monitor_accounting_adds_up(self, traced_run):
+        snap = obs.registry().snapshot()
+        assert (
+            snap["monitor.commands"]["value"]
+            == snap["monitor.allowed"]["value"]
+            + snap["monitor.denied"]["value"]
+        )
+
+
+class TestDisabledIsSilent:
+    def test_disabled_run_records_nothing(self):
+        obs.disable()
+        obs.reset()
+        production = build_university_network()
+        policies = mine_policies(production)
+        issue = standard_issues("university")["ospf"]
+        issue.inject(production)
+
+        heimdall = Heimdall(production, policies=policies)
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+        assert outcome.resolved
+
+        assert obs.tracer().traces() == []
+        snap = obs.registry().snapshot()
+        assert all(
+            inst.get("value", inst.get("count", 0)) == 0
+            for inst in snap.values()
+        )
+        assert all(not r.trace_id and not r.span_id
+                   for r in heimdall.audit.records)
+        obs.reset()

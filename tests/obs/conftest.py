@@ -1,0 +1,22 @@
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_enabled():
+    """Observability on, with clean state before and after."""
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def obs_disabled():
+    """Observability explicitly off, with clean state before and after."""
+    obs.disable()
+    obs.reset()
+    yield obs
+    obs.reset()

@@ -1,0 +1,91 @@
+"""docs/OBSERVABILITY.md's metrics catalog must match the live registry.
+
+Instruments register at import time under their final names, so importing
+the instrumented modules and diffing against the parsed markdown table is a
+complete consistency check — no workload needed. Run via ``make docs-check``
+or ``pytest -m docs_check``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+# Import for the registration side effect: these are the instrumented
+# modules; together they register the entire pipeline catalog.
+import repro.control.builder  # noqa: F401
+import repro.control.cache  # noqa: F401
+import repro.core.enforcer.scheduler  # noqa: F401
+import repro.core.enforcer.verifier  # noqa: F401
+import repro.core.twin.monitor  # noqa: F401
+import repro.dataplane.fib  # noqa: F401
+import repro.policy.verification  # noqa: F401
+from repro.obs import registry
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+# One catalog row: | `metric.name` | kind | unit | description |
+ROW = re.compile(
+    r"^\|\s*`(?P<name>[a-z0-9_.]+)`\s*"
+    r"\|\s*(?P<kind>counter|gauge|histogram)\s*"
+    r"\|\s*(?P<unit>[^|]+?)\s*"
+    r"\|\s*(?P<desc>[^|]+?)\s*\|$",
+    re.MULTILINE,
+)
+
+
+def documented_metrics():
+    text = DOCS.read_text()
+    return {
+        m.group("name"): (m.group("kind"), m.group("unit"))
+        for m in ROW.finditer(text)
+    }
+
+
+def registered_metrics():
+    # Other test modules register ad-hoc `test.*` instruments in the
+    # process-wide registry; the catalog covers the pipeline's only.
+    return {
+        inst.name: (inst.kind, inst.unit)
+        for inst in registry().instruments()
+        if not inst.name.startswith("test.")
+    }
+
+
+@pytest.mark.docs_check
+class TestDocsCatalog:
+    def test_catalog_parses(self):
+        docs = documented_metrics()
+        assert len(docs) >= 20, "catalog table missing or unparseable"
+
+    def test_every_registered_metric_is_documented(self):
+        missing = set(registered_metrics()) - set(documented_metrics())
+        assert not missing, f"undocumented metrics: {sorted(missing)}"
+
+    def test_every_documented_metric_is_registered(self):
+        stale = set(documented_metrics()) - set(registered_metrics())
+        assert not stale, f"documented but unregistered: {sorted(stale)}"
+
+    def test_kinds_and_units_match(self):
+        docs = documented_metrics()
+        live = registered_metrics()
+        for name in sorted(set(docs) & set(live)):
+            assert docs[name] == live[name], (
+                f"{name}: docs say {docs[name]}, code says {live[name]}"
+            )
+
+    def test_every_instrumented_span_is_documented(self):
+        # The span-conventions table documents every span name the
+        # instrumented source emits.
+        text = DOCS.read_text()
+        documented = set(re.findall(r"`([a-z]+(?:\.[a-z]+)+)`", text))
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        emitted = set()
+        call = re.compile(
+            r"(?:obs_trace\.|tracer\.|obs\.)?(?:span|start_span|traced)\(\s*"
+            r"[\"']([a-z.]+)[\"']"
+        )
+        for path in src.rglob("*.py"):
+            emitted.update(call.findall(path.read_text()))
+        missing = emitted - documented
+        assert not missing, f"undocumented spans: {sorted(missing)}"

@@ -1,0 +1,202 @@
+"""Metrics instruments: bucket edges, thread-safety, registry semantics."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import DEFAULT_MS_BUCKETS, Counter, Histogram
+from repro.util.errors import ReproError
+
+
+class TestCounter:
+    def test_inc(self, obs_enabled):
+        c = obs.counter("test.counter")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_disabled_inc_is_noop(self, obs_disabled):
+        c = obs.counter("test.counter.off")
+        c.inc(100)
+        assert c.value == 0
+
+    def test_threaded_increments_are_exact(self, obs_enabled):
+        c = obs.counter("test.counter.threads")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+    def test_snapshot(self, obs_enabled):
+        c = obs.counter("test.counter.snap", unit="events")
+        c.inc(3)
+        assert c.snapshot() == {"kind": "counter", "unit": "events",
+                                "value": 3}
+
+
+class TestGauge:
+    def test_set_keeps_last_value(self, obs_enabled):
+        g = obs.gauge("test.gauge")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2
+
+    def test_disabled_set_is_noop(self, obs_disabled):
+        g = obs.gauge("test.gauge.off")
+        g.set(7)
+        assert g.value == 0
+
+
+class TestHistogramBuckets:
+    def test_value_on_edge_lands_in_that_bucket(self, obs_enabled):
+        h = obs.histogram("test.hist.edges", buckets=(1.0, 5.0, 10.0))
+        h.observe(1.0)   # == first edge: inclusive upper bound
+        h.observe(5.0)   # == second edge
+        h.observe(5.1)   # just above: next bucket
+        assert h.bucket_counts() == [1, 1, 1, 0]
+
+    def test_below_first_edge(self, obs_enabled):
+        h = obs.histogram("test.hist.low", buckets=(1.0, 5.0))
+        h.observe(0.0)
+        h.observe(0.999)
+        assert h.bucket_counts() == [2, 0, 0]
+
+    def test_overflow_bucket(self, obs_enabled):
+        h = obs.histogram("test.hist.over", buckets=(1.0, 5.0))
+        h.observe(5.001)
+        h.observe(1e9)
+        assert h.bucket_counts() == [0, 0, 2]
+
+    def test_unsorted_buckets_are_sorted(self, obs_enabled):
+        h = obs.histogram("test.hist.sort", buckets=(10.0, 1.0, 5.0))
+        assert h.edges == (1.0, 5.0, 10.0)
+
+    def test_empty_buckets_rejected(self, obs_enabled):
+        with pytest.raises(ReproError):
+            Histogram("test.hist.empty", buckets=())
+
+    def test_stats(self, obs_enabled):
+        h = obs.histogram("test.hist.stats", buckets=(10.0,))
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 12.0
+        assert snap["min"] == 2.0
+        assert snap["max"] == 6.0
+        assert snap["mean"] == 4.0
+
+    def test_snapshot_bucket_shape(self, obs_enabled):
+        h = obs.histogram("test.hist.shape", buckets=(1.0, 5.0))
+        h.observe(0.5)
+        h.observe(99.0)
+        snap = h.snapshot()
+        assert snap["buckets"] == [
+            {"le": 1.0, "count": 1},
+            {"le": 5.0, "count": 0},
+            {"le": "inf", "count": 1},
+        ]
+
+    def test_disabled_observe_is_noop(self, obs_disabled):
+        h = obs.histogram("test.hist.off")
+        h.observe(1.0)
+        assert h.count == 0
+        assert h.snapshot()["mean"] is None
+
+    def test_threaded_observes_are_exact(self, obs_enabled):
+        h = obs.histogram("test.hist.threads", buckets=(0.5,))
+
+        def work():
+            for _ in range(500):
+                h.observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 4000
+        assert h.bucket_counts() == [0, 4000]
+
+    def test_default_buckets_cover_sub_ms_to_seconds(self):
+        assert DEFAULT_MS_BUCKETS[0] <= 0.1
+        assert DEFAULT_MS_BUCKETS[-1] >= 5000.0
+        assert list(DEFAULT_MS_BUCKETS) == sorted(DEFAULT_MS_BUCKETS)
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, obs_enabled):
+        a = obs.counter("test.reg.same")
+        b = obs.counter("test.reg.same")
+        assert a is b
+
+    def test_kind_mismatch_raises(self, obs_enabled):
+        obs.counter("test.reg.kind")
+        with pytest.raises(ReproError):
+            obs.gauge("test.reg.kind")
+
+    def test_get_and_names(self, obs_enabled):
+        c = obs.counter("test.reg.get")
+        assert obs.registry().get("test.reg.get") is c
+        assert obs.registry().get("test.reg.absent") is None
+        assert "test.reg.get" in obs.registry().names()
+
+    def test_reset_zeroes_but_keeps_registrations(self, obs_enabled):
+        c = obs.counter("test.reg.reset")
+        c.inc(9)
+        obs.registry().reset()
+        assert c.value == 0
+        assert obs.registry().get("test.reg.reset") is c
+
+    def test_snapshot_is_json_ready(self, obs_enabled):
+        import json
+
+        obs.counter("test.reg.json").inc()
+        json.dumps(obs.registry().snapshot())  # must not raise
+
+    def test_instruments_sorted_by_name(self, obs_enabled):
+        names = [inst.name for inst in obs.registry().instruments()]
+        assert names == sorted(names)
+
+
+class TestPipelineInstruments:
+    """The instrumented modules register their metrics at import time."""
+
+    def test_core_pipeline_metrics_registered(self):
+        import repro.control.builder  # noqa: F401
+        import repro.control.cache  # noqa: F401
+        import repro.core.enforcer.scheduler  # noqa: F401
+        import repro.core.enforcer.verifier  # noqa: F401
+        import repro.core.twin.monitor  # noqa: F401
+        import repro.dataplane.fib  # noqa: F401
+        import repro.policy.verification  # noqa: F401
+
+        names = set(obs.registry().names())
+        expected = {
+            "dataplane.cache.hits", "dataplane.cache.misses",
+            "dataplane.build.cold", "dataplane.build.incremental",
+            "dataplane.build.ms", "fib.lookups", "policy.checks",
+            "policy.verify.ms", "monitor.commands", "monitor.allowed",
+            "monitor.denied", "enforcer.verifications",
+            "enforcer.changes.committed",
+        }
+        assert expected <= names
+
+    def test_registered_instruments_carry_unit_and_help(self):
+        for inst in obs.registry().instruments():
+            if inst.name.startswith("test."):
+                continue  # ad-hoc instruments from this test module
+            assert inst.unit, inst.name
+            assert inst.help, inst.name
+
+    def test_counter_class_kind_matches_registry(self):
+        assert Counter.kind == "counter"
+        assert obs.counter("test.kindcheck").kind == "counter"

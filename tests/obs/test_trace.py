@@ -1,0 +1,208 @@
+"""Span-tree construction: nesting, threads, determinism, disabled no-ops."""
+
+import io
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NULL_SPAN, Span
+
+
+class TestNesting:
+    def test_with_blocks_nest(self, obs_enabled):
+        with obs.span("outer") as outer:
+            with obs.span("middle") as middle:
+                with obs.span("inner") as inner:
+                    pass
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+        assert [s.name for s in outer.walk()] == ["outer", "middle", "inner"]
+
+    def test_children_share_trace_id(self, obs_enabled):
+        with obs.span("root") as root:
+            with obs.span("child") as child:
+                pass
+        assert child.trace_id == root.trace_id
+        assert root.parent_id == ""
+
+    def test_siblings_attach_in_order(self, obs_enabled):
+        with obs.span("root") as root:
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        assert [c.name for c in root.children] == ["first", "second"]
+
+    def test_separate_roots_are_separate_traces(self, obs_enabled):
+        with obs.span("a") as a:
+            pass
+        with obs.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert [s.name for s in obs.tracer().traces()] == ["a", "b"]
+
+    def test_explicit_parent_wins_over_stack(self, obs_enabled):
+        root = obs.start_span("session")
+        with obs.span("active"):
+            with obs.span("adopted", parent=root) as adopted:
+                pass
+        assert adopted.parent_id == root.span_id
+        root.finish()
+
+    def test_start_span_does_not_activate(self, obs_enabled):
+        root = obs.start_span("session")
+        assert obs.current_span() is None
+        with obs.span("stray") as stray:
+            pass
+        # With no active stack and no explicit parent, a new root is made.
+        assert stray.trace_id != root.trace_id
+        root.finish()
+
+    def test_null_span_parent_falls_back_to_current(self, obs_enabled):
+        # A NULL_SPAN handle captured while disabled must not poison
+        # parenting after enable: it reads as "no explicit parent".
+        with obs.span("root") as root:
+            with obs.span("child", parent=NULL_SPAN) as child:
+                pass
+        assert child.parent_id == root.span_id
+
+
+class TestThreads:
+    def test_worker_attaches_via_explicit_parent(self, obs_enabled):
+        with obs.span("verify") as vspan:
+            seen = []
+
+            def work(index):
+                with obs.span("policy", parent=vspan, index=index) as s:
+                    seen.append(s)
+
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert len(vspan.children) == 8
+        assert all(s.parent_id == vspan.span_id for s in seen)
+        assert len({s.span_id for s in seen}) == 8  # ids never collide
+
+    def test_thread_stacks_are_independent(self, obs_enabled):
+        # A span activated on the main thread is invisible to workers.
+        results = []
+
+        def work():
+            results.append(obs.current_span())
+
+        with obs.span("main-only"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        assert results == [None]
+
+
+class TestDeterminism:
+    def test_ids_are_sequential_counters(self, obs_enabled):
+        with obs.span("a") as a:
+            with obs.span("b") as b:
+                pass
+        assert a.trace_id == "T-0001"
+        assert a.span_id == "S-000001"
+        assert b.span_id == "S-000002"
+
+    def test_reset_restarts_allocation(self, obs_enabled):
+        with obs.span("first") as first:
+            pass
+        obs.tracer().reset()
+        with obs.span("again") as again:
+            pass
+        assert (first.trace_id, first.span_id) == (again.trace_id,
+                                                   again.span_id)
+        assert obs.tracer().find_trace(again.trace_id) is again
+
+
+class TestLifecycle:
+    def test_duration_none_until_finished(self, obs_enabled):
+        span = obs.start_span("open")
+        assert span.duration_s is None
+        span.finish()
+        assert span.duration_s >= 0.0
+
+    def test_finish_is_idempotent(self, obs_enabled):
+        span = obs.start_span("once")
+        span.finish()
+        ended = span.ended_s
+        span.finish()
+        assert span.ended_s == ended
+
+    def test_exit_finishes_even_on_exception(self, obs_enabled):
+        with pytest.raises(ValueError):
+            with obs.span("boom") as span:
+                raise ValueError("x")
+        assert span.duration_s is not None
+        assert obs.current_span() is None
+
+    def test_set_and_attrs_in_to_dict(self, obs_enabled):
+        with obs.span("s", device="r1") as span:
+            span.set(action="allow")
+        d = span.to_dict()
+        assert d["attrs"] == {"device": "r1", "action": "allow"}
+        assert d["duration_ms"] >= 0.0
+        assert d["children"] == []
+
+    def test_traced_decorator(self, obs_enabled):
+        @obs.traced("decorated", kind="test")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        (root,) = obs.tracer().traces()
+        assert root.name == "decorated"
+        assert root.attrs == {"kind": "test"}
+
+
+class TestQueries:
+    def test_find_and_span_ids(self, obs_enabled):
+        with obs.span("root") as root:
+            with obs.span("target"):
+                pass
+        assert root.find("target").name == "target"
+        assert root.find("missing") is None
+        assert root.span_ids() == {s.span_id for s in root.walk()}
+
+    def test_current_ids(self, obs_enabled):
+        assert obs.current_ids() == ("", "")
+        with obs.span("active") as span:
+            assert obs.current_ids() == (span.trace_id, span.span_id)
+        assert obs.current_ids() == ("", "")
+
+
+class TestDisabled:
+    def test_span_returns_null_span(self, obs_disabled):
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.start_span("anything") is NULL_SPAN
+        assert not isinstance(obs.span("x"), Span)
+
+    def test_null_span_is_inert(self, obs_disabled):
+        with obs.span("nothing", k=1) as span:
+            span.set(more=2)
+            span.finish()
+        assert span.attrs == {}
+        assert span.to_dict() == {}
+        assert span.find("nothing") is None
+        assert list(span.walk()) == []
+        assert span.span_ids() == set()
+
+    def test_nothing_is_recorded(self, obs_disabled):
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        assert obs.tracer().traces() == []
+        assert obs.current_ids() == ("", "")
+
+    def test_render_report_handles_empty_state(self, obs_disabled):
+        out = io.StringIO()
+        obs.render_report(out)
+        assert "traces: 0" in out.getvalue()

@@ -92,3 +92,55 @@ class TestSnapshot:
         assert code == 0
         assert (target / "topology.json").exists()
         assert (target / "configs" / "gw.cfg").exists()
+
+
+class TestObsReport:
+    def test_human_report(self):
+        code, text = run("obs", "report", "--network", "enterprise",
+                         "--issue", "ospf")
+        assert code == 0
+        assert "resolved=True" in text
+        assert "traces: 1" in text
+        assert "heimdall.session" in text
+        assert "monitor.execute" in text
+        assert "enforcer.verify" in text
+        assert "monitor.commands" in text
+        assert "chain intact" in text
+
+    def test_json_report(self):
+        import json
+
+        code, text = run("obs", "report", "--network", "enterprise",
+                         "--issue", "ospf", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["scenario"]["resolved"] is True
+        assert payload["audit"]["chain_intact"] is True
+        assert payload["audit"]["correlated"] > 0
+        (trace,) = payload["traces"]
+        assert trace["name"] == "heimdall.session"
+        assert trace["children"]
+        assert payload["metrics"]["monitor.commands"]["value"] > 0
+
+    def test_writes_json_file(self, tmp_path):
+        import json
+
+        target = tmp_path / "obs.json"
+        code, text = run("obs", "report", "--network", "enterprise",
+                         "--issue", "vlan", "-o", str(target))
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["scenario"]["issue"] == "vlan"
+
+    def test_unknown_issue(self):
+        code, text = run("obs", "report", "--network", "enterprise",
+                         "--issue", "gremlins")
+        assert code == 1
+        assert "unknown issue" in text
+
+    def test_observability_left_disabled(self):
+        from repro import obs
+
+        run("obs", "report", "--network", "enterprise", "--issue", "ospf")
+        assert not obs.enabled()
+        obs.reset()

@@ -1,0 +1,49 @@
+"""Lint: the wall clock is reachable only through ``repro.util.clock``.
+
+CONTRIBUTING.md: determinism is a feature. All real-time reads — benchmark
+timing, span durations — must go through the two sanctioned gateways
+(`monotonic_s`, `wall_s`) so they are auditable in one place. This test
+greps the source tree for direct clock access anywhere else.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+SANCTIONED = SRC / "util"
+
+FORBIDDEN = (
+    re.compile(r"\btime\.time\s*\("),
+    re.compile(r"\btime\.monotonic(?:_ns)?\s*\("),
+    re.compile(r"\btime\.perf_counter(?:_ns)?\s*\("),
+    re.compile(r"\btime\.process_time(?:_ns)?\s*\("),
+    re.compile(r"\bdatetime\.(?:now|utcnow|today)\s*\("),
+    re.compile(r"^\s*(?:import time\b|from time import\b)", re.MULTILINE),
+)
+
+
+def test_no_direct_wallclock_outside_util():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if SANCTIONED in path.parents:
+            continue
+        text = path.read_text()
+        for pattern in FORBIDDEN:
+            for match in pattern.finditer(text):
+                line = text.count("\n", 0, match.start()) + 1
+                offenders.append(
+                    f"{path.relative_to(SRC.parent)}:{line}: "
+                    f"{match.group(0).strip()}"
+                )
+    assert not offenders, (
+        "direct wall-clock access outside repro/util/ "
+        "(use repro.util.clock.monotonic_s / wall_s):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_gateways_exist():
+    from repro.util.clock import monotonic_s, wall_s
+
+    assert isinstance(monotonic_s(), float)
+    assert isinstance(wall_s(), float)
