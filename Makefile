@@ -4,15 +4,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench obs-report report
+.PHONY: test docs-check bench obs-report report chaos check
 
 test:
 	$(PYTHON) -m pytest tests/
 
-# Validate that every metric documented in docs/OBSERVABILITY.md is
-# registered by code, and vice versa (kinds and units included).
+# Validate that every metric documented in docs/OBSERVABILITY.md and every
+# fault point in docs/ROBUSTNESS.md is registered by code, and vice versa.
 docs-check:
-	$(PYTHON) -m pytest -m docs_check tests/obs/test_docs_catalog.py
+	$(PYTHON) -m pytest -m docs_check tests/obs/test_docs_catalog.py \
+		tests/faults/test_docs_catalog.py
 
 bench:
 	$(PYTHON) -m repro.cli bench
@@ -22,3 +23,12 @@ obs-report:
 
 report:
 	$(PYTHON) -m repro.cli report -o report.md
+
+# Fixed-seed chaos smoke campaign (push atomicity invariant) + the tier-1
+# suite. Same seed, same report — see docs/ROBUSTNESS.md.
+chaos:
+	$(PYTHON) -m repro.cli chaos --seed 7 --campaign smoke
+	$(PYTHON) -m pytest -x -q tests/
+
+# The default pre-merge gate.
+check: docs-check chaos

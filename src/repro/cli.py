@@ -10,7 +10,9 @@ Commands:
 * ``report``    — regenerate the full paper-vs-measured markdown report;
 * ``bench``     — run the data-plane perf suite, write ``BENCH_dataplane.json``;
 * ``obs report`` — resolve one issue with observability enabled and render
-  the span trees, metrics, and audit/trace correlation (optionally as JSON).
+  the span trees, metrics, and audit/trace correlation (optionally as JSON);
+* ``chaos``     — run a seeded fault-injection campaign over the scenario
+  networks and report the push-atomicity invariant per scenario.
 
 ``--network`` accepts a scenario name (``enterprise`` / ``university``) or
 a path to a snapshot directory written by ``snapshot`` /
@@ -238,6 +240,73 @@ def cmd_obs_report(args, out):
     return 0
 
 
+def cmd_chaos(args, out):
+    """Run one seeded chaos campaign; exit 0 iff every invariant held."""
+    import json as json_module
+
+    from repro.faults.chaos import campaign_names, run_campaign
+
+    if args.list:
+        for name in campaign_names():
+            out.write(f"{name}\n")
+        return 0
+
+    report = run_campaign(args.campaign, seed=args.seed)
+    if args.json:
+        json_module.dump(report.to_dict(), out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(
+            f"campaign: {report.campaign} (seed {report.seed})\n"
+        )
+        for scenario in report.scenarios:
+            flags = []
+            if scenario.crashed:
+                flags.append("crashed")
+            if scenario.resumed:
+                flags.append("resumed")
+            if scenario.resolved:
+                flags.append("resolved")
+            out.write(
+                f"  [{'ok' if scenario.ok else 'FAIL':4}] "
+                f"{scenario.network}/{scenario.issue} {scenario.label}: "
+                f"{scenario.outcome}"
+                f"{' (' + ', '.join(flags) + ')' if flags else ''}\n"
+            )
+            out.write(
+                f"         state invariant: "
+                f"{'held' if scenario.state_invariant else 'VIOLATED'}; "
+                f"audit chain: "
+                f"{'intact' if scenario.audit_intact else 'BROKEN'}"
+            )
+            if scenario.faults_fired:
+                shown = scenario.faults_fired[:6]
+                more = len(scenario.faults_fired) - len(shown)
+                out.write(f"; faults: {', '.join(shown)}"
+                          + (f" (+{more} more)" if more else ""))
+            if scenario.rollback_reason:
+                out.write(f"; reason: {scenario.rollback_reason}")
+            if scenario.error:
+                out.write(f"; error: {scenario.error}")
+            out.write("\n")
+        out.write("metrics:\n")
+        for name, value in sorted(report.metrics.items()):
+            out.write(f"  {name}: {value}\n")
+        out.write(
+            f"campaign {'PASSED' if report.ok else 'FAILED'}: "
+            f"{sum(1 for s in report.scenarios if s.ok)}/"
+            f"{len(report.scenarios)} scenarios held the push-atomicity "
+            f"invariant\n"
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2,
+                             sort_keys=True)
+            handle.write("\n")
+        out.write(f"chaos report written to {args.output}\n")
+    return 0 if report.ok else 1
+
+
 def cmd_report(args, out):
     from repro.experiments.report import render_report
 
@@ -322,6 +391,22 @@ def build_parser():
     obs_report.add_argument("-o", "--output", default=None,
                             help="also write the JSON report to this path")
     obs_report.set_defaults(func=cmd_obs_report)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign (push atomicity invariant)",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="campaign seed; same seed, same report")
+    chaos.add_argument("--campaign", default="smoke",
+                       help="campaign name (see --list)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list campaign names and exit")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the JSON report to stdout")
+    chaos.add_argument("-o", "--output", default=None,
+                       help="also write the JSON report to this path")
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -8,14 +8,21 @@ yields ``new`` (property-tested).
 
 import copy
 
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, FatalApplyError
 
 
 def apply_change(config, change):
-    """Apply one change to ``config`` in place."""
+    """Apply one change to ``config`` in place.
+
+    Raises :class:`~repro.util.errors.FatalApplyError` (never a bare
+    ``ValueError``) for unknown kinds so the transactional scheduler can
+    discriminate fatal from transient failures.
+    """
     handler = _HANDLERS.get(change.kind)
     if handler is None:
-        raise ConfigError(f"cannot apply change kind {change.kind!r}")
+        raise FatalApplyError(
+            f"cannot apply change kind {change.kind!r}", change=change
+        )
     handler(config, change)
 
 
@@ -23,8 +30,9 @@ def apply_changes(configs, changes):
     """Apply many changes to a dict of hostname -> DeviceConfig, in order."""
     for change in changes:
         if change.device not in configs:
-            raise ConfigError(
-                f"change targets unknown device {change.device!r}"
+            raise FatalApplyError(
+                f"change targets unknown device {change.device!r}",
+                device=change.device, change=change,
             )
         apply_change(configs[change.device], change)
 

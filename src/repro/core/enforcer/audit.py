@@ -22,7 +22,15 @@ import hmac as hmac_module
 import hashlib
 from dataclasses import dataclass, field, replace
 
+from repro import faults
 from repro.obs.trace import current_ids
+from repro.util.errors import AuditWriteError
+
+_APPEND_FAULT = faults.fault_point(
+    "audit.append", error=AuditWriteError,
+    help="the audit trail cannot be extended; dependent commits fail "
+         "closed (the push rolls back rather than going unrecorded)",
+)
 
 
 @dataclass(frozen=True)
@@ -106,7 +114,13 @@ class AuditTrail:
         Returns:
             The appended, MAC-sealed :class:`AuditRecord`. The active
             observability trace/span ids (if any) are captured implicitly.
+
+        Raises:
+            AuditWriteError: the trail could not be extended (injected via
+                the ``audit.append`` fault point). Nothing is appended —
+                the chain never holds a half-written record.
         """
+        _APPEND_FAULT.fire(actor=actor, action=action)
         trace_id, span_id = current_ids()
         prev_mac = self.records[-1].mac if self.records else _GENESIS_MAC
         entry = AuditRecord(

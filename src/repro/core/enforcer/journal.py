@@ -1,0 +1,184 @@
+"""Write-ahead journal for transactional production pushes.
+
+:meth:`~repro.core.enforcer.scheduler.ChangeScheduler.push` records its
+intent *before* touching production and a commit marker *after* every
+batch, so a pusher crash at any instant leaves enough durable state to
+finish or undo the push (docs/ROBUSTNESS.md "Journal format"):
+
+1. ``intent``   — push id, the ordered batches, and a pre-push snapshot of
+   every device the push will touch (both live config copies for restore
+   and canonical serialized text for byte-identical verification);
+2. ``batch-start i`` — written before batch *i* mutates anything, with a
+   pre-batch snapshot of exactly the devices batch *i* touches;
+3. ``batch-committed i`` — batch *i* fully applied;
+4. ``done`` | ``rolled-back`` — the terminal marker. A journal without one
+   is an in-flight push: :meth:`ChangeScheduler.resume` first restores the
+   pre-batch snapshot of the one possibly half-applied batch, then
+   re-applies every uncommitted batch — which makes recovery idempotent
+   even though individual changes (list appends) are not.
+
+The journal is an in-process object (the simulated stand-in for an fsynced
+journal file); ``entries`` is its append-only record and ``to_dict()`` its
+export for audit tooling.
+"""
+
+from dataclasses import dataclass
+
+from repro.config.serializer import serialize_config
+from repro.util.errors import JournalError
+
+# Terminal states a push journal can end in. Anything else means the push
+# is still in flight and must be resumed or rolled back.
+IN_FLIGHT = "in-flight"
+COMMITTED = "committed"
+ROLLED_BACK = "rolled-back"
+
+
+@dataclass
+class JournalEntry:
+    """One append-only journal record."""
+
+    # intent | batch-start | batch-committed | batch-restored | done
+    # | rolled-back
+    kind: str
+    batch_index: int = None
+    detail: str = ""
+
+
+class PushJournal:
+    """The durable record of one push's intent and progress."""
+
+    def __init__(self, push_id, batches, production):
+        self.push_id = push_id
+        self.batches = [list(batch) for batch in batches]
+        self.state = IN_FLIGHT
+        self.entries = []
+        self.committed = set()  # batch indices fully applied
+        self._inflight_index = None
+        self._inflight_snapshot = None  # device -> pre-batch config copy
+        self.devices = sorted(
+            {change.device for batch in self.batches for change in batch}
+        )
+        # Pre-push snapshot: live copies for rollback, canonical text for
+        # the byte-identical-restore property check.
+        self.snapshot = {
+            device: production.config(device).copy() for device in self.devices
+        }
+        self.snapshot_text = {
+            device: serialize_config(config)
+            for device, config in self.snapshot.items()
+        }
+        self.entries.append(
+            JournalEntry(
+                "intent",
+                detail=f"{len(self.batches)} batches over "
+                       f"{len(self.devices)} devices",
+            )
+        )
+
+    # -- markers (written by the pusher) -------------------------------------
+
+    def mark_batch_start(self, index, production):
+        """Record that batch ``index`` is about to mutate production."""
+        self._require_in_flight()
+        self._inflight_index = index
+        self._inflight_snapshot = {
+            change.device: production.config(change.device).copy()
+            for change in self.batches[index]
+        }
+        self.entries.append(JournalEntry("batch-start", batch_index=index))
+
+    def mark_batch_committed(self, index):
+        """Record that batch ``index`` fully applied."""
+        self._require_in_flight()
+        self.committed.add(index)
+        self._inflight_index = None
+        self._inflight_snapshot = None
+        self.entries.append(JournalEntry("batch-committed", batch_index=index))
+
+    def mark_done(self):
+        """Terminal marker: every batch committed."""
+        self._require_in_flight()
+        self.state = COMMITTED
+        self.entries.append(JournalEntry("done"))
+
+    def mark_rolled_back(self, reason=""):
+        """Terminal marker: production restored to the pre-push snapshot."""
+        self._require_in_flight()
+        self.state = ROLLED_BACK
+        self.entries.append(JournalEntry("rolled-back", detail=reason))
+
+    def _require_in_flight(self):
+        if self.state != IN_FLIGHT:
+            raise JournalError(
+                f"push {self.push_id} journal already terminal: {self.state}"
+            )
+
+    # -- recovery (read by resume / rollback) --------------------------------
+
+    @property
+    def terminal(self):
+        return self.state != IN_FLIGHT
+
+    def uncommitted_batches(self):
+        """(index, batch) pairs still to apply, in order."""
+        return [
+            (index, batch)
+            for index, batch in enumerate(self.batches)
+            if index not in self.committed
+        ]
+
+    def restore_inflight_batch(self, production):
+        """Undo the possibly half-applied batch recorded by the last
+        ``batch-start`` without a matching ``batch-committed``.
+
+        Returns the restored batch index, or ``None`` when the crash
+        happened between batches (nothing half-applied).
+        """
+        if self._inflight_index is None:
+            return None
+        for device, config in self._inflight_snapshot.items():
+            production.configs[device] = config.copy()
+        index = self._inflight_index
+        self._inflight_index = None
+        self._inflight_snapshot = None
+        self.entries.append(
+            JournalEntry("batch-restored", batch_index=index)
+        )
+        return index
+
+    def restore_snapshot(self, production):
+        """Roll production back to the pre-push snapshot (all devices)."""
+        for device, config in self.snapshot.items():
+            production.configs[device] = config.copy()
+
+    def snapshot_matches(self, production):
+        """Whether production's serialized configs are byte-identical to
+        the pre-push snapshot (the rollback invariant)."""
+        return all(
+            serialize_config(production.config(device)) == text
+            for device, text in self.snapshot_text.items()
+        )
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self):
+        """JSON-ready journal export (change objects summarised)."""
+        return {
+            "push_id": self.push_id,
+            "state": self.state,
+            "devices": list(self.devices),
+            "batches": [
+                [change.summary() for change in batch]
+                for batch in self.batches
+            ],
+            "committed": sorted(self.committed),
+            "entries": [
+                {
+                    "kind": entry.kind,
+                    "batch_index": entry.batch_index,
+                    "detail": entry.detail,
+                }
+                for entry in self.entries
+            ],
+        }

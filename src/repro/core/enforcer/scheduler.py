@@ -1,5 +1,5 @@
-"""Ordered change push (paper §4.3: "updating routers in the wrong order can
-result in inconsistent behavior").
+"""Ordered, crash-safe change push (paper §4.3: "updating routers in the
+wrong order can result in inconsistent behavior").
 
 The scheduler orders a verified change set into **batches by category** —
 L2 substrate first, then interface state, then routing, then ACLs, then
@@ -8,15 +8,40 @@ in place. Within a batch, changes touching the *same link or subnet* land
 together (both sides of a renumbered link in one batch), which is what
 prevents the transient blackholes a naive per-device push creates.
 
-:meth:`ChangeScheduler.push` can verify invariant policies between batches
-and report transient violations — the measurement behind ablation A2.
+:meth:`ChangeScheduler.push` is **transactional** (docs/ROBUSTNESS.md):
+it writes a :class:`~repro.core.enforcer.journal.PushJournal` (intent →
+per-batch commit markers → done) around every mutation, retries transient
+device failures with bounded backoff, rolls production back to a
+byte-identical pre-push snapshot on fatal failure, and — when the pusher
+dies mid-push — leaves a journal that :meth:`ChangeScheduler.resume`
+replays idempotently. The outcome is always one of exactly two states:
+fully committed or fully rolled back.
+
+:meth:`ChangeScheduler.push` can also verify invariant policies between
+batches and report transient violations — the measurement behind ablation
+A2.
 """
 
 from dataclasses import dataclass, field
 
-from repro.config.apply import apply_changes
+from repro import faults
+from repro.config.apply import apply_change
+from repro.core.enforcer.journal import (
+    COMMITTED,
+    ROLLED_BACK,
+    PushJournal,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.util.errors import (
+    AuditWriteError,
+    FatalApplyError,
+    JournalError,
+    PushCrashed,
+    ReproError,
+    TransientDeviceError,
+)
+from repro.util.retry import RetryPolicy, retry_call
 
 _CHANGES_COMMITTED = obs_metrics.counter(
     "enforcer.changes.committed", unit="changes",
@@ -25,6 +50,34 @@ _CHANGES_COMMITTED = obs_metrics.counter(
 _PUSH_BATCHES = obs_metrics.counter(
     "enforcer.push.batches", unit="batches",
     help="ordered batches applied during production imports",
+)
+_PUSH_ROLLBACKS = obs_metrics.counter(
+    "push.rollbacks", unit="pushes",
+    help="pushes rolled back to their pre-push snapshot",
+)
+_PUSH_RESUMES = obs_metrics.counter(
+    "push.resumes", unit="pushes",
+    help="crashed pushes completed from their journal",
+)
+
+# Fault points the chaos campaigns exercise (docs/ROBUSTNESS.md catalog).
+# The device-apply failure modes live here, on the *production* apply path:
+# the verifier simulates the same changes on candidate copies, and faults
+# must never fire there.
+_TRANSIENT_FAULT = faults.fault_point(
+    "device.apply.transient", error=TransientDeviceError,
+    help="a production device apply fails transiently (lost session, "
+         "device busy); retried with bounded exponential backoff",
+)
+_FATAL_FAULT = faults.fault_point(
+    "device.apply.fatal", error=FatalApplyError,
+    help="a production device apply fails permanently (rejected config); "
+         "the push rolls back to its pre-push snapshot",
+)
+_CRASH_FAULT = faults.fault_point(
+    "push.crash", error=PushCrashed,
+    help="the pusher process dies mid-batch; only the journal survives, "
+         "and resume() completes the push from it",
 )
 
 CATEGORY_ORDER = ("vlan", "l2", "interface", "routing", "acl", "mgmt", "credential")
@@ -37,17 +90,37 @@ class PushReport:
     batches: list = field(default_factory=list)  # list[list[ConfigChange]]
     transient_violations: int = 0
     checked_states: int = 0
+    status: str = COMMITTED  # journal.COMMITTED | journal.ROLLED_BACK
+    rollback_reason: str = ""
+    resumed: bool = False
+    journal: object = None  # the PushJournal, when journaling was on
 
     @property
     def change_count(self):
         return sum(len(batch) for batch in self.batches)
 
+    @property
+    def committed(self):
+        return self.status == COMMITTED
+
 
 class ChangeScheduler:
-    """Orders and applies verified change sets."""
+    """Orders and applies verified change sets, transactionally.
 
-    def __init__(self, category_order=CATEGORY_ORDER):
+    ``retry_policy`` governs transient-failure retries during pushes
+    (:class:`~repro.util.retry.RetryPolicy` defaults when ``None``).
+    ``last_journal`` always holds the most recent push's journal — after a
+    :class:`~repro.util.errors.PushCrashed` escape it is what
+    :meth:`resume` recovers from.
+    """
+
+    def __init__(self, category_order=CATEGORY_ORDER, retry_policy=None):
         self.category_order = tuple(category_order)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.last_journal = None
+        self._push_counter = 0
 
     def schedule(self, changes):
         """Batches of changes in safe application order.
@@ -78,8 +151,18 @@ class ChangeScheduler:
         return [by_device[device] for device in sorted(by_device)]
 
     def push(self, production, changes, policy_verifier=None,
-             invariant_policy_ids=None, batches=None):
-        """Apply ``changes`` to ``production`` batch by batch.
+             invariant_policy_ids=None, batches=None, audit=None,
+             actor="enforcer", clock=None):
+        """Apply ``changes`` to ``production`` batch by batch, atomically.
+
+        The push journals its intent and a pre-push snapshot first, then
+        applies each batch between ``batch-start``/``batch-committed``
+        markers. Transient device failures retry under the scheduler's
+        retry policy; a fatal failure (or a failed audit append — audit
+        failures fail *closed*) restores the snapshot and reports
+        ``rolled-back``. A simulated pusher crash raises
+        :class:`~repro.util.errors.PushCrashed` carrying the journal;
+        :meth:`resume` finishes the push from it.
 
         With a ``policy_verifier``, the network state after every batch is
         checked and violations of *invariant* policies (those holding both
@@ -95,18 +178,28 @@ class ChangeScheduler:
             invariant_policy_ids: explicit invariant set; computed from the
                 verifier when omitted.
             batches: a precomputed :meth:`schedule` result to reuse.
+            audit: optional :class:`~repro.core.enforcer.audit.AuditTrail`;
+                the commit record is written *inside* the transaction, so a
+                failed append rolls the push back.
+            clock: optional :class:`~repro.util.clock.SimulatedClock` to
+                charge retry backoff to.
 
         Returns:
-            A :class:`PushReport` with the applied batches and any
-            transient violations observed between them.
+            A :class:`PushReport`; ``report.status`` is ``committed`` or
+            ``rolled-back`` — there is no third outcome.
         """
         report = PushReport(
             batches=batches if batches is not None else self.schedule(changes)
         )
+        self._push_counter += 1
+        push_id = f"PUSH-{self._push_counter:04d}"
+        journal = PushJournal(push_id, report.batches, production)
+        self.last_journal = journal
+        report.journal = journal
         with obs_trace.span(
             "enforcer.push", batches=len(report.batches),
-            changes=report.change_count,
-        ):
+            changes=report.change_count, push_id=push_id,
+        ) as push_span:
             invariants = None
             if policy_verifier is not None:
                 invariants = (
@@ -116,22 +209,173 @@ class ChangeScheduler:
                         policy_verifier, production, changes
                     )
                 )
-            for batch in report.batches:
-                apply_changes(production.configs, batch)
-                _PUSH_BATCHES.inc()
-                _CHANGES_COMMITTED.inc(len(batch))
-                if policy_verifier is not None:
-                    interim = policy_verifier.verify_network(production)
-                    report.checked_states += 1
-                    report.transient_violations += sum(
-                        1
-                        for result in interim.violations
-                        if result.policy.policy_id in invariants
+            try:
+                for index, batch in enumerate(report.batches):
+                    journal.mark_batch_start(index, production)
+                    self._apply_batch(
+                        production, batch, index=index, clock=clock
                     )
+                    journal.mark_batch_committed(index)
+                    _PUSH_BATCHES.inc()
+                    _CHANGES_COMMITTED.inc(len(batch))
+                    if policy_verifier is not None:
+                        interim = policy_verifier.verify_network(production)
+                        report.checked_states += 1
+                        report.transient_violations += sum(
+                            1
+                            for result in interim.violations
+                            if result.policy.policy_id in invariants
+                        )
+                self._commit(journal, report, audit=audit, actor=actor)
+            except PushCrashed as crash:
+                # A simulated pusher death: no in-process cleanup happens
+                # (that is the point); the journal rides on the exception
+                # for out-of-process recovery via resume().
+                crash.journal = journal
+                push_span.set(crashed=True)
+                raise
+            except ReproError as exc:
+                self._rollback(
+                    production, journal, report,
+                    reason=f"{type(exc).__name__}: {exc}",
+                    audit=audit, actor=actor,
+                )
+            push_span.set(status=report.status)
+        return report
+
+    # -- the transactional machinery ------------------------------------------
+
+    def _apply_batch(self, production, batch, index, clock=None):
+        """Apply one batch, retrying transient per-change failures."""
+        for change in batch:
+            _CRASH_FAULT.fire(batch=index, device=change.device)
+
+            def apply_once(change=change):
+                _TRANSIENT_FAULT.fire(device=change.device, kind=change.kind)
+                _FATAL_FAULT.fire(device=change.device, kind=change.kind)
+                apply_change(production.config(change.device), change)
+
+            retry_call(
+                apply_once,
+                policy=self.retry_policy,
+                retryable=(TransientDeviceError,),
+                clock=clock,
+                step="retry backoff",
+            )
+
+    def _commit(self, journal, report, audit=None, actor="enforcer"):
+        """Write the commit audit record, then the terminal done marker.
+
+        Audit failures fail closed: when the trail cannot record that the
+        push happened, the push must not have happened — the caller's
+        except-path rolls everything back.
+        """
+        if audit is not None:
+            # Raises AuditWriteError when the trail is down; the caller's
+            # except-path turns that into a rollback.
+            audit.record(
+                actor=actor,
+                device="-",
+                command=f"commit {journal.push_id}: "
+                        f"{report.change_count} changes in "
+                        f"{len(report.batches)} batches",
+                action="enforcer.commit",
+                resource="production",
+                allowed=True,
+                outcome="committed",
+            )
+        journal.mark_done()
+        report.status = COMMITTED
+
+    def _rollback(self, production, journal, report, reason, audit=None,
+                  actor="enforcer"):
+        """Restore the pre-push snapshot; verify it is byte-identical."""
+        with obs_trace.span("enforcer.rollback", reason=reason):
+            journal.restore_snapshot(production)
+            if not journal.snapshot_matches(production):
+                raise JournalError(
+                    f"rollback of {journal.push_id} did not restore the "
+                    f"pre-push snapshot"
+                )
+            journal.mark_rolled_back(reason)
+            report.status = ROLLED_BACK
+            report.rollback_reason = reason
+            _PUSH_ROLLBACKS.inc()
+            if audit is not None:
+                # Best effort: a push that rolled back *because* the audit
+                # trail is down cannot audit its own rollback.
+                try:
+                    audit.record(
+                        actor=actor,
+                        device="-",
+                        command=f"rollback {journal.push_id}: {reason}",
+                        action="enforcer.rollback",
+                        resource="production",
+                        allowed=False,
+                        outcome="rolled back to pre-push snapshot",
+                    )
+                except AuditWriteError:
+                    pass
+
+    def resume(self, production, journal, audit=None, actor="enforcer",
+               clock=None):
+        """Finish a crashed push from its journal, idempotently.
+
+        Restores the pre-batch snapshot of the one possibly half-applied
+        batch, then re-applies every batch without a commit marker, in
+        order. Applying resume() to an already-terminal journal raises —
+        recovery never double-commits.
+
+        Returns:
+            A :class:`PushReport` with ``resumed=True``; ``status`` is
+            ``committed``, or ``rolled-back`` when recovery itself hit a
+            fatal failure.
+        """
+        if journal.terminal:
+            raise JournalError(
+                f"push {journal.push_id} already {journal.state}; "
+                f"nothing to resume"
+            )
+        report = PushReport(
+            batches=[list(batch) for batch in journal.batches],
+            resumed=True,
+            journal=journal,
+        )
+        self.last_journal = journal
+        with obs_trace.span(
+            "enforcer.resume", push_id=journal.push_id,
+            committed=len(journal.committed),
+        ) as span:
+            restored = journal.restore_inflight_batch(production)
+            span.set(restored_batch=restored)
+            try:
+                for index, batch in journal.uncommitted_batches():
+                    journal.mark_batch_start(index, production)
+                    self._apply_batch(
+                        production, batch, index=index, clock=clock
+                    )
+                    journal.mark_batch_committed(index)
+                    _PUSH_BATCHES.inc()
+                    _CHANGES_COMMITTED.inc(len(batch))
+                self._commit(journal, report, audit=audit, actor=actor)
+                _PUSH_RESUMES.inc()
+            except PushCrashed as crash:
+                crash.journal = journal
+                span.set(crashed=True)
+                raise
+            except ReproError as exc:
+                self._rollback(
+                    production, journal, report,
+                    reason=f"{type(exc).__name__}: {exc}",
+                    audit=audit, actor=actor,
+                )
+            span.set(status=report.status)
         return report
 
     def _stable_policies(self, policy_verifier, production, changes):
         """Policies holding both before and after the full change set."""
+        from repro.config.apply import apply_changes
+
         before = {
             r.policy.policy_id
             for r in policy_verifier.verify_network(production).results

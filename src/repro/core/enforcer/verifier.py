@@ -56,6 +56,7 @@ class EnforcementDecision:
     preexisting_violations: list = field(default_factory=list)
     candidate_report: object = None
     impact: object = None  # ReachabilityDiff: the change set's blast radius
+    push_report: object = None  # PushReport once the import ran (or rolled back)
 
     @property
     def approved(self):

@@ -71,12 +71,13 @@ class Heimdall:
     """One Heimdall deployment guarding one production network."""
 
     def __init__(self, production, policies=None, scoping_strategy="heimdall",
-                 clock=None, cost_model=None):
+                 clock=None, cost_model=None, max_workers=None):
         self.production = production
         self.policies = (
             list(policies) if policies is not None else mine_policies(production)
         )
         self.scoping_strategy = scoping_strategy
+        self.max_workers = max_workers  # verifier parallelism (None = serial)
         self.clock = clock if clock is not None else SimulatedClock()
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.enclave = SimulatedEnclave()
@@ -161,7 +162,10 @@ class Heimdall:
         """
         with obs_trace.span("enforcer.enforce", parent=session.span):
             changes = session.twin.changes()
-            verifier = ChangeVerifier(self.policies, session.privilege_spec)
+            verifier = ChangeVerifier(
+                self.policies, session.privilege_spec,
+                max_workers=self.max_workers,
+            )
             decision = verifier.verify(self.production, changes)
             self.clock.advance(
                 self.cost_model.verify_s(verifier.constraint_count),
@@ -181,9 +185,17 @@ class Heimdall:
                     "production.import", changes=len(changes)
                 ):
                     batches = self.scheduler.schedule(changes)
-                    self.scheduler.push(
-                        self.production, changes, batches=batches
+                    # Transactional: the push journals, retries transient
+                    # device failures, and rolls back to the pre-push
+                    # snapshot on fatal/audit failure. A simulated pusher
+                    # crash (PushCrashed) propagates with the journal for
+                    # scheduler.resume().
+                    push_report = self.scheduler.push(
+                        self.production, changes, batches=batches,
+                        audit=self.audit, actor=session.session_id,
+                        clock=self.clock,
                     )
+                    decision.push_report = push_report
                     self.clock.advance(
                         len(changes) * (
                             self.cost_model.schedule_per_change_s
@@ -191,16 +203,17 @@ class Heimdall:
                         ),
                         step="schedule + commit",
                     )
-                    for change in changes:
-                        self.audit.record(
-                            actor=session.session_id,
-                            device=change.device,
-                            command=change.summary(),
-                            action=change.action,
-                            resource=change.device,
-                            allowed=True,
-                            outcome="committed",
-                        )
+                    if push_report.committed:
+                        for change in changes:
+                            self.audit.record(
+                                actor=session.session_id,
+                                device=change.device,
+                                command=change.summary(),
+                                action=change.action,
+                                resource=change.device,
+                                allowed=True,
+                                outcome="committed",
+                            )
         return decision
 
     # -- extension: emergency mode (paper §7) --------------------------------------

@@ -4,13 +4,23 @@ Every command a technician types in the presentation layer is classified
 (action, resource) by the target console, authorised against the
 Privilege_msp, recorded in the audit trail, and only then executed in the
 emulation layer (paper Figure 5d).
+
+Execution runs under a **per-command time budget**: a command that exceeds
+``command_timeout_s`` (or whose console dies mid-command — the
+``monitor.timeout`` fault point) yields a synthetic denied-with-reason
+:class:`~repro.emulation.console.CommandResult` and an audit record saying
+so. The session never hangs, and a timed-out command is never silently
+dropped from the trail (docs/ROBUSTNESS.md).
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro import faults
 from repro.emulation.console import CommandResult
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.util.clock import monotonic_s
+from repro.util.errors import MonitorTimeout
 
 _COMMANDS = obs_metrics.counter(
     "monitor.commands", unit="commands",
@@ -24,6 +34,20 @@ _DENIED = obs_metrics.counter(
     "monitor.denied", unit="commands",
     help="mediated commands refused before reaching the emulation layer",
 )
+_TIMEOUTS = obs_metrics.counter(
+    "monitor.timeouts", unit="commands",
+    help="mediated commands aborted for exceeding the per-command budget",
+)
+
+_TIMEOUT_FAULT = faults.fault_point(
+    "monitor.timeout", error=MonitorTimeout,
+    help="an authorised command exceeds the monitor's per-command budget; "
+         "the session gets a denied-with-reason result, never a hang",
+)
+
+# Generous default: emulated commands finish in microseconds, so only a
+# genuinely wedged console (or the fault point) ever exceeds it.
+DEFAULT_COMMAND_TIMEOUT_S = 5.0
 
 
 @dataclass
@@ -33,15 +57,24 @@ class MonitorStats:
     commands: int = 0
     allowed: int = 0
     denied: int = 0
+    timeouts: int = 0
 
 
 class ReferenceMonitor:
-    """Mediates console access for one technician session."""
+    """Mediates console access for one technician session.
 
-    def __init__(self, privilege_spec, audit=None, actor="technician"):
+    ``command_timeout_s`` is the wall-clock budget per mediated command;
+    the emulation layer is synchronous, so enforcement is post-hoc (the
+    result of an over-budget command is discarded, fail closed) plus the
+    injectable ``monitor.timeout`` fault for chaos testing.
+    """
+
+    def __init__(self, privilege_spec, audit=None, actor="technician",
+                 command_timeout_s=DEFAULT_COMMAND_TIMEOUT_S):
         self.privilege_spec = privilege_spec
         self.audit = audit
         self.actor = actor
+        self.command_timeout_s = command_timeout_s
         self.stats = MonitorStats()
         self.decisions = []
 
@@ -49,7 +82,9 @@ class ReferenceMonitor:
         """Authorise then execute ``command`` on ``console``.
 
         Denied commands never reach the emulation layer; the technician sees
-        an IOS-style authorization failure instead.
+        an IOS-style authorization failure instead. Commands that exceed the
+        per-command budget are aborted with a timeout failure — recorded in
+        the audit trail like any other denial, never silently dropped.
 
         Args:
             console: the emulation-layer console to (maybe) run on.
@@ -57,7 +92,7 @@ class ReferenceMonitor:
 
         Returns:
             The :class:`~repro.emulation.console.CommandResult` — either the
-            emulation layer's, or a synthetic authorization failure.
+            emulation layer's, or a synthetic authorization/timeout failure.
         """
         with obs_trace.span(
             "monitor.execute", device=console.device, command=command
@@ -69,10 +104,18 @@ class ReferenceMonitor:
             _COMMANDS.inc()
             span.set(action=action, allowed=decision.allowed)
 
+            timed_out = False
             if decision.allowed:
                 self.stats.allowed += 1
                 _ALLOWED.inc()
-                result = console.execute(command)
+                try:
+                    result = self._execute_within_budget(console, command)
+                except MonitorTimeout as exc:
+                    timed_out = True
+                    result = self._timeout_result(
+                        console, command, action, resource, exc
+                    )
+                    span.set(timed_out=True)
             else:
                 self.stats.denied += 1
                 _DENIED.inc()
@@ -87,7 +130,9 @@ class ReferenceMonitor:
                 )
 
             # Recorded inside the span so the audit entry carries this
-            # mediation's trace/span ids (docs/OBSERVABILITY.md).
+            # mediation's trace/span ids (docs/OBSERVABILITY.md). A timeout
+            # is recorded as denied-with-reason: the command's effect was
+            # not observed, so the conservative verdict is "did not happen".
             if self.audit is not None:
                 self.audit.record(
                     actor=self.actor,
@@ -95,10 +140,47 @@ class ReferenceMonitor:
                     command=command,
                     action=action,
                     resource=resource,
-                    allowed=decision.allowed,
+                    allowed=decision.allowed and not timed_out,
                     outcome="ok" if result.ok else (result.error or "failed"),
                 )
         return result
+
+    def _execute_within_budget(self, console, command):
+        """Run the command; raise :class:`MonitorTimeout` if over budget.
+
+        The synchronous emulator cannot be preempted, so the budget check
+        is post-hoc — but the over-budget result is discarded unseen, which
+        is what makes the timeout fail closed.
+        """
+        _TIMEOUT_FAULT.fire(device=console.device, command=command)
+        started = monotonic_s()
+        result = console.execute(command)
+        elapsed = monotonic_s() - started
+        if self.command_timeout_s is not None and elapsed > self.command_timeout_s:
+            raise MonitorTimeout(
+                f"command exceeded {self.command_timeout_s}s budget",
+                device=console.device, command=command,
+                timeout_s=self.command_timeout_s,
+            )
+        return result
+
+    def _timeout_result(self, console, command, action, resource, exc):
+        self.stats.timeouts += 1
+        _TIMEOUTS.inc()
+        timeout_s = (
+            exc.timeout_s if exc.timeout_s is not None
+            else self.command_timeout_s
+        )
+        return CommandResult(
+            device=console.device,
+            command=command,
+            ok=False,
+            action=action,
+            resource=resource,
+            error=f"% Command timed out after {timeout_s}s: "
+                  "denied (result not observed)",
+            mode_after=console.mode,
+        )
 
 
 class MonitoredConsole:

@@ -1,0 +1,45 @@
+"""``repro.faults`` — deterministic fault injection for chaos campaigns.
+
+A :class:`~repro.faults.registry.FaultPoint` is a named place in the
+pipeline where a failure can be injected (a device apply failing, the
+pusher crashing mid-batch, an audit append failing, ...). Points are
+registered at import time by the modules they live in — the same pattern as
+the metrics registry — so docs/ROBUSTNESS.md's fault catalog can be
+validated against the live registry without running a workload.
+
+Everything is **off by default**: an unarmed point costs one attribute read.
+Arm a plan with a seed and every trigger decision becomes a deterministic
+function of ``(seed, point name, call index)``:
+
+    from repro import faults
+
+    faults.arm({"device.apply.transient": faults.Rule(nth=2)}, seed=7)
+    try:
+        ... run the pipeline ...
+    finally:
+        faults.disarm()
+
+See docs/ROBUSTNESS.md for the full fault-point catalog and
+:mod:`repro.faults.chaos` for the seeded campaign runner behind
+``python -m repro.cli chaos``.
+"""
+
+from repro.faults.registry import (
+    FaultPoint,
+    FaultRegistry,
+    Rule,
+    arm,
+    disarm,
+    fault_point,
+    registry,
+)
+
+__all__ = [
+    "FaultPoint",
+    "FaultRegistry",
+    "Rule",
+    "arm",
+    "disarm",
+    "fault_point",
+    "registry",
+]

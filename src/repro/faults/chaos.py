@@ -1,0 +1,347 @@
+"""Seeded chaos campaigns over the scenario networks.
+
+A **campaign** is a fixed list of scenarios; a **scenario** is one ticket
+resolved end-to-end (inject issue → twin session → verify → push) with a
+fault plan armed at a chosen phase. Everything derives from the campaign
+seed, so ``python -m repro.cli chaos --seed 7 --campaign push-failures``
+produces the identical report every run.
+
+After every scenario the runner checks the **push atomicity invariant**:
+production's serialized configs are byte-identical either to the pre-push
+snapshot (fully rolled back / nothing imported) or to the pre-push snapshot
+with the journaled change set applied (fully committed) — never anything in
+between — and the audit chain still verifies. A crashed push is recovered
+with :meth:`~repro.core.enforcer.scheduler.ChangeScheduler.resume` before
+the check, which is exactly the recovery protocol docs/ROBUSTNESS.md
+specifies.
+"""
+
+from dataclasses import dataclass, field
+
+from repro import faults, obs
+from repro.config.serializer import serialize_config
+from repro.core.heimdall import Heimdall
+from repro.faults.registry import Rule
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.scenarios.university import build_university_network
+from repro.util.errors import PushCrashed, ReproError
+
+_BUILDERS = {
+    "enterprise": build_enterprise_network,
+    "university": build_university_network,
+}
+
+# Metrics the campaign report surfaces (all registered at import time by
+# the instrumented modules; see docs/OBSERVABILITY.md).
+REPORT_METRICS = (
+    "faults.injected",
+    "push.rollbacks",
+    "push.resumes",
+    "retry.attempts",
+    "retry.exhausted",
+    "monitor.timeouts",
+    "verify.degraded",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fault-injected ticket resolution.
+
+    ``arm_phase`` picks when the plan arms: ``"session"`` before the twin
+    commands run (monitor faults), ``"push"`` after them, just before
+    submit (apply/crash/audit faults — the twin session stays clean).
+    ``expect`` is the deterministic expected outcome, or ``None`` when the
+    plan is probabilistic and only the two-state invariant is asserted.
+    """
+
+    label: str
+    network: str
+    issue: str
+    plan: dict  # fault point name -> Rule
+    arm_phase: str = "push"  # "session" | "push"
+    max_workers: int = None
+    expect: str = None  # "committed" | "rolled-back" | None
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one scenario ended in, plus its invariant verdicts."""
+
+    label: str
+    network: str
+    issue: str
+    outcome: str = ""  # committed | rolled-back | not-imported
+    crashed: bool = False
+    resumed: bool = False
+    resolved: bool = False
+    rollback_reason: str = ""
+    state_invariant: bool = False
+    audit_intact: bool = False
+    expected: str = None
+    expectation_met: bool = True
+    faults_fired: list = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self):
+        return self.state_invariant and self.audit_intact and (
+            self.expectation_met
+        ) and not self.error
+
+    def to_dict(self):
+        return {
+            "label": self.label,
+            "network": self.network,
+            "issue": self.issue,
+            "outcome": self.outcome,
+            "crashed": self.crashed,
+            "resumed": self.resumed,
+            "resolved": self.resolved,
+            "rollback_reason": self.rollback_reason,
+            "state_invariant": self.state_invariant,
+            "audit_intact": self.audit_intact,
+            "expected": self.expected,
+            "expectation_met": self.expectation_met,
+            "faults_fired": list(self.faults_fired),
+            "error": self.error,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """All scenario outcomes of one seeded campaign run."""
+
+    campaign: str
+    seed: int
+    scenarios: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return all(outcome.ok for outcome in self.scenarios)
+
+    def to_dict(self):
+        return {
+            "campaign": self.campaign,
+            "seed": self.seed,
+            "ok": self.ok,
+            "scenarios": [outcome.to_dict() for outcome in self.scenarios],
+            "metrics": self.metrics,
+        }
+
+
+# -- campaign catalog ---------------------------------------------------------
+
+def _campaigns():
+    """Campaign name -> scenario list (a function so Rules are fresh)."""
+    push_failures = [
+        Scenario(
+            label="transient-retried",
+            network="university", issue="ospf",
+            plan={"device.apply.transient": Rule(nth=1, times=2)},
+            expect="committed",
+        ),
+        Scenario(
+            label="fatal-rollback",
+            network="university", issue="ospf",
+            plan={"device.apply.fatal": Rule(nth=1)},
+            expect="rolled-back",
+        ),
+        Scenario(
+            label="transient-exhausted",
+            network="university", issue="vlan",
+            plan={"device.apply.transient": Rule(probability=1.0, times=99)},
+            expect="rolled-back",
+        ),
+        Scenario(
+            label="crash-mid-push-resume",
+            network="enterprise", issue="ospf",
+            plan={"push.crash": Rule(nth=2)},
+            expect="committed",
+        ),
+        Scenario(
+            label="audit-fail-closed",
+            network="enterprise", issue="isp",
+            # During enforce, append #1 is the verify record and #2 the
+            # push's commit record; failing #2 must roll the push back.
+            plan={"audit.append": Rule(nth=2)},
+            expect="rolled-back",
+        ),
+    ]
+    monitor_timeouts = [
+        Scenario(
+            label="command-timeout",
+            network="university", issue="ospf",
+            plan={"monitor.timeout": Rule(nth=2)},
+            arm_phase="session",
+        ),
+        Scenario(
+            label="timeout-storm",
+            network="enterprise", issue="vlan",
+            plan={"monitor.timeout": Rule(probability=0.4, times=99)},
+            arm_phase="session",
+        ),
+    ]
+    verify_degraded = [
+        Scenario(
+            label="worker-death-degrades",
+            network="enterprise", issue="ospf",
+            plan={"verify.worker": Rule(probability=0.5, times=99)},
+            max_workers=4,
+            expect="committed",
+        ),
+        Scenario(
+            label="all-workers-die",
+            network="university", issue="isp",
+            plan={"verify.worker": Rule(probability=1.0, times=9999)},
+            max_workers=4,
+            expect="committed",
+        ),
+    ]
+    smoke = [
+        push_failures[0], push_failures[1], push_failures[3],
+        push_failures[4],
+        monitor_timeouts[0],
+        verify_degraded[0],
+    ]
+    return {
+        "push-failures": push_failures,
+        "monitor-timeouts": monitor_timeouts,
+        "verify-degraded": verify_degraded,
+        "smoke": smoke,
+    }
+
+
+def campaign_names():
+    """The runnable campaign names."""
+    return sorted(_campaigns())
+
+
+# -- runner -------------------------------------------------------------------
+
+def run_campaign(name, seed):
+    """Run campaign ``name`` under ``seed``; returns a :class:`CampaignReport`.
+
+    Observability is enabled for the duration so fault paths land in the
+    metrics the report surfaces (and in spans/audit correlation).
+    """
+    campaigns = _campaigns()
+    if name not in campaigns:
+        raise ReproError(
+            f"unknown campaign {name!r}; choose from "
+            f"{', '.join(sorted(campaigns))}"
+        )
+    report = CampaignReport(campaign=name, seed=seed)
+    obs.reset()
+    obs.enable()
+    try:
+        for index, scenario in enumerate(campaigns[name]):
+            report.scenarios.append(
+                run_scenario(scenario, seed=f"{seed}:{index}:{scenario.label}")
+            )
+    finally:
+        obs.disable()
+    registry = obs.registry()
+    report.metrics = {
+        metric_name: registry.get(metric_name).value
+        for metric_name in REPORT_METRICS
+        if registry.get(metric_name) is not None
+    }
+    return report
+
+
+def run_scenario(scenario, seed):
+    """Run one scenario; always disarms the fault registry on exit."""
+    outcome = ScenarioOutcome(
+        label=scenario.label, network=scenario.network, issue=scenario.issue,
+        expected=scenario.expect,
+    )
+    network = _BUILDERS[scenario.network]()
+    policies = mine_policies(network)
+    issue = standard_issues(scenario.network)[scenario.issue]
+    issue.inject(network)
+    heimdall = Heimdall(
+        network, policies=policies, max_workers=scenario.max_workers
+    )
+    session = heimdall.open_ticket(issue)
+    try:
+        if scenario.arm_phase == "session":
+            faults.arm(scenario.plan, seed=seed)
+        session.run_fix_script(issue.fix_script)
+        # The twin session never touches production: this is the pre-push
+        # baseline the atomicity invariant compares against.
+        baseline = network.copy()
+        if scenario.arm_phase == "push":
+            faults.arm(scenario.plan, seed=seed)
+        try:
+            session.submit()
+        except PushCrashed as crash:
+            outcome.crashed = True
+            resumed = heimdall.scheduler.resume(
+                network, crash.journal,
+                audit=heimdall.audit, actor="recovery", clock=heimdall.clock,
+            )
+            outcome.resumed = resumed.resumed
+        outcome.faults_fired = [
+            f"{firing.point}#{firing.call_index}"
+            for firing in faults.registry().firings
+        ]
+    except ReproError as exc:
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        baseline = None
+    finally:
+        faults.disarm()
+
+    _judge(outcome, heimdall, network, baseline, issue)
+    if scenario.expect is not None:
+        outcome.expectation_met = outcome.outcome == scenario.expect
+    return outcome
+
+
+def _judge(outcome, heimdall, network, baseline, issue):
+    """Fill in the outcome classification and invariant verdicts."""
+    journal = heimdall.scheduler.last_journal
+    if baseline is None:
+        # The scenario errored before a baseline existed; nothing to judge.
+        outcome.state_invariant = False
+        outcome.audit_intact = heimdall.audit.verify()
+        outcome.outcome = "error"
+        return
+
+    if journal is None:
+        outcome.outcome = "not-imported"
+    else:
+        outcome.outcome = journal.state
+        outcome.rollback_reason = next(
+            (entry.detail for entry in journal.entries
+             if entry.kind == "rolled-back"),
+            "",
+        )
+
+    actual = {
+        device: serialize_config(config)
+        for device, config in network.configs.items()
+    }
+    pre_push = {
+        device: serialize_config(config)
+        for device, config in baseline.configs.items()
+    }
+    if journal is None or journal.state == "rolled-back":
+        outcome.state_invariant = actual == pre_push
+    else:
+        from repro.config.apply import apply_changes
+
+        expected_network = baseline.copy()
+        for batch in journal.batches:
+            apply_changes(expected_network.configs, batch)
+        expected = {
+            device: serialize_config(config)
+            for device, config in expected_network.configs.items()
+        }
+        outcome.state_invariant = actual == expected
+    outcome.resolved = issue.is_resolved(network)
+    outcome.audit_intact = heimdall.audit.verify()

@@ -1,0 +1,260 @@
+"""The fault-point registry: named, seeded, off-by-default injection sites.
+
+Modules declare their injection points at import time::
+
+    _APPLY_FAULT = faults.fault_point(
+        "device.apply.transient", error=TransientDeviceError,
+        help="one device apply fails transiently (retryable)",
+    )
+
+and call ``_APPLY_FAULT.fire(device=...)`` on the instrumented path. While
+the registry is unarmed, ``fire`` is one attribute read. Arming installs a
+:class:`Rule` per point; when a rule triggers, ``fire`` raises the point's
+error type, increments the ``faults.injected`` metric, and logs the firing
+(point name, call index, context) so a chaos report can show exactly what
+was injected where.
+
+Trigger decisions are deterministic: each armed rule draws from a PRNG
+derived from ``(campaign seed, point name)`` via :mod:`repro.util.rand`, so
+the same seed always fires the same calls — the property that makes a chaos
+campaign reproducible from its seed alone.
+"""
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs import metrics as obs_metrics
+from repro.util import rand
+from repro.util.errors import ReproError
+
+_FAULTS_INJECTED = obs_metrics.counter(
+    "faults.injected", unit="faults",
+    help="failures injected by armed fault points",
+)
+
+
+@dataclass
+class Rule:
+    """When an armed fault point should trigger.
+
+    Exactly one trigger mode is active per rule:
+
+    * ``nth``: trigger on the nth call to the point (1-based);
+    * ``probability``: trigger each call with this probability (seeded);
+
+    ``times`` bounds the total number of triggers (default 1 for ``nth``,
+    unlimited for ``probability``); ``error`` overrides the point's default
+    error type; ``message`` overrides the raise text.
+    """
+
+    nth: int = None
+    probability: float = None
+    times: int = None
+    error: type = None
+    message: str = None
+
+    def __post_init__(self):
+        if (self.nth is None) == (self.probability is None):
+            raise ReproError(
+                "fault rule needs exactly one of nth= or probability="
+            )
+        if self.nth is not None and self.nth < 1:
+            raise ReproError(f"nth must be >= 1, got {self.nth}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ReproError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.times is None:
+            self.times = 1 if self.nth is not None else None
+
+
+@dataclass
+class Firing:
+    """One injected failure, for the chaos report."""
+
+    point: str
+    call_index: int
+    context: dict = field(default_factory=dict)
+
+
+class _ArmedRule:
+    """A rule bound to one point for one armed session."""
+
+    __slots__ = ("rule", "rng", "calls", "fired")
+
+    def __init__(self, point_name, rule):
+        self.rule = rule
+        self.rng = rand.derive(f"fault:{point_name}")
+        self.calls = 0
+        self.fired = 0
+
+    def should_fire(self):
+        self.calls += 1
+        if self.rule.times is not None and self.fired >= self.rule.times:
+            return False
+        if self.rule.nth is not None:
+            hit = self.calls >= self.rule.nth
+        else:
+            hit = self.rng.random() < self.rule.probability
+        if hit:
+            self.fired += 1
+        return hit
+
+
+class FaultPoint:
+    """One named injection site."""
+
+    __slots__ = ("name", "error", "help", "registry")
+
+    def __init__(self, name, error, help, registry):
+        self.name = name
+        self.error = error
+        self.help = help
+        self.registry = registry
+
+    def fire(self, **context):
+        """Raise the configured error if an armed rule triggers.
+
+        ``context`` (device name, command, batch index, ...) is recorded
+        with the firing and interpolated into the raise message. A no-op
+        while the registry is unarmed or the point has no rule.
+        """
+        registry = self.registry
+        if not registry.armed:
+            return
+        registry.check(self, context)
+
+
+class FaultRegistry:
+    """Name-keyed fault points plus the currently armed plan, if any.
+
+    Registration is idempotent per name (modules register at import time);
+    re-registering with a different error type is a bug and raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._points = {}
+        self._armed = {}  # point name -> _ArmedRule
+        self.armed = False
+        self.firings = []
+
+    # -- registration (import time) -----------------------------------------
+
+    def point(self, name, error, help=""):
+        """Get-or-create the fault point ``name``."""
+        with self._lock:
+            existing = self._points.get(name)
+            if existing is not None:
+                if existing.error is not error:
+                    raise ReproError(
+                        f"fault point {name!r} already registered with error "
+                        f"{existing.error.__name__}, not {error.__name__}"
+                    )
+                return existing
+            created = FaultPoint(name, error, help, self)
+            self._points[name] = created
+            return created
+
+    def get(self, name):
+        """The point registered as ``name``, or ``None``."""
+        with self._lock:
+            return self._points.get(name)
+
+    def names(self):
+        """All registered point names, sorted."""
+        with self._lock:
+            return sorted(self._points)
+
+    def points(self):
+        """All registered points, sorted by name."""
+        with self._lock:
+            return [self._points[name] for name in sorted(self._points)]
+
+    # -- arming (campaign time) ---------------------------------------------
+
+    def arm(self, plan, seed=None):
+        """Install ``plan`` (point name -> :class:`Rule`) and start firing.
+
+        Args:
+            plan: which points fail and how. Unknown names raise — a chaos
+                campaign naming a point that no longer exists is a bug, not
+                a silent no-op.
+            seed: re-seeds :mod:`repro.util.rand` first, so one number
+                reproduces the whole campaign. ``None`` keeps the current
+                seed.
+        """
+        if seed is not None:
+            rand.seed(seed)
+        with self._lock:
+            unknown = sorted(set(plan) - set(self._points))
+            if unknown:
+                raise ReproError(
+                    f"unknown fault points in plan: {', '.join(unknown)} "
+                    f"(registered: {', '.join(sorted(self._points))})"
+                )
+            self._armed = {
+                name: _ArmedRule(name, rule) for name, rule in plan.items()
+            }
+            self.firings = []
+            self.armed = True
+
+    def disarm(self):
+        """Stop firing; keeps the firing log for inspection."""
+        with self._lock:
+            self._armed = {}
+            self.armed = False
+
+    def check(self, point, context):
+        """Trigger-test one call to ``point``; raises when a rule fires."""
+        with self._lock:
+            armed = self._armed.get(point.name)
+            if armed is None or not armed.should_fire():
+                return
+            firing = Firing(
+                point=point.name,
+                call_index=armed.calls,
+                context=dict(context),
+            )
+            self.firings.append(firing)
+            rule = armed.rule
+        _FAULTS_INJECTED.inc()
+        error = rule.error if rule.error is not None else point.error
+        message = rule.message or (
+            f"injected fault at {point.name}"
+            + (f" ({_context_text(context)})" if context else "")
+        )
+        raise error(message)
+
+    def calls(self, name):
+        """How many times the armed rule for ``name`` has been consulted."""
+        with self._lock:
+            armed = self._armed.get(name)
+            return armed.calls if armed is not None else 0
+
+
+def _context_text(context):
+    return ", ".join(f"{k}={v}" for k, v in sorted(context.items()))
+
+
+_REGISTRY = FaultRegistry()
+
+
+def registry():
+    """The process-wide fault registry."""
+    return _REGISTRY
+
+
+def fault_point(name, error, help=""):
+    """Module-level shorthand for :meth:`FaultRegistry.point`."""
+    return _REGISTRY.point(name, error, help=help)
+
+
+def arm(plan, seed=None):
+    """Module-level shorthand for :meth:`FaultRegistry.arm`."""
+    _REGISTRY.arm(plan, seed=seed)
+
+
+def disarm():
+    """Module-level shorthand for :meth:`FaultRegistry.disarm`."""
+    _REGISTRY.disarm()

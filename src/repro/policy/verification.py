@@ -4,12 +4,14 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.control.builder import build_dataplane
 from repro.dataplane.reachability import ReachabilityAnalyzer
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.state import STATE as _OBS
 from repro.util.clock import monotonic_s
+from repro.util.errors import VerifierWorkerError
 
 _POLICY_CHECKS = obs_metrics.counter(
     "policy.checks", unit="checks",
@@ -27,6 +29,21 @@ _WORKERS = obs_metrics.gauge(
     "policy.verify.workers", unit="threads",
     help="worker threads used by the most recent verification pass",
 )
+_DEGRADED = obs_metrics.counter(
+    "verify.degraded", unit="passes",
+    help="verification passes that fell back to sequential checking "
+         "after parallel worker deaths",
+)
+
+_WORKER_FAULT = faults.fault_point(
+    "verify.worker", error=VerifierWorkerError,
+    help="a parallel verification worker dies mid-check; the pass "
+         "re-runs the lost policies sequentially (graceful degradation)",
+)
+
+# Sentinel a dying worker leaves in the result slot; the degraded path
+# re-checks exactly those slots serially.
+_WORKER_DIED = object()
 
 
 @dataclass
@@ -114,15 +131,38 @@ class PolicyVerifier:
 
                 # Worker threads have no span stack of their own, so the
                 # pass's span is handed to them as the explicit parent.
+                # A dying worker (the verify.worker fault point) leaves a
+                # sentinel instead of poisoning the whole pass.
                 def check(policy):
-                    with obs_trace.span(
-                        "verify.policy", parent=vspan,
-                        policy=policy.policy_id,
-                    ):
-                        return policy.check(analyzer)
+                    try:
+                        _WORKER_FAULT.fire(policy=policy.policy_id)
+                        with obs_trace.span(
+                            "verify.policy", parent=vspan,
+                            policy=policy.policy_id,
+                        ):
+                            return policy.check(analyzer)
+                    except VerifierWorkerError:
+                        return _WORKER_DIED
 
                 with ThreadPoolExecutor(max_workers=workers) as pool:
                     report.results = list(pool.map(check, self.policies))
+
+                # Graceful degradation: re-run the policies whose workers
+                # died sequentially, preserving report order.
+                lost = [
+                    index for index, result in enumerate(report.results)
+                    if result is _WORKER_DIED
+                ]
+                if lost:
+                    _DEGRADED.inc()
+                    vspan.set(degraded=True, lost_workers=len(lost))
+                    for index in lost:
+                        policy = self.policies[index]
+                        with obs_trace.span(
+                            "verify.policy.degraded", parent=vspan,
+                            policy=policy.policy_id,
+                        ):
+                            report.results[index] = policy.check(analyzer)
             else:
                 _WORKERS.set(1)
                 for policy in self.policies:

@@ -51,3 +51,63 @@ class SchedulingError(ReproError):
 
 class EnforcementError(ReproError):
     """The policy enforcer rejected a change set or detected tampering."""
+
+
+# -- push / recovery ---------------------------------------------------------
+#
+# The transactional scheduler (docs/ROBUSTNESS.md) discriminates failures by
+# type: transient errors are retried with backoff, fatal errors roll the
+# push back to its pre-push snapshot, and crashes leave a journal behind for
+# :meth:`~repro.core.enforcer.scheduler.ChangeScheduler.resume`.
+
+
+class ApplyError(ReproError):
+    """A change could not be applied to a production device."""
+
+    def __init__(self, message, device=None, change=None):
+        super().__init__(message)
+        self.device = device
+        self.change = change
+
+
+class TransientDeviceError(ApplyError):
+    """A device apply failed in a way worth retrying (lost session, busy)."""
+
+
+class FatalApplyError(ApplyError):
+    """A device apply failed permanently; the push must roll back."""
+
+
+class PushCrashed(ReproError):
+    """The pusher process died mid-push (simulated by fault injection).
+
+    Unlike :class:`FatalApplyError` there is no in-process cleanup: the
+    journal written so far is all that survives, and recovery happens via
+    ``ChangeScheduler.resume(production, journal)``.
+    """
+
+    def __init__(self, message, journal=None):
+        super().__init__(message)
+        self.journal = journal
+
+
+class JournalError(ReproError):
+    """A push journal is unusable (wrong state, snapshot mismatch)."""
+
+
+class MonitorTimeout(ReproError):
+    """A mediated command exceeded the reference monitor's time budget."""
+
+    def __init__(self, message, device=None, command=None, timeout_s=None):
+        super().__init__(message)
+        self.device = device
+        self.command = command
+        self.timeout_s = timeout_s
+
+
+class AuditWriteError(ReproError):
+    """The audit trail could not be extended; dependent commits fail closed."""
+
+
+class VerifierWorkerError(ReproError):
+    """A parallel verification worker died; the pass degrades to serial."""

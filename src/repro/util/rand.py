@@ -1,0 +1,56 @@
+"""Confined randomness, mirroring how :mod:`repro.util.clock` confines time.
+
+Determinism is a feature: chaos campaigns must replay from a single seed,
+and backoff jitter must not make retry timing differ run-to-run. So the
+``random`` module is importable only here (``tests/util/test_no_random.py``
+greps the tree, the same lint pattern as the wall-clock test) and every
+consumer draws from named, seed-derived streams:
+
+>>> from repro.util import rand
+>>> rand.seed(7)
+>>> rand.derive("faults").random() == rand.derive("faults").random()
+True
+
+``derive(name)`` returns a fresh PRNG deterministically keyed by
+``(seed, name)``, so independent subsystems (fault triggers, retry jitter)
+never perturb each other's streams no matter how many draws each makes —
+adding a retry cannot change which fault fires.
+"""
+
+import random
+
+_DEFAULT_SEED = 0
+
+_seed = _DEFAULT_SEED
+_rng = random.Random(_DEFAULT_SEED)
+
+
+def seed(value):
+    """Re-seed the process-wide stream and all future derived streams."""
+    global _seed, _rng
+    _seed = value
+    _rng = random.Random(value)
+
+
+def get_seed():
+    """The seed the current streams were derived from."""
+    return _seed
+
+
+def rng():
+    """The process-wide PRNG (a shared, mutable stream — prefer derive)."""
+    return _rng
+
+
+def derive(name):
+    """A fresh PRNG seeded by ``(current seed, name)``.
+
+    Streams with different names are independent; the same name under the
+    same seed always yields an identical stream.
+    """
+    return random.Random(f"{_seed}:{name}")
+
+
+def reset():
+    """Back to the default seed (test isolation)."""
+    seed(_DEFAULT_SEED)

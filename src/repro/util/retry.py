@@ -1,0 +1,94 @@
+"""Bounded retry with exponential backoff, deadline, and seeded jitter.
+
+Transient device failures during a production push are retried here
+(docs/ROBUSTNESS.md "Retry policy"). Delays are *simulated*: they are
+charged to the shared :class:`~repro.util.clock.SimulatedClock` when one is
+given (so Figure-7-style timing still accounts for them) and never sleep
+the real process. Jitter comes from a :mod:`repro.util.rand` derived
+stream, so retry timing is identical run-to-run under one seed.
+"""
+
+from dataclasses import dataclass
+
+from repro.obs import metrics as obs_metrics
+from repro.util import rand
+from repro.util.errors import TransientDeviceError
+
+_RETRY_ATTEMPTS = obs_metrics.counter(
+    "retry.attempts", unit="attempts",
+    help="retries of transiently failed operations (first tries excluded)",
+)
+_RETRY_EXHAUSTED = obs_metrics.counter(
+    "retry.exhausted", unit="operations",
+    help="operations that stayed failed after the full retry budget",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to retry a transient failure.
+
+    ``base_delay_s`` doubles per attempt up to ``max_delay_s``; each delay
+    gets up to ``jitter`` of itself added (seeded). ``deadline_s`` caps the
+    *total* simulated time spent across all delays — whichever of
+    ``max_attempts``/``deadline_s`` is hit first ends the retrying.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.5
+    max_delay_s: float = 8.0
+    deadline_s: float = 30.0
+    jitter: float = 0.25
+
+    def delay_s(self, attempt, rng):
+        """The (jittered) backoff before retry number ``attempt`` (1-based)."""
+        delay = min(self.base_delay_s * (2 ** (attempt - 1)), self.max_delay_s)
+        if self.jitter:
+            delay += delay * self.jitter * rng.random()
+        return delay
+
+
+def retry_call(fn, *, policy=None, retryable=(TransientDeviceError,),
+               clock=None, step="retry backoff", on_retry=None):
+    """Call ``fn()`` retrying ``retryable`` errors under ``policy``.
+
+    Args:
+        fn: the zero-argument operation to (re)try.
+        policy: a :class:`RetryPolicy` (defaults apply when ``None``).
+        retryable: exception types worth retrying; anything else
+            propagates immediately (fatal errors must not be retried).
+        clock: a :class:`~repro.util.clock.SimulatedClock` to charge
+            backoff delays to; ``None`` retries without charging time.
+        step: the clock breakdown step name for the charged delays.
+        on_retry: optional callback ``(attempt, error, delay_s)`` per retry.
+
+    Returns:
+        ``fn``'s return value from the first successful call.
+
+    Raises:
+        The last retryable error once attempts or deadline run out, or the
+        first non-retryable error immediately.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    rng = rand.derive("retry")
+    slept = 0.0
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retryable as exc:
+            attempt += 1
+            delay = policy.delay_s(attempt, rng)
+            out_of_budget = (
+                attempt >= policy.max_attempts
+                or slept + delay > policy.deadline_s
+            )
+            if out_of_budget:
+                _RETRY_EXHAUSTED.inc()
+                raise
+            _RETRY_ATTEMPTS.inc()
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if clock is not None:
+                clock.advance(delay, step=step)
+            slept += delay

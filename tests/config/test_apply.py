@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.config.apply import apply_change, apply_changes
 from repro.config.diffing import ConfigChange, diff_configs
 from repro.config.parser import parse_config
-from repro.util.errors import ConfigError
+from repro.util.errors import ConfigError, FatalApplyError
 
 from tests.config.strategies import device_configs
 
@@ -45,8 +45,14 @@ class TestApplyExamples:
 
     def test_apply_to_unknown_device_rejected(self):
         change = ConfigChange("ghost", "interface.shutdown", "Gi0/0", new=True)
-        with pytest.raises(ConfigError):
+        with pytest.raises(FatalApplyError):
             apply_changes({"r1": parse_config(BASE)}, [change])
+
+    def test_unknown_kind_is_fatal_apply_error(self):
+        change = ConfigChange("r1", "interface.shutdown", "Gi0/0", new=True)
+        object.__setattr__(change, "kind", "warp.core")
+        with pytest.raises(FatalApplyError):
+            apply_change(parse_config(BASE), change)
 
     def test_ospf_change_without_process_rejected(self):
         old = parse_config(BASE)

@@ -1,0 +1,139 @@
+"""Monitor per-command budgets: a timed-out command fails closed."""
+
+import pytest
+
+from repro import faults, obs
+from repro.core.enforcer.audit import AuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.privilege.ast import PrivilegeSpec
+from repro.core.twin.monitor import MonitoredConsole, ReferenceMonitor
+from repro.emulation.network import EmulatedNetwork
+from repro.faults.registry import Rule
+from repro.util import rand
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def trail():
+    return AuditTrail(SimulatedEnclave())
+
+
+@pytest.fixture
+def console(trail):
+    emnet = EmulatedNetwork(square_network())
+    monitor = ReferenceMonitor(
+        PrivilegeSpec.allow_all(), audit=trail, actor="tech-1"
+    )
+    return MonitoredConsole(monitor, emnet.console("r1")), monitor
+
+
+class TestCommandTimeout:
+    def test_timed_out_command_returns_denied_result(self, console, trail):
+        handle, monitor = console
+        faults.arm({"monitor.timeout": Rule(nth=2)}, seed=7)
+        first = handle.execute("show ip route")
+        second = handle.execute("show ip interface brief")
+        assert first.ok
+        assert not second.ok
+        assert "timed out" in second.error
+        assert "denied" in second.error
+        assert monitor.stats.timeouts == 1
+
+    def test_timeout_is_audited_as_denied_with_reason(self, console, trail):
+        handle, _ = console
+        faults.arm({"monitor.timeout": Rule(nth=1)}, seed=7)
+        handle.execute("show ip route")
+        (record,) = trail.records
+        assert record.actor == "tech-1"
+        assert record.command == "show ip route"
+        assert not record.allowed
+        assert "timed out" in record.outcome
+
+    def test_timeout_record_is_mac_covered(self, console, trail):
+        import dataclasses
+
+        handle, _ = console
+        handle.execute("show version")
+        faults.arm({"monitor.timeout": Rule(nth=1)}, seed=7)
+        handle.execute("show ip route")
+        faults.disarm()
+        handle.execute("show version")
+        assert trail.verify()
+        # Flipping the timeout record's verdict breaks the chain: the
+        # denied-with-reason verdict is as tamper-evident as any other.
+        trail.records[1] = dataclasses.replace(trail.records[1], allowed=True)
+        assert not trail.verify()
+
+    def test_session_continues_after_timeout(self, console, trail):
+        handle, monitor = console
+        faults.arm({"monitor.timeout": Rule(nth=1)}, seed=7)
+        results = handle.run_script(
+            ["show ip route", "configure terminal", "interface Gi0/0", "end"]
+        )
+        assert [result.ok for result in results] == [False, True, True, True]
+        assert monitor.stats.commands == 4
+        assert monitor.stats.timeouts == 1
+        assert len(trail.records) == 4
+
+    def test_timeouts_counted_in_metrics(self, console):
+        handle, _ = console
+        obs.reset()
+        obs.enable()
+        try:
+            faults.arm(
+                {"monitor.timeout": Rule(probability=1.0, times=3)}, seed=7
+            )
+            for _ in range(3):
+                handle.execute("show ip route")
+        finally:
+            obs.disable()
+        assert obs.registry().get("monitor.timeouts").value == 3
+
+    def test_denied_command_consumes_no_budget(self, trail):
+        # A command the privilege spec refuses never reaches the emulation
+        # layer, so the timeout fault point (inside the budgeted execution)
+        # is never even consulted.
+        spec = PrivilegeSpec()  # deny by default
+        emnet = EmulatedNetwork(square_network())
+        monitor = ReferenceMonitor(spec, audit=trail)
+        handle = MonitoredConsole(monitor, emnet.console("r1"))
+        faults.arm({"monitor.timeout": Rule(nth=1)}, seed=7)
+        result = handle.execute("show ip route")
+        assert not result.ok
+        assert "Authorization failed" in result.error
+        assert faults.registry().calls("monitor.timeout") == 0
+        assert monitor.stats.timeouts == 0
+
+    def test_overbudget_wall_time_raises(self):
+        # Post-hoc budget enforcement without the fault point: a console
+        # whose execution burns more wall time than the budget allows.
+        import time
+
+        class SlowConsole:
+            device = "r1"
+            mode = "exec"
+
+            def classify(self, command):
+                return "view.route", "r1"
+
+            def execute(self, command):
+                time.sleep(0.03)
+                return None  # discarded anyway
+
+        monitor = ReferenceMonitor(
+            PrivilegeSpec.allow_all(), command_timeout_s=0.01
+        )
+        result = monitor.execute(SlowConsole(), "show ip route")
+        assert not result.ok
+        assert "timed out" in result.error
+        assert monitor.stats.timeouts == 1

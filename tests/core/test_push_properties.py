@@ -1,0 +1,109 @@
+"""Property: a push commits fully or rolls back byte-identically.
+
+For arbitrary change sets over the square network and an arbitrary injected
+failure (fatal apply, transient storm, mid-push crash, audit outage), the
+production network always ends in exactly one of two serialized states:
+the pre-push snapshot, or the snapshot with the whole change set applied.
+There is no third outcome — the core claim of docs/ROBUSTNESS.md.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.config.apply import apply_changes
+from repro.config.diffing import diff_networks
+from repro.config.serializer import serialize_config
+from repro.core.enforcer.audit import AuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.enforcer.scheduler import ChangeScheduler
+from repro.faults.registry import Rule
+from repro.util import rand
+from repro.util.errors import PushCrashed
+
+from tests.fixtures import square_network
+
+ROUTERS = ("r1", "r2", "r3", "r4")
+INTERFACES = ("Gi0/0", "Gi0/1", "Gi0/2")
+
+# One elementary mutation of the square network: (device, interface,
+# field, value). Diffing against the pristine network turns a batch of
+# these into a verified-change-set stand-in.
+mutations = st.tuples(
+    st.sampled_from(ROUTERS),
+    st.sampled_from(INTERFACES),
+    st.sampled_from(["description", "shutdown", "ospf_cost"]),
+    st.integers(min_value=1, max_value=99),
+)
+
+fault_plans = st.one_of(
+    st.none(),
+    st.tuples(st.just("device.apply.fatal"), st.integers(1, 6)),
+    st.tuples(st.just("device.apply.transient"), st.just(0)),  # storm
+    st.tuples(st.just("push.crash"), st.integers(1, 6)),
+    st.tuples(st.just("audit.append"), st.just(1)),
+)
+
+
+def _mutate(network, mutation):
+    device, iface_name, fieldname, value = mutation
+    iface = network.config(device).interface(iface_name)
+    if fieldname == "description":
+        iface.description = f"desc-{value}"
+    elif fieldname == "shutdown":
+        iface.shutdown = value % 2 == 0
+    else:
+        iface.ospf_cost = value
+
+
+def _serialized(network):
+    return {
+        device: serialize_config(config)
+        for device, config in network.configs.items()
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    muts=st.lists(mutations, min_size=1, max_size=8),
+    plan=fault_plans,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_push_is_two_state(muts, plan, seed):
+    production = square_network()
+    modified = production.copy()
+    for mutation in muts:
+        _mutate(modified, mutation)
+    changes = diff_networks(production.configs, modified.configs)
+    assume(changes)
+
+    pre_push = _serialized(production)
+    fully_applied = production.copy()
+    apply_changes(fully_applied.configs, changes)
+    expected = _serialized(fully_applied)
+
+    trail = AuditTrail(SimulatedEnclave())
+    scheduler = ChangeScheduler()
+    try:
+        if plan is not None:
+            point, nth = plan
+            rule = (
+                Rule(probability=1.0, times=999) if nth == 0 else Rule(nth=nth)
+            )
+            faults.arm({point: rule}, seed=seed)
+        try:
+            report = scheduler.push(production, changes, audit=trail)
+        except PushCrashed as crash:
+            faults.disarm()
+            report = scheduler.resume(production, crash.journal, audit=trail)
+    finally:
+        faults.disarm()
+        rand.reset()
+
+    actual = _serialized(production)
+    assert report.status in ("committed", "rolled-back")
+    if report.status == "committed":
+        assert actual == expected
+    else:
+        assert actual == pre_push
+    assert trail.verify()

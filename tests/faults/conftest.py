@@ -1,0 +1,15 @@
+"""Keep the process-wide fault registry and PRNG clean between tests."""
+
+import pytest
+
+from repro import faults, obs
+from repro.util import rand
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,94 @@
+"""Seeded chaos campaigns: reproducible, and every scenario two-state."""
+
+import pytest
+
+from repro.faults.chaos import campaign_names, run_campaign
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def push_failures_report():
+    return run_campaign("push-failures", seed=7)
+
+
+class TestCampaignCatalog:
+    def test_names(self):
+        assert campaign_names() == [
+            "monitor-timeouts", "push-failures", "smoke", "verify-degraded",
+        ]
+
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(ReproError, match="unknown campaign"):
+            run_campaign("nope", seed=7)
+
+
+class TestPushFailures:
+    def test_campaign_passes(self, push_failures_report):
+        failed = [
+            outcome.label for outcome in push_failures_report.scenarios
+            if not outcome.ok
+        ]
+        assert not failed, f"scenarios failed: {failed}"
+
+    def test_every_scenario_is_two_state(self, push_failures_report):
+        for outcome in push_failures_report.scenarios:
+            assert outcome.outcome in ("committed", "rolled-back"), (
+                f"{outcome.label}: third outcome {outcome.outcome!r}"
+            )
+            assert outcome.state_invariant, outcome.label
+            assert outcome.audit_intact, outcome.label
+
+    def test_transient_fault_is_retried_to_commit(self, push_failures_report):
+        outcome = self._scenario(push_failures_report, "transient-retried")
+        assert outcome.outcome == "committed"
+        assert outcome.resolved
+        assert outcome.faults_fired  # the fault really fired
+
+    def test_fatal_fault_rolls_back(self, push_failures_report):
+        outcome = self._scenario(push_failures_report, "fatal-rollback")
+        assert outcome.outcome == "rolled-back"
+        assert not outcome.resolved
+        assert outcome.rollback_reason
+
+    def test_crash_is_resumed_to_commit(self, push_failures_report):
+        outcome = self._scenario(push_failures_report, "crash-mid-push-resume")
+        assert outcome.crashed
+        assert outcome.resumed
+        assert outcome.outcome == "committed"
+        assert outcome.resolved
+
+    def test_audit_failure_fails_closed(self, push_failures_report):
+        outcome = self._scenario(push_failures_report, "audit-fail-closed")
+        assert outcome.outcome == "rolled-back"
+        assert outcome.audit_intact
+
+    def test_metrics_surface_fault_paths(self, push_failures_report):
+        metrics = push_failures_report.metrics
+        assert metrics["faults.injected"] > 0
+        assert metrics["push.rollbacks"] >= 2
+        assert metrics["push.resumes"] >= 1
+        assert metrics["retry.attempts"] > 0
+
+    @staticmethod
+    def _scenario(report, label):
+        return next(o for o in report.scenarios if o.label == label)
+
+
+class TestReproducibility:
+    def test_same_seed_same_report(self):
+        first = run_campaign("monitor-timeouts", seed=7)
+        second = run_campaign("monitor-timeouts", seed=7)
+        assert first.to_dict() == second.to_dict()
+
+    def test_probabilistic_campaign_is_seed_deterministic(self):
+        first = run_campaign("verify-degraded", seed=11)
+        second = run_campaign("verify-degraded", seed=11)
+        assert first.to_dict() == second.to_dict()
+        assert first.ok
+
+
+class TestSmoke:
+    def test_smoke_campaign_passes(self):
+        report = run_campaign("smoke", seed=7)
+        assert report.ok
+        assert len(report.scenarios) == 6

@@ -1,0 +1,86 @@
+"""docs/ROBUSTNESS.md's fault-point catalog must match the live registry.
+
+Fault points register at import time under their final names (the same
+pattern as the metrics registry), so importing the instrumented modules
+and diffing against the parsed markdown table is a complete consistency
+check. Run via ``make docs-check`` or ``pytest -m docs_check``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+# Import for the registration side effect: together these register the
+# whole fault-point catalog.
+import repro.core.enforcer.audit  # noqa: F401
+import repro.core.enforcer.scheduler  # noqa: F401
+import repro.core.twin.monitor  # noqa: F401
+import repro.policy.verification  # noqa: F401
+from repro.faults import registry
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "ROBUSTNESS.md"
+
+# One catalog row: | `point.name` | `ErrorType` | `module` | effect |
+ROW = re.compile(
+    r"^\|\s*`(?P<name>[a-z0-9_.]+)`\s*"
+    r"\|\s*`(?P<error>[A-Za-z]+)`\s*"
+    r"\|\s*`(?P<module>[a-z_.]+)`\s*"
+    r"\|\s*(?P<effect>[^|]+?)\s*\|$",
+    re.MULTILINE,
+)
+
+
+def documented_points():
+    text = DOCS.read_text()
+    return {
+        match.group("name"): match.group("error")
+        for match in ROW.finditer(text)
+    }
+
+
+def registered_points():
+    # Test modules may register ad-hoc `test.*` points in the process-wide
+    # registry; the catalog covers the pipeline's only.
+    return {
+        point.name: point.error.__name__
+        for point in registry().points()
+        if not point.name.startswith("test.")
+    }
+
+
+@pytest.mark.docs_check
+class TestFaultCatalog:
+    def test_catalog_parses(self):
+        docs = documented_points()
+        assert len(docs) >= 6, "fault catalog table missing or unparseable"
+
+    def test_every_registered_point_is_documented(self):
+        missing = set(registered_points()) - set(documented_points())
+        assert not missing, (
+            f"fault points registered but not in docs/ROBUSTNESS.md: "
+            f"{sorted(missing)}"
+        )
+
+    def test_every_documented_point_is_registered(self):
+        stale = set(documented_points()) - set(registered_points())
+        assert not stale, (
+            f"fault points documented but not registered: {sorted(stale)}"
+        )
+
+    def test_error_types_match(self):
+        docs = documented_points()
+        live = registered_points()
+        wrong = {
+            name: (docs[name], live[name])
+            for name in set(docs) & set(live)
+            if docs[name] != live[name]
+        }
+        assert not wrong, f"catalog error types disagree with code: {wrong}"
+
+    def test_every_point_has_help(self):
+        unhelped = [
+            point.name for point in registry().points()
+            if not point.name.startswith("test.") and not point.help
+        ]
+        assert not unhelped, f"fault points without help text: {unhelped}"

@@ -1,0 +1,150 @@
+"""The fault-point registry: off-by-default, seeded, reproducible."""
+
+import pytest
+
+from repro import faults, obs
+from repro.faults.registry import FaultRegistry, Rule
+from repro.util.errors import ReproError, TransientDeviceError
+
+
+class BoomError(ReproError):
+    pass
+
+
+@pytest.fixture
+def registry():
+    return FaultRegistry()
+
+
+@pytest.fixture
+def point(registry):
+    return registry.point("test.boom", error=BoomError, help="a test point")
+
+
+class TestRegistration:
+    def test_registration_is_idempotent(self, registry, point):
+        again = registry.point("test.boom", error=BoomError)
+        assert again is point
+
+    def test_conflicting_error_type_rejected(self, registry, point):
+        with pytest.raises(ReproError):
+            registry.point("test.boom", error=TransientDeviceError)
+
+    def test_names_sorted(self, registry, point):
+        registry.point("test.alpha", error=BoomError)
+        assert registry.names() == ["test.alpha", "test.boom"]
+
+
+class TestArming:
+    def test_unarmed_fire_is_noop(self, point):
+        point.fire(device="r1")  # no raise
+
+    def test_unknown_point_in_plan_rejected(self, registry, point):
+        with pytest.raises(ReproError, match="unknown fault points"):
+            registry.arm({"test.ghost": Rule(nth=1)})
+
+    def test_nth_trigger(self, registry, point):
+        registry.arm({"test.boom": Rule(nth=3)}, seed=7)
+        point.fire()
+        point.fire()
+        with pytest.raises(BoomError):
+            point.fire()
+        # times defaults to 1 for nth rules: no further firings.
+        point.fire()
+
+    def test_times_bounds_triggers(self, registry, point):
+        registry.arm({"test.boom": Rule(nth=1, times=2)}, seed=7)
+        with pytest.raises(BoomError):
+            point.fire()
+        with pytest.raises(BoomError):
+            point.fire()
+        point.fire()
+
+    def test_probability_zero_never_fires(self, registry, point):
+        registry.arm({"test.boom": Rule(probability=0.0, times=99)}, seed=7)
+        for _ in range(100):
+            point.fire()
+
+    def test_probability_one_always_fires(self, registry, point):
+        registry.arm({"test.boom": Rule(probability=1.0, times=99)}, seed=7)
+        for _ in range(3):
+            with pytest.raises(BoomError):
+                point.fire()
+
+    def test_disarm_stops_firing(self, registry, point):
+        registry.arm({"test.boom": Rule(nth=1)}, seed=7)
+        registry.disarm()
+        point.fire()
+
+    def test_firings_logged_with_context(self, registry, point):
+        registry.arm({"test.boom": Rule(nth=2)}, seed=7)
+        point.fire(device="r1")
+        with pytest.raises(BoomError):
+            point.fire(device="r2")
+        (firing,) = registry.firings
+        assert firing.point == "test.boom"
+        assert firing.call_index == 2
+        assert firing.context == {"device": "r2"}
+
+    def test_rule_error_override(self, registry, point):
+        registry.arm(
+            {"test.boom": Rule(nth=1, error=TransientDeviceError)}, seed=7
+        )
+        with pytest.raises(TransientDeviceError):
+            point.fire()
+
+
+class TestDeterminism:
+    def _firing_pattern(self, seed, calls=200, probability=0.1):
+        registry = FaultRegistry()
+        point = registry.point("test.coin", error=BoomError)
+        registry.arm(
+            {"test.coin": Rule(probability=probability, times=calls)},
+            seed=seed,
+        )
+        pattern = []
+        for index in range(calls):
+            try:
+                point.fire()
+            except BoomError:
+                pattern.append(index)
+        return pattern
+
+    def test_same_seed_same_firing_pattern(self):
+        assert self._firing_pattern(7) == self._firing_pattern(7)
+
+    def test_different_seed_different_pattern(self):
+        assert self._firing_pattern(7) != self._firing_pattern(8)
+
+    def test_probabilistic_pattern_actually_fires(self):
+        assert len(self._firing_pattern(7)) > 0
+
+
+class TestRuleValidation:
+    def test_needs_exactly_one_trigger(self):
+        with pytest.raises(ReproError):
+            Rule()
+        with pytest.raises(ReproError):
+            Rule(nth=1, probability=0.5)
+
+    def test_nth_must_be_positive(self):
+        with pytest.raises(ReproError):
+            Rule(nth=0)
+
+    def test_probability_range(self):
+        with pytest.raises(ReproError):
+            Rule(probability=1.5)
+
+
+class TestMetrics:
+    def test_injected_counter(self, registry, point):
+        obs.reset()
+        obs.enable()
+        try:
+            registry.arm({"test.boom": Rule(nth=1, times=3)}, seed=7)
+            for _ in range(3):
+                with pytest.raises(BoomError):
+                    point.fire()
+        finally:
+            obs.disable()
+        assert obs.registry().get("faults.injected").value == 3

@@ -19,7 +19,9 @@ import repro.core.enforcer.scheduler  # noqa: F401
 import repro.core.enforcer.verifier  # noqa: F401
 import repro.core.twin.monitor  # noqa: F401
 import repro.dataplane.fib  # noqa: F401
+import repro.faults.registry  # noqa: F401
 import repro.policy.verification  # noqa: F401
+import repro.util.retry  # noqa: F401
 from repro.obs import registry
 
 DOCS = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"

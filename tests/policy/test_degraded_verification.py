@@ -1,0 +1,96 @@
+"""Parallel verification degrades gracefully when workers die."""
+
+import pytest
+
+from repro import faults, obs
+from repro.faults.registry import Rule
+from repro.net.flow import Flow
+from repro.policy.model import IsolationPolicy, ReachabilityPolicy
+from repro.policy.verification import PolicyVerifier
+from repro.util import rand
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+def _policies():
+    flows = [
+        ("reach:h1->h2", "10.1.1.100", "10.2.2.100", ReachabilityPolicy),
+        ("reach:h1->h4", "10.1.1.100", "10.4.4.100", ReachabilityPolicy),
+        ("reach:h2->h4", "10.2.2.100", "10.4.4.100", ReachabilityPolicy),
+        ("reach:h4->h3", "10.4.4.100", "10.3.3.100", ReachabilityPolicy),
+        ("isolate:h2->h3", "10.2.2.100", "10.3.3.100", IsolationPolicy),
+    ]
+    return [
+        kind(policy_id, Flow.make(src, dst, "icmp"))
+        for policy_id, src, dst, kind in flows
+    ]
+
+
+class TestDegradedVerification:
+    def test_worker_deaths_do_not_change_the_report(self):
+        network = square_network()
+        serial = PolicyVerifier(_policies()).verify_network(network)
+
+        faults.arm({"verify.worker": Rule(probability=0.5, times=99)}, seed=7)
+        degraded = PolicyVerifier(_policies(), max_workers=4).verify_network(
+            network
+        )
+        assert faults.registry().firings  # some workers really died
+
+        assert [r.policy.policy_id for r in degraded.results] == [
+            r.policy.policy_id for r in serial.results
+        ]
+        assert [r.holds for r in degraded.results] == [
+            r.holds for r in serial.results
+        ]
+
+    def test_all_workers_dying_still_completes(self):
+        network = square_network()
+        faults.arm(
+            {"verify.worker": Rule(probability=1.0, times=9999)}, seed=7
+        )
+        report = PolicyVerifier(_policies(), max_workers=4).verify_network(
+            network
+        )
+        assert report.checked_count == len(_policies())
+        assert len(faults.registry().firings) == len(_policies())
+
+    def test_degraded_pass_counted_once(self):
+        network = square_network()
+        obs.reset()
+        obs.enable()
+        try:
+            faults.arm(
+                {"verify.worker": Rule(probability=1.0, times=9999)}, seed=7
+            )
+            PolicyVerifier(_policies(), max_workers=4).verify_network(network)
+        finally:
+            obs.disable()
+        assert obs.registry().get("verify.degraded").value == 1
+
+    def test_serial_verification_never_consults_the_fault(self):
+        network = square_network()
+        faults.arm(
+            {"verify.worker": Rule(probability=1.0, times=9999)}, seed=7
+        )
+        report = PolicyVerifier(_policies()).verify_network(network)
+        assert report.checked_count == len(_policies())
+        assert faults.registry().calls("verify.worker") == 0
+
+    def test_worker_deaths_leave_no_sentinel_in_results(self):
+        network = square_network()
+        faults.arm({"verify.worker": Rule(probability=0.7, times=99)}, seed=3)
+        report = PolicyVerifier(_policies(), max_workers=2).verify_network(
+            network
+        )
+        for result in report.results:
+            assert hasattr(result, "holds")

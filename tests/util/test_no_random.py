@@ -1,0 +1,54 @@
+"""Lint: randomness is reachable only through ``repro.util.rand``.
+
+docs/ROBUSTNESS.md: chaos campaigns replay from a single seed, so every
+random draw — fault triggers, backoff jitter — must come from the one
+seeded gateway. This test greps the source tree for direct ``random`` /
+``secrets`` use anywhere else, the same pattern as the wall-clock lint in
+``test_no_wallclock.py``.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+SANCTIONED = SRC / "util" / "rand.py"
+
+FORBIDDEN = (
+    re.compile(r"^\s*(?:import random\b|from random import\b)", re.MULTILINE),
+    re.compile(r"^\s*(?:import secrets\b|from secrets import\b)", re.MULTILINE),
+    re.compile(r"\brandom\.(?:random|randint|randrange|choice|shuffle|"
+               r"uniform|sample|seed|Random)\s*\("),
+    re.compile(r"\bsecrets\.(?:token_bytes|token_hex|token_urlsafe|"
+               r"randbelow|choice)\s*\("),
+)
+
+
+def test_no_direct_random_outside_gateway():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path == SANCTIONED:
+            continue
+        text = path.read_text()
+        for pattern in FORBIDDEN:
+            for match in pattern.finditer(text):
+                line = text.count("\n", 0, match.start()) + 1
+                offenders.append(
+                    f"{path.relative_to(SRC.parent)}:{line}: "
+                    f"{match.group(0).strip()}"
+                )
+    assert not offenders, (
+        "direct random/secrets use outside repro/util/rand.py "
+        "(use repro.util.rand.seed / rng / derive):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_gateway_exists_and_is_deterministic():
+    from repro.util import rand
+
+    rand.seed(1234)
+    first = [rand.derive("stream").random() for _ in range(3)]
+    rand.seed(1234)
+    second = [rand.derive("stream").random() for _ in range(3)]
+    assert first == second
+    rand.reset()

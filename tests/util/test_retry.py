@@ -1,0 +1,107 @@
+"""Bounded retry with seeded backoff (repro.util.retry)."""
+
+import pytest
+
+from repro import obs
+from repro.util import rand
+from repro.util.clock import SimulatedClock
+from repro.util.errors import FatalApplyError, TransientDeviceError
+from repro.util.retry import RetryPolicy, retry_call
+
+
+@pytest.fixture(autouse=True)
+def _reset():
+    yield
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+def flaky(failures, error=TransientDeviceError):
+    """A callable failing ``failures`` times, then returning 'ok'."""
+    state = {"left": failures}
+
+    def call():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise error("transient")
+        return "ok"
+
+    return call
+
+
+class TestRetryCall:
+    def test_first_try_success_costs_nothing(self):
+        clock = SimulatedClock()
+        assert retry_call(flaky(0), clock=clock) == "ok"
+        assert clock.now == 0.0
+
+    def test_transient_failures_are_retried(self):
+        assert retry_call(flaky(2)) == "ok"
+
+    def test_attempts_budget_exhausts(self):
+        with pytest.raises(TransientDeviceError):
+            retry_call(flaky(10), policy=RetryPolicy(max_attempts=3))
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise FatalApplyError("broken")
+
+        with pytest.raises(FatalApplyError):
+            retry_call(fatal)
+        assert len(calls) == 1
+
+    def test_backoff_charges_simulated_clock(self):
+        clock = SimulatedClock()
+        rand.seed(7)
+        retry_call(flaky(2), clock=clock)
+        assert clock.now > 0.0
+        assert "retry backoff" in clock.breakdown()
+
+    def test_backoff_is_deterministic_under_seed(self):
+        rand.seed(7)
+        clock_a = SimulatedClock()
+        retry_call(flaky(3), clock=clock_a)
+        rand.seed(7)
+        clock_b = SimulatedClock()
+        retry_call(flaky(3), clock=clock_b)
+        assert clock_a.now == clock_b.now
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=4.0, jitter=0.0)
+        rng = rand.derive("retry")
+        delays = [policy.delay_s(attempt, rng) for attempt in (1, 2, 3, 4, 5)]
+        assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_deadline_bounds_total_delay(self):
+        policy = RetryPolicy(
+            max_attempts=100, base_delay_s=1.0, max_delay_s=1.0,
+            deadline_s=2.5, jitter=0.0,
+        )
+        clock = SimulatedClock()
+        with pytest.raises(TransientDeviceError):
+            retry_call(flaky(10), policy=policy, clock=clock)
+        assert clock.now <= 2.5
+
+    def test_on_retry_callback_sees_each_attempt(self):
+        seen = []
+        retry_call(
+            flaky(2),
+            on_retry=lambda attempt, exc, delay: seen.append(attempt),
+        )
+        assert seen == [1, 2]
+
+    def test_metrics_count_attempts_and_exhaustion(self):
+        obs.reset()
+        obs.enable()
+        try:
+            retry_call(flaky(2))
+            with pytest.raises(TransientDeviceError):
+                retry_call(flaky(10), policy=RetryPolicy(max_attempts=2))
+        finally:
+            obs.disable()
+        assert obs.registry().get("retry.attempts").value == 3
+        assert obs.registry().get("retry.exhausted").value == 1
