@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench obs-report report chaos check
+.PHONY: test docs-check bench obs-report report chaos stress check
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -30,5 +30,12 @@ chaos:
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign smoke
 	$(PYTHON) -m pytest -x -q tests/
 
+# Seeded, bounded-size concurrent-session stress benchmark: 8 threaded
+# sessions against one production; exits non-zero unless every session
+# ends imported or deterministically rejected/rebased with the journal
+# and audit invariants intact (docs/ARCHITECTURE.md "Concurrency model").
+stress:
+	$(PYTHON) -m repro.cli bench --concurrent 8 --seed 7 -o BENCH_concurrent.json
+
 # The default pre-merge gate.
-check: docs-check chaos
+check: docs-check chaos stress

@@ -141,6 +141,9 @@ def cmd_snapshot(args, out):
 def cmd_bench(args, out):
     from repro.experiments.bench_dataplane import run_benchmarks, write_report
 
+    if args.concurrent:
+        return _bench_concurrent(args, out)
+    args.output = args.output or "BENCH_dataplane.json"
     report = run_benchmarks(networks=args.networks, repeats=args.repeats)
     write_report(report, args.output)
     for name, rows in report["networks"].items():
@@ -159,6 +162,47 @@ def cmd_bench(args, out):
         )
     out.write(f"benchmark report written to {args.output}\n")
     return 0
+
+
+def _bench_concurrent(args, out):
+    """N threaded sessions against one production; exit 0 iff no torn state."""
+    from repro.experiments.bench_concurrent import (
+        run_concurrent_bench,
+        write_report,
+    )
+
+    networks = args.networks or ["enterprise"]
+    output = args.output or "BENCH_concurrent.json"
+    ok = True
+    for name in networks:
+        report = run_concurrent_bench(
+            sessions=args.concurrent, network=name, seed=args.seed
+        )
+        ok = ok and report["ok"]
+        out.write(
+            f"{name}: {report['sessions']} concurrent sessions in "
+            f"{report['elapsed_s']}s ({report['throughput_per_s']}/s)\n"
+        )
+        out.write(
+            "  outcomes: "
+            + ", ".join(
+                f"{status}={count}"
+                for status, count in sorted(report["outcomes"].items())
+            )
+            + "\n"
+        )
+        for issue_id, row in sorted(report["per_issue"].items()):
+            out.write(
+                f"  {issue_id}: {row['imported']}/{row['sessions']} "
+                f"sessions imported\n"
+            )
+        for invariant, held in sorted(report["invariants"].items()):
+            out.write(
+                f"  [{'ok' if held else 'FAIL':4}] {invariant}\n"
+            )
+    write_report(report, output)
+    out.write(f"stress report written to {output}\n")
+    return 0 if ok else 1
 
 
 def cmd_obs_report(args, out):
@@ -371,7 +415,20 @@ def build_parser():
         help="benchmark only this scenario (repeatable; default: all)",
     )
     bench.add_argument("--repeats", type=int, default=7)
-    bench.add_argument("-o", "--output", default="BENCH_dataplane.json")
+    bench.add_argument(
+        "--concurrent", type=int, default=0, metavar="N",
+        help="run the concurrent-session stress benchmark with N threaded "
+             "sessions instead of the perf suite",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=7,
+        help="rand seed for the concurrent stress benchmark",
+    )
+    bench.add_argument(
+        "-o", "--output", default=None,
+        help="report path (default: BENCH_dataplane.json, or "
+             "BENCH_concurrent.json with --concurrent)",
+    )
     bench.set_defaults(func=cmd_bench)
 
     obs_parser = sub.add_parser(

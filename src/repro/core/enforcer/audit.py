@@ -20,6 +20,7 @@ history is deterministic run-to-run.
 
 import hmac as hmac_module
 import hashlib
+import threading
 from dataclasses import dataclass, field, replace
 
 from repro import faults
@@ -95,6 +96,10 @@ class AuditTrail:
 
     def __post_init__(self):
         self._key = self.enclave.seal_key("audit-trail")
+        # record() chains each MAC over the previous record's; two appends
+        # interleaving would fork the chain (both covering the same
+        # prev_mac), so the read-extend-append is one critical section.
+        self._lock = threading.Lock()
 
     # -- writing ------------------------------------------------------------
 
@@ -122,23 +127,24 @@ class AuditTrail:
         """
         _APPEND_FAULT.fire(actor=actor, action=action)
         trace_id, span_id = current_ids()
-        prev_mac = self.records[-1].mac if self.records else _GENESIS_MAC
-        entry = AuditRecord(
-            index=len(self.records),
-            timestamp=self.clock.now if self.clock is not None else 0.0,
-            actor=actor,
-            device=device,
-            command=command,
-            action=action,
-            resource=resource,
-            allowed=allowed,
-            outcome=outcome,
-            prev_mac=prev_mac,
-            trace_id=trace_id,
-            span_id=span_id,
-        )
-        entry = replace(entry, mac=self._mac(entry))
-        self.records.append(entry)
+        with self._lock:
+            prev_mac = self.records[-1].mac if self.records else _GENESIS_MAC
+            entry = AuditRecord(
+                index=len(self.records),
+                timestamp=self.clock.now if self.clock is not None else 0.0,
+                actor=actor,
+                device=device,
+                command=command,
+                action=action,
+                resource=resource,
+                allowed=allowed,
+                outcome=outcome,
+                prev_mac=prev_mac,
+                trace_id=trace_id,
+                span_id=span_id,
+            )
+            entry = replace(entry, mac=self._mac(entry))
+            self.records.append(entry)
         return entry
 
     def _mac(self, entry):

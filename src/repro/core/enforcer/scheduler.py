@@ -22,6 +22,7 @@ batches and report transient violations — the measurement behind ablation
 A2.
 """
 
+import threading
 from dataclasses import dataclass, field
 
 from repro import faults
@@ -121,6 +122,10 @@ class ChangeScheduler:
         )
         self.last_journal = None
         self._push_counter = 0
+        # Concurrent sessions funnel their pushes through one scheduler;
+        # the id counter is the only mutation outside the (externally
+        # serialized) push body, so it carries its own lock.
+        self._counter_lock = threading.Lock()
 
     def schedule(self, changes):
         """Batches of changes in safe application order.
@@ -191,8 +196,9 @@ class ChangeScheduler:
         report = PushReport(
             batches=batches if batches is not None else self.schedule(changes)
         )
-        self._push_counter += 1
-        push_id = f"PUSH-{self._push_counter:04d}"
+        with self._counter_lock:
+            self._push_counter += 1
+            push_id = f"PUSH-{self._push_counter:04d}"
         journal = PushJournal(push_id, report.batches, production)
         self.last_journal = journal
         report.journal = journal
@@ -213,7 +219,8 @@ class ChangeScheduler:
                 for index, batch in enumerate(report.batches):
                     journal.mark_batch_start(index, production)
                     self._apply_batch(
-                        production, batch, index=index, clock=clock
+                        production, batch, index=index, clock=clock,
+                        actor=actor,
                     )
                     journal.mark_batch_committed(index)
                     _PUSH_BATCHES.inc()
@@ -245,8 +252,15 @@ class ChangeScheduler:
 
     # -- the transactional machinery ------------------------------------------
 
-    def _apply_batch(self, production, batch, index, clock=None):
-        """Apply one batch, retrying transient per-change failures."""
+    def _apply_batch(self, production, batch, index, clock=None,
+                     actor="enforcer"):
+        """Apply one batch, retrying transient per-change failures.
+
+        Backoff jitter is keyed per ``(actor, device)``: each session's
+        retry delays are a pure function of the seed and its own identity,
+        so interleaved pushes from concurrent sessions see exactly the
+        delays they would see running alone.
+        """
         for change in batch:
             _CRASH_FAULT.fire(batch=index, device=change.device)
 
@@ -261,6 +275,7 @@ class ChangeScheduler:
                 retryable=(TransientDeviceError,),
                 clock=clock,
                 step="retry backoff",
+                jitter_key=f"{actor}:{change.device}",
             )
 
     def _commit(self, journal, report, audit=None, actor="enforcer"):
@@ -352,7 +367,8 @@ class ChangeScheduler:
                 for index, batch in journal.uncommitted_batches():
                     journal.mark_batch_start(index, production)
                     self._apply_batch(
-                        production, batch, index=index, clock=clock
+                        production, batch, index=index, clock=clock,
+                        actor=actor,
                     )
                     journal.mark_batch_committed(index)
                     _PUSH_BATCHES.inc()

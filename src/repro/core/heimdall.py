@@ -68,7 +68,17 @@ class TicketOutcome:
 
 
 class Heimdall:
-    """One Heimdall deployment guarding one production network."""
+    """One Heimdall deployment guarding one production network.
+
+    A deployment may serve many concurrent sessions: the shared mutable
+    state here — the id allocator, the audit trail, the simulated clock,
+    and the scheduler's push counter — is individually thread-safe, but
+    ``open_ticket`` (production snapshot + twin clone) and ``enforce``
+    (verify + push) read/write production itself and must not interleave.
+    :class:`repro.core.sessions.SessionManager` provides that serialization
+    plus per-element leases and stale-base detection; drive concurrent
+    tickets through it rather than calling this class from N threads.
+    """
 
     def __init__(self, production, policies=None, scoping_strategy="heimdall",
                  clock=None, cost_model=None, max_workers=None):

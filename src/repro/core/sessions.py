@@ -1,0 +1,632 @@
+"""Concurrent multi-ticket sessions against one production network.
+
+The paper assumes many MSP technicians work tickets in parallel; this layer
+makes that safe. A :class:`SessionManager` wraps one
+:class:`~repro.core.heimdall.Heimdall` deployment and hands out
+:class:`ManagedSession` objects that N threads can drive concurrently:
+
+1. **Leases** — at open, a session acquires per-element leases over its
+   twin's scoped device set from a shared :class:`LeaseManager`
+   (shared-read / exclusive-write). Acquisition is all-or-nothing under one
+   condition variable: a waiter holds no leases while it blocks, so there is
+   no hold-and-wait and therefore no deadlock, regardless of element order.
+2. **Optimistic imports** — every session records the per-device content
+   fingerprints of production at open (its *base*). At submit, the manager
+   re-fingerprints production and classifies the drift: drift on devices the
+   session changed is a **conflict** (rejected with a MAC-covered audit
+   record, nothing imported); drift elsewhere is a **stale base**, resolved
+   by the ``on_stale`` policy — ``"rebase"`` re-verifies the candidate
+   against *current* production (the verifier always judges against live
+   state, so a rebase is exactly one fresh verification) or ``"reject"``.
+3. **Push queue** — opens and submits serialize through a single production
+   lock, so snapshots are never torn and every
+   :meth:`~repro.core.enforcer.scheduler.ChangeScheduler.push` runs alone
+   against production, preserving the journal/rollback invariants. Twin
+   console work (the long part of a ticket) runs outside the lock, fully
+   concurrent.
+
+See docs/ARCHITECTURE.md "Concurrency model" and the
+``python -m repro.cli bench --concurrent N`` stress benchmark.
+"""
+
+import threading
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.control.builder import build_dataplane
+from repro.control.cache import snapshot_fingerprint
+from repro.core.twin.scoping import SCOPING_STRATEGIES
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.util.clock import monotonic_s
+from repro.util.errors import (
+    LeaseError,
+    LeaseTimeout,
+    SessionError,
+    StaleBaseError,
+)
+from repro.util.ids import IdAllocator
+
+_LEASES_ACQUIRED = obs_metrics.counter(
+    "sessions.leases.acquired", unit="leases",
+    help="per-element leases granted to concurrent sessions",
+)
+_LEASE_WAIT_MS = obs_metrics.histogram(
+    "sessions.lease.wait.ms", unit="ms",
+    help="wall-clock milliseconds a session blocked acquiring its leases",
+)
+_QUEUE_WAIT_MS = obs_metrics.histogram(
+    "sessions.queue.wait.ms", unit="ms",
+    help="wall-clock milliseconds a submit waited in the push queue",
+)
+_QUEUE_DEPTH = obs_metrics.gauge(
+    "sessions.queue.depth", unit="sessions",
+    help="submits currently waiting for the serialized push queue",
+)
+_CONFLICTS = obs_metrics.counter(
+    "sessions.conflicts", unit="sessions",
+    help="submits rejected because production drifted on devices the "
+         "session itself changed",
+)
+_STALE_BASES = obs_metrics.counter(
+    "sessions.stale_bases", unit="sessions",
+    help="submits whose recorded base no longer matched production",
+)
+_REBASES = obs_metrics.counter(
+    "sessions.rebases", unit="sessions",
+    help="stale-base submits re-verified against current production",
+)
+_OVERLAPS = obs_metrics.counter(
+    "sessions.overlaps", unit="sessions",
+    help="sessions opened with a twin scope overlapping a live session's",
+)
+
+_LEASE_TIMEOUT_FAULT = faults.fault_point(
+    "sessions.lease.timeout", error=LeaseTimeout,
+    help="a lease acquisition times out instead of blocking; the ticket "
+         "is refused before any twin is booted",
+)
+_STALE_FAULT = faults.fault_point(
+    "sessions.base.stale", error=StaleBaseError,
+    help="a submit is forced down the stale-base reject path regardless "
+         "of actual drift; audited and nothing imported",
+)
+
+#: Lease/concurrency modes for :meth:`SessionManager.open_ticket`.
+MODES = ("lease", "optimistic")
+
+
+class LeaseManager:
+    """Shared-read / exclusive-write leases over network elements.
+
+    All requested elements are granted **atomically**: the caller blocks on
+    one condition variable until the whole set is free, then takes it in one
+    step. A blocked caller owns nothing (sessions acquire exactly once, at
+    open, before holding any lease), so the classic hold-and-wait deadlock
+    ingredient is absent by construction; element sets are processed in
+    sorted order so grants, metrics, and error messages are deterministic.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = {}  # element -> set of owner tokens
+        self._writers = {}  # element -> owner token
+
+    def acquire(self, owner, read=(), write=(), timeout_s=None):
+        """Block until ``owner`` holds all leases; returns the wait in ms.
+
+        Args:
+            owner: opaque owner token (one per session).
+            read: elements to share-read lease.
+            write: elements to exclusively lease (wins over ``read``).
+            timeout_s: give up after this many seconds (``None`` blocks
+                forever).
+
+        Raises:
+            LeaseTimeout: the set stayed contested past ``timeout_s`` (or
+                the ``sessions.lease.timeout`` fault point fired). Nothing
+                is held afterwards — acquisition is all-or-nothing.
+        """
+        write = frozenset(write)
+        read = frozenset(read) - write
+        _LEASE_TIMEOUT_FAULT.fire(owner=owner)
+        started = monotonic_s()
+        with self._cond:
+            granted = self._cond.wait_for(
+                lambda: self._grantable(owner, read, write),
+                timeout=timeout_s,
+            )
+            if not granted:
+                contested = sorted(self._contested(owner, read, write))
+                raise LeaseTimeout(
+                    f"lease request by {owner} timed out after "
+                    f"{timeout_s}s on {', '.join(contested)}",
+                    elements=contested,
+                )
+            self._grant(owner, read, write)
+        waited_ms = (monotonic_s() - started) * 1000.0
+        _LEASES_ACQUIRED.inc(len(read) + len(write))
+        _LEASE_WAIT_MS.observe(waited_ms)
+        return waited_ms
+
+    def try_extend(self, owner, read=(), write=()):
+        """Grant extra leases to ``owner`` only if free right now.
+
+        Non-blocking on purpose: extension happens while the caller already
+        holds leases (and the production lock), where waiting could
+        deadlock. Returns ``True`` on grant, ``False`` untouched otherwise.
+        """
+        write = frozenset(write)
+        read = frozenset(read) - write
+        with self._cond:
+            if not self._grantable(owner, read, write):
+                return False
+            self._grant(owner, read, write)
+        _LEASES_ACQUIRED.inc(len(read) + len(write))
+        return True
+
+    def release(self, owner):
+        """Drop every lease ``owner`` holds and wake all waiters."""
+        with self._cond:
+            for element in list(self._writers):
+                if self._writers[element] == owner:
+                    del self._writers[element]
+            for element in list(self._readers):
+                holders = self._readers[element]
+                holders.discard(owner)
+                if not holders:
+                    del self._readers[element]
+            self._cond.notify_all()
+
+    def holders(self, element):
+        """``(writer, readers)`` snapshot for one element."""
+        with self._cond:
+            return (
+                self._writers.get(element),
+                frozenset(self._readers.get(element, ())),
+            )
+
+    # -- under self._cond ----------------------------------------------------
+
+    def _grantable(self, owner, read, write):
+        for element in sorted(write):
+            holder = self._writers.get(element)
+            if holder is not None and holder != owner:
+                return False
+            if any(r != owner for r in self._readers.get(element, ())):
+                return False
+        for element in sorted(read):
+            holder = self._writers.get(element)
+            if holder is not None and holder != owner:
+                return False
+        return True
+
+    def _grant(self, owner, read, write):
+        for element in write:
+            self._writers[element] = owner
+        for element in read:
+            self._readers.setdefault(element, set()).add(owner)
+
+    def _contested(self, owner, read, write):
+        contested = []
+        for element in write:
+            writer = self._writers.get(element)
+            if (writer is not None and writer != owner) or any(
+                r != owner for r in self._readers.get(element, ())
+            ):
+                contested.append(element)
+        for element in read:
+            writer = self._writers.get(element)
+            if writer is not None and writer != owner:
+                contested.append(element)
+        return contested
+
+
+@dataclass
+class SessionOutcome:
+    """How one managed session ended.
+
+    ``status`` is the concurrency-control disposition:
+
+    * ``"clean"`` — base unchanged; candidate verified and (if approved)
+      imported;
+    * ``"rebased"`` — base drifted on devices the session did *not* touch;
+      re-verified against current production and (if approved) imported;
+    * ``"conflict"`` — base drifted on devices the session changed; the
+      original candidate is rejected outright, nothing imported;
+    * ``"stale-rejected"`` — base drifted and the manager's ``on_stale``
+      policy is ``"reject"`` (or the ``sessions.base.stale`` fault fired).
+
+    ``ticket_outcome`` is the underlying
+    :class:`~repro.core.heimdall.TicketOutcome` for clean/rebased submits
+    and ``None`` for rejections (the ticket is abandoned, not enforced).
+    """
+
+    session_id: str
+    issue_id: str
+    status: str
+    drifted: tuple = ()
+    change_count: int = 0
+    reason: str = ""
+    ticket_outcome: object = None
+
+    @property
+    def imported(self):
+        """Whether the session's changes landed in production."""
+        return (
+            self.ticket_outcome is not None
+            and self.ticket_outcome.approved
+            and self.change_count > 0
+        )
+
+    @property
+    def rejected(self):
+        return self.status in ("conflict", "stale-rejected")
+
+
+class ManagedSession:
+    """One technician's leased, fingerprinted ticket session.
+
+    Thin delegation around the wrapped
+    :class:`~repro.core.heimdall.TicketSession` — console work is exactly
+    the plain Heimdall experience — plus the concurrency-control state the
+    manager needs: the lease owner token, the recorded base fingerprints,
+    and the scopes of live sessions it overlapped at open.
+    """
+
+    def __init__(self, manager, ticket, lease_owner, read, write,
+                 base_fingerprints, overlaps):
+        self._manager = manager
+        self.ticket = ticket
+        self.lease_owner = lease_owner
+        self.read_leases = frozenset(read)
+        self.write_leases = frozenset(write)
+        self.base_fingerprints = dict(base_fingerprints)
+        self.overlaps = dict(overlaps)  # session_id -> shared elements
+        self.state = "open"  # open | submitted | abandoned
+
+    @property
+    def session_id(self):
+        return self.ticket.session_id
+
+    @property
+    def issue(self):
+        return self.ticket.issue
+
+    @property
+    def twin(self):
+        return self.ticket.twin
+
+    # -- technician actions (delegated) --------------------------------------
+
+    def console(self, device):
+        return self.ticket.console(device)
+
+    def execute(self, device, command):
+        return self.ticket.execute(device, command)
+
+    def run_fix_script(self, fix_script):
+        return self.ticket.run_fix_script(fix_script)
+
+    def request_escalation(self, requested_profile, justification=""):
+        return self.ticket.request_escalation(requested_profile, justification)
+
+    # -- completion ----------------------------------------------------------
+
+    def submit(self):
+        """Classify drift, then verify/import or reject; see manager."""
+        return self._manager.submit(self)
+
+    def abandon(self, reason=""):
+        """Release leases and close without importing anything."""
+        return self._manager.abandon(self, reason)
+
+
+class SessionManager:
+    """Runs N concurrent ticket sessions against one Heimdall deployment.
+
+    Args:
+        heimdall: the shared :class:`~repro.core.heimdall.Heimdall`.
+        on_stale: ``"rebase"`` (default) re-verifies stale-base submits
+            against current production; ``"reject"`` refuses them.
+        lease_timeout_s: default lease-acquisition timeout (``None``
+            blocks forever; sessions pass their own per-open override).
+    """
+
+    def __init__(self, heimdall, on_stale="rebase", lease_timeout_s=None):
+        if on_stale not in ("rebase", "reject"):
+            raise SessionError(
+                f"unknown on_stale policy {on_stale!r}; "
+                f"expected 'rebase' or 'reject'"
+            )
+        self.heimdall = heimdall
+        self.on_stale = on_stale
+        self.lease_timeout_s = lease_timeout_s
+        self.leases = LeaseManager()
+        # The single queue in front of ChangeScheduler.push: opens
+        # (snapshot + twin clone) and submits (classify + verify + push)
+        # serialize here, so production is never read or written torn.
+        self._production_lock = threading.Lock()
+        self._registry_lock = threading.Lock()
+        self._live = {}  # session_id -> ManagedSession
+        self._owners = IdAllocator()
+        self._depth_lock = threading.Lock()
+        self._queue_depth = 0
+
+    # -- opening -------------------------------------------------------------
+
+    def open_ticket(self, issue, profile=None, strategy=None,
+                    exempt_devices=(), mode="lease", write_devices=None,
+                    lease_timeout_s=None):
+        """Lease the issue's scope, then open a ticket on the shared twin.
+
+        Args:
+            issue: the :class:`~repro.scenarios.issues.Issue` to work.
+            profile: task profile override (see
+                :meth:`~repro.core.heimdall.Heimdall.open_ticket`).
+            strategy: twin scoping strategy override.
+            exempt_devices: devices released from policy guard rules.
+            mode: ``"lease"`` takes exclusive write leases on the devices
+                the fix is expected to touch (``write_devices``, defaulting
+                to the fix script's devices plus the root cause) and shared
+                reads on the rest of the scope; ``"optimistic"`` takes
+                shared reads only and resolves conflicts at submit.
+            write_devices: explicit exclusive-lease set (``"lease"`` mode).
+            lease_timeout_s: per-open lease timeout override.
+
+        Returns:
+            A :class:`ManagedSession`.
+
+        Raises:
+            LeaseTimeout: the lease set stayed contested past the timeout.
+            LeaseError: production re-scoped between leasing and cloning
+                and the extra elements were not free (retry the open).
+        """
+        if mode not in MODES:
+            raise SessionError(
+                f"unknown session mode {mode!r}; expected one of {MODES}"
+            )
+        timeout_s = (
+            lease_timeout_s if lease_timeout_s is not None
+            else self.lease_timeout_s
+        )
+        strategy_name = strategy or self.heimdall.scoping_strategy
+        owner = self._owners.allocate("LEASE")
+        with obs_trace.span(
+            "sessions.open", issue=issue.issue_id, mode=mode
+        ) as open_span:
+            # Scope under the production lock: scoping reads live configs,
+            # which a concurrent push may be rewriting.
+            with self._production_lock:
+                dataplane = build_dataplane(self.heimdall.production)
+                scope = frozenset(
+                    SCOPING_STRATEGIES[strategy_name](
+                        self.heimdall.production, issue, dataplane
+                    )
+                )
+            read, write = self._lease_sets(issue, scope, mode, write_devices)
+            with obs_trace.span(
+                "sessions.lease", owner=owner,
+                read=len(read), write=len(write),
+            ) as lease_span:
+                waited_ms = self.leases.acquire(
+                    owner, read=read, write=write, timeout_s=timeout_s
+                )
+                lease_span.set(wait_ms=round(waited_ms, 3))
+            try:
+                with self._production_lock:
+                    ticket = self.heimdall.open_ticket(
+                        issue, profile=profile, strategy=strategy,
+                        exempt_devices=exempt_devices,
+                    )
+                    # Production may have been re-shaped between scoping
+                    # and cloning; top up leases for any new elements
+                    # without blocking (blocking here, holding leases and
+                    # the production lock, could deadlock).
+                    missing = ticket.twin.scope - (read | write)
+                    if missing and not self.leases.try_extend(
+                        owner, read=missing
+                    ):
+                        ticket.abandon("lease set changed during open")
+                        raise LeaseError(
+                            f"scope of {issue.issue_id} changed while "
+                            f"leasing; retry the open",
+                            elements=sorted(missing),
+                        )
+                    read = frozenset(read | missing)
+                    _, _, base_fps = snapshot_fingerprint(
+                        self.heimdall.production
+                    )
+            except Exception:
+                self.leases.release(owner)
+                raise
+            session = ManagedSession(
+                self, ticket, owner, read, write, base_fps,
+                self._register(ticket, scope | missing),
+            )
+            open_span.set(
+                session_id=ticket.session_id,
+                scope=len(ticket.twin.scope),
+                overlaps=len(session.overlaps),
+            )
+        return session
+
+    def _lease_sets(self, issue, scope, mode, write_devices):
+        if mode == "optimistic":
+            return frozenset(scope), frozenset()
+        if write_devices is not None:
+            write = frozenset(write_devices) & scope
+        else:
+            write = (
+                {step.device for step in issue.fix_script}
+                | {issue.root_cause_device}
+            ) & scope
+        return frozenset(scope) - write, frozenset(write)
+
+    def _register(self, ticket, scope):
+        """Record the session as live; returns its overlaps with others."""
+        overlaps = {}
+        with self._registry_lock:
+            for other_id, other in self._live.items():
+                shared = scope & other.twin.scope
+                if shared:
+                    overlaps[other_id] = tuple(sorted(shared))
+            self._live[ticket.session_id] = ticket
+        if overlaps:
+            _OVERLAPS.inc()
+        return overlaps
+
+    def _unregister(self, session):
+        with self._registry_lock:
+            self._live.pop(session.session_id, None)
+
+    # -- completion ----------------------------------------------------------
+
+    def submit(self, session):
+        """Serialize through the push queue; classify, then enforce/reject.
+
+        Returns:
+            A :class:`SessionOutcome`. Clean and rebased submits carry the
+            wrapped :class:`~repro.core.heimdall.TicketOutcome`; conflicts
+            and stale rejects abandon the ticket after writing a
+            MAC-covered audit record naming the drifted devices.
+        """
+        self._require_open(session)
+        with obs_trace.span(
+            "sessions.submit", parent=session.ticket.span,
+            session_id=session.session_id,
+        ) as span:
+            self._enter_queue()
+            started = monotonic_s()
+            self._production_lock.acquire()
+            try:
+                self._exit_queue()
+                waited_ms = (monotonic_s() - started) * 1000.0
+                _QUEUE_WAIT_MS.observe(waited_ms)
+                span.set(queue_wait_ms=round(waited_ms, 3))
+                outcome = self._classify_and_finish(session, span)
+            finally:
+                self._production_lock.release()
+                self.leases.release(session.lease_owner)
+                self._unregister(session)
+        return outcome
+
+    def abandon(self, session, reason=""):
+        """Close a session without importing; leases are released."""
+        self._require_open(session)
+        session.state = "abandoned"
+        try:
+            return session.ticket.abandon(reason)
+        finally:
+            self.leases.release(session.lease_owner)
+            self._unregister(session)
+
+    # -- under the production lock -------------------------------------------
+
+    def _classify_and_finish(self, session, span):
+        changes = session.twin.changes()
+        changed = {change.device for change in changes}
+        forced = ""
+        try:
+            _STALE_FAULT.fire(session=session.session_id)
+        except StaleBaseError as exc:
+            forced = str(exc) or "injected stale base"
+        _, _, current = snapshot_fingerprint(self.heimdall.production)
+        base = session.base_fingerprints
+        drifted = tuple(sorted(
+            device
+            for device in set(base) | set(current)
+            if base.get(device) != current.get(device)
+        ))
+        span.set(changes=len(changes), drifted=len(drifted))
+
+        if forced:
+            status, reason = "stale-rejected", forced
+        elif drifted and (set(drifted) & changed):
+            status = "conflict"
+            reason = (
+                "production drifted on edited devices: "
+                + ", ".join(sorted(set(drifted) & changed))
+            )
+        elif drifted and self.on_stale == "reject":
+            status = "stale-rejected"
+            reason = "base drifted on: " + ", ".join(drifted)
+        elif drifted:
+            status, reason = "rebased", ""
+        else:
+            status, reason = "clean", ""
+        span.set(status=status)
+
+        if status in ("conflict", "stale-rejected"):
+            (_CONFLICTS if status == "conflict" else _STALE_BASES).inc()
+            self._audit_rejection(session, status, reason, changes)
+            session.state = "submitted"
+            session.ticket.abandon(f"{status}: {reason}")
+            return SessionOutcome(
+                session_id=session.session_id,
+                issue_id=session.issue.issue_id,
+                status=status,
+                drifted=drifted,
+                change_count=len(changes),
+                reason=reason,
+            )
+
+        if status == "rebased":
+            _STALE_BASES.inc()
+            _REBASES.inc()
+            # MAC-covered record that this candidate was judged against a
+            # newer production than it branched from.
+            self.heimdall.audit.record(
+                actor=session.session_id,
+                device="-",
+                command=f"rebase onto current production; drift on "
+                        f"{', '.join(drifted)}",
+                action="sessions.rebase",
+                resource="production",
+                allowed=True,
+                outcome="re-verified against current production",
+            )
+        session.state = "submitted"
+        ticket_outcome = session.ticket.submit()
+        return SessionOutcome(
+            session_id=session.session_id,
+            issue_id=session.issue.issue_id,
+            status=status,
+            drifted=drifted,
+            change_count=len(changes),
+            ticket_outcome=ticket_outcome,
+        )
+
+    def _audit_rejection(self, session, status, reason, changes):
+        self.heimdall.audit.record(
+            actor=session.session_id,
+            device="-",
+            command=f"submit {len(changes)} changes: {reason}",
+            action=f"sessions.{'conflict' if status == 'conflict' else 'stale'}",
+            resource="production",
+            allowed=False,
+            outcome="rejected; original candidate not imported",
+        )
+
+    # -- small helpers -------------------------------------------------------
+
+    def _require_open(self, session):
+        if session.state != "open":
+            raise SessionError(
+                f"session {session.session_id} already {session.state}"
+            )
+
+    def _enter_queue(self):
+        with self._depth_lock:
+            self._queue_depth += 1
+            _QUEUE_DEPTH.set(self._queue_depth)
+
+    def _exit_queue(self):
+        with self._depth_lock:
+            self._queue_depth -= 1
+            _QUEUE_DEPTH.set(self._queue_depth)
+
+    def live_sessions(self):
+        """Session ids currently open (diagnostics, tests)."""
+        with self._registry_lock:
+            return sorted(self._live)

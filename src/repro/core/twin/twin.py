@@ -52,6 +52,18 @@ class TwinNetwork:
         self.strategy = strategy
         self.scope = frozenset(scope_fn(production, issue, dataplane))
 
+        # The production content this twin branched from, per scoped device.
+        # The session manager compares these against production at submit
+        # time to detect a stale base (docs/ARCHITECTURE.md "Concurrency
+        # model"); computed before sanitising, on the real configs.
+        from repro.control.cache import config_fingerprint
+
+        self.base_fingerprints = {
+            device: config_fingerprint(production.config(device))
+            for device in sorted(self.scope)
+            if device in production.configs
+        }
+
         sliced = production.subset(self.scope)
         sanitised = Network(sliced.topology, sanitize_configs(sliced.configs))
         self.emnet = _boot(sanitised)

@@ -35,6 +35,10 @@ class DataPlane:
             self.trace_cache = {}
             self.trace_lock = threading.Lock()
             self.owner_cache = {}
+        # device -> bool memo for binding_intact(); per plane, so one
+        # verification pass re-hashes each device at most once. Benign
+        # lock-free races: the value is deterministic for this plane.
+        self._binding_memo = {}
 
     @property
     def fingerprint(self):
@@ -47,6 +51,35 @@ class DataPlane:
         if self.artifacts is None:
             return None
         return self.artifacts.device_fingerprints
+
+    def binding_intact(self, devices):
+        """Whether ``devices``' live configs still match this plane's build.
+
+        A compile-cache hit rebinds shared artifacts to the calling network
+        by fingerprint equality *at rebind time*; a caller that later
+        mutates configs in place leaves the plane stale. Consumers that
+        publish results into the **shared** trace cache (the reachability
+        analyzer) call this first so a drifted plane can never poison the
+        cache for an unrelated session. Hand-assembled planes (no
+        artifacts) trivially pass — their caches are private.
+        """
+        if self.artifacts is None:
+            return True
+        from repro.control.cache import config_fingerprint
+
+        expected = self.artifacts.device_fingerprints
+        for device in devices:
+            clean = self._binding_memo.get(device)
+            if clean is None:
+                config = self.network.configs.get(device)
+                clean = (
+                    config is not None
+                    and config_fingerprint(config) == expected.get(device)
+                )
+                self._binding_memo[device] = clean
+            if not clean:
+                return False
+        return True
 
     def fib(self, device):
         """The FIB of ``device`` (empty for switches)."""

@@ -4,6 +4,13 @@ import threading
 
 from repro.dataplane.forwarding import trace_flow
 from repro.net.flow import Flow
+from repro.obs import metrics as obs_metrics
+
+_TRACE_DRIFT = obs_metrics.counter(
+    "dataplane.trace.drift", unit="traces",
+    help="traces computed on a drifted rebound plane and kept out of the "
+         "shared trace cache",
+)
 
 _UNRESOLVED = object()  # owner_cache sentinel: "not looked up yet" vs None
 
@@ -42,11 +49,26 @@ class ReachabilityAnalyzer:
     trace (forwarding is deterministic, so both results are equal) but the
     cache itself is only mutated under a lock, and the first-installed trace
     is the one every caller observes thereafter.
+
+    When the cache is *shared* (the plane was rebound from compile-cache
+    artifacts), a trace is only installed after
+    :meth:`~repro.dataplane.plane.DataPlane.binding_intact` confirms the
+    configs along its path still match the fingerprints the artifacts were
+    compiled from. Without that check, a session mutating its configs in
+    place (a production push, an in-place injection) would trace on the
+    stale plane and poison the cache entry every other equal-fingerprint
+    session reads. Drifted traces are still returned to the caller — stale
+    planes were always undefined behaviour — they just never become shared
+    state (counted by ``dataplane.trace.drift``).
     """
 
     def __init__(self, dataplane):
         self.dataplane = dataplane
         self._cache = getattr(dataplane, "trace_cache", None)
+        self._shared = (
+            self._cache is not None
+            and getattr(dataplane, "artifacts", None) is not None
+        )
         if self._cache is None:
             self._cache = {}
         self._lock = getattr(dataplane, "trace_lock", None)
@@ -76,6 +98,11 @@ class ReachabilityAnalyzer:
                 # own no-owner handling when the lookup comes up empty.
                 resolved = self._owner(flow.src_ip)
             trace = trace_flow(self.dataplane, flow, resolved)
+            if self._shared and not self.dataplane.binding_intact(
+                set(trace.path())
+            ):
+                _TRACE_DRIFT.inc()
+                return trace
             with self._lock:
                 trace = self._cache.setdefault(key, trace)
         return trace

@@ -1,0 +1,151 @@
+"""Concurrent-session stress benchmark (``bench --concurrent N``).
+
+Drives N threaded :class:`~repro.core.sessions.ManagedSession` instances
+end-to-end against one production network carrying the standard issues:
+every thread opens an optimistic session for its issue, replays the fix on
+its own twin, and submits. The report is the acceptance evidence for the
+concurrency model: **every** session ends fully imported or
+deterministically rejected/rebased — no torn state, journal invariants
+intact, exactly one importer per issue, audit chain verified.
+
+Wall-clock throughput is measured like the other benchmarks (real
+``monotonic_s`` seconds, not the simulated clock); the outcome *counts*
+are deterministic only in aggregate — which thread of an issue's pack wins
+the import race depends on scheduling, but the invariants below hold for
+every interleaving, which is the point.
+"""
+
+import threading
+
+from repro.core.heimdall import Heimdall
+from repro.core.sessions import SessionManager
+from repro.experiments.bench_dataplane import NETWORKS, write_report
+from repro.policy.mining import mine_policies
+from repro.scenarios.issues import standard_issues
+from repro.util import rand
+from repro.util.clock import monotonic_s
+from repro.util.errors import ReproError
+
+__all__ = ["run_concurrent_bench", "write_report"]
+
+DEFAULT_SESSIONS = 8
+
+
+def run_concurrent_bench(sessions=DEFAULT_SESSIONS, network="enterprise",
+                         seed=7):
+    """Run the stress benchmark; returns the JSON-ready report dict.
+
+    Args:
+        sessions: number of concurrent technician threads (round-robined
+            over the scenario's standard issues).
+        network: scenario name (``enterprise``/``university``).
+        seed: :mod:`repro.util.rand` seed (retry jitter, fault rules).
+    """
+    if sessions < 1:
+        raise ReproError(f"need at least one session, got {sessions}")
+    if network not in NETWORKS:
+        raise ReproError(
+            f"unknown network {network!r}; expected {'/'.join(NETWORKS)}"
+        )
+    rand.seed(seed)
+    healthy = NETWORKS[network]()
+    policies = mine_policies(healthy)
+    production = NETWORKS[network]()
+
+    issue_list = list(standard_issues(network).values())
+    assigned = issue_list[:min(sessions, len(issue_list))]
+    for issue in assigned:
+        issue.inject(production)
+
+    heimdall = Heimdall(production, policies=policies)
+    manager = SessionManager(heimdall)
+
+    results = [None] * sessions
+    errors = [None] * sessions
+    start = threading.Barrier(sessions)
+    # Every session branches from the *broken* base before any import lands
+    # — that is what makes the outcome counts deterministic: per issue,
+    # exactly one session imports (clean or rebased) and every other one is
+    # a conflict, whatever the submit interleaving.
+    opened = threading.Barrier(sessions)
+
+    def work(index):
+        issue = assigned[index % len(assigned)]
+        session = None
+        try:
+            start.wait()
+            session = manager.open_ticket(issue, mode="optimistic")
+            session.run_fix_script(issue.fix_script)
+        except ReproError as exc:
+            errors[index] = f"{type(exc).__name__}: {exc}"
+        finally:
+            try:
+                opened.wait(timeout=120)
+            except threading.BrokenBarrierError:
+                pass
+        if session is None:
+            return
+        try:
+            results[index] = session.submit()
+        except ReproError as exc:
+            errors[index] = f"{type(exc).__name__}: {exc}"
+
+    threads = [
+        threading.Thread(target=work, args=(i,), name=f"bench-session-{i}")
+        for i in range(sessions)
+    ]
+    started = monotonic_s()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed_s = monotonic_s() - started
+
+    outcomes = {}
+    per_issue = {issue.issue_id: {"sessions": 0, "imported": 0}
+                 for issue in assigned}
+    journals = {"terminal": 0, "total": 0}
+    for outcome in results:
+        if outcome is None:
+            continue
+        outcomes[outcome.status] = outcomes.get(outcome.status, 0) + 1
+        row = per_issue[outcome.issue_id]
+        row["sessions"] += 1
+        if outcome.imported:
+            row["imported"] += 1
+        ticket = outcome.ticket_outcome
+        push = getattr(
+            getattr(ticket, "decision", None), "push_report", None
+        ) if ticket is not None else None
+        if push is not None and push.journal is not None:
+            journals["total"] += 1
+            journals["terminal"] += 1 if push.journal.terminal else 0
+
+    invariants = {
+        "all_sessions_finished": all(
+            result is not None for result in results
+        ) and not any(errors),
+        "one_importer_per_issue": all(
+            row["imported"] == 1 for row in per_issue.values()
+        ),
+        "all_issues_resolved": all(
+            issue.is_resolved(production) for issue in assigned
+        ),
+        "journals_terminal": journals["terminal"] == journals["total"],
+        "audit_chain_intact": heimdall.audit.verify(),
+        "no_live_sessions": not manager.live_sessions(),
+    }
+    report = {
+        "network": network,
+        "seed": seed,
+        "sessions": sessions,
+        "elapsed_s": round(elapsed_s, 3),
+        "throughput_per_s": round(sessions / elapsed_s, 3) if elapsed_s else None,
+        "outcomes": outcomes,
+        "per_issue": per_issue,
+        "journals": journals,
+        "errors": [error for error in errors if error],
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+    return report

@@ -10,6 +10,7 @@ verification ~25 s for 175 constraints), while remaining an explicit model —
 not a measurement of the authors' testbed.
 """
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -48,12 +49,17 @@ class SimulatedClock:
     Also records a per-step breakdown so experiments can report the same
     decomposition Figure 7 shows (connect / operate / save / twin setup /
     verify+schedule ...).
+
+    Thread-safe: concurrent sessions share one deployment clock, and an
+    unlocked ``advance`` would lose charged time under interleaving
+    (read-add-store races drop one of the two additions).
     """
 
     def __init__(self):
         self._now = 0.0
         self._breakdown = {}
         self._step_order = []
+        self._lock = threading.Lock()
 
     @property
     def now(self):
@@ -64,23 +70,26 @@ class SimulatedClock:
         """Advance the clock, attributing the cost to ``step`` if given."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds!r} seconds")
-        self._now += seconds
-        if step is not None:
-            if step not in self._breakdown:
-                self._breakdown[step] = 0.0
-                self._step_order.append(step)
-            self._breakdown[step] += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            if step is not None:
+                if step not in self._breakdown:
+                    self._breakdown[step] = 0.0
+                    self._step_order.append(step)
+                self._breakdown[step] += seconds
+            return self._now
 
     def breakdown(self):
         """Per-step cost attribution, in first-charged order."""
-        return {step: self._breakdown[step] for step in self._step_order}
+        with self._lock:
+            return {step: self._breakdown[step] for step in self._step_order}
 
     def reset(self):
         """Zero the clock and forget the breakdown."""
-        self._now = 0.0
-        self._breakdown = {}
-        self._step_order = []
+        with self._lock:
+            self._now = 0.0
+            self._breakdown = {}
+            self._step_order = []
 
 
 # -- real time ---------------------------------------------------------------

@@ -111,3 +111,30 @@ class AuditWriteError(ReproError):
 
 class VerifierWorkerError(ReproError):
     """A parallel verification worker died; the pass degrades to serial."""
+
+
+# -- concurrent sessions -----------------------------------------------------
+#
+# The session manager (repro.core.sessions) runs N ticket sessions against
+# one production network under per-element leases and optimistic base
+# fingerprints (docs/ARCHITECTURE.md "Concurrency model").
+
+
+class SessionError(ReproError):
+    """A managed session was used incorrectly (closed twice, unknown mode)."""
+
+
+class LeaseError(SessionError):
+    """A lease request could not be granted."""
+
+    def __init__(self, message, elements=()):
+        super().__init__(message)
+        self.elements = tuple(elements)
+
+
+class LeaseTimeout(LeaseError):
+    """A lease request stayed blocked past its timeout."""
+
+
+class StaleBaseError(SessionError):
+    """A session's base snapshot no longer matches production at submit."""

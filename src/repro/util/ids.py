@@ -2,8 +2,12 @@
 
 Experiments must be reproducible run-to-run, so identifiers (ticket numbers,
 audit record ids, session ids) come from per-prefix counters rather than
-UUIDs.
+UUIDs. Allocation is thread-safe: concurrent sessions all draw from one
+shared allocator (``Heimdall._ids``), and an unlocked read-modify-write
+would hand two sessions the same id.
 """
+
+import threading
 
 
 class IdAllocator:
@@ -11,13 +15,16 @@ class IdAllocator:
 
     def __init__(self):
         self._counters = {}
+        self._lock = threading.Lock()
 
     def allocate(self, prefix):
         """Return the next id for ``prefix`` (1-based, zero-padded)."""
-        count = self._counters.get(prefix, 0) + 1
-        self._counters[prefix] = count
+        with self._lock:
+            count = self._counters.get(prefix, 0) + 1
+            self._counters[prefix] = count
         return f"{prefix}-{count:04d}"
 
     def peek(self, prefix):
         """Return the id the next :meth:`allocate` call would produce."""
-        return f"{prefix}-{self._counters.get(prefix, 0) + 1:04d}"
+        with self._lock:
+            return f"{prefix}-{self._counters.get(prefix, 0) + 1:04d}"

@@ -6,6 +6,12 @@ charged to the shared :class:`~repro.util.clock.SimulatedClock` when one is
 given (so Figure-7-style timing still accounts for them) and never sleep
 the real process. Jitter comes from a :mod:`repro.util.rand` derived
 stream, so retry timing is identical run-to-run under one seed.
+
+Every :func:`retry_call` gets its *own* jitter stream, keyed by the
+caller's ``jitter_key`` (a push id, a session id): an operation's delays
+are a pure function of ``(seed, jitter_key, attempt)``, so interleaved
+retries from concurrent sessions can never perturb each other's timing,
+and distinct operations no longer share one correlated jitter sequence.
 """
 
 from dataclasses import dataclass
@@ -49,7 +55,8 @@ class RetryPolicy:
 
 
 def retry_call(fn, *, policy=None, retryable=(TransientDeviceError,),
-               clock=None, step="retry backoff", on_retry=None):
+               clock=None, step="retry backoff", on_retry=None,
+               jitter_key=""):
     """Call ``fn()`` retrying ``retryable`` errors under ``policy``.
 
     Args:
@@ -61,6 +68,9 @@ def retry_call(fn, *, policy=None, retryable=(TransientDeviceError,),
             backoff delays to; ``None`` retries without charging time.
         step: the clock breakdown step name for the charged delays.
         on_retry: optional callback ``(attempt, error, delay_s)`` per retry.
+        jitter_key: stable per-operation key (push id, session id) scoping
+            the jitter stream; the empty default shares the legacy
+            ``"retry"`` stream.
 
     Returns:
         ``fn``'s return value from the first successful call.
@@ -70,7 +80,7 @@ def retry_call(fn, *, policy=None, retryable=(TransientDeviceError,),
         first non-retryable error immediately.
     """
     policy = policy if policy is not None else RetryPolicy()
-    rng = rand.derive("retry")
+    rng = rand.derive(f"retry:{jitter_key}" if jitter_key else "retry")
     slept = 0.0
     attempt = 0
     while True:

@@ -1,0 +1,351 @@
+"""Concurrent session management: leases, drift classification, audit.
+
+docs/ARCHITECTURE.md "Concurrency model". The LeaseManager tests are pure
+unit tests; the SessionManager tests drive real tickets against the
+enterprise scenario, sequentially interleaved so every drift classification
+is deterministic (the threaded interleavings live in
+tests/integration/test_concurrent_sessions.py and the stress bench).
+"""
+
+import threading
+
+import pytest
+
+from repro import faults, obs
+from repro.core.enforcer.audit import AuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.heimdall import Heimdall
+from repro.core.sessions import LeaseManager, SessionManager
+from repro.faults.registry import Rule
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.util import rand
+from repro.util.errors import LeaseError, LeaseTimeout, SessionError
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def deployment():
+    healthy = build_enterprise_network()
+    policies = mine_policies(healthy)
+    production = build_enterprise_network()
+    return production, Heimdall(production, policies=policies)
+
+
+class TestLeaseManager:
+    def test_shared_reads_coexist(self):
+        leases = LeaseManager()
+        leases.acquire("a", read=("r1", "r2"))
+        leases.acquire("b", read=("r1",))
+        assert leases.holders("r1") == (None, frozenset({"a", "b"}))
+
+    def test_writer_excludes_other_writers(self):
+        leases = LeaseManager()
+        leases.acquire("a", write=("r1",))
+        with pytest.raises(LeaseTimeout) as excinfo:
+            leases.acquire("b", write=("r1",), timeout_s=0.01)
+        assert excinfo.value.elements == ("r1",)
+
+    def test_writer_excludes_readers_and_vice_versa(self):
+        leases = LeaseManager()
+        leases.acquire("a", read=("r1",))
+        with pytest.raises(LeaseTimeout):
+            leases.acquire("b", write=("r1",), timeout_s=0.01)
+        leases.release("a")
+        leases.acquire("b", write=("r1",))
+        with pytest.raises(LeaseTimeout):
+            leases.acquire("c", read=("r1",), timeout_s=0.01)
+
+    def test_acquisition_is_all_or_nothing(self):
+        leases = LeaseManager()
+        leases.acquire("a", write=("r2",))
+        # b wants r1 (free) and r2 (held): it must end up holding neither.
+        with pytest.raises(LeaseTimeout):
+            leases.acquire("b", write=("r1", "r2"), timeout_s=0.01)
+        assert leases.holders("r1") == (None, frozenset())
+
+    def test_write_wins_over_read_in_one_request(self):
+        leases = LeaseManager()
+        leases.acquire("a", read=("r1",), write=("r1",))
+        assert leases.holders("r1") == ("a", frozenset())
+
+    def test_release_wakes_blocked_waiter(self):
+        leases = LeaseManager()
+        leases.acquire("a", write=("r1",))
+        got = []
+
+        def wait_for_lease():
+            leases.acquire("b", write=("r1",), timeout_s=30)
+            got.append(True)
+
+        waiter = threading.Thread(target=wait_for_lease)
+        waiter.start()
+        leases.release("a")
+        waiter.join(timeout=30)
+        assert got == [True]
+        assert leases.holders("r1") == ("b", frozenset())
+
+    def test_try_extend_is_non_blocking(self):
+        leases = LeaseManager()
+        leases.acquire("a", read=("r1",))
+        leases.acquire("b", write=("r2",))
+        assert leases.try_extend("a", read=("r3",)) is True
+        assert not leases.try_extend("a", read=("r2",))
+        assert leases.holders("r3") == (None, frozenset({"a"}))
+
+    def test_reacquire_by_same_owner_is_idempotent(self):
+        leases = LeaseManager()
+        leases.acquire("a", write=("r1",))
+        leases.acquire("a", write=("r1",), read=("r2",))
+        assert leases.holders("r1") == ("a", frozenset())
+
+
+class TestSessionManagerValidation:
+    def test_unknown_on_stale_policy_rejected(self, deployment):
+        _, heimdall = deployment
+        with pytest.raises(SessionError):
+            SessionManager(heimdall, on_stale="ignore")
+
+    def test_unknown_mode_rejected(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        with pytest.raises(SessionError):
+            manager.open_ticket(issue, mode="pessimistic")
+
+
+class TestSameIssueConflict:
+    def test_second_candidate_never_imports(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["vlan"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+
+        # Both sessions branch from the broken base before either submits.
+        session_a = manager.open_ticket(issue, mode="optimistic")
+        session_b = manager.open_ticket(issue, mode="optimistic")
+        session_a.run_fix_script(issue.fix_script)
+        session_b.run_fix_script(issue.fix_script)
+
+        outcome_a = session_a.submit()
+        outcome_b = session_b.submit()
+        assert outcome_a.status == "clean" and outcome_a.imported
+        assert outcome_b.status == "conflict" and outcome_b.rejected
+        assert not outcome_b.imported
+        assert outcome_b.ticket_outcome is None
+        assert set(outcome_b.drifted) & set(
+            step.device for step in issue.fix_script
+        )
+        assert issue.is_resolved(production)
+        assert heimdall.audit.verify()
+
+    def test_conflict_writes_denied_audit_record(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["vlan"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session_a = manager.open_ticket(issue, mode="optimistic")
+        session_b = manager.open_ticket(issue, mode="optimistic")
+        session_a.run_fix_script(issue.fix_script)
+        session_b.run_fix_script(issue.fix_script)
+        session_a.submit()
+        session_b.submit()
+        denied = [
+            record for record in heimdall.audit.records
+            if record.action == "sessions.conflict"
+        ]
+        assert len(denied) == 1
+        assert not denied[0].allowed
+        assert heimdall.audit.verify()
+
+
+class TestStaleBase:
+    def test_disjoint_drift_rebases_and_lands(self, deployment):
+        production, heimdall = deployment
+        issues = standard_issues("enterprise")
+        issues["ospf"].inject(production)
+        issues["isp"].inject(production)
+        manager = SessionManager(heimdall)
+
+        session_a = manager.open_ticket(issues["ospf"], mode="optimistic")
+        session_b = manager.open_ticket(issues["isp"], mode="optimistic")
+        session_a.run_fix_script(issues["ospf"].fix_script)
+        session_b.run_fix_script(issues["isp"].fix_script)
+
+        assert session_a.submit().status == "clean"
+        outcome_b = session_b.submit()
+        assert outcome_b.status == "rebased"
+        assert outcome_b.imported
+        assert "dist1" in outcome_b.drifted  # ospf's fix landed in between
+        assert issues["isp"].is_resolved(production)
+        rebase_records = [
+            record for record in heimdall.audit.records
+            if record.action == "sessions.rebase"
+        ]
+        assert len(rebase_records) == 1 and rebase_records[0].allowed
+
+    def test_reject_policy_refuses_stale_base(self, deployment):
+        production, heimdall = deployment
+        issues = standard_issues("enterprise")
+        issues["ospf"].inject(production)
+        issues["isp"].inject(production)
+        manager = SessionManager(heimdall, on_stale="reject")
+
+        session_a = manager.open_ticket(issues["ospf"], mode="optimistic")
+        session_b = manager.open_ticket(issues["isp"], mode="optimistic")
+        session_a.run_fix_script(issues["ospf"].fix_script)
+        session_b.run_fix_script(issues["isp"].fix_script)
+
+        session_a.submit()
+        outcome_b = session_b.submit()
+        assert outcome_b.status == "stale-rejected"
+        assert not outcome_b.imported
+        assert not issues["isp"].is_resolved(production)
+        assert heimdall.audit.verify()
+
+
+class TestSessionLifecycle:
+    def test_double_submit_raises(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        session.submit()
+        with pytest.raises(SessionError):
+            session.submit()
+
+    def test_abandon_releases_leases_and_registry(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue, mode="lease")
+        assert "dist1" in session.write_leases
+        writer, _ = manager.leases.holders("dist1")
+        assert writer == session.lease_owner
+        session.abandon("nothing to do")
+        assert manager.leases.holders("dist1") == (None, frozenset())
+        assert manager.live_sessions() == []
+        with pytest.raises(SessionError):
+            session.submit()
+
+    def test_submit_releases_everything(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue, mode="lease")
+        session.run_fix_script(issue.fix_script)
+        session.submit()
+        assert manager.leases.holders("dist1") == (None, frozenset())
+        assert manager.live_sessions() == []
+
+    def test_lease_mode_serializes_same_device(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session_a = manager.open_ticket(issue, mode="lease")
+        with pytest.raises(LeaseTimeout):
+            manager.open_ticket(issue, mode="lease", lease_timeout_s=0.01)
+        # The failed open held nothing and registered nothing.
+        assert manager.live_sessions() == [session_a.session_id]
+        session_a.run_fix_script(issue.fix_script)
+        assert session_a.submit().imported
+
+
+class TestFaultInjection:
+    def test_lease_timeout_fault_fails_the_open(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        faults.arm({"sessions.lease.timeout": Rule(nth=1)}, seed=7)
+        with pytest.raises(LeaseTimeout):
+            manager.open_ticket(issue)
+        faults.disarm()
+        assert manager.live_sessions() == []
+        # The deployment is intact: the next open succeeds and imports.
+        session = manager.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        assert session.submit().imported
+
+    def test_stale_base_fault_forces_audited_reject(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        faults.arm({"sessions.base.stale": Rule(nth=1)}, seed=7)
+        outcome = session.submit()
+        assert outcome.status == "stale-rejected"
+        assert not outcome.imported
+        assert not issue.is_resolved(production)
+        stale = [
+            record for record in heimdall.audit.records
+            if record.action == "sessions.stale"
+        ]
+        assert len(stale) == 1 and not stale[0].allowed
+        assert heimdall.audit.verify()
+
+
+class TestSessionMetrics:
+    def test_conflict_run_populates_instruments(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["vlan"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        obs.reset()
+        obs.enable()
+        try:
+            session_a = manager.open_ticket(issue, mode="optimistic")
+            session_b = manager.open_ticket(issue, mode="optimistic")
+            session_a.run_fix_script(issue.fix_script)
+            session_b.run_fix_script(issue.fix_script)
+            session_a.submit()
+            session_b.submit()
+        finally:
+            obs.disable()
+        registry = obs.registry()
+        assert registry.get("sessions.leases.acquired").value > 0
+        assert registry.get("sessions.overlaps").value == 1
+        assert registry.get("sessions.conflicts").value == 1
+        assert registry.get("sessions.rebases").value == 0
+        assert registry.get("sessions.queue.depth").value == 0
+
+
+class TestAuditTrailThreadSafety:
+    def test_concurrent_appends_never_fork_the_chain(self):
+        trail = AuditTrail(enclave=SimulatedEnclave())
+        threads = [
+            threading.Thread(
+                target=lambda worker=worker: [
+                    trail.record(
+                        actor=f"tech-{worker}", device="r1",
+                        command=f"show run {i}", action="execute",
+                        resource="console", allowed=True, outcome="ok",
+                    )
+                    for i in range(25)
+                ]
+            )
+            for worker in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(trail.records) == 8 * 25
+        assert trail.verify()

@@ -2,6 +2,9 @@
 
 import ipaddress
 
+import pytest
+
+from repro import obs
 from repro.control.builder import build_dataplane
 from repro.control.routes import Route
 from repro.dataplane.fib import Fib
@@ -91,6 +94,67 @@ class TestBucketedLookup:
                 assert fib.lookup(dst) == _linear_lookup(fib, dst), (
                     f"{device} -> {host}"
                 )
+
+
+class TestEdgeSemantics:
+    def test_duplicate_prefix_first_route_wins(self):
+        # Both routes stay installed, but every lookup resolves to the one
+        # sorting first on (-prefixlen, str(prefix)) — the sorted-list order
+        # the pre-bucketed linear scan established.
+        route_a = _route("10.0.0.0/24", next_hop="10.0.0.1")
+        route_b = _route("10.0.0.0/24", next_hop="10.0.0.2", metric=5)
+        dst = ipaddress.ip_address("10.0.0.7")
+        for ordering in ((route_a, route_b), (route_b, route_a)):
+            fib = Fib(ordering)
+            assert len(fib) == 2
+            looked_up = fib.lookup(dst)
+            assert looked_up == fib.routes()[0]
+            assert looked_up == _linear_lookup(fib, dst)
+            # Equal sort keys: the stable sort preserves install order, so
+            # whichever duplicate was installed first is the winner.
+            assert looked_up == ordering[0]
+
+    def test_default_route_matches_everything(self):
+        fib = Fib([_route("0.0.0.0/0", next_hop="10.0.0.1")])
+        for probe in ("0.0.0.0", "10.1.2.3", "255.255.255.255"):
+            route = fib.lookup(ipaddress.ip_address(probe))
+            assert route is not None
+            assert route.prefix == ipaddress.ip_network("0.0.0.0/0")
+
+    def test_default_route_loses_to_any_longer_match(self):
+        fib = Fib([
+            _route("0.0.0.0/0", next_hop="10.0.0.1"),
+            _route("192.168.0.0/16", next_hop="10.0.0.2"),
+        ])
+        hit = fib.lookup(ipaddress.ip_address("192.168.3.4"))
+        assert hit.prefix == ipaddress.ip_network("192.168.0.0/16")
+
+    def test_miss_counter_increments_only_on_true_misses(self):
+        fib = Fib([
+            _route("0.0.0.0/0", next_hop="10.0.0.1"),
+            _route("10.0.0.0/24", next_hop="10.0.0.2"),
+        ])
+        empty = Fib([_route("10.0.0.0/24")])
+        obs.reset()
+        obs.enable()
+        try:
+            fib.lookup(ipaddress.ip_address("10.0.0.9"))    # specific hit
+            fib.lookup(ipaddress.ip_address("172.16.0.1"))  # default hit
+            empty.lookup(ipaddress.ip_address("172.16.0.1"))  # true miss
+        finally:
+            obs.disable()
+            registry = obs.registry()
+            lookups = registry.get("fib.lookups").value
+            misses = registry.get("fib.lookup.misses").value
+            obs.reset()
+        assert lookups == 3
+        assert misses == 1
+
+    def test_counters_idle_while_disabled(self):
+        fib = Fib([])
+        obs.reset()
+        fib.lookup(ipaddress.ip_address("10.0.0.1"))
+        assert obs.registry().get("fib.lookup.misses").value == 0
 
 
 class TestRouteForPrefix:

@@ -15,6 +15,7 @@ import pytest
 # whole fault-point catalog.
 import repro.core.enforcer.audit  # noqa: F401
 import repro.core.enforcer.scheduler  # noqa: F401
+import repro.core.sessions  # noqa: F401
 import repro.core.twin.monitor  # noqa: F401
 import repro.policy.verification  # noqa: F401
 from repro.faults import registry

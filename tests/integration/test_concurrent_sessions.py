@@ -6,12 +6,17 @@ that conflicts with an earlier import is re-judged against the
 already-updated network.
 """
 
+import threading
+
 import pytest
 
 from repro.core.heimdall import Heimdall
+from repro.core.sessions import SessionManager
+from repro.experiments.bench_concurrent import run_concurrent_bench
 from repro.policy.mining import mine_policies
 from repro.scenarios.enterprise import build_enterprise_network
 from repro.scenarios.issues import standard_issues
+from repro.util import rand
 
 
 @pytest.fixture
@@ -86,3 +91,95 @@ class TestConcurrentSessions:
         outcome_b = session_b.submit()
         assert not outcome_b.approved
         assert not production.config("dist1").interface("Gi0/3").shutdown
+
+
+class TestManagedSessions:
+    """The same deployment driven through repro.core.sessions, threaded.
+
+    The sequential drift-classification matrix lives in
+    tests/core/test_sessions.py; these tests exercise the real thing —
+    multiple technician threads racing open/submit — and pin the
+    acceptance property: two sessions editing the same element never both
+    import their original candidates.
+    """
+
+    def test_same_issue_race_has_exactly_one_importer(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["vlan"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        outcomes = [None, None]
+        errors = []
+        opened = threading.Barrier(2)
+
+        def technician(slot):
+            try:
+                session = manager.open_ticket(issue, mode="optimistic")
+                session.run_fix_script(issue.fix_script)
+                opened.wait(timeout=60)  # both branch from the broken base
+                outcomes[slot] = session.submit()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+                opened.abort()
+
+        threads = [
+            threading.Thread(target=technician, args=(slot,))
+            for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        statuses = sorted(outcome.status for outcome in outcomes)
+        assert statuses == ["clean", "conflict"]
+        assert sum(1 for outcome in outcomes if outcome.imported) == 1
+        assert issue.is_resolved(production)
+        assert heimdall.audit.verify()
+        assert manager.live_sessions() == []
+
+    def test_write_lease_blocks_second_session_until_release(
+            self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+
+        first = manager.open_ticket(issue, mode="lease")
+        first.run_fix_script(issue.fix_script)
+        second_opened = threading.Event()
+        second_outcome = []
+
+        def technician():
+            session = manager.open_ticket(
+                issue, mode="lease", lease_timeout_s=60
+            )
+            second_opened.set()
+            session.run_fix_script(issue.fix_script)
+            second_outcome.append(session.submit())
+
+        blocked = threading.Thread(target=technician)
+        blocked.start()
+        # The write lease on dist1 is held: the second open must not
+        # complete while the first session is live.
+        assert not second_opened.wait(timeout=0.3)
+        outcome_first = first.submit()
+        blocked.join(timeout=120)
+        assert second_opened.is_set()
+        assert outcome_first.imported
+        # The second session branched from the already-fixed production:
+        # clean base, empty (or idempotent) change set, nothing torn.
+        assert second_outcome and second_outcome[0].status == "clean"
+        assert issue.is_resolved(production)
+        assert heimdall.audit.verify()
+
+    def test_bounded_stress_bench_holds_all_invariants(self):
+        rand.reset()
+        report = run_concurrent_bench(sessions=4, network="enterprise",
+                                      seed=7)
+        assert report["ok"], report["invariants"]
+        assert not report["errors"]
+        assert sum(report["outcomes"].values()) == 4
+        for row in report["per_issue"].values():
+            assert row["imported"] == 1
+        rand.reset()

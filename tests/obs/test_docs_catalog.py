@@ -17,8 +17,10 @@ import repro.control.builder  # noqa: F401
 import repro.control.cache  # noqa: F401
 import repro.core.enforcer.scheduler  # noqa: F401
 import repro.core.enforcer.verifier  # noqa: F401
+import repro.core.sessions  # noqa: F401
 import repro.core.twin.monitor  # noqa: F401
 import repro.dataplane.fib  # noqa: F401
+import repro.dataplane.reachability  # noqa: F401
 import repro.faults.registry  # noqa: F401
 import repro.policy.verification  # noqa: F401
 import repro.util.retry  # noqa: F401

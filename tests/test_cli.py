@@ -144,3 +144,28 @@ class TestObsReport:
         run("obs", "report", "--network", "enterprise", "--issue", "ospf")
         assert not obs.enabled()
         obs.reset()
+
+
+class TestBenchConcurrent:
+    def test_stress_smoke_writes_report(self, tmp_path):
+        import json
+
+        from repro.util import rand
+
+        out_path = tmp_path / "stress.json"
+        code, text = run(
+            "bench", "--concurrent", "2", "--seed", "7",
+            "-o", str(out_path),
+        )
+        rand.reset()
+        assert code == 0
+        assert "[ok" in text and "[FAIL" not in text
+        report = json.loads(out_path.read_text())
+        assert report["ok"] is True
+        assert report["sessions"] == 2
+
+    def test_rejects_bad_session_count(self):
+        code, text = run("bench", "--concurrent", "0")
+        # 0 means "perf bench" by flag default; explicit negatives error.
+        code, text = run("bench", "--concurrent", "-3")
+        assert code != 0

@@ -1,3 +1,5 @@
+import threading
+
 from repro.util.ids import IdAllocator
 
 
@@ -23,3 +25,27 @@ class TestIdAllocator:
         a, b = IdAllocator(), IdAllocator()
         a.allocate("T")
         assert b.allocate("T") == "T-0001"
+
+    def test_concurrent_allocation_never_duplicates(self):
+        # Concurrent sessions allocate ticket/lease ids from one shared
+        # allocator; the unlocked read-modify-write used to be able to hand
+        # two threads the same id.
+        ids = IdAllocator()
+        per_thread = 200
+        results = [[] for _ in range(8)]
+
+        def allocate(bucket):
+            for _ in range(per_thread):
+                bucket.append(ids.allocate("T"))
+
+        threads = [
+            threading.Thread(target=allocate, args=(bucket,))
+            for bucket in results
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        allocated = [value for bucket in results for value in bucket]
+        assert len(allocated) == len(set(allocated)) == 8 * per_thread
+        assert ids.peek("T") == f"T-{8 * per_thread + 1:04d}"

@@ -1,0 +1,117 @@
+"""Lint: module-level mutable state in ``src/`` must be accounted for.
+
+The concurrency model (docs/ARCHITECTURE.md) assumes shared mutable state
+is lock-guarded — process-wide singletons like the compile cache, the
+metrics registry, and the fault registry all take a lock internally. A
+bare module-level ``dict``/``list``/``set`` is invisible shared state: any
+session thread can mutate it with no lock, which is exactly the class of
+bug the session layer flushed out of ``IdAllocator`` and ``AuditTrail``.
+
+This test walks every module's top level with ``ast`` (the same pattern as
+``test_no_random.py``) and fails on any mutable-container binding that is
+not on the allowlist below. Everything currently listed is a read-only
+lookup table populated once at import time; adding new *mutable* module
+state means either moving it behind a locked class or consciously adding
+it here with a justification.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+# Builders of mutable containers when called at module level.
+MUTABLE_CALLS = {
+    "dict", "list", "set", "bytearray",
+    "defaultdict", "OrderedDict", "deque", "Counter",
+}
+
+# "path-relative-to-src : name" -> why it is safe. Every entry must be
+# treated as frozen after import; none may be mutated at runtime.
+ALLOWED = {
+    "repro/cli.py:_SCENARIOS": "scenario-name -> builder table",
+    "repro/config/acl.py:_WELL_KNOWN_PORTS": "port-name constants",
+    "repro/config/acl.py:_PORT_NAMES": "reverse port-name constants",
+    "repro/config/apply.py:_HANDLERS": "change-kind dispatch table",
+    "repro/config/diffing.py:_KIND_TABLE": "diff-kind metadata",
+    "repro/config/diffing.py:_CATEGORY_BY_KIND": "derived diff metadata",
+    "repro/control/routes.py:ADMIN_DISTANCE": "protocol preference table",
+    "repro/core/heimdall.py:ESCALATION_LADDER": "profile ordering",
+    "repro/core/privilege/generator.py:TASK_PROFILES": "profile catalog",
+    "repro/core/privilege/generator.py:PROFILE_BY_ISSUE":
+        "issue-kind -> profile table",
+    "repro/core/twin/scoping.py:SCOPING_STRATEGIES": "strategy registry",
+    "repro/emulation/image.py:_DEFAULTS": "image default attributes",
+    "repro/experiments/bench_dataplane.py:NETWORKS": "network builders",
+    "repro/experiments/fig7.py:PAPER_FIG7": "published figure data",
+    "repro/experiments/fig7.py:_BUILDERS": "network builders",
+    "repro/experiments/fig89.py:PAPER_FIG89": "published figure data",
+    "repro/experiments/fig89.py:_BUILDERS": "network builders",
+    "repro/experiments/latency.py:PAPER_X1": "published figure data",
+    "repro/experiments/table1.py:PAPER_TABLE1": "published table data",
+    "repro/faults/chaos.py:_BUILDERS": "network builders",
+    "repro/policy/model.py:_KINDS": "policy-kind registry",
+    "repro/scenarios/files.py:_SENSITIVE_FILES": "fixture file list",
+}
+
+# Dunder module metadata (__all__ et al.) is conventionally a literal list
+# and never mutated; flagging it would be noise.
+IGNORED_NAMES = {"__all__"}
+
+
+def _is_mutable_container(node):
+    if isinstance(node, (ast.Dict, ast.List, ast.Set,
+                         ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in MUTABLE_CALLS
+    return False
+
+
+def _module_level_mutables():
+    found = {}
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        rel = path.relative_to(SRC.parent).as_posix()
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                names = [
+                    target.id for target in node.targets
+                    if isinstance(target, ast.Name)
+                ]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name) and node.value is not None:
+                names = [node.target.id]
+                value = node.value
+            else:
+                continue
+            if not _is_mutable_container(value):
+                continue
+            for name in names:
+                if name in IGNORED_NAMES:
+                    continue
+                found[f"{rel}:{name}"] = node.lineno
+    return found
+
+
+def test_module_level_mutable_state_is_allowlisted():
+    found = _module_level_mutables()
+    offenders = sorted(set(found) - set(ALLOWED))
+    assert not offenders, (
+        "module-level mutable containers outside the allowlist "
+        "(wrap in a locked class, or add here with a justification):\n"
+        + "\n".join(f"{key} (line {found[key]})" for key in offenders)
+    )
+
+
+def test_allowlist_carries_no_stale_entries():
+    found = _module_level_mutables()
+    stale = sorted(set(ALLOWED) - set(found))
+    assert not stale, f"allowlist entries no longer in src/: {stale}"

@@ -94,6 +94,70 @@ class TestRetryCall:
         )
         assert seen == [1, 2]
 
+    def test_jitter_streams_are_keyed_per_operation(self):
+        # Distinct operations must not share one jitter sequence.
+        def delays(key):
+            rand.seed(7)
+            seen = []
+            retry_call(
+                flaky(3), jitter_key=key,
+                on_retry=lambda attempt, exc, delay: seen.append(delay),
+            )
+            return seen
+
+        assert delays("push-1:r1") == delays("push-1:r1")
+        assert delays("push-1:r1") != delays("push-2:r2")
+
+    def test_default_key_keeps_the_legacy_stream(self):
+        rand.seed(7)
+        rng = rand.derive("retry")
+        policy = RetryPolicy()
+        expected = [policy.delay_s(attempt, rng) for attempt in (1, 2)]
+        rand.seed(7)
+        seen = []
+        retry_call(
+            flaky(2),
+            on_retry=lambda attempt, exc, delay: seen.append(delay),
+        )
+        assert seen == expected
+
+    def test_interleaved_retries_see_the_same_delays_as_alone(self):
+        # The regression this PR fixes: two concurrent retrying pushes must
+        # each observe exactly the backoff schedule they would running
+        # alone — a shared stream would hand delays out in arrival order.
+        import threading
+
+        def solo(key):
+            rand.seed(7)
+            seen = []
+            retry_call(
+                flaky(3), jitter_key=key,
+                on_retry=lambda attempt, exc, delay: seen.append(delay),
+            )
+            return seen
+
+        alone = {key: solo(key) for key in ("push-a:r1", "push-b:r2")}
+
+        rand.seed(7)
+        interleaved = {}
+
+        def run(key):
+            seen = []
+            retry_call(
+                flaky(3), jitter_key=key,
+                on_retry=lambda attempt, exc, delay: seen.append(delay),
+            )
+            interleaved[key] = seen
+
+        threads = [
+            threading.Thread(target=run, args=(key,)) for key in alone
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert interleaved == alone
+
     def test_metrics_count_attempts_and_exhaustion(self):
         obs.reset()
         obs.enable()
