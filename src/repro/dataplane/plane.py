@@ -39,6 +39,23 @@ class DataPlane:
         # verification pass re-hashes each device at most once. Benign
         # lock-free races: the value is deterministic for this plane.
         self._binding_memo = {}
+        self._binding_asserted = False
+
+    def assert_binding_intact(self):
+        """Caller's promise: no in-place config mutation while this plane lives.
+
+        Skips the re-hash drift guard in :meth:`binding_intact` for the rest
+        of this plane's lifetime. Sound only for callers that own both the
+        plane and its network and will not mutate any config in place until
+        they drop the plane — the enforcer's verify pipeline qualifies (it
+        builds the candidate itself and the sessions layer serializes
+        production mutation against verification), an interactive twin
+        console does not. Like the ``changed_devices`` assertion of
+        :func:`~repro.control.cache.derived_fingerprint`, a false promise
+        silently corrupts shared state, so assert only from code that
+        constructs its snapshots itself.
+        """
+        self._binding_asserted = True
 
     @property
     def fingerprint(self):
@@ -61,9 +78,11 @@ class DataPlane:
         publish results into the **shared** trace cache (the reachability
         analyzer) call this first so a drifted plane can never poison the
         cache for an unrelated session. Hand-assembled planes (no
-        artifacts) trivially pass — their caches are private.
+        artifacts) trivially pass — their caches are private — as do planes
+        whose owner promised no in-place mutation via
+        :meth:`assert_binding_intact`.
         """
-        if self.artifacts is None:
+        if self.artifacts is None or self._binding_asserted:
             return True
         from repro.control.cache import config_fingerprint
 

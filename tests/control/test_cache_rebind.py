@@ -11,8 +11,11 @@ served, stale, to every equal-fingerprint analyzer in the process.
 import pytest
 
 from repro import obs
+from repro.config.diffing import diff_networks
 from repro.control.builder import build_dataplane
 from repro.control.cache import clear_dataplane_cache
+from repro.core.enforcer.verifier import ChangeVerifier
+from repro.dataplane.plane import DataPlane
 from repro.dataplane.reachability import ReachabilityAnalyzer, host_flow
 from tests.fixtures import square_network
 
@@ -95,3 +98,69 @@ class TestRebindDriftGuard:
         assert analyzer.hosts_reachable("h2", "h3") is False
         flow = host_flow(network_b, "h2", "h3")
         assert (flow, "h2") in plane_c.trace_cache
+
+
+class TestBindingAssertion:
+    """An owner that promises no in-place mutation skips the re-hash guard.
+
+    The guard costs one config serialize + hash per device per traced path
+    per plane — ~10% of an incremental ``ChangeVerifier.verify`` — so the
+    enforcer, which owns its planes for the duration of a pass, asserts
+    instead of re-proving what the compile just fingerprinted.
+    """
+
+    def test_asserted_plane_installs_shared_traces_without_hashing(
+        self, monkeypatch
+    ):
+        network = square_network()
+        plane = build_dataplane(network)
+        plane.assert_binding_intact()
+
+        def boom(config):
+            raise AssertionError("drift guard re-hashed an asserted plane")
+
+        monkeypatch.setattr("repro.control.cache.config_fingerprint", boom)
+        flow = host_flow(network, "h2", "h3")
+        ReachabilityAnalyzer(plane).trace(flow, start_device="h2")
+        assert (flow, "h2") in plane.trace_cache
+
+    def test_enforcer_verify_asserts_every_shared_plane(self, monkeypatch):
+        """Each shared-cache install inside verify() short-circuits the guard."""
+        consulted = []
+        original = DataPlane.binding_intact
+
+        def spy(self, devices):
+            consulted.append(self._binding_asserted)
+            return original(self, devices)
+
+        monkeypatch.setattr(DataPlane, "binding_intact", spy)
+        production = square_network()
+        modified = production.copy()
+        modified.config("r1").interface("Gi0/0").description = "updated"
+        changes = diff_networks(production.configs, modified.configs)
+        verifier = ChangeVerifier(_policies())
+        decision = verifier.verify(production, changes)
+        assert decision.approved
+        assert consulted, "expected shared-cache trace installs"
+        assert all(consulted)
+
+    def test_unasserted_analyzers_still_guarded(self):
+        network_a = square_network()
+        plane_a = build_dataplane(network_a)
+        network_b = square_network()
+        plane_b = build_dataplane(network_b)
+        _drop_acl(network_b)
+        flow = host_flow(network_b, "h2", "h3")
+        ReachabilityAnalyzer(plane_b).trace(flow, start_device="h2")
+        assert (flow, "h2") not in plane_a.trace_cache
+
+
+def _policies():
+    from repro.net.flow import Flow
+    from repro.policy.model import ReachabilityPolicy
+
+    return [
+        ReachabilityPolicy(
+            "reach:h1->h2", Flow.make("10.1.1.100", "10.2.2.100", "icmp")
+        )
+    ]
