@@ -24,10 +24,12 @@ obs-report:
 report:
 	$(PYTHON) -m repro.cli report -o report.md
 
-# Fixed-seed chaos smoke campaign (push atomicity invariant) + the tier-1
-# suite. Same seed, same report — see docs/ROBUSTNESS.md.
+# Fixed-seed chaos campaigns (push atomicity invariant: the smoke mix plus
+# the staged-rollout canary scenarios) + the tier-1 suite. Same seed, same
+# report — see docs/ROBUSTNESS.md.
 chaos:
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign smoke
+	$(PYTHON) -m repro.cli chaos --seed 7 --campaign canary
 	$(PYTHON) -m pytest -x -q tests/
 
 # Seeded, bounded-size concurrent-session stress benchmark: 8 threaded

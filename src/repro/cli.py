@@ -143,6 +143,8 @@ def cmd_bench(args, out):
 
     if args.concurrent:
         return _bench_concurrent(args, out)
+    if args.rollout:
+        return _bench_rollout(args, out)
     args.output = args.output or "BENCH_dataplane.json"
     report = run_benchmarks(networks=args.networks, repeats=args.repeats)
     write_report(report, args.output)
@@ -161,6 +163,34 @@ def cmd_bench(args, out):
             f"(target {gate['target']}x)\n"
         )
     out.write(f"benchmark report written to {args.output}\n")
+    return 0
+
+
+def _bench_rollout(args, out):
+    """Monolithic vs staged canary push timings; writes BENCH_rollout.json."""
+    from repro.experiments.bench_rollout import (
+        run_rollout_benchmarks,
+        write_report,
+    )
+
+    output = args.output or "BENCH_rollout.json"
+    networks = [n for n in (args.networks or []) if n == "enterprise"] or None
+    report = run_rollout_benchmarks(networks=networks, repeats=args.repeats)
+    for name, rows in report["networks"].items():
+        push = rows["push"]
+        out.write(
+            f"{name}: monolithic {push['monolithic_ms']}ms -> canary "
+            f"{push['canary_incremental_ms']}ms over {rows['waves']} waves "
+            f"({rows['probes_per_push']} probes, "
+            f"{push['probe_overhead_x']}x overhead)\n"
+        )
+        out.write(
+            f"  probe compile: cold {push['canary_cold_ms']}ms -> "
+            f"incremental {push['canary_incremental_ms']}ms "
+            f"({push['probe_speedup']}x)\n"
+        )
+    write_report(report, output)
+    out.write(f"rollout benchmark report written to {output}\n")
     return 0
 
 
@@ -288,11 +318,22 @@ def cmd_chaos(args, out):
     """Run one seeded chaos campaign; exit 0 iff every invariant held."""
     import json as json_module
 
-    from repro.faults.chaos import campaign_names, run_campaign
+    from repro.faults.chaos import campaign_names, campaigns, run_campaign
 
     if args.list:
         for name in campaign_names():
             out.write(f"{name}\n")
+        return 0
+    if args.list_campaigns:
+        for name, scenarios in sorted(campaigns().items()):
+            out.write(f"{name} ({len(scenarios)} scenarios)\n")
+            for scenario in scenarios:
+                staged = " [staged]" if scenario.rollout is not None else ""
+                out.write(
+                    f"  {scenario.network}/{scenario.issue} "
+                    f"{scenario.label}{staged}: expect "
+                    f"{scenario.expect or 'any'}\n"
+                )
         return 0
 
     report = run_campaign(args.campaign, seed=args.seed)
@@ -421,13 +462,19 @@ def build_parser():
              "sessions instead of the perf suite",
     )
     bench.add_argument(
+        "--rollout", action="store_true",
+        help="run the staged-rollout push benchmark instead of the perf "
+             "suite (writes BENCH_rollout.json)",
+    )
+    bench.add_argument(
         "--seed", type=int, default=7,
         help="rand seed for the concurrent stress benchmark",
     )
     bench.add_argument(
         "-o", "--output", default=None,
-        help="report path (default: BENCH_dataplane.json, or "
-             "BENCH_concurrent.json with --concurrent)",
+        help="report path (default: BENCH_dataplane.json, "
+             "BENCH_concurrent.json with --concurrent, or "
+             "BENCH_rollout.json with --rollout)",
     )
     bench.set_defaults(func=cmd_bench)
 
@@ -459,6 +506,8 @@ def build_parser():
                        help="campaign name (see --list)")
     chaos.add_argument("--list", action="store_true",
                        help="list campaign names and exit")
+    chaos.add_argument("--list-campaigns", action="store_true",
+                       help="list campaigns with their scenarios and exit")
     chaos.add_argument("--json", action="store_true",
                        help="emit the JSON report to stdout")
     chaos.add_argument("-o", "--output", default=None,

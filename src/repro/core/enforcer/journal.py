@@ -39,16 +39,27 @@ class JournalEntry:
     """One append-only journal record."""
 
     # intent | batch-start | batch-committed | batch-restored | done
-    # | rolled-back
+    # | rolled-back | wave-start | probe | wave-committed | quarantine
     kind: str
     batch_index: int = None
     detail: str = ""
+    wave_index: int = None
 
 
 class PushJournal:
-    """The durable record of one push's intent and progress."""
+    """The durable record of one push's intent and progress.
 
-    def __init__(self, push_id, batches, production):
+    For staged pushes (``wave_plan`` given) the journal additionally
+    records wave-granular progress: ``wave-start`` / ``probe`` /
+    ``wave-committed`` markers bracketing each wave's batch markers, the
+    quarantine list a failed wave produced, and the invariant policy ids
+    the health probes check — enough for :meth:`ChangeScheduler.resume`
+    to rebuild the probe and replay only the uncommitted waves after a
+    mid-wave crash.
+    """
+
+    def __init__(self, push_id, batches, production, wave_plan=None,
+                 invariant_policies=None, rollout=None):
         self.push_id = push_id
         self.batches = [list(batch) for batch in batches]
         self.state = IN_FLIGHT
@@ -56,6 +67,18 @@ class PushJournal:
         self.committed = set()  # batch indices fully applied
         self._inflight_index = None
         self._inflight_snapshot = None  # device -> pre-batch config copy
+        # Staged-rollout state (all None/empty for monolithic pushes).
+        self.wave_plan = (
+            [dict(wave) for wave in wave_plan] if wave_plan is not None
+            else None
+        )
+        self.committed_waves = set()  # wave indices fully applied + probed
+        self.quarantined = []  # (device, reason) from failed waves
+        self.invariant_policies = (
+            tuple(invariant_policies) if invariant_policies is not None
+            else None
+        )
+        self.rollout = rollout  # the RolloutConfig, for resume()
         self.devices = sorted(
             {change.device for batch in self.batches for change in batch}
         )
@@ -96,6 +119,35 @@ class PushJournal:
         self._inflight_snapshot = None
         self.entries.append(JournalEntry("batch-committed", batch_index=index))
 
+    def mark_wave_start(self, index):
+        """Record that wave ``index`` is about to start applying."""
+        self._require_in_flight()
+        self.entries.append(JournalEntry("wave-start", wave_index=index))
+
+    def mark_probe(self, index, healthy, detail=""):
+        """Record wave ``index``'s health-probe verdict."""
+        self._require_in_flight()
+        self.entries.append(
+            JournalEntry(
+                "probe", wave_index=index,
+                detail=f"{'healthy' if healthy else 'unhealthy'}: {detail}",
+            )
+        )
+
+    def mark_wave_committed(self, index):
+        """Record that wave ``index`` fully applied and probed healthy."""
+        self._require_in_flight()
+        self.committed_waves.add(index)
+        self.entries.append(JournalEntry("wave-committed", wave_index=index))
+
+    def mark_quarantine(self, device, reason=""):
+        """Record that a failed wave quarantined ``device``."""
+        self._require_in_flight()
+        self.quarantined.append((device, reason))
+        self.entries.append(
+            JournalEntry("quarantine", detail=f"{device}: {reason}")
+        )
+
     def mark_done(self):
         """Terminal marker: every batch committed."""
         self._require_in_flight()
@@ -127,6 +179,26 @@ class PushJournal:
             for index, batch in enumerate(self.batches)
             if index not in self.committed
         ]
+
+    def uncommitted_waves(self):
+        """Wave-plan entries still to apply/probe, in order.
+
+        A wave whose ``wave-committed`` marker made it into the journal is
+        done — its batches applied *and* its probe passed — so resume skips
+        it entirely. Everything after the last such marker replays (the
+        batch-level ``committed`` set keeps the replay idempotent even when
+        the crash landed mid-wave).
+        """
+        if self.wave_plan is None:
+            return []
+        return [
+            wave for wave in self.wave_plan
+            if wave["index"] not in self.committed_waves
+        ]
+
+    def quarantined_devices(self):
+        """Quarantined device names, sorted and de-duplicated."""
+        return sorted({device for device, _ in self.quarantined})
 
     def restore_inflight_batch(self, production):
         """Undo the possibly half-applied batch recorded by the last
@@ -164,7 +236,7 @@ class PushJournal:
 
     def to_dict(self):
         """JSON-ready journal export (change objects summarised)."""
-        return {
+        exported = {
             "push_id": self.push_id,
             "state": self.state,
             "devices": list(self.devices),
@@ -178,7 +250,16 @@ class PushJournal:
                     "kind": entry.kind,
                     "batch_index": entry.batch_index,
                     "detail": entry.detail,
+                    "wave_index": entry.wave_index,
                 }
                 for entry in self.entries
             ],
         }
+        if self.wave_plan is not None:
+            exported["wave_plan"] = [dict(wave) for wave in self.wave_plan]
+            exported["committed_waves"] = sorted(self.committed_waves)
+            exported["quarantined"] = [
+                {"device": device, "reason": reason}
+                for device, reason in self.quarantined
+            ]
+        return exported

@@ -54,9 +54,29 @@ class EnforcementDecision:
     privilege_violations: list = field(default_factory=list)
     new_policy_violations: list = field(default_factory=list)
     preexisting_violations: list = field(default_factory=list)
+    baseline_report: object = None  # production's policy state pre-change
     candidate_report: object = None
     impact: object = None  # ReachabilityDiff: the change set's blast radius
     push_report: object = None  # PushReport once the import ran (or rolled back)
+
+    def invariant_policy_ids(self):
+        """Policies holding both before and after the full change set.
+
+        These are the **rollout invariants**: policies no intermediate
+        wave of a staged push is supposed to disturb, so the post-wave
+        health probes check exactly this set against each mixed-version
+        dataplane. Policies the change set itself (correctly) flips —
+        the ticket's own fix — are excluded by construction.
+        """
+        if self.baseline_report is None or self.candidate_report is None:
+            return ()
+        before = {
+            r.policy.policy_id for r in self.baseline_report.results if r.holds
+        }
+        after = {
+            r.policy.policy_id for r in self.candidate_report.results if r.holds
+        }
+        return tuple(sorted(before & after))
 
     @property
     def approved(self):
@@ -151,6 +171,7 @@ class ChangeVerifier:
                 baseline_report = self.policy_verifier.verify_dataplane(
                     production_dataplane
                 )
+            decision.baseline_report = baseline_report
             already_broken = {
                 result.policy.policy_id
                 for result in baseline_report.violations

@@ -81,13 +81,17 @@ class Heimdall:
     """
 
     def __init__(self, production, policies=None, scoping_strategy="heimdall",
-                 clock=None, cost_model=None, max_workers=None):
+                 clock=None, cost_model=None, max_workers=None, rollout=None):
         self.production = production
         self.policies = (
             list(policies) if policies is not None else mine_policies(production)
         )
         self.scoping_strategy = scoping_strategy
         self.max_workers = max_workers  # verifier parallelism (None = serial)
+        # Staged canary imports: a RolloutConfig makes every approved push
+        # wave-based with post-wave health probes (docs/ARCHITECTURE.md
+        # "Staged rollout"); None keeps monolithic transactional pushes.
+        self.rollout = rollout
         self.clock = clock if clock is not None else SimulatedClock()
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.enclave = SimulatedEnclave()
@@ -199,11 +203,22 @@ class Heimdall:
                     # device failures, and rolls back to the pre-push
                     # snapshot on fatal/audit failure. A simulated pusher
                     # crash (PushCrashed) propagates with the journal for
-                    # scheduler.resume().
+                    # scheduler.resume(). With a rollout config the push
+                    # is additionally staged into health-probed waves; the
+                    # probes check the policies this verification pass
+                    # proved invariant across the full change set.
+                    rollout_kwargs = {}
+                    if self.rollout is not None:
+                        rollout_kwargs = {
+                            "rollout": self.rollout,
+                            "policy_verifier": verifier.policy_verifier,
+                            "invariant_policy_ids":
+                                decision.invariant_policy_ids(),
+                        }
                     push_report = self.scheduler.push(
                         self.production, changes, batches=batches,
                         audit=self.audit, actor=session.session_id,
-                        clock=self.clock,
+                        clock=self.clock, **rollout_kwargs,
                     )
                     decision.push_report = push_report
                     self.clock.advance(

@@ -352,6 +352,13 @@ class SessionManager:
         self._owners = IdAllocator()
         self._depth_lock = threading.Lock()
         self._queue_depth = 0
+        # Wave-granular progress of staged pushes, keyed by the pushing
+        # session id. The scheduler fires the listener from inside the
+        # (serialized) push body; sessions waiting in the queue read it to
+        # see how far the current holder's rollout has advanced.
+        self._progress_lock = threading.Lock()
+        self._push_progress = {}
+        heimdall.scheduler.wave_listener = self._on_wave_event
 
     # -- opening -------------------------------------------------------------
 
@@ -630,3 +637,48 @@ class SessionManager:
         """Session ids currently open (diagnostics, tests)."""
         with self._registry_lock:
             return sorted(self._live)
+
+    # -- staged-push progress --------------------------------------------------
+
+    def _on_wave_event(self, event):
+        """Scheduler wave-listener: record a staged push's wave transition.
+
+        Runs inside the serialized push body (under the production lock),
+        so the only concurrency here is readers via :meth:`push_progress`;
+        the progress lock keeps the per-actor record consistent for them.
+        """
+        with self._progress_lock:
+            record = self._push_progress.setdefault(
+                event["actor"],
+                {"push_id": event["push_id"], "waves": event["waves"],
+                 "events": []},
+            )
+            if record["push_id"] != event["push_id"]:
+                # A new push by the same session supersedes the old record.
+                record = {"push_id": event["push_id"],
+                          "waves": event["waves"], "events": []}
+                self._push_progress[event["actor"]] = record
+            record["events"].append({
+                "wave": event["wave"],
+                "devices": list(event["devices"]),
+                "status": event["status"],
+            })
+            record["wave"] = event["wave"]
+            record["status"] = event["status"]
+
+    def push_progress(self, session_id=None):
+        """Wave-granular progress of staged pushes.
+
+        Returns the progress record for ``session_id`` (``None`` when that
+        session never ran a staged push), or a dict of all records when no
+        id is given. Records are snapshots — safe to read while a push is
+        in flight.
+        """
+        with self._progress_lock:
+            if session_id is not None:
+                record = self._push_progress.get(session_id)
+                return dict(record) if record is not None else None
+            return {
+                actor: dict(record)
+                for actor, record in self._push_progress.items()
+            }

@@ -1,0 +1,166 @@
+"""Wall-clock benchmarks of the staged (canary) rollout push path.
+
+Measures what the wave machinery costs on top of a monolithic push: the
+same multi-device change set is imported monolithically, then as a staged
+rollout with incremental mixed-version probe compiles (the default), then
+staged again with the probe compiles forced cold. The incremental-vs-cold
+ratio is the same compile-reuse story the verifier benchmarks tell, now on
+the per-wave health-probe path.
+
+The runner writes ``BENCH_rollout.json``;
+``python -m repro.cli bench --rollout`` is the one-command entry point.
+"""
+
+import json
+import statistics
+
+from repro.control.builder import build_dataplane
+from repro.control.cache import clear_dataplane_cache
+from repro.core.enforcer.audit import AuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.enforcer.rollout import RolloutConfig
+from repro.core.enforcer.scheduler import ChangeScheduler
+from repro.core.enforcer.verifier import ChangeVerifier
+from repro.core.heimdall import Heimdall
+from repro.policy.mining import mine_policies
+from repro.policy.verification import PolicyVerifier
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import FixStep, standard_issues
+from repro.util.clock import monotonic_s
+from repro.util.errors import ReproError
+
+DEFAULT_REPEATS = 5
+
+# A benign rider on a device the ospf fix doesn't touch (unused prefix,
+# live next hop), so the staged push genuinely spans multiple waves.
+_EXTRA_STEPS = {
+    "enterprise": (
+        FixStep("dist2", (
+            "configure terminal",
+            "ip route 10.99.0.0 255.255.0.0 10.0.7.1",
+            "end",
+            "write memory",
+        )),
+    ),
+}
+
+
+def rollout_workload(name="enterprise"):
+    """``(production, changes, policies, invariants)`` for a 2-wave push.
+
+    Production is the network with the ospf issue injected; the change set
+    is the twin's fix plus the benign rider, so the default per-device
+    wave plan yields two waves. ``invariants`` is the verifier-derived
+    invariant policy set a real enforced push would hand the scheduler.
+    """
+    if name not in _EXTRA_STEPS:
+        raise ReproError(
+            f"no rollout workload for {name!r}; choose from "
+            f"{'/'.join(_EXTRA_STEPS)}"
+        )
+    network = build_enterprise_network()
+    policies = mine_policies(network)
+    issue = standard_issues(name)["ospf"]
+    issue.inject(network)
+    heimdall = Heimdall(network, policies=policies)
+    session = heimdall.open_ticket(issue)
+    session.run_fix_script(issue.fix_script)
+    session.run_fix_script(_EXTRA_STEPS[name])
+    changes = session.twin.changes()
+    decision = ChangeVerifier(policies).verify(network, changes)
+    return network, changes, policies, decision.invariant_policy_ids()
+
+
+def _timed_pushes(production, changes, policies, invariants, rollout,
+                  repeats, warm_cache):
+    """Median push milliseconds plus the last report's wave/probe counts."""
+    verifier = PolicyVerifier(policies)
+    clear_dataplane_cache()
+    if warm_cache:
+        # Steady state: the enforcer just verified this snapshot, so the
+        # production plane (and its traces) are already cached.
+        build_dataplane(production)
+    samples = []
+    report = None
+    for _ in range(repeats):
+        if not warm_cache:
+            clear_dataplane_cache()
+        scratch = production.copy()
+        scheduler = ChangeScheduler()
+        audit = AuditTrail(SimulatedEnclave())
+        kwargs = {}
+        if rollout is not None:
+            kwargs = {
+                "rollout": rollout,
+                "policy_verifier": verifier,
+                "invariant_policy_ids": invariants,
+            }
+        start = monotonic_s()
+        report = scheduler.push(
+            scratch, changes, audit=audit, actor="bench", **kwargs
+        )
+        samples.append((monotonic_s() - start) * 1000.0)
+        if report.status != "committed":
+            raise ReproError(f"bench push did not commit: {report.status}")
+    return statistics.median(samples), report
+
+
+def bench_rollout_network(name, repeats=DEFAULT_REPEATS):
+    """Monolithic vs staged push timings for one scenario network."""
+    production, changes, policies, invariants = rollout_workload(name)
+
+    monolithic_ms, _ = _timed_pushes(
+        production, changes, policies, invariants,
+        rollout=None, repeats=repeats, warm_cache=False,
+    )
+    incremental_ms, report = _timed_pushes(
+        production, changes, policies, invariants,
+        rollout=RolloutConfig(), repeats=repeats, warm_cache=True,
+    )
+    cold_ms, _ = _timed_pushes(
+        production, changes, policies, invariants,
+        rollout=RolloutConfig(probe_incremental=False),
+        repeats=repeats, warm_cache=False,
+    )
+    clear_dataplane_cache()
+    return {
+        "devices": len(production.configs),
+        "changes": len(changes),
+        "invariant_policies": len(invariants),
+        "waves": report.waves,
+        "probes_per_push": len(report.probes),
+        "push": {
+            "monolithic_ms": round(monolithic_ms, 3),
+            "canary_incremental_ms": round(incremental_ms, 3),
+            "canary_cold_ms": round(cold_ms, 3),
+            "probe_overhead_x": round(
+                incremental_ms / monolithic_ms, 2
+            ) if monolithic_ms > 0 else float("inf"),
+            "probe_speedup": round(
+                cold_ms / incremental_ms, 2
+            ) if incremental_ms > 0 else float("inf"),
+        },
+    }
+
+
+def run_rollout_benchmarks(networks=None, repeats=DEFAULT_REPEATS):
+    """The staged-rollout suite; returns the JSON-ready report dict."""
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    networks = list(networks) if networks else list(_EXTRA_STEPS)
+    report = {
+        "benchmark": "staged rollout push path",
+        "command": "python -m repro.cli bench --rollout",
+        "repeats": repeats,
+        "networks": {},
+    }
+    for name in networks:
+        report["networks"][name] = bench_rollout_network(name, repeats)
+    return report
+
+
+def write_report(report, path):
+    """Write the report as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

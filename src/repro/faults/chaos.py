@@ -20,11 +20,13 @@ from dataclasses import dataclass, field
 
 from repro import faults, obs
 from repro.config.serializer import serialize_config
+from repro.core.enforcer.rollout import RolloutConfig
 from repro.core.heimdall import Heimdall
 from repro.faults.registry import Rule
 from repro.policy.mining import mine_policies
+from repro.policy.verification import PolicyVerifier
 from repro.scenarios.enterprise import build_enterprise_network
-from repro.scenarios.issues import standard_issues
+from repro.scenarios.issues import FixStep, standard_issues
 from repro.scenarios.university import build_university_network
 from repro.util.errors import PushCrashed, ReproError
 
@@ -43,7 +45,27 @@ REPORT_METRICS = (
     "retry.exhausted",
     "monitor.timeouts",
     "verify.degraded",
+    "rollout.waves",
+    "rollout.probes",
+    "rollout.probe.violations",
+    "rollout.quarantined",
+    "rollout.breaker.trips",
 )
+
+# The second-device change the canary scenarios ride along with the
+# standard single-device fixes: a harmless static route to an unused
+# prefix via a live next hop, so the staged push has (at least) two waves
+# to probe without perturbing any reachability policy. The route action is
+# covered by the ``routing`` task profile the ospf tickets run under.
+_CANARY_EXTRA = {
+    # dist2's Gi0/1 faces dist1's 10.0.7.1 (always up).
+    "enterprise": (FixStep("dist2", (
+        "configure terminal",
+        "ip route 10.99.0.0 255.255.0.0 10.0.7.1",
+        "end",
+        "write memory",
+    )),),
+}
 
 
 @dataclass(frozen=True)
@@ -64,6 +86,13 @@ class Scenario:
     arm_phase: str = "push"  # "session" | "push"
     max_workers: int = None
     expect: str = None  # "committed" | "rolled-back" | None
+    # Staged-rollout knobs: a RolloutConfig makes the scenario's push
+    # wave-based; extra_script appends FixSteps (a second device's benign
+    # change, so the rollout has multiple waves); expect_quarantine
+    # asserts the rolled-back push reported quarantined devices.
+    rollout: object = None
+    extra_script: tuple = ()
+    expect_quarantine: bool = False
 
 
 @dataclass
@@ -84,12 +113,20 @@ class ScenarioOutcome:
     expectation_met: bool = True
     faults_fired: list = field(default_factory=list)
     error: str = ""
+    # Staged-rollout verdicts (trivially true for monolithic scenarios):
+    # a committed staged push must carry a passing MAC-covered audit
+    # record for *every* wave, and a scenario expecting quarantine must
+    # report at least one quarantined device.
+    waves: int = 0
+    quarantined: list = field(default_factory=list)
+    wave_records_ok: bool = True
+    quarantine_ok: bool = True
 
     @property
     def ok(self):
         return self.state_invariant and self.audit_intact and (
             self.expectation_met
-        ) and not self.error
+        ) and self.wave_records_ok and self.quarantine_ok and not self.error
 
     def to_dict(self):
         return {
@@ -107,6 +144,10 @@ class ScenarioOutcome:
             "expectation_met": self.expectation_met,
             "faults_fired": list(self.faults_fired),
             "error": self.error,
+            "waves": self.waves,
+            "quarantined": list(self.quarantined),
+            "wave_records_ok": self.wave_records_ok,
+            "quarantine_ok": self.quarantine_ok,
             "ok": self.ok,
         }
 
@@ -202,16 +243,64 @@ def _campaigns():
             expect="committed",
         ),
     ]
+    canary_extra = _CANARY_EXTRA["enterprise"]
+    canary = [
+        Scenario(
+            label="canary-clean",
+            network="enterprise", issue="ospf",
+            plan={},
+            rollout=RolloutConfig(), extra_script=canary_extra,
+            expect="committed",
+        ),
+        Scenario(
+            label="probe-fail-quarantine",
+            network="enterprise", issue="ospf",
+            # The second wave's probe reports a violation: its devices are
+            # quarantined and the committed first wave rolls back too.
+            plan={"rollout.wave.probe_fail": Rule(nth=2)},
+            rollout=RolloutConfig(), extra_script=canary_extra,
+            expect="rolled-back", expect_quarantine=True,
+        ),
+        Scenario(
+            label="device-flap-breaker",
+            network="enterprise", issue="ospf",
+            # Every apply flaps; the flap budget is spent after two, the
+            # breaker opens, and the device is quarantined.
+            plan={"rollout.device.flap": Rule(probability=1.0, times=99)},
+            rollout=RolloutConfig(flap_budget=2), extra_script=canary_extra,
+            expect="rolled-back", expect_quarantine=True,
+        ),
+        Scenario(
+            label="flap-within-budget",
+            network="enterprise", issue="ospf",
+            # Two flaps on one device stay under the default budget of 3:
+            # retried, probed healthy, committed.
+            plan={"rollout.device.flap": Rule(nth=1, times=2)},
+            rollout=RolloutConfig(), extra_script=canary_extra,
+            expect="committed",
+        ),
+        Scenario(
+            label="crash-midwave-resume",
+            network="enterprise", issue="ospf",
+            # The pusher dies at the second wave's batch; resume() replays
+            # only the uncommitted wave and re-probes it.
+            plan={"rollout.crash.midwave": Rule(nth=2)},
+            rollout=RolloutConfig(), extra_script=canary_extra,
+            expect="committed",
+        ),
+    ]
     smoke = [
         push_failures[0], push_failures[1], push_failures[3],
         push_failures[4],
         monitor_timeouts[0],
         verify_degraded[0],
+        canary[1], canary[4],
     ]
     return {
         "push-failures": push_failures,
         "monitor-timeouts": monitor_timeouts,
         "verify-degraded": verify_degraded,
+        "canary": canary,
         "smoke": smoke,
     }
 
@@ -219,6 +308,11 @@ def _campaigns():
 def campaign_names():
     """The runnable campaign names."""
     return sorted(_campaigns())
+
+
+def campaigns():
+    """Campaign name -> scenario list (fresh Rules; safe to introspect)."""
+    return _campaigns()
 
 
 # -- runner -------------------------------------------------------------------
@@ -265,13 +359,16 @@ def run_scenario(scenario, seed):
     issue = standard_issues(scenario.network)[scenario.issue]
     issue.inject(network)
     heimdall = Heimdall(
-        network, policies=policies, max_workers=scenario.max_workers
+        network, policies=policies, max_workers=scenario.max_workers,
+        rollout=scenario.rollout,
     )
     session = heimdall.open_ticket(issue)
     try:
         if scenario.arm_phase == "session":
             faults.arm(scenario.plan, seed=seed)
         session.run_fix_script(issue.fix_script)
+        if scenario.extra_script:
+            session.run_fix_script(scenario.extra_script)
         # The twin session never touches production: this is the pre-push
         # baseline the atomicity invariant compares against.
         baseline = network.copy()
@@ -281,9 +378,15 @@ def run_scenario(scenario, seed):
             session.submit()
         except PushCrashed as crash:
             outcome.crashed = True
+            resume_kwargs = {}
+            if scenario.rollout is not None:
+                resume_kwargs["policy_verifier"] = PolicyVerifier(
+                    heimdall.policies
+                )
             resumed = heimdall.scheduler.resume(
                 network, crash.journal,
                 audit=heimdall.audit, actor="recovery", clock=heimdall.clock,
+                **resume_kwargs,
             )
             outcome.resumed = resumed.resumed
         outcome.faults_fired = [
@@ -299,6 +402,8 @@ def run_scenario(scenario, seed):
     _judge(outcome, heimdall, network, baseline, issue)
     if scenario.expect is not None:
         outcome.expectation_met = outcome.outcome == scenario.expect
+    if scenario.expect_quarantine:
+        outcome.quarantine_ok = bool(outcome.quarantined)
     return outcome
 
 
@@ -345,3 +450,21 @@ def _judge(outcome, heimdall, network, baseline, issue):
         outcome.state_invariant = actual == expected
     outcome.resolved = issue.is_resolved(network)
     outcome.audit_intact = heimdall.audit.verify()
+
+    if journal is not None and journal.wave_plan is not None:
+        outcome.waves = len(journal.committed_waves)
+        outcome.quarantined = journal.quarantined_devices()
+        if journal.state == "committed":
+            # Every wave of a committed staged push must have left an
+            # allowed wave record in the audit trail — including waves
+            # replayed by resume() after a crash.
+            wave_records = {
+                record.resource
+                for record in heimdall.audit.query(
+                    action_prefix="enforcer.wave", allowed=True
+                )
+            }
+            outcome.wave_records_ok = all(
+                f"production:wave:{entry['index']}" in wave_records
+                for entry in journal.wave_plan
+            )

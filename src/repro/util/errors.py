@@ -78,6 +78,26 @@ class FatalApplyError(ApplyError):
     """A device apply failed permanently; the push must roll back."""
 
 
+class CircuitOpenError(ApplyError):
+    """A device's circuit breaker opened: its transient-failure budget for
+    this push is spent, so further applies to it are refused and the wave
+    quarantines the device instead of retrying forever."""
+
+
+class HealthProbeError(ReproError):
+    """A post-wave health probe failed on the mixed-version dataplane.
+
+    Carries which invariant policies broke (or which routes failed the
+    convergence check) so the rollback audit record can name them.
+    """
+
+    def __init__(self, message, wave_index=None, violations=(), device=None):
+        super().__init__(message)
+        self.wave_index = wave_index
+        self.violations = tuple(violations)
+        self.device = device
+
+
 class PushCrashed(ReproError):
     """The pusher process died mid-push (simulated by fault injection).
 

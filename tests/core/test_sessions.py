@@ -349,3 +349,49 @@ class TestAuditTrailThreadSafety:
             thread.join()
         assert len(trail.records) == 8 * 25
         assert trail.verify()
+
+
+class TestWaveProgress:
+    def test_staged_push_reports_wave_granular_progress(self):
+        from repro.core.enforcer.rollout import RolloutConfig
+        from repro.scenarios.issues import FixStep
+
+        healthy = build_enterprise_network()
+        policies = mine_policies(healthy)
+        production = build_enterprise_network()
+        heimdall = Heimdall(
+            production, policies=policies, rollout=RolloutConfig()
+        )
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue, mode="optimistic")
+        session.run_fix_script(issue.fix_script)
+        session.run_fix_script((FixStep("dist2", (
+            "configure terminal",
+            "ip route 10.99.0.0 255.255.0.0 10.0.7.1",
+            "end",
+            "write memory",
+        )),))
+        outcome = session.submit()
+        assert outcome.imported
+
+        progress = manager.push_progress(session.session_id)
+        assert progress is not None
+        assert progress["waves"] == 2
+        assert progress["status"] == "committed"
+        assert [(e["wave"], e["status"]) for e in progress["events"]] == [
+            (0, "started"), (0, "committed"),
+            (1, "started"), (1, "committed"),
+        ]
+
+    def test_no_progress_for_unknown_or_monolithic_session(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        session.submit()  # monolithic push: no wave events
+        assert manager.push_progress(session.session_id) is None
+        assert manager.push_progress("SES-NOPE") is None

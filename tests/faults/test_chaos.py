@@ -14,7 +14,8 @@ def push_failures_report():
 class TestCampaignCatalog:
     def test_names(self):
         assert campaign_names() == [
-            "monitor-timeouts", "push-failures", "smoke", "verify-degraded",
+            "canary", "monitor-timeouts", "push-failures", "smoke",
+            "verify-degraded",
         ]
 
     def test_unknown_campaign_rejected(self):
@@ -91,4 +92,70 @@ class TestSmoke:
     def test_smoke_campaign_passes(self):
         report = run_campaign("smoke", seed=7)
         assert report.ok
-        assert len(report.scenarios) == 6
+        assert len(report.scenarios) == 8
+
+
+class TestCanary:
+    @pytest.fixture(scope="class")
+    def canary_report(self):
+        return run_campaign("canary", seed=7)
+
+    def test_campaign_passes(self, canary_report):
+        failed = [
+            outcome.label for outcome in canary_report.scenarios
+            if not outcome.ok
+        ]
+        assert not failed, f"scenarios failed: {failed}"
+
+    def test_clean_push_commits_every_wave(self, canary_report):
+        outcome = self._scenario(canary_report, "canary-clean")
+        assert outcome.outcome == "committed"
+        assert outcome.resolved
+        assert outcome.waves == 2
+        assert outcome.wave_records_ok
+        assert not outcome.quarantined
+
+    def test_probe_failure_quarantines_and_rolls_back(self, canary_report):
+        outcome = self._scenario(canary_report, "probe-fail-quarantine")
+        assert outcome.outcome == "rolled-back"
+        assert outcome.state_invariant  # byte-identical to pre-push
+        assert outcome.quarantined
+        assert "HealthProbeError" in outcome.rollback_reason
+
+    def test_breaker_trip_quarantines_the_flapper(self, canary_report):
+        outcome = self._scenario(canary_report, "device-flap-breaker")
+        assert outcome.outcome == "rolled-back"
+        assert outcome.quarantined
+        assert "CircuitOpenError" in outcome.rollback_reason
+
+    def test_flaps_within_budget_still_commit(self, canary_report):
+        outcome = self._scenario(canary_report, "flap-within-budget")
+        assert outcome.outcome == "committed"
+        assert outcome.resolved
+        assert not outcome.quarantined
+        assert outcome.faults_fired  # the flaps really happened
+
+    def test_midwave_crash_resumes_to_commit(self, canary_report):
+        outcome = self._scenario(canary_report, "crash-midwave-resume")
+        assert outcome.crashed
+        assert outcome.resumed
+        assert outcome.outcome == "committed"
+        assert outcome.resolved
+        # Every wave — including the one replayed by resume() — left an
+        # allowed audit record.
+        assert outcome.wave_records_ok
+
+    def test_rollout_metrics_surface(self, canary_report):
+        metrics = canary_report.metrics
+        assert metrics["rollout.waves"] > 0
+        assert metrics["rollout.probes"] > 0
+        assert metrics["rollout.quarantined"] >= 2
+        assert metrics["rollout.breaker.trips"] >= 1
+
+    def test_same_seed_same_report(self, canary_report):
+        again = run_campaign("canary", seed=7)
+        assert canary_report.to_dict() == again.to_dict()
+
+    @staticmethod
+    def _scenario(report, label):
+        return next(o for o in report.scenarios if o.label == label)

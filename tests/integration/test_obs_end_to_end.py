@@ -12,9 +12,11 @@ import pytest
 
 from repro import obs
 from repro.control.cache import clear_dataplane_cache
+from repro.core.enforcer.rollout import RolloutConfig
 from repro.core.heimdall import Heimdall
 from repro.policy.mining import mine_policies
-from repro.scenarios.issues import standard_issues
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import FixStep, standard_issues
 from repro.scenarios.university import build_university_network
 
 
@@ -149,6 +151,100 @@ class TestMetrics:
             == snap["monitor.allowed"]["value"]
             + snap["monitor.denied"]["value"]
         )
+
+
+@pytest.fixture(scope="module")
+def staged_run():
+    """One enterprise ticket imported as a two-wave staged rollout, traced.
+
+    The fix script plus a benign static-route rider on a second device
+    yields two per-device waves, so the trail carries one wave record per
+    wave alongside the usual session records.
+    """
+    obs.reset()
+    clear_dataplane_cache()
+    obs.enable()
+    try:
+        production = build_enterprise_network()
+        policies = mine_policies(production)
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+
+        heimdall = Heimdall(
+            production, policies=policies, rollout=RolloutConfig()
+        )
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        session.run_fix_script((FixStep("dist2", (
+            "configure terminal",
+            "ip route 10.99.0.0 255.255.0.0 10.0.7.1",
+            "end",
+            "write memory",
+        )),))
+        outcome = session.submit()
+    finally:
+        obs.disable()
+    yield heimdall, outcome
+    obs.reset()
+
+
+class TestStagedRolloutCorrelation:
+    def test_staged_push_resolves_over_two_waves(self, staged_run):
+        heimdall, outcome = staged_run
+        assert outcome.resolved and outcome.approved
+        push_report = outcome.decision.push_report
+        assert push_report.committed
+        assert push_report.waves == 2
+        assert all(probe.healthy for probe in push_report.probes)
+
+    def test_wave_records_carry_wave_index_and_correlate(self, staged_run):
+        heimdall, _ = staged_run
+        waves = [
+            r for r in heimdall.audit.records if r.action == "enforcer.wave"
+        ]
+        assert [r.resource for r in waves] == [
+            "production:wave:0", "production:wave:1",
+        ]
+        assert all(r.allowed for r in waves)
+        # The command string states the wave's position in the rollout.
+        assert "wave 1/2" in waves[0].command
+        assert "wave 2/2" in waves[1].command
+
+        (root,) = [
+            r for r in obs.tracer().traces() if r.name == "heimdall.session"
+        ]
+        by_id = {s.span_id: s.name for s in root.walk()}
+        for record in waves:
+            assert record.trace_id == root.trace_id
+            assert by_id[record.span_id] == "rollout.wave"
+
+    def test_rollout_spans_nest_in_the_session_tree(self, staged_run):
+        (root,) = [
+            r for r in obs.tracer().traces() if r.name == "heimdall.session"
+        ]
+        wave_spans = [s for s in root.walk() if s.name == "rollout.wave"]
+        probe_spans = [s for s in root.walk() if s.name == "rollout.probe"]
+        assert len(wave_spans) == 2
+        assert len(probe_spans) == 2
+        assert all(s.attrs["status"] == "committed" for s in wave_spans)
+        assert all(s.attrs["healthy"] is True for s in probe_spans)
+
+    def test_commit_record_reports_the_wave_count(self, staged_run):
+        heimdall, _ = staged_run
+        commit = next(
+            r for r in heimdall.audit.records
+            if r.action == "enforcer.commit"
+        )
+        assert "over 2 waves" in commit.command
+        assert "2 probed healthy" in commit.command
+        assert heimdall.audit.verify()
+
+    def test_rollout_metrics_populated(self, staged_run):
+        snap = obs.registry().snapshot()
+        assert snap["rollout.waves"]["value"] == 2
+        assert snap["rollout.probes"]["value"] == 2
+        assert snap["rollout.probe.violations"]["value"] == 0
+        assert snap["rollout.quarantined"]["value"] == 0
 
 
 class TestDisabledIsSilent:

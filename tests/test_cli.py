@@ -169,3 +169,42 @@ class TestBenchConcurrent:
         # 0 means "perf bench" by flag default; explicit negatives error.
         code, text = run("bench", "--concurrent", "-3")
         assert code != 0
+
+
+class TestChaosCli:
+    def test_list_names_only(self):
+        code, text = run("chaos", "--list")
+        assert code == 0
+        assert text.splitlines() == [
+            "canary", "monitor-timeouts", "push-failures", "smoke",
+            "verify-degraded",
+        ]
+
+    def test_list_campaigns_shows_scenarios(self):
+        code, text = run("chaos", "--list-campaigns")
+        assert code == 0
+        assert "canary (5 scenarios)" in text
+        assert "probe-fail-quarantine [staged]: expect rolled-back" in text
+        assert "push-failures (5 scenarios)" in text
+        # Monolithic scenarios are not marked staged.
+        assert "transient-retried: expect committed" in text
+
+
+class TestBenchRollout:
+    def test_rollout_bench_writes_report(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "rollout.json"
+        code, text = run(
+            "bench", "--rollout", "--repeats", "1", "-o", str(out_path),
+        )
+        assert code == 0
+        assert "monolithic" in text and "canary" in text
+        report = json.loads(out_path.read_text())
+        rows = report["networks"]["enterprise"]
+        assert rows["waves"] == 2
+        assert rows["probes_per_push"] == 2
+        push = rows["push"]
+        assert push["monolithic_ms"] > 0
+        assert push["canary_incremental_ms"] > 0
+        assert push["canary_cold_ms"] > 0

@@ -43,6 +43,8 @@ ALLOWED = {
     "repro/core/twin/scoping.py:SCOPING_STRATEGIES": "strategy registry",
     "repro/emulation/image.py:_DEFAULTS": "image default attributes",
     "repro/experiments/bench_dataplane.py:NETWORKS": "network builders",
+    "repro/experiments/bench_rollout.py:_EXTRA_STEPS":
+        "per-network benign rider scripts (frozen FixStep tuples)",
     "repro/experiments/fig7.py:PAPER_FIG7": "published figure data",
     "repro/experiments/fig7.py:_BUILDERS": "network builders",
     "repro/experiments/fig89.py:PAPER_FIG89": "published figure data",
@@ -50,6 +52,8 @@ ALLOWED = {
     "repro/experiments/latency.py:PAPER_X1": "published figure data",
     "repro/experiments/table1.py:PAPER_TABLE1": "published table data",
     "repro/faults/chaos.py:_BUILDERS": "network builders",
+    "repro/faults/chaos.py:_CANARY_EXTRA":
+        "per-network benign rider scripts (frozen FixStep tuples)",
     "repro/policy/model.py:_KINDS": "policy-kind registry",
     "repro/scenarios/files.py:_SENSITIVE_FILES": "fixture file list",
 }
