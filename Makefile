@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench obs-report report chaos stress check
+.PHONY: test docs-check bench bench-check obs-report report chaos stress check
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -17,6 +17,11 @@ docs-check:
 
 bench:
 	$(PYTHON) -m repro.cli bench
+
+# Perf regression gate: a short benchmark pass whose speedup/overhead
+# ratios must stay within 20% of the committed BENCH_*.json reports.
+bench-check:
+	$(PYTHON) -m repro.cli bench --check
 
 obs-report:
 	$(PYTHON) -m repro.cli obs report --network university --issue ospf
@@ -40,4 +45,4 @@ stress:
 	$(PYTHON) -m repro.cli bench --concurrent 8 --seed 7 -o BENCH_concurrent.json
 
 # The default pre-merge gate.
-check: docs-check chaos stress
+check: docs-check chaos stress bench-check

@@ -141,6 +141,11 @@ def cmd_snapshot(args, out):
 def cmd_bench(args, out):
     from repro.experiments.bench_dataplane import run_benchmarks, write_report
 
+    if args.check:
+        from repro.experiments.bench_check import run_check
+
+        return run_check(repeats=args.repeats if args.repeats != 7 else 3,
+                         out=out)
     if args.concurrent:
         return _bench_concurrent(args, out)
     if args.rollout:
@@ -465,6 +470,12 @@ def build_parser():
         "--rollout", action="store_true",
         help="run the staged-rollout push benchmark instead of the perf "
              "suite (writes BENCH_rollout.json)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="regression gate: re-run a short pass and fail if any "
+             "speedup/overhead ratio regressed >20%% vs the committed "
+             "BENCH_*.json reports",
     )
     bench.add_argument(
         "--seed", type=int, default=7,

@@ -23,6 +23,7 @@ changed configs cannot have affected them.
 
 import ipaddress
 
+from repro.control import deps
 from repro.control.bgp import compute_bgp_routes
 from repro.control.cache import (
     CompiledDataplane,
@@ -31,7 +32,7 @@ from repro.control.cache import (
     snapshot_fingerprint,
 )
 from repro.control.l2 import compute_segments
-from repro.control.ospf import compute_ospf_routes
+from repro.control.ospf import compute_ospf_routes, incremental_ospf_routes
 from repro.control.routes import Route, select_best_routes
 from repro.dataplane.fib import Fib
 from repro.dataplane.plane import DataPlane
@@ -175,7 +176,9 @@ def _incremental_compile(network, fingerprint, topology_fp, device_fps,
                          baseline, changed_hint):
     """Recompile only what the changed configs can have affected.
 
-    Invalidation rules (each conservative — any doubt recomputes):
+    The invalidation cone — which devices' artifacts a diff can move, stage
+    by stage — is computed by :func:`repro.control.deps.invalidation_cone`;
+    each of its predicates is conservative (any doubt recomputes):
 
     * **L2 segments** depend on interface up/down state, routed-ness, and
       switchport configuration; a change to any of those on any changed
@@ -186,7 +189,10 @@ def _incremental_compile(network, fingerprint, topology_fp, device_fps,
       consume the segment table *only* through ``same_segment`` queries on
       router endpoint pairs, so a recomputed segment table that left the
       router-endpoint partition intact (e.g. a host moved between VLANs)
-      does not invalidate either protocol run.
+      does not invalidate either protocol run. When the partition *is*
+      intact, OSPF re-runs incrementally: the dirty routers seed a delta
+      propagation that reruns Dijkstra only for sources the changed edges
+      can reach (:func:`repro.control.ospf.incremental_ospf_routes`).
     * **BGP** additionally depends on static routes (the "network must be in
       the RIB" origination rule) and on address ownership anywhere in the
       network (session discovery resolves neighbor addresses globally), so
@@ -215,37 +221,34 @@ def _incremental_compile(network, fingerprint, topology_fp, device_fps,
     _BUILD_INCREMENTAL.inc()
 
     base_network = baseline.network
-    old_new = {d: (base_network.config(d), network.config(d)) for d in changed}
-
-    l2_dirty = any(_l2_relevant_diff(old, new) for old, new in old_new.values())
-    segments = compute_segments(network) if l2_dirty else artifacts.segments
+    cone = deps.invalidation_cone(artifacts, base_network, network, changed)
+    segments = cone.segments
+    changed = cone.changed  # the overscope fault widens this to everything
 
     routers = network.routers()
-    router_set = set(routers)
-    # The protocols see segments only via same_segment on router endpoints,
-    # so a rewired host-only broadcast domain leaves both runs valid.
-    routing_l2_dirty = l2_dirty and (
-        _router_partition(segments, router_set)
-        != _router_partition(artifacts.segments, router_set)
-    )
-    ospf_dirty = routing_l2_dirty or any(
-        device in router_set and _ospf_relevant_diff(old, new)
-        for device, (old, new) in old_new.items()
-    )
-    ospf = compute_ospf_routes(network, segments) if ospf_dirty else artifacts.ospf
+    if cone.ospf_dirty:
+        incremental = None
+        if not cone.routing_l2_dirty and not cone.overscoped:
+            incremental = incremental_ospf_routes(
+                network, segments, artifacts.ospf, cone.ospf_dirty_routers
+            )
+        if incremental is None:
+            ospf = compute_ospf_routes(network, segments)
+            deps.record_spf(len(ospf._spf or ()), 0, 0)
+        else:
+            ospf, (spf_full, spf_delta, spf_reused) = incremental
+            deps.record_spf(spf_full, spf_delta, spf_reused)
+    else:
+        ospf = artifacts.ospf
 
-    has_bgp = any(
-        network.config(r).bgp is not None or base_network.config(r).bgp is not None
-        for r in routers
+    bgp = (
+        compute_bgp_routes(network, segments)
+        if cone.bgp_dirty else artifacts.bgp
     )
-    bgp_dirty = has_bgp and (
-        routing_l2_dirty
-        or any(_bgp_relevant_diff(old, new) for old, new in old_new.values())
-    )
-    bgp = compute_bgp_routes(network, segments) if bgp_dirty else artifacts.bgp
 
-    protocols_dirty = ospf_dirty or bgp_dirty
+    protocols_dirty = cone.ospf_dirty or cone.bgp_dirty
     fibs = {}
+    rebuilt = 0
     for router in routers:
         if router not in changed and (
             not protocols_dirty
@@ -259,6 +262,7 @@ def _incremental_compile(network, fingerprint, topology_fp, device_fps,
             fibs[router] = artifacts.fibs[router]
         else:
             fibs[router] = _router_fib(network, router, ospf, bgp)
+            rebuilt += 1
     for host in network.hosts():
         if host in changed:
             fibs[host] = Fib(_host_routes(network.config(host)))
@@ -266,72 +270,11 @@ def _incremental_compile(network, fingerprint, topology_fp, device_fps,
             fibs[host] = artifacts.fibs[host]
     for switch in network.switches():
         fibs[switch] = artifacts.fibs[switch]  # always empty at L3
+    deps.record_fib_rebuilds(rebuilt)
 
     return CompiledDataplane(
         fingerprint, topology_fp, device_fps, segments, fibs, ospf, bgp
     )
-
-
-def _router_partition(segments, router_set):
-    """Each router endpoint mapped to the router endpoints in its segment.
-
-    Two segment tables with equal partitions answer every
-    ``same_segment(router_endpoint, router_endpoint)`` query identically,
-    which is the only way OSPF adjacency discovery and BGP session
-    discovery consume the table.
-    """
-    partition = {}
-    for segment in segments:
-        members = frozenset(
-            endpoint for endpoint in segment.endpoints
-            if endpoint[0] in router_set
-        )
-        for endpoint in members:
-            partition[endpoint] = members
-    return partition
-
-
-def _l2_relevant_diff(old, new):
-    """Whether two configs differ in anything the segment computation reads."""
-
-    def view(config):
-        return {
-            name: (
-                iface.shutdown, iface.is_routed, iface.switchport_mode,
-                iface.access_vlan, iface.trunk_vlans,
-            )
-            for name, iface in config.interfaces.items()
-        }
-
-    return view(old) != view(new)
-
-
-def _ospf_relevant_diff(old, new):
-    """Whether two configs differ in anything the OSPF run reads."""
-    if old.ospf != new.ospf:
-        return True
-
-    def view(config):
-        return {
-            name: (iface.address, iface.shutdown, iface.ospf_cost)
-            for name, iface in config.interfaces.items()
-        }
-
-    return view(old) != view(new)
-
-
-def _bgp_relevant_diff(old, new):
-    """Whether two configs differ in anything the BGP run reads."""
-    if old.bgp != new.bgp or old.static_routes != new.static_routes:
-        return True
-
-    def view(config):
-        return {
-            name: (iface.address, iface.shutdown)
-            for name, iface in config.interfaces.items()
-        }
-
-    return view(old) != view(new)
 
 
 # -- route sources -------------------------------------------------------------

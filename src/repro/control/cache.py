@@ -115,10 +115,12 @@ class CompiledDataplane:
 
     Everything here is treated as immutable after construction except
     ``trace_cache``, which only ever grows (guarded by ``trace_lock``) and
-    holds traces that are pure functions of the snapshot content, and
+    holds traces that are pure functions of the snapshot content,
     ``owner_cache``, which memoizes the global source-IP-owner scan
-    (``src_ip -> device name or None``; values are deterministic for a
-    fingerprint, so lock-free get/set races are benign).
+    (``src_ip -> device name or None``), and ``dead_memo``, which memoizes
+    per-device dead-next-hop frozensets for the rollout health probe's
+    convergence sweep. All three hold values deterministic for a
+    fingerprint, so lock-free get/set races are benign.
     """
 
     fingerprint: str
@@ -131,6 +133,7 @@ class CompiledDataplane:
     trace_cache: dict = field(default_factory=dict)
     trace_lock: object = field(default_factory=threading.Lock)
     owner_cache: dict = field(default_factory=dict)
+    dead_memo: dict = field(default_factory=dict)
 
 
 class DataplaneCache:

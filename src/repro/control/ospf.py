@@ -8,15 +8,29 @@ advertise but do not peer — the classic LAN-facing configuration); and
 ``default-information originate`` injects 0.0.0.0/0. All areas share one SPF
 graph (the scenario networks are single-area; inter-area distance-vector
 summarisation is out of scope and documented as such).
+
+Every run retains its working state (per-router adjacency preparations,
+per-router advertisements, per-pair edge lists, and each source's
+``(dist, first_hop)`` tree) on the result, so a later run over a slightly
+different snapshot can go through :func:`incremental_ospf_routes`: recompute
+only the dirty routers' inputs, diff the advertisement and edge multisets,
+and rerun full Dijkstra only for sources the edge delta can actually reach
+(see docs/ARCHITECTURE.md "Dependency graph & incremental SPF" for the
+correctness argument). Sources untouched by the edge delta reuse their
+shortest-path tree; sources untouched by both deltas reuse their baseline
+route lists verbatim — which downstream FIB sharing detects by identity.
 """
 
 import heapq
 import ipaddress
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.control.routes import Route
 
 DEFAULT_PREFIX = ipaddress.IPv4Network("0.0.0.0/0")
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -40,15 +54,32 @@ class OspfRouteComputation:
     def __post_init__(self):
         # Indexed once at construction — the computation result is a
         # snapshot, and emulated "show ip ospf neighbor" hits this per call.
-        self._by_local_device = {}
+        by_local = {}
         for neighbor in self.neighbors:
-            self._by_local_device.setdefault(neighbor.local_device, []).append(
-                neighbor
-            )
+            by_local.setdefault(neighbor.local_device, []).append(neighbor)
+        self._by_local_device = {
+            device: tuple(items) for device, items in by_local.items()
+        }
+        # Retained working state for incremental_ospf_routes; populated by
+        # compute_ospf_routes/_retain, absent on hand-built results (tests),
+        # in which case the incremental path declines and the caller does a
+        # full recompute.
+        self._routers = None
+        self._prep = None
+        self._ads = None
+        self._pairs = None
+        self._spf = None
 
     def neighbors_of(self, device):
-        """Adjacencies where ``device`` is the local side."""
-        return list(self._by_local_device.get(device, ()))
+        """Adjacencies where ``device`` is the local side (memoized tuple)."""
+        return self._by_local_device.get(device, ())
+
+    def _retain(self, routers, prepared, ads_by_router, pairs, spf):
+        self._routers = tuple(routers)
+        self._prep = prepared
+        self._ads = ads_by_router
+        self._pairs = pairs
+        self._spf = spf
 
 
 def _ospf_interfaces(config):
@@ -76,82 +107,261 @@ def compute_ospf_routes(network, segments):
     """Run OSPF over ``network`` given its L2 ``segments``."""
     routers = network.routers()
     active = {name: _ospf_interfaces(network.config(name)) for name in routers}
-
-    neighbors, edges = _discover_adjacencies(network, segments, active)
-    advertisements = _collect_advertisements(network, active)
+    prepared = {
+        name: _prepare_entries(network.config(name), active[name])
+        for name in routers
+    }
+    neighbors, edges, pairs = _discover_adjacencies(segments, prepared)
+    ads_by_router = {
+        name: _router_advertisements(name, network.config(name), active[name])
+        for name in routers
+    }
+    advertisements = [ad for name in routers for ad in ads_by_router[name]]
 
     result = OspfRouteComputation(neighbors=neighbors)
+    spf = {}
     for router in routers:
         if not active[router]:
             result.routes_by_device[router] = []
             continue
         dist, first_hop = _dijkstra(router, routers, edges)
+        spf[router] = (dist, first_hop)
         result.routes_by_device[router] = _routes_for(
             network, router, dist, first_hop, advertisements
         )
+    result._retain(routers, prepared, ads_by_router, pairs, spf)
     return result
 
 
-def _discover_adjacencies(network, segments, active):
-    """All adjacencies plus the SPF edge list (u, v, cost, iface_u, iface_v)."""
+def incremental_ospf_routes(network, segments, baseline, dirty):
+    """Re-run OSPF reusing ``baseline``'s retained state where valid.
+
+    ``dirty`` names the routers whose OSPF-relevant config differs from the
+    baseline snapshot (the cone's ``ospf_dirty_routers``); everything else
+    is content-identical by fingerprint. Returns ``(result, (full, delta,
+    reused))`` — the per-source outcome counts — or ``None`` when the
+    baseline carries no retained state (hand-built result, different router
+    set), in which case the caller must fall back to a full run.
+
+    Per source, in decreasing reuse:
+
+    * **reused** — no advertisement delta and no relevant edge delta: the
+      baseline route-list *object* is shared (FIB sharing sees identity);
+    * **delta** — the shortest-path tree is provably intact (no changed
+      edge ``(u, v, cost)`` satisfies ``dist[u] + cost <= dist[v]`` on the
+      old tree), so the baseline route list is patched in place: only the
+      prefixes whose advertisement candidates changed are re-selected
+      (:func:`_patch_routes`);
+    * **full** — the source is dirty itself or the edge delta can reach its
+      tree: full Dijkstra.
+    """
+    if baseline._spf is None:
+        return None
+    routers = network.routers()
+    if tuple(routers) != baseline._routers:
+        return None
+    router_set = set(routers)
+    dirty = {name for name in dirty if name in router_set}
+
+    prepared = dict(baseline._prep)
+    ads_by_router = dict(baseline._ads)
+    for name in sorted(dirty):
+        config = network.config(name)
+        active = _ospf_interfaces(config)
+        prepared[name] = _prepare_entries(config, active)
+        ads_by_router[name] = _router_advertisements(name, config, active)
+
+    # Rebuild adjacencies in exact cold order: clean pairs come from the
+    # baseline verbatim, dirty-involving pairs are re-paired and their edge
+    # multisets diffed. Edge identity includes interface names *and*
+    # addresses — a same-cost renumbering must register as a delta or a
+    # reused tree would emit a stale next hop.
+    ordered = sorted(routers)
     neighbors = []
     edges = []
-    routers = sorted(active)
-    # Pre-filter passive interfaces and pre-resolve each candidate's subnet
-    # once: ``IPv4Interface.network`` constructs a fresh object per access,
-    # which the quadratic pairing below would otherwise pay repeatedly.
-    prepared = {}
+    pairs = {}
+    changed_edges = set()
+    for i, u in enumerate(ordered):
+        u_dirty = u in dirty
+        for v in ordered[i + 1:]:
+            if u_dirty or v in dirty:
+                pair_n, pair_e = _pair_adjacencies(
+                    segments, u, prepared[u], v, prepared[v]
+                )
+                old_n, old_e = baseline._pairs.get((u, v), ((), ()))
+                old_count = Counter(_edge_key(e) for e in old_e)
+                new_count = Counter(_edge_key(e) for e in pair_e)
+                for key in (old_count - new_count) + (new_count - old_count):
+                    changed_edges.add(key[:3])  # (u, v, cost)
+            else:
+                pair_n, pair_e = baseline._pairs.get((u, v), ((), ()))
+            if pair_n or pair_e:
+                pairs[(u, v)] = (tuple(pair_n), tuple(pair_e))
+            neighbors.extend(pair_n)
+            edges.extend(pair_e)
+
+    # The advertisement delta, as the prefix keys whose candidate set
+    # changed: a clean source with an intact tree can only see route
+    # changes for these keys, so its baseline list is *patched* instead of
+    # re-selected from scratch (_patch_routes).
+    affected_keys = set()
+    for name in sorted(dirty):
+        old_ads = Counter(baseline._ads.get(name, ()))
+        new_ads = Counter(ads_by_router[name])
+        for ad in (old_ads - new_ads) + (new_ads - old_ads):
+            affected_keys.add(ad[1])
+    ads_dirty = bool(affected_keys)
+    advertisements = [ad for name in routers for ad in ads_by_router[name]]
+    ads_for_affected = {key: [] for key in affected_keys}
+    key_order = {}
+    for index, ad in enumerate(advertisements):
+        if ad[1] in ads_for_affected:
+            ads_for_affected[ad[1]].append(ad)
+            key_order.setdefault(ad[1], index)
+
+    result = OspfRouteComputation(neighbors=neighbors)
+    spf = {}
+    full = delta = reused = 0
     for router in routers:
-        ospf = network.config(router).ospf
-        entries = []
-        for iface, area in active[router]:
-            if ospf.is_passive(iface.name):
-                continue
-            net = iface.address.network
-            entries.append(
-                (iface, area, (int(net.network_address), net.prefixlen))
+        if not ads_by_router[router]:
+            # No activated interfaces: no ads, no routes — active-ness is
+            # purely local, so other routers' changes cannot alter this.
+            result.routes_by_device[router] = []
+            continue
+        old = None if router in dirty else baseline._spf.get(router)
+        if old is None or _spf_affected(old[0], changed_edges):
+            dist, first_hop = _dijkstra(router, routers, edges)
+            full += 1
+            spf[router] = (dist, first_hop)
+            result.routes_by_device[router] = _routes_for(
+                network, router, dist, first_hop, advertisements
             )
-        prepared[router] = entries
-    for i, u in enumerate(routers):
-        for v in routers[i + 1:]:
-            for iface_u, area_u, net_u in prepared[u]:
-                for iface_v, area_v, net_v in prepared[v]:
-                    if area_u != area_v or net_u != net_v:
-                        continue
-                    if not segments.same_segment(
-                        (u, iface_u.name), (v, iface_v.name)
-                    ):
-                        continue
-                    neighbors.append(
-                        OspfNeighbor(u, iface_u.name, v, iface_v.name, area_u)
-                    )
-                    neighbors.append(
-                        OspfNeighbor(v, iface_v.name, u, iface_u.name, area_u)
-                    )
-                    edges.append((u, v, _interface_cost(iface_u), iface_u, iface_v))
-                    edges.append((v, u, _interface_cost(iface_v), iface_v, iface_u))
+            continue
+        spf[router] = old
+        if not ads_dirty:
+            result.routes_by_device[router] = baseline.routes_by_device[router]
+            reused += 1
+            continue
+        delta += 1
+        result.routes_by_device[router] = _patch_routes(
+            network, router, old[0], old[1],
+            baseline.routes_by_device[router], ads_for_affected, key_order,
+        )
+    result._retain(routers, prepared, ads_by_router, pairs, spf)
+    return result, (full, delta, reused)
+
+
+def _spf_affected(old_dist, changed_edges):
+    """Whether any changed edge can perturb the tree behind ``old_dist``.
+
+    A changed (added *or* removed) edge ``(u, v, cost)`` is relevant iff
+    ``old_dist[u] + cost <= old_dist[v]``: strictly-worse edges never set a
+    final distance and never win a first hop (strict-< relaxation, unique
+    ``(dist, node)`` heap entries), and the ``<=`` case covers equal-cost
+    edges whose presence can flip the deterministic tie-break. Edges whose
+    tail is unreachable are irrelevant: any chain of new edges re-attaching
+    an unreachable region is triggered by its first edge out of the
+    reachable side.
+    """
+    for u, v, cost in changed_edges:
+        if u not in old_dist:
+            continue
+        if old_dist[u] + cost <= old_dist.get(v, _INF):
+            return True
+    return False
+
+
+def _edge_key(edge):
+    u, v, cost, iface_u, iface_v = edge
+    return (
+        u, v, cost, iface_u.name, iface_v.name,
+        iface_u.address, iface_v.address,
+    )
+
+
+def _prepare_entries(config, active):
+    """Non-passive (iface, area, subnet_key) pairing candidates for one router.
+
+    Pre-filters passive interfaces and pre-resolves each candidate's subnet
+    once: ``IPv4Interface.network`` constructs a fresh object per access,
+    which the quadratic pairing would otherwise pay repeatedly.
+    """
+    ospf = config.ospf
+    entries = []
+    for iface, area in active:
+        if ospf.is_passive(iface.name):
+            continue
+        net = iface.address.network
+        entries.append(
+            (iface, area, (int(net.network_address), net.prefixlen))
+        )
+    return entries
+
+
+def _pair_adjacencies(segments, u, entries_u, v, entries_v):
+    """Adjacencies and SPF edges (both directions) between one router pair."""
+    neighbors = []
+    edges = []
+    for iface_u, area_u, net_u in entries_u:
+        for iface_v, area_v, net_v in entries_v:
+            if area_u != area_v or net_u != net_v:
+                continue
+            if not segments.same_segment(
+                (u, iface_u.name), (v, iface_v.name)
+            ):
+                continue
+            neighbors.append(
+                OspfNeighbor(u, iface_u.name, v, iface_v.name, area_u)
+            )
+            neighbors.append(
+                OspfNeighbor(v, iface_v.name, u, iface_u.name, area_u)
+            )
+            edges.append((u, v, _interface_cost(iface_u), iface_u, iface_v))
+            edges.append((v, u, _interface_cost(iface_v), iface_v, iface_u))
     return neighbors, edges
 
 
-def _collect_advertisements(network, active):
+def _discover_adjacencies(segments, prepared):
+    """All adjacencies, the SPF edge list, and the per-pair index.
+
+    ``pairs`` maps ``(u, v)`` with ``u < v`` to that pair's (neighbors,
+    edges) tuples — only non-empty pairs are stored — so an incremental run
+    can splice clean pairs back in cold order and diff only dirty ones.
+    """
+    neighbors = []
+    edges = []
+    pairs = {}
+    routers = sorted(prepared)
+    for i, u in enumerate(routers):
+        for v in routers[i + 1:]:
+            pair_n, pair_e = _pair_adjacencies(
+                segments, u, prepared[u], v, prepared[v]
+            )
+            if pair_n or pair_e:
+                pairs[(u, v)] = (tuple(pair_n), tuple(pair_e))
+            neighbors.extend(pair_n)
+            edges.extend(pair_e)
+    return neighbors, edges, pairs
+
+
+def _router_advertisements(router, config, active):
     """(prefix, prefix_key, advertiser, cost_at_advertiser) for every
-    activated interface, plus default-route originations.
+    activated interface, plus the default-route origination.
 
     ``prefix_key`` is the cheap-to-hash ``(network_int, prefixlen)`` form
     that :func:`_routes_for` uses for its per-prefix bookkeeping.
     """
-    advertisements = []
-    for router, ifaces in active.items():
-        for iface, _area in ifaces:
-            net = iface.address.network
-            advertisements.append((
-                net, (int(net.network_address), net.prefixlen), router,
-                _interface_cost(iface),
-            ))
-        ospf = network.config(router).ospf
-        if ospf is not None and ospf.default_information_originate and ifaces:
-            advertisements.append((DEFAULT_PREFIX, (0, 0), router, 1))
-    return advertisements
+    ads = []
+    for iface, _area in active:
+        net = iface.address.network
+        ads.append((
+            net, (int(net.network_address), net.prefixlen), router,
+            _interface_cost(iface),
+        ))
+    ospf = config.ospf
+    if ospf is not None and ospf.default_information_originate and active:
+        ads.append((DEFAULT_PREFIX, (0, 0), router, 1))
+    return ads
 
 
 def _dijkstra(source, routers, edges):
@@ -187,25 +397,45 @@ def _dijkstra(source, routers, edges):
     return dist, first_hop
 
 
-def _routes_for(network, router, dist, first_hop, advertisements):
-    """OSPF routes installed on ``router``."""
+def _local_prefix_keys(config):
+    """Prefix keys of the router's own live connected subnets."""
     local_prefixes = set()
-    for iface in network.config(router).routed_interfaces():
+    for iface in config.routed_interfaces():
         if not iface.shutdown:
             net = iface.address.network
             local_prefixes.add((int(net.network_address), net.prefixlen))
+    return local_prefixes
+
+
+def _routes_for(network, router, dist, first_hop, advertisements):
+    """OSPF routes installed on ``router``."""
+    local_prefixes = _local_prefix_keys(network.config(router))
     # Rank candidates on (metric, str(next_hop)) — equivalent to
     # Route.sort_key() since every OSPF route shares one admin distance —
-    # and only materialize the winners as Route objects.
+    # and only materialize the winners as Route objects. The per-advertiser
+    # (distance, next-hop string, hop interfaces) tuple is memoized: the
+    # next-hop IP stringification otherwise dominates the whole compile.
     best = {}
+    hop_rank = {}
     for prefix, key, advertiser, advertiser_cost in advertisements:
         if advertiser == router or key in local_prefixes:
             continue
-        if advertiser not in dist or advertiser not in first_hop:
+        cached = hop_rank.get(advertiser)
+        if cached is None:
+            if advertiser not in dist or advertiser not in first_hop:
+                hop_rank[advertiser] = False
+                continue
+            out_iface, remote_iface = first_hop[advertiser]
+            cached = (
+                dist[advertiser], str(remote_iface.address.ip),
+                out_iface, remote_iface,
+            )
+            hop_rank[advertiser] = cached
+        elif cached is False:
             continue
-        metric = dist[advertiser] + advertiser_cost
-        out_iface, remote_iface = first_hop[advertiser]
-        rank = (metric, str(remote_iface.address.ip))
+        base_dist, hop_ip, out_iface, remote_iface = cached
+        metric = base_dist + advertiser_cost
+        rank = (metric, hop_ip)
         current = best.get(key)
         if current is None or rank < current[0]:
             best[key] = (rank, prefix, metric, out_iface, remote_iface)
@@ -219,3 +449,87 @@ def _routes_for(network, router, dist, first_hop, advertisements):
         )
         for (_rank, prefix, metric, out_iface, remote_iface) in best.values()
     ]
+
+
+def _patch_routes(network, router, dist, first_hop, base_routes,
+                  ads_for_affected, key_order):
+    """Patch one clean source's baseline routes against the ads delta.
+
+    The source's tree is intact and its own config is clean, so every
+    candidate's rank is what it was on the baseline run; only the prefixes
+    in ``ads_for_affected`` gained or lost candidates. Winners for those
+    keys are re-selected (same strict-``<`` first-wins tie-break as
+    :func:`_routes_for`) and spliced into a copy of the baseline list:
+    unchanged winners keep their baseline ``Route`` objects, removed keys
+    drop out, new keys append in flat-advertisement order. A patch that
+    changes nothing returns the baseline list *object*, which downstream
+    FIB sharing detects by identity. List order can deviate from a cold
+    run's insertion order when an affected prefix has several advertisers,
+    but never in content — and FIB construction is order-insensitive (one
+    winner per prefix, totally-ordered sort).
+    """
+    local_prefixes = _local_prefix_keys(network.config(router))
+    hop_rank = {}
+
+    def winner(key):
+        best = None
+        if key in local_prefixes:
+            return None
+        for prefix, _key, advertiser, advertiser_cost in ads_for_affected[key]:
+            if advertiser == router:
+                continue
+            cached = hop_rank.get(advertiser)
+            if cached is None:
+                if advertiser not in dist or advertiser not in first_hop:
+                    hop_rank[advertiser] = False
+                    continue
+                out_iface, remote_iface = first_hop[advertiser]
+                cached = (
+                    dist[advertiser], str(remote_iface.address.ip),
+                    out_iface, remote_iface,
+                )
+                hop_rank[advertiser] = cached
+            elif cached is False:
+                continue
+            base_dist, hop_ip, out_iface, remote_iface = cached
+            metric = base_dist + advertiser_cost
+            rank = (metric, hop_ip)
+            if best is None or rank < best[0]:
+                best = (rank, prefix, metric, out_iface, remote_iface)
+        return best
+
+    index_of = {}
+    for index, route in enumerate(base_routes):
+        net = route.prefix
+        index_of[(int(net.network_address), net.prefixlen)] = index
+
+    out = list(base_routes)
+    changed = False
+    removals = []
+    additions = []
+    for key in ads_for_affected:
+        best = winner(key)
+        old_index = index_of.get(key)
+        if best is None:
+            if old_index is not None:
+                removals.append(old_index)
+                changed = True
+            continue
+        _rank, prefix, metric, out_iface, remote_iface = best
+        route = Route(
+            prefix=prefix, protocol="ospf", out_interface=out_iface.name,
+            next_hop=remote_iface.address.ip, metric=metric,
+        )
+        if old_index is not None:
+            if route != base_routes[old_index]:
+                out[old_index] = route
+                changed = True
+        else:
+            additions.append((key_order[key], route))
+            changed = True
+    if not changed:
+        return base_routes
+    for index in sorted(removals, reverse=True):
+        del out[index]
+    out.extend(route for _order, route in sorted(additions))
+    return out

@@ -33,6 +33,7 @@ from repro import faults
 from repro.control.builder import build_dataplane
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.policy.verification import PolicyVerifier
 from repro.util.errors import (
     HealthProbeError,
     PushCrashed,
@@ -58,6 +59,11 @@ _QUARANTINED = obs_metrics.counter(
 _BREAKER_TRIPS = obs_metrics.counter(
     "rollout.breaker.trips", unit="devices",
     help="per-device circuit breakers opened by spent flap budgets",
+)
+_PROBE_PARALLEL = obs_metrics.counter(
+    "rollout.probe.parallel", unit="probes",
+    help="health probes dispatched concurrently within a disjoint-cone "
+         "wave group (sequential probes are not counted)",
 )
 
 # Fault points the canary chaos campaign arms (docs/ROBUSTNESS.md catalog).
@@ -90,7 +96,10 @@ class RolloutConfig:
     ``flap_budget`` transient failures per device open its circuit breaker;
     ``probe_incremental=False`` forces from-scratch probe compiles (the
     rollout benchmark's cold baseline); ``probe_convergence`` toggles the
-    dead-next-hop sweep.
+    dead-next-hop sweep; ``probe_parallel`` lets consecutive waves whose
+    dependency cones (:func:`repro.control.deps.wave_cone`) are pairwise
+    disjoint apply back-to-back and probe concurrently — overlapping cones
+    always fall back to the strict apply-probe-commit sequence.
     """
 
     wave_size: int = 1
@@ -98,6 +107,7 @@ class RolloutConfig:
     flap_budget: int = 3
     probe_incremental: bool = True
     probe_convergence: bool = True
+    probe_parallel: bool = True
 
 
 @dataclass
@@ -231,18 +241,67 @@ class HealthProbe:
         self.invariants = frozenset(invariant_policy_ids or ())
         self.incremental = incremental
         self.check_convergence = check_convergence
-        self.baseline_dead = (
-            self._dead_next_hops(baseline_plane)
-            if check_convergence else frozenset()
-        )
+        # Verify only the invariant policies instead of the full set and
+        # filtering afterwards — the probe never reports anything else.
+        self._invariant_verifier = None
+        if policy_verifier is not None and self.invariants:
+            policies = getattr(policy_verifier, "policies", None)
+            if policies is not None:
+                relevant = [
+                    policy for policy in policies
+                    if policy.policy_id in self.invariants
+                ]
+                self._invariant_verifier = PolicyVerifier(
+                    relevant,
+                    max_workers=getattr(policy_verifier, "max_workers", None),
+                )
+            else:
+                self._invariant_verifier = policy_verifier
+        # Per-device dead-next-hop sets: the convergence sweep reuses a
+        # device's baseline set whenever neither its FIB nor any config on
+        # its attached segments can have changed.
+        self._baseline_dead_by_device = None
+        self.baseline_dead = frozenset()
+        if check_convergence:
+            self._baseline_dead_by_device = {
+                device: self._dead_for_device(baseline_plane, device)
+                for device in baseline_plane.network.routers()
+            }
+            self.baseline_dead = frozenset().union(
+                *self._baseline_dead_by_device.values()
+            ) if self._baseline_dead_by_device else frozenset()
+        # The previous probe's plane: each wave's plane differs from its
+        # predecessor by one wave, so traces seed best chain-wise. Read
+        # once / written last in check(); races between concurrent group
+        # probes are benign (any seed source is valid).
+        self._last_plane = None
 
     @classmethod
     def for_push(cls, production, policy_verifier=None,
-                 invariant_policy_ids=(), config=None):
-        """A probe for a push about to start: baseline = production now."""
+                 invariant_policy_ids=(), config=None, devices=None):
+        """A probe for a push about to start: baseline = production now.
+
+        ``devices`` — the plan's device order — names every device the push
+        will touch. When given, the frozen baseline deep-copies only those
+        configs and shares the rest with production by reference: the push
+        mutates exactly the named devices, and the copy owns those
+        privately. The baseline plane itself is a compile-cache rebind
+        (production's own plane re-keyed through ``same_except`` with an
+        empty delta), so freezing the baseline re-hashes nothing.
+        """
         config = config if config is not None else RolloutConfig()
-        baseline = production.copy()
-        plane = build_dataplane(baseline, use_cache=config.probe_incremental)
+        if config.probe_incremental:
+            production_plane = build_dataplane(production, use_cache=True)
+            baseline = (
+                production.copy_except(devices) if devices is not None
+                else production.copy()
+            )
+            plane = build_dataplane(
+                baseline, baseline=production_plane, same_except=set(),
+            )
+        else:
+            baseline = production.copy()
+            plane = build_dataplane(baseline, use_cache=False)
         # The baseline network is our private copy; nothing mutates it.
         plane.assert_binding_intact()
         return cls(
@@ -260,12 +319,13 @@ class HealthProbe:
 
         At resume time production already carries the committed waves, so
         the pre-push state is reconstructed by restoring the journal's
-        pre-push snapshot onto a copy.
+        pre-push snapshot onto a copy (sharing every config the push never
+        touches).
         """
         config = config if config is not None else (
             journal.rollout if journal.rollout is not None else RolloutConfig()
         )
-        baseline = production.copy()
+        baseline = production.copy_except(list(journal.snapshot))
         for device, snapshot_config in journal.snapshot.items():
             baseline.configs[device] = snapshot_config.copy()
         plane = build_dataplane(baseline, use_cache=config.probe_incremental)
@@ -278,7 +338,8 @@ class HealthProbe:
             check_convergence=config.probe_convergence,
         )
 
-    def check(self, production, applied_devices, wave_index):
+    def check(self, production, applied_devices, wave_index,
+              fire_fault=True):
         """Probe the mixed-version state after a wave applied.
 
         ``applied_devices`` is the **cumulative** set of devices every
@@ -288,7 +349,10 @@ class HealthProbe:
         Returns a :class:`ProbeResult`; raises
         :class:`~repro.util.errors.HealthProbeError` only via the
         ``rollout.wave.probe_fail`` fault point (real violations are
-        reported, not raised — the scheduler decides).
+        reported, not raised — the scheduler decides). ``fire_fault=False``
+        skips that fault point: the scheduler's parallel wave groups fire
+        it themselves, in wave order from the dispatching thread, so
+        nth-based fault rules stay deterministic under concurrency.
         """
         _PROBES.inc()
         applied = set(applied_devices)
@@ -296,7 +360,8 @@ class HealthProbe:
             "rollout.probe", wave=wave_index, applied=len(applied),
             incremental=self.incremental,
         ) as span:
-            PROBE_FAIL_FAULT.fire(wave=wave_index, applied=len(applied))
+            if fire_fault:
+                PROBE_FAIL_FAULT.fire(wave=wave_index, applied=len(applied))
             if self.incremental:
                 plane = build_dataplane(
                     production,
@@ -308,11 +373,17 @@ class HealthProbe:
             # The push loop is the plane's only consumer and nothing
             # mutates production until the probe verdict is in.
             plane.assert_binding_intact()
+            if self.incremental:
+                source = self._last_plane
+                _seed_probe_traces(
+                    source if source is not None else self.baseline_plane,
+                    plane,
+                )
 
             violations = ()
             checked = 0
-            if self.policy_verifier is not None and self.invariants:
-                report = self.policy_verifier.verify_dataplane(plane)
+            if self._invariant_verifier is not None:
+                report = self._invariant_verifier.verify_dataplane(plane)
                 checked = report.checked_count
                 violations = tuple(sorted(
                     result.policy.policy_id
@@ -322,7 +393,8 @@ class HealthProbe:
             dead = ()
             if self.check_convergence:
                 dead = tuple(sorted(
-                    self._dead_next_hops(plane) - self.baseline_dead
+                    self._dead_next_hops_scoped(plane, applied)
+                    - self.baseline_dead
                 ))
             result = ProbeResult(
                 wave_index=wave_index,
@@ -334,10 +406,47 @@ class HealthProbe:
                 _PROBE_VIOLATIONS.inc()
             span.set(healthy=result.healthy, violations=len(violations),
                      dead_routes=len(dead))
+            self._last_plane = plane
         return result
 
-    @staticmethod
-    def _dead_next_hops(plane):
+    def _dead_next_hops_scoped(self, plane, applied):
+        """The convergence sweep, scoped to what ``applied`` can have moved.
+
+        A router's dead set depends on its FIB and on the configs of the
+        devices sharing its egress segments, so the sweep recomputes only
+        routers that are applied, segment-adjacent to an applied device, or
+        whose FIB object is no longer the baseline's; everything else
+        reuses its baseline per-device set. Falls back to a full sweep when
+        the segment table itself was rebuilt (adjacency may have moved).
+        """
+        base = self.baseline_plane
+        if (
+            self._baseline_dead_by_device is None
+            or plane.artifacts is None
+            or base.artifacts is None
+            or plane.segments is not base.segments
+        ):
+            return self._dead_next_hops(plane)
+        tainted = set(applied)
+        for segment in plane.segments:
+            members = set(segment.devices()) | segment.switches
+            if applied & members:
+                tainted |= members
+        base_fibs = base.artifacts.fibs
+        fibs = plane.artifacts.fibs
+        dead = set()
+        for device in plane.network.routers():
+            if (
+                device not in tainted
+                and fibs.get(device) is base_fibs.get(device)
+            ):
+                dead.update(self._baseline_dead_by_device.get(device, ()))
+            else:
+                dead.update(self._dead_for_device(plane, device))
+        return frozenset(dead)
+
+    @classmethod
+    def _dead_next_hops(cls, plane):
         """Routes whose next hop no live endpoint owns (convergence check).
 
         Pre-existing dead routes on the baseline are subtracted by the
@@ -345,15 +454,86 @@ class HealthProbe:
         """
         dead = set()
         for device in plane.network.routers():
-            for route in plane.fib(device).routes():
-                if route.next_hop is None:
-                    continue
-                resolved = plane.resolve_next_hop(
-                    device, route.out_interface, route.next_hop
-                )
-                if resolved is None:
-                    dead.add(f"{device}: {route.prefix} via {route.next_hop}")
+            dead.update(cls._dead_for_device(plane, device))
         return frozenset(dead)
+
+    @staticmethod
+    def _dead_for_device(plane, device):
+        """One router's dead next hops, memoized on the compile artifacts.
+
+        The set is a pure function of the snapshot content, so it lives in
+        ``artifacts.dead_memo`` keyed by device — every plane rebound from
+        the same fingerprint (repeated probes of one mixed-version state,
+        re-probes after resume) reuses it.
+        """
+        memo = (
+            plane.artifacts.dead_memo if plane.artifacts is not None else None
+        )
+        if memo is not None:
+            cached = memo.get(device)
+            if cached is not None:
+                return cached
+        dead = set()
+        for route in plane.fib(device).routes():
+            if route.next_hop is None:
+                continue
+            resolved = plane.resolve_next_hop(
+                device, route.out_interface, route.next_hop
+            )
+            if resolved is None:
+                dead.add(f"{device}: {route.prefix} via {route.next_hop}")
+        dead = frozenset(dead)
+        if memo is not None:
+            memo[device] = dead
+        return dead
+
+
+def _seed_probe_traces(source_plane, plane):
+    """Copy still-valid cached traces from one plane's artifacts to another.
+
+    Forwarding traces are pure functions of the snapshot; a trace stays
+    valid when nothing it depends on changed between the planes: the
+    segment table is the identical object, every device on its path kept
+    both its config fingerprint and its FIB object, and no changed device
+    sits on a segment any path device touches (next-hop resolution reads
+    neighbouring endpoint configs). Traces keyed with an implicit start
+    (``start_device=None``) are skipped — their owner resolution scans
+    every config globally.
+    """
+    base_art = source_plane.artifacts
+    art = plane.artifacts
+    if (
+        base_art is None or art is None or art is base_art
+        or art.trace_cache or not base_art.trace_cache
+        or plane.segments is not source_plane.segments
+    ):
+        return
+    base_fps = base_art.device_fingerprints
+    changed = {
+        device for device, fp in art.device_fingerprints.items()
+        if base_fps.get(device) != fp
+    }
+    tainted = set(changed)
+    for segment in plane.segments:
+        members = set(segment.devices()) | segment.switches
+        if changed & members:
+            tainted |= members
+    base_fibs = base_art.fibs
+    fibs = art.fibs
+    seeded = []
+    for key, trace in base_art.trace_cache.items():
+        _flow, start_device = key
+        if start_device is None:
+            continue
+        path = trace.path()
+        if tainted.isdisjoint(path) and all(
+            fibs.get(device) is base_fibs.get(device) for device in path
+        ):
+            seeded.append((key, trace))
+    if seeded:
+        with art.trace_lock:
+            for key, trace in seeded:
+                art.trace_cache.setdefault(key, trace)
 
 
 class CircuitBreaker:
@@ -397,3 +577,9 @@ def quarantine_devices(journal, devices, reason):
 def record_committed_wave():
     """Count one healthy, committed wave."""
     _WAVES.inc()
+
+
+def record_parallel_probes(count):
+    """Count ``count`` probes dispatched concurrently in one wave group."""
+    if count:
+        _PROBE_PARALLEL.inc(count)

@@ -28,6 +28,7 @@ class EmulatedNetwork:
             for device in self.network.topology.devices()
         }
         self._dataplane = None
+        self._baseline_plane = None
         self._snapshots = {}
 
     @classmethod
@@ -71,9 +72,22 @@ class EmulatedNetwork:
     # -- data plane -------------------------------------------------------------
 
     def dataplane(self):
-        """The current compiled data plane (recompiled after config changes)."""
+        """The current compiled data plane (recompiled after config changes).
+
+        Recompiles are incremental against the last compiled plane: console
+        edits typically touch one device, so the invalidation cone keeps
+        every other device's artifacts shared. The baseline is always bound
+        to a *frozen copy* of the network — consoles mutate configs in
+        place, and an incremental diff against the same live objects would
+        see no change.
+        """
         if self._dataplane is None:
-            self._dataplane = build_dataplane(self.network)
+            plane = build_dataplane(self.network, baseline=self._baseline_plane)
+            frozen = self.network.copy()
+            self._baseline_plane = build_dataplane(
+                frozen, baseline=plane, same_except=set()
+            )
+            self._dataplane = plane
         return self._dataplane
 
     def mark_dirty(self):

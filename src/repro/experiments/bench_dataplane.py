@@ -77,11 +77,13 @@ def bench_compile(network, issue, repeats=DEFAULT_REPEATS):
 
     def incremental():
         # Discard the candidate's cache entry so every repeat measures the
-        # incremental compile itself, not a cache hit.
+        # incremental compile itself, not a cache hit. ``broken`` was
+        # derived here by injecting the issue into a copy, so the
+        # same_except assertion (re-hash only the root-cause device) holds.
         dataplane_cache().discard(broken_fp)
         build_dataplane(
             broken, baseline=baseline,
-            changed_devices={issue.root_cause_device},
+            same_except={issue.root_cause_device},
         )
 
     incremental_ms = median_ms(incremental, repeats)

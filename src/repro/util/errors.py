@@ -115,6 +115,15 @@ class JournalError(ReproError):
     """A push journal is unusable (wrong state, snapshot mismatch)."""
 
 
+class DepsOverscopeError(ReproError):
+    """The dependency-cone computation declared itself untrustworthy.
+
+    Raised only by the ``dataplane.deps.overscope`` fault point; the
+    builder catches it and falls back to whole-network invalidation —
+    over-scoping a cone is always safe, under-scoping never is.
+    """
+
+
 class MonitorTimeout(ReproError):
     """A mediated command exceeded the reference monitor's time budget."""
 

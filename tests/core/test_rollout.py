@@ -153,9 +153,13 @@ class TestStagedPush:
         assert _serialized(production) == expected
 
     def test_wave_markers_journaled_in_order(self):
+        # probe_parallel=False pins the strict apply-probe-commit
+        # interleaving; the grouped layout is covered in
+        # TestParallelProbes.
         production, changes = _changes(_three_devices)
         report = ChangeScheduler().push(
-            production, changes, rollout=RolloutConfig()
+            production, changes,
+            rollout=RolloutConfig(probe_parallel=False),
         )
         kinds = _marker_kinds(report.journal)
         assert kinds == [
@@ -234,6 +238,108 @@ class TestStagedPush:
         assert _serialized(production) == expected
 
 
+def _ospf_costs_two_devices(net):
+    """Routing-relevant changes on r1 and r3 -> overlapping SPF cones."""
+    net.config("r1").interface("Gi0/0").ospf_cost = 42
+    net.config("r3").interface("Gi0/1").ospf_cost = 42
+
+
+class TestParallelProbes:
+    """Disjoint-cone waves apply first, then probe concurrently."""
+
+    def test_grouped_push_matches_sequential_result(self):
+        production, changes = _changes(_three_devices)
+        expected = _expected_after(production, changes)
+        obs.enable()
+        report = ChangeScheduler().push(
+            production, changes, rollout=RolloutConfig()
+        )
+        assert report.committed
+        assert report.waves == 3
+        assert [probe.healthy for probe in report.probes] == [True] * 3
+        assert _serialized(production) == expected
+        parallel = obs.registry().get("rollout.probe.parallel")
+        assert parallel is not None and parallel.value == 3
+
+    def test_grouped_marker_layout(self):
+        # All three cones are disjoint (description-only changes), so the
+        # group applies every wave before any probe; verdicts still land
+        # strictly in wave order.
+        production, changes = _changes(_three_devices)
+        report = ChangeScheduler().push(
+            production, changes, rollout=RolloutConfig()
+        )
+        kinds = _marker_kinds(report.journal)
+        assert kinds == [
+            "intent",
+            "wave-start", "batch-start", "batch-committed",
+            "wave-start", "batch-start", "batch-committed",
+            "wave-start", "batch-start", "batch-committed",
+            "probe", "wave-committed",
+            "probe", "wave-committed",
+            "probe", "wave-committed",
+            "done",
+        ]
+        assert report.journal.committed_waves == {0, 1, 2}
+
+    def test_overlapping_cones_fall_back_to_sequential(self):
+        # ospf_cost edits widen each wave's cone to the whole SPF region,
+        # so no two waves may group and the strict interleaving returns.
+        production, changes = _changes(_ospf_costs_two_devices)
+        report = ChangeScheduler().push(
+            production, changes, rollout=RolloutConfig()
+        )
+        kinds = _marker_kinds(report.journal)
+        assert kinds == [
+            "intent",
+            "wave-start", "batch-start", "batch-committed", "probe",
+            "wave-committed",
+            "wave-start", "batch-start", "batch-committed", "probe",
+            "wave-committed",
+            "done",
+        ]
+        assert report.committed
+
+    def test_probe_failure_in_group_quarantines_correct_wave(self):
+        # The probe_fail fault fires from the scheduler thread in wave
+        # order even when probes themselves run concurrently, so nth=2
+        # deterministically fails wave 1 — exactly like the sequential
+        # path — and the whole group rolls back.
+        production, changes = _changes(_three_devices)
+        pre_push = _serialized(production)
+        faults.arm({"rollout.wave.probe_fail": Rule(nth=2)}, seed=7)
+        report = ChangeScheduler().push(
+            production, changes, rollout=RolloutConfig()
+        )
+        assert report.status == "rolled-back"
+        assert "HealthProbeError" in report.rollback_reason
+        assert report.quarantined == ["r2"]
+        assert _serialized(production) == pre_push
+        # Wave 0's probe still ran and committed before the failure.
+        assert report.journal.committed_waves == {0}
+
+    def test_unhealthy_parallel_probe_rolls_back(self):
+        # A real (not fault-injected) probe failure: r2's wave installs a
+        # static route to a next hop nobody owns. The probes run
+        # concurrently, yet the verdict quarantines exactly r2's wave.
+        production = square_network()
+        modified = production.copy()
+        modified.config("r1").interface("Gi0/0").description = "wave-a"
+        modified.config("r2").static_routes.append(StaticRoute(
+            prefix=ipaddress.ip_network("10.99.0.0/16"),
+            next_hop=ipaddress.ip_address("10.0.23.99"),
+        ))
+        modified.config("r3").interface("Gi0/0").description = "wave-c"
+        changes = diff_networks(production.configs, modified.configs)
+        pre_push = _serialized(production)
+        report = ChangeScheduler().push(
+            production, changes, rollout=RolloutConfig()
+        )
+        assert report.status == "rolled-back"
+        assert report.quarantined == ["r2"]
+        assert _serialized(production) == pre_push
+
+
 class TestHealthProbe:
     def test_probe_reports_newly_dead_route(self):
         production = square_network()
@@ -295,6 +401,8 @@ class TestResumeBoundaries:
         # MIDWAVE nth=2 crashes at wave 1's first batch: the journal's
         # last markers are `wave-committed 0`, `wave-start 1` — wave 0 is
         # fully committed, wave 1 never mutated production.
+        # (probe_parallel=False: under grouped probing wave 0 would not
+        # yet be committed when wave 1's apply crashes.)
         production, changes = _changes(_three_devices)
         expected = _expected_after(production, changes)
         trail = AuditTrail(SimulatedEnclave())
@@ -302,7 +410,8 @@ class TestResumeBoundaries:
         scheduler = ChangeScheduler()
         with pytest.raises(PushCrashed) as excinfo:
             scheduler.push(
-                production, changes, audit=trail, rollout=RolloutConfig()
+                production, changes, audit=trail,
+                rollout=RolloutConfig(probe_parallel=False),
             )
         journal = excinfo.value.journal
         assert _marker_kinds(journal)[-2:] == ["wave-committed", "wave-start"]
