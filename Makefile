@@ -4,24 +4,36 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench bench-check obs-report report chaos stress check
+.PHONY: test docs-check bench bench-check bench-scale obs-report report \
+	chaos stress check
 
 test:
 	$(PYTHON) -m pytest tests/
 
 # Validate that every metric documented in docs/OBSERVABILITY.md and every
-# fault point in docs/ROBUSTNESS.md is registered by code, and vice versa.
+# fault point in docs/ROBUSTNESS.md is registered by code (both catalog
+# tests import the whole package, so nothing escapes), and vice versa —
+# plus docs/SCALING.md against the generator/shard/benchmark constants.
 docs-check:
 	$(PYTHON) -m pytest -m docs_check tests/obs/test_docs_catalog.py \
-		tests/faults/test_docs_catalog.py
+		tests/faults/test_docs_catalog.py \
+		tests/experiments/test_docs_scaling.py
 
 bench:
 	$(PYTHON) -m repro.cli bench
 
 # Perf regression gate: a short benchmark pass whose speedup/overhead
-# ratios must stay within 20% of the committed BENCH_*.json reports.
+# ratios must stay within 20% of the committed BENCH_*.json reports
+# (dataplane, rollout, and scale suites).
 bench-check:
 	$(PYTHON) -m repro.cli bench --check
+
+# Mega-network smoke: generate + shard-compile + verify a small scenario
+# end to end. The committed BENCH_scale.json comes from the full run
+# (`bench --scale 500`); this target only proves the pipeline works here.
+bench-scale:
+	$(PYTHON) -m repro.cli bench --scale 120 --shape hub-spoke --repeats 2 \
+		-o BENCH_scale_smoke.json
 
 obs-report:
 	$(PYTHON) -m repro.cli obs report --network university --issue ospf
@@ -45,4 +57,4 @@ stress:
 	$(PYTHON) -m repro.cli bench --concurrent 8 --seed 7 -o BENCH_concurrent.json
 
 # The default pre-merge gate.
-check: docs-check chaos stress bench-check
+check: docs-check chaos stress bench-scale bench-check

@@ -150,6 +150,8 @@ def cmd_bench(args, out):
         return _bench_concurrent(args, out)
     if args.rollout:
         return _bench_rollout(args, out)
+    if args.scale:
+        return _bench_scale(args, out)
     args.output = args.output or "BENCH_dataplane.json"
     report = run_benchmarks(networks=args.networks, repeats=args.repeats)
     write_report(report, args.output)
@@ -169,6 +171,45 @@ def cmd_bench(args, out):
         )
     out.write(f"benchmark report written to {args.output}\n")
     return 0
+
+
+def _bench_scale(args, out):
+    """Generated mega-network scale benchmark; writes BENCH_scale.json."""
+    from repro.experiments.bench_scale import (
+        run_scale_benchmark,
+        write_report,
+    )
+
+    report = run_scale_benchmark(
+        size=args.scale, shape=args.shape, seed=args.seed,
+        repeats=args.repeats, workers=args.workers,
+    )
+    output = args.output or "BENCH_scale.json"
+    write_report(report, output)
+    generated = report["generated"]
+    compile_ = report["compile"]
+    out.write(
+        f"{generated['shape']} x{generated['devices']} devices "
+        f"({generated['routers']} routers, "
+        f"{report['sharding']['shards']} shards): "
+        f"single {compile_['single_ms']}ms -> "
+        f"sharded {compile_['sharded_ms']}ms "
+        f"({compile_['sharded_speedup']}x), "
+        f"incremental {compile_['incremental_ms']}ms\n"
+    )
+    out.write(
+        f"verify: {report['verify']['ms']}ms for "
+        f"{generated['policies']} policies "
+        f"({report['verify']['policies_per_s']} policies/s)\n"
+    )
+    gate = report["acceptance"]
+    state = "pass" if gate["pass"] else "FAIL"
+    out.write(
+        f"sharded cold speedup {gate['sharded_cold_speedup']}x "
+        f"(target {gate['target']}x at N>=500): {state}\n"
+    )
+    out.write(f"scale benchmark report written to {output}\n")
+    return 0 if gate["pass"] else 1
 
 
 def _bench_rollout(args, out):
@@ -478,14 +519,29 @@ def build_parser():
              "BENCH_*.json reports",
     )
     bench.add_argument(
+        "--scale", type=int, default=0, metavar="N",
+        help="run the mega-network scale benchmark on a generated N-device "
+             "topology instead of the perf suite (writes BENCH_scale.json)",
+    )
+    bench.add_argument(
+        "--shape", choices=("fat-tree", "campus", "hub-spoke"),
+        default="fat-tree",
+        help="generated topology shape for --scale (default: fat-tree)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --scale sharding (default: CPU count)",
+    )
+    bench.add_argument(
         "--seed", type=int, default=7,
-        help="rand seed for the concurrent stress benchmark",
+        help="rand seed for the concurrent stress and scale benchmarks",
     )
     bench.add_argument(
         "-o", "--output", default=None,
         help="report path (default: BENCH_dataplane.json, "
-             "BENCH_concurrent.json with --concurrent, or "
-             "BENCH_rollout.json with --rollout)",
+             "BENCH_concurrent.json with --concurrent, "
+             "BENCH_rollout.json with --rollout, or "
+             "BENCH_scale.json with --scale)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -51,6 +51,34 @@ class Fib:
         ]
         self._by_prefix = by_prefix
 
+    @classmethod
+    def _from_canonical(cls, ordered):
+        """Construct from ``[(key, route), ...]`` already in canonical order.
+
+        Fast path for the sharded compiler (:mod:`repro.control.shard`),
+        which selects one winner per prefix and sorts by a precomputed
+        ``(-prefixlen, str(prefix))`` table — re-deriving both here would
+        redo work the shard already paid for once per *unique* prefix
+        instead of once per installed route. ``key`` is the route's
+        ``(int(network_address), prefixlen)`` pair; keys must be unique and
+        ordered exactly as ``__init__`` would sort the routes, which keeps
+        the two constructors behaviourally indistinguishable (asserted by
+        the shard-vs-monolithic equivalence tests). ``_by_prefix`` is built
+        lazily on the first exact-prefix query — it is off the forwarding
+        hot path entirely.
+        """
+        fib = cls.__new__(cls)
+        fib._routes = [route for _key, route in ordered]
+        by_len = {}
+        for (address, plen), route in ordered:
+            by_len.setdefault(plen, {})[address] = route
+        fib._buckets = [
+            (_mask(plen), table)
+            for plen, table in sorted(by_len.items(), reverse=True)
+        ]
+        fib._by_prefix = None
+        return fib
+
     def lookup(self, dst_ip):
         """The longest-prefix-match route for ``dst_ip``, or ``None``."""
         if _OBS.enabled:
@@ -70,6 +98,11 @@ class Fib:
 
     def route_for_prefix(self, prefix):
         """The installed route for exactly ``prefix``, or ``None``."""
+        if self._by_prefix is None:
+            by_prefix = {}
+            for route in self._routes:
+                by_prefix.setdefault(route.prefix, route)
+            self._by_prefix = by_prefix
         return self._by_prefix.get(prefix)
 
     def __len__(self):

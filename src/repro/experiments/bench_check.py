@@ -20,6 +20,7 @@ is not a regression worth failing the build over.
 import json
 import os
 
+from repro.experiments.bench_scale import SPEEDUP_TARGET
 from repro.util.errors import ReproError
 
 TOLERANCE = 0.20  # fraction of the committed value
@@ -28,6 +29,9 @@ CHECK_REPEATS = 3  # enough for a stable median without make check crawling
 
 DATAPLANE_REPORT = "BENCH_dataplane.json"
 ROLLOUT_REPORT = "BENCH_rollout.json"
+SCALE_REPORT = "BENCH_scale.json"
+
+SCALE_CHECK_SIZE = 500  # ceiling for --check re-runs: keep the gate fast
 
 
 def _load(path):
@@ -85,6 +89,30 @@ def rollout_metrics(report):
     return metrics
 
 
+def scale_metrics(report):
+    """The gated ratio metrics of one scale benchmark report.
+
+    Only ratios are gated (machine-portable); the sharded cold-compile
+    speedup additionally carries the ISSUE 7 acceptance target so drift
+    inside the 2x envelope never fails the build.
+    """
+    metrics = {}
+    compile_ = report.get("compile", {})
+    if "sharded_speedup" in compile_:
+        target = (
+            SPEEDUP_TARGET
+            if report.get("acceptance", {}).get("applies") else None
+        )
+        metrics["scale.compile.sharded_speedup"] = (
+            compile_["sharded_speedup"], True, target,
+        )
+    if "incremental_speedup" in compile_:
+        metrics["scale.compile.incremental_speedup"] = (
+            compile_["incremental_speedup"], True, None,
+        )
+    return metrics
+
+
 def compare(committed, fresh, tolerance=TOLERANCE):
     """Regressions of ``fresh`` vs ``committed`` beyond ``tolerance``.
 
@@ -126,6 +154,7 @@ def run_check(repeats=CHECK_REPEATS, out=None, root="."):
     """
     from repro.experiments.bench_dataplane import run_benchmarks
     from repro.experiments.bench_rollout import run_rollout_benchmarks
+    from repro.experiments.bench_scale import run_scale_benchmark
 
     if repeats < 1:
         raise ReproError(f"repeats must be >= 1, got {repeats}")
@@ -153,6 +182,21 @@ def run_check(repeats=CHECK_REPEATS, out=None, root="."):
         failures.extend(gated)
     elif out is not None:
         out.write(f"{ROLLOUT_REPORT} not found; rollout gate skipped\n")
+
+    committed = _load(os.path.join(root, SCALE_REPORT))
+    if committed is not None:
+        generated = committed.get("generated", {})
+        fresh = run_scale_benchmark(
+            size=min(generated.get("requested_size", 500), SCALE_CHECK_SIZE),
+            shape=generated.get("shape", "fat-tree"),
+            seed=generated.get("seed", 7),
+            repeats=repeats,
+        )
+        gated = compare(scale_metrics(committed), scale_metrics(fresh))
+        checked += len(set(scale_metrics(committed)) & set(scale_metrics(fresh)))
+        failures.extend(gated)
+    elif out is not None:
+        out.write(f"{SCALE_REPORT} not found; scale gate skipped\n")
 
     if out is not None:
         for failure in failures:

@@ -4,11 +4,19 @@
 * :mod:`repro.scenarios.enterprise` — the 9-router/9-host enterprise network;
 * :mod:`repro.scenarios.university` — the 13-router/17-host university network;
 * :mod:`repro.scenarios.issues` — the OSPF / ISP / VLAN issues and the
-  interface-down issue generator used by Figures 8 and 9.
+  interface-down issue generator used by Figures 8 and 9;
+* :mod:`repro.scenarios.generate` — seeded mega-network generator
+  (fat-tree / campus / hub-spoke, hundreds to thousands of devices) for
+  the scale benchmarks; see docs/SCALING.md.
 """
 
 from repro.scenarios.builder import NetworkBuilder
 from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.generate import (
+    SHAPES,
+    GeneratedScenario,
+    generate_scenario,
+)
 from repro.scenarios.issues import (
     Issue,
     interface_down_issues,
@@ -17,10 +25,13 @@ from repro.scenarios.issues import (
 from repro.scenarios.university import build_university_network
 
 __all__ = [
+    "GeneratedScenario",
     "Issue",
     "NetworkBuilder",
+    "SHAPES",
     "build_enterprise_network",
     "build_university_network",
+    "generate_scenario",
     "interface_down_issues",
     "standard_issues",
 ]

@@ -51,6 +51,18 @@ def derive(name):
     return random.Random(f"{_seed}:{name}")
 
 
+def independent(key):
+    """A fresh PRNG keyed by ``key`` alone, ignoring the process seed.
+
+    The topology generator (:mod:`repro.scenarios.generate`) must emit the
+    identical network for the same generator seed no matter what the chaos
+    seed of the surrounding process is — a scenario is content, not an
+    experiment — so its streams are derived from the caller's key only.
+    Everything else should use :func:`derive`.
+    """
+    return random.Random(f"independent:{key}")
+
+
 def reset():
     """Back to the default seed (test isolation)."""
     seed(_DEFAULT_SEED)

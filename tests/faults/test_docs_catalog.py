@@ -1,24 +1,28 @@
 """docs/ROBUSTNESS.md's fault-point catalog must match the live registry.
 
 Fault points register at import time under their final names (the same
-pattern as the metrics registry), so importing the instrumented modules
-and diffing against the parsed markdown table is a complete consistency
+pattern as the metrics registry), so importing **every** ``repro`` module
+(a :mod:`pkgutil` walk — no hand-maintained list to forget to extend) and
+diffing against the parsed markdown table is a complete consistency
 check. Run via ``make docs-check`` or ``pytest -m docs_check``.
 """
 
+import importlib
+import pkgutil
 import re
 from pathlib import Path
 
 import pytest
 
-# Import for the registration side effect: together these register the
-# whole fault-point catalog.
-import repro.core.enforcer.audit  # noqa: F401
-import repro.core.enforcer.scheduler  # noqa: F401
-import repro.core.sessions  # noqa: F401
-import repro.core.twin.monitor  # noqa: F401
-import repro.policy.verification  # noqa: F401
+import repro
 from repro.faults import registry
+
+# Import the whole package for the registration side effect: any module
+# anywhere in repro that registers a fault point is covered automatically.
+for _info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+    if _info.name.rsplit(".", 1)[-1] == "__main__":
+        continue
+    importlib.import_module(_info.name)
 
 DOCS = Path(__file__).resolve().parents[2] / "docs" / "ROBUSTNESS.md"
 

@@ -1,30 +1,28 @@
 """docs/OBSERVABILITY.md's metrics catalog must match the live registry.
 
 Instruments register at import time under their final names, so importing
-the instrumented modules and diffing against the parsed markdown table is a
-complete consistency check — no workload needed. Run via ``make docs-check``
-or ``pytest -m docs_check``.
+**every** ``repro`` module (a :mod:`pkgutil` walk — no hand-maintained
+list to forget to extend) and diffing against the parsed markdown table is
+a complete consistency check — no workload needed. Run via
+``make docs-check`` or ``pytest -m docs_check``.
 """
 
+import importlib
+import pkgutil
 import re
 from pathlib import Path
 
 import pytest
 
-# Import for the registration side effect: these are the instrumented
-# modules; together they register the entire pipeline catalog.
-import repro.control.builder  # noqa: F401
-import repro.control.cache  # noqa: F401
-import repro.core.enforcer.scheduler  # noqa: F401
-import repro.core.enforcer.verifier  # noqa: F401
-import repro.core.sessions  # noqa: F401
-import repro.core.twin.monitor  # noqa: F401
-import repro.dataplane.fib  # noqa: F401
-import repro.dataplane.reachability  # noqa: F401
-import repro.faults.registry  # noqa: F401
-import repro.policy.verification  # noqa: F401
-import repro.util.retry  # noqa: F401
+import repro
 from repro.obs import registry
+
+# Import the whole package for the registration side effect: any module
+# anywhere in repro that registers an instrument is covered automatically.
+for _info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+    if _info.name.rsplit(".", 1)[-1] == "__main__":
+        continue
+    importlib.import_module(_info.name)
 
 DOCS = Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
 
