@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test docs-check bench bench-check bench-scale obs-report report \
-	chaos stress check
+	chaos chaos-matrix stress check
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -41,13 +41,21 @@ obs-report:
 report:
 	$(PYTHON) -m repro.cli report -o report.md
 
-# Fixed-seed chaos campaigns (push atomicity invariant: the smoke mix plus
-# the staged-rollout canary scenarios) + the tier-1 suite. Same seed, same
-# report — see docs/ROBUSTNESS.md.
+# Fixed-seed chaos campaigns (push atomicity invariant: the smoke mix, the
+# staged-rollout canary scenarios, and the quorum-approvals/replicated-audit
+# scenarios) + the tier-1 suite. Same seed, same report — see
+# docs/ROBUSTNESS.md.
 chaos:
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign smoke
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign canary
+	$(PYTHON) -m repro.cli chaos --seed 7 --campaign approvals
 	$(PYTHON) -m pytest -x -q tests/
+
+# Every registered campaign across 5 consecutive seeds — the deep chaos
+# sweep. Deliberately NOT part of `check` (the single-seed smoke above
+# stays the pre-merge gate); run it before robustness-sensitive releases.
+chaos-matrix:
+	$(PYTHON) -m repro.cli chaos --matrix --seed 7 --seeds 5
 
 # Seeded, bounded-size concurrent-session stress benchmark: 8 threaded
 # sessions against one production; exits non-zero unless every session

@@ -12,7 +12,11 @@ Commands:
 * ``obs report`` — resolve one issue with observability enabled and render
   the span trees, metrics, and audit/trace correlation (optionally as JSON);
 * ``chaos``     — run a seeded fault-injection campaign over the scenario
-  networks and report the push-atomicity invariant per scenario.
+  networks and report the push-atomicity invariant per scenario
+  (``--matrix`` runs every campaign across several seeds);
+* ``audit export`` / ``audit verify`` — dump a ticket's tamper-evident
+  audit chains (single or replicated) to JSON, then re-walk the HMAC
+  links offline and quorum-vote the replicas' content.
 
 ``--network`` accepts a scenario name (``enterprise`` / ``university``) or
 a path to a snapshot directory written by ``snapshot`` /
@@ -360,6 +364,91 @@ def cmd_obs_report(args, out):
     return 0
 
 
+def cmd_audit(args, out):
+    """Offline audit-chain tooling: export chains, verify them later."""
+    if args.audit_command == "export":
+        return _audit_export(args, out)
+    return _audit_verify(args, out)
+
+
+def _audit_export(args, out):
+    """Resolve one ticket, then dump its audit chains to JSON."""
+    import json as json_module
+
+    from repro.core.enforcer.audit import export_chains
+    from repro.core.heimdall import Heimdall
+
+    network = _resolve_network(args.network)
+    if network.name not in _SCENARIOS:
+        out.write("audit export requires a scenario network\n")
+        return 1
+    issues = standard_issues(network.name)
+    if args.issue not in issues:
+        out.write(f"unknown issue {args.issue!r}; choose from "
+                  f"{', '.join(issues)}\n")
+        return 1
+    issue = issues[args.issue]
+    policies = mine_policies(network)
+    issue.inject(network)
+
+    heimdall = Heimdall(
+        network, policies=policies, audit_replicas=args.replicas
+    )
+    session = heimdall.open_ticket(issue)
+    session.run_fix_script(issue.fix_script)
+    session.submit()
+
+    payload = export_chains(heimdall.audit)
+    if args.tamper is not None:
+        # Demo/test hook: corrupt one exported replica's newest record
+        # *without* its key, exactly the attacker model `audit verify`
+        # must catch.
+        records = payload["replicas"][args.tamper]["records"]
+        if records:
+            records[-1]["outcome"] = (
+                records[-1]["outcome"] + " [tampered]"
+            ).strip()
+    with open(args.output, "w") as handle:
+        json_module.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    chains = payload["replicas"]
+    out.write(
+        f"exported {len(chains)} chain{'s' if len(chains) != 1 else ''} "
+        f"({sum(len(c['records']) for c in chains)} records, quorum "
+        f"{payload['quorum']}) to {args.output}\n"
+    )
+    return 0
+
+
+def _audit_verify(args, out):
+    """Re-walk exported chains offline; exit 0 iff fully intact."""
+    import json as json_module
+
+    from repro.core.enforcer.audit import verify_export
+
+    with open(args.chains) as handle:
+        payload = json_module.load(handle)
+    result = verify_export(payload)
+    for replica in result["replicas"]:
+        if replica["intact"]:
+            out.write(
+                f"  [ok    ] {replica['key_id']}: "
+                f"{replica['records']} records, chain intact\n"
+            )
+        else:
+            out.write(
+                f"  [BROKEN] {replica['key_id']}: first broken MAC link "
+                f"at record {replica['first_broken']} "
+                f"of {replica['records']}\n"
+            )
+    out.write(
+        f"quorum verdict: {result['status']} "
+        f"({result['agreeing']}/{len(result['replicas'])} chains agree, "
+        f"quorum {result['quorum']})\n"
+    )
+    return 0 if result["status"] == "intact" else 1
+
+
 def cmd_chaos(args, out):
     """Run one seeded chaos campaign; exit 0 iff every invariant held."""
     import json as json_module
@@ -370,6 +459,8 @@ def cmd_chaos(args, out):
         for name in campaign_names():
             out.write(f"{name}\n")
         return 0
+    if args.matrix:
+        return _chaos_matrix(args, out, campaign_names, run_campaign)
     if args.list_campaigns:
         for name, scenarios in sorted(campaigns().items()):
             out.write(f"{name} ({len(scenarios)} scenarios)\n")
@@ -436,6 +527,30 @@ def cmd_chaos(args, out):
             handle.write("\n")
         out.write(f"chaos report written to {args.output}\n")
     return 0 if report.ok else 1
+
+
+def _chaos_matrix(args, out, campaign_names, run_campaign):
+    """Every registered campaign across ``--seeds`` consecutive seeds."""
+    names = campaign_names()
+    failures = []
+    for name in names:
+        for offset in range(args.seeds):
+            seed = args.seed + offset
+            report = run_campaign(name, seed=seed)
+            held = sum(1 for s in report.scenarios if s.ok)
+            out.write(
+                f"[{'ok' if report.ok else 'FAIL':4}] {name} seed {seed}: "
+                f"{held}/{len(report.scenarios)} scenarios ok\n"
+            )
+            if not report.ok:
+                failures.append(f"{name}@{seed}")
+    if failures:
+        out.write(f"matrix FAILED: {', '.join(failures)}\n")
+        return 1
+    out.write(
+        f"matrix PASSED: {len(names)} campaigns x {args.seeds} seeds\n"
+    )
+    return 0
 
 
 def cmd_report(args, out):
@@ -577,9 +692,48 @@ def build_parser():
                        help="list campaigns with their scenarios and exit")
     chaos.add_argument("--json", action="store_true",
                        help="emit the JSON report to stdout")
+    chaos.add_argument("--matrix", action="store_true",
+                       help="run every registered campaign across --seeds "
+                            "consecutive seeds and exit nonzero on any "
+                            "failure")
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="seed count for --matrix (default: 5, starting "
+                            "at --seed)")
     chaos.add_argument("-o", "--output", default=None,
                        help="also write the JSON report to this path")
     chaos.set_defaults(func=cmd_chaos)
+
+    audit = sub.add_parser(
+        "audit",
+        help="tamper-evident audit chain tooling (export + offline verify)",
+    )
+    audit_sub = audit.add_subparsers(dest="audit_command", required=True)
+    audit_export = audit_sub.add_parser(
+        "export",
+        help="resolve one ticket and dump its audit chains to JSON",
+    )
+    _add_network_argument(audit_export)
+    audit_export.add_argument("--issue", default="ospf",
+                              help="issue id to resolve (default: ospf)")
+    audit_export.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="run a replicated trail with N chains (default: single chain)",
+    )
+    audit_export.add_argument(
+        "--tamper", type=int, default=None, metavar="REPLICA",
+        help="corrupt this replica's newest exported record (keyless "
+             "attacker model; verify must flag it)",
+    )
+    audit_export.add_argument("-o", "--output", default="AUDIT_chains.json",
+                              help="export path (default: AUDIT_chains.json)")
+    audit_export.set_defaults(func=cmd_audit)
+    audit_verify = audit_sub.add_parser(
+        "verify",
+        help="re-walk exported chains offline: first broken MAC link per "
+             "chain + replica-quorum verdict",
+    )
+    audit_verify.add_argument("chains", help="export file to verify")
+    audit_verify.set_defaults(func=cmd_audit)
 
     return parser
 

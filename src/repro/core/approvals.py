@@ -1,0 +1,398 @@
+"""Quorum approvals for high-risk changes (multi-party authorization).
+
+Following Kinkelin et al. (arXiv:1903.08048, 1804.04798): a single
+administrator — or a single compromised enforcer — must not be able to
+wave a high-risk change into production alone. When the risk classifier
+(:mod:`repro.core.enforcer.risk`) flags a session's change set, the
+change enters this state machine:
+
+    proposed -> approved | rejected        (clean quorum / clean veto)
+    proposed -> mediated -> approved | rejected   (conflicting votes)
+
+* **M-of-N quorum** — a configurable set of admin identities votes; the
+  change is approved only when at least ``quorum`` of them approve and
+  nobody objects.
+* **Conflict mediation** — mixed votes move the request to ``mediated``;
+  the mediator resolves by majority (a tie denies), and the mediation is
+  itself a MAC-covered audit record.
+* **Deny by default** — an unresponsive quorum (crashed approvers, or the
+  injected ``approvals.timeout`` fault) times the round out; the charge
+  lands on the simulated clock and the request is *rejected*, never
+  silently granted.
+* **Break-glass override** — a configured emergency actor may override a
+  timed-out round; the override is granted but indelibly flagged in the
+  audit trail (``approvals.break_glass``).
+
+Every transition is written to the (tamper-evident, possibly replicated)
+audit trail, so the approval history is covered by the same HMAC chain as
+the change itself. The request is bound to the exact change set via a
+content fingerprint — an approval cannot be replayed for a different set
+of changes (:meth:`ApprovalRequest.covers`).
+"""
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.util.errors import ApprovalTimeout, ApproverCrash
+from repro.util.ids import IdAllocator
+
+_REQUESTED = obs_metrics.counter(
+    "approvals.requested", unit="requests",
+    help="high-risk change sets that entered the approval state machine",
+)
+_VOTES = obs_metrics.counter(
+    "approvals.votes", unit="votes",
+    help="approver votes collected (crashed approvers excluded)",
+)
+_GRANTED = obs_metrics.counter(
+    "approvals.granted", unit="requests",
+    help="approval requests that ended granted (break-glass included)",
+)
+_DENIED = obs_metrics.counter(
+    "approvals.denied", unit="requests",
+    help="approval requests that ended rejected (deny-by-default included)",
+)
+_MEDIATED = obs_metrics.counter(
+    "approvals.mediated", unit="requests",
+    help="approval requests with conflicting votes resolved by mediation",
+)
+_TIMEOUTS = obs_metrics.counter(
+    "approvals.timeouts", unit="requests",
+    help="approval rounds that timed out before quorum",
+)
+_BREAK_GLASS = obs_metrics.counter(
+    "approvals.break_glass", unit="requests",
+    help="timed-out rounds overridden by the audited break-glass actor",
+)
+
+_TIMEOUT_FAULT = faults.fault_point(
+    "approvals.timeout", error=ApprovalTimeout,
+    help="the approval round times out before quorum; the request is "
+         "denied by default and the change set is never pushed",
+)
+_APPROVER_CRASH_FAULT = faults.fault_point(
+    "approvals.approver.crash", error=ApproverCrash,
+    help="an approver identity becomes unresponsive mid-round and "
+         "abstains; quorum must be reached without it",
+)
+
+#: Request states. ``mediated`` is transitional; ``approved``/``rejected``
+#: are terminal.
+PROPOSED = "proposed"
+MEDIATED = "mediated"
+APPROVED = "approved"
+REJECTED = "rejected"
+
+
+def change_fingerprint(changes):
+    """A content digest binding an approval to one exact change set.
+
+    Order-independent: the scheduler may batch and reorder, but the set of
+    atomic changes an approval covers must be byte-identical.
+    """
+    lines = sorted(
+        f"{c.device}|{c.kind}|{c.path}|{c.old!r}|{c.new!r}" for c in changes
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ApprovalConfig:
+    """Who must approve, how many, and what happens on silence.
+
+    ``votes`` simulates the admins' intent (approver -> ``"approve"`` |
+    ``"reject"``; missing approvers approve). ``break_glass_actor``, when
+    set, overrides a timed-out round instead of denying it — audited and
+    flagged. ``risk`` optionally overrides the classifier's
+    :class:`~repro.core.enforcer.risk.RiskConfig`.
+    """
+
+    approvers: tuple = ("admin-1", "admin-2", "admin-3")
+    quorum: int = 2
+    timeout_s: float = 900.0
+    votes: dict = field(default_factory=dict)
+    mediator: str = "mediator"
+    break_glass_actor: str = ""
+    risk: object = None  # RiskConfig | None
+
+    def __post_init__(self):
+        if not 1 <= self.quorum <= len(self.approvers):
+            raise ValueError(
+                f"quorum {self.quorum} outside 1..{len(self.approvers)} "
+                f"approvers"
+            )
+
+
+@dataclass
+class ApprovalRequest:
+    """One high-risk change set moving through the state machine."""
+
+    request_id: str
+    actor: str  # the session proposing the change
+    fingerprint: str
+    risk: object  # the RiskAssessment that triggered the request
+    change_count: int
+    state: str = PROPOSED
+    votes: dict = field(default_factory=dict)  # approver -> verdict
+    crashed: list = field(default_factory=list)
+    history: list = field(default_factory=list)  # state transitions
+    reason: str = ""
+    break_glass: bool = False
+    timed_out: bool = False
+
+    @property
+    def granted(self):
+        return self.state == APPROVED
+
+    @property
+    def terminal(self):
+        return self.state in (APPROVED, REJECTED)
+
+    def covers(self, changes):
+        """Whether this approval binds to exactly ``changes``."""
+        return self.fingerprint == change_fingerprint(changes)
+
+    def summary(self):
+        flags = []
+        if self.break_glass:
+            flags.append("break-glass")
+        if self.timed_out:
+            flags.append("timed-out")
+        votes = ",".join(
+            f"{who}={verdict}" for who, verdict in sorted(self.votes.items())
+        ) or "none"
+        return (
+            f"{self.request_id} {self.state}"
+            f"{' (' + ', '.join(flags) + ')' if flags else ''}: "
+            f"votes [{votes}]"
+            + (f"; crashed: {','.join(self.crashed)}" if self.crashed else "")
+            + (f"; {self.reason}" if self.reason else "")
+        )
+
+
+class ApprovalCoordinator:
+    """Runs approval rounds and writes their audit history.
+
+    One coordinator serves one Heimdall deployment; ``listener`` (set by
+    the sessions layer, mirroring the scheduler's wave listener) receives
+    an event dict on every state transition so waiting sessions can watch
+    approval progress the same way they watch push progress.
+    """
+
+    def __init__(self, config, audit=None, clock=None):
+        self.config = config
+        self.audit = audit
+        self.clock = clock
+        self.listener = None
+        self.requests = {}  # request_id -> ApprovalRequest
+        self._ids = IdAllocator()
+        self._lock = threading.Lock()
+
+    # -- the round ------------------------------------------------------------
+
+    def require(self, actor, changes, risk):
+        """Open a request for ``actor``'s change set; state ``proposed``."""
+        with self._lock:
+            request_id = self._ids.allocate("APPROVAL")
+        request = ApprovalRequest(
+            request_id=request_id,
+            actor=actor,
+            fingerprint=change_fingerprint(changes),
+            risk=risk,
+            change_count=len(list(changes)),
+        )
+        with self._lock:
+            self.requests[request_id] = request
+        _REQUESTED.inc()
+        self._transition(
+            request, PROPOSED,
+            detail=risk.summary() if risk is not None else "",
+        )
+        self._audit(
+            request, action="approvals.proposed", allowed=True,
+            command=f"propose {request.request_id}: "
+                    f"{request.change_count} changes; "
+                    f"{risk.summary() if risk is not None else 'no score'}",
+            outcome="awaiting quorum "
+                    f"{self.config.quorum}/{len(self.config.approvers)}",
+        )
+        return request
+
+    def collect(self, request):
+        """Run the vote round to a terminal state; returns the request.
+
+        Every responsive approver votes (per ``config.votes``; the
+        ``approvals.approver.crash`` fault makes one abstain). A clean
+        quorum approves; conflicting votes go to mediation; a vetoed or
+        unresponsive round denies — unless the configured break-glass
+        actor overrides the timeout, audited and flagged.
+        """
+        with obs_trace.span(
+            "approvals.collect", request=request.request_id,
+            approvers=len(self.config.approvers), quorum=self.config.quorum,
+        ) as span:
+            try:
+                _TIMEOUT_FAULT.fire(request=request.request_id)
+            except ApprovalTimeout:
+                request.timed_out = True
+            if not request.timed_out:
+                self._gather_votes(request)
+            self._decide(request)
+            span.set(state=request.state, break_glass=request.break_glass)
+        return request
+
+    def break_glass(self, request, actor, justification=""):
+        """Override a non-granted request; granted but indelibly flagged."""
+        request.break_glass = True
+        request.reason = (
+            f"break-glass override by {actor}: "
+            f"{justification or 'no justification'}"
+        )
+        _BREAK_GLASS.inc()
+        self._audit(
+            request, action="approvals.break_glass", allowed=True,
+            actor=actor,
+            command=f"break-glass {request.request_id}: "
+                    f"{justification or 'no justification'}",
+            outcome="override granted; flagged for review",
+        )
+        self._finish(request, APPROVED)
+        return request
+
+    # -- internals ------------------------------------------------------------
+
+    def _gather_votes(self, request):
+        for approver in self.config.approvers:
+            try:
+                _APPROVER_CRASH_FAULT.fire(
+                    request=request.request_id, approver=approver,
+                )
+            except ApproverCrash:
+                request.crashed.append(approver)
+                continue
+            verdict = self.config.votes.get(approver, "approve")
+            request.votes[approver] = verdict
+            _VOTES.inc()
+            self._audit(
+                request, action="approvals.vote",
+                allowed=verdict == "approve", actor=approver,
+                command=f"vote {verdict} on {request.request_id}",
+                outcome=verdict,
+            )
+
+    def _decide(self, request):
+        approvals = sum(
+            1 for verdict in request.votes.values() if verdict == "approve"
+        )
+        rejections = len(request.votes) - approvals
+        quorum = self.config.quorum
+
+        if request.timed_out or approvals + rejections == 0:
+            self._timeout(request)
+            return
+        if approvals >= quorum and rejections == 0:
+            request.reason = f"quorum {approvals}/{quorum} approved"
+            self._finish(request, APPROVED)
+            return
+        if approvals > 0 and rejections > 0:
+            self._mediate(request, approvals, rejections)
+            return
+        if rejections > 0:
+            request.reason = (
+                "vetoed by "
+                + ",".join(sorted(
+                    who for who, verdict in request.votes.items()
+                    if verdict != "approve"
+                ))
+            )
+            self._finish(request, REJECTED)
+            return
+        # Some approvals but below quorum (the rest crashed): the round
+        # can never reach M-of-N — that is a quorum timeout.
+        self._timeout(request)
+
+    def _mediate(self, request, approvals, rejections):
+        """Conflicting votes: the mediator resolves by majority; tie denies."""
+        request.state = MEDIATED
+        _MEDIATED.inc()
+        self._transition(
+            request, MEDIATED,
+            detail=f"{approvals} approve vs {rejections} reject",
+        )
+        upheld = approvals >= self.config.quorum and approvals > rejections
+        request.reason = (
+            f"mediated: {approvals} approve vs {rejections} reject -> "
+            f"{'upheld' if upheld else 'denied'}"
+        )
+        self._audit(
+            request, action="approvals.mediation",
+            allowed=upheld, actor=self.config.mediator,
+            command=f"mediate {request.request_id}: "
+                    f"{approvals} approve vs {rejections} reject",
+            outcome=request.reason,
+        )
+        self._finish(request, APPROVED if upheld else REJECTED)
+
+    def _timeout(self, request):
+        """Quorum unreachable: charge the timeout, then deny (or break glass)."""
+        request.timed_out = True
+        _TIMEOUTS.inc()
+        if self.clock is not None:
+            self.clock.advance(
+                self.config.timeout_s, step="approval timeout"
+            )
+        if self.config.break_glass_actor:
+            self.break_glass(
+                request, self.config.break_glass_actor,
+                justification="quorum timeout",
+            )
+            return
+        request.reason = (
+            f"quorum timeout after {self.config.timeout_s:g}s: "
+            f"denied by default"
+        )
+        self._finish(request, REJECTED)
+
+    def _finish(self, request, state):
+        request.state = state
+        (_GRANTED if state == APPROVED else _DENIED).inc()
+        self._transition(request, state, detail=request.reason)
+        self._audit(
+            request, action="approvals.decision", allowed=request.granted,
+            command=f"decide {request.request_id}: {request.summary()}",
+            outcome=request.state,
+        )
+
+    def _transition(self, request, state, detail=""):
+        request.history.append(state)
+        listener = self.listener
+        if listener is None:
+            return
+        listener({
+            "actor": request.actor,
+            "request_id": request.request_id,
+            "state": state,
+            "votes": dict(request.votes),
+            "crashed": list(request.crashed),
+            "quorum": self.config.quorum,
+            "approvers": len(self.config.approvers),
+            "break_glass": request.break_glass,
+            "detail": detail,
+        })
+
+    def _audit(self, request, action, allowed, command, outcome, actor=None):
+        if self.audit is None:
+            return
+        self.audit.record(
+            actor=actor if actor is not None else request.actor,
+            device="-",
+            command=command,
+            action=action,
+            resource=f"approval:{request.request_id}",
+            allowed=allowed,
+            outcome=outcome,
+        )

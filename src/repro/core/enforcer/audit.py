@@ -24,13 +24,56 @@ import threading
 from dataclasses import dataclass, field, replace
 
 from repro import faults
+from repro.obs import metrics as obs_metrics
 from repro.obs.trace import current_ids
-from repro.util.errors import AuditWriteError
+from repro.util.errors import (
+    AuditQuorumError,
+    AuditReplicaCrash,
+    AuditReplicaPartition,
+    AuditReplicaTamper,
+    AuditWriteError,
+)
 
 _APPEND_FAULT = faults.fault_point(
     "audit.append", error=AuditWriteError,
     help="the audit trail cannot be extended; dependent commits fail "
          "closed (the push rolls back rather than going unrecorded)",
+)
+_REPLICA_CRASH_FAULT = faults.fault_point(
+    "audit.replica.crash", error=AuditReplicaCrash,
+    help="one audit replica dies permanently; it misses this and every "
+         "later append, and quorum must hold without it",
+)
+_REPLICA_TAMPER_FAULT = faults.fault_point(
+    "audit.replica.tamper", error=AuditReplicaTamper,
+    help="an attacker rewrites one replica's newest record without its "
+         "key; that replica's own HMAC chain breaks and cross-checking "
+         "flags it",
+)
+_REPLICA_PARTITION_FAULT = faults.fault_point(
+    "audit.replica.partition", error=AuditReplicaPartition,
+    help="one replica misses a single append (network partition); its "
+         "chain stays self-consistent but diverges from the majority "
+         "content",
+)
+
+_REPLICA_APPENDS = obs_metrics.counter(
+    "audit.replica.appends", unit="records",
+    help="per-replica appends fanned out by the replicated audit trail",
+)
+_REPLICA_FLAGGED = obs_metrics.counter(
+    "audit.replica.flagged", unit="replicas",
+    help="replicas flagged by a cross-check (broken chain, diverged or "
+         "stale content)",
+)
+_REPLICA_QUORUM_LOST = obs_metrics.counter(
+    "audit.replica.quorum_lost", unit="operations",
+    help="appends or reads refused because no quorum of agreeing "
+         "replicas remained (fail closed)",
+)
+_REPLICA_LIVE = obs_metrics.gauge(
+    "audit.replica.live", unit="replicas",
+    help="replicas still accepting appends",
 )
 
 
@@ -88,14 +131,20 @@ _GENESIS_MAC = "0" * 64
 
 @dataclass
 class AuditTrail:
-    """An append-only, HMAC-chained action log."""
+    """An append-only, HMAC-chained action log.
+
+    ``key_id`` names the enclave-sealed chain key; replicas of a
+    :class:`ReplicatedAuditTrail` each use a distinct id, so compromising
+    one replica's key forges nothing on the others.
+    """
 
     enclave: object
     clock: object = None  # SimulatedClock | None
     records: list = field(default_factory=list)
+    key_id: str = "audit-trail"
 
     def __post_init__(self):
-        self._key = self.enclave.seal_key("audit-trail")
+        self._key = self.enclave.seal_key(self.key_id)
         # record() chains each MAC over the previous record's; two appends
         # interleaving would fork the chain (both covering the same
         # prev_mac), so the read-extend-append is one critical section.
@@ -222,3 +271,406 @@ class AuditTrail:
 
     def __len__(self):
         return len(self.records)
+
+
+# -- replication --------------------------------------------------------------
+
+
+def _content_key(record):
+    """What replicas must agree on: everything except the per-replica chain
+    fields (``prev_mac``/``mac`` legitimately differ — each replica chains
+    under its own sealed key)."""
+    return (
+        record.index, record.timestamp, record.actor, record.device,
+        record.command, record.action, record.resource, record.allowed,
+        record.outcome, record.trace_id, record.span_id,
+    )
+
+
+@dataclass(frozen=True)
+class ReplicaVerdict:
+    """One cross-check's quorum verdict.
+
+    ``status`` is ``"intact"`` (every replica live, self-valid, and
+    content-identical), ``"degraded"`` (a minority is flagged but a quorum
+    of agreeing replicas remains — serve and alert), or ``"lost"`` (no
+    quorum — every dependent read and append fails closed).
+    """
+
+    status: str
+    quorum: int
+    agreeing: int
+    replicas: int
+    reference: int  # index of the replica whose content is served
+    flagged: tuple  # (replica index, reason) pairs
+
+    @property
+    def ok(self):
+        return self.status != "lost"
+
+    def summary(self):
+        flagged = (
+            "; flagged: " + ", ".join(
+                f"replica {index} ({reason})" for index, reason in self.flagged
+            )
+            if self.flagged else ""
+        )
+        return (
+            f"{self.status}: {self.agreeing}/{self.replicas} replicas agree "
+            f"(quorum {self.quorum}){flagged}"
+        )
+
+
+class ReplicatedAuditTrail:
+    """N independent HMAC chains behind one trail interface.
+
+    Every append fans out to all live replicas; each replica chains under
+    its *own* enclave-sealed key (``audit-replica-<i>``), so tampering with
+    one replica — even rewriting a record in place — breaks that replica's
+    own chain and is caught by :meth:`cross_check`, which quorum-votes the
+    replicas' content. Reads serve the majority content while a quorum of
+    agreeing replicas remains (flagging the minority); once quorum is lost,
+    reads and appends raise
+    :class:`~repro.util.errors.AuditQuorumError` — the trail fails closed
+    exactly like a single wedged :class:`AuditTrail` does.
+
+    The three ``audit.replica.*`` fault points inject the failure modes the
+    ``approvals`` chaos campaign exercises: permanent replica crashes,
+    in-place tampering, and single-append partitions.
+    """
+
+    def __init__(self, enclave, clock=None, replicas=3, quorum=None):
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.enclave = enclave
+        self.clock = clock
+        self.quorum = quorum if quorum is not None else replicas // 2 + 1
+        if not 1 <= self.quorum <= replicas:
+            raise ValueError(
+                f"quorum {self.quorum} outside 1..{replicas} replicas"
+            )
+        self.replicas = [
+            AuditTrail(enclave, clock=clock, key_id=f"audit-replica-{i}")
+            for i in range(replicas)
+        ]
+        self._down = set()  # replica indices that crashed permanently
+        self._lock = threading.Lock()
+        _REPLICA_LIVE.set(replicas)
+
+    # -- writing --------------------------------------------------------------
+
+    def record(self, actor, device, command, action, resource, allowed,
+               outcome=""):
+        """Fan one append out to every live replica; returns the reference
+        replica's sealed record.
+
+        Raises:
+            AuditQuorumError: fewer than ``quorum`` replicas accepted the
+                append. Dependent commits fail closed (the error subclasses
+                :class:`~repro.util.errors.AuditWriteError`).
+        """
+        with self._lock:
+            entry = None
+            appended = 0
+            for index, replica in enumerate(self.replicas):
+                if index in self._down:
+                    continue
+                try:
+                    _REPLICA_CRASH_FAULT.fire(replica=index, action=action)
+                except AuditReplicaCrash:
+                    self._down.add(index)
+                    continue
+                try:
+                    _REPLICA_PARTITION_FAULT.fire(replica=index, action=action)
+                except AuditReplicaPartition:
+                    # Missed append: the replica stays live and self-valid
+                    # but its content silently diverges from here on.
+                    continue
+                tampered = False
+                try:
+                    _REPLICA_TAMPER_FAULT.fire(replica=index, action=action)
+                except AuditReplicaTamper:
+                    tampered = True
+                try:
+                    written = replica.record(
+                        actor=actor, device=device, command=command,
+                        action=action, resource=resource, allowed=allowed,
+                        outcome=outcome,
+                    )
+                except AuditWriteError:
+                    # The shared audit.append fault (or a genuinely wedged
+                    # replica): this replica missed the append.
+                    continue
+                if tampered:
+                    self._tamper(replica)
+                    continue  # a tampered replica no longer counts
+                entry = entry if entry is not None else written
+                appended += 1
+            _REPLICA_APPENDS.inc(appended)
+            _REPLICA_LIVE.set(len(self.replicas) - len(self._down))
+            if appended < self.quorum:
+                _REPLICA_QUORUM_LOST.inc()
+                raise AuditQuorumError(
+                    f"append reached {appended} of {len(self.replicas)} "
+                    f"replicas; quorum is {self.quorum} — failing closed"
+                )
+        return entry
+
+    @staticmethod
+    def _tamper(replica):
+        """Rewrite the replica's newest record in place, keeping its MAC.
+
+        This is the attacker model: content changed *without* the sealed
+        key, so the record's MAC no longer covers its canonical bytes and
+        the replica's own chain verification breaks right there.
+        """
+        if not replica.records:
+            return
+        newest = replica.records[-1]
+        replica.records[-1] = replace(
+            newest, outcome=(newest.outcome + " [tampered]").strip()
+        )
+
+    # -- verification ---------------------------------------------------------
+
+    def cross_check(self):
+        """Quorum-vote the replicas; returns a :class:`ReplicaVerdict`.
+
+        A replica counts toward the quorum only when it is live, its own
+        HMAC chain verifies, and its content (MAC fields excluded) is
+        identical to the reference content — the content shared by the
+        largest such group (ties: longest history, then lowest index).
+        Everything else is flagged with a reason.
+        """
+        states = []
+        for index, replica in enumerate(self.replicas):
+            content = tuple(_content_key(r) for r in replica.records)
+            states.append({
+                "index": index,
+                "live": index not in self._down,
+                "valid": replica.verify(),
+                "content": content,
+            })
+        groups = {}
+        for state in states:
+            if state["live"] and state["valid"]:
+                groups.setdefault(state["content"], []).append(state["index"])
+        if groups:
+            reference_content, members = max(
+                groups.items(),
+                key=lambda item: (len(item[1]), len(item[0]), -item[1][0]),
+            )
+        else:
+            reference_content, members = (), []
+
+        flagged = []
+        for state in states:
+            if state["index"] in members:
+                continue
+            if not state["live"]:
+                reason = f"crashed at {len(state['content'])} records"
+            elif not state["valid"]:
+                broken = self._first_broken(self.replicas[state["index"]])
+                reason = f"chain broken at record {broken}"
+            elif (
+                state["content"] == reference_content[:len(state["content"])]
+            ):
+                reason = f"stale at {len(state['content'])} records"
+            else:
+                diverged = next(
+                    (
+                        i for i, (a, b) in enumerate(
+                            zip(state["content"], reference_content)
+                        )
+                        if a != b
+                    ),
+                    min(len(state["content"]), len(reference_content)),
+                )
+                reason = f"diverged at record {diverged}"
+            flagged.append((state["index"], reason))
+
+        agreeing = len(members)
+        if agreeing < self.quorum:
+            status = "lost"
+        elif flagged:
+            status = "degraded"
+        else:
+            status = "intact"
+        if flagged:
+            _REPLICA_FLAGGED.inc(len(flagged))
+        return ReplicaVerdict(
+            status=status,
+            quorum=self.quorum,
+            agreeing=agreeing,
+            replicas=len(self.replicas),
+            reference=members[0] if members else -1,
+            flagged=tuple(flagged),
+        )
+
+    @staticmethod
+    def _first_broken(replica):
+        """Index of the first record failing the replica's own chain."""
+        return first_broken_record(
+            [record.to_dict() for record in replica.records], replica._key
+        )
+
+    def verify(self):
+        """Whether a quorum of agreeing, self-valid replicas remains."""
+        return self.cross_check().ok
+
+    # -- reading (majority content) -------------------------------------------
+
+    def _reference(self):
+        verdict = self.cross_check()
+        if not verdict.ok:
+            _REPLICA_QUORUM_LOST.inc()
+            raise AuditQuorumError(
+                f"audit read refused: {verdict.summary()}"
+            )
+        return self.replicas[verdict.reference]
+
+    @property
+    def records(self):
+        """The majority content (raises once quorum is lost)."""
+        return self._reference().records
+
+    def query(self, device=None, actor=None, allowed=None, action_prefix=None):
+        return self._reference().query(
+            device=device, actor=actor, allowed=allowed,
+            action_prefix=action_prefix,
+        )
+
+    def denied(self):
+        return self.query(allowed=False)
+
+    def export(self):
+        return self._reference().export()
+
+    def anchor(self):
+        """The reference replica's ``(length, head_mac)`` commitment."""
+        return self._reference().anchor()
+
+    def __len__(self):
+        return len(self._reference().records)
+
+
+# -- offline verification (the CLI's `audit verify`) --------------------------
+
+
+def derive_chain_key(measurement, key_id):
+    """Re-derive a chain key from an attested enclave measurement.
+
+    Mirrors :meth:`~repro.core.enforcer.enclave.SimulatedEnclave.seal_key`:
+    the customer holds the measurement from attestation, never the key
+    itself, and a tampered build derives a different key.
+    """
+    return hmac_module.new(
+        measurement.encode(), key_id.encode(), hashlib.sha256
+    ).digest()
+
+
+def first_broken_record(records, key):
+    """The first exported record whose MAC link fails, or ``None``.
+
+    ``records`` are :meth:`AuditRecord.to_dict` exports — ``prev_mac`` is
+    deliberately absent there, so the link is rebuilt from the previous
+    record's ``mac`` (record 0 chains from the genesis MAC).
+    """
+    prev_mac = _GENESIS_MAC
+    for position, exported in enumerate(records):
+        if exported["index"] != position:
+            return position
+        entry = AuditRecord(
+            index=exported["index"],
+            timestamp=exported["timestamp"],
+            actor=exported["actor"],
+            device=exported["device"],
+            command=exported["command"],
+            action=exported["action"],
+            resource=exported["resource"],
+            allowed=exported["allowed"],
+            outcome=exported["outcome"],
+            prev_mac=prev_mac,
+            trace_id=exported.get("trace_id", ""),
+            span_id=exported.get("span_id", ""),
+        )
+        expected = hmac_module.new(
+            key, entry.canonical(), hashlib.sha256
+        ).hexdigest()
+        if not hmac_module.compare_digest(exported["mac"], expected):
+            return position
+        prev_mac = exported["mac"]
+    return None
+
+
+def export_chains(trail):
+    """A JSON-ready export of every chain (single trail or replicated).
+
+    Carries the enclave measurement and each chain's ``key_id``, which is
+    everything :func:`verify_export` needs to re-derive keys and re-walk
+    the MAC links offline.
+    """
+    if isinstance(trail, ReplicatedAuditTrail):
+        chains = trail.replicas
+        quorum = trail.quorum
+    else:
+        chains = [trail]
+        quorum = 1
+    return {
+        "measurement": trail.enclave.measurement,
+        "quorum": quorum,
+        "replicas": [
+            {
+                "key_id": chain.key_id,
+                "records": [record.to_dict() for record in chain.records],
+            }
+            for chain in chains
+        ],
+    }
+
+
+def verify_export(payload):
+    """Offline verification of an :func:`export_chains` payload.
+
+    Walks every chain under its re-derived key, reports the first broken
+    MAC link per replica, and quorum-votes the intact chains' content.
+    Returns a dict with per-replica verdicts and the overall ``status``
+    (``intact`` / ``degraded`` / ``lost`` — single chains are ``intact``
+    or ``lost``).
+    """
+    measurement = payload["measurement"]
+    quorum = payload.get("quorum", 1)
+    replicas = []
+    groups = {}
+    for index, chain in enumerate(payload["replicas"]):
+        key = derive_chain_key(measurement, chain["key_id"])
+        broken = first_broken_record(chain["records"], key)
+        content = tuple(
+            (
+                r["index"], r["timestamp"], r["actor"], r["device"],
+                r["command"], r["action"], r["resource"], r["allowed"],
+                r["outcome"], r.get("trace_id", ""), r.get("span_id", ""),
+            )
+            for r in chain["records"]
+        )
+        replicas.append({
+            "key_id": chain["key_id"],
+            "records": len(chain["records"]),
+            "first_broken": broken,
+            "intact": broken is None,
+        })
+        if broken is None:
+            groups.setdefault(content, []).append(index)
+    agreeing = max((len(members) for members in groups.values()), default=0)
+    if agreeing < quorum:
+        status = "lost"
+    elif agreeing == len(payload["replicas"]):
+        status = "intact"
+    else:
+        status = "degraded"
+    return {
+        "status": status,
+        "quorum": quorum,
+        "agreeing": agreeing,
+        "replicas": replicas,
+    }

@@ -38,8 +38,8 @@ ROLLED_BACK = "rolled-back"
 class JournalEntry:
     """One append-only journal record."""
 
-    # intent | batch-start | batch-committed | batch-restored | done
-    # | rolled-back | wave-start | probe | wave-committed | quarantine
+    # intent | approval | batch-start | batch-committed | batch-restored
+    # | done | rolled-back | wave-start | probe | wave-committed | quarantine
     kind: str
     batch_index: int = None
     detail: str = ""
@@ -79,6 +79,11 @@ class PushJournal:
             else None
         )
         self.rollout = rollout  # the RolloutConfig, for resume()
+        # Quorum-approval marker (repro.core.approvals): set once, right
+        # after intent, when the push carries a granted high-risk approval.
+        # resume() never re-runs the approval round — the marker is the
+        # durable proof the round already concluded before any mutation.
+        self.approval_id = None
         self.devices = sorted(
             {change.device for batch in self.batches for change in batch}
         )
@@ -100,6 +105,17 @@ class PushJournal:
         )
 
     # -- markers (written by the pusher) -------------------------------------
+
+    def mark_approval(self, approval_id):
+        """Record the granted quorum approval this push runs under.
+
+        Written after ``intent`` and before the first ``batch-start``, so a
+        crash anywhere past this point resumes *without* re-requesting
+        approvals: the grant already covered this exact change set.
+        """
+        self._require_in_flight()
+        self.approval_id = approval_id
+        self.entries.append(JournalEntry("approval", detail=approval_id))
 
     def mark_batch_start(self, index, production):
         """Record that batch ``index`` is about to mutate production."""
@@ -245,6 +261,7 @@ class PushJournal:
                 for batch in self.batches
             ],
             "committed": sorted(self.committed),
+            "approval_id": self.approval_id,
             "entries": [
                 {
                     "kind": entry.kind,

@@ -1,0 +1,166 @@
+"""Risk classification for pending change sets.
+
+Not every verified change deserves a human quorum: a management banner
+tweak and an ACL rewrite on a policy enforcement point are different
+animals. The classifier scores a session's pending change set on two
+signals and flags it *high-risk* when the score crosses a configurable
+threshold, at which point the approvals state machine
+(:mod:`repro.core.approvals`) takes over and the scheduler refuses to push
+without a granted quorum.
+
+The two signals:
+
+1. **Config-section proximity to invariant policies** — each change is
+   weighted by how close its config section sits to what the mined
+   policies actually enforce. ACL changes score highest (they *are* the
+   enforcement mechanism for isolation policies), routing/VLAN/L2 changes
+   medium (they move traffic across policy paths), interface state lower,
+   management and credential state lowest (invisible to the dataplane).
+2. **Invalidation-cone size** — the fraction of the network the change
+   set can influence, judged by :func:`repro.control.deps.wave_cone` on
+   the production dataplane. A change whose cone covers half the estate is
+   riskier than the same section edit with a single-device cone, so the
+   section score is scaled by ``1 + cone_weight * cone_fraction``.
+
+Scores are deterministic functions of the change set and the production
+snapshot — same ticket, same score, run to run.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.control import deps
+from repro.control.builder import build_dataplane
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+_RISK_SCORE = obs_metrics.histogram(
+    "enforcer.risk.score", unit="points",
+    help="risk score distribution over assessed change sets",
+)
+_RISK_HIGH = obs_metrics.counter(
+    "enforcer.risk.high", unit="change-sets",
+    help="change sets classified high-risk (quorum approval required)",
+)
+
+# Config-section proximity weights (signal 1). ACLs are the policy
+# enforcement mechanism itself; routing/vlan/l2 steer traffic across
+# policy paths; interface state can silence a path; mgmt/credential state
+# never reaches the dataplane.
+DEFAULT_WEIGHTS = {
+    "acl": 3.0,
+    "routing": 2.0,
+    "vlan": 2.0,
+    "l2": 2.0,
+    "interface": 1.0,
+    "credential": 0.5,
+    "mgmt": 0.25,
+}
+
+
+@dataclass(frozen=True)
+class RiskConfig:
+    """Knobs for the classifier.
+
+    ``threshold`` is the high-risk cut-off on the final score;
+    ``weights`` overrides the per-category section weights;
+    ``cone_weight`` scales how much the invalidation-cone fraction
+    amplifies the section score (0 disables signal 2).
+    """
+
+    threshold: float = 3.0
+    weights: dict = field(default_factory=dict)
+    cone_weight: float = 1.0
+
+    def weight(self, category):
+        if category in self.weights:
+            return self.weights[category]
+        return DEFAULT_WEIGHTS.get(category, 1.0)
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    """The classifier's verdict on one change set."""
+
+    score: float
+    threshold: float
+    section_score: float
+    cone: tuple  # devices the change set can influence, sorted
+    cone_fraction: float
+    reasons: tuple  # human-readable contributions, largest first
+
+    @property
+    def high(self):
+        return self.score >= self.threshold
+
+    def summary(self):
+        level = "HIGH" if self.high else "low"
+        return (
+            f"risk {level}: score {self.score:.2f} "
+            f"(threshold {self.threshold:.2f}), cone "
+            f"{len(self.cone)} devices ({self.cone_fraction:.0%})"
+        )
+
+
+class RiskClassifier:
+    """Scores change sets for the approvals gate."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else RiskConfig()
+
+    def assess(self, production, changes):
+        """Score ``changes`` against ``production``; returns a
+        :class:`RiskAssessment`.
+
+        The production dataplane comes from the process-wide compile cache
+        (the verifier just built it for this very snapshot), so the cone
+        computation adds no compile work to the enforce path.
+        """
+        changes = list(changes)
+        config = self.config
+        with obs_trace.span("enforcer.risk", changes=len(changes)) as span:
+            by_category = {}
+            for change in changes:
+                by_category.setdefault(change.category, []).append(change)
+            section_score = 0.0
+            reasons = []
+            for category in sorted(
+                by_category, key=lambda c: -config.weight(c)
+            ):
+                weight = config.weight(category)
+                count = len(by_category[category])
+                section_score += weight * count
+                reasons.append(
+                    f"{count} {category} change{'s' if count != 1 else ''} "
+                    f"x {weight:g}"
+                )
+
+            if changes and config.cone_weight:
+                plane = build_dataplane(production, use_cache=True)
+                devices = {change.device for change in changes}
+                cone = deps.wave_cone(plane, devices, changes)
+                total = max(1, len(production.configs))
+                cone_fraction = len(cone) / total
+            else:
+                cone, cone_fraction = frozenset(), 0.0
+            score = section_score * (
+                1.0 + config.cone_weight * cone_fraction
+            )
+            if cone_fraction:
+                reasons.append(
+                    f"invalidation cone {len(cone)}/"
+                    f"{len(production.configs)} devices"
+                )
+
+            assessment = RiskAssessment(
+                score=round(score, 4),
+                threshold=config.threshold,
+                section_score=round(section_score, 4),
+                cone=tuple(sorted(cone)),
+                cone_fraction=round(cone_fraction, 4),
+                reasons=tuple(reasons),
+            )
+            _RISK_SCORE.observe(assessment.score)
+            if assessment.high:
+                _RISK_HIGH.inc()
+            span.set(score=assessment.score, high=assessment.high)
+        return assessment

@@ -58,6 +58,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.util.errors import (
     ApplyError,
+    ApprovalRequiredError,
     AuditWriteError,
     CircuitOpenError,
     FatalApplyError,
@@ -189,7 +190,8 @@ class ChangeScheduler:
 
     def push(self, production, changes, policy_verifier=None,
              invariant_policy_ids=None, batches=None, audit=None,
-             actor="enforcer", clock=None, rollout=None):
+             actor="enforcer", clock=None, rollout=None, risk=None,
+             approval=None):
         """Apply ``changes`` to ``production`` batch by batch, atomically.
 
         The push journals its intent and a pre-push snapshot first, then
@@ -227,11 +229,40 @@ class ChangeScheduler:
                 wave, per-device circuit breakers, quarantine + full
                 rollback on wave failure. ``None`` (default) keeps the
                 monolithic transactional behaviour.
+            risk: the change set's
+                :class:`~repro.core.enforcer.risk.RiskAssessment`; a
+                high-risk assessment makes ``approval`` mandatory.
+            approval: the granted
+                :class:`~repro.core.approvals.ApprovalRequest` covering
+                exactly this change set.
 
         Returns:
             A :class:`PushReport`; ``report.status`` is ``committed`` or
             ``rolled-back`` — there is no third outcome.
+
+        Raises:
+            ApprovalRequiredError: ``risk`` is high and ``approval`` is
+                missing, not granted, or bound to a different change set.
+                Raised *before* the journal exists — nothing was mutated,
+                the push fails closed.
         """
+        if risk is not None and risk.high:
+            if approval is None:
+                raise ApprovalRequiredError(
+                    f"high-risk change set (score {risk.score:.2f} >= "
+                    f"{risk.threshold:.2f}) has no quorum approval; "
+                    f"refusing to push"
+                )
+            if not approval.granted:
+                raise ApprovalRequiredError(
+                    f"approval {approval.request_id} is "
+                    f"{approval.state}, not granted; refusing to push"
+                )
+            if not approval.covers(changes):
+                raise ApprovalRequiredError(
+                    f"approval {approval.request_id} covers a different "
+                    f"change set; refusing to push"
+                )
         scheduled = batches if batches is not None else self.schedule(changes)
         with self._counter_lock:
             self._push_counter += 1
@@ -250,10 +281,13 @@ class ChangeScheduler:
                 production, scheduled, push_id, rollout,
                 policy_verifier=policy_verifier,
                 invariants=invariants, audit=audit, actor=actor, clock=clock,
+                approval=approval,
             )
 
         report = PushReport(batches=scheduled)
         journal = PushJournal(push_id, report.batches, production)
+        if approval is not None:
+            journal.mark_approval(approval.request_id)
         self.last_journal = journal
         report.journal = journal
         with obs_trace.span(
@@ -297,7 +331,7 @@ class ChangeScheduler:
 
     def _push_staged(self, production, scheduled, push_id, rollout,
                      policy_verifier=None, invariants=None, audit=None,
-                     actor="enforcer", clock=None):
+                     actor="enforcer", clock=None, approval=None):
         """The wave-based canary push (docs/ARCHITECTURE.md "Staged rollout").
 
         Same two-state outcome contract as the monolithic push; the journal
@@ -312,6 +346,8 @@ class ChangeScheduler:
             wave_plan=plan.wave_plan(), invariant_policies=invariants,
             rollout=rollout,
         )
+        if approval is not None:
+            journal.mark_approval(approval.request_id)
         self.last_journal = journal
         report.journal = journal
         with obs_trace.span(
@@ -836,6 +872,12 @@ class ChangeScheduler:
         batch, then re-applies every batch without a commit marker, in
         order. Applying resume() to an already-terminal journal raises —
         recovery never double-commits.
+
+        Approvals are deliberately **not** re-requested here: a journal
+        carrying an ``approval`` marker proves the quorum round concluded
+        (granted) before the first mutation, and the grant is bound to the
+        journal's exact change set — replaying those batches is what the
+        quorum approved.
 
         Staged pushes (a journal with a ``wave_plan``) resume at wave
         granularity: waves with a ``wave-committed`` marker were applied

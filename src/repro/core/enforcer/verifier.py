@@ -58,6 +58,12 @@ class EnforcementDecision:
     candidate_report: object = None
     impact: object = None  # ReachabilityDiff: the change set's blast radius
     push_report: object = None  # PushReport once the import ran (or rolled back)
+    # Quorum-approval outcome (None unless the deployment runs approvals):
+    # the RiskAssessment that scored the change set, and the
+    # ApprovalRequest when the score crossed the high-risk threshold. An
+    # approved decision whose approval was denied is never pushed.
+    risk: object = None
+    approval: object = None
 
     def invariant_policy_ids(self):
         """Policies holding both before and after the full change set.

@@ -19,8 +19,10 @@ way carries that trace's id (see docs/OBSERVABILITY.md).
 from dataclasses import dataclass, field
 
 from repro.control.builder import build_dataplane
-from repro.core.enforcer.audit import AuditTrail
+from repro.core.approvals import ApprovalCoordinator
+from repro.core.enforcer.audit import AuditTrail, ReplicatedAuditTrail
 from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.enforcer.risk import RiskClassifier
 from repro.core.enforcer.scheduler import ChangeScheduler
 from repro.core.enforcer.verifier import ChangeVerifier
 from repro.core.privilege.generator import (
@@ -81,7 +83,8 @@ class Heimdall:
     """
 
     def __init__(self, production, policies=None, scoping_strategy="heimdall",
-                 clock=None, cost_model=None, max_workers=None, rollout=None):
+                 clock=None, cost_model=None, max_workers=None, rollout=None,
+                 approvals=None, audit_replicas=0, audit_quorum=None):
         self.production = production
         self.policies = (
             list(policies) if policies is not None else mine_policies(production)
@@ -95,8 +98,29 @@ class Heimdall:
         self.clock = clock if clock is not None else SimulatedClock()
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.enclave = SimulatedEnclave()
-        self.audit = AuditTrail(self.enclave, clock=self.clock)
+        # audit_replicas >= 1 replaces the single chain with a replicated
+        # trail: N independent HMAC chains, quorum-voted reads, fail-closed
+        # appends (docs/ROBUSTNESS.md "Approvals & replicated tamper
+        # evidence").
+        if audit_replicas:
+            self.audit = ReplicatedAuditTrail(
+                self.enclave, clock=self.clock, replicas=audit_replicas,
+                quorum=audit_quorum,
+            )
+        else:
+            self.audit = AuditTrail(self.enclave, clock=self.clock)
         self.scheduler = ChangeScheduler()
+        # An ApprovalConfig turns on the high-risk quorum gate: enforce()
+        # scores every approved change set and routes over-threshold ones
+        # through the approvals state machine before the push.
+        if approvals is not None:
+            self.approvals = ApprovalCoordinator(
+                approvals, audit=self.audit, clock=self.clock
+            )
+            self.risk_classifier = RiskClassifier(config=approvals.risk)
+        else:
+            self.approvals = None
+            self.risk_classifier = None
         self._ids = IdAllocator()
 
     # -- workflow step 1+2: privilege and twin -------------------------------
@@ -167,12 +191,20 @@ class Heimdall:
     def enforce(self, session):
         """Verify the twin's change set and import approved changes.
 
+        With an approvals configuration, verifier-approved change sets are
+        additionally risk-scored; high-risk sets must win an M-of-N quorum
+        round (:mod:`repro.core.approvals`) before the scheduler will push
+        them. A denied round leaves the decision's ``approval`` in its
+        rejected state and imports nothing — deny by default.
+
         Args:
             session: the :class:`TicketSession` being closed out.
 
         Returns:
             The verifier's
-            :class:`~repro.core.enforcer.verifier.EnforcementDecision`.
+            :class:`~repro.core.enforcer.verifier.EnforcementDecision`
+            (``risk``/``approval`` carry the quorum outcome when the gate
+            ran).
         """
         with obs_trace.span("enforcer.enforce", parent=session.span):
             changes = session.twin.changes()
@@ -194,6 +226,32 @@ class Heimdall:
                 allowed=decision.approved,
                 outcome=decision.summary(),
             )
+            approval = None
+            if decision.approved and changes and self.approvals is not None:
+                decision.risk = self.risk_classifier.assess(
+                    self.production, changes
+                )
+                if decision.risk.high:
+                    request = self.approvals.require(
+                        session.session_id, changes, decision.risk
+                    )
+                    decision.approval = self.approvals.collect(request)
+                    if not decision.approval.granted:
+                        # Deny by default: the verifier approved the
+                        # change, but the quorum did not — nothing is
+                        # pushed, and the refusal is on the record.
+                        self.audit.record(
+                            actor=session.session_id,
+                            device="-",
+                            command=f"push refused: "
+                                    f"{decision.approval.summary()}",
+                            action="enforcer.approval",
+                            resource="production",
+                            allowed=False,
+                            outcome="unapproved high-risk change not pushed",
+                        )
+                        return decision
+                    approval = decision.approval
             if decision.approved and changes:
                 with obs_trace.span(
                     "production.import", changes=len(changes)
@@ -218,7 +276,8 @@ class Heimdall:
                     push_report = self.scheduler.push(
                         self.production, changes, batches=batches,
                         audit=self.audit, actor=session.session_id,
-                        clock=self.clock, **rollout_kwargs,
+                        clock=self.clock, risk=decision.risk,
+                        approval=approval, **rollout_kwargs,
                     )
                     decision.push_report = push_report
                     self.clock.advance(

@@ -359,6 +359,12 @@ class SessionManager:
         self._progress_lock = threading.Lock()
         self._push_progress = {}
         heimdall.scheduler.wave_listener = self._on_wave_event
+        # Approval-state progress, same pattern as push progress: the
+        # coordinator fires the listener on every state transition of a
+        # high-risk change's quorum round.
+        self._approval_progress = {}
+        if heimdall.approvals is not None:
+            heimdall.approvals.listener = self._on_approval_event
 
     # -- opening -------------------------------------------------------------
 
@@ -681,4 +687,48 @@ class SessionManager:
             return {
                 actor: dict(record)
                 for actor, record in self._push_progress.items()
+            }
+
+    # -- approval progress -----------------------------------------------------
+
+    def _on_approval_event(self, event):
+        """Approvals listener: record a quorum round's state transition.
+
+        Fires inside the serialized submit body (the coordinator runs
+        under the production lock), mirroring :meth:`_on_wave_event`; the
+        progress lock keeps records consistent for concurrent readers.
+        """
+        with self._progress_lock:
+            record = self._approval_progress.setdefault(
+                event["actor"],
+                {"request_id": event["request_id"], "states": []},
+            )
+            if record["request_id"] != event["request_id"]:
+                # A newer request by the same session supersedes the old.
+                record = {"request_id": event["request_id"], "states": []}
+                self._approval_progress[event["actor"]] = record
+            record["states"].append(event["state"])
+            record["state"] = event["state"]
+            record["votes"] = dict(event["votes"])
+            record["crashed"] = list(event["crashed"])
+            record["quorum"] = event["quorum"]
+            record["approvers"] = event["approvers"]
+            record["break_glass"] = event["break_glass"]
+            record["detail"] = event["detail"]
+
+    def approval_progress(self, session_id=None):
+        """Quorum-approval progress of high-risk submits.
+
+        Returns the approval record for ``session_id`` (``None`` when that
+        session never triggered the high-risk gate), or a dict of all
+        records when no id is given — the same surface
+        :meth:`push_progress` provides for staged pushes.
+        """
+        with self._progress_lock:
+            if session_id is not None:
+                record = self._approval_progress.get(session_id)
+                return dict(record) if record is not None else None
+            return {
+                actor: dict(record)
+                for actor, record in self._approval_progress.items()
             }

@@ -138,6 +138,69 @@ class AuditWriteError(ReproError):
     """The audit trail could not be extended; dependent commits fail closed."""
 
 
+class AuditQuorumError(AuditWriteError):
+    """Fewer audit replicas than the quorum are live and agreeing.
+
+    Raised by :class:`~repro.core.enforcer.audit.ReplicatedAuditTrail` when
+    an append cannot land on a quorum of replicas, or when a read finds no
+    quorum of self-consistent, content-agreeing chains. Subclassing
+    :class:`AuditWriteError` keeps the existing fail-closed semantics: a
+    push whose history cannot be durably witnessed does not commit.
+    """
+
+
+class AuditReplicaError(ReproError):
+    """Base class for injected per-replica audit failures."""
+
+    def __init__(self, message, replica=None):
+        super().__init__(message)
+        self.replica = replica
+
+
+class AuditReplicaCrash(AuditReplicaError):
+    """An audit replica died; it misses this and every later append."""
+
+
+class AuditReplicaTamper(AuditReplicaError):
+    """An attacker rewrote a record on one replica (without its key)."""
+
+
+class AuditReplicaPartition(AuditReplicaError):
+    """An audit replica was partitioned for one append; its chain stays
+    self-consistent but silently diverges from the majority content."""
+
+
+# -- quorum approvals ---------------------------------------------------------
+#
+# High-risk changes need an M-of-N quorum of admin approvals before the
+# scheduler will push them (repro.core.approvals, docs/ROBUSTNESS.md
+# "Approvals & replicated tamper evidence").
+
+
+class ApprovalError(ReproError):
+    """An approval workflow failed or was used incorrectly."""
+
+
+class ApprovalRequiredError(ApprovalError):
+    """A high-risk change set reached the scheduler without a granted
+    quorum approval covering it; the push is refused before any journal
+    or device mutation exists (fail closed)."""
+
+
+class ApprovalTimeout(ApprovalError):
+    """The approval round timed out before quorum (injected via the
+    ``approvals.timeout`` fault point); deny-by-default applies."""
+
+
+class ApproverCrash(ApprovalError):
+    """An approver identity became unresponsive mid-round (injected via
+    the ``approvals.approver.crash`` fault point); it abstains."""
+
+    def __init__(self, message, approver=None):
+        super().__init__(message)
+        self.approver = approver
+
+
 class VerifierWorkerError(ReproError):
     """A parallel verification worker died; the pass degrades to serial."""
 

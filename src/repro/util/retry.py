@@ -46,11 +46,46 @@ class RetryPolicy:
     deadline_s: float = 30.0
     jitter: float = 0.25
 
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts {self.max_attempts} < 1")
+        if self.base_delay_s < 0:
+            raise ValueError(f"base_delay_s {self.base_delay_s} < 0")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                f"max_delay_s {self.max_delay_s} < base_delay_s "
+                f"{self.base_delay_s}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter {self.jitter} outside 0..1")
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s {self.deadline_s} <= 0")
+
+    @property
+    def max_total_delay_s(self):
+        """The worst-case total simulated backoff one operation can accrue.
+
+        The deadline check in :func:`retry_call` refuses any delay that
+        would push the running total past ``deadline_s``, and every single
+        delay is capped at ``max_delay_s`` — so the bound is the smaller
+        of the two budgets.
+        """
+        return min(self.deadline_s, (self.max_attempts - 1) * self.max_delay_s)
+
     def delay_s(self, attempt, rng):
-        """The (jittered) backoff before retry number ``attempt`` (1-based)."""
+        """The (jittered) backoff before retry number ``attempt`` (1-based).
+
+        ``max_delay_s`` is a *hard* cap: jitter is applied before the cap,
+        never on top of it, so no single delay ever exceeds it. (The
+        pre-cap ``delay * (1 + jitter * r)`` keeps the jittered schedule
+        identical to the historical stream wherever the cap is not
+        binding.)
+        """
         delay = min(self.base_delay_s * (2 ** (attempt - 1)), self.max_delay_s)
         if self.jitter:
-            delay += delay * self.jitter * rng.random()
+            delay = min(
+                delay * (1.0 + self.jitter * rng.random()), self.max_delay_s
+            )
         return delay
 
 

@@ -1,0 +1,387 @@
+"""Quorum approvals for high-risk changes (repro.core.approvals).
+
+Covers the state machine in isolation, the scheduler's fail-closed gate,
+crash recovery at the approval boundary (the journal's ``approval`` marker
+proves the quorum round concluded — resume never re-requests it), and the
+Heimdall end-to-end wiring including session-level approval progress.
+"""
+
+import pytest
+
+from repro import faults, obs
+from repro.config.apply import apply_changes
+from repro.config.diffing import ConfigChange, diff_networks
+from repro.config.serializer import serialize_config
+from repro.core.approvals import (
+    APPROVED,
+    MEDIATED,
+    PROPOSED,
+    REJECTED,
+    ApprovalConfig,
+    ApprovalCoordinator,
+    change_fingerprint,
+)
+from repro.core.enforcer.audit import AuditTrail, ReplicatedAuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.enforcer.risk import RiskAssessment, RiskConfig
+from repro.core.enforcer.scheduler import ChangeScheduler
+from repro.core.heimdall import Heimdall
+from repro.core.sessions import SessionManager
+from repro.faults.registry import Rule
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import standard_issues
+from repro.util import rand
+from repro.util.clock import SimulatedClock
+from repro.util.errors import ApprovalRequiredError, PushCrashed
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+CHANGES = [
+    ConfigChange("r1", "interface.ospf_cost", path="Gi0/0", old=None, new=10),
+    ConfigChange("r2", "interface.description", path="Gi0/0",
+                 old=None, new="uplink"),
+]
+
+HIGH_RISK = RiskAssessment(
+    score=5.0, threshold=3.0, section_score=5.0,
+    cone=("r1", "r2"), cone_fraction=0.5, reasons=(),
+)
+
+
+def coordinator(audit=None, clock=None, **config_kwargs):
+    return ApprovalCoordinator(
+        ApprovalConfig(**config_kwargs), audit=audit, clock=clock,
+    )
+
+
+def run_round(coord, changes=CHANGES):
+    request = coord.require("S-0001", changes, HIGH_RISK)
+    return coord.collect(request)
+
+
+class TestFingerprint:
+    def test_order_independent(self):
+        assert change_fingerprint(CHANGES) == (
+            change_fingerprint(list(reversed(CHANGES)))
+        )
+
+    def test_different_change_sets_differ(self):
+        other = CHANGES[:1]
+        assert change_fingerprint(CHANGES) != change_fingerprint(other)
+
+    def test_covers_binds_to_the_exact_set(self):
+        coord = coordinator()
+        request = coord.require("S-0001", CHANGES, HIGH_RISK)
+        assert request.covers(CHANGES)
+        assert not request.covers(CHANGES[:1])
+
+
+class TestStateMachine:
+    def test_clean_quorum_approves(self):
+        request = run_round(coordinator())
+        assert request.state == APPROVED
+        assert request.granted and request.terminal
+        assert request.history == [PROPOSED, APPROVED]
+        assert set(request.votes.values()) == {"approve"}
+        assert "quorum 3/2 approved" in request.reason
+
+    def test_unanimous_veto_rejects(self):
+        votes = {name: "reject" for name in ApprovalConfig().approvers}
+        request = run_round(coordinator(votes=votes))
+        assert request.state == REJECTED
+        assert not request.granted
+        assert "vetoed by" in request.reason
+
+    def test_conflicting_votes_mediate_to_the_majority(self):
+        request = run_round(coordinator(votes={"admin-2": "reject"}))
+        assert request.state == APPROVED
+        assert MEDIATED in request.history
+        assert "mediated: 2 approve vs 1 reject" in request.reason
+
+    def test_mediation_denies_below_quorum(self):
+        request = run_round(
+            coordinator(quorum=3, votes={"admin-2": "reject"})
+        )
+        assert request.state == REJECTED
+        assert MEDIATED in request.history
+
+    def test_timeout_denies_by_default_and_charges_the_clock(self):
+        clock = SimulatedClock()
+        faults.arm({"approvals.timeout": Rule(nth=1)}, seed=7)
+        request = run_round(coordinator(clock=clock, timeout_s=600.0))
+        assert request.state == REJECTED
+        assert request.timed_out
+        assert "denied by default" in request.reason
+        assert clock.now == 600.0
+
+    def test_unresponsive_quorum_times_out(self):
+        faults.arm(
+            {"approvals.approver.crash": Rule(probability=1.0, times=99)},
+            seed=7,
+        )
+        request = run_round(coordinator())
+        assert request.state == REJECTED
+        assert request.timed_out
+        assert len(request.crashed) == 3
+        assert request.votes == {}
+
+    def test_quorum_survives_a_single_crashed_approver(self):
+        faults.arm({"approvals.approver.crash": Rule(nth=1)}, seed=7)
+        request = run_round(coordinator())
+        assert request.state == APPROVED
+        assert request.crashed == ["admin-1"]
+        assert len(request.votes) == 2
+
+    def test_votes_below_quorum_count_as_timeout(self):
+        # quorum 3 but one approver crashed: 2 approvals can never reach
+        # M-of-N, which is a quorum timeout, not a grant.
+        faults.arm({"approvals.approver.crash": Rule(nth=1)}, seed=7)
+        request = run_round(coordinator(quorum=3))
+        assert request.state == REJECTED
+        assert request.timed_out
+
+    def test_break_glass_overrides_a_timeout_flagged(self):
+        faults.arm({"approvals.timeout": Rule(nth=1)}, seed=7)
+        request = run_round(coordinator(break_glass_actor="oncall"))
+        assert request.state == APPROVED
+        assert request.break_glass
+        assert "break-glass override by oncall" in request.reason
+        assert "break-glass" in request.summary()
+
+    def test_quorum_shape_validated(self):
+        with pytest.raises(ValueError):
+            ApprovalConfig(quorum=0)
+        with pytest.raises(ValueError):
+            ApprovalConfig(quorum=4)
+
+
+class TestAuditAndProgress:
+    def test_every_transition_is_on_the_record(self):
+        trail = AuditTrail(SimulatedEnclave(), clock=SimulatedClock())
+        request = run_round(coordinator(audit=trail))
+        resource = f"approval:{request.request_id}"
+        actions = [
+            record.action for record in trail.records
+            if record.resource == resource
+        ]
+        assert actions == [
+            "approvals.proposed",
+            "approvals.vote", "approvals.vote", "approvals.vote",
+            "approvals.decision",
+        ]
+        assert trail.verify()
+
+    def test_break_glass_record_names_the_actor(self):
+        trail = AuditTrail(SimulatedEnclave(), clock=SimulatedClock())
+        faults.arm({"approvals.timeout": Rule(nth=1)}, seed=7)
+        run_round(coordinator(audit=trail, break_glass_actor="oncall"))
+        (record,) = trail.query(action_prefix="approvals.break_glass")
+        assert record.actor == "oncall"
+        assert "flagged" in record.outcome
+
+    def test_listener_sees_every_state(self):
+        coord = coordinator(votes={"admin-2": "reject"})
+        events = []
+        coord.listener = events.append
+        run_round(coord)
+        assert [event["state"] for event in events] == [
+            PROPOSED, MEDIATED, APPROVED,
+        ]
+        assert events[-1]["quorum"] == 2
+        assert events[-1]["actor"] == "S-0001"
+
+
+def _square_changes():
+    production = square_network()
+    modified = production.copy()
+    modified.config("r1").interface("Gi0/0").description = "first"
+    modified.config("r3").acls["PROTECT_H3"].entries.reverse()
+    changes = diff_networks(production.configs, modified.configs)
+    expected = production.copy()
+    apply_changes(expected.configs, changes)
+    return production, changes, _serialized(expected)
+
+
+def _serialized(network):
+    return {
+        device: serialize_config(config)
+        for device, config in network.configs.items()
+    }
+
+
+class TestSchedulerGate:
+    def test_high_risk_without_approval_fails_closed(self):
+        production, changes, _ = _square_changes()
+        before = _serialized(production)
+        scheduler = ChangeScheduler()
+        with pytest.raises(ApprovalRequiredError, match="no quorum approval"):
+            scheduler.push(production, changes, risk=HIGH_RISK)
+        assert _serialized(production) == before
+        assert scheduler.last_journal is None  # nothing was even journaled
+
+    def test_rejected_approval_refused(self):
+        production, changes, _ = _square_changes()
+        votes = {name: "reject" for name in ApprovalConfig().approvers}
+        coord = coordinator(votes=votes)
+        request = coord.require("S-0001", changes, HIGH_RISK)
+        coord.collect(request)
+        with pytest.raises(ApprovalRequiredError, match="not granted"):
+            ChangeScheduler().push(
+                production, changes, risk=HIGH_RISK, approval=request,
+            )
+
+    def test_approval_for_another_change_set_refused(self):
+        production, changes, _ = _square_changes()
+        request = run_round(coordinator(), changes=CHANGES)
+        assert request.granted
+        with pytest.raises(ApprovalRequiredError, match="different"):
+            ChangeScheduler().push(
+                production, changes, risk=HIGH_RISK, approval=request,
+            )
+
+    def test_granted_approval_pushes_and_journals_the_grant(self):
+        production, changes, expected = _square_changes()
+        request = run_round(coordinator(), changes=changes)
+        report = ChangeScheduler().push(
+            production, changes, risk=HIGH_RISK, approval=request,
+        )
+        assert report.status == "committed"
+        assert _serialized(production) == expected
+        journal = report.journal
+        assert journal.approval_id == request.request_id
+        kinds = [entry.kind for entry in journal.entries]
+        assert kinds[:2] == ["intent", "approval"]
+
+
+class TestResumeAtApprovalBoundary:
+    def test_crash_after_marker_resumes_without_rerequesting(self):
+        # The pusher dies after the journal's approval marker but before
+        # the first batch commits. resume() replays the batches under the
+        # already-granted approval: exactly one proposed record, exactly
+        # one application of the change set.
+        production, changes, expected = _square_changes()
+        trail = AuditTrail(SimulatedEnclave(), clock=SimulatedClock())
+        coord = coordinator(audit=trail)
+        request = coord.require("S-0001", changes, HIGH_RISK)
+        coord.collect(request)
+        assert request.granted
+
+        scheduler = ChangeScheduler()
+        faults.arm({"push.crash": Rule(nth=1)}, seed=7)
+        with pytest.raises(PushCrashed) as crash:
+            scheduler.push(
+                production, changes, audit=trail,
+                risk=HIGH_RISK, approval=request,
+            )
+        faults.disarm()
+        journal = crash.value.journal
+        # The crash landed at the approval boundary: grant journaled,
+        # nothing committed yet.
+        assert journal.approval_id == request.request_id
+        assert [entry.kind for entry in journal.entries] == [
+            "intent", "approval", "batch-start",
+        ]
+        assert not journal.committed
+
+        report = scheduler.resume(production, journal, audit=trail)
+        assert report.resumed
+        assert report.status == "committed"
+        assert _serialized(production) == expected  # applied exactly once
+        proposed = trail.query(action_prefix="approvals.proposed")
+        assert len(proposed) == 1  # the quorum round never re-ran
+        assert len(coord.requests) == 1
+        assert trail.verify()
+
+
+def make_heimdall(approvals, audit_replicas=0, issue_id="ospf"):
+    healthy = build_enterprise_network()
+    policies = mine_policies(healthy)
+    production = build_enterprise_network()
+    issue = standard_issues("enterprise")[issue_id]
+    issue.inject(production)
+    heimdall = Heimdall(
+        production, policies=policies, approvals=approvals,
+        audit_replicas=audit_replicas,
+    )
+    return production, issue, heimdall
+
+
+RISKY = RiskConfig(threshold=0.5)
+
+
+class TestHeimdallGate:
+    def test_high_risk_fix_wins_quorum_and_imports(self):
+        production, issue, heimdall = make_heimdall(
+            ApprovalConfig(risk=RISKY), audit_replicas=3,
+        )
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+        decision = outcome.decision
+        assert decision.risk is not None and decision.risk.high
+        assert decision.approval is not None and decision.approval.granted
+        assert outcome.resolved and not issue.is_broken(production)
+        journal = heimdall.scheduler.last_journal
+        assert journal.approval_id == decision.approval.request_id
+        assert isinstance(heimdall.audit, ReplicatedAuditTrail)
+        assert heimdall.audit.cross_check().status == "intact"
+        assert len(heimdall.audit.query(
+            action_prefix="approvals.proposed"
+        )) == 1
+
+    def test_vetoed_fix_is_never_pushed(self):
+        votes = {name: "reject" for name in ApprovalConfig().approvers}
+        production, issue, heimdall = make_heimdall(
+            ApprovalConfig(risk=RISKY, votes=votes),
+        )
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+        decision = outcome.decision
+        assert decision.approval.state == REJECTED
+        assert not outcome.resolved
+        assert issue.is_broken(production)  # nothing imported
+        (refused,) = heimdall.audit.query(action_prefix="enforcer.approval")
+        assert not refused.allowed
+        assert "not pushed" in refused.outcome
+
+    def test_low_risk_fix_skips_the_gate(self):
+        production, issue, heimdall = make_heimdall(
+            ApprovalConfig(risk=RiskConfig(threshold=1e9)),
+        )
+        session = heimdall.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        outcome = session.submit()
+        assert outcome.resolved
+        assert outcome.decision.approval is None
+        assert heimdall.audit.query(action_prefix="approvals.") == []
+
+
+class TestSessionApprovalProgress:
+    def test_progress_mirrors_the_quorum_round(self):
+        production, issue, heimdall = make_heimdall(
+            ApprovalConfig(risk=RISKY, votes={"admin-2": "reject"}),
+        )
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue)
+        session.run_fix_script(issue.fix_script)
+        session.submit()
+        record = manager.approval_progress(session.session_id)
+        assert record is not None
+        assert record["states"] == [PROPOSED, MEDIATED, APPROVED]
+        assert record["state"] == APPROVED
+        assert record["votes"]["admin-2"] == "reject"
+        assert record["quorum"] == 2
+        assert manager.approval_progress("S-9999") is None
+        assert list(manager.approval_progress()) == [session.session_id]

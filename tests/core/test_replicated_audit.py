@@ -1,0 +1,258 @@
+"""Replicated tamper-evident audit chains (repro.core.enforcer.audit)."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import faults, obs
+from repro.core.enforcer.audit import (
+    AuditTrail,
+    ReplicatedAuditTrail,
+    derive_chain_key,
+    export_chains,
+    first_broken_record,
+    verify_export,
+)
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.faults.registry import Rule
+from repro.util import rand
+from repro.util.clock import SimulatedClock
+from repro.util.errors import AuditQuorumError
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+def make_trail(replicas=3, quorum=None):
+    return ReplicatedAuditTrail(
+        SimulatedEnclave(), clock=SimulatedClock(),
+        replicas=replicas, quorum=quorum,
+    )
+
+
+def write(trail, count=3):
+    for index in range(count):
+        trail.record(
+            actor="S-0001", device="r1", command=f"command-{index}",
+            action="monitor.execute", resource="device:r1", allowed=True,
+            outcome="ok",
+        )
+
+
+def forge(replica):
+    """Rewrite the replica's newest record without its key (attacker model)."""
+    newest = replica.records[-1]
+    replica.records[-1] = replace(newest, outcome="forged")
+
+
+class TestFanOut:
+    def test_every_append_reaches_every_replica(self):
+        trail = make_trail()
+        write(trail, count=3)
+        assert [len(replica) for replica in trail.replicas] == [3, 3, 3]
+        assert len(trail) == 3
+
+    def test_replicas_chain_under_distinct_keys(self):
+        trail = make_trail()
+        write(trail, count=1)
+        macs = {replica.records[0].mac for replica in trail.replicas}
+        assert len(macs) == 3  # same content, three independent chains
+        for replica in trail.replicas:
+            assert replica.verify()
+
+    def test_clean_cross_check_is_intact(self):
+        trail = make_trail()
+        write(trail)
+        verdict = trail.cross_check()
+        assert verdict.status == "intact"
+        assert verdict.agreeing == verdict.replicas == 3
+        assert verdict.flagged == ()
+        assert trail.verify()
+
+    def test_default_quorum_is_a_majority(self):
+        assert make_trail(replicas=3).quorum == 2
+        assert make_trail(replicas=5).quorum == 3
+        assert make_trail(replicas=1).quorum == 1
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            make_trail(replicas=0)
+        with pytest.raises(ValueError):
+            make_trail(replicas=3, quorum=4)
+
+    def test_reads_serve_the_majority_content(self):
+        trail = make_trail()
+        write(trail, count=2)
+        assert [record.command for record in trail.records] == [
+            "command-0", "command-1",
+        ]
+        assert len(trail.query(actor="S-0001")) == 2
+        assert trail.denied() == []
+        length, head = trail.anchor()
+        assert length == 2 and head
+
+
+class TestFaultInjection:
+    def test_tampered_minority_is_flagged_and_served_around(self):
+        faults.arm({"audit.replica.tamper": Rule(nth=1)}, seed=7)
+        trail = make_trail()
+        write(trail, count=2)
+        faults.disarm()
+        verdict = trail.cross_check()
+        assert verdict.status == "degraded"
+        assert verdict.agreeing == 2
+        (index, reason), = verdict.flagged
+        assert index == 0
+        assert "chain broken at record" in reason
+        # Reads keep working on the agreeing majority.
+        assert len(trail.records) == 2
+
+    def test_partitioned_replica_diverges(self):
+        # nth=2 hits replica 1 on the first fan-out: it misses append 0,
+        # then accepts append 1 under index 0 — self-valid but diverged.
+        faults.arm({"audit.replica.partition": Rule(nth=2)}, seed=7)
+        trail = make_trail()
+        write(trail, count=2)
+        faults.disarm()
+        verdict = trail.cross_check()
+        assert verdict.status == "degraded"
+        (index, reason), = verdict.flagged
+        assert index == 1
+        assert "diverged at record 0" in reason
+        assert trail.replicas[1].verify()  # its own chain is still valid
+
+    def test_crashed_minority_degrades_but_serves(self):
+        faults.arm({"audit.replica.crash": Rule(nth=1)}, seed=7)
+        trail = make_trail()
+        write(trail, count=2)
+        faults.disarm()
+        verdict = trail.cross_check()
+        assert verdict.status == "degraded"
+        (index, reason), = verdict.flagged
+        assert index == 0
+        assert "crashed at 0 records" in reason
+        assert len(trail.records) == 2
+
+    def test_total_crash_fails_the_append_closed(self):
+        faults.arm(
+            {"audit.replica.crash": Rule(probability=1.0, times=99)}, seed=7,
+        )
+        trail = make_trail()
+        with pytest.raises(AuditQuorumError):
+            write(trail, count=1)
+        faults.disarm()
+        verdict = trail.cross_check()
+        assert verdict.status == "lost"
+        assert not trail.verify()
+        with pytest.raises(AuditQuorumError):
+            trail.records
+        with pytest.raises(AuditQuorumError):
+            trail.query(actor="S-0001")
+
+
+class TestQuorumLoss:
+    def test_forged_majority_loses_quorum_and_reads_fail_closed(self):
+        trail = make_trail()
+        write(trail, count=2)
+        forge(trail.replicas[0])
+        forge(trail.replicas[1])
+        verdict = trail.cross_check()
+        assert verdict.status == "lost"
+        assert verdict.agreeing == 1
+        with pytest.raises(AuditQuorumError):
+            trail.export()
+
+    def test_forged_minority_only_degrades(self):
+        trail = make_trail()
+        write(trail, count=2)
+        forge(trail.replicas[2])
+        verdict = trail.cross_check()
+        assert verdict.status == "degraded"
+        assert verdict.reference in (0, 1)
+        assert "degraded" in verdict.summary()
+
+
+class TestOfflineVerification:
+    def test_derived_key_matches_the_sealed_chain_key(self):
+        trail = make_trail()
+        for index, replica in enumerate(trail.replicas):
+            derived = derive_chain_key(
+                trail.enclave.measurement, f"audit-replica-{index}"
+            )
+            assert derived == replica._key
+
+    def test_clean_export_verifies_intact(self):
+        trail = make_trail()
+        write(trail)
+        result = verify_export(export_chains(trail))
+        assert result["status"] == "intact"
+        assert result["agreeing"] == 3
+        assert all(replica["intact"] for replica in result["replicas"])
+
+    def test_exports_are_byte_identical_across_clean_runs(self):
+        def run():
+            trail = make_trail()
+            write(trail, count=4)
+            return json.dumps(export_chains(trail), sort_keys=True)
+
+        assert run() == run()
+
+    def test_corrupted_export_record_is_located(self):
+        trail = make_trail()
+        write(trail)
+        payload = export_chains(trail)
+        payload["replicas"][1]["records"][1]["outcome"] = "forged"
+        result = verify_export(payload)
+        assert result["status"] == "degraded"
+        broken = result["replicas"][1]
+        assert not broken["intact"]
+        assert broken["first_broken"] == 1
+
+    def test_corrupting_a_quorum_loses_the_export(self):
+        trail = make_trail()
+        write(trail)
+        payload = export_chains(trail)
+        for chain in payload["replicas"][:2]:
+            chain["records"][0]["outcome"] = "forged"
+        assert verify_export(payload)["status"] == "lost"
+
+    def test_tampered_build_measurement_verifies_nothing(self):
+        trail = make_trail()
+        write(trail)
+        payload = export_chains(trail)
+        payload["measurement"] = "a-different-enforcer-build"
+        result = verify_export(payload)
+        assert result["status"] == "lost"
+        assert all(not replica["intact"] for replica in result["replicas"])
+
+    def test_single_trail_exports_as_one_chain(self):
+        trail = AuditTrail(SimulatedEnclave(), clock=SimulatedClock())
+        trail.record(
+            actor="S-0001", device="r1", command="show run",
+            action="show.config", resource="device:r1", allowed=True,
+        )
+        payload = export_chains(trail)
+        assert payload["quorum"] == 1
+        assert len(payload["replicas"]) == 1
+        assert verify_export(payload)["status"] == "intact"
+        payload["replicas"][0]["records"][0]["allowed"] = False
+        assert verify_export(payload)["status"] == "lost"
+
+    def test_first_broken_record_walks_the_rebuilt_links(self):
+        trail = AuditTrail(SimulatedEnclave(), clock=SimulatedClock())
+        for index in range(3):
+            trail.record(
+                actor="S-0001", device="r1", command=f"c-{index}",
+                action="monitor.execute", resource="device:r1", allowed=True,
+            )
+        records = [record.to_dict() for record in trail.records]
+        assert first_broken_record(records, trail._key) is None
+        records[2]["command"] = "forged"
+        assert first_broken_record(records, trail._key) == 2

@@ -1,0 +1,125 @@
+"""Risk classification for pending change sets (repro.core.enforcer.risk)."""
+
+import pytest
+
+from repro import faults, obs
+from repro.config.diffing import ConfigChange
+from repro.core.enforcer.risk import (
+    DEFAULT_WEIGHTS,
+    RiskClassifier,
+    RiskConfig,
+)
+from repro.util import rand
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+MGMT = ConfigChange("r1", "hostname", old="r1", new="core-r1")
+CREDENTIAL = ConfigChange("r2", "vty_password", old="vty-pass", new="other")
+ACL = ConfigChange(
+    "r3", "acl.entry_added", path="PROTECT_H3",
+    new="permit ip 10.1.1.0 0.0.0.255 any",
+)
+ROUTING = ConfigChange(
+    "r1", "interface.ospf_cost", path="Gi0/0", old=None, new=10
+)
+
+
+def assess(changes, **config_kwargs):
+    classifier = RiskClassifier(
+        config=RiskConfig(**config_kwargs) if config_kwargs else None
+    )
+    return classifier.assess(square_network(), changes)
+
+
+class TestSectionScoring:
+    def test_empty_change_set_scores_zero(self):
+        assessment = assess([])
+        assert assessment.score == 0.0
+        assert not assessment.high
+        assert assessment.cone == ()
+
+    def test_mgmt_change_stays_low_risk(self):
+        assessment = assess([MGMT])
+        assert not assessment.high
+        # 0.25 section weight x at most (1 + 1.0 cone fraction) < 3.0.
+        assert assessment.score < RiskConfig().threshold
+
+    def test_acl_change_is_high_risk_by_default(self):
+        assessment = assess([ACL])
+        assert assessment.section_score == DEFAULT_WEIGHTS["acl"]
+        assert assessment.high  # 3.0 x (1 + cone) >= the 3.0 threshold
+
+    def test_sections_rank_by_policy_proximity(self):
+        # ACL > routing > credential, per the classifier's rationale.
+        acl = assess([ACL], cone_weight=0.0)
+        routing = assess([ROUTING], cone_weight=0.0)
+        credential = assess([CREDENTIAL], cone_weight=0.0)
+        assert acl.score > routing.score > credential.score
+
+    def test_counts_accumulate_per_category(self):
+        one = assess([CREDENTIAL], cone_weight=0.0)
+        two = assess(
+            [CREDENTIAL,
+             ConfigChange("r3", "snmp_community", old="private", new="x")],
+            cone_weight=0.0,
+        )
+        assert two.section_score == pytest.approx(2 * one.section_score)
+
+    def test_weight_overrides_apply(self):
+        assessment = assess([MGMT], weights={"mgmt": 50.0}, cone_weight=0.0)
+        assert assessment.section_score == 50.0
+        assert assessment.high
+
+
+class TestConeSignal:
+    def test_routing_change_has_a_nonempty_cone(self):
+        assessment = assess([ROUTING])
+        assert assessment.cone  # an OSPF cost change influences the ring
+        assert 0.0 < assessment.cone_fraction <= 1.0
+        assert assessment.score > assessment.section_score
+
+    def test_cone_weight_zero_disables_the_signal(self):
+        assessment = assess([ROUTING], cone_weight=0.0)
+        assert assessment.cone == ()
+        assert assessment.cone_fraction == 0.0
+        assert assessment.score == assessment.section_score
+
+    def test_cone_amplifies_rather_than_replaces(self):
+        flat = assess([ROUTING], cone_weight=0.0)
+        amplified = assess([ROUTING], cone_weight=1.0)
+        assert amplified.score >= flat.score
+        assert amplified.score <= flat.score * 2.0  # fraction is <= 1
+
+
+class TestVerdict:
+    def test_threshold_is_inclusive(self):
+        assessment = assess([ROUTING], threshold=0.0)
+        assert assessment.high
+        relaxed = assess([ROUTING], threshold=1e9)
+        assert not relaxed.high
+
+    def test_summary_names_the_level(self):
+        assert "risk HIGH" in assess([ACL]).summary()
+        assert "risk low" in assess([MGMT]).summary()
+        assert "threshold" in assess([MGMT]).summary()
+
+    def test_reasons_list_contributions(self):
+        assessment = assess([ACL, MGMT])
+        text = " ".join(assessment.reasons)
+        assert "acl change" in text
+        assert "mgmt change" in text
+
+    def test_assessment_is_deterministic(self):
+        first = assess([ROUTING, ACL])
+        second = assess([ROUTING, ACL])
+        assert first == second

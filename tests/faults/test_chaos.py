@@ -14,8 +14,8 @@ def push_failures_report():
 class TestCampaignCatalog:
     def test_names(self):
         assert campaign_names() == [
-            "canary", "monitor-timeouts", "push-failures", "smoke",
-            "verify-degraded",
+            "approvals", "canary", "monitor-timeouts", "push-failures",
+            "smoke", "verify-degraded",
         ]
 
     def test_unknown_campaign_rejected(self):
@@ -93,6 +93,86 @@ class TestSmoke:
         report = run_campaign("smoke", seed=7)
         assert report.ok
         assert len(report.scenarios) == 8
+
+
+class TestApprovals:
+    @pytest.fixture(scope="class")
+    def approvals_report(self):
+        return run_campaign("approvals", seed=7)
+
+    def test_campaign_passes(self, approvals_report):
+        failed = [
+            outcome.label for outcome in approvals_report.scenarios
+            if not outcome.ok
+        ]
+        assert not failed, f"scenarios failed: {failed}"
+        assert len(approvals_report.scenarios) == 11
+
+    def test_clean_quorum_commits_with_intact_replicas(
+        self, approvals_report,
+    ):
+        outcome = self._scenario(approvals_report, "quorum-approves-clean")
+        assert outcome.outcome == "committed"
+        assert outcome.resolved
+        assert outcome.audit_status == "intact"
+        assert outcome.approval_ok
+
+    def test_unresponsive_quorum_never_pushes(self, approvals_report):
+        outcome = self._scenario(approvals_report, "quorum-timeout-denies")
+        assert outcome.outcome == "not-imported"
+        assert outcome.state_invariant  # byte-identical to pre-push
+        assert not outcome.resolved
+
+    def test_break_glass_override_commits_flagged(self, approvals_report):
+        outcome = self._scenario(approvals_report, "break-glass-override")
+        assert outcome.outcome == "committed"
+        assert outcome.faults_fired  # the approvers really crashed
+        assert approvals_report.metrics["approvals.break_glass"] >= 1
+
+    def test_crash_after_approval_resumes_without_rerequest(
+        self, approvals_report,
+    ):
+        outcome = self._scenario(
+            approvals_report, "crash-after-approval-resume"
+        )
+        assert outcome.crashed
+        assert outcome.resumed
+        assert outcome.outcome == "committed"
+        assert outcome.approval_ok  # exactly one proposed record
+
+    def test_tampered_minority_is_detected_and_served_around(
+        self, approvals_report,
+    ):
+        outcome = self._scenario(approvals_report, "replica-tamper-minority")
+        assert outcome.outcome == "committed"
+        assert outcome.audit_status == "degraded"
+        assert outcome.audit_flagged  # detection IS the success condition
+        assert any("chain broken" in flag for flag in outcome.audit_flagged)
+
+    def test_quorum_loss_fails_closed(self, approvals_report):
+        outcome = self._scenario(approvals_report, "replica-crash-quorum-lost")
+        assert outcome.outcome == "not-imported"
+        assert outcome.audit_status == "lost"
+        assert outcome.state_invariant
+
+    def test_metrics_surface_the_gate(self, approvals_report):
+        metrics = approvals_report.metrics
+        assert metrics["approvals.requested"] >= 10
+        assert metrics["approvals.granted"] > 0
+        assert metrics["approvals.denied"] >= 3
+        assert metrics["approvals.mediated"] >= 1
+        assert metrics["approvals.timeouts"] >= 2
+        assert metrics["audit.replica.appends"] > 0
+        assert metrics["audit.replica.flagged"] > 0
+        assert metrics["audit.replica.quorum_lost"] >= 1
+
+    def test_same_seed_same_report(self, approvals_report):
+        again = run_campaign("approvals", seed=7)
+        assert approvals_report.to_dict() == again.to_dict()
+
+    @staticmethod
+    def _scenario(report, label):
+        return next(o for o in report.scenarios if o.label == label)
 
 
 class TestCanary:

@@ -173,14 +173,19 @@ class TestBenchConcurrent:
 
 class TestChaosCli:
     def test_list_names_only(self):
+        from repro.faults.chaos import campaign_names
+
         code, text = run("chaos", "--list")
         assert code == 0
         assert text.splitlines() == [
-            "canary", "monitor-timeouts", "push-failures", "smoke",
-            "verify-degraded",
+            "approvals", "canary", "monitor-timeouts", "push-failures",
+            "smoke", "verify-degraded",
         ]
+        assert text.splitlines() == campaign_names()
 
     def test_list_campaigns_shows_scenarios(self):
+        from repro.faults.chaos import campaign_names
+
         code, text = run("chaos", "--list-campaigns")
         assert code == 0
         assert "canary (5 scenarios)" in text
@@ -188,6 +193,113 @@ class TestChaosCli:
         assert "push-failures (5 scenarios)" in text
         # Monolithic scenarios are not marked staged.
         assert "transient-retried: expect committed" in text
+        # The quorum-approvals campaign and its headline scenarios.
+        assert "approvals (11 scenarios)" in text
+        assert "quorum-timeout-denies: expect not-imported" in text
+        assert "replica-tamper-minority: expect committed" in text
+        # Every registered campaign appears in the listing.
+        for name in campaign_names():
+            assert f"{name} (" in text
+
+    def test_matrix_sweeps_every_campaign_across_seeds(self, monkeypatch):
+        import repro.faults.chaos as chaos_module
+
+        ran = []
+
+        class _StubOutcome:
+            ok = True
+
+        class _StubReport:
+            ok = True
+            scenarios = [_StubOutcome()]
+
+        def fake_run_campaign(name, seed):
+            ran.append((name, seed))
+            return _StubReport()
+
+        monkeypatch.setattr(
+            chaos_module, "campaign_names", lambda: ["alpha", "beta"]
+        )
+        monkeypatch.setattr(chaos_module, "run_campaign", fake_run_campaign)
+        code, text = run("chaos", "--matrix", "--seed", "3", "--seeds", "2")
+        assert code == 0
+        assert ran == [
+            ("alpha", 3), ("alpha", 4), ("beta", 3), ("beta", 4),
+        ]
+        assert "matrix PASSED: 2 campaigns x 2 seeds" in text
+
+    def test_matrix_fails_when_any_cell_fails(self, monkeypatch):
+        import repro.faults.chaos as chaos_module
+
+        class _StubOutcome:
+            ok = False
+
+        class _StubReport:
+            ok = False
+            scenarios = [_StubOutcome()]
+
+        monkeypatch.setattr(
+            chaos_module, "campaign_names", lambda: ["alpha"]
+        )
+        monkeypatch.setattr(
+            chaos_module, "run_campaign", lambda name, seed: _StubReport()
+        )
+        code, text = run("chaos", "--matrix", "--seeds", "1")
+        assert code == 1
+        assert "matrix FAILED: alpha@7" in text
+
+
+class TestAuditCli:
+    def test_export_then_verify_replicated_chains(self, tmp_path):
+        import json
+
+        target = tmp_path / "chains.json"
+        code, text = run(
+            "audit", "export", "--network", "enterprise", "--issue", "ospf",
+            "--replicas", "3", "-o", str(target),
+        )
+        assert code == 0
+        assert "exported 3 chains" in text
+        payload = json.loads(target.read_text())
+        assert payload["quorum"] == 2
+        assert len(payload["replicas"]) == 3
+
+        code, text = run("audit", "verify", str(target))
+        assert code == 0
+        assert text.count("[ok    ]") == 3
+        assert "quorum verdict: intact (3/3 chains agree, quorum 2)" in text
+
+    def test_tampered_replica_is_caught_offline(self, tmp_path):
+        target = tmp_path / "tampered.json"
+        code, _ = run(
+            "audit", "export", "--network", "enterprise", "--issue", "ospf",
+            "--replicas", "3", "--tamper", "1", "-o", str(target),
+        )
+        assert code == 0
+        code, text = run("audit", "verify", str(target))
+        assert code == 1
+        assert "[BROKEN] audit-replica-1: first broken MAC link" in text
+        assert "quorum verdict: degraded (2/3 chains agree" in text
+
+    def test_single_chain_export_verifies(self, tmp_path):
+        target = tmp_path / "single.json"
+        code, text = run(
+            "audit", "export", "--network", "enterprise", "--issue", "ospf",
+            "-o", str(target),
+        )
+        assert code == 0
+        assert "exported 1 chain " in text
+        code, text = run("audit", "verify", str(target))
+        assert code == 0
+        assert "quorum verdict: intact (1/1 chains agree, quorum 1)" in text
+
+    def test_unknown_issue(self, tmp_path):
+        code, text = run(
+            "audit", "export", "--network", "enterprise",
+            "--issue", "gremlins", "-o", str(tmp_path / "x.json"),
+        )
+        assert code == 1
+        assert "unknown issue" in text
 
 
 class TestBenchRollout:

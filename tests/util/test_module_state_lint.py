@@ -36,6 +36,8 @@ ALLOWED = {
     "repro/config/diffing.py:_KIND_TABLE": "diff-kind metadata",
     "repro/config/diffing.py:_CATEGORY_BY_KIND": "derived diff metadata",
     "repro/control/routes.py:ADMIN_DISTANCE": "protocol preference table",
+    "repro/core/enforcer/risk.py:DEFAULT_WEIGHTS":
+        "config-section risk weight table",
     "repro/core/heimdall.py:ESCALATION_LADDER": "profile ordering",
     "repro/core/privilege/generator.py:TASK_PROFILES": "profile catalog",
     "repro/core/privilege/generator.py:PROFILE_BY_ISSUE":

@@ -1,6 +1,8 @@
 """Bounded retry with seeded backoff (repro.util.retry)."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro import obs
 from repro.util import rand
@@ -169,3 +171,78 @@ class TestRetryCall:
             obs.disable()
         assert obs.registry().get("retry.attempts").value == 3
         assert obs.registry().get("retry.exhausted").value == 1
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_s": -0.1},
+        {"base_delay_s": 2.0, "max_delay_s": 1.0},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+        {"deadline_s": 0.0},
+    ])
+    def test_bad_shapes_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_max_total_delay_is_the_smaller_budget(self):
+        by_attempts = RetryPolicy(
+            max_attempts=3, max_delay_s=4.0, deadline_s=100.0
+        )
+        assert by_attempts.max_total_delay_s == 8.0  # 2 delays x 4 s
+        by_deadline = RetryPolicy(
+            max_attempts=100, max_delay_s=4.0, deadline_s=10.0
+        )
+        assert by_deadline.max_total_delay_s == 10.0
+
+
+class TestBackoffProperties:
+    """Seeded schedules are bounded and deterministic — the property the
+    backoff-cap fix guarantees (jitter is applied *before* the hard cap)."""
+
+    @settings(
+        max_examples=60, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        base=st.floats(min_value=0.01, max_value=4.0),
+        spread=st.floats(min_value=1.0, max_value=8.0),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_every_seeded_delay_respects_the_hard_cap(
+        self, base, spread, jitter, seed,
+    ):
+        policy = RetryPolicy(
+            base_delay_s=base, max_delay_s=base * spread, jitter=jitter,
+        )
+        rand.seed(seed)
+        rng = rand.derive("retry")
+        delays = [policy.delay_s(attempt, rng) for attempt in range(1, 9)]
+        assert all(0.0 <= delay <= policy.max_delay_s for delay in delays)
+        # Same seed, same schedule — byte-for-byte.
+        rand.seed(seed)
+        rng = rand.derive("retry")
+        assert delays == [
+            policy.delay_s(attempt, rng) for attempt in range(1, 9)
+        ]
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        attempts=st.integers(min_value=1, max_value=6),
+        deadline_s=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_total_backoff_never_exceeds_the_budget(
+        self, seed, attempts, deadline_s,
+    ):
+        policy = RetryPolicy(max_attempts=attempts, deadline_s=deadline_s)
+        rand.seed(seed)
+        clock = SimulatedClock()
+        with pytest.raises(TransientDeviceError):
+            retry_call(flaky(100), policy=policy, clock=clock)
+        assert clock.now <= policy.max_total_delay_s + 1e-9
