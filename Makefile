@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test docs-check bench bench-check bench-scale obs-report report \
-	chaos chaos-matrix stress check
+	chaos chaos-matrix semdiff-lint stress check
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -42,14 +42,21 @@ report:
 	$(PYTHON) -m repro.cli report -o report.md
 
 # Fixed-seed chaos campaigns (push atomicity invariant: the smoke mix, the
-# staged-rollout canary scenarios, and the quorum-approvals/replicated-audit
-# scenarios) + the tier-1 suite. Same seed, same report — see
-# docs/ROBUSTNESS.md.
+# staged-rollout canary scenarios, the quorum-approvals/replicated-audit
+# scenarios, and the adversarial-technician attacks) + the tier-1 suite.
+# Same seed, same report — see docs/ROBUSTNESS.md.
 chaos:
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign smoke
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign canary
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign approvals
+	$(PYTHON) -m repro.cli chaos --seed 7 --campaign adversarial
 	$(PYTHON) -m pytest -x -q tests/
+
+# Assert the semantic-diff section taxonomy is total and in lockstep with
+# the risk classifier: every diff kind maps to exactly one section, and
+# the section set and the risk weight table are the same set.
+semdiff-lint:
+	$(PYTHON) -m pytest -x -q tests/config/test_semdiff.py
 
 # Every registered campaign across 5 consecutive seeds — the deep chaos
 # sweep. Deliberately NOT part of `check` (the single-seed smoke above
@@ -58,9 +65,10 @@ chaos-matrix:
 	$(PYTHON) -m repro.cli chaos --matrix --seed 7 --seeds 5
 
 # Seeded, bounded-size concurrent-session stress benchmark: 8 threaded
-# sessions against one production; exits non-zero unless every session
-# ends imported or deterministically rejected/rebased with the journal
-# and audit invariants intact (docs/ARCHITECTURE.md "Concurrency model").
+# sessions (fix / disjoint-section maintenance / duplicate-fix roles)
+# against one production; exits non-zero unless every session ends
+# imported or deterministically rejected/rebased with the journal and
+# audit invariants intact (docs/ARCHITECTURE.md "Concurrency model").
 stress:
 	$(PYTHON) -m repro.cli bench --concurrent 8 --seed 7 -o BENCH_concurrent.json
 

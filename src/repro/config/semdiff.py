@@ -1,0 +1,155 @@
+"""Section-aware semantic drift classification.
+
+Device fingerprints answer *whether* a config changed; this module answers
+*where*. Every :class:`~repro.config.diffing.ConfigChange` kind is mapped to
+one of a small set of config **sections** — the granularity at which two
+concurrent edits can safely interleave. Two tickets that touch the same
+device but disjoint sections (say, a VLAN rename and an OSPF cost tweak) do
+not conflict: replaying either set over the other yields the same device
+config, because the differ emits per-section changes and the scheduler
+applies them per-section.
+
+The section vocabulary is deliberately coarser than change kinds and finer
+than devices:
+
+========== ==================================================================
+section    covers
+========== ==================================================================
+vlan       VLAN database plus L2 switchport assignments (access/trunk/mode)
+interface  interface existence, addressing, admin state, descriptions
+ospf       the OSPF process, network statements, per-interface costs
+bgp        the BGP process, neighbors, advertised networks
+static     static routes and the default gateway
+acl        ACL definitions/entries and interface ACL bindings
+scalar     device-global scalars: hostname, credentials, SNMP
+========== ==================================================================
+
+Switchport changes sit in ``vlan`` (not ``interface``) because they decide
+VLAN membership — the thing a concurrent VLAN ticket reasons about.
+Interface ACL bindings sit in ``acl`` because binding an ACL is an ACL
+policy decision. Per-interface OSPF costs sit in ``ospf`` because they
+reshape SPF, not the interface itself.
+
+Consumers:
+
+- :mod:`repro.core.sessions` classifies base drift per device: drift whose
+  sections are disjoint from the session's edited sections rebases cleanly
+  instead of conflicting.
+- :mod:`repro.core.enforcer.risk` weights change sets by section instead of
+  re-deriving its own proximity classes.
+"""
+
+from repro.config.diffing import _KIND_TABLE, diff_configs
+from repro.obs import metrics as obs_metrics
+
+#: The closed section vocabulary, in rough dataplane-proximity order.
+SECTIONS = ("vlan", "interface", "ospf", "bgp", "static", "acl", "scalar")
+
+# kind -> section. Keyed off the differ's kind table so a new change kind
+# without a section assignment fails loudly at import (see the lint test in
+# tests/config/test_semdiff.py).
+_SECTION_BY_KIND = {
+    "hostname": "scalar",
+    "vlan.added": "vlan",
+    "vlan.removed": "vlan",
+    "vlan.renamed": "vlan",
+    "interface.added": "interface",
+    "interface.removed": "interface",
+    "interface.address": "interface",
+    "interface.shutdown": "interface",
+    "interface.description": "interface",
+    "interface.ospf_cost": "ospf",
+    "interface.access_group_in": "acl",
+    "interface.access_group_out": "acl",
+    "interface.switchport_mode": "vlan",
+    "interface.access_vlan": "vlan",
+    "interface.trunk_vlans": "vlan",
+    "ospf.process": "ospf",
+    "ospf.network": "ospf",
+    "ospf.networks_reordered": "ospf",
+    "ospf.passive_interface": "ospf",
+    "ospf.default_information": "ospf",
+    "ospf.reference_bandwidth": "ospf",
+    "bgp.process": "bgp",
+    "bgp.neighbor": "bgp",
+    "bgp.neighbors_reordered": "bgp",
+    "bgp.network": "bgp",
+    "bgp.networks_reordered": "bgp",
+    "static_route": "static",
+    "static_routes_reordered": "static",
+    "default_gateway": "static",
+    "acl.added": "acl",
+    "acl.removed": "acl",
+    "acl.entry_added": "acl",
+    "acl.entry_removed": "acl",
+    "acl.reordered": "acl",
+    "enable_secret": "scalar",
+    "snmp_community": "scalar",
+    "vty_password": "scalar",
+}
+
+_missing = set(_KIND_TABLE) - set(_SECTION_BY_KIND)
+_extra = set(_SECTION_BY_KIND) - set(_KIND_TABLE)
+if _missing or _extra:  # pragma: no cover - import-time schema guard
+    raise RuntimeError(
+        f"semdiff section table out of sync with diffing kind table: "
+        f"missing={sorted(_missing)} extra={sorted(_extra)}"
+    )
+
+#: Drift verdict for a device the differ cannot see (added/removed device,
+#: unparseable base): assume every section moved.
+ALL_SECTIONS = frozenset(SECTIONS)
+
+_CLASSIFIED = obs_metrics.counter(
+    "semdiff.devices.classified", unit="devices",
+    help="drifted devices mapped to changed config sections",
+)
+_UNCHANGED = obs_metrics.counter(
+    "semdiff.devices.unchanged", unit="devices",
+    help="fingerprint-drifted devices with zero semantic changes "
+         "(serialization-stable rewrites, not real drift)",
+)
+_SECTIONS_PER_DEVICE = obs_metrics.histogram(
+    "semdiff.sections.per_device", unit="sections",
+    help="changed-section count per classified device",
+    buckets=(1, 2, 3, 4, 5, 6, 7),
+)
+
+
+def section_of_kind(kind):
+    """The config section a change kind belongs to (raises on unknown)."""
+    try:
+        return _SECTION_BY_KIND[kind]
+    except KeyError:
+        raise ValueError(f"unknown change kind {kind!r}") from None
+
+
+def section_of(change):
+    """The config section a :class:`ConfigChange` belongs to."""
+    return section_of_kind(change.kind)
+
+
+def changed_sections(old_config, new_config):
+    """The set of sections that differ between two device configs.
+
+    An empty set means the two configs are semantically identical even if
+    their serializations differ byte-for-byte — fingerprint drift without
+    real drift.
+    """
+    sections = frozenset(
+        section_of(change) for change in diff_configs(old_config, new_config)
+    )
+    if sections:
+        _CLASSIFIED.inc()
+        _SECTIONS_PER_DEVICE.observe(len(sections))
+    else:
+        _UNCHANGED.inc()
+    return sections
+
+
+def sections_by_device(changes):
+    """Map each device in a change set to its set of touched sections."""
+    result = {}
+    for change in changes:
+        result.setdefault(change.device, set()).add(section_of(change))
+    return {device: frozenset(sections) for device, sections in result.items()}

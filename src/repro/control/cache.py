@@ -52,6 +52,26 @@ def config_fingerprint(config):
     return hashlib.sha256(serialize_config(config).encode()).hexdigest()
 
 
+def snapshot_texts(network):
+    """``(texts, device_fps)``: canonical serializations plus their hashes.
+
+    One serialization pass serves both needs: ``texts`` maps device name to
+    its canonical serialized config (a drift-proof snapshot callers can
+    re-parse later, e.g. the session layer's semantic base), ``device_fps``
+    the matching content fingerprints — identical to what
+    :func:`snapshot_fingerprint` would report.
+    """
+    texts = {
+        name: serialize_config(config)
+        for name, config in network.configs.items()
+    }
+    device_fps = {
+        name: hashlib.sha256(text.encode()).hexdigest()
+        for name, text in texts.items()
+    }
+    return texts, device_fps
+
+
 def topology_fingerprint(topology):
     """Content hash of a topology: devices, kinds, interfaces, and cables."""
     digest = hashlib.sha256()

@@ -11,11 +11,14 @@ without a granted quorum.
 The two signals:
 
 1. **Config-section proximity to invariant policies** — each change is
-   weighted by how close its config section sits to what the mined
+   weighted by how close its config section
+   (:func:`repro.config.semdiff.section_of`, the same section vocabulary
+   the session layer classifies drift with) sits to what the mined
    policies actually enforce. ACL changes score highest (they *are* the
-   enforcement mechanism for isolation policies), routing/VLAN/L2 changes
-   medium (they move traffic across policy paths), interface state lower,
-   management and credential state lowest (invisible to the dataplane).
+   enforcement mechanism for isolation policies), OSPF/BGP/static/VLAN
+   changes medium (they move traffic across policy paths), interface
+   state lower, device-global scalars (hostname, credentials, SNMP)
+   lowest (invisible to the dataplane).
 2. **Invalidation-cone size** — the fraction of the network the change
    set can influence, judged by :func:`repro.control.deps.wave_cone` on
    the production dataplane. A change whose cone covers half the estate is
@@ -28,6 +31,7 @@ snapshot — same ticket, same score, run to run.
 
 from dataclasses import dataclass, field
 
+from repro.config import semdiff
 from repro.control import deps
 from repro.control.builder import build_dataplane
 from repro.obs import metrics as obs_metrics
@@ -42,18 +46,20 @@ _RISK_HIGH = obs_metrics.counter(
     help="change sets classified high-risk (quorum approval required)",
 )
 
-# Config-section proximity weights (signal 1). ACLs are the policy
-# enforcement mechanism itself; routing/vlan/l2 steer traffic across
-# policy paths; interface state can silence a path; mgmt/credential state
-# never reaches the dataplane.
+# Config-section proximity weights (signal 1), keyed by the semdiff
+# section vocabulary (:data:`repro.config.semdiff.SECTIONS`) shared with
+# the session layer's drift classifier. ACLs are the policy enforcement
+# mechanism itself; ospf/bgp/static/vlan steer traffic across policy
+# paths; interface state can silence a path; device-global scalars
+# (hostname, credentials, SNMP) never reach the dataplane.
 DEFAULT_WEIGHTS = {
     "acl": 3.0,
-    "routing": 2.0,
+    "ospf": 2.0,
+    "bgp": 2.0,
+    "static": 2.0,
     "vlan": 2.0,
-    "l2": 2.0,
     "interface": 1.0,
-    "credential": 0.5,
-    "mgmt": 0.25,
+    "scalar": 0.5,
 }
 
 
@@ -62,7 +68,7 @@ class RiskConfig:
     """Knobs for the classifier.
 
     ``threshold`` is the high-risk cut-off on the final score;
-    ``weights`` overrides the per-category section weights;
+    ``weights`` overrides the per-section proximity weights;
     ``cone_weight`` scales how much the invalidation-cone fraction
     amplifies the section score (0 disables signal 2).
     """
@@ -71,10 +77,10 @@ class RiskConfig:
     weights: dict = field(default_factory=dict)
     cone_weight: float = 1.0
 
-    def weight(self, category):
-        if category in self.weights:
-            return self.weights[category]
-        return DEFAULT_WEIGHTS.get(category, 1.0)
+    def weight(self, section):
+        if section in self.weights:
+            return self.weights[section]
+        return DEFAULT_WEIGHTS.get(section, 1.0)
 
 
 @dataclass(frozen=True)
@@ -118,19 +124,21 @@ class RiskClassifier:
         changes = list(changes)
         config = self.config
         with obs_trace.span("enforcer.risk", changes=len(changes)) as span:
-            by_category = {}
+            by_section = {}
             for change in changes:
-                by_category.setdefault(change.category, []).append(change)
+                by_section.setdefault(
+                    semdiff.section_of(change), []
+                ).append(change)
             section_score = 0.0
             reasons = []
-            for category in sorted(
-                by_category, key=lambda c: -config.weight(c)
+            for section in sorted(
+                by_section, key=lambda s: (-config.weight(s), s)
             ):
-                weight = config.weight(category)
-                count = len(by_category[category])
+                weight = config.weight(section)
+                count = len(by_section[section])
                 section_score += weight * count
                 reasons.append(
-                    f"{count} {category} change{'s' if count != 1 else ''} "
+                    f"{count} {section} change{'s' if count != 1 else ''} "
                     f"x {weight:g}"
                 )
 

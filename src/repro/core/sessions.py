@@ -11,13 +11,18 @@ makes that safe. A :class:`SessionManager` wraps one
    condition variable: a waiter holds no leases while it blocks, so there is
    no hold-and-wait and therefore no deadlock, regardless of element order.
 2. **Optimistic imports** — every session records the per-device content
-   fingerprints of production at open (its *base*). At submit, the manager
-   re-fingerprints production and classifies the drift: drift on devices the
-   session changed is a **conflict** (rejected with a MAC-covered audit
-   record, nothing imported); drift elsewhere is a **stale base**, resolved
-   by the ``on_stale`` policy — ``"rebase"`` re-verifies the candidate
-   against *current* production (the verifier always judges against live
-   state, so a rebase is exactly one fresh verification) or ``"reject"``.
+   fingerprints *and canonical serializations* of production at open (its
+   *base*). At submit, the manager re-fingerprints production and classifies
+   the drift **by config section** (:mod:`repro.config.semdiff`): drift that
+   touches the same sections the session edited on the same device is a
+   **conflict** (rejected with a MAC-covered audit record, nothing
+   imported); drift in disjoint sections — even on an edited device — and
+   drift on untouched devices is a **stale base**, resolved by the
+   ``on_stale`` policy — ``"rebase"`` re-verifies the candidate against
+   *current* production (the verifier always judges against live state, so
+   a rebase is exactly one fresh verification) or ``"reject"``. A
+   fingerprint mismatch whose semantic diff is empty (a
+   serialization-stable rewrite) is not drift at all.
 3. **Push queue** — opens and submits serialize through a single production
    lock, so snapshots are never torn and every
    :meth:`~repro.core.enforcer.scheduler.ChangeScheduler.push` runs alone
@@ -33,8 +38,10 @@ import threading
 from dataclasses import dataclass, field
 
 from repro import faults
+from repro.config import semdiff
+from repro.config.parser import parse_config
 from repro.control.builder import build_dataplane
-from repro.control.cache import snapshot_fingerprint
+from repro.control.cache import snapshot_fingerprint, snapshot_texts
 from repro.core.twin.scoping import SCOPING_STRATEGIES
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -76,6 +83,12 @@ _REBASES = obs_metrics.counter(
     "sessions.rebases", unit="sessions",
     help="stale-base submits re-verified against current production",
 )
+_SEMANTIC_REBASES = obs_metrics.counter(
+    "sessions.rebase.semantic", unit="sessions",
+    help="rebases where an *edited* device drifted in sections disjoint "
+         "from the session's own edits (would have been a spurious "
+         "conflict under fingerprint-level classification)",
+)
 _OVERLAPS = obs_metrics.counter(
     "sessions.overlaps", unit="sessions",
     help="sessions opened with a twin scope overlapping a live session's",
@@ -90,6 +103,12 @@ _STALE_FAULT = faults.fault_point(
     "sessions.base.stale", error=StaleBaseError,
     help="a submit is forced down the stale-base reject path regardless "
          "of actual drift; audited and nothing imported",
+)
+_SEMDIFF_BYPASS_FAULT = faults.fault_point(
+    "sessions.semdiff.bypass", error=SessionError,
+    help="section classification of base drift is bypassed; every "
+         "fingerprint-drifted device is treated as fully drifted "
+         "(conservative fingerprint-level classification)",
 )
 
 #: Lease/concurrency modes for :meth:`SessionManager.open_ticket`.
@@ -230,16 +249,21 @@ class SessionOutcome:
 
     * ``"clean"`` — base unchanged; candidate verified and (if approved)
       imported;
-    * ``"rebased"`` — base drifted on devices the session did *not* touch;
-      re-verified against current production and (if approved) imported;
-    * ``"conflict"`` — base drifted on devices the session changed; the
-      original candidate is rejected outright, nothing imported;
+    * ``"rebased"`` — base drifted only in sections the session did *not*
+      edit (on any device); re-verified against current production and (if
+      approved) imported;
+    * ``"conflict"`` — base drifted in sections the session itself edited
+      on the same device; the original candidate is rejected outright,
+      nothing imported;
     * ``"stale-rejected"`` — base drifted and the manager's ``on_stale``
       policy is ``"reject"`` (or the ``sessions.base.stale`` fault fired).
 
-    ``ticket_outcome`` is the underlying
-    :class:`~repro.core.heimdall.TicketOutcome` for clean/rebased submits
-    and ``None`` for rejections (the ticket is abandoned, not enforced).
+    ``drifted`` lists devices with *semantic* drift; ``drift_sections``
+    maps each of them to the frozenset of config sections that changed
+    (see :mod:`repro.config.semdiff`). ``ticket_outcome`` is the
+    underlying :class:`~repro.core.heimdall.TicketOutcome` for
+    clean/rebased submits and ``None`` for rejections (the ticket is
+    abandoned, not enforced).
     """
 
     session_id: str
@@ -249,6 +273,7 @@ class SessionOutcome:
     change_count: int = 0
     reason: str = ""
     ticket_outcome: object = None
+    drift_sections: dict = field(default_factory=dict)
 
     @property
     def imported(self):
@@ -275,13 +300,14 @@ class ManagedSession:
     """
 
     def __init__(self, manager, ticket, lease_owner, read, write,
-                 base_fingerprints, overlaps):
+                 base_fingerprints, overlaps, base_texts=None):
         self._manager = manager
         self.ticket = ticket
         self.lease_owner = lease_owner
         self.read_leases = frozenset(read)
         self.write_leases = frozenset(write)
         self.base_fingerprints = dict(base_fingerprints)
+        self.base_texts = dict(base_texts or {})
         self.overlaps = dict(overlaps)  # session_id -> shared elements
         self.state = "open"  # open | submitted | abandoned
 
@@ -447,7 +473,7 @@ class SessionManager:
                             elements=sorted(missing),
                         )
                     read = frozenset(read | missing)
-                    _, _, base_fps = snapshot_fingerprint(
+                    base_texts, base_fps = snapshot_texts(
                         self.heimdall.production
                     )
             except Exception:
@@ -456,6 +482,7 @@ class SessionManager:
             session = ManagedSession(
                 self, ticket, owner, read, write, base_fps,
                 self._register(ticket, scope | missing),
+                base_texts=base_texts,
             )
             open_span.set(
                 session_id=ticket.session_id,
@@ -538,28 +565,27 @@ class SessionManager:
 
     def _classify_and_finish(self, session, span):
         changes = session.twin.changes()
-        changed = {change.device for change in changes}
+        edited_sections = semdiff.sections_by_device(changes)
         forced = ""
         try:
             _STALE_FAULT.fire(session=session.session_id)
         except StaleBaseError as exc:
             forced = str(exc) or "injected stale base"
-        _, _, current = snapshot_fingerprint(self.heimdall.production)
-        base = session.base_fingerprints
-        drifted = tuple(sorted(
-            device
-            for device in set(base) | set(current)
-            if base.get(device) != current.get(device)
-        ))
+        drift_sections = self._drift_sections(session)
+        drifted = tuple(sorted(drift_sections))
         span.set(changes=len(changes), drifted=len(drifted))
 
+        conflicting = sorted(
+            device for device, sections in drift_sections.items()
+            if sections & edited_sections.get(device, frozenset())
+        )
         if forced:
             status, reason = "stale-rejected", forced
-        elif drifted and (set(drifted) & changed):
+        elif conflicting:
             status = "conflict"
-            reason = (
-                "production drifted on edited devices: "
-                + ", ".join(sorted(set(drifted) & changed))
+            reason = "production drifted in edited sections: " + ", ".join(
+                f"{device}({'/'.join(sorted(drift_sections[device] & edited_sections[device]))})"
+                for device in conflicting
             )
         elif drifted and self.on_stale == "reject":
             status = "stale-rejected"
@@ -582,19 +608,32 @@ class SessionManager:
                 drifted=drifted,
                 change_count=len(changes),
                 reason=reason,
+                drift_sections=drift_sections,
             )
 
         if status == "rebased":
             _STALE_BASES.inc()
             _REBASES.inc()
+            # Drift on a device the session itself edited, in disjoint
+            # sections, is the case fingerprint-level classification used
+            # to reject as a spurious conflict — audit it distinctly.
+            semantic = sorted(set(drifted) & set(edited_sections))
+            if semantic:
+                _SEMANTIC_REBASES.inc()
             # MAC-covered record that this candidate was judged against a
             # newer production than it branched from.
+            detail = ", ".join(
+                f"{device}({'/'.join(sorted(drift_sections[device]))})"
+                for device in drifted
+            )
             self.heimdall.audit.record(
                 actor=session.session_id,
                 device="-",
-                command=f"rebase onto current production; drift on "
-                        f"{', '.join(drifted)}",
-                action="sessions.rebase",
+                command=f"rebase onto current production; drift on {detail}",
+                action=(
+                    "sessions.rebase.semantic" if semantic
+                    else "sessions.rebase"
+                ),
                 resource="production",
                 allowed=True,
                 outcome="re-verified against current production",
@@ -608,7 +647,45 @@ class SessionManager:
             drifted=drifted,
             change_count=len(changes),
             ticket_outcome=ticket_outcome,
+            drift_sections=drift_sections,
         )
+
+    def _drift_sections(self, session):
+        """Section-classify base drift: device -> changed section set.
+
+        Fingerprint comparison finds candidate devices cheaply; only those
+        are semantically diffed against the session's recorded base text.
+        Devices whose fingerprint moved but whose semantic diff is empty
+        (serialization-stable rewrites) are dropped — they are not drift.
+        Devices added or removed since open, or any device when the
+        ``sessions.semdiff.bypass`` fault fires, are treated conservatively
+        as drifted in every section.
+        """
+        _, _, current = snapshot_fingerprint(self.heimdall.production)
+        base = session.base_fingerprints
+        suspects = sorted(
+            device
+            for device in set(base) | set(current)
+            if base.get(device) != current.get(device)
+        )
+        bypass = False
+        try:
+            _SEMDIFF_BYPASS_FAULT.fire(session=session.session_id)
+        except SessionError:
+            bypass = True
+        drift_sections = {}
+        for device in suspects:
+            base_text = session.base_texts.get(device)
+            live = self.heimdall.production.configs.get(device)
+            if bypass or base_text is None or live is None:
+                drift_sections[device] = semdiff.ALL_SECTIONS
+                continue
+            sections = semdiff.changed_sections(
+                parse_config(base_text, hostname=device), live
+            )
+            if sections:
+                drift_sections[device] = sections
+        return drift_sections
 
     def _audit_rejection(self, session, status, reason, changes):
         self.heimdall.audit.record(

@@ -1,18 +1,31 @@
 """Concurrent-session stress benchmark (``bench --concurrent N``).
 
 Drives N threaded :class:`~repro.core.sessions.ManagedSession` instances
-end-to-end against one production network carrying the standard issues:
-every thread opens an optimistic session for its issue, replays the fix on
-its own twin, and submits. The report is the acceptance evidence for the
-concurrency model: **every** session ends fully imported or
-deterministically rejected/rebased — no torn state, journal invariants
-intact, exactly one importer per issue, audit chain verified.
+end-to-end against one production network carrying the standard issues.
+Sessions round-robin over the issues and take one of three roles per
+issue pack:
+
+* **fix** — the first session for an issue replays its real fix script;
+* **maintenance** — the second runs a *disjoint-section* edit on the same
+  root-cause device (an interface description, under the ``interface``
+  profile). Under device-fingerprint drift classification these were
+  spurious conflicts; with section-aware classification they land as
+  clean imports or semantic rebases;
+* **duplicate-fix** — every further session replays the fix script again
+  and must lose the import race: same device, same sections, a genuine
+  conflict.
+
+The report is the acceptance evidence for the concurrency model:
+**every** session ends fully imported or deterministically
+rejected/rebased — no torn state, journal invariants intact, exactly one
+fix importer per issue, every maintenance edit landed, conflicts drawn
+only by duplicate fixes, audit chain verified.
 
 Wall-clock throughput is measured like the other benchmarks (real
-``monotonic_s`` seconds, not the simulated clock); the outcome *counts*
-are deterministic only in aggregate — which thread of an issue's pack wins
-the import race depends on scheduling, but the invariants below hold for
-every interleaving, which is the point.
+``monotonic_s`` seconds, not the simulated clock); the clean/rebased
+*split* depends on submit interleaving, but the conflict count and the
+import counts are deterministic for every interleaving, which is the
+point.
 """
 
 import threading
@@ -21,7 +34,7 @@ from repro.core.heimdall import Heimdall
 from repro.core.sessions import SessionManager
 from repro.experiments.bench_dataplane import NETWORKS, write_report
 from repro.policy.mining import mine_policies
-from repro.scenarios.issues import standard_issues
+from repro.scenarios.issues import FixStep, standard_issues
 from repro.util import rand
 from repro.util.clock import monotonic_s
 from repro.util.errors import ReproError
@@ -29,6 +42,31 @@ from repro.util.errors import ReproError
 __all__ = ["run_concurrent_bench", "write_report"]
 
 DEFAULT_SESSIONS = 8
+
+#: Session roles, by position within an issue's round-robin pack.
+ROLES = ("fix", "maintenance", "duplicate-fix")
+
+
+def _role(position):
+    return ROLES[min(position, 2)]
+
+
+def _maintenance_script(production, issue, index):
+    """A disjoint-section edit on the issue's root-cause device.
+
+    Every standard fix touches the ospf/static/vlan sections, so an
+    interface description is disjoint on all of them; the text is unique
+    per session so the change set is never empty.
+    """
+    device = issue.root_cause_device
+    iface = sorted(production.config(device).interfaces)[0]
+    return (FixStep(device, (
+        "configure terminal",
+        f"interface {iface}",
+        f"description routine audit by session {index}",
+        "end",
+        "write memory",
+    )),)
 
 
 def run_concurrent_bench(sessions=DEFAULT_SESSIONS, network="enterprise",
@@ -60,13 +98,26 @@ def run_concurrent_bench(sessions=DEFAULT_SESSIONS, network="enterprise",
     heimdall = Heimdall(production, policies=policies)
     manager = SessionManager(heimdall)
 
+    # Per-session work orders, fixed before any thread starts so the
+    # maintenance scripts read production configs race-free.
+    roles = [_role(index // len(assigned)) for index in range(sessions)]
+    scripts = [
+        _maintenance_script(
+            production, assigned[index % len(assigned)], index
+        ) if roles[index] == "maintenance"
+        else assigned[index % len(assigned)].fix_script
+        for index in range(sessions)
+    ]
+
     results = [None] * sessions
     errors = [None] * sessions
     start = threading.Barrier(sessions)
     # Every session branches from the *broken* base before any import lands
-    # — that is what makes the outcome counts deterministic: per issue,
-    # exactly one session imports (clean or rebased) and every other one is
-    # a conflict, whatever the submit interleaving.
+    # — that is what makes the aggregate outcome counts deterministic: per
+    # issue, exactly one fix-script session imports (clean or rebased) and
+    # every other one conflicts, while every maintenance session lands
+    # (clean before the fix imports, semantically rebased after), whatever
+    # the submit interleaving.
     opened = threading.Barrier(sessions)
 
     def work(index):
@@ -74,8 +125,13 @@ def run_concurrent_bench(sessions=DEFAULT_SESSIONS, network="enterprise",
         session = None
         try:
             start.wait()
-            session = manager.open_ticket(issue, mode="optimistic")
-            session.run_fix_script(issue.fix_script)
+            profile = (
+                "interface" if roles[index] == "maintenance" else None
+            )
+            session = manager.open_ticket(
+                issue, mode="optimistic", profile=profile
+            )
+            session.run_fix_script(scripts[index])
         except ReproError as exc:
             errors[index] = f"{type(exc).__name__}: {exc}"
         finally:
@@ -102,16 +158,24 @@ def run_concurrent_bench(sessions=DEFAULT_SESSIONS, network="enterprise",
     elapsed_s = monotonic_s() - started
 
     outcomes = {}
-    per_issue = {issue.issue_id: {"sessions": 0, "imported": 0}
-                 for issue in assigned}
+    role_counts = {}
+    per_issue = {issue.issue_id: {
+        "sessions": 0, "imported": 0,
+        "maintenance": 0, "maintenance_imported": 0,
+    } for issue in assigned}
     journals = {"terminal": 0, "total": 0}
-    for outcome in results:
+    for index, outcome in enumerate(results):
+        role_counts[roles[index]] = role_counts.get(roles[index], 0) + 1
         if outcome is None:
             continue
         outcomes[outcome.status] = outcomes.get(outcome.status, 0) + 1
         row = per_issue[outcome.issue_id]
         row["sessions"] += 1
-        if outcome.imported:
+        if roles[index] == "maintenance":
+            row["maintenance"] += 1
+            if outcome.imported:
+                row["maintenance_imported"] += 1
+        elif outcome.imported:
             row["imported"] += 1
         ticket = outcome.ticket_outcome
         push = getattr(
@@ -128,6 +192,14 @@ def run_concurrent_bench(sessions=DEFAULT_SESSIONS, network="enterprise",
         "one_importer_per_issue": all(
             row["imported"] == 1 for row in per_issue.values()
         ),
+        "maintenance_edits_land": all(
+            row["maintenance_imported"] == row["maintenance"]
+            for row in per_issue.values()
+        ),
+        "conflicts_only_from_duplicate_fixes": (
+            outcomes.get("conflict", 0)
+            == role_counts.get("duplicate-fix", 0)
+        ),
         "all_issues_resolved": all(
             issue.is_resolved(production) for issue in assigned
         ),
@@ -139,6 +211,7 @@ def run_concurrent_bench(sessions=DEFAULT_SESSIONS, network="enterprise",
         "network": network,
         "seed": seed,
         "sessions": sessions,
+        "roles": role_counts,
         "elapsed_s": round(elapsed_s, 3),
         "throughput_per_s": round(sessions / elapsed_s, 3) if elapsed_s else None,
         "outcomes": outcomes,

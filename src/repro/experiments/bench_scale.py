@@ -102,7 +102,13 @@ def run_scale_benchmark(size=DEFAULT_SIZE, shape="fat-tree", seed=7,
             "shards": len(plan.shards),
             "components": len(set(plan.component_of.values())),
             "shard_size": shard_size,
-            "workers": effective_workers(workers),
+            # Requested is the caller's knob (None/0 = auto); effective is
+            # what the pool actually forks: the cpu-resolved count capped
+            # by the shard count, so multi-core runs are interpretable.
+            "workers_requested": workers,
+            "workers_effective": min(
+                effective_workers(workers), max(1, len(plan.shards))
+            ),
         },
         "compile": {
             "single_ms": round(single_ms, 3),

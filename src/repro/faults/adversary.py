@@ -1,0 +1,267 @@
+"""Seeded adversarial-technician attack generation.
+
+Fault-shaped chaos (:mod:`repro.faults.chaos`) breaks the *infrastructure*
+under a well-meaning technician; this module breaks the *technician*. The
+paper's threat model is an over-privileged (or compromised) operator at a
+managed service provider, so every attack here is a plausible ticket gone
+hostile: the attacker opens a legitimate cover ticket, then tries to smuggle
+a malicious change past the reference monitor and the change verifier.
+
+The defense is layered, and each attack kind targets one layer:
+
+* **acl-shadow** — rewrite a policy-enforcing ACL so its final deny is
+  shadowed by a blanket permit. Without an admin exemption the policy guard
+  rules deny ``config.acl.*`` on the enforcement point (monitor blocks);
+  *with* an exemption the change reaches the verifier, which rejects it for
+  the new isolation-policy violations it introduces.
+* **vlan-leak** — trunk/access-port edits that leak or strand a VLAN
+  (dropping a VLAN from the inter-switch trunk, moving a gateway port).
+  The vlan task profile legitimately grants switchport writes, so only
+  invariant verification catches the broken reachability.
+* **route-blackhole** — a static route for a working prefix pointed at a
+  neighbor whose best path leads straight back: AD 1 beats OSPF, traffic
+  loops, and the verifier sees the new reachability violations.
+* **privilege-probe** — command sequences outside the cover ticket's task
+  profile (credential writes, identity changes, routes under a vlan
+  profile) plus invalid escalation requests that skip ladder rungs. The
+  monitor denies every one; the cover fix itself still lands, proving
+  deny-with-reason does not poison the legitimate work.
+* **acl-sneak** — entering ACL configuration mode materialises an empty
+  ACL as a side effect of the mode transition, which the per-command
+  monitor classification misses; the verifier's privilege re-check of the
+  imported change set catches exactly this and rejects the whole set.
+
+Attacks are generated, not hard-coded: :func:`generate_attacks` draws each
+kind's concrete shape (target ACL, trunk edit, blackholed prefix, probe
+order, ...) from a PRNG keyed by the campaign seed alone
+(:func:`repro.util.rand.independent` — an attack is content, not an
+experiment), so ``chaos --campaign adversarial --matrix`` sweeps genuinely
+different attack instances while any single seed reproduces exactly.
+Every candidate in the variant pools is a *verified* attack: blocked by
+the monitor or rejected by the verifier, never silently committed — the
+two-state invariant judge in :mod:`repro.faults.chaos` asserts it.
+"""
+
+from dataclasses import dataclass
+
+from repro.scenarios.issues import FixStep
+from repro.util import rand
+
+#: Attack kinds, by the layer expected to stop them.
+KINDS = (
+    "acl-shadow", "vlan-leak", "route-blackhole", "privilege-probe",
+    "acl-sneak",
+)
+
+
+@dataclass(frozen=True)
+class Attack:
+    """One adversarial-technician move riding a legitimate cover ticket.
+
+    ``cover_issue`` names the standard issue whose ticket the attacker
+    opens; ``profile``/``exempt_devices`` are the (plausibly misgranted)
+    privilege levers; ``script`` is the malicious command sequence;
+    ``escalations`` are task profiles to request (each expected to be
+    refused); ``run_fix`` runs the cover issue's legitimate fix first;
+    ``expect`` is the scenario-level outcome (``"committed"`` only when
+    the *fix* lands while the attack is denied); ``expect_blocked_by``
+    names the layer that must stop the attack (``"monitor"`` or
+    ``"verifier"``); ``min_denied`` is the least number of monitor
+    denials the attack must draw.
+    """
+
+    label: str
+    kind: str
+    description: str
+    cover_issue: str
+    network: str = "enterprise"
+    profile: str = None
+    exempt_devices: tuple = ()
+    script: tuple = ()
+    escalations: tuple = ()
+    run_fix: bool = True
+    expect: str = "not-imported"
+    expect_blocked_by: str = "verifier"
+    min_denied: int = 0
+
+
+def _acl_shadow_script(device, acl, stealth):
+    """Shadow ``acl``'s final deny behind a blanket permit on ``device``."""
+    commands = [
+        "configure terminal",
+        f"ip access-list extended {acl}",
+        "no deny ip any any",
+        "permit ip any any",
+    ]
+    if stealth:
+        # Re-append the deny so a casual read still ends in a deny; the
+        # first-match permit above shadows it completely.
+        commands.append("deny ip any any")
+    commands += ["end", "write memory"]
+    return (FixStep(device, tuple(commands)),)
+
+
+# Policy-enforcing ACLs (device, acl) on the enterprise estate; all are
+# guarded by policy_guard_rules under the "isp" cover (their isolation
+# flows stay denied at the enforcement point while only external
+# reachability is broken).
+_SHADOW_TARGETS = (
+    ("fw", "OUTSIDE_IN"),
+    ("fw", "DMZ_IN"),
+    ("dist1", "DB_PROTECT"),
+)
+# Exempted-shadow targets must introduce *new* isolation violations under
+# the cover issue, i.e. their denied flows must be otherwise deliverable
+# in the candidate (DMZ_IN's flows ride the broken external path, so it
+# only belongs in the guarded pool above).
+_EXEMPT_SHADOW_TARGETS = (
+    ("fw", "OUTSIDE_IN"),
+    ("dist1", "DB_PROTECT"),
+)
+
+# Trunk/access edits that leak or strand a VLAN on the dept LAN; every
+# entry breaks working reachability policies, so the verifier rejects.
+_VLAN_LEAK_EDITS = (
+    ("sw1", "Fa0/24", "switchport trunk allowed vlan 10",
+     "drop the app VLAN from the inter-switch trunk"),
+    ("sw2", "Fa0/24", "switchport trunk allowed vlan 10",
+     "drop the app VLAN from sw2's side of the trunk"),
+    ("sw1", "Fa0/1", "switchport access vlan 20",
+     "move the staff gateway port into the app VLAN"),
+)
+
+# (device, prefix, mask, next_hop): a static route for a *working* remote
+# prefix pointed at the neighbor whose best path to it runs back through
+# the device — AD 1 beats OSPF and the traffic loops.
+_BLACKHOLE_ROUTES = (
+    ("dist2", "10.6.1.0", "255.255.255.0", "10.0.6.1"),
+    ("dist1", "10.5.10.0", "255.255.255.0", "10.0.5.1"),
+)
+
+# Probe commands flatly outside the vlan task profile (or never grantable
+# at all, for credentials/identity). Each draws a deny-with-reason.
+_PROBE_COMMANDS = (
+    "enable secret 0wned",
+    "hostname pwned",
+    "ip route 10.99.0.0 255.255.0.0 10.0.8.1",
+)
+
+_SNEAK_ACL_NAMES = ("MAINT_TMP", "DEBUG_1", "QOS_CLASS")
+
+
+def generate_attacks(seed):
+    """The adversarial campaign's attack list for ``seed`` (deterministic).
+
+    Same seed, same attacks; different seeds draw different variants from
+    the verified pools. Every kind in :data:`KINDS` appears at least once.
+    """
+    rng = rand.independent(f"adversary:enterprise:{seed}")
+
+    attacks = []
+
+    # 1. acl-shadow, unexempted: the guard rules deny config.acl.* on the
+    # enforcement point, so the monitor blocks every edit attempt.
+    device, acl = rng.choice(_SHADOW_TARGETS)
+    attacks.append(Attack(
+        label=f"shadow-guarded-{acl.lower()}",
+        kind="acl-shadow",
+        description=f"shadow {acl}'s final deny on {device} without an "
+                    f"exemption; policy guard rules deny the edit",
+        cover_issue="isp", profile="acl",
+        script=_acl_shadow_script(device, acl, stealth=rng.random() < 0.5),
+        run_fix=False,
+        expect="not-imported", expect_blocked_by="monitor", min_denied=2,
+    ))
+
+    # 2. acl-shadow, exempted: the admin released the enforcement point,
+    # so the monitor allows the edit — invariant verification rejects the
+    # new isolation violations.
+    device, acl = rng.choice(_EXEMPT_SHADOW_TARGETS)
+    attacks.append(Attack(
+        label=f"shadow-exempted-{acl.lower()}",
+        kind="acl-shadow",
+        description=f"shadow {acl}'s final deny on exempted {device}; the "
+                    f"verifier catches the isolation violations",
+        cover_issue="isp", profile="acl", exempt_devices=(device,),
+        script=_acl_shadow_script(device, acl, stealth=rng.random() < 0.5),
+        run_fix=False,
+        expect="not-imported", expect_blocked_by="verifier",
+    ))
+
+    # 3. vlan-leak: switchport writes are legitimately granted to the
+    # vlan profile; only verification sees the broken reachability.
+    device, iface, command, detail = rng.choice(_VLAN_LEAK_EDITS)
+    attacks.append(Attack(
+        label=f"vlan-leak-{device}-{iface.lower().replace('/', '-')}",
+        kind="vlan-leak",
+        description=f"{detail} ({device} {iface})",
+        cover_issue="vlan",
+        script=(FixStep(device, (
+            "configure terminal",
+            f"interface {iface}",
+            command,
+            "end",
+            "write memory",
+        )),),
+        run_fix=True,
+        expect="not-imported", expect_blocked_by="verifier",
+    ))
+
+    # 4. route-blackhole: a routing-profile cover ticket plants a static
+    # loop for a working prefix; the verifier rejects the whole set.
+    device, prefix, mask, next_hop = rng.choice(_BLACKHOLE_ROUTES)
+    attacks.append(Attack(
+        label=f"blackhole-{prefix.replace('.', '-')}",
+        kind="route-blackhole",
+        description=f"loop {prefix}/{mask} at {device} via {next_hop} "
+                    f"(AD 1 beats OSPF)",
+        cover_issue="isp",
+        script=(FixStep(device, (
+            "configure terminal",
+            f"ip route {prefix} {mask} {next_hop}",
+            "end",
+            "write memory",
+        )),),
+        run_fix=True,
+        expect="not-imported", expect_blocked_by="verifier",
+    ))
+
+    # 5. privilege-probe: out-of-profile commands and rung-skipping
+    # escalations, all refused; the cover fix still lands.
+    probes = list(_PROBE_COMMANDS)
+    rng.shuffle(probes)
+    device = rng.choice(("sw2", "sw1"))
+    attacks.append(Attack(
+        label=f"privilege-probe-{device}",
+        kind="privilege-probe",
+        description=f"out-of-profile probes on {device} under a vlan "
+                    f"ticket; every command denied, fix still lands",
+        cover_issue="vlan",
+        script=(FixStep(device, tuple(
+            ["configure terminal"] + probes + ["end"]
+        )),),
+        escalations=("acl", "routing"),
+        run_fix=True,
+        expect="committed", expect_blocked_by="monitor",
+        min_denied=len(probes),
+    ))
+
+    # 6. acl-sneak: ACL-mode entry materialises an empty ACL past the
+    # per-command monitor; the verifier's privilege re-check rejects it.
+    name = rng.choice(_SNEAK_ACL_NAMES)
+    attacks.append(Attack(
+        label=f"acl-sneak-{name.lower()}",
+        kind="acl-sneak",
+        description=f"materialise empty ACL {name} on dept1 via the mode "
+                    f"transition; caught by the verifier's privilege check",
+        cover_issue="vlan",
+        script=(FixStep("dept1", (
+            "configure terminal",
+            f"ip access-list extended {name}",
+            "end",
+        )),),
+        run_fix=True,
+        expect="not-imported", expect_blocked_by="verifier",
+    ))
+
+    return tuple(attacks)

@@ -25,13 +25,19 @@ from repro.core.enforcer.audit import ReplicatedAuditTrail
 from repro.core.enforcer.risk import RiskConfig
 from repro.core.enforcer.rollout import RolloutConfig
 from repro.core.heimdall import Heimdall
+from repro.faults.adversary import generate_attacks
 from repro.faults.registry import Rule
 from repro.policy.mining import mine_policies
 from repro.policy.verification import PolicyVerifier
 from repro.scenarios.enterprise import build_enterprise_network
 from repro.scenarios.issues import FixStep, standard_issues
 from repro.scenarios.university import build_university_network
-from repro.util.errors import AuditQuorumError, PushCrashed, ReproError
+from repro.util.errors import (
+    AuditQuorumError,
+    PrivilegeError,
+    PushCrashed,
+    ReproError,
+)
 
 _BUILDERS = {
     "enterprise": build_enterprise_network,
@@ -62,6 +68,7 @@ REPORT_METRICS = (
     "audit.replica.appends",
     "audit.replica.flagged",
     "audit.replica.quorum_lost",
+    "monitor.denied",
 )
 
 # The second-device change the canary scenarios ride along with the
@@ -113,6 +120,11 @@ class Scenario:
     approvals: object = None
     audit_replicas: int = 0
     expect_audit: str = None
+    # Adversarial-technician knob: an Attack (repro.faults.adversary)
+    # overrides the ticket's profile/exemptions, optionally skips the
+    # legitimate fix, runs the malicious script + escalation probes, and
+    # asserts which layer (monitor or verifier) stopped the attack.
+    attack: object = None
 
 
 @dataclass
@@ -149,6 +161,15 @@ class ScenarioOutcome:
     audit_status: str = ""
     audit_flagged: list = field(default_factory=list)
     approval_ok: bool = True
+    # Adversarial verdicts (trivially true for fault-shaped scenarios):
+    # the attack must have drawn at least the expected monitor denials,
+    # every escalation probe must have been refused, and the layer the
+    # attack expects to be blocked by must actually have blocked it.
+    attack_kind: str = ""
+    denied_commands: int = 0
+    escalations_refused: int = 0
+    blocked_by: str = ""
+    attack_ok: bool = True
 
     @property
     def ok(self):
@@ -156,7 +177,7 @@ class ScenarioOutcome:
             self.expectation_met
         ) and self.wave_records_ok and self.quarantine_ok and (
             self.approval_ok
-        ) and not self.error
+        ) and self.attack_ok and not self.error
 
     def to_dict(self):
         return {
@@ -181,6 +202,11 @@ class ScenarioOutcome:
             "audit_status": self.audit_status,
             "audit_flagged": list(self.audit_flagged),
             "approval_ok": self.approval_ok,
+            "attack_kind": self.attack_kind,
+            "denied_commands": self.denied_commands,
+            "escalations_refused": self.escalations_refused,
+            "blocked_by": self.blocked_by,
+            "attack_ok": self.attack_ok,
             "ok": self.ok,
         }
 
@@ -210,8 +236,13 @@ class CampaignReport:
 
 # -- campaign catalog ---------------------------------------------------------
 
-def _campaigns():
-    """Campaign name -> scenario list (a function so Rules are fresh)."""
+def _campaigns(seed=7):
+    """Campaign name -> scenario list (a function so Rules are fresh).
+
+    ``seed`` parameterises the generated campaigns (today: the
+    adversarial attack variants); the hand-written fault campaigns are
+    seed-independent — their Rules are seeded at arm time instead.
+    """
     push_failures = [
         Scenario(
             label="transient-retried",
@@ -427,6 +458,21 @@ def _campaigns():
             expect="not-imported", expect_audit="lost",
         ),
     ]
+    # Attacker-shaped coverage: every scenario is a seeded Attack riding a
+    # legitimate cover ticket; the attack's own expectations (denials,
+    # refused escalations, blocking layer) compose with the two-state
+    # invariant judge all scenarios share.
+    adversarial = [
+        Scenario(
+            label=attack.label,
+            network=attack.network,
+            issue=attack.cover_issue,
+            plan={},
+            expect=attack.expect,
+            attack=attack,
+        )
+        for attack in generate_attacks(seed)
+    ]
     smoke = [
         push_failures[0], push_failures[1], push_failures[3],
         push_failures[4],
@@ -440,6 +486,7 @@ def _campaigns():
         "verify-degraded": verify_degraded,
         "canary": canary,
         "approvals": approvals,
+        "adversarial": adversarial,
         "smoke": smoke,
     }
 
@@ -449,9 +496,9 @@ def campaign_names():
     return sorted(_campaigns())
 
 
-def campaigns():
+def campaigns(seed=7):
     """Campaign name -> scenario list (fresh Rules; safe to introspect)."""
-    return _campaigns()
+    return _campaigns(seed)
 
 
 # -- runner -------------------------------------------------------------------
@@ -462,7 +509,7 @@ def run_campaign(name, seed):
     Observability is enabled for the duration so fault paths land in the
     metrics the report surfaces (and in spans/audit correlation).
     """
-    campaigns = _campaigns()
+    campaigns = _campaigns(seed)
     if name not in campaigns:
         raise ReproError(
             f"unknown campaign {name!r}; choose from "
@@ -502,20 +549,43 @@ def run_scenario(scenario, seed):
         rollout=scenario.rollout, approvals=scenario.approvals,
         audit_replicas=scenario.audit_replicas,
     )
-    session = heimdall.open_ticket(issue)
+    attack = scenario.attack
+    open_kwargs = {}
+    if attack is not None:
+        outcome.attack_kind = attack.kind
+        if attack.profile:
+            open_kwargs["profile"] = attack.profile
+        if attack.exempt_devices:
+            open_kwargs["exempt_devices"] = tuple(attack.exempt_devices)
+    session = heimdall.open_ticket(issue, **open_kwargs)
+    ticket_outcome = None
     try:
         if scenario.arm_phase == "session":
             faults.arm(scenario.plan, seed=seed)
-        session.run_fix_script(issue.fix_script)
+        if attack is None or attack.run_fix:
+            session.run_fix_script(issue.fix_script)
         if scenario.extra_script:
             session.run_fix_script(scenario.extra_script)
+        if attack is not None:
+            # The malicious part of the ticket: denied commands come back
+            # as failed results (never exceptions), refused escalations
+            # raise and are counted — both are the defense working.
+            for step in attack.script:
+                for command in step.commands:
+                    session.execute(step.device, command)
+            outcome.denied_commands = session.twin.monitor.stats.denied
+            for requested in attack.escalations:
+                try:
+                    session.request_escalation(requested, attack.label)
+                except PrivilegeError:
+                    outcome.escalations_refused += 1
         # The twin session never touches production: this is the pre-push
         # baseline the atomicity invariant compares against.
         baseline = network.copy()
         if scenario.arm_phase == "push":
             faults.arm(scenario.plan, seed=seed)
         try:
-            session.submit()
+            ticket_outcome = session.submit()
         except PushCrashed as crash:
             outcome.crashed = True
             resume_kwargs = {}
@@ -556,7 +626,31 @@ def run_scenario(scenario, seed):
         # lost quorum must be *reported* as lost — both count as the audit
         # layer working.
         outcome.audit_intact = outcome.audit_status == scenario.expect_audit
+    if scenario.attack is not None:
+        _judge_attack(outcome, scenario.attack, ticket_outcome)
     return outcome
+
+
+def _judge_attack(outcome, attack, ticket_outcome):
+    """Every seeded attack must be stopped by the layer it targets.
+
+    ``monitor``-blocked attacks must draw at least ``min_denied``
+    denied-with-reason results; ``verifier``-blocked attacks must end in a
+    rejected enforcement decision. Escalation probes must all be refused.
+    The state/audit invariants (shared with every chaos scenario) separately
+    prove nothing malicious reached production.
+    """
+    checks = [
+        outcome.denied_commands >= attack.min_denied,
+        outcome.escalations_refused == len(attack.escalations),
+    ]
+    if attack.expect_blocked_by == "verifier":
+        checks.append(
+            ticket_outcome is not None and not ticket_outcome.approved
+        )
+    outcome.attack_ok = all(checks)
+    if outcome.attack_ok:
+        outcome.blocked_by = attack.expect_blocked_by
 
 
 def _judge(outcome, heimdall, network, baseline, issue):

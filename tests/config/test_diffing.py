@@ -2,6 +2,7 @@ import ipaddress
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config.acl import Acl, AclEntry
 from repro.config.diffing import ConfigChange, diff_configs, diff_networks
@@ -25,6 +26,18 @@ ip access-list extended FW
 ip route 0.0.0.0 0.0.0.0 10.0.12.2
 !
 """
+
+
+# Small pool so sampled entry lists collide: duplicates and reorders are
+# the interesting multiset cases, and random entries would rarely produce
+# either.
+ENTRY_POOL = tuple(AclEntry.parse(line) for line in (
+    "permit ip any any",
+    "deny ip any any",
+    "permit tcp any host 10.2.0.5 eq www",
+    "deny tcp any host 10.2.0.5 eq www",
+    "permit udp any any eq 53",
+))
 
 
 @pytest.fixture
@@ -126,6 +139,80 @@ class TestDiffConfigs:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             ConfigChange("r1", "bogus.kind")
+
+
+class TestMultisetHelpers:
+    """Duplicate-entry semantics of the ACL/route multiset differ."""
+
+    def test_dropping_one_duplicate_removes_exactly_one(self, base):
+        dup = AclEntry.parse("permit ip any any")
+        before = base.copy()
+        before.acl("FW").entries.append(dup)  # FW now ends permit, permit
+        after = before.copy()
+        after.acl("FW").entries.pop()
+        changes = diff_configs(before, after)
+        assert [c.kind for c in changes] == ["acl.entry_removed"]
+        assert changes[0].old == dup
+
+    def test_adding_a_duplicate_adds_exactly_one(self, base):
+        changed = base.copy()
+        changed.acl("FW").entries.append(changed.acl("FW").entries[1])
+        changes = diff_configs(base, changed)
+        assert [c.kind for c in changes] == ["acl.entry_added"]
+
+    def test_multiset_diff_counts_multiplicity(self):
+        from repro.config.diffing import _multiset_diff
+        removed, added = _multiset_diff(["a", "a", "b"], ["a", "b", "b"])
+        assert removed == ["a"]
+        assert added == ["b"]
+
+    def test_without_drops_one_occurrence_per_item(self):
+        from repro.config.diffing import _without
+        assert _without(["a", "a", "b"], ["a"]) == ["a", "b"]
+        assert _without(["a", "b"], []) == ["a", "b"]
+
+    def test_moving_a_duplicate_is_a_pure_reorder(self, base):
+        dup = AclEntry.parse("deny tcp any host 10.2.0.5 eq www")
+        before = base.copy()
+        before.acl("FW").entries.append(dup)  # deny X, permit, deny X
+        after = before.copy()
+        after.acl("FW").entries = [
+            dup, before.acl("FW").entries[0], before.acl("FW").entries[1]
+        ]
+        # Same multiset, different order: the only change is the reorder.
+        (change,) = diff_configs(before, after)
+        assert change.kind == "acl.reordered"
+
+    @given(
+        st.lists(st.sampled_from(ENTRY_POOL), max_size=6),
+        st.lists(st.sampled_from(ENTRY_POOL), max_size=6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_acl_diff_replay_roundtrip(self, old_entries, new_entries):
+        # Replaying the emitted removes, adds, and (when present) the
+        # authoritative reorder over the old entry list must reconstruct
+        # the new entry list exactly — including duplicate multiplicity.
+        from repro.config.diffing import _multiset_diff, _without
+
+        old = DeviceConfig(hostname="r1")
+        old.add_acl(Acl(name="FW", entries=list(old_entries)))
+        new = DeviceConfig(hostname="r1")
+        new.add_acl(Acl(name="FW", entries=list(new_entries)))
+        changes = diff_configs(old, new)
+        removed = [c.old for c in changes if c.kind == "acl.entry_removed"]
+        added = [c.new for c in changes if c.kind == "acl.entry_added"]
+        reorders = [c for c in changes if c.kind == "acl.reordered"]
+        expected_removed, expected_added = _multiset_diff(
+            list(old_entries), list(new_entries)
+        )
+        assert removed == expected_removed
+        assert added == expected_added
+        replayed = _without(list(old_entries), removed) + added
+        if reorders:
+            (reorder,) = reorders
+            assert reorder.new == tuple(new_entries)
+            replayed = list(reorder.new)
+        assert replayed == list(new_entries)
 
 
 class TestDiffNetworks:

@@ -1,0 +1,134 @@
+"""Section classification of config diffs, plus the taxonomy lint.
+
+The lint half is what ``make semdiff-lint`` runs: the section vocabulary
+must stay total over the differ's kind table and in lockstep with the risk
+classifier's weight table, so a new change kind or section cannot silently
+fall outside drift classification or risk scoring.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import obs
+from repro.config import semdiff
+from repro.config.diffing import _KIND_TABLE, diff_configs, diff_networks
+from repro.config.parser import parse_config
+from repro.core.enforcer.risk import DEFAULT_WEIGHTS
+
+from tests.config.strategies import device_configs
+
+BASE = """\
+hostname r1
+!
+vlan 10
+ name staff
+!
+interface Gi0/0
+ ip address 10.0.12.1 255.255.255.0
+ ip ospf cost 10
+ no shutdown
+!
+ip route 0.0.0.0 0.0.0.0 10.0.12.2
+!
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def base():
+    return parse_config(BASE)
+
+
+class TestSectionOf:
+    def test_known_kinds(self):
+        assert semdiff.section_of_kind("interface.switchport_mode") == "vlan"
+        assert semdiff.section_of_kind("interface.ospf_cost") == "ospf"
+        assert semdiff.section_of_kind("interface.access_group_in") == "acl"
+        assert semdiff.section_of_kind("default_gateway") == "static"
+        assert semdiff.section_of_kind("hostname") == "scalar"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            semdiff.section_of_kind("bogus.kind")
+
+
+class TestChangedSections:
+    def test_identical_configs_yield_empty_set(self, base):
+        assert semdiff.changed_sections(base, base.copy()) == frozenset()
+
+    def test_sections_accumulate_across_kinds(self, base):
+        changed = base.copy()
+        changed.vlans[10].name = "eng"           # vlan.renamed
+        changed.interface("Gi0/0").ospf_cost = 99  # interface.ospf_cost
+        changed.enable_secret = "s3cret"         # enable_secret
+        sections = semdiff.changed_sections(base, changed)
+        assert sections == frozenset({"vlan", "ospf", "scalar"})
+
+    def test_metrics_distinguish_classified_from_unchanged(self, base):
+        changed = base.copy()
+        changed.interface("Gi0/0").shutdown = True
+        obs.reset()
+        obs.enable()
+        try:
+            semdiff.changed_sections(base, changed)
+            semdiff.changed_sections(base, base.copy())
+        finally:
+            obs.disable()
+        registry = obs.registry()
+        assert registry.get("semdiff.devices.classified").value == 1
+        assert registry.get("semdiff.devices.unchanged").value == 1
+        assert registry.get("semdiff.sections.per_device").count == 1
+
+    def test_sections_by_device_groups_a_network_diff(self, base):
+        other = parse_config(BASE, hostname="r2")
+        new = {"r1": base.copy(), "r2": other.copy()}
+        new["r1"].interface("Gi0/0").shutdown = True
+        new["r2"].vlans[10].name = "eng"
+        new["r2"].interface("Gi0/0").ospf_cost = 42
+        by_device = semdiff.sections_by_device(
+            diff_networks({"r1": base, "r2": other}, new)
+        )
+        assert by_device == {
+            "r1": frozenset({"interface"}),
+            "r2": frozenset({"vlan", "ospf"}),
+        }
+
+
+class TestSectionProperties:
+    @given(device_configs(), device_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_every_generated_diff_classifies(self, a, b):
+        # No change the differ can emit falls outside the section table.
+        b = b.copy()
+        b.hostname = a.hostname
+        for change in diff_configs(a, b):
+            assert semdiff.section_of(change) in semdiff.SECTIONS
+
+
+class TestTaxonomyLint:
+    """What ``make semdiff-lint`` gates."""
+
+    def test_every_diff_kind_has_exactly_one_section(self):
+        assert set(semdiff._SECTION_BY_KIND) == set(_KIND_TABLE)
+        for kind, section in semdiff._SECTION_BY_KIND.items():
+            assert section in semdiff.SECTIONS, f"{kind} -> {section}"
+
+    def test_sections_and_risk_weights_are_the_same_set(self):
+        # Risk weighting consumes the section vocabulary directly: a
+        # section without a weight (or a weight for a dead section) is a
+        # classification bug, not a tuning knob.
+        assert set(DEFAULT_WEIGHTS) == set(semdiff.SECTIONS)
+
+    def test_every_kind_resolves_to_a_risk_weight(self):
+        for kind in _KIND_TABLE:
+            section = semdiff.section_of_kind(kind)
+            assert DEFAULT_WEIGHTS[section] > 0
+
+    def test_all_sections_constant_matches_vocabulary(self):
+        assert semdiff.ALL_SECTIONS == frozenset(semdiff.SECTIONS)

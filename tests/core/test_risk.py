@@ -51,7 +51,7 @@ class TestSectionScoring:
     def test_mgmt_change_stays_low_risk(self):
         assessment = assess([MGMT])
         assert not assessment.high
-        # 0.25 section weight x at most (1 + 1.0 cone fraction) < 3.0.
+        # 0.5 scalar-section weight x at most (1 + 1.0 cone fraction) < 3.0.
         assert assessment.score < RiskConfig().threshold
 
     def test_acl_change_is_high_risk_by_default(self):
@@ -76,7 +76,7 @@ class TestSectionScoring:
         assert two.section_score == pytest.approx(2 * one.section_score)
 
     def test_weight_overrides_apply(self):
-        assessment = assess([MGMT], weights={"mgmt": 50.0}, cone_weight=0.0)
+        assessment = assess([MGMT], weights={"scalar": 50.0}, cone_weight=0.0)
         assert assessment.section_score == 50.0
         assert assessment.high
 
@@ -117,7 +117,7 @@ class TestVerdict:
         assessment = assess([ACL, MGMT])
         text = " ".join(assessment.reasons)
         assert "acl change" in text
-        assert "mgmt change" in text
+        assert "scalar change" in text
 
     def test_assessment_is_deterministic(self):
         first = assess([ROUTING, ACL])

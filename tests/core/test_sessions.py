@@ -19,7 +19,7 @@ from repro.core.sessions import LeaseManager, SessionManager
 from repro.faults.registry import Rule
 from repro.policy.mining import mine_policies
 from repro.scenarios.enterprise import build_enterprise_network
-from repro.scenarios.issues import standard_issues
+from repro.scenarios.issues import FixStep, standard_issues
 from repro.util import rand
 from repro.util.errors import LeaseError, LeaseTimeout, SessionError
 
@@ -211,6 +211,126 @@ class TestStaleBase:
         assert outcome_b.status == "stale-rejected"
         assert not outcome_b.imported
         assert not issues["isp"].is_resolved(production)
+        assert heimdall.audit.verify()
+
+
+class TestSemanticDrift:
+    """Section-level drift classification (docs/ARCHITECTURE.md).
+
+    The regression that motivated it: two tickets editing *disjoint
+    sections of the same device* used to be a fingerprint-level conflict;
+    now the second rebases cleanly and both land.
+    """
+
+    DESCRIPTION_EDIT = (FixStep("dist1", (
+        "configure terminal",
+        "interface Gi0/3",
+        "description database LAN uplink",
+        "end",
+        "write memory",
+    )),)
+
+    def _disjoint_sessions(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        # A fixes dist1's OSPF networks; B annotates dist1's db-LAN port
+        # under an interface profile — same device, disjoint sections.
+        session_a = manager.open_ticket(issue, mode="optimistic")
+        session_b = manager.open_ticket(
+            issue, mode="optimistic", profile="interface"
+        )
+        session_a.run_fix_script(issue.fix_script)
+        session_b.run_fix_script(self.DESCRIPTION_EDIT)
+        return production, heimdall, issue, session_a, session_b
+
+    def test_disjoint_sections_of_one_device_both_land(self, deployment):
+        production, heimdall, issue, session_a, session_b = (
+            self._disjoint_sessions(deployment)
+        )
+        obs.reset()
+        obs.enable()
+        try:
+            outcome_a = session_a.submit()
+            outcome_b = session_b.submit()
+        finally:
+            obs.disable()
+        assert outcome_a.status == "clean" and outcome_a.imported
+        assert outcome_b.status == "rebased" and outcome_b.imported
+        assert outcome_b.drift_sections == {"dist1": frozenset({"ospf"})}
+        assert issue.is_resolved(production)
+        assert (
+            production.config("dist1").interface("Gi0/3").description
+            == "database LAN uplink"
+        )
+        registry = obs.registry()
+        assert registry.get("sessions.conflicts").value == 0
+        assert registry.get("sessions.rebase.semantic").value == 1
+        semantic = [
+            record for record in heimdall.audit.records
+            if record.action == "sessions.rebase.semantic"
+        ]
+        assert len(semantic) == 1 and semantic[0].allowed
+        assert "dist1(ospf)" in semantic[0].command
+        assert heimdall.audit.verify()
+
+    def test_same_section_drift_still_conflicts(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session_a = manager.open_ticket(issue, mode="optimistic")
+        session_b = manager.open_ticket(issue, mode="optimistic")
+        session_a.run_fix_script(issue.fix_script)
+        session_b.run_fix_script(issue.fix_script)
+        assert session_a.submit().status == "clean"
+        outcome_b = session_b.submit()
+        assert outcome_b.status == "conflict"
+        assert outcome_b.drift_sections["dist1"] == frozenset({"ospf"})
+        assert "dist1(ospf)" in outcome_b.reason
+
+    def test_serialization_stable_rewrite_is_not_drift(self, deployment):
+        production, heimdall = deployment
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue, mode="optimistic")
+        session.run_fix_script(issue.fix_script)
+        # Re-key gw's interface dict: the serialization (and so the
+        # fingerprint) changes, the semantics do not.
+        config = production.config("gw")
+        config.interfaces = dict(reversed(list(config.interfaces.items())))
+        obs.reset()
+        obs.enable()
+        try:
+            outcome = session.submit()
+        finally:
+            obs.disable()
+        assert outcome.status == "clean" and outcome.imported
+        assert outcome.drifted == ()
+        registry = obs.registry()
+        assert registry.get("semdiff.devices.unchanged").value == 1
+        assert registry.get("sessions.rebases").value == 0
+
+    def test_bypass_fault_restores_fingerprint_classification(
+        self, deployment
+    ):
+        production, heimdall, issue, session_a, session_b = (
+            self._disjoint_sessions(deployment)
+        )
+        assert session_a.submit().status == "clean"
+        # With section classification bypassed, dist1 counts as drifted in
+        # every section, so the disjoint edit degrades to a conflict —
+        # the conservative pre-semdiff behaviour.
+        faults.arm({"sessions.semdiff.bypass": Rule(nth=1)}, seed=7)
+        outcome_b = session_b.submit()
+        faults.disarm()
+        assert outcome_b.status == "conflict"
+        assert not outcome_b.imported
+        assert outcome_b.drift_sections["dist1"] == frozenset(
+            ("vlan", "interface", "ospf", "bgp", "static", "acl", "scalar")
+        )
         assert heimdall.audit.verify()
 
 

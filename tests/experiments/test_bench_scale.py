@@ -40,6 +40,23 @@ class TestRunScaleBenchmark:
         assert generated["devices"] > 0
         assert generated["policies"] > 0
 
+    def test_sharding_reports_requested_and_effective_workers(self, report):
+        sharding = report["sharding"]
+        assert sharding["shards"] > 0
+        # The knob as passed (None = auto) and what the pool actually
+        # forked — effective is cpu-resolved, never more than shard count.
+        assert sharding["workers_requested"] is None
+        assert 1 <= sharding["workers_effective"] <= sharding["shards"]
+
+    def test_explicit_worker_request_is_recorded(self):
+        report = run_scale_benchmark(
+            size=40, shape="hub-spoke", seed=3, repeats=1, shard_size=3,
+            workers=2,
+        )
+        sharding = report["sharding"]
+        assert sharding["workers_requested"] == 2
+        assert sharding["workers_effective"] <= 2
+
     def test_ratios_positive(self, report):
         compile_ = report["compile"]
         assert compile_["single_ms"] > 0

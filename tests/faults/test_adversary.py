@@ -1,0 +1,113 @@
+"""Adversarial-technician campaign: seeded attacks, every one stopped.
+
+The campaign's contract is the paper's least-privilege claim run as a red
+team: a malicious operator riding a legitimate cover ticket must be stopped
+by the reference monitor (deny-with-reason) or by invariant verification
+(candidate never imported) — with the legitimate fix still landing where
+one runs. The judge in :mod:`repro.faults.chaos` enforces the two-state
+invariant on top, so a "blocked" attack that still mutated production
+would fail the scenario.
+"""
+
+import pytest
+
+from repro.faults.adversary import KINDS, Attack, generate_attacks
+from repro.faults.chaos import run_campaign
+
+
+class TestGenerateAttacks:
+    def test_same_seed_same_attacks(self):
+        assert generate_attacks(7) == generate_attacks(7)
+
+    def test_seeds_vary_the_instances(self):
+        # Variant pools are small, so any one field may collide between
+        # two seeds; across a sweep the campaign must not degenerate to a
+        # single instance.
+        sweeps = {generate_attacks(seed) for seed in range(7, 15)}
+        assert len(sweeps) > 1
+
+    def test_every_kind_appears(self):
+        attacks = generate_attacks(7)
+        assert {attack.kind for attack in attacks} == set(KINDS)
+
+    def test_every_attack_names_its_blocking_layer(self):
+        for seed in (7, 11, 23):
+            for attack in generate_attacks(seed):
+                assert attack.expect_blocked_by in ("monitor", "verifier")
+                assert attack.kind in KINDS
+                assert attack.cover_issue in ("isp", "vlan")
+                assert attack.script, attack.label
+
+    def test_only_the_probe_expects_a_commit(self):
+        # Every attack either never imports or (privilege-probe) rides a
+        # fix that lands while its own commands are denied. Nothing in the
+        # pools expects an attack payload to reach production.
+        for attack in generate_attacks(7):
+            if attack.kind == "privilege-probe":
+                assert attack.expect == "committed"
+                assert attack.min_denied >= 3
+            else:
+                assert attack.expect == "not-imported"
+
+
+class TestAdversarialCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_campaign("adversarial", seed=7)
+
+    def test_campaign_passes(self, report):
+        failed = [
+            outcome.label for outcome in report.scenarios if not outcome.ok
+        ]
+        assert not failed, f"scenarios failed: {failed}"
+        assert len(report.scenarios) == len(generate_attacks(7))
+
+    def test_every_attack_reports_its_defense(self, report):
+        for outcome in report.scenarios:
+            assert outcome.attack_kind in KINDS
+            assert outcome.attack_ok, outcome.label
+            assert outcome.blocked_by in ("monitor", "verifier")
+
+    def test_monitor_blocked_attacks_drew_denials(self, report):
+        denied = [
+            outcome for outcome in report.scenarios
+            if outcome.blocked_by == "monitor"
+        ]
+        assert denied
+        for outcome in denied:
+            assert outcome.denied_commands > 0, outcome.label
+
+    def test_escalation_probes_were_refused(self, report):
+        probe = next(
+            outcome for outcome in report.scenarios
+            if outcome.attack_kind == "privilege-probe"
+        )
+        assert probe.escalations_refused == 2
+        assert probe.outcome == "committed"  # the cover fix still landed
+
+    def test_state_invariant_holds_under_attack(self, report):
+        for outcome in report.scenarios:
+            assert outcome.outcome in ("committed", "not-imported"), (
+                f"{outcome.label}: {outcome.outcome}"
+            )
+            assert outcome.state_invariant, outcome.label
+            assert outcome.audit_intact, outcome.label
+
+    def test_same_seed_same_report(self, report):
+        again = run_campaign("adversarial", seed=7)
+        assert report.to_dict() == again.to_dict()
+
+
+class TestAttackModel:
+    def test_attack_is_frozen(self):
+        attack = generate_attacks(7)[0]
+        with pytest.raises(Exception):
+            attack.label = "renamed"
+
+    def test_defaults_describe_a_verifier_block(self):
+        attack = Attack(
+            label="x", kind="vlan-leak", description="d", cover_issue="vlan"
+        )
+        assert attack.expect == "not-imported"
+        assert attack.expect_blocked_by == "verifier"
+        assert attack.run_fix

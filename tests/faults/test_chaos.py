@@ -14,8 +14,8 @@ def push_failures_report():
 class TestCampaignCatalog:
     def test_names(self):
         assert campaign_names() == [
-            "approvals", "canary", "monitor-timeouts", "push-failures",
-            "smoke", "verify-degraded",
+            "adversarial", "approvals", "canary", "monitor-timeouts",
+            "push-failures", "smoke", "verify-degraded",
         ]
 
     def test_unknown_campaign_rejected(self):

@@ -178,8 +178,8 @@ class TestChaosCli:
         code, text = run("chaos", "--list")
         assert code == 0
         assert text.splitlines() == [
-            "approvals", "canary", "monitor-timeouts", "push-failures",
-            "smoke", "verify-degraded",
+            "adversarial", "approvals", "canary", "monitor-timeouts",
+            "push-failures", "smoke", "verify-degraded",
         ]
         assert text.splitlines() == campaign_names()
 

@@ -35,6 +35,7 @@ ALLOWED = {
     "repro/config/apply.py:_HANDLERS": "change-kind dispatch table",
     "repro/config/diffing.py:_KIND_TABLE": "diff-kind metadata",
     "repro/config/diffing.py:_CATEGORY_BY_KIND": "derived diff metadata",
+    "repro/config/semdiff.py:_SECTION_BY_KIND": "kind -> section table",
     "repro/control/routes.py:ADMIN_DISTANCE": "protocol preference table",
     "repro/core/enforcer/risk.py:DEFAULT_WEIGHTS":
         "config-section risk weight table",
