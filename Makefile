@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test docs-check bench bench-check bench-scale obs-report report \
-	chaos chaos-matrix semdiff-lint stress check
+	chaos chaos-matrix semdiff-lint stress stress-tenants check
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -30,10 +30,12 @@ bench-check:
 
 # Mega-network smoke: generate + shard-compile + verify a small scenario
 # end to end. The committed BENCH_scale.json comes from the full run
-# (`bench --scale 500`); this target only proves the pipeline works here.
+# (`bench --scale 500`); this target only proves the pipeline works here,
+# so its throwaway report goes to /tmp — never into the repo, and never
+# read by `bench --check`.
 bench-scale:
 	$(PYTHON) -m repro.cli bench --scale 120 --shape hub-spoke --repeats 2 \
-		-o BENCH_scale_smoke.json
+		-o /tmp/BENCH_scale_smoke.json
 
 obs-report:
 	$(PYTHON) -m repro.cli obs report --network university --issue ospf
@@ -50,6 +52,7 @@ chaos:
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign canary
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign approvals
 	$(PYTHON) -m repro.cli chaos --seed 7 --campaign adversarial
+	$(PYTHON) -m repro.cli chaos --seed 7 --campaign tenants
 	$(PYTHON) -m pytest -x -q tests/
 
 # Assert the semantic-diff section taxonomy is total and in lockstep with
@@ -72,5 +75,14 @@ chaos-matrix:
 stress:
 	$(PYTHON) -m repro.cli bench --concurrent 8 --seed 7 -o BENCH_concurrent.json
 
+# Multi-tenant front-door stress: 24 sessions over 3 org-isolated
+# deployments, front door vs direct, plus a deterministic flood probe;
+# exits non-zero unless every session imports with zero cross-tenant
+# violations and the isolation-overhead gate (<= 1.3x) holds
+# (docs/ARCHITECTURE.md "Tenancy & front door").
+stress-tenants:
+	$(PYTHON) -m repro.cli bench --tenants 24 --orgs 3 --seed 7 \
+		-o BENCH_tenants.json
+
 # The default pre-merge gate.
-check: docs-check chaos stress bench-scale bench-check
+check: docs-check chaos stress stress-tenants bench-scale bench-check

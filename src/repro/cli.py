@@ -156,6 +156,8 @@ def cmd_bench(args, out):
         return _bench_rollout(args, out)
     if args.scale:
         return _bench_scale(args, out)
+    if args.tenants:
+        return _bench_tenants(args, out)
     args.output = args.output or "BENCH_dataplane.json"
     report = run_benchmarks(networks=args.networks, repeats=args.repeats)
     write_report(report, args.output)
@@ -242,6 +244,44 @@ def _bench_rollout(args, out):
     write_report(report, output)
     out.write(f"rollout benchmark report written to {output}\n")
     return 0
+
+
+def _bench_tenants(args, out):
+    """Front-door vs direct multi-org throughput; exit 0 iff gate passes."""
+    from repro.experiments.bench_tenants import (
+        run_tenants_bench,
+        write_report,
+    )
+
+    network = (args.networks or ["university"])[0]
+    output = args.output or "BENCH_tenants.json"
+    report = run_tenants_bench(
+        sessions=args.tenants, orgs=args.orgs, network=network,
+        seed=args.seed,
+    )
+    write_report(report, output)
+    out.write(
+        f"{network}: {report['sessions']} sessions over {report['orgs']} "
+        f"orgs — front door {report['frontdoor']['elapsed_s']}s "
+        f"({report['frontdoor']['throughput_per_s']}/s), direct "
+        f"{report['direct']['elapsed_s']}s "
+        f"({report['direct']['throughput_per_s']}/s)\n"
+    )
+    flood = report["flood"]
+    out.write(
+        f"  flood: shed={'yes' if flood['shed'] else 'NO'} "
+        f"retry_after={flood['retry_after_s']}s\n"
+    )
+    for invariant, held in sorted(report["invariants"].items()):
+        out.write(f"  [{'ok' if held else 'FAIL':4}] {invariant}\n")
+    gate = report["acceptance"]
+    state = "pass" if gate["pass"] else "FAIL"
+    out.write(
+        f"isolation overhead {gate['overhead_ratio']}x "
+        f"(target <= {gate['target']}x): {state}\n"
+    )
+    out.write(f"tenants benchmark report written to {output}\n")
+    return 0 if report["ok"] else 1
 
 
 def _bench_concurrent(args, out):
@@ -639,6 +679,16 @@ def build_parser():
              "topology instead of the perf suite (writes BENCH_scale.json)",
     )
     bench.add_argument(
+        "--tenants", type=int, default=0, metavar="N",
+        help="run the multi-tenant front-door benchmark with N sessions "
+             "split over --orgs orgs instead of the perf suite (writes "
+             "BENCH_tenants.json)",
+    )
+    bench.add_argument(
+        "--orgs", type=int, default=3,
+        help="tenant org count for --tenants (default: 3)",
+    )
+    bench.add_argument(
         "--shape", choices=("fat-tree", "campus", "hub-spoke"),
         default="fat-tree",
         help="generated topology shape for --scale (default: fat-tree)",
@@ -649,14 +699,16 @@ def build_parser():
     )
     bench.add_argument(
         "--seed", type=int, default=7,
-        help="rand seed for the concurrent stress and scale benchmarks",
+        help="rand seed for the concurrent stress, scale, and tenants "
+             "benchmarks",
     )
     bench.add_argument(
         "-o", "--output", default=None,
         help="report path (default: BENCH_dataplane.json, "
              "BENCH_concurrent.json with --concurrent, "
-             "BENCH_rollout.json with --rollout, or "
-             "BENCH_scale.json with --scale)",
+             "BENCH_rollout.json with --rollout, "
+             "BENCH_scale.json with --scale, or "
+             "BENCH_tenants.json with --tenants)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -69,6 +69,12 @@ _BREAK_GLASS = obs_metrics.counter(
     help="timed-out rounds overridden by the audited break-glass actor",
 )
 
+_LISTENER_ERRORS = obs_metrics.counter(
+    "sessions.listener.error", unit="errors",
+    help="progress-listener callbacks (wave or approval) that raised; "
+         "swallowed so the push/round is never aborted by an observer",
+)
+
 _TIMEOUT_FAULT = faults.fault_point(
     "approvals.timeout", error=ApprovalTimeout,
     help="the approval round times out before quorum; the request is "
@@ -118,12 +124,20 @@ class ApprovalConfig:
     mediator: str = "mediator"
     break_glass_actor: str = ""
     risk: object = None  # RiskConfig | None
+    # How long a granted approval stays usable. The scheduler refuses a
+    # push whose approval is at or past its expiry instant — a grant
+    # parked overnight cannot authorise tomorrow's push.
+    grant_ttl_s: float = 3600.0
 
     def __post_init__(self):
         if not 1 <= self.quorum <= len(self.approvers):
             raise ValueError(
                 f"quorum {self.quorum} outside 1..{len(self.approvers)} "
                 f"approvers"
+            )
+        if self.grant_ttl_s <= 0:
+            raise ValueError(
+                f"grant_ttl_s must be > 0, got {self.grant_ttl_s}"
             )
 
 
@@ -143,6 +157,8 @@ class ApprovalRequest:
     reason: str = ""
     break_glass: bool = False
     timed_out: bool = False
+    granted_at: float = None
+    expires_at: float = None
 
     @property
     def granted(self):
@@ -155,6 +171,11 @@ class ApprovalRequest:
     def covers(self, changes):
         """Whether this approval binds to exactly ``changes``."""
         return self.fingerprint == change_fingerprint(changes)
+
+    def expired(self, now):
+        """Whether the grant is unusable at ``now`` (fails closed at the
+        expiry instant itself: ``now == expires_at`` already denies)."""
+        return self.expires_at is not None and now >= self.expires_at
 
     def summary(self):
         flags = []
@@ -359,6 +380,9 @@ class ApprovalCoordinator:
 
     def _finish(self, request, state):
         request.state = state
+        if state == APPROVED and self.clock is not None:
+            request.granted_at = self.clock.now
+            request.expires_at = self.clock.now + self.config.grant_ttl_s
         (_GRANTED if state == APPROVED else _DENIED).inc()
         self._transition(request, state, detail=request.reason)
         self._audit(
@@ -372,17 +396,22 @@ class ApprovalCoordinator:
         listener = self.listener
         if listener is None:
             return
-        listener({
-            "actor": request.actor,
-            "request_id": request.request_id,
-            "state": state,
-            "votes": dict(request.votes),
-            "crashed": list(request.crashed),
-            "quorum": self.config.quorum,
-            "approvers": len(self.config.approvers),
-            "break_glass": request.break_glass,
-            "detail": detail,
-        })
+        try:
+            listener({
+                "actor": request.actor,
+                "request_id": request.request_id,
+                "state": state,
+                "votes": dict(request.votes),
+                "crashed": list(request.crashed),
+                "quorum": self.config.quorum,
+                "approvers": len(self.config.approvers),
+                "break_glass": request.break_glass,
+                "detail": detail,
+            })
+        except Exception:
+            # A broken progress observer must never abort the round; the
+            # decision (and its audit record) is the load-bearing output.
+            _LISTENER_ERRORS.inc()
 
     def _audit(self, request, action, allowed, command, outcome, actor=None):
         if self.audit is None:

@@ -339,7 +339,8 @@ class ReplicatedAuditTrail:
     in-place tampering, and single-append partitions.
     """
 
-    def __init__(self, enclave, clock=None, replicas=3, quorum=None):
+    def __init__(self, enclave, clock=None, replicas=3, quorum=None,
+                 key_prefix="audit-replica"):
         if replicas < 1:
             raise ValueError("need at least one replica")
         self.enclave = enclave
@@ -349,8 +350,11 @@ class ReplicatedAuditTrail:
             raise ValueError(
                 f"quorum {self.quorum} outside 1..{replicas} replicas"
             )
+        # key_prefix namespaces the sealed chain keys: a multi-tenant
+        # deployment passes an org-scoped prefix so one org's replicas can
+        # never verify (or forge) another org's history.
         self.replicas = [
-            AuditTrail(enclave, clock=clock, key_id=f"audit-replica-{i}")
+            AuditTrail(enclave, clock=clock, key_id=f"{key_prefix}-{i}")
             for i in range(replicas)
         ]
         self._down = set()  # replica indices that crashed permanently

@@ -86,6 +86,11 @@ _PUSH_RESUMES = obs_metrics.counter(
     "push.resumes", unit="pushes",
     help="crashed pushes completed from their journal",
 )
+_LISTENER_ERRORS = obs_metrics.counter(
+    "sessions.listener.error", unit="errors",
+    help="progress-listener callbacks (wave or approval) that raised; "
+         "swallowed so the push/round is never aborted by an observer",
+)
 
 # Fault points the chaos campaigns exercise (docs/ROBUSTNESS.md catalog).
 # The device-apply failure modes live here, on the *production* apply path:
@@ -262,6 +267,12 @@ class ChangeScheduler:
                 raise ApprovalRequiredError(
                     f"approval {approval.request_id} covers a different "
                     f"change set; refusing to push"
+                )
+            if clock is not None and approval.expired(clock.now):
+                raise ApprovalRequiredError(
+                    f"approval {approval.request_id} expired at "
+                    f"{approval.expires_at:g} (now {clock.now:g}); "
+                    f"refusing to push"
                 )
         scheduled = batches if batches is not None else self.schedule(changes)
         with self._counter_lock:
@@ -738,14 +749,20 @@ class ChangeScheduler:
         listener = self.wave_listener
         if listener is None:
             return
-        listener({
-            "actor": actor,
-            "push_id": journal.push_id,
-            "wave": wave.index,
-            "waves": total_waves,
-            "devices": list(wave.devices),
-            "status": status,
-        })
+        try:
+            listener({
+                "actor": actor,
+                "push_id": journal.push_id,
+                "wave": wave.index,
+                "waves": total_waves,
+                "devices": list(wave.devices),
+                "status": status,
+            })
+        except Exception:
+            # A broken progress observer must never abort the push — the
+            # wave either committed or rolled back regardless of whether
+            # anyone managed to watch it happen.
+            _LISTENER_ERRORS.inc()
 
     # -- the transactional machinery ------------------------------------------
 

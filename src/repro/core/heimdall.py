@@ -38,7 +38,7 @@ from repro.core.twin.twin import TwinNetwork
 from repro.obs import trace as obs_trace
 from repro.policy.mining import mine_policies
 from repro.util.clock import CostModel, SimulatedClock
-from repro.util.errors import PrivilegeError
+from repro.util.errors import PrivilegeError, TenancyError
 from repro.util.ids import IdAllocator
 
 # Profiles a ticket class may escalate into (paper §7: escalations move from
@@ -82,9 +82,38 @@ class Heimdall:
     tickets through it rather than calling this class from N threads.
     """
 
-    def __init__(self, production, policies=None, scoping_strategy="heimdall",
+    def __init__(self, production=None, policies=None,
+                 scoping_strategy="heimdall",
                  clock=None, cost_model=None, max_workers=None, rollout=None,
-                 approvals=None, audit_replicas=0, audit_quorum=None):
+                 approvals=None, audit_replicas=0, audit_quorum=None,
+                 tenants=None, org_id=""):
+        # Multi-tenant service mode: N org-isolated deployments behind one
+        # admission front door (docs/ARCHITECTURE.md "Tenancy & front
+        # door"). All work routes through self.frontdoor; the single-tenant
+        # surface on this instance stays unusable (fail closed).
+        if tenants is not None:
+            from repro.core.frontdoor import FrontDoor
+
+            if production is not None:
+                raise TenancyError(
+                    "pass either production= (single tenant) or tenants= "
+                    "(multi-tenant front door), not both"
+                )
+            self.frontdoor = FrontDoor(
+                tenants, approvals=approvals,
+                audit_replicas=audit_replicas, audit_quorum=audit_quorum,
+            )
+            self.production = None
+            self.org_id = ""
+            return
+        if production is None:
+            raise TenancyError(
+                "a single-tenant Heimdall needs a production network; "
+                "multi-tenant service goes through "
+                "Heimdall(tenants=...).frontdoor"
+            )
+        self.frontdoor = None
+        self.org_id = org_id
         self.production = production
         self.policies = (
             list(policies) if policies is not None else mine_policies(production)
@@ -102,13 +131,21 @@ class Heimdall:
         # trail: N independent HMAC chains, quorum-voted reads, fail-closed
         # appends (docs/ROBUSTNESS.md "Approvals & replicated tamper
         # evidence").
+        # Chain keys are org-scoped so no two tenants' trails ever share
+        # sealing material — a forged cross-tenant record can't verify.
         if audit_replicas:
             self.audit = ReplicatedAuditTrail(
                 self.enclave, clock=self.clock, replicas=audit_replicas,
                 quorum=audit_quorum,
+                key_prefix=(
+                    f"{org_id}:audit-replica" if org_id else "audit-replica"
+                ),
             )
         else:
-            self.audit = AuditTrail(self.enclave, clock=self.clock)
+            self.audit = AuditTrail(
+                self.enclave, clock=self.clock,
+                key_id=f"{org_id}:audit-trail" if org_id else "audit-trail",
+            )
         self.scheduler = ChangeScheduler()
         # An ApprovalConfig turns on the high-risk quorum gate: enforce()
         # scores every approved change set and routes over-threshold ones
@@ -146,6 +183,11 @@ class Heimdall:
             Privilege_msp, and (when observability is on) the session's
             root span.
         """
+        if self.production is None:
+            raise TenancyError(
+                "this Heimdall fronts multiple tenants; route work through "
+                "heimdall.frontdoor with a capability token"
+            )
         strategy = strategy or self.scoping_strategy
         profile = profile or profile_for_issue(issue)
 
@@ -180,7 +222,9 @@ class Heimdall:
                 self.cost_model.twin_boot_s(twin.node_count()),
                 step="twin setup",
             )
-        session_id = self._ids.allocate("SESSION")
+        session_id = self._ids.allocate(
+            f"{self.org_id}:SESSION" if self.org_id else "SESSION"
+        )
         session_span.set(session_id=session_id)
         return TicketSession(
             self, issue, twin, spec, profile, session_id, span=session_span

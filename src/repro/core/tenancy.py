@@ -1,0 +1,479 @@
+"""Tenant registry and capability tokens for a multi-org Heimdall service.
+
+The paper's least-privilege argument is sharpest when one Heimdall
+deployment watches many customers: an MSP technician must never touch —
+or even observe — another org's network. This module provides the two
+primitives the front door (:mod:`repro.core.frontdoor`) builds on:
+
+* **TenantRegistry** — org_id -> tenant lookup behind a lock. Every
+  admission resolves its org here first; an unknown org (or the injected
+  ``tenancy.registry.crash``) **fails closed** before any tenant state is
+  read.
+* **TokenAuthority** — short-lived capability tokens per org. A token is
+  MAC-sealed under an *org-scoped* enclave key (``capability-<org>``), so
+  a token minted for org A cannot verify on org B's authority, let alone
+  be forged. Validation is deny-by-default in every dimension: MAC, org
+  binding, revocation/replay, clock-charged expiry (the expiry instant
+  itself already denies), and scope membership. Every refusal is counted
+  (``tenancy.tokens.denied``; cross-tenant and forged presentations also
+  on ``tenancy.violation``) and written as a MAC-covered refusal record
+  on the *victim* org's audit chain.
+* **Break-glass elevation** — :meth:`TokenAuthority.elevate` grants an
+  extra scope mid-incident by running the org's quorum-approvals state
+  machine (:mod:`repro.core.approvals`); an override granted via the
+  break-glass actor is indelibly flagged and counted
+  (``tenancy.break_glass``).
+
+Timestamps come from the org's :class:`~repro.util.clock.SimulatedClock`
+and keys from its :class:`~repro.core.enforcer.enclave.SimulatedEnclave`,
+so token histories are deterministic run-to-run like everything else.
+"""
+
+import hashlib
+import hmac as hmac_module
+import threading
+from dataclasses import dataclass, replace
+
+from repro import faults
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.util.errors import (
+    CapabilityDeniedError,
+    TenancyError,
+    TenantIsolationError,
+    TenantRegistryError,
+    TokenExpiredError,
+    TokenForgedError,
+    TokenReplayError,
+)
+
+_VIOLATIONS = obs_metrics.counter(
+    "tenancy.violation", unit="refusals",
+    help="cross-tenant or forged-credential accesses refused fail-closed "
+         "(each also leaves a MAC-covered refusal record on the victim "
+         "org's audit chain)",
+)
+_TOKENS_ISSUED = obs_metrics.counter(
+    "tenancy.tokens.issued", unit="tokens",
+    help="capability tokens minted by per-org token authorities",
+)
+_TOKENS_DENIED = obs_metrics.counter(
+    "tenancy.tokens.denied", unit="refusals",
+    help="capability-token validations refused (forged, cross-tenant, "
+         "replayed, expired, or missing the required scope)",
+)
+_BREAK_GLASS = obs_metrics.counter(
+    "tenancy.break_glass", unit="grants",
+    help="scope elevations granted via the audited break-glass override "
+         "of the org's approvals machinery",
+)
+
+_THEFT_FAULT = faults.fault_point(
+    "tenancy.token.theft", error=TenantIsolationError,
+    help="a presented token is flagged as stolen cross-tenant material; "
+         "refused fail-closed, counted as a tenancy violation, and the "
+         "refusal is MAC-audited on the victim org's chain",
+)
+_REPLAY_FAULT = faults.fault_point(
+    "tenancy.token.replay", error=TokenReplayError,
+    help="a revoked (or already-spent) token is presented again; the "
+         "replay is refused and audited",
+)
+_EXPIRED_FAULT = faults.fault_point(
+    "tenancy.token.expired", error=TokenExpiredError,
+    help="a token loses the expiry race mid-validation (expires between "
+         "admission and use); denied exactly like a naturally expired "
+         "token",
+)
+_REGISTRY_CRASH_FAULT = faults.fault_point(
+    "tenancy.registry.crash", error=TenantRegistryError,
+    help="the tenant registry dies mid-admission; the request is refused "
+         "fail-closed before any tenant state is touched",
+)
+
+#: Scopes the default tenant specs grant. Scopes are plain strings checked
+#: by set membership — deny by default, no wildcard matching.
+DEFAULT_SCOPES = ("session.open", "session.submit", "audit.read")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative description of one tenant org for the front door.
+
+    ``network`` is the org's production network; ``policies`` its mined
+    policy set (mined from the network when ``None``). The admission knobs
+    bound what the org may ask of the shared service: ``queue_limit``
+    requests parked, ``rate_per_s``/``burst`` token-bucket admission rate,
+    ``workers`` bulkhead threads, and ``quota`` total admissions (``None``
+    = unlimited). ``token_ttl_s`` is the capability-token lifetime.
+    """
+
+    org_id: str
+    network: object
+    policies: object = None
+    queue_limit: int = 8
+    rate_per_s: float = 50.0
+    burst: int = 8
+    workers: int = 2
+    quota: int = None
+    token_ttl_s: float = 900.0
+    scopes: tuple = DEFAULT_SCOPES
+
+    def __post_init__(self):
+        if not self.org_id:
+            raise TenancyError("tenant spec needs a non-empty org_id")
+        if self.queue_limit < 1:
+            raise TenancyError(
+                f"{self.org_id}: queue_limit must be >= 1, "
+                f"got {self.queue_limit}"
+            )
+        if self.workers < 1:
+            raise TenancyError(
+                f"{self.org_id}: workers must be >= 1, got {self.workers}"
+            )
+        if self.burst < 1:
+            raise TenancyError(
+                f"{self.org_id}: burst must be >= 1, got {self.burst}"
+            )
+        if self.rate_per_s < 0:
+            raise TenancyError(
+                f"{self.org_id}: rate_per_s must be >= 0, "
+                f"got {self.rate_per_s}"
+            )
+        if self.token_ttl_s <= 0:
+            raise TenancyError(
+                f"{self.org_id}: token_ttl_s must be > 0, "
+                f"got {self.token_ttl_s}"
+            )
+
+
+@dataclass(frozen=True)
+class CapabilityToken:
+    """One short-lived, org-bound, scope-limited technician credential."""
+
+    token_id: str
+    org_id: str
+    subject: str
+    scopes: frozenset
+    issued_at: float
+    expires_at: float
+    mac: str = ""
+
+    def canonical(self):
+        """The byte string the MAC covers (everything except the MAC)."""
+        parts = (
+            self.token_id, self.org_id, self.subject,
+            ",".join(sorted(self.scopes)), self.issued_at, self.expires_at,
+        )
+        return "|".join(repr(part) for part in parts).encode()
+
+    def summary(self):
+        return (
+            f"{self.token_id} org={self.org_id} subject={self.subject} "
+            f"scopes=[{','.join(sorted(self.scopes))}] "
+            f"expires={self.expires_at:g}"
+        )
+
+
+@dataclass(frozen=True)
+class _ElevationGrant:
+    """The change-shaped object an elevation round fingerprints over.
+
+    :func:`~repro.core.approvals.change_fingerprint` binds an approval to
+    ``device|kind|path|old|new`` lines; a scope elevation binds the same
+    way, so an approval for one (token, scope) pair cannot be replayed
+    for another.
+    """
+
+    device: str
+    kind: str
+    path: str
+    old: str
+    new: str
+
+
+class TokenAuthority:
+    """Issues and validates one org's capability tokens.
+
+    The sealing key is ``enclave.seal_key("capability-<org>")``: the same
+    enclave-measurement derivation the audit chains use, so a tampered
+    build (or another org's authority) derives a different key and every
+    presented token fails MAC verification.
+    """
+
+    def __init__(self, org_id, enclave, clock, audit=None, ttl_s=900.0):
+        self.org_id = org_id
+        self.clock = clock
+        self.audit = audit
+        self.ttl_s = ttl_s
+        self._key = enclave.seal_key(f"capability-{org_id}")
+        self._lock = threading.Lock()
+        self._revoked = set()
+        self._issued = 0
+
+    # -- minting --------------------------------------------------------------
+
+    def issue(self, subject, scopes, ttl_s=None):
+        """Mint a sealed token for ``subject`` carrying exactly ``scopes``."""
+        ttl = ttl_s if ttl_s is not None else self.ttl_s
+        with self._lock:
+            self._issued += 1
+            token_id = f"TOKEN-{self.org_id}-{self._issued:04d}"
+        now = self.clock.now
+        token = CapabilityToken(
+            token_id=token_id,
+            org_id=self.org_id,
+            subject=subject,
+            scopes=frozenset(scopes),
+            issued_at=now,
+            expires_at=now + ttl,
+        )
+        token = replace(token, mac=self._mac(token))
+        _TOKENS_ISSUED.inc()
+        self._record(
+            actor=subject, command=f"issue {token.summary()}",
+            action="tenancy.token.issue", allowed=True,
+            outcome=f"ttl {ttl:g}s",
+        )
+        return token
+
+    def revoke(self, token, reason=""):
+        """Invalidate ``token``; any later presentation is a replay."""
+        with self._lock:
+            self._revoked.add(token.token_id)
+        self._record(
+            actor=token.subject,
+            command=f"revoke {token.token_id}: {reason or 'no reason'}",
+            action="tenancy.token.revoke", allowed=True,
+            outcome="revoked",
+        )
+
+    def _mac(self, token):
+        return hmac_module.new(
+            self._key, token.canonical(), hashlib.sha256
+        ).hexdigest()
+
+    # -- validation (deny by default) ----------------------------------------
+
+    def validate(self, token, scope, surface="frontdoor"):
+        """Admit ``token`` for one action needing ``scope`` — or refuse.
+
+        The checks run strictest-first and every failure is terminal:
+
+        1. theft flag (injected) / org binding — a token minted for
+           another org is a **tenancy violation**: counted, MAC-audited
+           on this (victim) org's chain, and raised as
+           :class:`~repro.util.errors.TenantIsolationError`;
+        2. MAC verification under this org's sealed key
+           (:class:`~repro.util.errors.TokenForgedError`, also a
+           violation);
+        3. revocation (:class:`~repro.util.errors.TokenReplayError`);
+        4. clock-charged expiry — ``now >= expires_at`` denies, so a
+           token used *exactly at* its expiry instant fails closed
+           (:class:`~repro.util.errors.TokenExpiredError`);
+        5. scope membership
+           (:class:`~repro.util.errors.CapabilityDeniedError`).
+
+        Returns the token on success (its presentation is audited).
+        """
+        try:
+            _THEFT_FAULT.fire(org=self.org_id, token=token.token_id)
+        except TenantIsolationError:
+            raise self._violation(
+                token, surface,
+                f"token {token.token_id} flagged as stolen material",
+            )
+        if token.org_id != self.org_id:
+            raise self._violation(
+                token, surface,
+                f"token {token.token_id} is bound to org "
+                f"{token.org_id!r}, not {self.org_id!r}",
+            )
+        if not hmac_module.compare_digest(token.mac, self._mac(token)):
+            self._deny(
+                token, surface, "MAC does not verify under the org key",
+                violation=True,
+            )
+            raise TokenForgedError(
+                f"{self.org_id}: token {token.token_id} failed MAC "
+                f"verification"
+            )
+        with self._lock:
+            revoked = token.token_id in self._revoked
+        replayed = revoked
+        try:
+            _REPLAY_FAULT.fire(org=self.org_id, token=token.token_id)
+        except TokenReplayError:
+            replayed = True
+        if replayed:
+            self._deny(token, surface, "revoked token replayed")
+            raise TokenReplayError(
+                f"{self.org_id}: token {token.token_id} was revoked; "
+                f"replay refused"
+            )
+        expired = self.clock.now >= token.expires_at
+        try:
+            _EXPIRED_FAULT.fire(org=self.org_id, token=token.token_id)
+        except TokenExpiredError:
+            expired = True
+        if expired:
+            self._deny(
+                token, surface,
+                f"expired at {token.expires_at:g} (now {self.clock.now:g})",
+            )
+            raise TokenExpiredError(
+                f"{self.org_id}: token {token.token_id} expired at "
+                f"{token.expires_at:g} (now {self.clock.now:g})"
+            )
+        if scope not in token.scopes:
+            self._deny(
+                token, surface,
+                f"scope {scope!r} not granted "
+                f"(has [{','.join(sorted(token.scopes))}])",
+            )
+            raise CapabilityDeniedError(
+                f"{self.org_id}: token {token.token_id} lacks scope "
+                f"{scope!r}; denied by default"
+            )
+        self._record(
+            actor=token.subject,
+            command=f"present {token.token_id} for {scope} at {surface}",
+            action="tenancy.token.use", allowed=True, outcome="admitted",
+        )
+        return token
+
+    # -- break-glass elevation -----------------------------------------------
+
+    def elevate(self, token, scope, coordinator, justification=""):
+        """Grant ``scope`` on a fresh token via the org's approvals round.
+
+        The elevation runs the full quorum state machine
+        (:class:`~repro.core.approvals.ApprovalCoordinator`): a granted
+        round — including one rescued by the configured break-glass actor
+        — mints a replacement token carrying the extra scope (the old
+        token is revoked, so privilege never accumulates silently on two
+        live credentials); a denied round raises
+        :class:`~repro.util.errors.CapabilityDeniedError` and nothing is
+        issued. Break-glass grants are counted on ``tenancy.break_glass``.
+        """
+        # The presenting token must itself be sound (org-bound, sealed,
+        # unrevoked, unexpired) before any elevation round starts.
+        if token.scopes:
+            self.validate(token, min(token.scopes), surface="elevate")
+        if coordinator is None:
+            self._deny(token, "elevate", "no approvals machinery configured")
+            raise CapabilityDeniedError(
+                f"{self.org_id}: elevation to {scope!r} refused: no "
+                f"approvals machinery configured (deny by default)"
+            )
+        grant = _ElevationGrant(
+            device="-", kind="capability", path=f"{self.org_id}:{scope}",
+            old=",".join(sorted(token.scopes)), new=scope,
+        )
+        with obs_trace.span(
+            "tenancy.elevate", org=self.org_id, scope=scope,
+            subject=token.subject,
+        ) as span:
+            request = coordinator.require(token.subject, [grant], risk=None)
+            coordinator.collect(request)
+            span.set(state=request.state, break_glass=request.break_glass)
+            if not request.granted:
+                self._deny(
+                    token, "elevate",
+                    f"elevation to {scope!r} denied: {request.reason}",
+                )
+                raise CapabilityDeniedError(
+                    f"{self.org_id}: elevation of {token.token_id} to "
+                    f"{scope!r} denied: {request.reason}"
+                )
+            if request.break_glass:
+                _BREAK_GLASS.inc()
+            self.revoke(token, reason=f"superseded by elevation to {scope!r}")
+            elevated = self.issue(
+                token.subject, set(token.scopes) | {scope},
+            )
+            self._record(
+                actor=token.subject,
+                command=f"elevate {token.token_id} -> {elevated.token_id} "
+                        f"(+{scope}): {justification or 'no justification'}",
+                action="tenancy.elevate", allowed=True,
+                outcome=(
+                    "granted via break-glass override; flagged for review"
+                    if request.break_glass else
+                    f"granted by {request.reason}"
+                ),
+            )
+        return elevated
+
+    # -- refusal bookkeeping ---------------------------------------------------
+
+    def _violation(self, token, surface, reason):
+        """Count + audit a cross-tenant presentation; returns the error."""
+        self._deny(token, surface, reason, violation=True)
+        return TenantIsolationError(
+            f"{self.org_id}: {reason}; cross-tenant access refused "
+            f"fail-closed",
+            org_id=self.org_id, token_org=token.org_id,
+        )
+
+    def _deny(self, token, surface, reason, violation=False):
+        _TOKENS_DENIED.inc()
+        if violation:
+            _VIOLATIONS.inc()
+        self._record(
+            actor=token.subject,
+            command=f"present {token.token_id} at {surface}",
+            action=(
+                "tenancy.violation" if violation else "tenancy.token.denied"
+            ),
+            allowed=False,
+            outcome=reason,
+        )
+
+    def _record(self, actor, command, action, allowed, outcome):
+        if self.audit is None:
+            return
+        self.audit.record(
+            actor=actor, device="-", command=command, action=action,
+            resource=f"org:{self.org_id}", allowed=allowed, outcome=outcome,
+        )
+
+
+class TenantRegistry:
+    """org_id -> tenant lookup; the front door's first fail-closed gate."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tenants = {}
+
+    def add(self, org_id, tenant):
+        with self._lock:
+            if org_id in self._tenants:
+                raise TenancyError(f"org {org_id!r} already registered")
+            self._tenants[org_id] = tenant
+
+    def org_ids(self):
+        with self._lock:
+            return sorted(self._tenants)
+
+    def require(self, org_id):
+        """The tenant for ``org_id`` — or a fail-closed refusal.
+
+        Raises:
+            TenantRegistryError: the registry crashed mid-admission
+                (injected via ``tenancy.registry.crash``); nothing was
+                admitted.
+            TenantIsolationError: no such org. Counted as a tenancy
+                violation — probing for other tenants' org ids is exactly
+                the access pattern isolation must refuse.
+        """
+        _REGISTRY_CRASH_FAULT.fire(org=org_id)
+        with self._lock:
+            tenant = self._tenants.get(org_id)
+        if tenant is None:
+            _VIOLATIONS.inc()
+            raise TenantIsolationError(
+                f"unknown org {org_id!r}; admission refused fail-closed",
+                org_id=org_id,
+            )
+        return tenant

@@ -30,8 +30,11 @@ CHECK_REPEATS = 3  # enough for a stable median without make check crawling
 DATAPLANE_REPORT = "BENCH_dataplane.json"
 ROLLOUT_REPORT = "BENCH_rollout.json"
 SCALE_REPORT = "BENCH_scale.json"
+TENANTS_REPORT = "BENCH_tenants.json"
 
 SCALE_CHECK_SIZE = 500  # ceiling for --check re-runs: keep the gate fast
+
+TENANTS_CHECK_SESSIONS = 12  # ceiling for --check re-runs of the tenants gate
 
 
 def _load(path):
@@ -113,6 +116,22 @@ def scale_metrics(report):
     return metrics
 
 
+def tenants_metrics(report):
+    """The gated ratio metric of one tenants benchmark report.
+
+    The isolation-overhead ratio is front-door elapsed over direct
+    elapsed for the identical workload in the same process — a quotient,
+    so machine-portable — and lower is better, bounded by the committed
+    acceptance target.
+    """
+    metrics = {}
+    ratio = report.get("overhead_ratio")
+    if ratio is not None:
+        target = report.get("acceptance", {}).get("target")
+        metrics["tenants.overhead_ratio"] = (ratio, False, target)
+    return metrics
+
+
 def compare(committed, fresh, tolerance=TOLERANCE):
     """Regressions of ``fresh`` vs ``committed`` beyond ``tolerance``.
 
@@ -182,6 +201,27 @@ def run_check(repeats=CHECK_REPEATS, out=None, root="."):
         failures.extend(gated)
     elif out is not None:
         out.write(f"{ROLLOUT_REPORT} not found; rollout gate skipped\n")
+
+    committed = _load(os.path.join(root, TENANTS_REPORT))
+    if committed is not None:
+        from repro.experiments.bench_tenants import run_tenants_bench
+
+        fresh = run_tenants_bench(
+            sessions=min(
+                committed.get("sessions", TENANTS_CHECK_SESSIONS),
+                TENANTS_CHECK_SESSIONS,
+            ),
+            orgs=committed.get("orgs", 3),
+            network=committed.get("network", "university"),
+            seed=committed.get("seed", 7),
+        )
+        gated = compare(tenants_metrics(committed), tenants_metrics(fresh))
+        checked += len(
+            set(tenants_metrics(committed)) & set(tenants_metrics(fresh))
+        )
+        failures.extend(gated)
+    elif out is not None:
+        out.write(f"{TENANTS_REPORT} not found; tenants gate skipped\n")
 
     committed = _load(os.path.join(root, SCALE_REPORT))
     if committed is not None:

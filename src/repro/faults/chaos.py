@@ -69,6 +69,13 @@ REPORT_METRICS = (
     "audit.replica.flagged",
     "audit.replica.quorum_lost",
     "monitor.denied",
+    "tenancy.violation",
+    "tenancy.tokens.issued",
+    "tenancy.tokens.denied",
+    "tenancy.break_glass",
+    "frontdoor.admitted",
+    "frontdoor.shed",
+    "sessions.listener.error",
 )
 
 # The second-device change the canary scenarios ride along with the
@@ -125,6 +132,10 @@ class Scenario:
     # legitimate fix, runs the malicious script + escalation probes, and
     # asserts which layer (monitor or verifier) stopped the attack.
     attack: object = None
+    # Multi-tenant knob: a non-empty case name routes the scenario to the
+    # front-door isolation runner (repro.faults.tenants) instead of the
+    # single-deployment flow below.
+    tenants_case: str = ""
 
 
 @dataclass
@@ -170,6 +181,13 @@ class ScenarioOutcome:
     escalations_refused: int = 0
     blocked_by: str = ""
     attack_ok: bool = True
+    # Multi-tenant verdicts (trivially true for single-deployment
+    # scenarios): zero cross-tenant leaks, violation-refusal records
+    # matching the probes exactly, and load shed exactly where expected —
+    # see repro.faults.tenants.
+    tenant_ok: bool = True
+    violations: int = 0
+    shed: int = 0
 
     @property
     def ok(self):
@@ -177,7 +195,7 @@ class ScenarioOutcome:
             self.expectation_met
         ) and self.wave_records_ok and self.quarantine_ok and (
             self.approval_ok
-        ) and self.attack_ok and not self.error
+        ) and self.attack_ok and self.tenant_ok and not self.error
 
     def to_dict(self):
         return {
@@ -207,6 +225,9 @@ class ScenarioOutcome:
             "escalations_refused": self.escalations_refused,
             "blocked_by": self.blocked_by,
             "attack_ok": self.attack_ok,
+            "tenant_ok": self.tenant_ok,
+            "violations": self.violations,
+            "shed": self.shed,
             "ok": self.ok,
         }
 
@@ -473,6 +494,76 @@ def _campaigns(seed=7):
         )
         for attack in generate_attacks(seed)
     ]
+    # Multi-tenant isolation: every scenario stands up a two-org front
+    # door (repro.faults.tenants) and is judged on zero cross-tenant
+    # leaks, probe-exact violation records, and bounded-queue shedding on
+    # top of the shared state/audit invariants.
+    tenants = [
+        Scenario(
+            label="clean-isolation",
+            network="university", issue="ospf",
+            plan={}, tenants_case="clean",
+            expect="committed",
+        ),
+        Scenario(
+            label="cross-tenant-denied",
+            network="university", issue="ospf",
+            plan={}, tenants_case="cross-tenant",
+            expect="committed",
+        ),
+        Scenario(
+            label="token-theft-refused",
+            network="university", issue="ospf",
+            plan={"tenancy.token.theft": Rule(nth=1)},
+            tenants_case="token-theft",
+            expect="committed",
+        ),
+        Scenario(
+            label="token-replay-refused",
+            network="university", issue="vlan",
+            plan={"tenancy.token.replay": Rule(nth=1)},
+            tenants_case="token-replay",
+            expect="committed",
+        ),
+        Scenario(
+            label="expired-token-race",
+            network="university", issue="ospf",
+            plan={"tenancy.token.expired": Rule(nth=1)},
+            tenants_case="expired-race",
+            expect="committed",
+        ),
+        Scenario(
+            label="registry-crash-fail-closed",
+            network="enterprise", issue="ospf",
+            plan={"tenancy.registry.crash": Rule(nth=1)},
+            tenants_case="registry-crash",
+            expect="committed",
+        ),
+        Scenario(
+            label="queue-flood-sheds",
+            network="university", issue="ospf",
+            plan={"frontdoor.queue.flood": Rule(probability=1.0, times=3)},
+            tenants_case="queue-flood",
+            expect="committed",
+        ),
+        Scenario(
+            label="noisy-neighbor-isolated",
+            network="university", issue="ospf",
+            plan={"frontdoor.noisy.neighbor": Rule(nth=1)},
+            tenants_case="noisy-neighbor",
+            expect="committed",
+        ),
+        Scenario(
+            label="break-glass-elevation",
+            network="university", issue="ospf",
+            # Every approver crashes during the *elevation* round; the
+            # configured break-glass actor rescues it, indelibly flagged.
+            plan={"approvals.approver.crash": Rule(probability=1.0,
+                                                   times=99)},
+            tenants_case="break-glass",
+            expect="committed",
+        ),
+    ]
     smoke = [
         push_failures[0], push_failures[1], push_failures[3],
         push_failures[4],
@@ -487,6 +578,7 @@ def _campaigns(seed=7):
         "canary": canary,
         "approvals": approvals,
         "adversarial": adversarial,
+        "tenants": tenants,
         "smoke": smoke,
     }
 
@@ -536,6 +628,10 @@ def run_campaign(name, seed):
 
 def run_scenario(scenario, seed):
     """Run one scenario; always disarms the fault registry on exit."""
+    if scenario.tenants_case:
+        from repro.faults.tenants import run_tenants_scenario
+
+        return run_tenants_scenario(scenario, seed)
     outcome = ScenarioOutcome(
         label=scenario.label, network=scenario.network, issue=scenario.issue,
         expected=scenario.expect,

@@ -1,0 +1,347 @@
+"""The multi-tenant chaos runner: isolation probes behind the front door.
+
+Each ``tenants`` scenario stands up a two-org :class:`FrontDoor` (orgs
+``acme`` and ``blue``, each on its own copy of the scenario network),
+injects the scenario issue into **both** orgs' productions, then runs a
+case-specific probe sequence — cross-tenant presentations, stolen /
+replayed / expired tokens, a registry crash mid-admission, a queue flood,
+a noisy neighbor, a break-glass scope elevation — with the scenario's
+fault plan armed.
+
+The judge holds every scenario to the isolation invariants
+docs/ROBUSTNESS.md specifies:
+
+* **zero cross-tenant leaks** — every org whose production the probe was
+  not entitled to change is byte-identical to its pre-probe snapshot, and
+  the count of ``tenancy.violation`` refusal records on each org's chain
+  matches the probes exactly (no silent refusals, no spurious ones);
+* **refusals are on the record** — every violation record is
+  ``allowed=False`` and each org's HMAC audit chain still verifies, so
+  the refusal history is tamper-evident;
+* **bounded queues stay bounded** — load shedding happened exactly where
+  expected (typed :class:`~repro.util.errors.FrontDoorOverloadError`
+  carrying a retry-after hint), and nowhere else.
+
+Admissions run strictly sequentially (each waits for its result before
+the next) so ``nth``-based fault rules stay deterministic.
+"""
+
+from repro import faults
+from repro.config.serializer import serialize_config
+from repro.core.frontdoor import FrontDoor
+from repro.core.tenancy import TenantSpec
+from repro.faults.chaos import _BUILDERS, ScenarioOutcome
+from repro.scenarios.issues import standard_issues
+from repro.util.errors import (
+    CapabilityDeniedError,
+    FrontDoorOverloadError,
+    ReproError,
+    TenantIsolationError,
+    TenantRegistryError,
+    TokenExpiredError,
+    TokenReplayError,
+)
+
+ORG_A = "acme"
+ORG_B = "blue"
+
+
+def _snapshot(network):
+    return {
+        device: serialize_config(config)
+        for device, config in network.configs.items()
+    }
+
+
+def _case_config(case):
+    """(spec_a kwargs, spec_b kwargs, FrontDoor kwargs) for ``case``."""
+    if case == "noisy-neighbor":
+        # No refill: once the injected storm drains acme's bucket, acme
+        # stays shed while blue keeps being admitted off its own bucket.
+        return {"rate_per_s": 0.0, "burst": 2}, {}, {}
+    if case == "break-glass":
+        from repro.core.approvals import ApprovalConfig
+        from repro.core.enforcer.risk import RiskConfig
+
+        # The org's technicians start without session.submit; the probe
+        # must earn it through the approvals machinery. The risk threshold
+        # is set above any score so the ticket push itself never queues a
+        # second quorum round behind the armed approver-crash plan.
+        return (
+            {"scopes": ("session.open", "audit.read")},
+            {},
+            {"approvals": ApprovalConfig(
+                risk=RiskConfig(threshold=10.0),
+                break_glass_actor="oncall",
+            )},
+        )
+    return {}, {}, {}
+
+
+def _expect(checks, name, error_type, probe):
+    """Run ``probe`` expecting ``error_type``; records the verdict.
+
+    Returns the caught error (the refusal being the success condition) or
+    ``None`` when the probe wrongly succeeded / failed differently.
+    """
+    try:
+        probe()
+    except error_type as exc:
+        checks.append((name, True))
+        return exc
+    except ReproError as exc:
+        checks.append((f"{name}: wrong error {type(exc).__name__}", False))
+        return None
+    checks.append((f"{name}: not refused", False))
+    return None
+
+
+def run_tenants_scenario(scenario, seed):
+    """Run one ``tenants`` scenario; returns its :class:`ScenarioOutcome`."""
+    outcome = ScenarioOutcome(
+        label=scenario.label, network=scenario.network, issue=scenario.issue,
+        expected=scenario.expect,
+    )
+    case = scenario.tenants_case
+    build = _BUILDERS[scenario.network]
+    spec_a, spec_b, frontdoor_kwargs = _case_config(case)
+    net_a, net_b = build(), build()
+    frontdoor = FrontDoor(
+        [
+            TenantSpec(org_id=ORG_A, network=net_a, **spec_a),
+            TenantSpec(org_id=ORG_B, network=net_b, **spec_b),
+        ],
+        **frontdoor_kwargs,
+    )
+    issue_a = standard_issues(scenario.network)[scenario.issue]
+    issue_b = standard_issues(scenario.network)[scenario.issue]
+    issue_a.inject(net_a)
+    issue_b.inject(net_b)
+    baselines = {ORG_A: _snapshot(net_a), ORG_B: _snapshot(net_b)}
+    issues = {ORG_A: issue_a, ORG_B: issue_b}
+    tokens = {
+        ORG_A: frontdoor.issue_token(ORG_A, "tech-a"),
+        ORG_B: frontdoor.issue_token(ORG_B, "tech-b"),
+    }
+    expectations = None
+    try:
+        faults.arm(scenario.plan, seed=seed)
+        expectations = _probe(case, frontdoor, tokens, issues)
+        outcome.faults_fired = [
+            f"{firing.point}#{firing.call_index}"
+            for firing in faults.registry().firings
+        ]
+    except ReproError as exc:
+        outcome.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        faults.disarm()
+        frontdoor.close()
+    if expectations is not None:
+        _judge_tenants(outcome, frontdoor, baselines, issues, expectations)
+        if scenario.expect is not None:
+            outcome.expectation_met = outcome.outcome == scenario.expect
+    return outcome
+
+
+# -- case probes ---------------------------------------------------------------
+
+def _probe(case, frontdoor, tokens, issues):
+    """Run ``case``'s probe sequence; returns the judge's expectations."""
+    checks = []
+    if case == "clean":
+        out_a = frontdoor.resolve_ticket(
+            tokens[ORG_A], ORG_A, issues[ORG_A]
+        ).result()
+        out_b = frontdoor.resolve_ticket(
+            tokens[ORG_B], ORG_B, issues[ORG_B]
+        ).result()
+        checks.append(("acme imported", out_a.status == "clean"))
+        checks.append(("blue imported", out_b.status == "clean"))
+        return _expectations(
+            checks, resolved=(ORG_A, ORG_B), violations={}, shed=0
+        )
+    if case == "cross-tenant":
+        _expect(
+            checks, "cross-tenant admit refused", TenantIsolationError,
+            lambda: frontdoor.admit(
+                tokens[ORG_A], ORG_B, lambda manager: None
+            ),
+        )
+        _expect(
+            checks, "cross-tenant audit export refused", TenantIsolationError,
+            lambda: frontdoor.audit_export(tokens[ORG_A], ORG_B),
+        )
+        frontdoor.resolve_ticket(tokens[ORG_B], ORG_B, issues[ORG_B]).result()
+        return _expectations(
+            checks, resolved=(ORG_B,), violations={ORG_B: 2}, shed=0
+        )
+    if case == "token-theft":
+        _expect(
+            checks, "stolen token refused", TenantIsolationError,
+            lambda: frontdoor.resolve_ticket(
+                tokens[ORG_A], ORG_A, issues[ORG_A]
+            ),
+        )
+        frontdoor.resolve_ticket(tokens[ORG_A], ORG_A, issues[ORG_A]).result()
+        return _expectations(
+            checks, resolved=(ORG_A,), violations={ORG_A: 1}, shed=0
+        )
+    if case == "token-replay":
+        _expect(
+            checks, "replayed token refused", TokenReplayError,
+            lambda: frontdoor.resolve_ticket(
+                tokens[ORG_A], ORG_A, issues[ORG_A]
+            ),
+        )
+        frontdoor.resolve_ticket(tokens[ORG_A], ORG_A, issues[ORG_A]).result()
+        return _expectations(
+            checks, resolved=(ORG_A,), violations={}, shed=0
+        )
+    if case == "expired-race":
+        _expect(
+            checks, "expiry race denied", TokenExpiredError,
+            lambda: frontdoor.resolve_ticket(
+                tokens[ORG_A], ORG_A, issues[ORG_A]
+            ),
+        )
+        frontdoor.resolve_ticket(tokens[ORG_A], ORG_A, issues[ORG_A]).result()
+        return _expectations(
+            checks, resolved=(ORG_A,), violations={}, shed=0
+        )
+    if case == "registry-crash":
+        _expect(
+            checks, "registry crash fails closed", TenantRegistryError,
+            lambda: frontdoor.resolve_ticket(
+                tokens[ORG_A], ORG_A, issues[ORG_A]
+            ),
+        )
+        frontdoor.resolve_ticket(tokens[ORG_A], ORG_A, issues[ORG_A]).result()
+        return _expectations(
+            checks, resolved=(ORG_A,), violations={}, shed=0
+        )
+    if case == "queue-flood":
+        for attempt in range(3):
+            overload = _expect(
+                checks, f"flooded admission {attempt + 1} shed",
+                FrontDoorOverloadError,
+                lambda: frontdoor.resolve_ticket(
+                    tokens[ORG_A], ORG_A, issues[ORG_A]
+                ),
+            )
+            checks.append((
+                f"shed {attempt + 1} carries retry-after",
+                overload is not None
+                and overload.retry_after_s is not None,
+            ))
+        frontdoor.resolve_ticket(tokens[ORG_A], ORG_A, issues[ORG_A]).result()
+        return _expectations(
+            checks, resolved=(ORG_A,), violations={}, shed=3
+        )
+    if case == "noisy-neighbor":
+        _expect(
+            checks, "storm drains own bucket", FrontDoorOverloadError,
+            lambda: frontdoor.resolve_ticket(
+                tokens[ORG_A], ORG_A, issues[ORG_A]
+            ),
+        )
+        _expect(
+            checks, "noisy org still shed", FrontDoorOverloadError,
+            lambda: frontdoor.resolve_ticket(
+                tokens[ORG_A], ORG_A, issues[ORG_A]
+            ),
+        )
+        frontdoor.resolve_ticket(tokens[ORG_B], ORG_B, issues[ORG_B]).result()
+        return _expectations(
+            checks, resolved=(ORG_B,), violations={}, shed=2
+        )
+    if case == "break-glass":
+        _expect(
+            checks, "submit scope denied by default", CapabilityDeniedError,
+            lambda: frontdoor.resolve_ticket(
+                tokens[ORG_A], ORG_A, issues[ORG_A]
+            ),
+        )
+        deployment = frontdoor.deployment(ORG_A)
+        elevated = deployment.authority.elevate(
+            tokens[ORG_A], "session.submit", deployment.heimdall.approvals,
+            justification="sev-1: customer outage",
+        )
+        checks.append((
+            "elevated token carries scope",
+            "session.submit" in elevated.scopes,
+        ))
+        _expect(
+            checks, "superseded token refused as replay", TokenReplayError,
+            lambda: deployment.authority.validate(
+                tokens[ORG_A], "session.open"
+            ),
+        )
+        frontdoor.resolve_ticket(elevated, ORG_A, issues[ORG_A]).result()
+        elevations = deployment.heimdall.audit.query(
+            action_prefix="tenancy.elevate"
+        )
+        checks.append((
+            "break-glass elevation flagged on the chain",
+            len(elevations) == 1
+            and "break-glass" in elevations[0].outcome,
+        ))
+        return _expectations(
+            checks, resolved=(ORG_A,), violations={}, shed=0
+        )
+    raise ReproError(f"unknown tenants case {case!r}")
+
+
+def _expectations(checks, resolved, violations, shed):
+    return {
+        "checks": checks,
+        "resolved": frozenset(resolved),
+        "violations": violations,  # org -> expected refusal-record count
+        "shed": shed,
+    }
+
+
+# -- judge ---------------------------------------------------------------------
+
+def _judge_tenants(outcome, frontdoor, baselines, issues, expectations):
+    """Hold the scenario to the isolation + bounded-queue invariants."""
+    state_ok = True
+    audit_ok = True
+    violation_records = 0
+    shed_total = 0
+    for org_id in (ORG_A, ORG_B):
+        tenant = frontdoor.deployment(org_id)
+        heimdall = tenant.heimdall
+        shed_total += tenant.shed
+        if not heimdall.audit.verify():
+            audit_ok = False
+        refusals = heimdall.audit.query(action_prefix="tenancy.violation")
+        violation_records += len(refusals)
+        if any(record.allowed for record in refusals):
+            audit_ok = False
+        expected = expectations["violations"].get(org_id, 0)
+        if len(refusals) != expected:
+            outcome.tenant_ok = False
+        if org_id in expectations["resolved"]:
+            if not issues[org_id].is_resolved(heimdall.production):
+                state_ok = False
+        elif _snapshot(heimdall.production) != baselines[org_id]:
+            # Zero cross-tenant leaks: an org the probe had no business
+            # changing must be byte-identical to its pre-probe snapshot.
+            state_ok = False
+    outcome.state_invariant = state_ok
+    outcome.audit_intact = audit_ok
+    outcome.violations = violation_records
+    outcome.shed = shed_total
+    outcome.resolved = all(
+        issues[org_id].is_resolved(
+            frontdoor.deployment(org_id).heimdall.production
+        )
+        for org_id in expectations["resolved"]
+    )
+    if shed_total != expectations["shed"]:
+        outcome.tenant_ok = False
+    failed = [name for name, passed in expectations["checks"] if not passed]
+    if failed:
+        outcome.tenant_ok = False
+        outcome.error = "; ".join(failed)
+    outcome.outcome = "committed" if outcome.resolved else "not-imported"

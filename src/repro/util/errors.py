@@ -215,6 +215,77 @@ class ShardWorkerError(ReproError):
     """
 
 
+# -- multi-tenant front door --------------------------------------------------
+#
+# One Heimdall-as-a-service front door admits many customer organisations
+# (repro.core.tenancy, repro.core.frontdoor): every session, lease, journal,
+# approval round, and audit chain is keyed by org_id, cross-tenant access
+# fails closed, and admission is rate-limited behind bounded per-tenant
+# queues.
+
+
+class TenancyError(ReproError):
+    """A multi-tenant surface was used incorrectly or refused an action."""
+
+
+class TenantIsolationError(TenancyError):
+    """A principal of one org tried to touch another org's state (or an
+    unknown org's); refused before any tenant state was read or written,
+    counted on ``tenancy.violation`` and MAC-audited on the victim's
+    chain."""
+
+    def __init__(self, message, org_id="", token_org=""):
+        super().__init__(message)
+        self.org_id = org_id
+        self.token_org = token_org
+
+
+class TenantRegistryError(TenancyError):
+    """The tenant registry failed mid-admission (injected via the
+    ``tenancy.registry.crash`` fault point); admission fails closed."""
+
+
+class CapabilityError(TenancyError):
+    """A capability token was refused; deny by default."""
+
+
+class TokenExpiredError(CapabilityError):
+    """The token's clock-charged lifetime is over (``now >= expires_at``
+    — the expiry instant itself already denies)."""
+
+
+class TokenReplayError(CapabilityError):
+    """A revoked token was presented again; replay is refused."""
+
+
+class TokenForgedError(CapabilityError):
+    """The token's MAC does not verify under the org's sealed key."""
+
+
+class CapabilityDeniedError(CapabilityError):
+    """The token verifies but does not carry the required scope."""
+
+
+class FrontDoorError(ReproError):
+    """The multi-tenant front door refused or failed a request."""
+
+
+class FrontDoorOverloadError(FrontDoorError):
+    """Load was shed: the tenant's bounded queue, token bucket, or quota
+    is exhausted. Carries ``retry_after_s`` so the caller backs off
+    instead of queueing unboundedly."""
+
+    def __init__(self, message, retry_after_s=None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class NoisyNeighborError(FrontDoorError):
+    """Injected only (``frontdoor.noisy.neighbor``): one tenant's request
+    storm drains that tenant's own token bucket; the front door absorbs
+    the storm and other tenants must stay unaffected."""
+
+
 # -- concurrent sessions -----------------------------------------------------
 #
 # The session manager (repro.core.sessions) runs N ticket sessions against

@@ -1,0 +1,171 @@
+"""Edge-of-the-envelope fail-closed coverage for pre-existing surfaces.
+
+Three boundaries the earlier suites walk up to but never stand on:
+replicated-audit reads at *exactly* the quorum count, approval grants
+used at *exactly* their expiry instant, and the approval gate's
+guarantee that it refuses before a single journal byte exists.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import faults, obs
+from repro.config.apply import apply_changes
+from repro.config.diffing import diff_networks
+from repro.config.serializer import serialize_config
+from repro.core.approvals import ApprovalConfig, ApprovalCoordinator
+from repro.core.enforcer.audit import ReplicatedAuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.enforcer.risk import RiskAssessment
+from repro.core.enforcer.scheduler import ChangeScheduler
+from repro.util import rand
+from repro.util.clock import SimulatedClock
+from repro.util.errors import ApprovalRequiredError, AuditQuorumError
+
+from tests.fixtures import square_network
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+def forge(replica):
+    """Rewrite the replica's newest record without its key."""
+    newest = replica.records[-1]
+    replica.records[-1] = replace(newest, outcome="forged")
+
+
+def five_replica_trail():
+    trail = ReplicatedAuditTrail(
+        SimulatedEnclave(), clock=SimulatedClock(), replicas=5, quorum=3,
+    )
+    for index in range(2):
+        trail.record(
+            actor="S-0001", device="r1", command=f"command-{index}",
+            action="monitor.execute", resource="device:r1", allowed=True,
+            outcome="ok",
+        )
+    return trail
+
+
+class TestReadsAtExactlyQuorum:
+    def test_exactly_quorum_agreeing_still_serves(self):
+        # 5 replicas, quorum 3, two forged: the agreeing set is exactly
+        # the quorum — degraded, but reads keep serving.
+        trail = five_replica_trail()
+        forge(trail.replicas[0])
+        forge(trail.replicas[1])
+        verdict = trail.cross_check()
+        assert verdict.status == "degraded"
+        assert verdict.agreeing == 3 == trail.quorum
+        assert len(trail.records) == 2
+        assert len(trail.query(actor="S-0001")) == 2
+        assert trail.export()
+
+    def test_one_below_quorum_fails_every_read_closed(self):
+        trail = five_replica_trail()
+        for index in range(3):
+            forge(trail.replicas[index])
+        verdict = trail.cross_check()
+        assert verdict.status == "lost"
+        assert verdict.agreeing == 2 < trail.quorum
+        with pytest.raises(AuditQuorumError):
+            trail.records
+        with pytest.raises(AuditQuorumError):
+            trail.query(actor="S-0001")
+        with pytest.raises(AuditQuorumError):
+            trail.export()
+
+
+HIGH_RISK = RiskAssessment(
+    score=5.0, threshold=3.0, section_score=5.0,
+    cone=("r1", "r3"), cone_fraction=0.5, reasons=(),
+)
+
+
+def _square_changes():
+    production = square_network()
+    modified = production.copy()
+    modified.config("r1").interface("Gi0/0").description = "first"
+    modified.config("r3").acls["PROTECT_H3"].entries.reverse()
+    changes = diff_networks(production.configs, modified.configs)
+    expected = production.copy()
+    apply_changes(expected.configs, changes)
+    return production, changes, _serialized(expected)
+
+
+def _serialized(network):
+    return {
+        device: serialize_config(config)
+        for device, config in network.configs.items()
+    }
+
+
+def _grant(clock, changes, ttl_s=3600.0):
+    coord = ApprovalCoordinator(ApprovalConfig(grant_ttl_s=ttl_s), clock=clock)
+    request = coord.require("S-0001", changes, HIGH_RISK)
+    coord.collect(request)
+    assert request.granted
+    return request
+
+
+class TestGrantAtExpiryInstant:
+    def test_push_exactly_at_expiry_fails_closed(self):
+        # now == expires_at must already deny: the boundary belongs to
+        # the refusal side, never the grant side.
+        production, changes, _ = _square_changes()
+        before = _serialized(production)
+        clock = SimulatedClock()
+        request = _grant(clock, changes, ttl_s=900.0)
+        clock.advance(request.expires_at - clock.now)
+        assert clock.now == request.expires_at
+        scheduler = ChangeScheduler()
+        with pytest.raises(ApprovalRequiredError, match="expired"):
+            scheduler.push(
+                production, changes, risk=HIGH_RISK, approval=request,
+                clock=clock,
+            )
+        assert _serialized(production) == before
+        assert scheduler.last_journal is None  # refused pre-journal
+
+    def test_push_one_tick_before_expiry_commits(self):
+        production, changes, expected = _square_changes()
+        clock = SimulatedClock()
+        request = _grant(clock, changes, ttl_s=900.0)
+        clock.advance(request.expires_at - clock.now - 0.001)
+        report = ChangeScheduler().push(
+            production, changes, risk=HIGH_RISK, approval=request,
+            clock=clock,
+        )
+        assert report.status == "committed"
+        assert _serialized(production) == expected
+
+
+class TestRefusalPrecedesTheJournal:
+    def test_missing_approval_leaves_no_journal_bytes(self):
+        production, changes, _ = _square_changes()
+        before = _serialized(production)
+        scheduler = ChangeScheduler()
+        with pytest.raises(ApprovalRequiredError, match="no quorum approval"):
+            scheduler.push(production, changes, risk=HIGH_RISK)
+        assert scheduler.last_journal is None
+        assert _serialized(production) == before
+
+    def test_stale_grant_leaves_no_journal_bytes(self):
+        production, changes, _ = _square_changes()
+        clock = SimulatedClock()
+        request = _grant(clock, changes, ttl_s=10.0)
+        clock.advance(3600.0)  # parked overnight
+        scheduler = ChangeScheduler()
+        with pytest.raises(ApprovalRequiredError, match="expired"):
+            scheduler.push(
+                production, changes, risk=HIGH_RISK, approval=request,
+                clock=clock,
+            )
+        assert scheduler.last_journal is None

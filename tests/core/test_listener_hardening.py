@@ -1,0 +1,131 @@
+"""Broken progress listeners never abort the work they observe.
+
+The sessions layer registers a wave listener on the scheduler and an
+approval listener on the coordinator (repro/core/sessions.py); both are
+observer-only callbacks. An exception inside either must be swallowed —
+counted under ``sessions.listener.error`` — because the push or quorum
+round it was watching is the load-bearing output, not the notification.
+"""
+
+import pytest
+
+from repro import faults, obs
+from repro.core.approvals import (
+    APPROVED,
+    ApprovalConfig,
+    ApprovalCoordinator,
+)
+from repro.core.enforcer.risk import RiskAssessment
+from repro.core.enforcer.rollout import RolloutConfig
+from repro.core.heimdall import Heimdall
+from repro.core.sessions import SessionManager
+from repro.config.diffing import ConfigChange
+from repro.policy.mining import mine_policies
+from repro.scenarios.enterprise import build_enterprise_network
+from repro.scenarios.issues import FixStep, standard_issues
+from repro.util import rand
+
+
+@pytest.fixture(autouse=True)
+def _obs_state():
+    obs.enable()
+    obs.reset()
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+def listener_errors():
+    metric = obs.registry().get("sessions.listener.error")
+    return metric.value if metric is not None else 0
+
+
+def explode(event):
+    raise RuntimeError("observer crashed mid-notification")
+
+
+CHANGES = [
+    ConfigChange("r1", "interface.ospf_cost", path="Gi0/0", old=None, new=10),
+]
+
+HIGH_RISK = RiskAssessment(
+    score=5.0, threshold=3.0, section_score=5.0,
+    cone=("r1",), cone_fraction=0.5, reasons=(),
+)
+
+
+class TestWaveListener:
+    def test_raising_wave_listener_never_aborts_the_push(self):
+        healthy = build_enterprise_network()
+        policies = mine_policies(healthy)
+        production = build_enterprise_network()
+        heimdall = Heimdall(
+            production, policies=policies, rollout=RolloutConfig()
+        )
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        # Clobber the manager's registered listener with one that raises
+        # on every wave transition.
+        heimdall.scheduler.wave_listener = explode
+
+        session = manager.open_ticket(issue, mode="optimistic")
+        session.run_fix_script(issue.fix_script)
+        session.run_fix_script((FixStep("dist2", (
+            "configure terminal",
+            "ip route 10.99.0.0 255.255.0.0 10.0.7.1",
+            "end",
+            "write memory",
+        )),))
+        outcome = session.submit()
+
+        assert outcome.imported  # the staged push committed regardless
+        assert not issue.is_broken(production)
+        # 2 waves x (started + committed) notifications, all swallowed.
+        assert listener_errors() == 4
+
+    def test_healthy_wave_listener_counts_nothing(self):
+        healthy = build_enterprise_network()
+        policies = mine_policies(healthy)
+        production = build_enterprise_network()
+        heimdall = Heimdall(
+            production, policies=policies, rollout=RolloutConfig()
+        )
+        issue = standard_issues("enterprise")["ospf"]
+        issue.inject(production)
+        manager = SessionManager(heimdall)
+        session = manager.open_ticket(issue, mode="optimistic")
+        session.run_fix_script(issue.fix_script)
+        assert session.submit().imported
+        assert listener_errors() == 0
+        # The manager's own listener kept working: progress is queryable.
+        assert manager.push_progress(session.session_id) is not None
+
+
+class TestApprovalListener:
+    def test_raising_approval_listener_never_aborts_the_round(self):
+        coord = ApprovalCoordinator(ApprovalConfig())
+        coord.listener = explode
+        request = coord.require("S-0001", CHANGES, HIGH_RISK)
+        coord.collect(request)
+        assert request.state == APPROVED
+        assert request.granted
+        # proposed + approved transitions, both swallowed.
+        assert listener_errors() == 2
+
+    def test_raising_listener_does_not_poison_the_decision_audit(self):
+        from repro.core.enforcer.audit import AuditTrail
+        from repro.core.enforcer.enclave import SimulatedEnclave
+        from repro.util.clock import SimulatedClock
+
+        trail = AuditTrail(SimulatedEnclave(), clock=SimulatedClock())
+        coord = ApprovalCoordinator(ApprovalConfig(), audit=trail)
+        coord.listener = explode
+        request = coord.require("S-0001", CHANGES, HIGH_RISK)
+        coord.collect(request)
+        assert request.granted
+        (decision,) = trail.query(action_prefix="approvals.decision")
+        assert decision.allowed
+        assert trail.verify()

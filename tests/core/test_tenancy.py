@@ -1,0 +1,275 @@
+"""Tenant registry + capability tokens (repro.core.tenancy).
+
+Every dimension of token validation must deny by default and fail
+closed exactly at its boundary, and every refusal must land as a
+MAC-covered record on the victim org's audit chain.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import faults, obs
+from repro.core.approvals import ApprovalConfig, ApprovalCoordinator
+from repro.core.enforcer.audit import AuditTrail
+from repro.core.enforcer.enclave import SimulatedEnclave
+from repro.core.tenancy import (
+    DEFAULT_SCOPES,
+    TenantRegistry,
+    TenantSpec,
+    TokenAuthority,
+)
+from repro.faults.registry import Rule
+from repro.util import rand
+from repro.util.clock import SimulatedClock
+from repro.util.errors import (
+    CapabilityDeniedError,
+    TenancyError,
+    TenantIsolationError,
+    TenantRegistryError,
+    TokenExpiredError,
+    TokenForgedError,
+    TokenReplayError,
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_state():
+    obs.enable()
+    obs.reset()
+    yield
+    faults.disarm()
+    rand.reset()
+    obs.disable()
+    obs.reset()
+
+
+def counter(name):
+    metric = obs.registry().get(name)
+    return metric.value if metric is not None else 0
+
+
+def make_authority(org_id="acme", ttl_s=900.0, audit=True, clock=None):
+    clock = clock if clock is not None else SimulatedClock()
+    enclave = SimulatedEnclave()
+    trail = AuditTrail(enclave, clock=clock) if audit else None
+    return TokenAuthority(org_id, enclave, clock, audit=trail, ttl_s=ttl_s)
+
+
+class TestIssueAndValidate:
+    def test_issued_token_is_org_bound_sealed_and_scoped(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        assert token.org_id == "acme"
+        assert token.subject == "tech-1"
+        assert token.scopes == frozenset(DEFAULT_SCOPES)
+        assert token.mac and len(token.mac) == 64
+        assert token.expires_at == token.issued_at + 900.0
+        assert counter("tenancy.tokens.issued") == 1
+        (record,) = authority.audit.query(action_prefix="tenancy.token.issue")
+        assert record.allowed and record.actor == "tech-1"
+
+    def test_valid_presentation_is_admitted_and_audited(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        assert authority.validate(token, "session.open") is token
+        (record,) = authority.audit.query(action_prefix="tenancy.token.use")
+        assert record.allowed
+        assert token.token_id in record.command
+        assert authority.audit.verify()
+
+    def test_scope_membership_is_deny_by_default(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", ("session.open",))
+        with pytest.raises(CapabilityDeniedError, match="denied by default"):
+            authority.validate(token, "session.submit")
+        assert counter("tenancy.tokens.denied") == 1
+        assert counter("tenancy.violation") == 0  # scoped, not cross-tenant
+        (record,) = authority.audit.query(
+            action_prefix="tenancy.token.denied"
+        )
+        assert not record.allowed
+
+    def test_forged_mac_is_a_violation(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        forged = replace(token, mac="0" * 64)
+        with pytest.raises(TokenForgedError):
+            authority.validate(forged, "session.open")
+        assert counter("tenancy.violation") == 1
+        (record,) = authority.audit.query(action_prefix="tenancy.violation")
+        assert not record.allowed
+        assert authority.audit.verify()  # refusal is MAC-covered too
+
+    def test_tampered_scopes_invalidate_the_seal(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", ("session.open",))
+        widened = replace(token, scopes=frozenset(DEFAULT_SCOPES))
+        with pytest.raises(TokenForgedError):
+            authority.validate(widened, "session.submit")
+
+
+class TestCrossTenant:
+    def test_foreign_token_refused_on_the_victim_chain(self):
+        acme = make_authority("acme")
+        blue = make_authority("blue")
+        stolen = acme.issue("tech-1", DEFAULT_SCOPES)
+        with pytest.raises(TenantIsolationError) as excinfo:
+            blue.validate(stolen, "session.open")
+        assert excinfo.value.org_id == "blue"
+        assert excinfo.value.token_org == "acme"
+        assert counter("tenancy.violation") == 1
+        # The refusal lands on blue's (the victim's) chain, not acme's.
+        (record,) = blue.audit.query(action_prefix="tenancy.violation")
+        assert not record.allowed
+        assert record.resource == "org:blue"
+        assert acme.audit.query(action_prefix="tenancy.violation") == []
+
+    def test_theft_fault_refuses_even_an_own_org_token(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        faults.arm({"tenancy.token.theft": Rule(nth=1)}, seed=7)
+        with pytest.raises(TenantIsolationError, match="stolen"):
+            authority.validate(token, "session.open")
+        assert counter("tenancy.violation") == 1
+
+
+class TestReplayAndExpiry:
+    def test_revoked_token_replay_is_refused(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        authority.revoke(token, reason="laptop lost")
+        with pytest.raises(TokenReplayError, match="replay refused"):
+            authority.validate(token, "session.open")
+        (record,) = authority.audit.query(
+            action_prefix="tenancy.token.denied"
+        )
+        assert "replayed" in record.outcome
+
+    def test_replay_fault_spends_a_live_token(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        faults.arm({"tenancy.token.replay": Rule(nth=1)}, seed=7)
+        with pytest.raises(TokenReplayError):
+            authority.validate(token, "session.open")
+
+    def test_expiry_instant_itself_already_denies(self):
+        clock = SimulatedClock()
+        authority = make_authority(ttl_s=300.0, clock=clock)
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        clock.advance(300.0)
+        assert clock.now == token.expires_at
+        with pytest.raises(TokenExpiredError):
+            authority.validate(token, "session.open")
+
+    def test_one_tick_before_expiry_admits(self):
+        clock = SimulatedClock()
+        authority = make_authority(ttl_s=300.0, clock=clock)
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        clock.advance(299.999)
+        assert authority.validate(token, "session.open") is token
+
+    def test_expiry_race_fault_denies_mid_validation(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", DEFAULT_SCOPES)
+        faults.arm({"tenancy.token.expired": Rule(nth=1)}, seed=7)
+        with pytest.raises(TokenExpiredError):
+            authority.validate(token, "session.open")
+        faults.disarm()
+        # The race was transient: the token itself is still live.
+        assert authority.validate(token, "session.open") is token
+
+
+class TestElevation:
+    def test_quorum_grant_mints_a_superseding_token(self):
+        authority = make_authority()
+        coordinator = ApprovalCoordinator(ApprovalConfig())
+        token = authority.issue("tech-1", ("session.open",))
+        elevated = authority.elevate(
+            token, "session.submit", coordinator, justification="sev-1",
+        )
+        assert elevated.scopes == frozenset(
+            {"session.open", "session.submit"}
+        )
+        assert authority.validate(elevated, "session.submit") is elevated
+        # Privilege never accumulates on two live credentials.
+        with pytest.raises(TokenReplayError):
+            authority.validate(token, "session.open")
+        (record,) = authority.audit.query(action_prefix="tenancy.elevate")
+        assert record.allowed and "sev-1" in record.command
+
+    def test_denied_round_issues_nothing(self):
+        authority = make_authority()
+        votes = {name: "reject" for name in ApprovalConfig().approvers}
+        coordinator = ApprovalCoordinator(ApprovalConfig(votes=votes))
+        token = authority.issue("tech-1", ("session.open",))
+        with pytest.raises(CapabilityDeniedError, match="denied"):
+            authority.elevate(token, "session.submit", coordinator)
+        # The presenting token survives a denied round.
+        assert authority.validate(token, "session.open") is token
+        assert counter("tenancy.break_glass") == 0
+
+    def test_break_glass_override_is_counted_and_flagged(self):
+        authority = make_authority()
+        coordinator = ApprovalCoordinator(
+            ApprovalConfig(break_glass_actor="oncall")
+        )
+        token = authority.issue("tech-1", ("session.open",))
+        faults.arm(
+            {"approvals.approver.crash": Rule(probability=1.0, times=99)},
+            seed=7,
+        )
+        elevated = authority.elevate(token, "session.submit", coordinator)
+        faults.disarm()
+        assert "session.submit" in elevated.scopes
+        assert counter("tenancy.break_glass") == 1
+        (record,) = authority.audit.query(action_prefix="tenancy.elevate")
+        assert "break-glass" in record.outcome
+
+    def test_no_approvals_machinery_denies_by_default(self):
+        authority = make_authority()
+        token = authority.issue("tech-1", ("session.open",))
+        with pytest.raises(CapabilityDeniedError, match="no"):
+            authority.elevate(token, "session.submit", None)
+
+
+class TestRegistry:
+    def test_unknown_org_is_a_violation(self):
+        registry = TenantRegistry()
+        registry.add("acme", object())
+        with pytest.raises(TenantIsolationError, match="unknown org"):
+            registry.require("blue")
+        assert counter("tenancy.violation") == 1
+        assert registry.org_ids() == ["acme"]
+
+    def test_duplicate_org_rejected(self):
+        registry = TenantRegistry()
+        registry.add("acme", object())
+        with pytest.raises(TenancyError, match="already registered"):
+            registry.add("acme", object())
+
+    def test_registry_crash_fails_closed(self):
+        registry = TenantRegistry()
+        registry.add("acme", object())
+        faults.arm({"tenancy.registry.crash": Rule(nth=1)}, seed=7)
+        with pytest.raises(TenantRegistryError):
+            registry.require("acme")
+        faults.disarm()
+        assert registry.require("acme") is not None
+
+
+class TestSpecValidation:
+    def test_bad_shapes_rejected(self):
+        network = object()
+        with pytest.raises(TenancyError):
+            TenantSpec(org_id="", network=network)
+        with pytest.raises(TenancyError):
+            TenantSpec(org_id="acme", network=network, queue_limit=0)
+        with pytest.raises(TenancyError):
+            TenantSpec(org_id="acme", network=network, workers=0)
+        with pytest.raises(TenancyError):
+            TenantSpec(org_id="acme", network=network, burst=0)
+        with pytest.raises(TenancyError):
+            TenantSpec(org_id="acme", network=network, rate_per_s=-1.0)
+        with pytest.raises(TenancyError):
+            TenantSpec(org_id="acme", network=network, token_ttl_s=0.0)

@@ -1,0 +1,90 @@
+"""The tenants benchmark (``bench --tenants``) and its regression gate."""
+
+import pytest
+
+from repro.experiments import bench_check
+from repro.experiments.bench_check import compare, tenants_metrics
+from repro.experiments.bench_tenants import (
+    OVERHEAD_TARGET,
+    run_tenants_bench,
+    tenants_acceptance,
+)
+from repro.util import rand
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    rand.reset()
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_tenants_bench(sessions=4, orgs=2, seed=7)
+
+
+class TestBench:
+    def test_small_run_holds_every_invariant(self, small_report):
+        assert small_report["ok"], small_report["invariants"]
+        assert small_report["sessions"] == 4
+        assert small_report["orgs"] == 2
+        assert small_report["frontdoor"]["imported"] == 4
+        assert small_report["direct"]["imported"] == 4
+        assert small_report["violations"] == 0
+        assert small_report["overhead_ratio"] is not None
+
+    def test_flood_phase_sheds_typed_with_finite_retry(self, small_report):
+        flood = small_report["flood"]
+        assert flood["shed"]
+        assert flood["first_admission"] == "ran"
+        assert flood["retry_after_s"] is not None
+        assert flood["retry_after_s"] > 0
+
+    def test_acceptance_carries_the_gated_target(self, small_report):
+        acceptance = small_report["acceptance"]
+        assert acceptance["target"] == OVERHEAD_TARGET == 1.3
+        assert tenants_acceptance(small_report) == {
+            "tenants.overhead_ratio": small_report["overhead_ratio"],
+        }
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ReproError):
+            run_tenants_bench(sessions=1, orgs=2)
+        with pytest.raises(ReproError):
+            run_tenants_bench(sessions=2, orgs=0)
+        with pytest.raises(ReproError):
+            run_tenants_bench(sessions=2, orgs=1, network="nope")
+
+
+class TestGate:
+    def test_metrics_extraction(self):
+        report = {
+            "overhead_ratio": 1.1,
+            "acceptance": {"target": 1.3, "pass": True},
+        }
+        assert tenants_metrics(report) == {
+            "tenants.overhead_ratio": (1.1, False, 1.3),
+        }
+        assert tenants_metrics({}) == {}
+
+    def test_target_loosens_the_committed_bound(self):
+        # Committed 1.0, fresh 1.5: over the committed-relative ceiling
+        # (1.2) but under the target-relative one (1.3 * 1.2 = 1.56) —
+        # drift inside the acceptance envelope never fails the build.
+        committed = {"tenants.overhead_ratio": (1.0, False, 1.3)}
+        assert compare(committed, {"tenants.overhead_ratio": (1.5, False, 1.3)}) == []
+        assert compare(committed, {"tenants.overhead_ratio": (1.6, False, 1.3)})
+
+    def test_check_never_reads_the_scale_smoke_report(self):
+        # make bench-scale writes its throwaway smoke report to /tmp;
+        # the gate must only ever read the committed BENCH_*.json set.
+        reports = {
+            bench_check.DATAPLANE_REPORT, bench_check.ROLLOUT_REPORT,
+            bench_check.SCALE_REPORT, bench_check.TENANTS_REPORT,
+        }
+        assert reports == {
+            "BENCH_dataplane.json", "BENCH_rollout.json",
+            "BENCH_scale.json", "BENCH_tenants.json",
+        }
+        assert "smoke" not in " ".join(sorted(reports))

@@ -15,7 +15,7 @@ class TestCampaignCatalog:
     def test_names(self):
         assert campaign_names() == [
             "adversarial", "approvals", "canary", "monitor-timeouts",
-            "push-failures", "smoke", "verify-degraded",
+            "push-failures", "smoke", "tenants", "verify-degraded",
         ]
 
     def test_unknown_campaign_rejected(self):

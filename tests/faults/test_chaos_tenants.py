@@ -1,0 +1,103 @@
+"""The ``tenants`` chaos campaign: zero cross-tenant leaks, ever.
+
+Each scenario drives two isolated org deployments through the shared
+front door with a fault armed; the judge (repro/faults/tenants.py)
+requires every expected refusal to be MAC-audited on the victim's chain,
+every unaffected org to end byte-identical to its baseline, and the shed
+count to match exactly.
+"""
+
+import pytest
+
+from repro.faults.chaos import campaign_names, run_campaign
+
+
+@pytest.fixture(scope="module")
+def tenants_report():
+    return run_campaign("tenants", seed=7)
+
+
+def scenario(report, label):
+    return next(o for o in report.scenarios if o.label == label)
+
+
+class TestCampaign:
+    def test_registered_in_the_catalog(self):
+        assert "tenants" in campaign_names()
+
+    def test_campaign_passes(self, tenants_report):
+        failed = [
+            outcome.label for outcome in tenants_report.scenarios
+            if not outcome.ok
+        ]
+        assert not failed, f"scenarios failed: {failed}"
+        assert len(tenants_report.scenarios) == 9
+
+    def test_every_scenario_keeps_the_tenant_invariant(self, tenants_report):
+        for outcome in tenants_report.scenarios:
+            assert outcome.tenant_ok, outcome.label
+            assert outcome.audit_intact, outcome.label
+
+
+class TestScenarios:
+    def test_clean_isolation_has_zero_violations(self, tenants_report):
+        outcome = scenario(tenants_report, "clean-isolation")
+        assert outcome.outcome == "committed"
+        assert outcome.violations == 0
+        assert outcome.shed == 0
+
+    def test_cross_tenant_access_is_refused_and_audited(self, tenants_report):
+        outcome = scenario(tenants_report, "cross-tenant-denied")
+        assert outcome.violations == 2
+        assert outcome.outcome == "committed"  # the legit work still lands
+
+    def test_token_theft_is_a_violation(self, tenants_report):
+        outcome = scenario(tenants_report, "token-theft-refused")
+        assert outcome.faults_fired
+        assert outcome.violations == 1
+
+    def test_replay_and_expiry_races_deny(self, tenants_report):
+        for label in ("token-replay-refused", "expired-token-race"):
+            outcome = scenario(tenants_report, label)
+            assert outcome.faults_fired, label
+            assert outcome.outcome == "committed", label
+
+    def test_registry_crash_fails_closed(self, tenants_report):
+        outcome = scenario(tenants_report, "registry-crash-fail-closed")
+        assert outcome.faults_fired
+        assert outcome.tenant_ok
+
+    def test_queue_flood_sheds_exactly(self, tenants_report):
+        outcome = scenario(tenants_report, "queue-flood-sheds")
+        assert outcome.shed == 3
+        assert outcome.outcome == "committed"
+
+    def test_noisy_neighbor_stays_in_its_bulkhead(self, tenants_report):
+        outcome = scenario(tenants_report, "noisy-neighbor-isolated")
+        assert outcome.shed == 2
+        assert outcome.violations == 0
+        assert outcome.outcome == "committed"  # the quiet org's fix landed
+
+    def test_break_glass_elevation_commits_flagged(self, tenants_report):
+        outcome = scenario(tenants_report, "break-glass-elevation")
+        assert outcome.outcome == "committed"
+        assert outcome.tenant_ok
+
+    def test_metrics_surface_the_isolation_machinery(self, tenants_report):
+        metrics = tenants_report.metrics
+        assert metrics["tenancy.violation"] >= 3
+        assert metrics["tenancy.tokens.issued"] > 0
+        assert metrics["tenancy.tokens.denied"] >= 3
+        assert metrics["tenancy.break_glass"] >= 1
+        assert metrics["frontdoor.admitted"] > 0
+        assert metrics["frontdoor.shed"] >= 5
+
+
+class TestReproducibility:
+    def test_same_seed_same_report(self, tenants_report):
+        again = run_campaign("tenants", seed=7)
+        assert tenants_report.to_dict() == again.to_dict()
+
+    def test_second_seed_also_passes(self):
+        report = run_campaign("tenants", seed=8)
+        assert report.ok
